@@ -1,0 +1,40 @@
+"""Shared configuration of the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper at a
+reduced scale (see DESIGN.md §3 for the index and EXPERIMENTS.md for
+paper-vs-measured numbers).  Experiments are executed exactly once per
+benchmark (``rounds=1``) because each one is itself a full parameter sweep;
+pytest-benchmark is used for its timing/reporting machinery, not for
+micro-benchmark statistics.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Stream scale used by the benchmark harness (fraction of the paper's size).
+BENCH_SCALE = 0.002
+
+#: Memory sweep (bytes) equivalent to the paper's 0.5-4 MB at BENCH_SCALE.
+BENCH_MEMORY_POINTS = [1049.0, 2097.0, 4194.0, 6291.0, 8389.0]
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Stream scale shared by all figure benchmarks."""
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_memory_points() -> list[float]:
+    """Scaled version of the paper's 0.5/1/2/3/4 MB memory sweep."""
+    return list(BENCH_MEMORY_POINTS)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Execute ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,100 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Not a paper figure, but the two design decisions the paper argues for are
+checked head-to-head on the same workload:
+
+* **Mice filter on/off** (§3.3): the filter trades a little accuracy for a
+  large reduction in layer-1 pressure (fewer locked buckets) and fewer layer
+  hash calls at small memory.
+* **Double-exponential vs arithmetic thresholds** (§3.2, "Modifying either
+  parameter to follow an arithmetic sequence would thoroughly undermine the
+  complexity"): with a *flat* threshold schedule of the same total error
+  budget, more keys escape deep into the structure.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.config import LayerSpec, ReliableConfig
+from repro.core.reliable_sketch import ReliableSketch
+from repro.experiments.datasets import dataset
+from repro.metrics.accuracy import evaluate_accuracy
+
+MEMORY = 4 * 1024
+TOLERANCE = 25.0
+
+
+def _run_variants(stream):
+    results = {}
+    for label, kwargs in (
+        ("with-filter", dict(use_mice_filter=True)),
+        ("raw", dict(use_mice_filter=False)),
+    ):
+        sketch = ReliableSketch.from_memory(MEMORY, tolerance=TOLERANCE, seed=2, **kwargs)
+        sketch.insert_stream(stream)
+        report = evaluate_accuracy(stream.counts(), sketch.query, TOLERANCE)
+        results[label] = (sketch, report)
+    return results
+
+
+def test_ablation_mice_filter(benchmark, bench_scale):
+    stream = dataset("ip", scale=bench_scale, seed=2)
+    results = run_once(benchmark, _run_variants, stream)
+    print("\nAblation — mice filter on/off at equal memory")
+    for label, (sketch, report) in results.items():
+        locked = sum(sketch.locked_buckets())
+        print(f"  {label:>11}: outliers={report.outliers}  aae={report.aae:.2f}  "
+              f"locked_buckets={locked}  failures={sketch.insert_failures}")
+    with_filter, raw = results["with-filter"], results["raw"]
+    # The filter absorbs mice keys, so far fewer layer-1 buckets lock.
+    assert sum(with_filter[0].locked_buckets()) < sum(raw[0].locked_buckets())
+    # And the filtered variant never has more outliers at this budget.
+    assert with_filter[1].outliers <= raw[1].outliers
+
+
+def _flat_threshold_config(reference: ReliableConfig) -> ReliableConfig:
+    """Same widths and total error budget, but an arithmetic (flat) schedule."""
+    flat_value = int(TOLERANCE // reference.depth)
+    layers = tuple(
+        LayerSpec(index=layer.index, width=layer.width, threshold=max(1, flat_value))
+        for layer in reference.layers
+    )
+    return ReliableConfig(
+        layers=layers,
+        tolerance=reference.tolerance,
+        r_w=reference.r_w,
+        r_lambda=reference.r_lambda,
+        mice_filter_fraction=0.0,
+        mice_filter_bits=reference.mice_filter_bits,
+        mice_filter_arrays=reference.mice_filter_arrays,
+        mice_filter_bytes=0.0,
+    )
+
+
+def _run_schedules(stream):
+    geometric_config = ReliableConfig.from_memory(
+        MEMORY, tolerance=TOLERANCE, use_mice_filter=False
+    )
+    flat_config = _flat_threshold_config(geometric_config)
+    out = {}
+    for label, config in (("geometric", geometric_config), ("flat", flat_config)):
+        sketch = ReliableSketch(config, seed=3)
+        sketch.insert_stream(stream)
+        deep_inserts = sum(sketch.inserts_settled_per_layer[3:-1]) + sketch.insert_failures
+        out[label] = (sketch, deep_inserts)
+    return out
+
+
+def test_ablation_double_exponential_thresholds(benchmark, bench_scale):
+    stream = dataset("ip", scale=bench_scale, seed=2)
+    results = run_once(benchmark, _run_schedules, stream)
+    print("\nAblation — geometric vs flat threshold schedule (same error budget)")
+    for label, (sketch, deep) in results.items():
+        print(f"  {label:>9}: inserts reaching layer 4+ or failing = {deep}  "
+              f"failures={sketch.insert_failures}")
+    geometric_deep = results["geometric"][1]
+    flat_deep = results["flat"][1]
+    # The geometric schedule stops traffic earlier: fewer inserts reach deep
+    # layers than with a flat schedule of the same total budget.
+    assert geometric_deep <= flat_deep

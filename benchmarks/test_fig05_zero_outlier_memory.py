@@ -1,0 +1,50 @@
+"""Figure 5: minimum memory to reach zero outliers, per dataset and algorithm.
+
+Paper result (IP trace, Λ = 25): ReliableSketch needs 0.91 MB — about 6.1x,
+2.7x, 2.0x and 9.3x less than CM (accurate), CU (accurate), SpaceSaving and
+Elastic respectively; fast CM/CU and Coco never get there within 10 MB.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.outliers import zero_outlier_memory
+from repro.metrics.memory import BYTES_PER_KB
+
+ALGORITHMS = ("Ours", "CM_acc", "CU_acc", "SS", "Elastic")
+
+
+def test_fig5_zero_outlier_memory(benchmark, bench_scale):
+    results = run_once(
+        benchmark,
+        zero_outlier_memory,
+        dataset_names=("ip", "web"),
+        tolerance=25.0,
+        scale=bench_scale,
+        algorithms=ALGORITHMS,
+        seed=1,
+        high_megabytes=10.0,
+    )
+    print("\nFigure 5 — minimum memory for zero outliers")
+    for dataset_name, per_algorithm in results.items():
+        readable = {
+            name: ("n/a" if memory is None else f"{memory / BYTES_PER_KB:.1f}KB")
+            for name, memory in per_algorithm.items()
+        }
+        print(f"  {dataset_name}: {readable}")
+
+    for dataset_name, per_algorithm in results.items():
+        ours = per_algorithm["Ours"]
+        assert ours is not None
+        for name, memory in per_algorithm.items():
+            if name == "Ours":
+                continue
+            # Every competitor needs at least as much memory (or never gets there).
+            assert memory is None or memory >= ours * 0.9
+        # At least one competitor needs ≥ 1.5x our memory (the paper reports
+        # 2x-9x); at tiny scale the gap narrows but must remain visible.
+        gaps = [m / ours for m in per_algorithm.values() if m is not None and m != ours]
+        assert any(gap >= 1.5 for gap in gaps) or any(
+            m is None for n, m in per_algorithm.items() if n != "Ours"
+        )

@@ -1,0 +1,48 @@
+"""Figure 7: worst-case #outliers among frequent keys (T = 100 and T = 1000).
+
+Paper result: ReliableSketch needs the least memory to keep every frequent
+key's error below Λ even in the worst of repeated seed trials; SpaceSaving
+needs ~1.8x more memory for T = 100, and the switch-oriented competitors
+(HashPipe, PRECISION, Elastic) cannot eliminate outliers within the sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.outliers import frequent_key_outliers
+from repro.metrics.memory import BYTES_PER_KB
+
+
+@pytest.mark.parametrize("threshold", [100, 1000], ids=["T100", "T1000"])
+def test_fig7_frequent_key_outliers(benchmark, threshold, bench_scale, bench_memory_points):
+    curves = run_once(
+        benchmark,
+        frequent_key_outliers,
+        threshold=threshold,
+        dataset_name="ip",
+        tolerance=25.0,
+        scale=bench_scale,
+        memory_points=bench_memory_points,
+        repetitions=2,
+        seed=1,
+    )
+    print(f"\nFigure 7 (T={threshold}) — worst-case #outliers among frequent keys")
+    for curve in curves:
+        memories = [f"{m / BYTES_PER_KB:.1f}KB" for m in curve.memory_bytes]
+        print(f"  {curve.algorithm:>10}: {dict(zip(memories, curve.outliers))}")
+
+    by_name = {curve.algorithm: curve for curve in curves}
+    ours = by_name["Ours"]
+    assert ours.zero_outlier_memory() is not None
+    # Nobody reaches zero outliers with less memory than ReliableSketch.
+    for name, curve in by_name.items():
+        zero = curve.zero_outlier_memory()
+        assert zero is None or zero >= ours.zero_outlier_memory()
+    # At the tightest memory point ours is already at (or near) zero while at
+    # least one competitor still has outliers.  For T = 1000 the frequent-key
+    # set is tiny at bench scale and every algorithm may already be clean, so
+    # the comparison is only meaningful for T = 100.
+    if threshold == 100:
+        assert any(curve.outliers[0] > ours.outliers[0] for curve in curves)

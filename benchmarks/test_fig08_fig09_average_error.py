@@ -1,0 +1,55 @@
+"""Figures 8 and 9: AAE and ARE vs memory (IP trace and Zipf 3.0).
+
+Paper result: ReliableSketch's average error is comparable to the best
+counter-based competitors (CU, Elastic), clearly better than CM and Coco,
+and an order of magnitude better than SpaceSaving; all errors shrink as
+memory grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.error import average_error_sweep
+from repro.metrics.memory import BYTES_PER_KB
+
+ALGORITHMS = ("Ours", "CM_fast", "CU_fast", "Elastic", "SS", "Coco")
+
+
+@pytest.mark.parametrize("dataset_name", ["ip", "zipf-3.0"])
+def test_fig8_fig9_average_error(benchmark, dataset_name, bench_scale, bench_memory_points):
+    scale = bench_scale if dataset_name == "ip" else bench_scale / 3
+    curves = run_once(
+        benchmark,
+        average_error_sweep,
+        dataset_name=dataset_name,
+        tolerance=25.0,
+        scale=scale,
+        memory_points=bench_memory_points,
+        algorithms=ALGORITHMS,
+        seed=1,
+    )
+    print(f"\nFigures 8/9 ({dataset_name}) — AAE and ARE per memory point")
+    for curve in curves:
+        memories = [f"{m / BYTES_PER_KB:.1f}KB" for m in curve.memory_bytes]
+        aae = [round(v, 2) for v in curve.aae]
+        are = [round(v, 3) for v in curve.are]
+        print(f"  {curve.algorithm:>8}: AAE={dict(zip(memories, aae))}")
+        print(f"  {'':>8}  ARE={dict(zip(memories, are))}")
+
+    by_name = {curve.algorithm: curve for curve in curves}
+    # Errors shrink (or stay flat) as memory grows, for every algorithm.
+    for curve in curves:
+        assert curve.aae[-1] <= curve.aae[0] + 1e-9
+    # Ordering the paper reports, asserted where it survives the scale-down
+    # (see EXPERIMENTS.md): on the IP trace ours beats plain CM under tight
+    # memory, and on every dataset ours ends at least as accurate as
+    # SpaceSaving and within a small factor of the best competitor.
+    if dataset_name == "ip":
+        assert by_name["Ours"].aae[0] <= by_name["CM_fast"].aae[0]
+        assert by_name["Ours"].are[0] <= by_name["CM_fast"].are[0]
+    assert by_name["Ours"].aae[-1] <= by_name["SS"].aae[-1] + 1e-9
+    assert by_name["Ours"].are[-1] <= by_name["SS"].are[-1] + 1e-9
+    best_final = min(curve.aae[-1] for curve in curves)
+    assert by_name["Ours"].aae[-1] <= max(3.0 * best_final, 3.0)

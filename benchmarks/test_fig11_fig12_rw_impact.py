@@ -1,0 +1,65 @@
+"""Figures 11 and 12: impact of the width ratio R_w.
+
+Paper result: under the zero-outlier target, R_w around 2-2.5 minimises the
+memory requirement, and very small or very large R_w inflate it (Figure 11);
+under an average-error target the curve is much flatter (Figure 12).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.parameters import rw_sweep
+from repro.metrics.memory import BYTES_PER_KB
+
+R_W_VALUES = [1.4, 2.0, 4.0, 9.0]
+
+
+def _print(curves, title):
+    print(f"\n{title}")
+    for curve in curves:
+        readings = {
+            p.parameter: ("n/a" if p.memory_bytes is None else f"{p.memory_bytes / BYTES_PER_KB:.1f}KB")
+            for p in curve.points
+        }
+        print(f"  R_lambda={curve.fixed_value}: {readings}")
+
+
+def test_fig11_rw_zero_outlier_memory(benchmark, bench_scale):
+    curves = run_once(
+        benchmark,
+        rw_sweep,
+        dataset_name="ip",
+        r_w_values=R_W_VALUES,
+        r_lambda_values=[2.5],
+        tolerance=25.0,
+        scale=bench_scale,
+        seed=1,
+    )
+    _print(curves, "Figure 11 — zero-outlier memory vs R_w")
+    points = {p.parameter: p.memory_bytes for p in curves[0].points}
+    assert points[2.0] is not None
+    # R_w = 2 needs no more memory than the extreme settings (paper: optimum
+    # around 2-2.5, rapid growth below 1.6 and above 3).
+    for extreme in (1.4, 9.0):
+        assert points[extreme] is None or points[2.0] <= points[extreme] * 1.1
+
+
+def test_fig12_rw_memory_for_target_aae(benchmark, bench_scale):
+    curves = run_once(
+        benchmark,
+        rw_sweep,
+        dataset_name="ip",
+        r_w_values=[2.0, 4.0, 9.0],
+        r_lambda_values=[2.0],
+        tolerance=25.0,
+        target_aae=5.0,
+        scale=bench_scale,
+        seed=1,
+    )
+    _print(curves, "Figure 12 — memory for AAE ≤ 5 vs R_w")
+    found = [p.memory_bytes for p in curves[0].points if p.memory_bytes is not None]
+    assert found
+    # The AAE target is much easier than the zero-outlier target, so the
+    # memory spread across R_w values stays within a small factor.
+    assert max(found) <= 4 * min(found)

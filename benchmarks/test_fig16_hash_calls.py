@@ -1,0 +1,48 @@
+"""Figure 16: average number of hash-function calls per insert and per query.
+
+Paper result: with growing memory the raw ReliableSketch converges to 1 hash
+call per operation (almost everything settles in layer 1) and the
+mice-filtered variant to 3 (two filter arrays + one layer); CM stays flat at
+its array count.  This is the platform-independent explanation of the speed
+trends in Figure 10.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.speed import hash_call_profile
+from repro.metrics.memory import BYTES_PER_KB
+
+
+def test_fig16_hash_call_profile(benchmark, bench_scale, bench_memory_points):
+    curves = run_once(
+        benchmark,
+        hash_call_profile,
+        dataset_name="ip",
+        scale=bench_scale,
+        memory_points=bench_memory_points,
+        algorithms=("Ours", "Ours(Raw)", "CM_fast"),
+        seed=1,
+    )
+    print("\nFigure 16 — average hash calls per operation")
+    for curve in curves:
+        memories = [f"{m / BYTES_PER_KB:.1f}KB" for m in curve.memory_bytes]
+        print(f"  {curve.algorithm:>9}: insert={dict(zip(memories, [round(v, 2) for v in curve.insert_calls]))}")
+        print(f"  {'':>9}  query ={dict(zip(memories, [round(v, 2) for v in curve.query_calls]))}")
+
+    by_name = {curve.algorithm: curve for curve in curves}
+    # CM performs exactly `depth` = 3 calls per operation at every size.
+    assert all(abs(v - 3.0) < 1e-9 for v in by_name["CM_fast"].insert_calls)
+    # Hash calls per insert decrease as memory grows for both of our variants.
+    for name in ("Ours", "Ours(Raw)"):
+        curve = by_name[name]
+        assert curve.insert_calls[-1] <= curve.insert_calls[0]
+    # Limits from the paper: raw → ~1 call, filtered → ~3 calls.
+    assert by_name["Ours(Raw)"].insert_calls[-1] < 1.6
+    assert by_name["Ours"].insert_calls[-1] < 3.6
+    # The filtered variant always pays the two extra filter lookups.
+    assert all(
+        filtered >= raw
+        for filtered, raw in zip(by_name["Ours"].insert_calls, by_name["Ours(Raw)"].insert_calls)
+    )

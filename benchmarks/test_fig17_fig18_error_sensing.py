@@ -1,0 +1,73 @@
+"""Figures 17 and 18: the error-sensing ability of ReliableSketch.
+
+Paper results: every key's true value falls within the sensed interval
+(Figure 17); the average sensed error tracks the actual error closely
+(Figure 18a) and both decrease as memory grows (Figure 18b).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.sensing import sensed_intervals, sensed_vs_actual, sensed_error_vs_memory
+from repro.metrics.memory import BYTES_PER_KB
+
+
+def test_fig17_sensed_intervals_contain_truth(benchmark, bench_scale):
+    mice, elephants = run_once(
+        benchmark,
+        sensed_intervals,
+        dataset_name="ip",
+        memory_megabytes=2.0,
+        tolerance=25.0,
+        scale=bench_scale,
+        elephant_threshold=500,
+        sample_size=300,
+        seed=1,
+    )
+    contained = sum(1 for interval in mice + elephants if interval.contains_truth)
+    print(f"\nFigure 17 — sampled {len(mice)} mice + {len(elephants)} elephant intervals, "
+          f"{contained} contain the truth")
+    assert mice and elephants
+    assert contained == len(mice) + len(elephants)
+
+
+def test_fig18a_sensed_error_tracks_actual(benchmark, bench_scale):
+    points = run_once(
+        benchmark,
+        sensed_vs_actual,
+        dataset_name="ip",
+        memory_megabytes=1.0,
+        tolerance=25.0,
+        scale=bench_scale,
+        seed=1,
+    )
+    print("\nFigure 18a — actual error vs average sensed error")
+    for point in points[:12]:
+        print(f"  actual={point.actual_error:>3}  sensed={point.mean_sensed_error:6.2f}  keys={point.keys}")
+    # The sensed error is a sound upper bound on the actual error...
+    assert all(p.mean_sensed_error >= p.actual_error for p in points)
+    # ...and it is not a wildly loose one: averaged over all keys it stays
+    # within tolerance of the actual error.
+    gaps = [p.mean_sensed_error - p.actual_error for p in points]
+    assert sum(gaps) / len(gaps) <= 25.0
+
+
+def test_fig18b_sensed_error_decreases_with_memory(benchmark, bench_scale):
+    rows = run_once(
+        benchmark,
+        sensed_error_vs_memory,
+        dataset_name="ip",
+        memory_megabytes=[1.0, 1.5, 2.0, 2.5],
+        tolerance=25.0,
+        scale=bench_scale,
+        seed=1,
+    )
+    print("\nFigure 18b — mean sensed / actual error vs memory")
+    for memory, sensed, actual in rows:
+        print(f"  {memory / BYTES_PER_KB:6.1f}KB  sensed={sensed:6.2f}  actual={actual:6.2f}")
+    sensed_series = [sensed for _, sensed, _ in rows]
+    actual_series = [actual for _, _, actual in rows]
+    assert sensed_series[-1] <= sensed_series[0]
+    assert actual_series[-1] <= actual_series[0]
+    assert all(s >= a for s, a in zip(sensed_series, actual_series))

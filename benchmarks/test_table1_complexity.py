@@ -1,0 +1,40 @@
+"""Table 1: complexity comparison of the sketch families.
+
+Regenerates the table numerically for the paper's default workload
+(N = 10 M, Λ = 25, Δ = 1e-10, ~0.4 M keys) and checks the qualitative
+ordering the paper claims: ReliableSketch's space is additive (close to the
+heap-based optimum, far below the multiplicative counter-based cost) and its
+time is O(1)-like (far below the heap-based logarithm).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core import analysis
+from repro.experiments import tables
+
+
+def test_table1_complexity(benchmark):
+    rows = run_once(
+        benchmark,
+        analysis.complexity_table,
+        1e7,
+        25.0,
+        1e-10,
+        4e5,
+    )
+    print()
+    print(tables.complexity_table_text())
+
+    by_family = {row.family: row for row in rows}
+    ours = by_family["ReliableSketch (Ours)"]
+    counter = by_family["Counter-based (L1)"]
+    heap = by_family["Heap-based"]
+
+    # Space: ours ~ N/Λ + ln(1/Δ), counter-based ~ N/Λ · ln(1/δ): >10x larger.
+    assert counter.space_estimate > 10 * ours.space_estimate
+    assert ours.space_estimate < 2 * heap.space_estimate
+    # Time: ours ~ O(1); heap-based pays the logarithm.
+    assert ours.time_estimate < 1.1
+    assert heap.time_estimate > 5 * ours.time_estimate

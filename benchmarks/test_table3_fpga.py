@@ -1,0 +1,27 @@
+"""Table 3: FPGA synthesis-style report of the ReliableSketch modules."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.config import ReliableConfig
+from repro.experiments import tables
+from repro.hardware.fpga import FpgaModel
+from repro.metrics.memory import mb
+
+
+def test_table3_fpga_resources(benchmark):
+    config = ReliableConfig.from_memory(mb(1), tolerance=25.0)
+    report = run_once(benchmark, FpgaModel().synthesize, config)
+    print()
+    print(tables.fpga_table_text(config))
+
+    # Published totals: 2654 LUTs, 2834 registers, ~259 BRAM tiles, 340 MHz.
+    assert report.total_luts == 2654
+    assert report.total_registers == 2834
+    assert abs(report.total_bram - 259) / 259 < 0.2
+    assert report.clock_mhz == 340.0
+    # Fully pipelined: throughput equals the clock (≈340 M insertions/s).
+    assert report.throughput_mops == 340.0
+    assert report.lut_utilisation < 0.01
+    assert report.bram_utilisation < 0.25

@@ -1,0 +1,25 @@
+"""Table 4: hardware resources used by ReliableSketch on a Tofino switch."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import tables
+from repro.hardware.tofino import PAPER_USAGE, TofinoResourceModel
+
+
+def test_table4_tofino_resources(benchmark):
+    model = TofinoResourceModel(layers=6)
+    rows = run_once(benchmark, model.rows)
+    print()
+    print(tables.tofino_table_text(layers=6))
+
+    by_resource = {row.resource: row for row in rows}
+    # Exact reproduction of the published usage column.
+    for resource, usage in PAPER_USAGE.items():
+        assert by_resource[resource].usage == usage
+    # The two most-used resources are Stateful ALUs (25%) and Map RAM (20.66%).
+    assert by_resource["Stateful ALU"].percentage == max(r.percentage for r in rows)
+    assert abs(by_resource["Map RAM"].percentage - 0.2066) < 0.005
+    # Everything else stays at or below 14.37% and the deployment fits.
+    assert model.fits()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Error sensing and control: the two key techniques of the paper, visibly.
+
+This example looks *inside* ReliableSketch on a surrogate IP trace:
+
+* **Error sensing** — every query returns a Maximum Possible Error; the true
+  value always lies in ``[estimate − MPE, estimate]`` (Figure 17).
+* **Error control** — the number of keys that need deeper layers collapses
+  double-exponentially, and no key's error exceeds Λ (Figure 19).
+* **Emergency store** — with the overflow store enabled, the guarantee holds
+  even when memory is far too small and insertions start failing.
+
+Run with::
+
+    python examples/error_guarantees.py
+"""
+
+from __future__ import annotations
+
+from repro import ReliableSketch, ip_trace
+
+
+def show_layer_decay(sketch: ReliableSketch, truth) -> None:
+    """Print how many keys settle in each layer (the Figure 19a staircase)."""
+    per_layer = [0] * sketch.depth
+    for key in truth:
+        per_layer[sketch.query_with_error(key).layers_visited - 1] += 1
+    print("  keys settling per layer:", per_layer)
+
+
+def main() -> None:
+    stream = ip_trace(scale=0.02, seed=5)
+    truth = stream.counts()
+    tolerance = 25
+
+    print("=== comfortable memory: the guarantee in its natural habitat ===")
+    sketch = ReliableSketch.from_stream(stream.total_value(), tolerance, seed=2)
+    sketch.insert_stream(stream)
+    violations = sum(
+        1 for key, count in truth.items() if not sketch.query_with_error(key).contains(count)
+    )
+    worst = max(abs(sketch.query(key) - count) for key, count in truth.items())
+    sensed_worst = max(sketch.sensed_error(key) for key in truth)
+    print(f"  memory: {sketch.memory_bytes() / 1024:.1f} KB, failures: {sketch.insert_failures}")
+    print(f"  interval violations: {violations} / {len(truth)}")
+    print(f"  worst actual error: {worst}, worst sensed error: {sensed_worst}, Λ = {tolerance}")
+    show_layer_decay(sketch, truth)
+
+    print("\n=== tiny memory + emergency store: failures become harmless ===")
+    tiny = ReliableSketch.from_memory(
+        6 * 1024, tolerance=tolerance, seed=2, use_emergency=True
+    )
+    tiny.insert_stream(stream)
+    violations = sum(
+        1 for key, count in truth.items() if not tiny.query_with_error(key).contains(count)
+    )
+    print(f"  memory: {tiny.memory_bytes() / 1024:.1f} KB, failures: {tiny.insert_failures}, "
+          f"overflow keys: {tiny.emergency.stored_keys}")
+    print(f"  interval violations: {violations} / {len(truth)}")
+
+    print("\n=== tiny memory, no emergency: the failure mode the theory bounds ===")
+    bare = ReliableSketch.from_memory(6 * 1024, tolerance=tolerance, seed=2)
+    bare.insert_stream(stream)
+    outliers = sum(
+        1 for key, count in truth.items() if abs(bare.query(key) - count) > tolerance
+    )
+    print(f"  failures: {bare.insert_failures}, outliers: {outliers} "
+          f"(every outlier stems from a failed insertion)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: build a ReliableSketch, feed it a stream, query with error bounds.
+
+This is the smallest end-to-end use of the public API:
+
+1. generate a skewed key-value stream,
+2. size a ReliableSketch from the stream's total value and the error
+   tolerance Λ you are willing to accept,
+3. insert the stream,
+4. query any key and receive both an estimate and a *guaranteed* error bound.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ReliableSketch, zipf_stream
+
+
+def main() -> None:
+    # A 200k-item Zipf stream over 20k keys: a few heavy hitters, many mice.
+    stream = zipf_stream(count=200_000, skew=1.2, universe=20_000, seed=7)
+    truth = stream.counts()
+
+    tolerance = 25  # Λ: the largest per-key error we are willing to accept.
+    sketch = ReliableSketch.from_stream(
+        total_value=stream.total_value(), tolerance=tolerance, seed=1
+    )
+    sketch.insert_stream(stream)
+
+    print(f"stream: {len(stream):,} items, {stream.distinct_keys():,} distinct keys")
+    print(f"sketch: {sketch.memory_bytes() / 1024:.1f} KB, {sketch.depth} layers, "
+          f"tolerance Λ = {tolerance}")
+    print(f"insertion failures: {sketch.insert_failures}")
+    print()
+
+    # Query the five heaviest keys and five random mice keys.
+    heavy = sorted(truth, key=truth.get, reverse=True)[:5]
+    mice = sorted(truth, key=truth.get)[:5]
+    print(f"{'key':>12} {'true':>8} {'estimate':>9} {'MPE':>5}  interval")
+    for key in heavy + mice:
+        result = sketch.query_with_error(key)
+        contains = "ok" if result.contains(truth[key]) else "VIOLATION"
+        print(
+            f"{key!s:>12} {truth[key]:>8} {result.estimate:>9} {result.mpe:>5}  "
+            f"[{result.lower_bound}, {result.upper_bound}] {contains}"
+        )
+
+    # The headline guarantee: every key's error is below Λ.
+    worst = max(abs(sketch.query(key) - count) for key, count in truth.items())
+    print()
+    print(f"worst absolute error over all {len(truth):,} keys: {worst} (Λ = {tolerance})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Programmable-switch deployment: resources and accuracy (paper §5.2, §6.5.3).
+
+Reproduces, at reduced scale, the two switch-related results:
+
+* Table 4 — the resource usage of ReliableSketch on a Tofino pipeline.
+* Figure 20 — accuracy of the constrained data-plane algorithm versus SRAM
+  budget on the surrogate IP trace and Hadoop traces.
+
+Run with::
+
+    python examples/switch_deployment.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.deployment import testbed_accuracy
+from repro.experiments.tables import format_table, tofino_table_rows
+from repro.hardware.fpga import FpgaModel
+from repro.core.config import ReliableConfig
+
+
+def main() -> None:
+    print("=== Table 4: Tofino resource usage (6 bucket layers) ===")
+    print(format_table(["Resource", "Usage", "Percentage"], tofino_table_rows(layers=6)))
+
+    print("\n=== Table 3: FPGA synthesis model (1 MB configuration) ===")
+    config = ReliableConfig.from_memory(1024 * 1024, tolerance=25.0)
+    report = FpgaModel().synthesize(config)
+    rows = [
+        [m.module, m.clb_luts, m.clb_registers, m.block_ram, m.frequency_mhz]
+        for m in report.modules
+    ]
+    print(format_table(["Module", "LUTs", "Registers", "BRAM", "MHz"], rows))
+    print(f"pipeline throughput: {report.throughput_mops:.0f} M insertions/s "
+          f"({report.insert_latency_cycles} cycles latency)")
+
+    print("\n=== Figure 20: data-plane accuracy vs SRAM ===")
+    for trace in ("ip", "hadoop"):
+        curve = testbed_accuracy(trace_name=trace, scale=0.002, seed=1)
+        print(f"\n[{trace} trace]")
+        rows = [
+            [f"{r.sram_bytes / 1024:.1f} KB", r.outliers, f"{r.aae_kbps:.1f}", r.recirculations]
+            for r in curve.results
+        ]
+        print(format_table(["SRAM", "#Outliers", "AAE (Kbps)", "Recirculations"], rows))
+
+
+if __name__ == "__main__":
+    main()

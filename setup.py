@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+This environment has no network access and no ``wheel`` package, so the
+PEP 517 editable-install path (which needs ``bdist_wheel``) is unavailable.
+Keeping a minimal ``setup.py`` lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` (and plain ``python setup.py develop``) work offline;
+all real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""ReliableSketch reproduction library.
+
+Reproduces the paper "Approaching 100% Confidence in Stream Summary through
+ReliableSketch": the ReliableSketch algorithm itself, every baseline sketch of
+the evaluation, the workload generators, the accuracy/speed metrics, models of
+the FPGA and programmable-switch deployments, and an experiment harness that
+regenerates every table and figure of the paper.
+
+Quickstart::
+
+    from repro import ReliableSketch, zipf_stream
+
+    stream = zipf_stream(100_000, skew=1.2, seed=7)
+    sketch = ReliableSketch.from_stream(total_value=len(stream), tolerance=25)
+    sketch.insert_stream(stream)
+    result = sketch.query_with_error(stream[0].key)
+    assert result.lower_bound <= stream.counts()[stream[0].key] <= result.upper_bound
+"""
+
+from repro.core import (
+    ErrorSensibleBucket,
+    MiceFilter,
+    QueryResult,
+    ReliableConfig,
+    ReliableSketch,
+)
+from repro.metrics import evaluate_accuracy, measure_throughput, mb, kb
+from repro.sketches import (
+    CountMinSketch,
+    CUSketch,
+    CountSketch,
+    SpaceSaving,
+    FrequentSketch,
+    ElasticSketch,
+    CocoSketch,
+    HashPipe,
+    Precision,
+    build_sketch,
+)
+from repro.streams import (
+    Item,
+    Stream,
+    zipf_stream,
+    ip_trace,
+    web_stream,
+    datacenter_trace,
+    hadoop_trace,
+    load_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ErrorSensibleBucket",
+    "MiceFilter",
+    "QueryResult",
+    "ReliableConfig",
+    "ReliableSketch",
+    "evaluate_accuracy",
+    "measure_throughput",
+    "mb",
+    "kb",
+    "CountMinSketch",
+    "CUSketch",
+    "CountSketch",
+    "SpaceSaving",
+    "FrequentSketch",
+    "ElasticSketch",
+    "CocoSketch",
+    "HashPipe",
+    "Precision",
+    "build_sketch",
+    "Item",
+    "Stream",
+    "zipf_stream",
+    "ip_trace",
+    "web_stream",
+    "datacenter_trace",
+    "hadoop_trace",
+    "load_trace",
+    "__version__",
+]

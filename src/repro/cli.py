@@ -1,0 +1,219 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Examples
+--------
+Run the default (small-scale) version of Figure 4b::
+
+    repro-cli fig4 --tolerance 25
+
+Run Figure 10 at a larger scale::
+
+    repro-cli fig10 --scale 0.05
+
+Print the three tables::
+
+    repro-cli table1
+    repro-cli table3
+    repro-cli table4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import deployment, error, outliers, parameters, sensing, speed, tables
+from repro.experiments.datasets import DEFAULT_SCALE
+from repro.metrics.memory import BYTES_PER_KB
+
+
+def _print_curves(curves, value_name: str) -> None:
+    for curve in curves:
+        memories = ", ".join(f"{m / BYTES_PER_KB:.1f}KB" for m in curve.memory_bytes)
+        values = ", ".join(str(v) for v in getattr(curve, value_name))
+        print(f"{curve.algorithm:>10}: memory=[{memories}] {value_name}=[{values}]")
+
+
+def _cmd_table1(args) -> None:
+    print(tables.complexity_table_text())
+
+
+def _cmd_table3(args) -> None:
+    print(tables.fpga_table_text())
+
+
+def _cmd_table4(args) -> None:
+    print(tables.tofino_table_text())
+
+
+def _cmd_fig4(args) -> None:
+    curves = outliers.outliers_vs_memory(
+        dataset_name=args.dataset, tolerance=args.tolerance, scale=args.scale, seed=args.seed
+    )
+    _print_curves(curves, "outliers")
+
+
+def _cmd_fig5(args) -> None:
+    result = outliers.zero_outlier_memory(scale=args.scale, tolerance=args.tolerance, seed=args.seed)
+    for dataset_name, per_algorithm in result.items():
+        print(f"[{dataset_name}]")
+        for algorithm, memory in per_algorithm.items():
+            text = "not reached" if memory is None else f"{memory / BYTES_PER_KB:.1f} KB"
+            print(f"  {algorithm:>10}: {text}")
+
+
+def _cmd_fig6(args) -> None:
+    for dataset_name in ("web", "datacenter", "zipf-0.3", "zipf-3.0"):
+        print(f"[{dataset_name}]")
+        curves = outliers.outliers_vs_memory(
+            dataset_name=dataset_name, tolerance=args.tolerance, scale=args.scale, seed=args.seed
+        )
+        _print_curves(curves, "outliers")
+
+
+def _cmd_fig7(args) -> None:
+    for threshold in (100, 1000):
+        print(f"[frequent keys, T={threshold}]")
+        curves = outliers.frequent_key_outliers(
+            threshold=threshold, scale=args.scale, tolerance=args.tolerance, seed=args.seed
+        )
+        _print_curves(curves, "outliers")
+
+
+def _cmd_fig8(args) -> None:
+    for dataset_name in ("ip", "zipf-3.0"):
+        print(f"[{dataset_name}] AAE")
+        curves = error.average_error_sweep(dataset_name=dataset_name, scale=args.scale, seed=args.seed)
+        for curve in curves:
+            print(f"  {curve.algorithm:>10}: {[round(v, 3) for v in curve.aae]}")
+
+
+def _cmd_fig9(args) -> None:
+    for dataset_name in ("ip", "zipf-3.0"):
+        print(f"[{dataset_name}] ARE")
+        curves = error.average_error_sweep(dataset_name=dataset_name, scale=args.scale, seed=args.seed)
+        for curve in curves:
+            print(f"  {curve.algorithm:>10}: {[round(v, 4) for v in curve.are]}")
+
+
+def _cmd_fig10(args) -> None:
+    rows = speed.throughput_comparison(scale=args.scale, seed=args.seed)
+    print(tables.format_table(
+        ["Algorithm", "Insert Mops", "Query Mops"],
+        [[row.algorithm, f"{row.insert_mops:.3f}", f"{row.query_mops:.3f}"] for row in rows],
+    ))
+
+
+def _cmd_fig11(args) -> None:
+    curves = parameters.rw_sweep(scale=args.scale, tolerance=args.tolerance, seed=args.seed)
+    for curve in curves:
+        readings = [
+            (p.parameter, None if p.memory_bytes is None else round(p.memory_bytes / BYTES_PER_KB, 1))
+            for p in curve.points
+        ]
+        print(f"R_lambda={curve.fixed_value}: {readings}")
+
+
+def _cmd_fig13(args) -> None:
+    curves = parameters.rlambda_sweep(scale=args.scale, tolerance=args.tolerance, seed=args.seed)
+    for curve in curves:
+        readings = [
+            (p.parameter, None if p.memory_bytes is None else round(p.memory_bytes / BYTES_PER_KB, 1))
+            for p in curve.points
+        ]
+        print(f"R_w={curve.fixed_value}: {readings}")
+
+
+def _cmd_fig15(args) -> None:
+    result = parameters.lambda_sweep(scale=args.scale, seed=args.seed)
+    for dataset_name, points in result.items():
+        readings = [
+            (p.parameter, None if p.memory_bytes is None else round(p.memory_bytes / BYTES_PER_KB, 1))
+            for p in points
+        ]
+        print(f"{dataset_name}: {readings}")
+
+
+def _cmd_fig16(args) -> None:
+    curves = speed.hash_call_profile(scale=args.scale, seed=args.seed)
+    for curve in curves:
+        print(
+            f"{curve.algorithm:>10}: insert={[round(v, 2) for v in curve.insert_calls]} "
+            f"query={[round(v, 2) for v in curve.query_calls]}"
+        )
+
+
+def _cmd_fig17(args) -> None:
+    mice, elephants = sensing.sensed_intervals(scale=args.scale, seed=args.seed)
+    contained = sum(1 for i in mice + elephants if i.contains_truth)
+    print(f"sampled intervals: {len(mice) + len(elephants)}, containing truth: {contained}")
+
+
+def _cmd_fig18(args) -> None:
+    points = sensing.sensed_vs_actual(scale=args.scale, seed=args.seed)
+    for point in points[:20]:
+        print(f"actual={point.actual_error:>4}  sensed(avg)={point.mean_sensed_error:.2f}  keys={point.keys}")
+
+
+def _cmd_fig19(args) -> None:
+    for distribution in sensing.layer_distribution(scale=args.scale, seed=args.seed):
+        print(f"{distribution.memory_bytes / BYTES_PER_KB:.1f}KB: {distribution.keys_per_layer}")
+
+
+def _cmd_fig20(args) -> None:
+    for trace in ("ip", "hadoop"):
+        curve = deployment.testbed_accuracy(trace_name=trace, seed=args.seed)
+        print(f"[{trace}]")
+        for result in curve.results:
+            print(
+                f"  SRAM={result.sram_bytes / BYTES_PER_KB:.1f}KB  outliers={result.outliers}  "
+                f"AAE={result.aae_kbps:.2f}Kbps"
+            )
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "table3": _cmd_table3,
+    "table4": _cmd_table4,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "fig7": _cmd_fig7,
+    "fig8": _cmd_fig8,
+    "fig9": _cmd_fig9,
+    "fig10": _cmd_fig10,
+    "fig11": _cmd_fig11,
+    "fig12": _cmd_fig11,  # same sweep with --target-aae, see parameters.rw_sweep
+    "fig13": _cmd_fig13,
+    "fig14": _cmd_fig13,
+    "fig15": _cmd_fig15,
+    "fig16": _cmd_fig16,
+    "fig17": _cmd_fig17,
+    "fig18": _cmd_fig18,
+    "fig19": _cmd_fig19,
+    "fig20": _cmd_fig20,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``repro-cli`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cli", description="Regenerate tables and figures of the ReliableSketch paper."
+    )
+    parser.add_argument("experiment", choices=sorted(_COMMANDS), help="table/figure to regenerate")
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                        help="stream scale relative to the paper (default: %(default)s)")
+    parser.add_argument("--tolerance", type=float, default=25.0, help="error tolerance Lambda")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    _COMMANDS[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

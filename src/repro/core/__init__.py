@@ -1,0 +1,37 @@
+"""ReliableSketch — the paper's primary contribution.
+
+The public API is :class:`ReliableSketch` plus the configuration and
+analysis helpers:
+
+* :class:`repro.core.bucket.ErrorSensibleBucket` — the election-based basic
+  unit whose ``NO`` counter bounds the collision error (§3.1).
+* :class:`repro.core.config.ReliableConfig` — the double-exponential layer
+  schedule (widths ``w_i`` and lock thresholds ``λ_i``, §3.2).
+* :class:`repro.core.mice_filter.MiceFilter` — the CU-based first-layer
+  replacement that absorbs mice keys (§3.3).
+* :class:`repro.core.emergency.EmergencyStore` — overflow handling for
+  insertion failures (§3.3).
+* :mod:`repro.core.analysis` — the closed-form bounds of §4 (Theorems 4-5)
+  and the complexity comparison of Table 1.
+"""
+
+from repro.core.bucket import ErrorSensibleBucket, BucketQueryResult
+from repro.core.config import ReliableConfig, LayerSpec
+from repro.core.mice_filter import MiceFilter
+from repro.core.emergency import EmergencyStore, ExactEmergencyStore, SpaceSavingEmergencyStore
+from repro.core.reliable_sketch import ReliableSketch, QueryResult
+from repro.core import analysis
+
+__all__ = [
+    "ErrorSensibleBucket",
+    "BucketQueryResult",
+    "ReliableConfig",
+    "LayerSpec",
+    "MiceFilter",
+    "EmergencyStore",
+    "ExactEmergencyStore",
+    "SpaceSavingEmergencyStore",
+    "ReliableSketch",
+    "QueryResult",
+    "analysis",
+]

@@ -1,0 +1,108 @@
+"""The Error-Sensible Bucket (§3.1) — ReliableSketch's basic counting unit.
+
+A bucket holds a candidate key (``ID``) and two vote counters (``YES`` and
+``NO``).  Insertions of the candidate key vote positively, any other key
+votes negatively, and whenever the negative votes catch up with the positive
+votes a *replacement* occurs: the newcomer becomes the candidate and the two
+counters swap.
+
+The crucial property (proved by induction in the paper and by the property
+tests in ``tests/core/test_bucket_properties.py``) is that after any
+insertion sequence:
+
+* if ``ID == e``  then ``f(e) ∈ [YES − NO, YES]``,
+* if ``ID != e``  then ``f(e) ∈ [0, NO]``,
+
+so ``NO`` is always a sound Maximum Possible Error (MPE) for every key, which
+is exactly the error signal ReliableSketch's lock mechanism needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BucketQueryResult:
+    """Result of querying one bucket: an estimate and its error bound."""
+
+    estimate: int
+    mpe: int
+
+    @property
+    def lower_bound(self) -> int:
+        """Guaranteed lower bound on the true value sum."""
+        return max(0, self.estimate - self.mpe)
+
+    @property
+    def upper_bound(self) -> int:
+        """Guaranteed upper bound on the true value sum (the estimate itself)."""
+        return self.estimate
+
+    def contains(self, truth: int) -> bool:
+        """Whether the sensed interval contains a candidate true value."""
+        return self.lower_bound <= truth <= self.upper_bound
+
+
+class ErrorSensibleBucket:
+    """One Error-Sensible Bucket: ``ID`` / ``YES`` / ``NO``.
+
+    The bucket on its own implements the unconstrained insertion of Figures 1
+    and 2; the layer-threshold (lock) logic lives in
+    :class:`repro.core.reliable_sketch.ReliableSketch`, which manipulates the
+    bucket fields directly because the lock decision depends on the layer's
+    threshold ``λ_i``, not on the bucket alone.
+    """
+
+    __slots__ = ("key", "yes", "no")
+
+    def __init__(self) -> None:
+        self.key: object | None = None
+        self.yes: int = 0
+        self.no: int = 0
+
+    # ------------------------------------------------------------------ API
+    def insert(self, key: object, value: int = 1) -> None:
+        """Insert ``<key, value>`` following the voting + replacement rules."""
+        if value <= 0:
+            raise ValueError("inserted value must be positive")
+        if self.key is None:
+            # An empty bucket adopts the first key directly (equivalent to a
+            # negative vote followed by an immediate replacement).
+            self.key = key
+            self.yes = value
+            self.no = 0
+            return
+        if self.key == key:
+            self.yes += value
+            return
+        self.no += value
+        if self.no >= self.yes:
+            self.key = key
+            self.yes, self.no = self.no, self.yes
+
+    def query(self, key: object) -> BucketQueryResult:
+        """Estimate the value sum of ``key`` with its Maximum Possible Error."""
+        if self.key == key:
+            return BucketQueryResult(estimate=self.yes, mpe=self.no)
+        return BucketQueryResult(estimate=self.no, mpe=self.no)
+
+    # ------------------------------------------------------------- helpers
+    @property
+    def is_empty(self) -> bool:
+        """True when the bucket has never absorbed any value."""
+        return self.key is None and self.yes == 0 and self.no == 0
+
+    @property
+    def total_value(self) -> int:
+        """Total value absorbed by this bucket (``YES + NO``)."""
+        return self.yes + self.no
+
+    def clear(self) -> None:
+        """Reset the bucket to its initial empty state."""
+        self.key = None
+        self.yes = 0
+        self.no = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ErrorSensibleBucket(key={self.key!r}, yes={self.yes}, no={self.no})"

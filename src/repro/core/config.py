@@ -1,0 +1,312 @@
+"""Layer configuration: the Double Exponential Control schedule (§3.2).
+
+ReliableSketch has ``d`` layers.  Layer ``i`` (1-indexed) holds
+
+* ``w_i = ceil(W (R_w − 1) / R_w^i)`` Error-Sensible buckets, and
+* a lock threshold ``λ_i = Λ (R_λ − 1) / R_λ^i``.
+
+Both sequences decrease geometrically; their products sum to roughly ``W`` and
+``Λ`` respectively.  The paper proves (Theorem 4) that with this schedule the
+probability that any key escapes all ``d`` layers decays double
+exponentially in ``d``.
+
+Two sizing modes are supported, matching §3.2 "Parameter Configurations":
+
+* **From (N, Λ)** — the recommended practical sizing
+  ``W = (R_w R_λ)^2 / ((R_w−1)(R_λ−1)) · N/Λ``.
+* **From a memory budget** — derive ``Λ`` from the bucket count by the
+  inverse formula, exactly what the paper does when "the memory size is given
+  without a given Λ".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.metrics.memory import RELIABLE_BUCKET
+
+
+#: Paper defaults (§6.1.1): R_w = 2, R_λ = 2.5, d ≥ 7, 20% of memory for the
+#: mice filter, 2-bit filter counters.
+DEFAULT_R_W = 2.0
+DEFAULT_R_LAMBDA = 2.5
+DEFAULT_DEPTH = 12
+MIN_RECOMMENDED_DEPTH = 7
+DEFAULT_MICE_FILTER_FRACTION = 0.20
+DEFAULT_MICE_FILTER_BITS = 2
+DEFAULT_MICE_FILTER_ARRAYS = 2
+
+
+def _fit_filter_bits(requested_bits: int, tolerance: float) -> int:
+    """Shrink the mice-filter counter width so its cap fits the error budget.
+
+    The 2-bit default (cap 3) is tuned for the paper's Λ = 25; with a very
+    tight tolerance a cap of 3 would consume most of the budget, so the
+    counter width is reduced until the cap is at most a quarter of Λ (never
+    below 1 bit).
+    """
+    bits = max(1, requested_bits)
+    while bits > 1 and ((1 << bits) - 1) > tolerance / 4.0:
+        bits -= 1
+    return bits
+
+
+def recommended_total_buckets(total_value: float, tolerance: float,
+                              r_w: float = DEFAULT_R_W,
+                              r_lambda: float = DEFAULT_R_LAMBDA) -> int:
+    """Practical recommended ``W`` for a stream of total value ``N`` (§3.2)."""
+    if total_value <= 0 or tolerance <= 0:
+        raise ValueError("total_value and tolerance must be positive")
+    factor = (r_w * r_lambda) ** 2 / ((r_w - 1.0) * (r_lambda - 1.0))
+    return max(1, math.ceil(factor * total_value / tolerance))
+
+
+def theoretical_total_buckets(total_value: float, tolerance: float,
+                              r_w: float = DEFAULT_R_W,
+                              r_lambda: float = DEFAULT_R_LAMBDA) -> int:
+    """The large-constant ``W`` used in the proofs (Theorem 4)."""
+    if total_value <= 0 or tolerance <= 0:
+        raise ValueError("total_value and tolerance must be positive")
+    factor = 4.0 * (r_w * r_lambda) ** 6 / ((r_w - 1.0) * (r_lambda - 1.0))
+    return max(1, math.ceil(factor * total_value / tolerance))
+
+
+def tolerance_for_buckets(total_value: float, total_buckets: int,
+                          r_w: float = DEFAULT_R_W,
+                          r_lambda: float = DEFAULT_R_LAMBDA) -> float:
+    """Derive Λ when only a memory budget (bucket count) is given (§3.2)."""
+    if total_value <= 0 or total_buckets <= 0:
+        raise ValueError("total_value and total_buckets must be positive")
+    factor = (r_w * r_lambda) ** 2 / ((r_w - 1.0) * (r_lambda - 1.0))
+    return factor * total_value / total_buckets
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Geometry of one layer: its width and lock threshold.
+
+    A threshold of 0 is legal and meaningful: such a layer adds nothing to
+    any key's error (its buckets lock immediately) and only serves to catch
+    keys in empty or matching buckets, which is exactly the role of the
+    deepest layers in the double-exponential schedule.
+    """
+
+    index: int
+    width: int
+    threshold: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("layer width must be positive")
+        if self.threshold < 0:
+            raise ValueError("layer threshold must be non-negative")
+
+
+@dataclass(frozen=True)
+class ReliableConfig:
+    """Complete static configuration of a ReliableSketch instance."""
+
+    layers: tuple[LayerSpec, ...]
+    tolerance: float
+    r_w: float
+    r_lambda: float
+    mice_filter_fraction: float
+    mice_filter_bits: int
+    mice_filter_arrays: int
+    mice_filter_bytes: float
+
+    # ------------------------------------------------------------ factories
+    @classmethod
+    def build(
+        cls,
+        total_buckets: int,
+        tolerance: float,
+        depth: int = DEFAULT_DEPTH,
+        r_w: float = DEFAULT_R_W,
+        r_lambda: float = DEFAULT_R_LAMBDA,
+        mice_filter_fraction: float = 0.0,
+        mice_filter_bits: int = DEFAULT_MICE_FILTER_BITS,
+        mice_filter_arrays: int = DEFAULT_MICE_FILTER_ARRAYS,
+        mice_filter_bytes: float = 0.0,
+        threshold_budget: float | None = None,
+    ) -> "ReliableConfig":
+        """Construct the layer schedule for ``total_buckets`` buckets.
+
+        ``threshold_budget`` is the error mass distributed over the layer
+        thresholds; it defaults to ``tolerance`` but is reduced by the mice
+        filter cap when a filter is enabled, so that the worst-case error
+        (filter cap + Σ λ_i) never exceeds Λ.  Thresholds are floored, so
+        deep layers may have threshold 0 (see :class:`LayerSpec`); the sum
+        of thresholds is therefore strictly below the budget.
+        """
+        if total_buckets <= 0:
+            raise ValueError("total_buckets must be positive")
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        if r_w <= 1.0 or r_lambda <= 1.0:
+            raise ValueError("R_w and R_lambda must be greater than 1")
+        if threshold_budget is None:
+            threshold_budget = tolerance
+        if threshold_budget <= 0:
+            raise ValueError("threshold budget must be positive")
+
+        layers: list[LayerSpec] = []
+        for i in range(1, depth + 1):
+            width = math.ceil(total_buckets * (r_w - 1.0) / (r_w ** i))
+            threshold = math.floor(threshold_budget * (r_lambda - 1.0) / (r_lambda ** i))
+            if width <= 0:
+                break
+            layers.append(LayerSpec(index=i, width=width, threshold=max(0, threshold)))
+        if not layers:
+            layers.append(LayerSpec(index=1, width=total_buckets, threshold=max(1, int(threshold_budget))))
+        return cls(
+            layers=tuple(layers),
+            tolerance=tolerance,
+            r_w=r_w,
+            r_lambda=r_lambda,
+            mice_filter_fraction=mice_filter_fraction,
+            mice_filter_bits=mice_filter_bits,
+            mice_filter_arrays=mice_filter_arrays,
+            mice_filter_bytes=mice_filter_bytes,
+        )
+
+    @classmethod
+    def from_stream_statistics(
+        cls,
+        total_value: float,
+        tolerance: float,
+        depth: int = DEFAULT_DEPTH,
+        r_w: float = DEFAULT_R_W,
+        r_lambda: float = DEFAULT_R_LAMBDA,
+        use_mice_filter: bool = True,
+        mice_filter_fraction: float = DEFAULT_MICE_FILTER_FRACTION,
+    ) -> "ReliableConfig":
+        """Size the sketch from the stream's total value ``N`` and Λ (§3.2)."""
+        total_buckets = recommended_total_buckets(total_value, tolerance, r_w, r_lambda)
+        bucket_bytes = RELIABLE_BUCKET.bytes_for(total_buckets)
+        filter_bytes = 0.0
+        fraction = 0.0
+        threshold_budget = tolerance
+        filter_bits = DEFAULT_MICE_FILTER_BITS
+        if use_mice_filter:
+            fraction = mice_filter_fraction
+            filter_bytes = bucket_bytes * fraction / (1.0 - fraction)
+            filter_bits = _fit_filter_bits(DEFAULT_MICE_FILTER_BITS, tolerance)
+            threshold_budget = max(1.0, tolerance - ((1 << filter_bits) - 1))
+        return cls.build(
+            total_buckets=total_buckets,
+            tolerance=tolerance,
+            depth=depth,
+            r_w=r_w,
+            r_lambda=r_lambda,
+            mice_filter_fraction=fraction,
+            mice_filter_bits=filter_bits,
+            mice_filter_bytes=filter_bytes,
+            threshold_budget=threshold_budget,
+        )
+
+    @classmethod
+    def from_memory(
+        cls,
+        memory_bytes: float,
+        tolerance: float | None = None,
+        total_value: float | None = None,
+        depth: int = DEFAULT_DEPTH,
+        r_w: float = DEFAULT_R_W,
+        r_lambda: float = DEFAULT_R_LAMBDA,
+        use_mice_filter: bool = True,
+        mice_filter_fraction: float = DEFAULT_MICE_FILTER_FRACTION,
+        mice_filter_bits: int = DEFAULT_MICE_FILTER_BITS,
+        mice_filter_arrays: int = DEFAULT_MICE_FILTER_ARRAYS,
+    ) -> "ReliableConfig":
+        """Size the sketch from a memory budget, the paper's usual mode.
+
+        The mice filter takes ``mice_filter_fraction`` of the budget (20 % by
+        default, §6.1.1); the rest is converted into Error-Sensible buckets.
+        If ``tolerance`` is omitted, ``total_value`` (an estimate of the
+        stream's N) must be given so Λ can be derived by the inverse sizing
+        formula.
+        """
+        if memory_bytes <= 0:
+            raise ValueError("memory budget must be positive")
+        fraction = mice_filter_fraction if use_mice_filter else 0.0
+        filter_bytes = memory_bytes * fraction
+        bucket_bytes = memory_bytes - filter_bytes
+        total_buckets = RELIABLE_BUCKET.entries_for(bucket_bytes)
+        if tolerance is None:
+            if total_value is None:
+                raise ValueError("provide tolerance or total_value to derive it")
+            tolerance = tolerance_for_buckets(total_value, total_buckets, r_w, r_lambda)
+        threshold_budget = tolerance
+        if use_mice_filter:
+            mice_filter_bits = _fit_filter_bits(mice_filter_bits, tolerance)
+            threshold_budget = max(1.0, tolerance - ((1 << mice_filter_bits) - 1))
+        return cls.build(
+            total_buckets=total_buckets,
+            tolerance=tolerance,
+            depth=depth,
+            r_w=r_w,
+            r_lambda=r_lambda,
+            mice_filter_fraction=fraction,
+            mice_filter_bits=mice_filter_bits,
+            mice_filter_arrays=mice_filter_arrays,
+            mice_filter_bytes=filter_bytes,
+            threshold_budget=threshold_budget,
+        )
+
+    # ------------------------------------------------------------ properties
+    @property
+    def depth(self) -> int:
+        """Number of bucket layers ``d``."""
+        return len(self.layers)
+
+    @property
+    def total_buckets(self) -> int:
+        """Total Error-Sensible buckets across all layers."""
+        return sum(layer.width for layer in self.layers)
+
+    @property
+    def widths(self) -> tuple[int, ...]:
+        """Layer widths ``w_1 ... w_d``."""
+        return tuple(layer.width for layer in self.layers)
+
+    @property
+    def thresholds(self) -> tuple[int, ...]:
+        """Layer lock thresholds ``λ_1 ... λ_d``."""
+        return tuple(layer.threshold for layer in self.layers)
+
+    @property
+    def threshold_sum(self) -> int:
+        """``Σ λ_i`` — the worst-case in-structure error (≤ Λ by construction)."""
+        return sum(layer.threshold for layer in self.layers)
+
+    @property
+    def bucket_bytes(self) -> float:
+        """Memory consumed by the bucket layers."""
+        return RELIABLE_BUCKET.bytes_for(self.total_buckets)
+
+    @property
+    def memory_bytes(self) -> float:
+        """Total memory: bucket layers plus the mice filter."""
+        return self.bucket_bytes + self.mice_filter_bytes
+
+    @property
+    def use_mice_filter(self) -> bool:
+        """Whether the configuration reserves memory for a mice filter."""
+        return self.mice_filter_bytes > 0
+
+    def describe(self) -> dict:
+        """Dictionary summary used by experiment reports."""
+        return {
+            "depth": self.depth,
+            "widths": list(self.widths),
+            "thresholds": list(self.thresholds),
+            "tolerance": self.tolerance,
+            "r_w": self.r_w,
+            "r_lambda": self.r_lambda,
+            "mice_filter_bytes": self.mice_filter_bytes,
+            "memory_bytes": self.memory_bytes,
+        }

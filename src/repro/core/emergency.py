@@ -1,0 +1,93 @@
+"""Emergency stores for insertion failures (§3.3 and Theorem 4).
+
+If an item's value is not fully absorbed by the ``d`` bucket layers, the
+insertion has *failed*; the paper proves this is extremely unlikely but still
+offers two remedies, both implemented here:
+
+* :class:`ExactEmergencyStore` — a plain hash table recording the exact
+  leftover per key.  Easy on a CPU; unbounded in the worst case but in
+  practice it holds at most a handful of keys.
+* :class:`SpaceSavingEmergencyStore` — the bounded SpaceSaving structure of
+  size ``Δ₂ ln(1/Δ)`` used as the (d+1)-th layer in Theorem 4.
+
+Matching the paper's evaluation, ReliableSketch keeps the emergency layer
+*out* of the accuracy numbers by default (``use_emergency=False``); the
+theory-oriented tests enable it explicitly.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.sketches.spacesaving import SpaceSaving
+
+
+class EmergencyStore(abc.ABC):
+    """Interface of the overflow store appended after the last layer."""
+
+    @abc.abstractmethod
+    def insert(self, key: object, value: int) -> None:
+        """Record leftover value that escaped every bucket layer."""
+
+    @abc.abstractmethod
+    def query(self, key: object) -> int:
+        """Return the stored leftover estimate for ``key`` (0 if absent)."""
+
+    @abc.abstractmethod
+    def memory_bytes(self) -> float:
+        """Memory footprint of the store."""
+
+    @property
+    @abc.abstractmethod
+    def stored_keys(self) -> int:
+        """Number of keys currently held by the store."""
+
+
+class ExactEmergencyStore(EmergencyStore):
+    """Dictionary-backed exact overflow store (the CPU-server remedy)."""
+
+    def __init__(self) -> None:
+        self._table: dict[object, int] = {}
+
+    def insert(self, key: object, value: int) -> None:
+        if value <= 0:
+            raise ValueError("inserted value must be positive")
+        self._table[key] = self._table.get(key, 0) + value
+
+    def query(self, key: object) -> int:
+        return self._table.get(key, 0)
+
+    def memory_bytes(self) -> float:
+        # key (32 bit) + counter (32 bit) per entry, mirroring the C++ layout.
+        return len(self._table) * 8.0
+
+    @property
+    def stored_keys(self) -> int:
+        return len(self._table)
+
+
+class SpaceSavingEmergencyStore(EmergencyStore):
+    """SpaceSaving-backed bounded overflow store (Theorem 4's (d+1)-th layer)."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._summary = SpaceSaving(capacity=capacity)
+
+    def insert(self, key: object, value: int) -> None:
+        self._summary.insert(key, value)
+
+    def query(self, key: object) -> int:
+        return self._summary.query(key)
+
+    def memory_bytes(self) -> float:
+        return self._summary.memory_bytes()
+
+    @property
+    def stored_keys(self) -> int:
+        return len(self._summary.monitored_keys())
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of monitored overflow keys."""
+        return self._summary.capacity

@@ -1,0 +1,109 @@
+"""The mice filter: a saturating CU sketch replacing the first layer (§3.3).
+
+Most keys in a skewed stream are "mice" — their total value is tiny, yet each
+of them casts negative votes that push layer-1 buckets towards their lock
+threshold.  The accuracy optimisation of §3.3 therefore replaces the first
+(largest) layer with a compact CU-style filter whose counters saturate at a
+small cap: mice keys are absorbed entirely by the filter, while any value
+beyond the cap overflows into the Error-Sensible layers.
+
+The filter counter plays the role of a ``NO`` counter: its reading is both an
+estimate contribution and an error contribution, and because it can never
+exceed the cap the extra error it introduces is bounded (the paper's
+"small, manageable errors").  With 2-bit counters (the evaluation default) a
+bucket of the first layer is replaced by a counter 36× narrower.
+"""
+
+from __future__ import annotations
+
+from repro.hashing import HashFamily
+
+
+class MiceFilter:
+    """Saturating conservative-update filter in front of the bucket layers.
+
+    Parameters
+    ----------
+    memory_bytes:
+        Memory reserved for the filter (20 % of the sketch budget by default).
+    counter_bits:
+        Width of each counter; the cap is ``2^bits − 1`` (2 bits → cap 3).
+    arrays:
+        Number of CU arrays (2 in the evaluation, see Figure 16's
+        "2-array mice filter").
+    seed:
+        Hash-family seed.
+    """
+
+    def __init__(self, memory_bytes: float, counter_bits: int = 2, arrays: int = 2,
+                 seed: int = 0) -> None:
+        if memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+        if counter_bits <= 0 or counter_bits > 32:
+            raise ValueError("counter_bits must be in 1..32")
+        if arrays <= 0:
+            raise ValueError("arrays must be positive")
+        total_counters = max(arrays, int(memory_bytes * 8 // counter_bits))
+        self.counter_bits = counter_bits
+        self.cap = (1 << counter_bits) - 1
+        self.arrays = arrays
+        self.width = max(1, total_counters // arrays)
+        self._family = HashFamily(seed)
+        self._hashes = self._family.draw_many(arrays, self.width)
+        self._tables = [[0] * self.width for _ in range(arrays)]
+
+    # ------------------------------------------------------------------ API
+    def absorb(self, key: object, value: int) -> int:
+        """Absorb up to ``cap`` units of ``<key, value>``; return the leftover.
+
+        The filter performs a conservative update towards ``min + taken`` so
+        that, like CU, it never overestimates more than necessary.  The
+        returned leftover (possibly 0) must be inserted into the bucket
+        layers by the caller.
+        """
+        if value <= 0:
+            raise ValueError("inserted value must be positive")
+        indexes = [hash_fn(key) for hash_fn in self._hashes]
+        current = min(table[idx] for table, idx in zip(self._tables, indexes))
+        room = self.cap - current
+        taken = min(value, room)
+        if taken > 0:
+            target = current + taken
+            for table, idx in zip(self._tables, indexes):
+                if table[idx] < target:
+                    table[idx] = target
+        return value - taken
+
+    def query(self, key: object) -> int:
+        """The filter's contribution to the estimate (and to the MPE)."""
+        return min(table[hash_fn(key)] for table, hash_fn in zip(self._tables, self._hashes))
+
+    # ------------------------------------------------------------- helpers
+    def memory_bytes(self) -> float:
+        """Actual memory used by the filter counters."""
+        return self.arrays * self.width * self.counter_bits / 8
+
+    def hash_calls(self) -> int:
+        """Hash evaluations performed so far (2 per filtered operation)."""
+        return self._family.total_calls()
+
+    def reset_hash_calls(self) -> None:
+        """Zero the hash-call counters."""
+        self._family.reset_counters()
+
+    def saturation(self) -> float:
+        """Fraction of counters at the cap — a diagnostic of filter pressure."""
+        total = self.arrays * self.width
+        saturated = sum(
+            1 for table in self._tables for counter in table if counter >= self.cap
+        )
+        return saturated / total if total else 0.0
+
+    def parameters(self) -> dict:
+        """Filter geometry for experiment reports."""
+        return {
+            "arrays": self.arrays,
+            "width": self.width,
+            "counter_bits": self.counter_bits,
+            "cap": self.cap,
+        }

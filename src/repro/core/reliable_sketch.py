@@ -1,0 +1,331 @@
+"""ReliableSketch (§3.2): multi-layer error-controlled stream summary.
+
+The sketch stacks ``d`` layers of Error-Sensible buckets whose widths and
+lock thresholds both shrink geometrically (Double Exponential Control).  An
+item is inserted layer by layer; a bucket whose ``NO`` counter would exceed
+its layer threshold is *locked* and passes only the excess value to the next
+layer, so no bucket's Maximum Possible Error ever exceeds its threshold and
+therefore no key's total error can exceed ``Σ λ_i ≤ Λ`` — unless the item
+escapes all ``d`` layers, which the analysis (§4) shows happens with
+probability at most Δ.
+
+Optional components (both from §3.3):
+
+* a **mice filter** in front of layer 1 (enabled by default, as in §6.1.1);
+* an **emergency store** behind layer ``d`` (disabled by default to match the
+  paper's accuracy evaluation, which counts failures instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bucket import ErrorSensibleBucket
+from repro.core.config import (
+    DEFAULT_DEPTH,
+    DEFAULT_R_LAMBDA,
+    DEFAULT_R_W,
+    ReliableConfig,
+)
+from repro.core.emergency import EmergencyStore, ExactEmergencyStore
+from repro.core.mice_filter import MiceFilter
+from repro.hashing import HashFamily
+from repro.sketches.base import Sketch
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Full query answer: estimate, error bound and the layer reached."""
+
+    estimate: int
+    mpe: int
+    layers_visited: int
+
+    @property
+    def lower_bound(self) -> int:
+        """Guaranteed lower bound on the true value sum."""
+        return max(0, self.estimate - self.mpe)
+
+    @property
+    def upper_bound(self) -> int:
+        """Guaranteed upper bound on the true value sum."""
+        return self.estimate
+
+    def contains(self, truth: int) -> bool:
+        """Whether the sensed interval covers ``truth`` (Figure 17)."""
+        return self.lower_bound <= truth <= self.upper_bound
+
+
+class ReliableSketch(Sketch):
+    """The ReliableSketch stream summary.
+
+    Construct either from an explicit :class:`ReliableConfig`, from stream
+    statistics (:meth:`from_stream`), or from a memory budget
+    (:meth:`from_memory`) the way the paper's experiments do.
+    """
+
+    name = "Ours"
+
+    def __init__(
+        self,
+        config: ReliableConfig,
+        seed: int = 0,
+        emergency: EmergencyStore | None = None,
+        use_emergency: bool = False,
+    ) -> None:
+        self.config = config
+        self.seed = seed
+        self._family = HashFamily(seed)
+        self._hashes = [self._family.draw(layer.width) for layer in config.layers]
+        self._layers = [
+            [ErrorSensibleBucket() for _ in range(layer.width)] for layer in config.layers
+        ]
+        self._thresholds = [layer.threshold for layer in config.layers]
+        self._filter: MiceFilter | None = None
+        if config.use_mice_filter:
+            self._filter = MiceFilter(
+                config.mice_filter_bytes,
+                counter_bits=config.mice_filter_bits,
+                arrays=config.mice_filter_arrays,
+                seed=seed + 1,
+            )
+        self.use_emergency = use_emergency or emergency is not None
+        self._emergency: EmergencyStore | None = emergency
+        if self.use_emergency and self._emergency is None:
+            self._emergency = ExactEmergencyStore()
+        # --- statistics -------------------------------------------------
+        #: Number of insert operations whose value was not fully absorbed.
+        self.insert_failures = 0
+        #: Total value that escaped all layers (dropped or sent to emergency).
+        self.failed_value = 0
+        #: items_settled_at[i] counts inserts that terminated in layer i+1
+        #: (index depth means "filter only"); used by Figure 19a.
+        self.inserts_settled_per_layer = [0] * (config.depth + 1)
+        self._insert_count = 0
+        self._query_count = 0
+
+    # ------------------------------------------------------------ factories
+    @classmethod
+    def from_stream(
+        cls,
+        total_value: float,
+        tolerance: float,
+        depth: int = DEFAULT_DEPTH,
+        r_w: float = DEFAULT_R_W,
+        r_lambda: float = DEFAULT_R_LAMBDA,
+        use_mice_filter: bool = True,
+        seed: int = 0,
+        use_emergency: bool = False,
+    ) -> "ReliableSketch":
+        """Size the sketch from the stream's total value ``N`` and Λ."""
+        config = ReliableConfig.from_stream_statistics(
+            total_value=total_value,
+            tolerance=tolerance,
+            depth=depth,
+            r_w=r_w,
+            r_lambda=r_lambda,
+            use_mice_filter=use_mice_filter,
+        )
+        return cls(config, seed=seed, use_emergency=use_emergency)
+
+    @classmethod
+    def from_memory(
+        cls,
+        memory_bytes: float,
+        tolerance: float | None = None,
+        total_value: float | None = None,
+        depth: int = DEFAULT_DEPTH,
+        r_w: float = DEFAULT_R_W,
+        r_lambda: float = DEFAULT_R_LAMBDA,
+        use_mice_filter: bool = True,
+        seed: int = 0,
+        use_emergency: bool = False,
+    ) -> "ReliableSketch":
+        """Size the sketch from a memory budget (the experiments' usual mode).
+
+        When ``tolerance`` is omitted, the paper's default Λ = 25 is used
+        unless ``total_value`` is supplied, in which case Λ is derived from
+        the sizing formula of §3.2.
+        """
+        if tolerance is None and total_value is None:
+            tolerance = 25.0  # Paper default (§6.1.1).
+        config = ReliableConfig.from_memory(
+            memory_bytes=memory_bytes,
+            tolerance=tolerance,
+            total_value=total_value,
+            depth=depth,
+            r_w=r_w,
+            r_lambda=r_lambda,
+            use_mice_filter=use_mice_filter,
+        )
+        return cls(config, seed=seed, use_emergency=use_emergency)
+
+    # ------------------------------------------------------------ insertion
+    def insert(self, key: object, value: int = 1) -> None:
+        """Insert ``<key, value>`` (Algorithm 1, plus filter and emergency)."""
+        self._check_insert(value)
+        self._insert_count += 1
+        remaining = value
+        if self._filter is not None:
+            remaining = self._filter.absorb(key, remaining)
+            if remaining == 0:
+                self.inserts_settled_per_layer[self.config.depth] += 1
+                return
+
+        for layer_index, (buckets, hash_fn, threshold) in enumerate(
+            zip(self._layers, self._hashes, self._thresholds)
+        ):
+            bucket = buckets[hash_fn(key)]
+            if bucket.key is None:
+                # Empty bucket: adopt the key outright (first arrival).
+                bucket.key = key
+                bucket.yes = remaining
+                bucket.no = 0
+                self.inserts_settled_per_layer[layer_index] += 1
+                return
+            if bucket.key == key:
+                bucket.yes += remaining
+                self.inserts_settled_per_layer[layer_index] += 1
+                return
+            if bucket.no + remaining > threshold and bucket.yes > threshold:
+                # Lock triggered: absorb only what keeps NO at the threshold,
+                # and push the excess to the next layer.
+                absorbed = threshold - bucket.no
+                if absorbed > 0:
+                    bucket.no = threshold
+                    remaining -= absorbed
+                continue
+            # Normal negative vote, possibly followed by a replacement.
+            bucket.no += remaining
+            if bucket.no >= bucket.yes:
+                bucket.key = key
+                bucket.yes, bucket.no = bucket.no, bucket.yes
+            self.inserts_settled_per_layer[layer_index] += 1
+            return
+
+        # Value survived every layer: insertion failure (§3.2).
+        self.insert_failures += 1
+        self.failed_value += remaining
+        if self._emergency is not None:
+            self._emergency.insert(key, remaining)
+
+    # -------------------------------------------------------------- queries
+    def query_with_error(self, key: object) -> QueryResult:
+        """Estimate ``f(key)`` together with its Maximum Possible Error.
+
+        Implements Algorithm 2: accumulate layer readings until a stopping
+        condition shows the key cannot have reached deeper layers.
+        """
+        self._query_count += 1
+        estimate = 0
+        mpe = 0
+        if self._filter is not None:
+            filtered = self._filter.query(key)
+            estimate += filtered
+            mpe += filtered
+
+        layers_visited = 0
+        for buckets, hash_fn, threshold in zip(self._layers, self._hashes, self._thresholds):
+            bucket = buckets[hash_fn(key)]
+            layers_visited += 1
+            if bucket.key == key:
+                estimate += bucket.yes
+            else:
+                estimate += bucket.no
+            mpe += bucket.no
+            if bucket.no < threshold or bucket.yes == bucket.no or bucket.key == key:
+                break
+        if self._emergency is not None:
+            estimate += self._emergency.query(key)
+        return QueryResult(estimate=estimate, mpe=mpe, layers_visited=layers_visited)
+
+    def query(self, key: object) -> int:
+        """Estimated value sum of ``key`` (the point estimate only)."""
+        return self.query_with_error(key).estimate
+
+    def sensed_error(self, key: object) -> int:
+        """The Maximum Possible Error the sketch reports for ``key``."""
+        return self.query_with_error(key).mpe
+
+    # --------------------------------------------------------- introspection
+    @property
+    def depth(self) -> int:
+        """Number of bucket layers."""
+        return self.config.depth
+
+    @property
+    def tolerance(self) -> float:
+        """The configured error tolerance Λ."""
+        return self.config.tolerance
+
+    @property
+    def has_mice_filter(self) -> bool:
+        """Whether the mice filter is enabled."""
+        return self._filter is not None
+
+    @property
+    def mice_filter(self) -> MiceFilter | None:
+        """The mice filter instance (None when disabled)."""
+        return self._filter
+
+    @property
+    def emergency(self) -> EmergencyStore | None:
+        """The emergency store instance (None when disabled)."""
+        return self._emergency
+
+    @property
+    def guarantee_intact(self) -> bool:
+        """True while no insertion failure has occurred (zero-outlier regime).
+
+        With the emergency store enabled the guarantee also survives
+        failures, because the overflow value is still recorded exactly.
+        """
+        return self.insert_failures == 0 or self._emergency is not None
+
+    def layer_occupancy(self) -> list[float]:
+        """Fraction of non-empty buckets per layer (diagnostics)."""
+        occupancy = []
+        for buckets in self._layers:
+            filled = sum(1 for bucket in buckets if not bucket.is_empty)
+            occupancy.append(filled / len(buckets))
+        return occupancy
+
+    def locked_buckets(self) -> list[int]:
+        """Number of locked buckets per layer (NO at threshold, YES above it)."""
+        counts = []
+        for buckets, threshold in zip(self._layers, self._thresholds):
+            counts.append(
+                sum(1 for b in buckets if b.no >= threshold and b.yes > threshold)
+            )
+        return counts
+
+    def settled_layer_of(self, key: object) -> int:
+        """The deepest layer a query for ``key`` needs to visit (1-indexed)."""
+        return self.query_with_error(key).layers_visited
+
+    def memory_bytes(self) -> float:
+        total = self.config.bucket_bytes
+        if self._filter is not None:
+            total += self._filter.memory_bytes()
+        return total
+
+    def hash_calls(self) -> int:
+        total = self._family.total_calls()
+        if self._filter is not None:
+            total += self._filter.hash_calls()
+        return total
+
+    def reset_hash_calls(self) -> None:
+        self._family.reset_counters()
+        if self._filter is not None:
+            self._filter.reset_hash_calls()
+
+    def operation_counts(self) -> tuple[int, int]:
+        """Number of insert and query operations performed so far."""
+        return self._insert_count, self._query_count
+
+    def parameters(self) -> dict:
+        params = self.config.describe()
+        params["use_mice_filter"] = self.has_mice_filter
+        params["use_emergency"] = self._emergency is not None
+        return params

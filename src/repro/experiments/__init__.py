@@ -1,0 +1,47 @@
+"""Experiment harness: one function per table/figure of the paper.
+
+All experiments accept a ``scale`` parameter.  ``scale=1.0`` reproduces the
+paper's stream sizes (10 M items); the defaults used here are much smaller so
+the pure-Python harness runs in seconds, and memory budgets are scaled down
+proportionally so collision pressure — and therefore the qualitative shape of
+every figure — is preserved.  See DESIGN.md §3 for the experiment index and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.experiments.datasets import dataset, dataset_names, scaled_memory_points
+from repro.experiments.runner import (
+    ExperimentSettings,
+    SketchRun,
+    run_sketch,
+    run_competitors,
+    minimum_memory_for_zero_outliers,
+    minimum_memory_for_target_aae,
+)
+from repro.experiments import (
+    deployment,
+    error,
+    outliers,
+    parameters,
+    sensing,
+    speed,
+    tables,
+)
+
+__all__ = [
+    "dataset",
+    "dataset_names",
+    "scaled_memory_points",
+    "ExperimentSettings",
+    "SketchRun",
+    "run_sketch",
+    "run_competitors",
+    "minimum_memory_for_zero_outliers",
+    "minimum_memory_for_target_aae",
+    "deployment",
+    "error",
+    "outliers",
+    "parameters",
+    "sensing",
+    "speed",
+    "tables",
+]

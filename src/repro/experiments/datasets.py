@@ -1,0 +1,58 @@
+"""Datasets used by the experiments, addressed by the paper's names.
+
+`dataset(name, scale, seed)` returns the surrogate stream for any workload
+referenced in §6: the four trace surrogates plus Zipf synthetic streams with
+configurable skew ("zipf-0.3", "zipf-3.0", ...).  Streams are cached per
+(name, scale, seed) because several experiments reuse the same workload and
+regenerating a few hundred thousand items repeatedly would dominate runtime.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.metrics.memory import BYTES_PER_MB
+from repro.streams.items import Stream
+from repro.streams.synthetic import zipf_stream
+from repro.streams.traces import load_trace
+
+#: Default scale for experiments and benchmarks: 1% of the paper's streams.
+DEFAULT_SCALE = 0.01
+
+#: Item count of the paper's synthetic Zipf datasets (32 M items, §6.1.2).
+_ZIPF_PAPER_ITEMS = 32_000_000
+#: Key universe used for the synthetic datasets at scale 1.0.
+_ZIPF_PAPER_UNIVERSE = 1_000_000
+
+_TRACE_NAMES = ("ip", "web", "datacenter", "hadoop")
+
+
+def dataset_names() -> tuple[str, ...]:
+    """Workload names accepted by :func:`dataset`."""
+    return _TRACE_NAMES + ("zipf-0.3", "zipf-3.0")
+
+
+@lru_cache(maxsize=32)
+def dataset(name: str, scale: float = DEFAULT_SCALE, seed: int = 1) -> Stream:
+    """Return the surrogate stream for a workload referenced in the paper."""
+    if name in _TRACE_NAMES:
+        return load_trace(name, scale=scale, seed=seed)
+    if name.startswith("zipf-"):
+        try:
+            skew = float(name.split("-", 1)[1])
+        except ValueError:
+            raise ValueError(f"malformed zipf dataset name: {name!r}") from None
+        count = max(1, int(_ZIPF_PAPER_ITEMS * scale))
+        universe = max(2, int(_ZIPF_PAPER_UNIVERSE * scale))
+        return zipf_stream(count, skew=skew, universe=universe, seed=seed)
+    raise ValueError(f"unknown dataset {name!r}; expected one of {dataset_names()}")
+
+
+def scaled_memory_points(paper_megabytes: list[float], scale: float = DEFAULT_SCALE) -> list[float]:
+    """Convert the paper's memory sweep (in MB) to bytes at the given scale.
+
+    Memory budgets shrink with the stream so that the ratio of sketch size to
+    stream size — which determines collision pressure and therefore the shape
+    of every accuracy figure — matches the paper's setup.
+    """
+    return [max(512.0, megabytes * BYTES_PER_MB * scale) for megabytes in paper_megabytes]

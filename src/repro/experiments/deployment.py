@@ -1,0 +1,63 @@
+"""Testbed deployment experiment: Figure 20 (§6.5.3).
+
+Drives :class:`repro.hardware.testbed.TestbedDeployment` over the SRAM sizes
+the paper reports (92-736 KB for the IP trace, 23-184 KB for Hadoop), scaled
+down with the stream so collision pressure matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.testbed import TestbedDeployment, TestbedResult
+from repro.metrics.memory import BYTES_PER_KB
+
+#: SRAM sweeps of Figure 20 in KB at paper scale.
+PAPER_SRAM_SWEEP_KB = {
+    "ip": [92.0, 184.0, 368.0, 736.0],
+    "hadoop": [23.0, 46.0, 92.0, 184.0],
+}
+
+#: Paper packet counts for the testbed replays (40 M packets selected from
+#: each trace); the surrogate scale is applied to this number.
+PAPER_TESTBED_PACKETS = 40_000_000
+
+
+@dataclass(frozen=True)
+class DeploymentCurve:
+    """One panel of Figure 20: SRAM sweep results for one trace."""
+
+    trace: str
+    results: list[TestbedResult]
+
+    def zero_outlier_sram(self) -> float | None:
+        """Smallest swept SRAM with zero outliers, if any."""
+        for result in self.results:
+            if result.outliers == 0:
+                return result.sram_bytes
+        return None
+
+
+def testbed_accuracy(
+    trace_name: str = "ip",
+    scale: float = 0.005,
+    sram_kilobytes: list[float] | None = None,
+    seed: int = 0,
+) -> DeploymentCurve:
+    """Accuracy of the switch deployment vs SRAM size (one Figure 20 panel).
+
+    ``scale`` applies both to the packet count (relative to the paper's 40 M)
+    and to the SRAM sizes, preserving the memory-to-traffic ratio.
+    """
+    if sram_kilobytes is None:
+        sram_kilobytes = PAPER_SRAM_SWEEP_KB.get(trace_name, PAPER_SRAM_SWEEP_KB["ip"])
+    # The testbed replays 40 M packets whereas the trace surrogates are sized
+    # against 10 M; rescale so `scale` means "fraction of the paper's replay".
+    trace_scale = scale * (PAPER_TESTBED_PACKETS / 10_000_000)
+    deployment = TestbedDeployment(trace_name=trace_name, scale=trace_scale, seed=seed)
+    # SRAM budgets shrink with the same factor as the replayed traffic so the
+    # memory-to-traffic ratio of each swept point matches the paper's.
+    sram_bytes = [
+        max(128.0, kilobytes * BYTES_PER_KB * trace_scale) for kilobytes in sram_kilobytes
+    ]
+    return DeploymentCurve(trace=trace_name, results=deployment.sweep(sram_bytes))

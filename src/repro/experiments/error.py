@@ -1,0 +1,52 @@
+"""Average-error experiments: Figures 8 (AAE) and 9 (ARE).
+
+Average error is not the paper's primary metric, but Figures 8 and 9 show
+ReliableSketch is comparable to the best counter-based competitors and far
+better than SpaceSaving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.datasets import DEFAULT_SCALE, dataset, scaled_memory_points
+from repro.experiments.outliers import PAPER_MEMORY_SWEEP_MB
+from repro.experiments.runner import ExperimentSettings, run_competitors
+from repro.sketches.registry import competitor_names
+
+
+@dataclass(frozen=True)
+class ErrorCurve:
+    """One line of an error-vs-memory plot (AAE or ARE)."""
+
+    algorithm: str
+    memory_bytes: list[float]
+    aae: list[float]
+    are: list[float]
+
+
+def average_error_sweep(
+    dataset_name: str = "ip",
+    tolerance: float = 25.0,
+    scale: float = DEFAULT_SCALE,
+    memory_points: list[float] | None = None,
+    algorithms: tuple[str, ...] | None = None,
+    seed: int = 0,
+) -> list[ErrorCurve]:
+    """AAE and ARE as a function of memory (Figures 8 and 9)."""
+    stream = dataset(dataset_name, scale=scale, seed=seed + 1)
+    if memory_points is None:
+        memory_points = scaled_memory_points(PAPER_MEMORY_SWEEP_MB, scale)
+    algorithms = algorithms or competitor_names("error")
+    settings = ExperimentSettings(tolerance=tolerance, seed=seed)
+
+    aae: dict[str, list[float]] = {name: [] for name in algorithms}
+    are: dict[str, list[float]] = {name: [] for name in algorithms}
+    for memory in memory_points:
+        runs = run_competitors(algorithms, memory, stream, settings)
+        for name, run in runs.items():
+            aae[name].append(run.aae)
+            are[name].append(run.are)
+    return [
+        ErrorCurve(name, list(memory_points), aae[name], are[name]) for name in algorithms
+    ]

@@ -1,0 +1,127 @@
+"""Outlier-count experiments: Figures 4, 5, 6 and 7.
+
+These are the paper's headline accuracy results: under the same memory
+budget, ReliableSketch drives the number of outliers to zero while the
+counter-based competitors keep thousands of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.datasets import DEFAULT_SCALE, dataset, scaled_memory_points
+from repro.experiments.runner import (
+    ExperimentSettings,
+    minimum_memory_for_zero_outliers,
+    run_competitors,
+)
+from repro.sketches.registry import competitor_names
+
+#: Memory sweep of Figures 4 and 6 (MB at paper scale).
+PAPER_MEMORY_SWEEP_MB = [0.5, 1.0, 2.0, 3.0, 4.0]
+
+
+@dataclass(frozen=True)
+class OutlierCurve:
+    """One line of an outliers-vs-memory plot."""
+
+    algorithm: str
+    memory_bytes: list[float]
+    outliers: list[int]
+
+    def zero_outlier_memory(self) -> float | None:
+        """Smallest swept memory with zero outliers, if any."""
+        for memory, outliers in zip(self.memory_bytes, self.outliers):
+            if outliers == 0:
+                return memory
+        return None
+
+
+def outliers_vs_memory(
+    dataset_name: str = "ip",
+    tolerance: float = 25.0,
+    scale: float = DEFAULT_SCALE,
+    memory_points: list[float] | None = None,
+    algorithms: tuple[str, ...] | None = None,
+    seed: int = 0,
+) -> list[OutlierCurve]:
+    """#Outliers as a function of memory (Figure 4 for Λ∈{5,25}, Figure 6 per dataset)."""
+    stream = dataset(dataset_name, scale=scale, seed=seed + 1)
+    if memory_points is None:
+        memory_points = scaled_memory_points(PAPER_MEMORY_SWEEP_MB, scale)
+    algorithms = algorithms or competitor_names("outliers")
+    settings = ExperimentSettings(tolerance=tolerance, seed=seed)
+
+    per_algorithm: dict[str, list[int]] = {name: [] for name in algorithms}
+    for memory in memory_points:
+        runs = run_competitors(algorithms, memory, stream, settings)
+        for name, run in runs.items():
+            per_algorithm[name].append(run.outliers)
+    return [
+        OutlierCurve(name, list(memory_points), counts)
+        for name, counts in per_algorithm.items()
+    ]
+
+
+def zero_outlier_memory(
+    dataset_names: tuple[str, ...] = ("ip", "web"),
+    tolerance: float = 25.0,
+    scale: float = DEFAULT_SCALE,
+    algorithms: tuple[str, ...] = ("Ours", "CM_acc", "CU_acc", "SS", "Elastic"),
+    seed: int = 0,
+    high_megabytes: float = 10.0,
+) -> dict[str, dict[str, float | None]]:
+    """Minimum memory to reach zero outliers, per dataset and algorithm (Figure 5).
+
+    ``None`` means the algorithm could not reach zero outliers within the
+    (scaled) 10 MB search limit, matching the paper's observation for the
+    fast CM/CU variants and Coco.
+    """
+    settings = ExperimentSettings(tolerance=tolerance, seed=seed)
+    high_bytes = scaled_memory_points([high_megabytes], scale)[0]
+    low_bytes = max(512.0, high_bytes / 2048)
+    results: dict[str, dict[str, float | None]] = {}
+    for dataset_name in dataset_names:
+        stream = dataset(dataset_name, scale=scale, seed=seed + 1)
+        per_algorithm: dict[str, float | None] = {}
+        for algorithm in algorithms:
+            per_algorithm[algorithm] = minimum_memory_for_zero_outliers(
+                algorithm, stream, settings, low_bytes=low_bytes, high_bytes=high_bytes
+            )
+        results[dataset_name] = per_algorithm
+    return results
+
+
+def frequent_key_outliers(
+    threshold: int = 100,
+    dataset_name: str = "ip",
+    tolerance: float = 25.0,
+    scale: float = DEFAULT_SCALE,
+    memory_points: list[float] | None = None,
+    repetitions: int = 3,
+    seed: int = 0,
+) -> list[OutlierCurve]:
+    """Worst-case #outliers among frequent keys over repeated seeds (Figure 7).
+
+    The paper repeats each setting 100 times with different hash seeds and
+    plots the worst case; ``repetitions`` controls how many seeds we try (the
+    benchmarks use a small number to stay fast, the CLI can raise it).
+    """
+    stream = dataset(dataset_name, scale=scale, seed=seed + 1)
+    frequent = stream.frequent_keys(threshold)
+    if memory_points is None:
+        memory_points = scaled_memory_points([0.2, 0.5, 1.0, 2.0, 4.0], scale)
+    algorithms = competitor_names("frequent")
+
+    curves: list[OutlierCurve] = []
+    for name in algorithms:
+        worst_counts: list[int] = []
+        for memory in memory_points:
+            worst = 0
+            for repetition in range(repetitions):
+                settings = ExperimentSettings(tolerance=tolerance, seed=seed + repetition)
+                run = run_competitors((name,), memory, stream, settings, keys=frequent)[name]
+                worst = max(worst, run.outliers)
+            worst_counts.append(worst)
+        curves.append(OutlierCurve(name, list(memory_points), worst_counts))
+    return curves

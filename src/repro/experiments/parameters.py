@@ -1,0 +1,183 @@
+"""Parameter-impact experiments: Figures 11-15 (§6.4).
+
+The paper sweeps the two geometric ratios (R_w, R_λ) and the error tolerance
+Λ, reporting (a) the minimum memory achieving zero outliers and (b) the
+minimum memory achieving a target AAE.  The sweeps below reproduce both
+memory-search modes for arbitrary parameter grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.datasets import DEFAULT_SCALE, dataset, scaled_memory_points
+from repro.experiments.runner import ExperimentSettings
+from repro.core.reliable_sketch import ReliableSketch
+from repro.metrics.accuracy import evaluate_accuracy
+from repro.streams.items import Stream
+
+
+@dataclass(frozen=True)
+class ParameterPoint:
+    """One point of a parameter sweep: the parameter value and the memory found."""
+
+    parameter: float
+    memory_bytes: float | None
+
+
+@dataclass(frozen=True)
+class ParameterCurve:
+    """One line of Figures 11-14: sweep of one parameter at a fixed other."""
+
+    fixed_name: str
+    fixed_value: float
+    points: list[ParameterPoint]
+
+
+def _search_memory(
+    stream: Stream,
+    predicate,
+    low_bytes: float,
+    high_bytes: float,
+    relative_precision: float = 0.08,
+    max_iterations: int = 18,
+) -> float | None:
+    """Binary-search the smallest memory for which ``predicate(memory)`` holds."""
+    if not predicate(high_bytes):
+        return None
+    if predicate(low_bytes):
+        return low_bytes
+    low, high = low_bytes, high_bytes
+    for _ in range(max_iterations):
+        if (high - low) / high <= relative_precision:
+            break
+        middle = (low + high) / 2
+        if predicate(middle):
+            high = middle
+        else:
+            low = middle
+    return high
+
+
+def _reliable_zero_outlier_predicate(stream: Stream, tolerance: float, r_w: float,
+                                     r_lambda: float, seed: int):
+    """Predicate: a ReliableSketch with these ratios has zero outliers."""
+
+    counts = stream.counts()
+
+    def predicate(memory_bytes: float) -> bool:
+        sketch = ReliableSketch.from_memory(
+            memory_bytes, tolerance=tolerance, r_w=r_w, r_lambda=r_lambda, seed=seed
+        )
+        sketch.insert_stream(stream)
+        report = evaluate_accuracy(counts, sketch.query, tolerance)
+        return report.outliers == 0
+
+    return predicate
+
+
+def _reliable_aae_predicate(stream: Stream, tolerance: float, r_w: float,
+                            r_lambda: float, target_aae: float, seed: int):
+    """Predicate: a ReliableSketch with these ratios reaches the target AAE."""
+
+    counts = stream.counts()
+
+    def predicate(memory_bytes: float) -> bool:
+        sketch = ReliableSketch.from_memory(
+            memory_bytes, tolerance=tolerance, r_w=r_w, r_lambda=r_lambda, seed=seed
+        )
+        sketch.insert_stream(stream)
+        report = evaluate_accuracy(counts, sketch.query, tolerance)
+        return report.aae <= target_aae
+
+    return predicate
+
+
+def _sweep(
+    stream: Stream,
+    swept_values: list[float],
+    fixed_name: str,
+    fixed_value: float,
+    tolerance: float,
+    target_aae: float | None,
+    scale: float,
+    seed: int,
+) -> ParameterCurve:
+    """Shared sweep over one geometric ratio with the other held fixed."""
+    high_bytes = scaled_memory_points([10.0], scale)[0]
+    low_bytes = max(512.0, high_bytes / 2048)
+    points: list[ParameterPoint] = []
+    for value in swept_values:
+        r_w = fixed_value if fixed_name == "r_w" else value
+        r_lambda = fixed_value if fixed_name == "r_lambda" else value
+        if target_aae is None:
+            predicate = _reliable_zero_outlier_predicate(stream, tolerance, r_w, r_lambda, seed)
+        else:
+            predicate = _reliable_aae_predicate(stream, tolerance, r_w, r_lambda, target_aae, seed)
+        memory = _search_memory(stream, predicate, low_bytes, high_bytes)
+        points.append(ParameterPoint(parameter=value, memory_bytes=memory))
+    return ParameterCurve(fixed_name=fixed_name, fixed_value=fixed_value, points=points)
+
+
+def rw_sweep(
+    dataset_name: str = "ip",
+    r_w_values: list[float] | None = None,
+    r_lambda_values: list[float] | None = None,
+    tolerance: float = 25.0,
+    target_aae: float | None = None,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+) -> list[ParameterCurve]:
+    """Memory vs ``R_w`` for several fixed ``R_λ`` (Figure 11 zero-outlier, Figure 12 AAE)."""
+    stream = dataset(dataset_name, scale=scale, seed=seed + 1)
+    r_w_values = r_w_values or [1.4, 2.0, 4.0, 9.0, 12.5]
+    r_lambda_values = r_lambda_values or [1.4, 2.0, 4.0, 9.0]
+    return [
+        _sweep(stream, r_w_values, "r_lambda", fixed, tolerance, target_aae, scale, seed)
+        for fixed in r_lambda_values
+    ]
+
+
+def rlambda_sweep(
+    dataset_name: str = "ip",
+    r_lambda_values: list[float] | None = None,
+    r_w_values: list[float] | None = None,
+    tolerance: float = 25.0,
+    target_aae: float | None = None,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+) -> list[ParameterCurve]:
+    """Memory vs ``R_λ`` for several fixed ``R_w`` (Figure 13 zero-outlier, Figure 14 AAE)."""
+    stream = dataset(dataset_name, scale=scale, seed=seed + 1)
+    r_lambda_values = r_lambda_values or [1.4, 2.0, 4.0, 9.0, 12.5]
+    r_w_values = r_w_values or [1.4, 2.0, 4.0, 9.0]
+    return [
+        _sweep(stream, r_lambda_values, "r_w", fixed, tolerance, target_aae, scale, seed)
+        for fixed in r_w_values
+    ]
+
+
+def lambda_sweep(
+    dataset_names: tuple[str, ...] = ("ip", "web"),
+    tolerances: list[float] | None = None,
+    target_aae: float | None = None,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+) -> dict[str, list[ParameterPoint]]:
+    """Memory vs error tolerance Λ (Figure 15a zero-outlier, Figure 15b target AAE)."""
+    tolerances = tolerances or [25.0, 50.0, 75.0, 100.0]
+    high_bytes = scaled_memory_points([10.0], scale)[0]
+    low_bytes = max(512.0, high_bytes / 2048)
+    results: dict[str, list[ParameterPoint]] = {}
+    for dataset_name in dataset_names:
+        stream = dataset(dataset_name, scale=scale, seed=seed + 1)
+        points: list[ParameterPoint] = []
+        for tolerance in tolerances:
+            if target_aae is None:
+                predicate = _reliable_zero_outlier_predicate(stream, tolerance, 2.0, 2.5, seed)
+            else:
+                predicate = _reliable_aae_predicate(stream, tolerance, 2.0, 2.5, target_aae, seed)
+            memory = _search_memory(stream, predicate, low_bytes, high_bytes)
+            points.append(ParameterPoint(parameter=tolerance, memory_bytes=memory))
+        results[dataset_name] = points
+    return results

@@ -1,0 +1,155 @@
+"""Shared experiment machinery: run a sketch on a stream and measure it.
+
+Every figure of §6 boils down to some combination of the helpers here:
+
+* :func:`run_sketch` — build an algorithm for a memory budget, feed it a
+  stream and evaluate its accuracy against the ground truth.
+* :func:`run_competitors` — the same, for a whole competitor group.
+* :func:`minimum_memory_for_zero_outliers` /
+  :func:`minimum_memory_for_target_aae` — the memory-search loops behind
+  Figures 5 and 11–15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.metrics.accuracy import AccuracyReport, evaluate_accuracy
+from repro.sketches.base import Sketch
+from repro.sketches.registry import build_sketch
+from repro.streams.items import Stream
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs shared by most experiments."""
+
+    tolerance: float = 25.0
+    seed: int = 0
+    #: Extra keyword arguments forwarded to the sketch constructors.
+    sketch_kwargs: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SketchRun:
+    """Result of running one algorithm once on one stream."""
+
+    algorithm: str
+    memory_bytes: float
+    report: AccuracyReport
+    sketch: Sketch
+
+    @property
+    def outliers(self) -> int:
+        """#Outliers of this run (paper's primary accuracy metric)."""
+        return self.report.outliers
+
+    @property
+    def aae(self) -> float:
+        """Average absolute error of this run."""
+        return self.report.aae
+
+    @property
+    def are(self) -> float:
+        """Average relative error of this run."""
+        return self.report.are
+
+
+def _sketch_factory(name: str, settings: ExperimentSettings) -> Callable[[float], Sketch]:
+    """Factory building algorithm ``name`` for an arbitrary memory budget."""
+
+    def build(memory_bytes: float) -> Sketch:
+        return build_sketch(name, memory_bytes, seed=settings.seed, **settings.sketch_kwargs)
+
+    return build
+
+
+def run_sketch(
+    name: str,
+    memory_bytes: float,
+    stream: Stream,
+    settings: ExperimentSettings | None = None,
+    keys: Iterable[object] | None = None,
+) -> SketchRun:
+    """Build, fill and evaluate one algorithm on one stream."""
+    settings = settings or ExperimentSettings()
+    sketch = _sketch_factory(name, settings)(memory_bytes)
+    sketch.insert_stream(stream)
+    report = evaluate_accuracy(stream.counts(), sketch.query, settings.tolerance, keys=keys)
+    return SketchRun(algorithm=name, memory_bytes=memory_bytes, report=report, sketch=sketch)
+
+
+def run_competitors(
+    names: Sequence[str],
+    memory_bytes: float,
+    stream: Stream,
+    settings: ExperimentSettings | None = None,
+    keys: Iterable[object] | None = None,
+) -> dict[str, SketchRun]:
+    """Run every algorithm in ``names`` under the same memory budget."""
+    return {
+        name: run_sketch(name, memory_bytes, stream, settings, keys) for name in names
+    }
+
+
+def _search_minimum_memory(
+    evaluate: Callable[[float], bool],
+    low_bytes: float,
+    high_bytes: float,
+    relative_precision: float = 0.05,
+    max_iterations: int = 24,
+) -> float | None:
+    """Binary-search the smallest memory budget for which ``evaluate`` is True.
+
+    Returns ``None`` when even ``high_bytes`` does not satisfy the predicate —
+    the paper reports such cases as "cannot achieve zero outliers within X MB".
+    """
+    if not evaluate(high_bytes):
+        return None
+    if evaluate(low_bytes):
+        return low_bytes
+    low, high = low_bytes, high_bytes
+    for _ in range(max_iterations):
+        if (high - low) / high <= relative_precision:
+            break
+        middle = (low + high) / 2
+        if evaluate(middle):
+            high = middle
+        else:
+            low = middle
+    return high
+
+
+def minimum_memory_for_zero_outliers(
+    name: str,
+    stream: Stream,
+    settings: ExperimentSettings | None = None,
+    low_bytes: float = 1024.0,
+    high_bytes: float = 64 * 1024 * 1024,
+    keys: Iterable[object] | None = None,
+) -> float | None:
+    """Smallest memory (bytes) at which ``name`` produces zero outliers (Figure 5)."""
+    settings = settings or ExperimentSettings()
+
+    def evaluate(memory_bytes: float) -> bool:
+        return run_sketch(name, memory_bytes, stream, settings, keys).outliers == 0
+
+    return _search_minimum_memory(evaluate, low_bytes, high_bytes)
+
+
+def minimum_memory_for_target_aae(
+    name: str,
+    stream: Stream,
+    target_aae: float,
+    settings: ExperimentSettings | None = None,
+    low_bytes: float = 1024.0,
+    high_bytes: float = 64 * 1024 * 1024,
+) -> float | None:
+    """Smallest memory (bytes) at which ``name`` reaches the target AAE (Figures 12/14/15b)."""
+    settings = settings or ExperimentSettings()
+
+    def evaluate(memory_bytes: float) -> bool:
+        return run_sketch(name, memory_bytes, stream, settings).aae <= target_aae
+
+    return _search_minimum_memory(evaluate, low_bytes, high_bytes)

@@ -1,0 +1,206 @@
+"""Error-sensing and error-control experiments: Figures 17, 18 and 19 (§6.5).
+
+These experiments look inside ReliableSketch itself: the reported Maximum
+Possible Error must always contain the truth (Figure 17), track the actual
+error closely (Figure 18), and the number of keys settling in deeper layers
+must fall off faster than exponentially (Figure 19a) while no key's error
+exceeds Λ (Figure 19b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.reliable_sketch import ReliableSketch
+from repro.experiments.datasets import DEFAULT_SCALE, dataset, scaled_memory_points
+from repro.sketches.cm import CountMinSketch
+
+
+@dataclass(frozen=True)
+class SensedInterval:
+    """One point of Figure 17: a key's true value and its sensed interval."""
+
+    key: object
+    truth: int
+    estimate: int
+    lower_bound: int
+    upper_bound: int
+
+    @property
+    def contains_truth(self) -> bool:
+        """Whether the sensed interval covers the true value."""
+        return self.lower_bound <= self.truth <= self.upper_bound
+
+
+@dataclass(frozen=True)
+class SensedErrorPoint:
+    """One bin of Figure 18a: actual error vs average sensed error."""
+
+    actual_error: int
+    mean_sensed_error: float
+    keys: int
+
+
+@dataclass(frozen=True)
+class LayerDistribution:
+    """One line of Figure 19a: number of keys settling in each layer."""
+
+    memory_bytes: float
+    keys_per_layer: list[int]
+
+
+def _build_sketch(stream, memory_bytes: float, tolerance: float, seed: int) -> ReliableSketch:
+    sketch = ReliableSketch.from_memory(memory_bytes, tolerance=tolerance, seed=seed)
+    sketch.insert_stream(stream)
+    return sketch
+
+
+def sensed_intervals(
+    dataset_name: str = "ip",
+    memory_megabytes: float = 1.0,
+    tolerance: float = 25.0,
+    scale: float = DEFAULT_SCALE,
+    elephant_threshold: int = 1000,
+    sample_size: int = 200,
+    seed: int = 0,
+) -> tuple[list[SensedInterval], list[SensedInterval]]:
+    """Sensed intervals of mice keys and elephant keys (Figure 17a / 17b)."""
+    stream = dataset(dataset_name, scale=scale, seed=seed + 1)
+    memory_bytes = scaled_memory_points([memory_megabytes], scale)[0]
+    sketch = _build_sketch(stream, memory_bytes, tolerance, seed)
+    counts = stream.counts()
+
+    mice: list[SensedInterval] = []
+    elephants: list[SensedInterval] = []
+    for key, truth in counts.items():
+        result = sketch.query_with_error(key)
+        interval = SensedInterval(
+            key=key,
+            truth=truth,
+            estimate=result.estimate,
+            lower_bound=result.lower_bound,
+            upper_bound=result.upper_bound,
+        )
+        target = elephants if truth > elephant_threshold else mice
+        if len(target) < sample_size:
+            target.append(interval)
+        if len(mice) >= sample_size and len(elephants) >= sample_size:
+            break
+    return mice, elephants
+
+
+def sensed_vs_actual(
+    dataset_name: str = "ip",
+    memory_megabytes: float = 1.0,
+    tolerance: float = 25.0,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+) -> list[SensedErrorPoint]:
+    """Average sensed error grouped by actual error (Figure 18a)."""
+    stream = dataset(dataset_name, scale=scale, seed=seed + 1)
+    memory_bytes = scaled_memory_points([memory_megabytes], scale)[0]
+    sketch = _build_sketch(stream, memory_bytes, tolerance, seed)
+    counts = stream.counts()
+
+    grouped: dict[int, list[int]] = {}
+    for key, truth in counts.items():
+        result = sketch.query_with_error(key)
+        actual = abs(result.estimate - truth)
+        grouped.setdefault(actual, []).append(result.mpe)
+    return [
+        SensedErrorPoint(
+            actual_error=actual,
+            mean_sensed_error=sum(sensed) / len(sensed),
+            keys=len(sensed),
+        )
+        for actual, sensed in sorted(grouped.items())
+    ]
+
+
+def sensed_error_vs_memory(
+    dataset_name: str = "ip",
+    memory_megabytes: list[float] | None = None,
+    tolerance: float = 25.0,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+) -> list[tuple[float, float, float]]:
+    """(memory, mean sensed error, mean actual error) rows (Figure 18b)."""
+    stream = dataset(dataset_name, scale=scale, seed=seed + 1)
+    memory_megabytes = memory_megabytes or [1.0, 1.5, 2.0, 2.5]
+    counts = stream.counts()
+    rows: list[tuple[float, float, float]] = []
+    for megabytes in memory_megabytes:
+        memory_bytes = scaled_memory_points([megabytes], scale)[0]
+        sketch = _build_sketch(stream, memory_bytes, tolerance, seed)
+        sensed_total = 0.0
+        actual_total = 0.0
+        for key, truth in counts.items():
+            result = sketch.query_with_error(key)
+            sensed_total += result.mpe
+            actual_total += abs(result.estimate - truth)
+        keys = len(counts)
+        rows.append((memory_bytes, sensed_total / keys, actual_total / keys))
+    return rows
+
+
+def layer_distribution(
+    dataset_name: str = "ip",
+    memory_megabytes: list[float] | None = None,
+    tolerance: float = 25.0,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+) -> list[LayerDistribution]:
+    """Number of keys whose queries settle in each layer (Figure 19a).
+
+    The paper categorises a key by the layer where its latest insertion
+    settled; the query stopping layer is the equivalent observable notion and
+    decays the same way.
+    """
+    stream = dataset(dataset_name, scale=scale, seed=seed + 1)
+    memory_megabytes = memory_megabytes or [1.0, 1.1, 1.25, 2.0]
+    counts = stream.counts()
+    distributions: list[LayerDistribution] = []
+    for megabytes in memory_megabytes:
+        memory_bytes = scaled_memory_points([megabytes], scale)[0]
+        sketch = _build_sketch(stream, memory_bytes, tolerance, seed)
+        per_layer = [0] * sketch.depth
+        for key in counts:
+            layer = sketch.query_with_error(key).layers_visited
+            per_layer[layer - 1] += 1
+        distributions.append(LayerDistribution(memory_bytes=memory_bytes, keys_per_layer=per_layer))
+    return distributions
+
+
+def error_distribution(
+    dataset_name: str = "ip",
+    memory_megabytes: float = 1.0,
+    tolerance: float = 25.0,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+) -> dict[str, list[int]]:
+    """Per-key absolute errors sorted descending, ours vs CM (Figure 19b).
+
+    Also returns the sorted *sensed* errors of ReliableSketch, matching the
+    figure's "Ours(Sensed)" series.
+    """
+    stream = dataset(dataset_name, scale=scale, seed=seed + 1)
+    memory_bytes = scaled_memory_points([memory_megabytes], scale)[0]
+    counts = stream.counts()
+
+    sketch = _build_sketch(stream, memory_bytes, tolerance, seed)
+    cm = CountMinSketch(memory_bytes, depth=3, seed=seed)
+    cm.insert_stream(stream)
+
+    ours_actual: list[int] = []
+    ours_sensed: list[int] = []
+    cm_actual: list[int] = []
+    for key, truth in counts.items():
+        result = sketch.query_with_error(key)
+        ours_actual.append(abs(result.estimate - truth))
+        ours_sensed.append(result.mpe)
+        cm_actual.append(abs(cm.query(key) - truth))
+    return {
+        "ours_actual": sorted(ours_actual, reverse=True),
+        "ours_sensed": sorted(ours_sensed, reverse=True),
+        "cm_actual": sorted(cm_actual, reverse=True),
+    }

@@ -1,0 +1,109 @@
+"""Speed experiments: Figure 10 (throughput) and Figure 16 (hash calls).
+
+Absolute throughput in pure Python is not comparable to the paper's C++
+numbers; the harness therefore reports *relative* throughput between
+algorithms measured back to back on the same stream, plus the
+platform-independent operation count of Figure 16 (average number of hash
+function calls per insert / query), which is the paper's own explanation of
+the speed trends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.datasets import DEFAULT_SCALE, dataset, scaled_memory_points
+from repro.experiments.runner import ExperimentSettings
+from repro.metrics.memory import BYTES_PER_MB
+from repro.metrics.throughput import measure_throughput
+from repro.sketches.registry import build_sketch, competitor_names
+
+
+@dataclass(frozen=True)
+class ThroughputRow:
+    """One bar pair of Figure 10: insert and query throughput of one algorithm."""
+
+    algorithm: str
+    insert_mops: float
+    query_mops: float
+
+
+@dataclass(frozen=True)
+class HashCallCurve:
+    """One line of Figure 16: average hash calls per operation vs memory."""
+
+    algorithm: str
+    memory_bytes: list[float]
+    insert_calls: list[float]
+    query_calls: list[float]
+
+
+def throughput_comparison(
+    dataset_name: str = "ip",
+    memory_megabytes: float = 1.0,
+    scale: float = DEFAULT_SCALE,
+    algorithms: tuple[str, ...] | None = None,
+    seed: int = 0,
+) -> list[ThroughputRow]:
+    """Insertion and query throughput of every algorithm (Figure 10)."""
+    stream = dataset(dataset_name, scale=scale, seed=seed + 1)
+    memory_bytes = scaled_memory_points([memory_megabytes], scale)[0]
+    algorithms = algorithms or competitor_names("speed")
+    keys = stream.keys()
+
+    rows: list[ThroughputRow] = []
+    for name in algorithms:
+        sketch = build_sketch(name, memory_bytes, seed=seed)
+        insert_result = measure_throughput(
+            lambda item, s=sketch: s.insert(item.key, item.value), stream
+        )
+        query_result = measure_throughput(lambda key, s=sketch: s.query(key), keys)
+        rows.append(
+            ThroughputRow(
+                algorithm=name,
+                insert_mops=insert_result.mops,
+                query_mops=query_result.mops,
+            )
+        )
+    return rows
+
+
+def hash_call_profile(
+    dataset_name: str = "ip",
+    scale: float = DEFAULT_SCALE,
+    memory_points: list[float] | None = None,
+    algorithms: tuple[str, ...] = ("Ours", "Ours(Raw)", "CM_fast"),
+    seed: int = 0,
+) -> list[HashCallCurve]:
+    """Average number of hash calls per insert and per query (Figure 16).
+
+    The paper shows ReliableSketch's raw variant converging to 1 call per
+    operation as memory grows (almost everything settles in layer 1), the
+    mice-filter variant converging to 3 (2 extra calls in the filter), and
+    CM staying flat at its array count.
+    """
+    stream = dataset(dataset_name, scale=scale, seed=seed + 1)
+    if memory_points is None:
+        memory_points = scaled_memory_points([0.5, 1.0, 2.0, 3.0, 4.0], scale)
+    keys = stream.keys()
+
+    curves: list[HashCallCurve] = []
+    for name in algorithms:
+        insert_calls: list[float] = []
+        query_calls: list[float] = []
+        for memory in memory_points:
+            sketch = build_sketch(name, memory, seed=seed)
+            sketch.reset_hash_calls()
+            sketch.insert_stream(stream)
+            insert_calls.append(sketch.hash_calls() / len(stream))
+            sketch.reset_hash_calls()
+            for key in keys:
+                sketch.query(key)
+            query_calls.append(sketch.hash_calls() / max(1, len(keys)))
+        curves.append(HashCallCurve(name, list(memory_points), insert_calls, query_calls))
+    return curves
+
+
+def paper_scale_memory(memory_megabytes: float) -> float:
+    """Convenience: a paper-scale memory budget in bytes (no scaling)."""
+    return memory_megabytes * BYTES_PER_MB

@@ -1,0 +1,122 @@
+"""Table experiments and plain-text report formatting.
+
+Covers the three tables of the paper:
+
+* **Table 1** — complexity comparison of the sketch families, instantiated
+  numerically for a concrete workload via :mod:`repro.core.analysis`.
+* **Table 3** — FPGA synthesis-style resource report from
+  :class:`repro.hardware.fpga.FpgaModel`.
+* **Table 4** — Tofino resource usage from
+  :class:`repro.hardware.tofino.TofinoResourceModel`.
+
+Also provides a tiny text-table formatter used by the CLI and the examples,
+so reports render without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core import analysis
+from repro.core.config import ReliableConfig
+from repro.hardware.fpga import FpgaModel
+from repro.hardware.tofino import TofinoResourceModel
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a list of rows as a fixed-width text table."""
+    columns = [list(map(str, column)) for column in zip(headers, *rows)] if rows else [
+        [str(h)] for h in headers
+    ]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def complexity_table_rows(
+    total_value: float = 10_000_000,
+    tolerance: float = 25.0,
+    delta: float = 1e-10,
+    distinct_keys: float = 400_000,
+) -> list[list[object]]:
+    """Table 1 rows for a concrete workload (defaults: the paper's IP trace)."""
+    rows = analysis.complexity_table(total_value, tolerance, delta, distinct_keys)
+    return [
+        [
+            row.family,
+            row.overall_confidence,
+            row.time,
+            row.space,
+            row.compatibility,
+            f"{row.time_estimate:.3g}",
+            f"{row.space_estimate:.3g}",
+        ]
+        for row in rows
+    ]
+
+
+def complexity_table_text(**kwargs) -> str:
+    """Table 1 rendered as text."""
+    headers = [
+        "Family",
+        "Overall confidence",
+        "Time",
+        "Space",
+        "Compatibility",
+        "Time est.",
+        "Space est. (counters)",
+    ]
+    return format_table(headers, complexity_table_rows(**kwargs))
+
+
+def fpga_table_rows(config: ReliableConfig | None = None) -> list[list[object]]:
+    """Table 3 rows for a configuration (default: the paper's 1 MB sketch)."""
+    if config is None:
+        config = ReliableConfig.from_memory(1024 * 1024, tolerance=25.0)
+    report = FpgaModel().synthesize(config)
+    rows = []
+    for entry in report.rows():
+        rows.append(
+            [
+                entry["Module"],
+                entry["CLB LUTs"],
+                entry["CLB Registers"],
+                entry["Block RAM"],
+                entry["Frequency (MHz)"],
+            ]
+        )
+    rows.append(
+        [
+            "Usage",
+            f"{report.lut_utilisation:.2%}",
+            f"{report.register_utilisation:.2%}",
+            f"{report.bram_utilisation:.2%}",
+            "",
+        ]
+    )
+    return rows
+
+
+def fpga_table_text(config: ReliableConfig | None = None) -> str:
+    """Table 3 rendered as text."""
+    headers = ["Module", "CLB LUTs", "CLB Registers", "Block RAM", "Frequency (MHz)"]
+    return format_table(headers, fpga_table_rows(config))
+
+
+def tofino_table_rows(layers: int = 6) -> list[list[object]]:
+    """Table 4 rows for a switch deployment with ``layers`` bucket layers."""
+    model = TofinoResourceModel(layers=layers)
+    return [
+        [row.resource, row.usage, f"{row.percentage:.2%}"] for row in model.rows()
+    ]
+
+
+def tofino_table_text(layers: int = 6) -> str:
+    """Table 4 rendered as text."""
+    headers = ["Resource", "Usage", "Percentage"]
+    return format_table(headers, tofino_table_rows(layers))

@@ -1,0 +1,38 @@
+"""Hardware platform models (§5 of the paper).
+
+The paper implements ReliableSketch on three platforms: CPU servers, an FPGA
+(Virtex-7 VC709) and a programmable switch (Tofino).  The CPU implementation
+is the main library; this package provides *models* of the other two:
+
+* :mod:`repro.hardware.pipeline` — a generic synchronous pipeline simulator
+  (one operation enters per clock, fixed latency).
+* :mod:`repro.hardware.fpga` — resource and timing model reproducing the
+  synthesis report of Table 3.
+* :mod:`repro.hardware.tofino` — stage/SALU resource model reproducing
+  Table 4, plus a behavioural data-plane variant of ReliableSketch that obeys
+  the switch constraints described in §5.2 (DIFF encoding, recirculation).
+* :mod:`repro.hardware.testbed` — the testbed deployment experiment of
+  Figure 20 driven by the data-plane variant.
+"""
+
+from repro.hardware.pipeline import PipelineModel, PipelineReport
+from repro.hardware.fpga import FpgaModel, FpgaModuleReport, FpgaReport
+from repro.hardware.tofino import (
+    TofinoResourceModel,
+    TofinoResourceRow,
+    DataPlaneReliableSketch,
+)
+from repro.hardware.testbed import TestbedDeployment, TestbedResult
+
+__all__ = [
+    "PipelineModel",
+    "PipelineReport",
+    "FpgaModel",
+    "FpgaModuleReport",
+    "FpgaReport",
+    "TofinoResourceModel",
+    "TofinoResourceRow",
+    "DataPlaneReliableSketch",
+    "TestbedDeployment",
+    "TestbedResult",
+]

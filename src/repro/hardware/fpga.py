@@ -1,0 +1,160 @@
+"""FPGA implementation model (§5.1, Table 3).
+
+The paper synthesises ReliableSketch for a Virtex-7 VC709 board
+(xc7vx690tffg1761-2).  We cannot run Vivado here, so this module provides an
+analytical resource/timing model calibrated against the published synthesis
+report: three hardware modules (hash computation, Error-Sensible bucket
+arrays, emergency stack), their LUT/register/BRAM usage, and a fully
+pipelined datapath at 340 MHz with 41 cycles of insertion latency.
+
+The bucket-array BRAM usage scales with the configured sketch memory (one
+36 Kbit block RAM per 4.5 KB of bucket state), so the model can also report
+resource usage for non-default configurations, which the ablation benchmarks
+exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ReliableConfig
+from repro.hardware.pipeline import PipelineModel, PipelineReport
+
+#: Device totals of the xc7vx690tffg1761-2 part (from §5.1).
+DEVICE_LUTS = 433_200
+DEVICE_REGISTERS = 866_400
+DEVICE_BRAM_TILES = 1470
+
+#: Published design constants (Table 3).
+CLOCK_MHZ = 340.0
+INSERT_LATENCY_CYCLES = 41
+
+#: Bytes of bucket state one 36 Kbit BRAM tile holds (36 Kbit = 4.5 KB).
+_BYTES_PER_BRAM_TILE = 4608
+
+
+@dataclass(frozen=True)
+class FpgaModuleReport:
+    """Resource usage of one hardware module (one row of Table 3)."""
+
+    module: str
+    clb_luts: int
+    clb_registers: int
+    block_ram: int
+    frequency_mhz: float
+
+
+@dataclass(frozen=True)
+class FpgaReport:
+    """Full synthesis-style report: per-module rows plus device utilisation."""
+
+    modules: tuple[FpgaModuleReport, ...]
+    clock_mhz: float
+    insert_latency_cycles: int
+
+    @property
+    def total_luts(self) -> int:
+        """Total CLB LUTs across modules."""
+        return sum(m.clb_luts for m in self.modules)
+
+    @property
+    def total_registers(self) -> int:
+        """Total CLB registers across modules."""
+        return sum(m.clb_registers for m in self.modules)
+
+    @property
+    def total_bram(self) -> int:
+        """Total block-RAM tiles across modules."""
+        return sum(m.block_ram for m in self.modules)
+
+    @property
+    def lut_utilisation(self) -> float:
+        """Fraction of the device's LUTs used."""
+        return self.total_luts / DEVICE_LUTS
+
+    @property
+    def register_utilisation(self) -> float:
+        """Fraction of the device's registers used."""
+        return self.total_registers / DEVICE_REGISTERS
+
+    @property
+    def bram_utilisation(self) -> float:
+        """Fraction of the device's BRAM tiles used."""
+        return self.total_bram / DEVICE_BRAM_TILES
+
+    @property
+    def throughput_mops(self) -> float:
+        """Peak insertion throughput: one insertion per clock."""
+        return self.clock_mhz
+
+    def rows(self) -> list[dict]:
+        """Table rows (module name plus resource columns), for printing."""
+        table = [
+            {
+                "Module": m.module,
+                "CLB LUTs": m.clb_luts,
+                "CLB Registers": m.clb_registers,
+                "Block RAM": m.block_ram,
+                "Frequency (MHz)": m.frequency_mhz,
+            }
+            for m in self.modules
+        ]
+        table.append(
+            {
+                "Module": "Total",
+                "CLB LUTs": self.total_luts,
+                "CLB Registers": self.total_registers,
+                "Block RAM": self.total_bram,
+                "Frequency (MHz)": self.clock_mhz,
+            }
+        )
+        return table
+
+
+class FpgaModel:
+    """Analytical resource model of the ReliableSketch FPGA implementation.
+
+    The per-module LUT/register constants reproduce Table 3 for the paper's
+    default 1 MB configuration; BRAM scales with the configured bucket
+    memory so other configurations report proportionally more or fewer
+    tiles.
+    """
+
+    #: (LUTs, registers) calibrated from the paper's synthesis report.
+    _HASH_COST = (85, 130)
+    _BUCKET_BASE_COST = (2521, 2592)
+    _EMERGENCY_COST = (48, 112)
+
+    def __init__(self, clock_mhz: float = CLOCK_MHZ,
+                 insert_latency_cycles: int = INSERT_LATENCY_CYCLES) -> None:
+        self.clock_mhz = clock_mhz
+        self.insert_latency_cycles = insert_latency_cycles
+        self._pipeline = PipelineModel(clock_mhz, insert_latency_cycles)
+
+    def synthesize(self, config: ReliableConfig) -> FpgaReport:
+        """Produce the Table 3 style report for a sketch configuration."""
+        bucket_bytes = config.bucket_bytes + config.mice_filter_bytes
+        bram_tiles = max(1, round(bucket_bytes / _BYTES_PER_BRAM_TILE))
+        modules = (
+            FpgaModuleReport("Hash", *self._HASH_COST, 0, self.clock_mhz),
+            FpgaModuleReport("ESbucket", *self._BUCKET_BASE_COST, bram_tiles, self.clock_mhz),
+            FpgaModuleReport("Emergency", *self._EMERGENCY_COST, 1, self.clock_mhz),
+        )
+        return FpgaReport(
+            modules=modules,
+            clock_mhz=self.clock_mhz,
+            insert_latency_cycles=self.insert_latency_cycles,
+        )
+
+    def process(self, operations: int) -> PipelineReport:
+        """Timing of a burst of insertions through the pipelined datapath."""
+        return self._pipeline.process(operations)
+
+    def fits(self, config: ReliableConfig) -> bool:
+        """Whether the configuration fits on the modelled device."""
+        report = self.synthesize(config)
+        return (
+            report.total_luts <= DEVICE_LUTS
+            and report.total_registers <= DEVICE_REGISTERS
+            and report.total_bram <= DEVICE_BRAM_TILES
+        )

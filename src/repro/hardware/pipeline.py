@@ -1,0 +1,70 @@
+"""Generic synchronous pipeline model.
+
+Both hardware targets of the paper are fully pipelined: a new item can enter
+every clock cycle and the result emerges a fixed number of cycles later.
+Throughput is therefore governed by the clock frequency alone, and latency by
+the pipeline depth — which is what Table 3's "340 MHz, 41 clocks" numbers
+express for the FPGA.  This tiny model captures exactly that relationship so
+the FPGA/Tofino reports can derive throughput figures consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Timing summary for processing ``operations`` items through a pipeline."""
+
+    operations: int
+    clock_mhz: float
+    latency_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        """Cycles until the last result emerges (fill latency + streaming)."""
+        if self.operations == 0:
+            return 0
+        return self.latency_cycles + (self.operations - 1)
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock time at the configured frequency."""
+        return self.total_cycles / (self.clock_mhz * 1e6)
+
+    @property
+    def throughput_mops(self) -> float:
+        """Sustained throughput in million operations per second."""
+        if self.operations == 0:
+            return 0.0
+        return self.operations / self.seconds / 1e6
+
+
+@dataclass(frozen=True)
+class PipelineModel:
+    """A fully pipelined datapath: one new operation per clock."""
+
+    clock_mhz: float
+    latency_cycles: int
+
+    def __post_init__(self) -> None:
+        if self.clock_mhz <= 0:
+            raise ValueError("clock frequency must be positive")
+        if self.latency_cycles <= 0:
+            raise ValueError("latency must be positive")
+
+    @property
+    def peak_throughput_mops(self) -> float:
+        """Asymptotic throughput: one operation per clock."""
+        return self.clock_mhz
+
+    def process(self, operations: int) -> PipelineReport:
+        """Timing report for a burst of ``operations`` back-to-back items."""
+        if operations < 0:
+            raise ValueError("operations must be non-negative")
+        return PipelineReport(
+            operations=operations,
+            clock_mhz=self.clock_mhz,
+            latency_cycles=self.latency_cycles,
+        )

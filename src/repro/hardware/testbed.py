@@ -1,0 +1,109 @@
+"""Testbed deployment experiment (§6.5.3, Figure 20).
+
+The paper sends 40 million packets from the IP-trace and Hadoop datasets at
+40 Gbps through a Tofino switch running ReliableSketch with different SRAM
+budgets, and reports the per-flow byte-rate AAE (in Kbps) and the number of
+outliers.
+
+This module reproduces the experiment against the behavioural
+:class:`repro.hardware.tofino.DataPlaneReliableSketch`: the surrogate trace is
+generated with a byte-volume value model, replayed through the data-plane
+sketch, and the per-flow byte errors are converted to rate errors using the
+replay duration implied by the 40 Gbps link speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.tofino import DataPlaneReliableSketch
+from repro.metrics.accuracy import evaluate_accuracy
+from repro.streams.items import Stream
+from repro.streams.traces import load_trace
+
+#: Link speed of the testbed (bits per second).
+LINK_SPEED_BPS = 40e9
+
+
+@dataclass(frozen=True)
+class TestbedResult:
+    """One point of Figure 20: SRAM size vs accuracy."""
+
+    sram_bytes: float
+    outliers: int
+    aae_bytes: float
+    aae_kbps: float
+    replay_seconds: float
+    recirculations: int
+    insert_failures: int
+
+
+class TestbedDeployment:
+    """Replays a byte-volume trace through the data-plane sketch.
+
+    (The class is experiment infrastructure, not a pytest test case, hence
+    ``__test__ = False``.)
+
+    Parameters
+    ----------
+    trace_name:
+        ``"ip"`` or ``"hadoop"``, the two traces of Figure 20.
+    scale:
+        Trace scale factor (1.0 = the paper's packet counts).
+    tolerance:
+        Error tolerance in bytes used for outlier counting; the paper's
+        Λ = 25 packets is translated to bytes via the mean packet size.
+    seed:
+        RNG seed for the surrogate trace and the sketch hash functions.
+    """
+
+    __test__ = False  # prevents pytest from collecting this as a test class
+
+    def __init__(self, trace_name: str = "ip", scale: float = 0.005,
+                 tolerance_bytes: float | None = None, seed: int = 0) -> None:
+        self.trace_name = trace_name
+        self.scale = scale
+        self.seed = seed
+        self._stream: Stream = load_trace(trace_name, scale=scale, seed=seed,
+                                          value_model="bytes")
+        if tolerance_bytes is None:
+            mean_packet = self._stream.total_value() / len(self._stream)
+            tolerance_bytes = 25.0 * mean_packet
+        self.tolerance_bytes = tolerance_bytes
+
+    @property
+    def stream(self) -> Stream:
+        """The byte-volume trace being replayed."""
+        return self._stream
+
+    @property
+    def replay_seconds(self) -> float:
+        """Duration of the replay at the testbed's 40 Gbps link speed."""
+        total_bits = self._stream.total_value() * 8
+        return total_bits / LINK_SPEED_BPS
+
+    def _to_kbps(self, aae_bytes: float) -> float:
+        """Convert a byte-volume error into a rate error over the replay window."""
+        seconds = max(self.replay_seconds, 1e-12)
+        return aae_bytes * 8 / seconds / 1e3
+
+    def run(self, sram_bytes: float) -> TestbedResult:
+        """Deploy with ``sram_bytes`` of switch memory and measure accuracy."""
+        sketch = DataPlaneReliableSketch.from_sram(
+            sram_bytes, tolerance=self.tolerance_bytes, seed=self.seed
+        )
+        sketch.insert_stream(self._stream)
+        report = evaluate_accuracy(self._stream.counts(), sketch.query, self.tolerance_bytes)
+        return TestbedResult(
+            sram_bytes=sram_bytes,
+            outliers=report.outliers,
+            aae_bytes=report.aae,
+            aae_kbps=self._to_kbps(report.aae),
+            replay_seconds=self.replay_seconds,
+            recirculations=sketch.recirculations,
+            insert_failures=sketch.insert_failures,
+        )
+
+    def sweep(self, sram_sizes: list[float]) -> list[TestbedResult]:
+        """Run the deployment for every SRAM size (one Figure 20 panel)."""
+        return [self.run(size) for size in sram_sizes]

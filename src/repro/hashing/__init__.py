@@ -1,0 +1,24 @@
+"""Hashing substrate used by every sketch in this repository.
+
+The paper's C++ implementation uses 32-bit MurmurHash3 for all index hashing.
+We provide a faithful pure-Python MurmurHash3 (x86, 32-bit) implementation plus
+convenience wrappers that turn a seed into an independent hash function family,
+as required by multi-array sketches (CM, CU, Count, ...) and by the per-layer
+hash functions of ReliableSketch.
+"""
+
+from repro.hashing.murmur import murmur3_32
+from repro.hashing.families import (
+    HashFamily,
+    HashFunction,
+    SignHashFunction,
+    key_to_bytes,
+)
+
+__all__ = [
+    "murmur3_32",
+    "HashFamily",
+    "HashFunction",
+    "SignHashFunction",
+    "key_to_bytes",
+]

@@ -1,0 +1,148 @@
+"""Seeded hash-function families built on MurmurHash3.
+
+Sketches need several *independent* hash functions (one per array/layer).  A
+:class:`HashFamily` hands out :class:`HashFunction` objects with distinct
+seeds derived from a master seed, so an experiment can be reproduced exactly
+by fixing a single integer.
+
+Keys in this repository may be ``int``, ``str`` or ``bytes``; everything is
+normalised to bytes before hashing so that the same key always maps to the
+same bucket regardless of which sketch consumes it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.hashing.murmur import murmur3_32
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+#: Multiplier of SplitMix64, used to derive per-function seeds from one seed.
+_SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+
+
+def key_to_bytes(key: object) -> bytes:
+    """Normalise a stream key to bytes for hashing.
+
+    Integers are encoded little-endian in the fewest bytes that hold them
+    (minimum 4, mirroring the 32-bit flow IDs used in the paper), strings are
+    UTF-8 encoded, and bytes pass through unchanged.
+    """
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    if isinstance(key, int):
+        if key < 0:
+            # Map negative keys to a distinct positive range deterministically.
+            key = (-key << 1) | 1
+        else:
+            key = key << 1
+        length = max(4, (key.bit_length() + 7) // 8)
+        return key.to_bytes(length, "little")
+    raise TypeError(f"unsupported key type: {type(key)!r}")
+
+
+def derive_seed(master_seed: int, index: int) -> int:
+    """Derive the ``index``-th 32-bit seed from a 64-bit master seed.
+
+    Uses a SplitMix64-style finaliser so that nearby master seeds and indices
+    still produce unrelated 32-bit seeds.
+    """
+    z = (master_seed + (index + 1) * _SPLITMIX_GAMMA) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    z = z ^ (z >> 31)
+    return z & 0xFFFFFFFF
+
+
+class HashFunction:
+    """A single seeded hash function mapping keys to ``[0, width)``.
+
+    Instances also count how many times they were evaluated; the paper's
+    Figure 16 reports the average number of hash calls per operation, and the
+    experiment harness reads these counters to reproduce it.
+    """
+
+    __slots__ = ("seed", "width", "calls")
+
+    def __init__(self, seed: int, width: int | None = None) -> None:
+        if width is not None and width <= 0:
+            raise ValueError("hash width must be positive")
+        self.seed = seed & 0xFFFFFFFF
+        self.width = width
+        self.calls = 0
+
+    def raw(self, key: object) -> int:
+        """Return the raw unsigned 32-bit hash of ``key``."""
+        self.calls += 1
+        return murmur3_32(key_to_bytes(key), self.seed)
+
+    def __call__(self, key: object) -> int:
+        """Return the bucket index of ``key`` (requires ``width``)."""
+        value = self.raw(key)
+        if self.width is None:
+            return value
+        return value % self.width
+
+    def reset_counter(self) -> None:
+        """Zero the call counter (used between measurement phases)."""
+        self.calls = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashFunction(seed={self.seed:#010x}, width={self.width})"
+
+
+class SignHashFunction(HashFunction):
+    """Hash function returning ±1, used by the Count sketch."""
+
+    def __call__(self, key: object) -> int:  # type: ignore[override]
+        return 1 if self.raw(key) & 1 else -1
+
+
+class HashFamily:
+    """Factory of independent :class:`HashFunction` objects.
+
+    Parameters
+    ----------
+    master_seed:
+        Any integer; all functions drawn from the family are derived from it.
+    """
+
+    def __init__(self, master_seed: int = 0) -> None:
+        self.master_seed = master_seed
+        self._next_index = 0
+        self._functions: list[HashFunction] = []
+
+    def draw(self, width: int | None = None) -> HashFunction:
+        """Create the next independent index-hash in the family."""
+        fn = HashFunction(derive_seed(self.master_seed, self._next_index), width)
+        self._next_index += 1
+        self._functions.append(fn)
+        return fn
+
+    def draw_sign(self) -> SignHashFunction:
+        """Create the next independent ±1 hash in the family."""
+        fn = SignHashFunction(derive_seed(self.master_seed, self._next_index))
+        self._next_index += 1
+        self._functions.append(fn)
+        return fn
+
+    def draw_many(self, count: int, width: int | None = None) -> list[HashFunction]:
+        """Create ``count`` independent index-hashes with a common width."""
+        return [self.draw(width) for _ in range(count)]
+
+    @property
+    def functions(self) -> Iterable[HashFunction]:
+        """All functions drawn so far (used for hash-call accounting)."""
+        return tuple(self._functions)
+
+    def total_calls(self) -> int:
+        """Total number of hash evaluations across all drawn functions."""
+        return sum(fn.calls for fn in self._functions)
+
+    def reset_counters(self) -> None:
+        """Zero all call counters in the family."""
+        for fn in self._functions:
+            fn.reset_counter()

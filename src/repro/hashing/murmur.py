@@ -1,0 +1,82 @@
+"""Pure-Python MurmurHash3 (x86, 32-bit).
+
+This mirrors the reference implementation used by the paper's C++ code.  The
+function is deterministic across runs and platforms, which matters because the
+experiments in the paper (notably Figure 7) repeat runs with different seeds
+and report worst-case behaviour — reproducibility requires a stable hash.
+"""
+
+from __future__ import annotations
+
+_MASK32 = 0xFFFFFFFF
+
+_C1 = 0xCC9E2D51
+_C2 = 0x1B873593
+
+
+def _rotl32(x: int, r: int) -> int:
+    """Rotate a 32-bit integer left by ``r`` bits."""
+    return ((x << r) | (x >> (32 - r))) & _MASK32
+
+
+def _fmix32(h: int) -> int:
+    """Finalisation mix — forces all bits of a hash block to avalanche."""
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & _MASK32
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & _MASK32
+    h ^= h >> 16
+    return h
+
+
+def murmur3_32(data: bytes, seed: int = 0) -> int:
+    """Compute the 32-bit MurmurHash3 of ``data`` with the given ``seed``.
+
+    Parameters
+    ----------
+    data:
+        Raw bytes to hash.  Use :func:`repro.hashing.families.key_to_bytes`
+        to convert arbitrary stream keys.
+    seed:
+        32-bit seed selecting a member of the hash family.
+
+    Returns
+    -------
+    int
+        An unsigned 32-bit hash value.
+    """
+    length = len(data)
+    h1 = seed & _MASK32
+    rounded_end = (length // 4) * 4
+
+    for i in range(0, rounded_end, 4):
+        k1 = (
+            data[i]
+            | (data[i + 1] << 8)
+            | (data[i + 2] << 16)
+            | (data[i + 3] << 24)
+        )
+        k1 = (k1 * _C1) & _MASK32
+        k1 = _rotl32(k1, 15)
+        k1 = (k1 * _C2) & _MASK32
+
+        h1 ^= k1
+        h1 = _rotl32(h1, 13)
+        h1 = (h1 * 5 + 0xE6546B64) & _MASK32
+
+    # Tail (remaining 1-3 bytes).
+    k1 = 0
+    tail = length & 3
+    if tail >= 3:
+        k1 ^= data[rounded_end + 2] << 16
+    if tail >= 2:
+        k1 ^= data[rounded_end + 1] << 8
+    if tail >= 1:
+        k1 ^= data[rounded_end]
+        k1 = (k1 * _C1) & _MASK32
+        k1 = _rotl32(k1, 15)
+        k1 = (k1 * _C2) & _MASK32
+        h1 ^= k1
+
+    h1 ^= length
+    return _fmix32(h1)

@@ -1,0 +1,41 @@
+"""Metrics used by the paper's evaluation (§6.1.3).
+
+Four metrics are reported throughout §6: the number of outliers (keys whose
+absolute error exceeds the tolerance Λ), the average absolute error (AAE),
+the average relative error (ARE) and throughput.  This package also provides
+byte-accurate memory accounting so that every sketch in a comparison is
+configured from the same memory budget, exactly as in the paper.
+"""
+
+from repro.metrics.accuracy import (
+    AccuracyReport,
+    evaluate_accuracy,
+    count_outliers,
+    average_absolute_error,
+    average_relative_error,
+)
+from repro.metrics.throughput import ThroughputResult, measure_throughput
+from repro.metrics.memory import (
+    BYTES_PER_MB,
+    BYTES_PER_KB,
+    mb,
+    kb,
+    FieldSpec,
+    MemoryModel,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "evaluate_accuracy",
+    "count_outliers",
+    "average_absolute_error",
+    "average_relative_error",
+    "ThroughputResult",
+    "measure_throughput",
+    "BYTES_PER_MB",
+    "BYTES_PER_KB",
+    "mb",
+    "kb",
+    "FieldSpec",
+    "MemoryModel",
+]

@@ -1,0 +1,143 @@
+"""Accuracy metrics: #Outliers, AAE and ARE.
+
+Definitions follow §6.1.3 of the paper verbatim:
+
+* **#Outliers** — number of keys whose absolute estimation error exceeds the
+  user-defined tolerance Λ.
+* **AAE** — mean absolute error over the evaluated key set.
+* **ARE** — mean relative error over the evaluated key set.
+
+The evaluated key set is all distinct keys of the stream by default; the
+frequent-key experiments (Figure 7) restrict it to keys with true value sum
+above a threshold ``T``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+
+@dataclass
+class AccuracyReport:
+    """Full per-run accuracy summary.
+
+    Attributes
+    ----------
+    outliers:
+        Number of keys with absolute error greater than ``tolerance``.
+    aae / are:
+        Average absolute / relative error over the evaluated keys.
+    max_error:
+        Largest absolute error observed (useful for the error-distribution
+        experiment of Figure 19b).
+    evaluated_keys:
+        How many keys were compared.
+    tolerance:
+        The Λ used for outlier counting.
+    outlier_keys:
+        The actual offending keys (capped by the caller if needed).
+    """
+
+    outliers: int
+    aae: float
+    are: float
+    max_error: int
+    evaluated_keys: int
+    tolerance: float
+    outlier_keys: list = field(default_factory=list)
+
+    @property
+    def zero_outliers(self) -> bool:
+        """True when every key's error is within the tolerance."""
+        return self.outliers == 0
+
+
+def _errors(
+    true_counts: Mapping[object, int],
+    estimate: Callable[[object], float],
+    keys: Iterable[object] | None = None,
+) -> list[tuple[object, float, float]]:
+    """Return ``(key, true, error)`` triples for the evaluated key set."""
+    evaluated = true_counts.keys() if keys is None else keys
+    rows: list[tuple[object, float, float]] = []
+    for key in evaluated:
+        truth = true_counts.get(key, 0)
+        rows.append((key, truth, abs(estimate(key) - truth)))
+    return rows
+
+
+def evaluate_accuracy(
+    true_counts: Mapping[object, int],
+    estimate: Callable[[object], float],
+    tolerance: float,
+    keys: Iterable[object] | None = None,
+    keep_outlier_keys: int = 32,
+) -> AccuracyReport:
+    """Compare a sketch's estimates against the ground truth.
+
+    Parameters
+    ----------
+    true_counts:
+        Exact per-key value sums (``Stream.counts()``).
+    estimate:
+        Callable returning the sketch's estimate for a key (``sketch.query``).
+    tolerance:
+        The error tolerance Λ used for outlier counting.
+    keys:
+        Optional restriction of the evaluated key set (Figure 7 uses the
+        frequent keys only).
+    keep_outlier_keys:
+        Retain at most this many offending keys in the report, for debugging.
+    """
+    rows = _errors(true_counts, estimate, keys)
+    if not rows:
+        return AccuracyReport(0, 0.0, 0.0, 0, 0, tolerance)
+
+    outlier_keys = [key for key, _, err in rows if err > tolerance]
+    abs_errors = [err for _, _, err in rows]
+    rel_errors = [err / truth if truth > 0 else float(err) for _, truth, err in rows]
+    return AccuracyReport(
+        outliers=len(outlier_keys),
+        aae=sum(abs_errors) / len(rows),
+        are=sum(rel_errors) / len(rows),
+        max_error=int(max(abs_errors)),
+        evaluated_keys=len(rows),
+        tolerance=tolerance,
+        outlier_keys=outlier_keys[:keep_outlier_keys],
+    )
+
+
+def count_outliers(
+    true_counts: Mapping[object, int],
+    estimate: Callable[[object], float],
+    tolerance: float,
+    keys: Iterable[object] | None = None,
+) -> int:
+    """Shortcut returning only the #Outliers metric."""
+    return evaluate_accuracy(true_counts, estimate, tolerance, keys).outliers
+
+
+def average_absolute_error(
+    true_counts: Mapping[object, int],
+    estimate: Callable[[object], float],
+    keys: Iterable[object] | None = None,
+) -> float:
+    """Shortcut returning only the AAE metric."""
+    rows = _errors(true_counts, estimate, keys)
+    if not rows:
+        return 0.0
+    return sum(err for _, _, err in rows) / len(rows)
+
+
+def average_relative_error(
+    true_counts: Mapping[object, int],
+    estimate: Callable[[object], float],
+    keys: Iterable[object] | None = None,
+) -> float:
+    """Shortcut returning only the ARE metric."""
+    rows = _errors(true_counts, estimate, keys)
+    if not rows:
+        return 0.0
+    rel = [err / truth if truth > 0 else float(err) for _, truth, err in rows]
+    return sum(rel) / len(rel)

@@ -1,0 +1,87 @@
+"""Byte-accurate memory accounting for sketches.
+
+Every comparison in the paper fixes a memory budget (for example 1 MB) and
+sizes each algorithm so that its data structure fits in that budget, using
+the bit widths of the C++ implementation (32-bit counters, 32-bit key
+fingerprints, 16-bit NO counters, ...).  :class:`MemoryModel` expresses a
+sketch's per-entry layout so the constructors can convert "bytes of memory"
+into "number of counters / buckets" the same way the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+BYTES_PER_KB = 1024
+BYTES_PER_MB = 1024 * 1024
+
+
+def mb(amount: float) -> int:
+    """Convert megabytes to bytes (paper memory sizes are quoted in MB)."""
+    return int(amount * BYTES_PER_MB)
+
+
+def kb(amount: float) -> int:
+    """Convert kilobytes to bytes (the testbed SRAM sizes are quoted in KB)."""
+    return int(amount * BYTES_PER_KB)
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One field of an entry: a name and its width in bits."""
+
+    name: str
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise ValueError("field width must be positive")
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Per-entry memory layout of a sketch.
+
+    ``entries_for(budget)`` answers "how many entries fit in this many
+    bytes", and ``bytes_for(entries)`` the converse — both used by sketch
+    constructors and by the memory-consumption experiments (Figure 5).
+    """
+
+    fields: tuple[FieldSpec, ...]
+
+    @property
+    def bits_per_entry(self) -> int:
+        """Total width of one entry in bits."""
+        return sum(field.bits for field in self.fields)
+
+    @property
+    def bytes_per_entry(self) -> float:
+        """Total width of one entry in bytes (may be fractional)."""
+        return self.bits_per_entry / 8
+
+    def entries_for(self, budget_bytes: float) -> int:
+        """Largest number of entries that fit in ``budget_bytes``."""
+        if budget_bytes <= 0:
+            raise ValueError("memory budget must be positive")
+        return max(1, int(budget_bytes * 8 // self.bits_per_entry))
+
+    def bytes_for(self, entries: int) -> float:
+        """Memory required by ``entries`` entries, in bytes."""
+        if entries < 0:
+            raise ValueError("entry count must be non-negative")
+        return entries * self.bits_per_entry / 8
+
+
+#: Layouts used by the paper's C++ implementation (§6.1.1).
+COUNTER_32 = MemoryModel((FieldSpec("counter", 32),))
+RELIABLE_BUCKET = MemoryModel(
+    (FieldSpec("id", 32), FieldSpec("yes", 32), FieldSpec("no", 16))
+)
+KEY_COUNTER_PAIR = MemoryModel((FieldSpec("key", 32), FieldSpec("counter", 32)))
+ELASTIC_HEAVY_BUCKET = MemoryModel(
+    (FieldSpec("key", 32), FieldSpec("positive", 32), FieldSpec("negative", 32), FieldSpec("flag", 8))
+)
+SPACESAVING_ENTRY = MemoryModel(
+    # key + counter + overestimate + heap/linked-list pointer overhead
+    (FieldSpec("key", 32), FieldSpec("counter", 32), FieldSpec("error", 32), FieldSpec("pointers", 64))
+)

@@ -1,0 +1,47 @@
+"""Throughput measurement (paper metric: million operations per second).
+
+The paper reports Mpps of the C++ implementations; absolute Python numbers
+are orders of magnitude lower and not comparable, so the experiment harness
+only ever interprets these results *relatively* between algorithms run under
+identical conditions (same stream, same process, back to back).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Result of one throughput measurement."""
+
+    operations: int
+    seconds: float
+
+    @property
+    def ops_per_second(self) -> float:
+        """Raw operations per second."""
+        if self.seconds <= 0:
+            return float("inf")
+        return self.operations / self.seconds
+
+    @property
+    def mops(self) -> float:
+        """Million operations per second (the paper's Mpps unit)."""
+        return self.ops_per_second / 1e6
+
+
+def measure_throughput(operation: Callable[[object], object], inputs: Iterable[object]) -> ThroughputResult:
+    """Apply ``operation`` to every element of ``inputs`` and time the loop.
+
+    The inputs are materialised before timing starts so that generator cost is
+    excluded from the measurement.
+    """
+    materialised = list(inputs)
+    start = time.perf_counter()
+    for element in materialised:
+        operation(element)
+    elapsed = time.perf_counter() - start
+    return ThroughputResult(operations=len(materialised), seconds=elapsed)

@@ -1,0 +1,36 @@
+"""Baseline sketches used as competitors in the paper's evaluation (§6.1.4).
+
+All sketches implement the :class:`repro.sketches.base.Sketch` interface:
+``insert(key, value)`` and ``query(key)``.  Each constructor accepts a memory
+budget in bytes and sizes its arrays the same way the paper's C++
+implementation does (see :mod:`repro.metrics.memory`).
+"""
+
+from repro.sketches.base import Sketch, SketchDescription
+from repro.sketches.cm import CountMinSketch
+from repro.sketches.cu import CUSketch
+from repro.sketches.count import CountSketch
+from repro.sketches.spacesaving import SpaceSaving
+from repro.sketches.frequent import FrequentSketch
+from repro.sketches.elastic import ElasticSketch
+from repro.sketches.coco import CocoSketch
+from repro.sketches.hashpipe import HashPipe
+from repro.sketches.precision import Precision
+from repro.sketches.registry import build_sketch, competitor_names, COMPETITORS
+
+__all__ = [
+    "Sketch",
+    "SketchDescription",
+    "CountMinSketch",
+    "CUSketch",
+    "CountSketch",
+    "SpaceSaving",
+    "FrequentSketch",
+    "ElasticSketch",
+    "CocoSketch",
+    "HashPipe",
+    "Precision",
+    "build_sketch",
+    "competitor_names",
+    "COMPETITORS",
+]

@@ -1,0 +1,67 @@
+"""Common interface shared by every sketch in the repository.
+
+The experiment harness treats all algorithms uniformly: construct from a
+memory budget, feed a stream through ``insert``, then compare ``query``
+against the ground truth.  Keeping the interface minimal (two methods plus
+introspection helpers) mirrors the abstract "stream summary" problem of §2.1.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class SketchDescription:
+    """Static description of a sketch instance for reports and tables."""
+
+    name: str
+    memory_bytes: float
+    parameters: dict
+
+
+class Sketch(abc.ABC):
+    """Abstract base class of all stream-summary sketches."""
+
+    #: Human-readable algorithm name, overridden by subclasses.
+    name: str = "sketch"
+
+    @abc.abstractmethod
+    def insert(self, key: object, value: int = 1) -> None:
+        """Process one stream item ``<key, value>`` (value must be positive)."""
+
+    @abc.abstractmethod
+    def query(self, key: object) -> int:
+        """Return the estimated value sum of ``key``."""
+
+    def insert_stream(self, items: Iterable) -> None:
+        """Insert every item of an iterable of ``(key, value)`` pairs."""
+        for key, value in items:
+            self.insert(key, value)
+
+    def memory_bytes(self) -> float:
+        """Configured memory footprint of the data structure, in bytes."""
+        raise NotImplementedError
+
+    def hash_calls(self) -> int:
+        """Total number of hash-function evaluations so far (Figure 16)."""
+        return 0
+
+    def reset_hash_calls(self) -> None:
+        """Zero the hash-call counters before a measurement phase."""
+
+    def describe(self) -> SketchDescription:
+        """Summarise this instance for experiment reports."""
+        return SketchDescription(self.name, self.memory_bytes(), self.parameters())
+
+    def parameters(self) -> dict:
+        """Algorithm-specific parameters worth recording in reports."""
+        return {}
+
+    @staticmethod
+    def _check_insert(value: int) -> None:
+        """Shared validation: the stream-summary problem assumes positive values."""
+        if value <= 0:
+            raise ValueError("inserted value must be positive")

@@ -1,0 +1,61 @@
+"""Count-Min sketch (Cormode & Muthukrishnan 2005).
+
+The canonical counter-based baseline of the paper.  ``d`` arrays of ``w``
+32-bit counters; insertion adds the value to one counter per array, the query
+reports the minimum.  The paper evaluates a fast variant (``d = 3``) and an
+accurate variant (``d = 16``); :mod:`repro.sketches.registry` exposes both.
+"""
+
+from __future__ import annotations
+
+from repro.hashing import HashFamily
+from repro.metrics.memory import COUNTER_32
+from repro.sketches.base import Sketch
+
+
+class CountMinSketch(Sketch):
+    """Count-Min sketch sized from a memory budget.
+
+    Parameters
+    ----------
+    memory_bytes:
+        Total memory budget; split evenly across ``depth`` counter arrays.
+    depth:
+        Number of independent arrays (3 = "fast", 16 = "accurate" in §6.1.4).
+    seed:
+        Master seed of the hash family.
+    """
+
+    name = "CM"
+
+    def __init__(self, memory_bytes: float, depth: int = 3, seed: int = 0) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        total_counters = COUNTER_32.entries_for(memory_bytes)
+        self.depth = depth
+        self.width = max(1, total_counters // depth)
+        self._family = HashFamily(seed)
+        self._hashes = self._family.draw_many(depth, self.width)
+        self._tables = [[0] * self.width for _ in range(depth)]
+
+    def insert(self, key: object, value: int = 1) -> None:
+        self._check_insert(value)
+        for row, hash_fn in zip(self._tables, self._hashes):
+            row[hash_fn(key)] += value
+
+    def query(self, key: object) -> int:
+        return min(
+            row[hash_fn(key)] for row, hash_fn in zip(self._tables, self._hashes)
+        )
+
+    def memory_bytes(self) -> float:
+        return COUNTER_32.bytes_for(self.depth * self.width)
+
+    def hash_calls(self) -> int:
+        return self._family.total_calls()
+
+    def reset_hash_calls(self) -> None:
+        self._family.reset_counters()
+
+    def parameters(self) -> dict:
+        return {"depth": self.depth, "width": self.width}

@@ -1,0 +1,98 @@
+"""CocoSketch (Zhang et al., SIGCOMM 2021).
+
+A counter-based competitor from §6.1.4.  Each of ``d`` arrays stores
+``(key, counter)`` pairs.  On a hash collision the incumbent is replaced
+*probabilistically*, with probability ``value / (counter + value)``, which
+keeps the per-key estimate unbiased while using a single counter per bucket.
+The paper uses ``d = 2`` arrays as recommended by the original authors.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.hashing import HashFamily
+from repro.metrics.memory import KEY_COUNTER_PAIR
+from repro.sketches.base import Sketch
+
+
+class _Slot:
+    """One (key, counter) slot of a CocoSketch array."""
+
+    __slots__ = ("key", "count")
+
+    def __init__(self) -> None:
+        self.key = None
+        self.count = 0
+
+
+class CocoSketch(Sketch):
+    """CocoSketch sized from a memory budget.
+
+    Parameters
+    ----------
+    memory_bytes:
+        Total budget, split across ``depth`` arrays of (key, counter) slots.
+    depth:
+        Number of arrays (2 as recommended and used in the paper).
+    seed:
+        Seeds both the hash family and the replacement RNG, so runs are
+        reproducible.
+    """
+
+    name = "Coco"
+
+    def __init__(self, memory_bytes: float, depth: int = 2, seed: int = 0) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        total_slots = KEY_COUNTER_PAIR.entries_for(memory_bytes)
+        self.depth = depth
+        self.width = max(1, total_slots // depth)
+        self._family = HashFamily(seed)
+        self._hashes = self._family.draw_many(depth, self.width)
+        self._tables = [[_Slot() for _ in range(self.width)] for _ in range(depth)]
+        self._rng = random.Random(seed)
+
+    def insert(self, key: object, value: int = 1) -> None:
+        self._check_insert(value)
+        # Find the matching or smallest-count slot among the d mapped slots.
+        matched = None
+        smallest = None
+        for table, hash_fn in zip(self._tables, self._hashes):
+            slot = table[hash_fn(key)]
+            if slot.key == key:
+                matched = slot
+                break
+            if smallest is None or slot.count < smallest.count:
+                smallest = slot
+        if matched is not None:
+            matched.count += value
+            return
+        assert smallest is not None
+        if smallest.key is None:
+            smallest.key = key
+            smallest.count = value
+            return
+        # Unbiased probabilistic replacement of the smallest mapped slot.
+        smallest.count += value
+        if self._rng.random() < value / smallest.count:
+            smallest.key = key
+
+    def query(self, key: object) -> int:
+        for table, hash_fn in zip(self._tables, self._hashes):
+            slot = table[hash_fn(key)]
+            if slot.key == key:
+                return slot.count
+        return 0
+
+    def memory_bytes(self) -> float:
+        return KEY_COUNTER_PAIR.bytes_for(self.depth * self.width)
+
+    def hash_calls(self) -> int:
+        return self._family.total_calls()
+
+    def reset_hash_calls(self) -> None:
+        self._family.reset_counters()
+
+    def parameters(self) -> dict:
+        return {"depth": self.depth, "width": self.width}

@@ -1,0 +1,59 @@
+"""Count sketch (Charikar, Chen & Farach-Colton 2002).
+
+The L2-norm counter-based family representative (Table 1).  Each array adds
+the value multiplied by a ±1 sign hash; the query reports the median of the
+signed estimates, which is unbiased (unlike CM/CU, which only overestimate).
+Not part of the paper's main competitor set but included because Table 1
+contrasts the L1- and L2-norm families.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.hashing import HashFamily
+from repro.metrics.memory import COUNTER_32
+from repro.sketches.base import Sketch
+
+
+class CountSketch(Sketch):
+    """Count sketch sized from a memory budget."""
+
+    name = "Count"
+
+    def __init__(self, memory_bytes: float, depth: int = 3, seed: int = 0) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        total_counters = COUNTER_32.entries_for(memory_bytes)
+        self.depth = depth
+        self.width = max(1, total_counters // depth)
+        self._family = HashFamily(seed)
+        self._hashes = self._family.draw_many(depth, self.width)
+        self._signs = [self._family.draw_sign() for _ in range(depth)]
+        self._tables = [[0] * self.width for _ in range(depth)]
+
+    def insert(self, key: object, value: int = 1) -> None:
+        self._check_insert(value)
+        for row, hash_fn, sign_fn in zip(self._tables, self._hashes, self._signs):
+            row[hash_fn(key)] += sign_fn(key) * value
+
+    def query(self, key: object) -> int:
+        estimates = [
+            sign_fn(key) * row[hash_fn(key)]
+            for row, hash_fn, sign_fn in zip(self._tables, self._hashes, self._signs)
+        ]
+        # Estimates can be negative for rare keys; clamp to zero because the
+        # stream-summary problem only has non-negative value sums.
+        return max(0, int(statistics.median(estimates)))
+
+    def memory_bytes(self) -> float:
+        return COUNTER_32.bytes_for(self.depth * self.width)
+
+    def hash_calls(self) -> int:
+        return self._family.total_calls()
+
+    def reset_hash_calls(self) -> None:
+        self._family.reset_counters()
+
+    def parameters(self) -> dict:
+        return {"depth": self.depth, "width": self.width}

@@ -1,0 +1,57 @@
+"""CU sketch — Count-Min with Conservative Update (Estan & Varghese 2002).
+
+Identical layout to Count-Min, but an insertion only increments the counters
+that currently hold the minimum value, which strictly reduces overestimation
+for unit-value streams.  Used by the paper both as a baseline (fast/accurate
+variants) and, in miniature, as the mice filter of ReliableSketch (§3.3).
+"""
+
+from __future__ import annotations
+
+from repro.hashing import HashFamily
+from repro.metrics.memory import COUNTER_32
+from repro.sketches.base import Sketch
+
+
+class CUSketch(Sketch):
+    """Conservative-update Count-Min sketch sized from a memory budget."""
+
+    name = "CU"
+
+    def __init__(self, memory_bytes: float, depth: int = 3, seed: int = 0) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        total_counters = COUNTER_32.entries_for(memory_bytes)
+        self.depth = depth
+        self.width = max(1, total_counters // depth)
+        self._family = HashFamily(seed)
+        self._hashes = self._family.draw_many(depth, self.width)
+        self._tables = [[0] * self.width for _ in range(depth)]
+
+    def insert(self, key: object, value: int = 1) -> None:
+        self._check_insert(value)
+        indexes = [hash_fn(key) for hash_fn in self._hashes]
+        current = [row[idx] for row, idx in zip(self._tables, indexes)]
+        # Conservative update: raise every counter only up to the new lower
+        # bound (min + value); counters already above it are left untouched.
+        target = min(current) + value
+        for row, idx in zip(self._tables, indexes):
+            if row[idx] < target:
+                row[idx] = target
+
+    def query(self, key: object) -> int:
+        return min(
+            row[hash_fn(key)] for row, hash_fn in zip(self._tables, self._hashes)
+        )
+
+    def memory_bytes(self) -> float:
+        return COUNTER_32.bytes_for(self.depth * self.width)
+
+    def hash_calls(self) -> int:
+        return self._family.total_calls()
+
+    def reset_hash_calls(self) -> None:
+        self._family.reset_counters()
+
+    def parameters(self) -> dict:
+        return {"depth": self.depth, "width": self.width}

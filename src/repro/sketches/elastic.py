@@ -1,0 +1,124 @@
+"""Elastic sketch (Yang et al., SIGCOMM 2018).
+
+The closest prior work to ReliableSketch: its heavy part also uses an
+election bucket with positive and negative votes, but the negative counter is
+reset on replacement, so it cannot bound the error (§7 of the paper).
+
+Structure:
+
+* **Heavy part** — an array of buckets, each holding a candidate key, its
+  positive votes, a negative-vote counter and an "ejected" flag.  When
+  ``negative / positive`` exceeds the eviction ratio ``λ`` (8 in the original
+  paper), the candidate is evicted to the light part and replaced.
+* **Light part** — a single-array CM sketch of 8-bit counters.
+
+Memory is split ``1 : light_ratio`` between heavy and light parts
+(``light_ratio = 3`` as recommended by the original authors and used in
+§6.1.4).
+"""
+
+from __future__ import annotations
+
+from repro.hashing import HashFamily
+from repro.metrics.memory import ELASTIC_HEAVY_BUCKET, FieldSpec, MemoryModel
+from repro.sketches.base import Sketch
+
+_LIGHT_COUNTER = MemoryModel((FieldSpec("counter", 8),))
+_LIGHT_COUNTER_MAX = 255
+
+
+class _HeavyBucket:
+    """One heavy-part bucket: candidate key, votes and eviction flag."""
+
+    __slots__ = ("key", "positive", "negative", "flag")
+
+    def __init__(self) -> None:
+        self.key = None
+        self.positive = 0
+        self.negative = 0
+        self.flag = False
+
+
+class ElasticSketch(Sketch):
+    """Elastic sketch sized from a memory budget."""
+
+    name = "Elastic"
+
+    def __init__(
+        self,
+        memory_bytes: float,
+        light_ratio: float = 3.0,
+        eviction_ratio: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if light_ratio <= 0:
+            raise ValueError("light_ratio must be positive")
+        if eviction_ratio <= 0:
+            raise ValueError("eviction_ratio must be positive")
+        heavy_bytes = memory_bytes / (1.0 + light_ratio)
+        light_bytes = memory_bytes - heavy_bytes
+        self.eviction_ratio = eviction_ratio
+        self.heavy_width = max(1, ELASTIC_HEAVY_BUCKET.entries_for(heavy_bytes))
+        self.light_width = max(1, _LIGHT_COUNTER.entries_for(light_bytes))
+        self._family = HashFamily(seed)
+        self._heavy_hash = self._family.draw(self.heavy_width)
+        self._light_hash = self._family.draw(self.light_width)
+        self._heavy = [_HeavyBucket() for _ in range(self.heavy_width)]
+        self._light = [0] * self.light_width
+
+    def _light_insert(self, key: object, value: int) -> None:
+        index = self._light_hash(key)
+        self._light[index] = min(_LIGHT_COUNTER_MAX, self._light[index] + value)
+
+    def _light_query(self, key: object) -> int:
+        return self._light[self._light_hash(key)]
+
+    def insert(self, key: object, value: int = 1) -> None:
+        self._check_insert(value)
+        bucket = self._heavy[self._heavy_hash(key)]
+        if bucket.key is None:
+            bucket.key = key
+            bucket.positive = value
+            bucket.negative = 0
+            bucket.flag = False
+            return
+        if bucket.key == key:
+            bucket.positive += value
+            return
+        bucket.negative += value
+        if bucket.negative >= self.eviction_ratio * bucket.positive:
+            # Evict the incumbent to the light part and install the newcomer.
+            self._light_insert(bucket.key, bucket.positive)
+            bucket.key = key
+            bucket.positive = value
+            bucket.negative = 1  # Elastic resets the vote-all counter.
+            bucket.flag = True
+        else:
+            self._light_insert(key, value)
+
+    def query(self, key: object) -> int:
+        bucket = self._heavy[self._heavy_hash(key)]
+        if bucket.key == key:
+            estimate = bucket.positive
+            if bucket.flag:
+                estimate += self._light_query(key)
+            return estimate
+        return self._light_query(key)
+
+    def memory_bytes(self) -> float:
+        return ELASTIC_HEAVY_BUCKET.bytes_for(self.heavy_width) + _LIGHT_COUNTER.bytes_for(
+            self.light_width
+        )
+
+    def hash_calls(self) -> int:
+        return self._family.total_calls()
+
+    def reset_hash_calls(self) -> None:
+        self._family.reset_counters()
+
+    def parameters(self) -> dict:
+        return {
+            "heavy_width": self.heavy_width,
+            "light_width": self.light_width,
+            "eviction_ratio": self.eviction_ratio,
+        }

@@ -1,0 +1,68 @@
+"""Frequent / Misra-Gries summary (Demaine, López-Ortiz & Munro 2002).
+
+The second heap-based baseline named in Table 1.  Maintains up to
+``capacity`` counters; an unmonitored arrival either claims a free counter or
+decrements every counter (the generalisation to weighted arrivals decrements
+by the largest amount that keeps all counters non-negative).  Estimates are
+underestimates, in contrast to CM/CU/SpaceSaving.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.memory import KEY_COUNTER_PAIR
+from repro.sketches.base import Sketch
+
+
+class FrequentSketch(Sketch):
+    """Misra-Gries frequent-items summary."""
+
+    name = "Frequent"
+
+    def __init__(self, memory_bytes: float | None = None, capacity: int | None = None) -> None:
+        if capacity is None:
+            if memory_bytes is None:
+                raise ValueError("provide either memory_bytes or capacity")
+            capacity = KEY_COUNTER_PAIR.entries_for(memory_bytes)
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._counters: dict[object, int] = {}
+        #: Total value removed by global decrements — bounds the underestimate.
+        self.decremented_total = 0
+
+    def insert(self, key: object, value: int = 1) -> None:
+        self._check_insert(value)
+        if key in self._counters:
+            self._counters[key] += value
+            return
+        if len(self._counters) < self.capacity:
+            self._counters[key] = value
+            return
+        # Weighted Misra-Gries: subtract the largest amount that keeps every
+        # counter (including the newcomer's implicit counter) non-negative.
+        smallest = min(self._counters.values())
+        decrement = min(value, smallest)
+        self.decremented_total += decrement
+        remaining = value - decrement
+        if decrement:
+            survivors = {}
+            for existing_key, count in self._counters.items():
+                count -= decrement
+                if count > 0:
+                    survivors[existing_key] = count
+            self._counters = survivors
+        if remaining > 0 and len(self._counters) < self.capacity:
+            self._counters[key] = remaining
+
+    def query(self, key: object) -> int:
+        return self._counters.get(key, 0)
+
+    def monitored_keys(self) -> list[object]:
+        """Keys currently holding a counter."""
+        return list(self._counters.keys())
+
+    def memory_bytes(self) -> float:
+        return KEY_COUNTER_PAIR.bytes_for(self.capacity)
+
+    def parameters(self) -> dict:
+        return {"capacity": self.capacity}

@@ -1,0 +1,97 @@
+"""HashPipe (Sivaraman et al., SOSR 2017).
+
+A heavy-hitter data structure designed for programmable switch pipelines,
+used as a competitor in Figures 7 and 10.  The structure is a pipeline of
+``d`` stages, each an array of (key, counter) slots:
+
+* Stage 1 always installs the arriving key, evicting the incumbent.
+* Later stages install the carried (evicted) key only if the slot is empty or
+  holds a smaller counter; otherwise the carried key continues down the
+  pipeline and is dropped after the last stage.
+
+The paper uses ``d = 6`` stages as recommended by the original authors.
+"""
+
+from __future__ import annotations
+
+from repro.hashing import HashFamily
+from repro.metrics.memory import KEY_COUNTER_PAIR
+from repro.sketches.base import Sketch
+
+
+class _Slot:
+    """One (key, counter) slot of a pipeline stage."""
+
+    __slots__ = ("key", "count")
+
+    def __init__(self) -> None:
+        self.key = None
+        self.count = 0
+
+
+class HashPipe(Sketch):
+    """HashPipe sized from a memory budget."""
+
+    name = "HashPipe"
+
+    def __init__(self, memory_bytes: float, depth: int = 6, seed: int = 0) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        total_slots = KEY_COUNTER_PAIR.entries_for(memory_bytes)
+        self.depth = depth
+        self.width = max(1, total_slots // depth)
+        self._family = HashFamily(seed)
+        self._hashes = self._family.draw_many(depth, self.width)
+        self._stages = [[_Slot() for _ in range(self.width)] for _ in range(depth)]
+
+    def insert(self, key: object, value: int = 1) -> None:
+        self._check_insert(value)
+        # Stage 1: always insert, evicting whatever was there.
+        slot = self._stages[0][self._hashes[0](key)]
+        if slot.key == key:
+            slot.count += value
+            return
+        carried_key, carried_count = slot.key, slot.count
+        slot.key, slot.count = key, value
+        if carried_key is None:
+            return
+        # Later stages: merge on match, settle into empty or smaller slots,
+        # otherwise keep carrying the evicted key down the pipeline.
+        for stage, hash_fn in zip(self._stages[1:], self._hashes[1:]):
+            slot = stage[hash_fn(carried_key)]
+            if slot.key == carried_key:
+                slot.count += carried_count
+                return
+            if slot.key is None:
+                slot.key, slot.count = carried_key, carried_count
+                return
+            if slot.count < carried_count:
+                slot.key, slot.count, carried_key, carried_count = (
+                    carried_key,
+                    carried_count,
+                    slot.key,
+                    slot.count,
+                )
+        # The final carried key falls off the pipeline and is forgotten.
+
+    def query(self, key: object) -> int:
+        # A key may be resident in several stages (duplicates are inherent to
+        # HashPipe); the estimate is the sum of all matching slots.
+        total = 0
+        for stage, hash_fn in zip(self._stages, self._hashes):
+            slot = stage[hash_fn(key)]
+            if slot.key == key:
+                total += slot.count
+        return total
+
+    def memory_bytes(self) -> float:
+        return KEY_COUNTER_PAIR.bytes_for(self.depth * self.width)
+
+    def hash_calls(self) -> int:
+        return self._family.total_calls()
+
+    def reset_hash_calls(self) -> None:
+        self._family.reset_counters()
+
+    def parameters(self) -> dict:
+        return {"depth": self.depth, "width": self.width}

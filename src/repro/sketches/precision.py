@@ -1,0 +1,90 @@
+"""PRECISION (Ben-Basat et al., ICNP 2018).
+
+Probabilistic-recirculation heavy-hitter detection for programmable
+switches, used as a competitor in Figures 7 and 10.  Like HashPipe it keeps
+``d`` stages of (key, counter) slots, but instead of always evicting at the
+first stage it admits an unmatched key only *probabilistically*, with
+probability ``1 / (min_count + 1)`` — emulating the recirculation budget of a
+real switch.  This avoids HashPipe's duplicate entries at the cost of a small
+admission delay for emerging heavy hitters.
+
+The paper uses ``d = 3`` stages for best performance.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.hashing import HashFamily
+from repro.metrics.memory import KEY_COUNTER_PAIR
+from repro.sketches.base import Sketch
+
+
+class _Slot:
+    """One (key, counter) slot of a PRECISION stage."""
+
+    __slots__ = ("key", "count")
+
+    def __init__(self) -> None:
+        self.key = None
+        self.count = 0
+
+
+class Precision(Sketch):
+    """PRECISION sized from a memory budget."""
+
+    name = "PRECISION"
+
+    def __init__(self, memory_bytes: float, depth: int = 3, seed: int = 0) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        total_slots = KEY_COUNTER_PAIR.entries_for(memory_bytes)
+        self.depth = depth
+        self.width = max(1, total_slots // depth)
+        self._family = HashFamily(seed)
+        self._hashes = self._family.draw_many(depth, self.width)
+        self._stages = [[_Slot() for _ in range(self.width)] for _ in range(depth)]
+        self._rng = random.Random(seed)
+        #: Number of simulated recirculations (entry replacements).
+        self.recirculations = 0
+
+    def insert(self, key: object, value: int = 1) -> None:
+        self._check_insert(value)
+        minimum_slot: _Slot | None = None
+        for stage, hash_fn in zip(self._stages, self._hashes):
+            slot = stage[hash_fn(key)]
+            if slot.key == key:
+                slot.count += value
+                return
+            if slot.key is None:
+                slot.key, slot.count = key, value
+                return
+            if minimum_slot is None or slot.count < minimum_slot.count:
+                minimum_slot = slot
+        assert minimum_slot is not None
+        # Probabilistic recirculation: replace the minimum entry with
+        # probability value / (min_count + value); on success the new entry
+        # starts from min_count + value, preserving the overestimate bound.
+        if self._rng.random() < value / (minimum_slot.count + value):
+            self.recirculations += 1
+            minimum_slot.key = key
+            minimum_slot.count += value
+
+    def query(self, key: object) -> int:
+        for stage, hash_fn in zip(self._stages, self._hashes):
+            slot = stage[hash_fn(key)]
+            if slot.key == key:
+                return slot.count
+        return 0
+
+    def memory_bytes(self) -> float:
+        return KEY_COUNTER_PAIR.bytes_for(self.depth * self.width)
+
+    def hash_calls(self) -> int:
+        return self._family.total_calls()
+
+    def reset_hash_calls(self) -> None:
+        self._family.reset_counters()
+
+    def parameters(self) -> dict:
+        return {"depth": self.depth, "width": self.width}

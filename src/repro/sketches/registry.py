@@ -1,0 +1,102 @@
+"""Registry of algorithms by the names used in the paper's figures.
+
+The evaluation compares "Ours" (ReliableSketch, with and without the mice
+filter) against CM/CU in fast and accurate variants, SpaceSaving, Elastic,
+Coco, HashPipe and PRECISION.  ``build_sketch(name, memory_bytes, ...)``
+constructs any of them with the per-algorithm parameters of §6.1.4, so
+experiment code never hard-codes constructor details.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sketches.base import Sketch
+from repro.sketches.cm import CountMinSketch
+from repro.sketches.coco import CocoSketch
+from repro.sketches.count import CountSketch
+from repro.sketches.cu import CUSketch
+from repro.sketches.elastic import ElasticSketch
+from repro.sketches.frequent import FrequentSketch
+from repro.sketches.hashpipe import HashPipe
+from repro.sketches.precision import Precision
+from repro.sketches.spacesaving import SpaceSaving
+
+
+def _build_reliable(memory_bytes: float, seed: int, **kwargs) -> Sketch:
+    # Imported lazily: repro.core depends on repro.sketches (CU mice filter,
+    # SpaceSaving emergency layer), so a module-level import would be circular.
+    from repro.core import ReliableSketch
+
+    return ReliableSketch.from_memory(memory_bytes, seed=seed, **kwargs)
+
+
+def _build_reliable_raw(memory_bytes: float, seed: int, **kwargs) -> Sketch:
+    from repro.core import ReliableSketch
+
+    kwargs.setdefault("use_mice_filter", False)
+    return ReliableSketch.from_memory(memory_bytes, seed=seed, **kwargs)
+
+
+_BUILDERS: dict[str, Callable[..., Sketch]] = {
+    "Ours": _build_reliable,
+    "Ours(Raw)": _build_reliable_raw,
+    "CM_fast": lambda memory_bytes, seed, **kw: CountMinSketch(memory_bytes, depth=3, seed=seed, **kw),
+    "CM_acc": lambda memory_bytes, seed, **kw: CountMinSketch(memory_bytes, depth=16, seed=seed, **kw),
+    "CU_fast": lambda memory_bytes, seed, **kw: CUSketch(memory_bytes, depth=3, seed=seed, **kw),
+    "CU_acc": lambda memory_bytes, seed, **kw: CUSketch(memory_bytes, depth=16, seed=seed, **kw),
+    "Count": lambda memory_bytes, seed, **kw: CountSketch(memory_bytes, depth=3, seed=seed, **kw),
+    "Elastic": lambda memory_bytes, seed, **kw: ElasticSketch(memory_bytes, seed=seed, **kw),
+    "SS": lambda memory_bytes, seed, **kw: SpaceSaving(memory_bytes, **kw),
+    "Frequent": lambda memory_bytes, seed, **kw: FrequentSketch(memory_bytes, **kw),
+    "Coco": lambda memory_bytes, seed, **kw: CocoSketch(memory_bytes, depth=2, seed=seed, **kw),
+    "HashPipe": lambda memory_bytes, seed, **kw: HashPipe(memory_bytes, depth=6, seed=seed, **kw),
+    "PRECISION": lambda memory_bytes, seed, **kw: Precision(memory_bytes, depth=3, seed=seed, **kw),
+}
+
+#: Competitor sets of the paper's figures.
+COMPETITORS: dict[str, tuple[str, ...]] = {
+    # Figures 4-6: outlier counts across all keys.
+    "outliers": ("Ours", "CM_acc", "CU_acc", "CM_fast", "CU_fast", "Elastic", "SS", "Coco"),
+    # Figure 7: outliers among frequent keys (switch-oriented competitors).
+    "frequent": ("Ours", "PRECISION", "Elastic", "HashPipe", "SS"),
+    # Figures 8-9: average error.
+    "error": ("Ours", "CM_fast", "CU_fast", "Elastic", "SS", "Coco"),
+    # Figure 10: throughput.
+    "speed": (
+        "Ours",
+        "Ours(Raw)",
+        "CM_fast",
+        "CU_fast",
+        "CM_acc",
+        "CU_acc",
+        "SS",
+        "Elastic",
+        "Coco",
+        "HashPipe",
+        "PRECISION",
+    ),
+}
+
+
+def competitor_names(group: str | None = None) -> tuple[str, ...]:
+    """Algorithm names for a figure group, or every registered name."""
+    if group is None:
+        return tuple(_BUILDERS.keys())
+    try:
+        return COMPETITORS[group]
+    except KeyError:
+        raise ValueError(
+            f"unknown competitor group {group!r}; expected one of {sorted(COMPETITORS)}"
+        ) from None
+
+
+def build_sketch(name: str, memory_bytes: float, seed: int = 0, **kwargs) -> Sketch:
+    """Construct the algorithm registered under ``name`` for a memory budget."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sketch {name!r}; expected one of {sorted(_BUILDERS)}"
+        ) from None
+    return builder(memory_bytes, seed, **kwargs)

@@ -1,0 +1,49 @@
+"""Trace file round-trip.
+
+Real deployments feed sketches from capture files.  To keep the repository
+self-contained we use a trivial text format — one ``key value`` pair per
+line — which is enough to snapshot a generated surrogate trace to disk, share
+it between experiments, and reload it deterministically.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.streams.items import Item, Stream
+
+
+def write_trace_file(stream: Stream, path: str | Path) -> Path:
+    """Write ``stream`` to ``path`` as ``key value`` lines; returns the path."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for item in stream:
+            handle.write(f"{item.key} {item.value}\n")
+    return path
+
+
+def read_trace_file(path: str | Path, name: str | None = None) -> Stream:
+    """Read a stream previously written by :func:`write_trace_file`.
+
+    Keys that look like integers are parsed back to ``int`` so that the
+    round-trip is exact for the surrogate traces; everything else stays a
+    string key.
+    """
+    path = Path(path)
+    items: list[Item] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"{path}:{line_number}: expected 'key value', got {line!r}")
+            raw_key, raw_value = parts
+            key: object
+            try:
+                key = int(raw_key)
+            except ValueError:
+                key = raw_key
+            items.append(Item(key, int(raw_value)))
+    return Stream(items, name=name or path.stem)

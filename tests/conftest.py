@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite.
+
+Streams are deliberately small (a few tens of thousands of items) so the full
+suite runs in well under a minute while still exercising realistic collision
+pressure; the full-scale experiments live in ``benchmarks/`` and the CLI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streams.items import Stream
+from repro.streams.synthetic import zipf_stream
+from repro.streams.traces import ip_trace
+
+
+@pytest.fixture(scope="session")
+def small_zipf_stream() -> Stream:
+    """A 20k-item Zipf(1.2) stream over 3k keys: heavy hitters plus mice."""
+    return zipf_stream(count=20_000, skew=1.2, universe=3_000, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_ip_trace() -> Stream:
+    """A 0.2%-scale surrogate IP trace (20k packets, ~800 flows)."""
+    return ip_trace(scale=0.002, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_stream() -> Stream:
+    """A deterministic hand-rolled stream for exact-value assertions."""
+    items = []
+    for key, count in [("a", 50), ("b", 30), ("c", 5), ("d", 1), ("e", 1)]:
+        items.extend([(key, 1)] * count)
+    return Stream(items, name="tiny")

@@ -1,0 +1,106 @@
+"""Theoretical analysis helpers: Theorems 4-5 formulas and Table 1."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import analysis
+
+
+class TestConstants:
+    def test_delta1_formula(self):
+        # Δ₁ = 2 R_w² R_λ² (R_λ − 1); defaults R_w=2, R_λ=2.5 → 2·4·6.25·1.5.
+        assert analysis.delta1_constant() == pytest.approx(2 * 4 * 6.25 * 1.5)
+
+    def test_delta2_formula(self):
+        # Δ₂ = 6 R_w³ R_λ⁴; defaults → 6·8·39.0625.
+        assert analysis.delta2_constant() == pytest.approx(6 * 8 * 39.0625)
+
+    def test_delta2_equals_paper_relation(self):
+        # The paper also states Δ₂ = 3 (R_w R_λ² / (R_λ−1)) Δ₁; both must agree.
+        r_w, r_lambda = 2.0, 2.5
+        delta1 = analysis.delta1_constant(r_w, r_lambda)
+        via_relation = 3 * (r_w * r_lambda**2 / (r_lambda - 1)) * delta1
+        assert analysis.delta2_constant(r_w, r_lambda) == pytest.approx(via_relation)
+
+
+class TestRequiredDepth:
+    def test_depth_grows_slowly_with_stream_size(self):
+        small = analysis.required_depth(1e5, 25, 1e-6)
+        large = analysis.required_depth(1e9, 25, 1e-6)
+        assert small <= large <= small + 4  # ln ln growth
+
+    def test_depth_at_least_one(self):
+        assert analysis.required_depth(100, 25, 0.1) >= 1
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            analysis.required_depth(0, 25, 0.1)
+        with pytest.raises(ValueError):
+            analysis.required_depth(100, 25, 0.0)
+
+
+class TestFailureProbability:
+    def test_double_exponential_decay(self):
+        p = [analysis.failure_probability_upper_bound(d) for d in range(1, 7)]
+        for earlier, later in zip(p, p[1:]):
+            assert later < earlier
+        # Doubling depth should square (or better) the bound.
+        assert p[3] <= p[1] ** 2 * 10
+
+    def test_underflow_clamped_to_zero(self):
+        assert analysis.failure_probability_upper_bound(20) == 0.0
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            analysis.failure_probability_upper_bound(0)
+
+
+class TestComplexityTable:
+    def test_has_four_families(self):
+        rows = analysis.complexity_table(1e7, 25, 1e-10, distinct_keys=4e5)
+        assert [row.family for row in rows] == [
+            "Counter-based (L1)",
+            "Counter-based (L2)",
+            "Heap-based",
+            "ReliableSketch (Ours)",
+        ]
+
+    def test_ours_beats_counter_based_space_and_heap_time(self):
+        rows = {row.family: row for row in analysis.complexity_table(1e7, 25, 1e-10, 4e5)}
+        ours = rows["ReliableSketch (Ours)"]
+        counter = rows["Counter-based (L1)"]
+        heap = rows["Heap-based"]
+        assert ours.space_estimate < counter.space_estimate
+        assert ours.time_estimate < heap.time_estimate
+        # Space is within a constant of the heap-based optimum.
+        assert ours.space_estimate < heap.space_estimate * 2
+
+    def test_amortized_time_bound_close_to_one(self):
+        assert analysis.amortized_time_bound(1e7, 25, 1e-10) == pytest.approx(1.0, abs=0.01)
+
+    def test_space_bound_formula(self):
+        expected = 1e7 / 25 + math.log(1e10)
+        assert analysis.space_bound(1e7, 25, 1e-10) == pytest.approx(expected)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            analysis.amortized_time_bound(0, 25, 0.1)
+        with pytest.raises(ValueError):
+            analysis.space_bound(100, 25, 2.0)
+
+
+class TestEscapeFractions:
+    def test_layer_one_receives_everything(self):
+        fractions = analysis.predicted_escape_fractions(6)
+        assert fractions[0] == pytest.approx(1.0)
+
+    def test_fractions_decay_double_exponentially(self):
+        fractions = analysis.predicted_escape_fractions(6)
+        for earlier, later in zip(fractions, fractions[1:]):
+            assert later <= earlier
+        # The drop accelerates: ratio between consecutive layers shrinks.
+        ratios = [later / earlier for earlier, later in zip(fractions, fractions[1:]) if earlier]
+        assert ratios[2] <= ratios[0]

@@ -1,0 +1,110 @@
+"""Error-Sensible Bucket: the worked example of Figure 2 and the invariants of §3.1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bucket import BucketQueryResult, ErrorSensibleBucket
+
+
+def test_initial_state_is_empty():
+    bucket = ErrorSensibleBucket()
+    assert bucket.is_empty
+    assert bucket.key is None
+    assert bucket.yes == 0
+    assert bucket.no == 0
+
+
+def test_paper_figure2_example():
+    """Reproduce the worked example of Figure 2 step by step."""
+    bucket = ErrorSensibleBucket()
+    bucket.insert("A", 2)
+    assert (bucket.key, bucket.yes, bucket.no) == ("A", 2, 0)
+    bucket.insert("A", 3)
+    assert (bucket.key, bucket.yes, bucket.no) == ("A", 5, 0)
+    bucket.insert("B", 10)
+    # B's 10 negative votes reach 10 >= 5, so B takes over and counters swap.
+    assert (bucket.key, bucket.yes, bucket.no) == ("B", 10, 5)
+
+    result_a = bucket.query("A")
+    assert result_a.estimate == 5 and result_a.mpe == 5
+    result_b = bucket.query("B")
+    assert result_b.estimate == 10 and result_b.mpe == 5
+
+
+def test_first_insert_adopts_key_without_error():
+    bucket = ErrorSensibleBucket()
+    bucket.insert("x", 7)
+    assert bucket.query("x") == BucketQueryResult(estimate=7, mpe=0)
+
+
+def test_matching_key_accumulates_yes():
+    bucket = ErrorSensibleBucket()
+    bucket.insert("x", 3)
+    bucket.insert("x", 4)
+    assert bucket.yes == 7
+    assert bucket.no == 0
+
+
+def test_non_matching_key_accumulates_no_until_replacement():
+    bucket = ErrorSensibleBucket()
+    bucket.insert("x", 10)
+    bucket.insert("y", 4)
+    assert (bucket.key, bucket.yes, bucket.no) == ("x", 10, 4)
+    bucket.insert("y", 6)
+    # NO reaches 10 >= YES, replacement occurs.
+    assert (bucket.key, bucket.yes, bucket.no) == ("y", 10, 10)
+
+
+def test_query_for_non_candidate_uses_no():
+    bucket = ErrorSensibleBucket()
+    bucket.insert("x", 8)
+    bucket.insert("y", 3)
+    result = bucket.query("y")
+    assert result.estimate == 3
+    assert result.mpe == 3
+    assert result.lower_bound == 0
+    # Truth of y (3) is inside [0, 3].
+    assert result.contains(3)
+
+
+def test_query_result_bounds_and_contains():
+    result = BucketQueryResult(estimate=20, mpe=5)
+    assert result.lower_bound == 15
+    assert result.upper_bound == 20
+    assert result.contains(15) and result.contains(20) and result.contains(17)
+    assert not result.contains(14) and not result.contains(21)
+
+
+def test_lower_bound_never_negative():
+    result = BucketQueryResult(estimate=2, mpe=10)
+    assert result.lower_bound == 0
+
+
+def test_rejects_nonpositive_value():
+    bucket = ErrorSensibleBucket()
+    with pytest.raises(ValueError):
+        bucket.insert("x", 0)
+
+
+def test_total_value_accounts_for_everything():
+    bucket = ErrorSensibleBucket()
+    for key, value in [("a", 3), ("b", 2), ("a", 4), ("c", 9)]:
+        bucket.insert(key, value)
+    assert bucket.total_value == 18
+
+
+def test_clear_resets_bucket():
+    bucket = ErrorSensibleBucket()
+    bucket.insert("a", 5)
+    bucket.clear()
+    assert bucket.is_empty
+
+
+def test_yes_always_at_least_no():
+    """Post-insert invariant used throughout the sketch: YES >= NO."""
+    bucket = ErrorSensibleBucket()
+    sequence = [("a", 2), ("b", 5), ("a", 1), ("c", 7), ("b", 3), ("c", 1)]
+    for key, value in sequence:
+        bucket.insert(key, value)
+        assert bucket.yes >= bucket.no

@@ -1,0 +1,104 @@
+"""Property-based tests of the Error-Sensible Bucket (§3.1 correctness claims).
+
+The paper proves by induction that for any insertion sequence and any key e:
+
+* if ``ID == e`` then ``f(e) ∈ [YES − NO, YES]``;
+* if ``ID != e`` then ``f(e) ∈ [0, NO]``;
+
+equivalently, the query's sensed interval always contains the truth and its
+MPE (``NO``) bounds the absolute error.  Hypothesis explores arbitrary
+insertion sequences to check exactly that.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bucket import ErrorSensibleBucket
+
+# Small key space so collisions are the norm, not the exception.
+insertions = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=5), st.integers(min_value=1, max_value=20)),
+    max_size=300,
+)
+
+
+@given(insertions)
+@settings(max_examples=200, deadline=None)
+def test_sensed_interval_always_contains_truth(sequence):
+    bucket = ErrorSensibleBucket()
+    truth: Counter = Counter()
+    for key, value in sequence:
+        bucket.insert(key, value)
+        truth[key] += value
+    for key in range(6):
+        result = bucket.query(key)
+        assert result.lower_bound <= truth[key] <= result.upper_bound
+
+
+@given(insertions)
+@settings(max_examples=200, deadline=None)
+def test_mpe_bounds_absolute_error(sequence):
+    bucket = ErrorSensibleBucket()
+    truth: Counter = Counter()
+    for key, value in sequence:
+        bucket.insert(key, value)
+        truth[key] += value
+    for key in range(6):
+        result = bucket.query(key)
+        assert abs(result.estimate - truth[key]) <= result.mpe
+
+
+@given(insertions)
+@settings(max_examples=200, deadline=None)
+def test_yes_plus_no_equals_total_inserted_value(sequence):
+    bucket = ErrorSensibleBucket()
+    total = 0
+    for key, value in sequence:
+        bucket.insert(key, value)
+        total += value
+    assert bucket.total_value == total
+
+
+@given(insertions)
+@settings(max_examples=200, deadline=None)
+def test_candidate_estimate_dominates_candidate_truth(sequence):
+    """When ID == e, YES >= f(e); when ID != e, NO >= f(e)."""
+    bucket = ErrorSensibleBucket()
+    truth: Counter = Counter()
+    for key, value in sequence:
+        bucket.insert(key, value)
+        truth[key] += value
+    if bucket.key is not None:
+        assert bucket.yes >= truth[bucket.key]
+        for key in range(6):
+            if key != bucket.key:
+                assert truth[key] <= bucket.no
+
+
+@given(insertions)
+@settings(max_examples=200, deadline=None)
+def test_yes_never_below_no_after_any_sequence(sequence):
+    bucket = ErrorSensibleBucket()
+    for key, value in sequence:
+        bucket.insert(key, value)
+        assert bucket.yes >= bucket.no
+
+
+@given(insertions)
+@settings(max_examples=100, deadline=None)
+def test_insertion_order_does_not_break_soundness(sequence):
+    """Soundness holds for the reversed sequence as well (order independence
+    of the *guarantee*, not of the exact state)."""
+    truth: Counter = Counter()
+    for key, value in sequence:
+        truth[key] += value
+    for ordering in (sequence, list(reversed(sequence))):
+        bucket = ErrorSensibleBucket()
+        for key, value in ordering:
+            bucket.insert(key, value)
+        for key in truth:
+            result = bucket.query(key)
+            assert result.contains(truth[key])

@@ -1,0 +1,172 @@
+"""Layer configuration: double-exponential schedule, sizing formulas, budgets."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import (
+    DEFAULT_MICE_FILTER_BITS,
+    LayerSpec,
+    ReliableConfig,
+    recommended_total_buckets,
+    theoretical_total_buckets,
+    tolerance_for_buckets,
+)
+from repro.metrics.memory import RELIABLE_BUCKET, mb
+
+
+class TestSizingFormulas:
+    def test_recommended_matches_paper_formula(self):
+        # W = (R_w R_λ)² / ((R_w−1)(R_λ−1)) · N/Λ with defaults R_w=2, R_λ=2.5.
+        n, tolerance = 1_000_000, 25
+        expected = math.ceil((2 * 2.5) ** 2 / (1 * 1.5) * n / tolerance)
+        assert recommended_total_buckets(n, tolerance) == expected
+
+    def test_theoretical_is_much_larger(self):
+        n, tolerance = 1_000_000, 25
+        assert theoretical_total_buckets(n, tolerance) > 10 * recommended_total_buckets(n, tolerance)
+
+    def test_tolerance_inverse_of_recommended(self):
+        n = 500_000
+        tolerance = 25.0
+        buckets = recommended_total_buckets(n, tolerance)
+        recovered = tolerance_for_buckets(n, buckets)
+        assert recovered == pytest.approx(tolerance, rel=0.01)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            recommended_total_buckets(0, 25)
+        with pytest.raises(ValueError):
+            tolerance_for_buckets(100, 0)
+
+
+class TestLayerSpec:
+    def test_zero_threshold_allowed(self):
+        assert LayerSpec(index=3, width=5, threshold=0).threshold == 0
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            LayerSpec(index=1, width=5, threshold=-1)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            LayerSpec(index=1, width=0, threshold=5)
+
+
+class TestBuild:
+    def test_widths_decrease_geometrically(self):
+        config = ReliableConfig.build(total_buckets=1_000, tolerance=25, depth=8)
+        widths = config.widths
+        for i in range(len(widths) - 1):
+            assert widths[i] >= widths[i + 1]
+        # First layer holds about (R_w - 1)/R_w = half of the buckets.
+        assert widths[0] == pytest.approx(500, abs=2)
+
+    def test_thresholds_decrease_and_sum_below_tolerance(self):
+        config = ReliableConfig.build(total_buckets=1_000, tolerance=25, depth=10)
+        thresholds = config.thresholds
+        for i in range(len(thresholds) - 1):
+            assert thresholds[i] >= thresholds[i + 1]
+        assert config.threshold_sum <= 25
+
+    def test_total_buckets_close_to_requested(self):
+        config = ReliableConfig.build(total_buckets=2_000, tolerance=25, depth=12)
+        assert config.total_buckets == pytest.approx(2_000, rel=0.05)
+
+    def test_threshold_budget_reduces_thresholds(self):
+        full = ReliableConfig.build(total_buckets=500, tolerance=25, depth=8)
+        reduced = ReliableConfig.build(
+            total_buckets=500, tolerance=25, depth=8, threshold_budget=10
+        )
+        assert reduced.threshold_sum <= 10
+        assert reduced.threshold_sum < full.threshold_sum
+        assert reduced.tolerance == 25
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ReliableConfig.build(total_buckets=0, tolerance=25)
+        with pytest.raises(ValueError):
+            ReliableConfig.build(total_buckets=10, tolerance=0)
+        with pytest.raises(ValueError):
+            ReliableConfig.build(total_buckets=10, tolerance=25, r_w=1.0)
+        with pytest.raises(ValueError):
+            ReliableConfig.build(total_buckets=10, tolerance=25, r_lambda=0.5)
+        with pytest.raises(ValueError):
+            ReliableConfig.build(total_buckets=10, tolerance=25, depth=0)
+
+    @given(
+        st.integers(min_value=10, max_value=100_000),
+        st.floats(min_value=5, max_value=500),
+        st.floats(min_value=1.5, max_value=10),
+        st.floats(min_value=1.5, max_value=10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_schedule_invariants_hold_for_any_parameters(self, buckets, tolerance, r_w, r_lambda):
+        config = ReliableConfig.build(
+            total_buckets=buckets, tolerance=tolerance, r_w=r_w, r_lambda=r_lambda
+        )
+        assert config.depth >= 1
+        assert all(w >= 1 for w in config.widths)
+        assert all(t >= 0 for t in config.thresholds)
+        assert config.threshold_sum <= tolerance
+        assert config.widths == tuple(sorted(config.widths, reverse=True))
+
+
+class TestFromMemory:
+    def test_memory_budget_respected(self):
+        budget = mb(1)
+        config = ReliableConfig.from_memory(budget, tolerance=25)
+        assert config.memory_bytes <= budget * 1.01
+
+    def test_mice_filter_takes_requested_fraction(self):
+        budget = mb(1)
+        config = ReliableConfig.from_memory(budget, tolerance=25, mice_filter_fraction=0.2)
+        assert config.mice_filter_bytes == pytest.approx(0.2 * budget)
+        assert config.use_mice_filter
+
+    def test_disabling_filter_gives_all_memory_to_buckets(self):
+        budget = mb(1)
+        with_filter = ReliableConfig.from_memory(budget, tolerance=25, use_mice_filter=True)
+        without = ReliableConfig.from_memory(budget, tolerance=25, use_mice_filter=False)
+        assert not without.use_mice_filter
+        assert without.total_buckets > with_filter.total_buckets
+        # The geometric split truncates after `depth` layers, so the realised
+        # bucket count is within a fraction of a percent of the budgeted one.
+        assert without.total_buckets == pytest.approx(
+            RELIABLE_BUCKET.entries_for(budget), rel=0.01
+        )
+
+    def test_filter_cap_is_budgeted_into_tolerance(self):
+        config = ReliableConfig.from_memory(mb(1), tolerance=25, use_mice_filter=True)
+        cap = (1 << DEFAULT_MICE_FILTER_BITS) - 1
+        assert cap + config.threshold_sum <= 25
+
+    def test_tolerance_derived_from_total_value_when_missing(self):
+        config = ReliableConfig.from_memory(mb(1), total_value=10_000_000)
+        assert config.tolerance > 0
+
+    def test_missing_tolerance_and_total_value_rejected(self):
+        with pytest.raises(ValueError):
+            ReliableConfig.from_memory(mb(1))
+
+    def test_nonpositive_memory_rejected(self):
+        with pytest.raises(ValueError):
+            ReliableConfig.from_memory(0, tolerance=25)
+
+
+class TestFromStreamStatistics:
+    def test_bucket_count_follows_recommendation(self):
+        n, tolerance = 200_000, 25
+        config = ReliableConfig.from_stream_statistics(n, tolerance, use_mice_filter=False)
+        assert config.total_buckets == pytest.approx(
+            recommended_total_buckets(n, tolerance), rel=0.05
+        )
+
+    def test_describe_contains_key_fields(self):
+        config = ReliableConfig.from_stream_statistics(10_000, 25)
+        description = config.describe()
+        for field in ("depth", "widths", "thresholds", "tolerance", "memory_bytes"):
+            assert field in description

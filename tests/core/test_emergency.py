@@ -1,0 +1,66 @@
+"""Emergency stores: exact and SpaceSaving-backed overflow handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import emergency_layer_capacity
+from repro.core.emergency import ExactEmergencyStore, SpaceSavingEmergencyStore
+
+
+class TestExactStore:
+    def test_records_exact_leftovers(self):
+        store = ExactEmergencyStore()
+        store.insert("a", 3)
+        store.insert("a", 4)
+        store.insert("b", 1)
+        assert store.query("a") == 7
+        assert store.query("b") == 1
+        assert store.query("absent") == 0
+        assert store.stored_keys == 2
+
+    def test_memory_grows_with_entries(self):
+        store = ExactEmergencyStore()
+        assert store.memory_bytes() == 0
+        store.insert("x", 1)
+        assert store.memory_bytes() > 0
+
+    def test_rejects_nonpositive_value(self):
+        with pytest.raises(ValueError):
+            ExactEmergencyStore().insert("x", 0)
+
+
+class TestSpaceSavingStore:
+    def test_bounded_capacity(self):
+        store = SpaceSavingEmergencyStore(capacity=4)
+        for i in range(50):
+            store.insert(i, 1)
+        assert store.stored_keys <= 4
+        assert store.capacity == 4
+
+    def test_heavy_overflow_keys_kept(self):
+        store = SpaceSavingEmergencyStore(capacity=8)
+        store.insert("elephant", 500)
+        for i in range(100):
+            store.insert(f"mouse-{i}", 1)
+        assert store.query("elephant") >= 500
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SpaceSavingEmergencyStore(capacity=0)
+
+    def test_memory_reported(self):
+        assert SpaceSavingEmergencyStore(capacity=10).memory_bytes() > 0
+
+
+def test_theorem4_capacity_formula():
+    """Capacity Δ₂ ln(1/Δ) grows as Δ shrinks and matches the constant."""
+    small = emergency_layer_capacity(1e-2)
+    tiny = emergency_layer_capacity(1e-10)
+    assert tiny > small
+    # Δ₂ = 6 R_w³ R_λ⁴ = 6 · 8 · 39.0625 = 1875 with the default ratios.
+    assert emergency_layer_capacity(1 / 2.718281828459045) == pytest.approx(1875, rel=0.01)
+    with pytest.raises(ValueError):
+        emergency_layer_capacity(0.0)
+    with pytest.raises(ValueError):
+        emergency_layer_capacity(1.5)

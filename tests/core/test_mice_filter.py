@@ -1,0 +1,104 @@
+"""Mice filter: saturation, leftover accounting, estimate soundness."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mice_filter import MiceFilter
+
+
+def test_cap_follows_counter_bits():
+    assert MiceFilter(1024, counter_bits=2).cap == 3
+    assert MiceFilter(1024, counter_bits=8).cap == 255
+
+
+def test_absorbs_up_to_cap_then_returns_leftover():
+    filt = MiceFilter(1024, counter_bits=2, seed=1)
+    assert filt.absorb("k", 2) == 0      # 2 of 3 used
+    assert filt.absorb("k", 2) == 1      # only 1 more fits
+    assert filt.absorb("k", 5) == 5      # saturated: everything overflows
+    assert filt.query("k") == 3
+
+
+def test_mice_key_fully_absorbed():
+    filt = MiceFilter(2048, counter_bits=2, seed=2)
+    leftover = filt.absorb("mouse", 1)
+    assert leftover == 0
+    assert filt.query("mouse") >= 1
+
+
+def test_query_never_underestimates_absorbed_value():
+    filt = MiceFilter(512, counter_bits=4, seed=3)
+    absorbed: Counter = Counter()
+    for i in range(300):
+        key = i % 40
+        value = (i % 3) + 1
+        leftover = filt.absorb(key, value)
+        absorbed[key] += value - leftover
+    for key, value in absorbed.items():
+        assert filt.query(key) >= value
+        assert filt.query(key) <= filt.cap
+
+
+def test_memory_budget_respected():
+    filt = MiceFilter(4096, counter_bits=2, arrays=2)
+    assert filt.memory_bytes() <= 4096
+    assert filt.parameters()["arrays"] == 2
+
+
+def test_hash_calls_counted_per_operation():
+    filt = MiceFilter(1024, counter_bits=2, arrays=2, seed=4)
+    filt.reset_hash_calls()
+    filt.absorb("a", 1)
+    assert filt.hash_calls() == 2
+    filt.query("a")
+    assert filt.hash_calls() == 4
+
+
+def test_saturation_diagnostic_increases():
+    filt = MiceFilter(256, counter_bits=2, seed=5)
+    assert filt.saturation() == 0.0
+    for i in range(3_000):
+        filt.absorb(i, 3)
+    assert filt.saturation() > 0.5
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        MiceFilter(0)
+    with pytest.raises(ValueError):
+        MiceFilter(1024, counter_bits=0)
+    with pytest.raises(ValueError):
+        MiceFilter(1024, arrays=0)
+    with pytest.raises(ValueError):
+        MiceFilter(1024).absorb("x", 0)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 30), st.integers(1, 6)),
+        max_size=400,
+    ),
+    st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=60, deadline=None)
+def test_absorbed_plus_leftover_equals_value(sequence, bits):
+    """No value is ever lost or double counted by the filter."""
+    filt = MiceFilter(512, counter_bits=bits, seed=9)
+    total_in = 0
+    total_leftover = 0
+    absorbed: Counter = Counter()
+    for key, value in sequence:
+        leftover = filt.absorb(key, value)
+        assert 0 <= leftover <= value
+        total_in += value
+        total_leftover += leftover
+        absorbed[key] += value - leftover
+    assert total_in - total_leftover == sum(absorbed.values())
+    for key, value in absorbed.items():
+        # The filter reading is a sound overestimate of what it absorbed,
+        # bounded by the cap.
+        assert value <= filt.query(key) <= filt.cap

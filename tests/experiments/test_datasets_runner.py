@@ -1,0 +1,94 @@
+"""Experiment plumbing: dataset registry, runner, memory searches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.datasets import dataset, dataset_names, scaled_memory_points
+from repro.experiments.runner import (
+    ExperimentSettings,
+    minimum_memory_for_target_aae,
+    minimum_memory_for_zero_outliers,
+    run_competitors,
+    run_sketch,
+)
+from repro.metrics.memory import BYTES_PER_MB
+
+SCALE = 0.001
+
+
+class TestDatasets:
+    def test_all_names_resolve(self):
+        for name in dataset_names():
+            stream = dataset(name, scale=SCALE, seed=1)
+            assert len(stream) > 0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            dataset("nope", scale=SCALE)
+        with pytest.raises(ValueError):
+            dataset("zipf-notanumber", scale=SCALE)
+
+    def test_caching_returns_same_object(self):
+        a = dataset("ip", scale=SCALE, seed=2)
+        b = dataset("ip", scale=SCALE, seed=2)
+        assert a is b
+
+    def test_zipf_skew_parsed_from_name(self):
+        low = dataset("zipf-0.3", scale=SCALE, seed=3)
+        high = dataset("zipf-3.0", scale=SCALE, seed=3)
+        assert max(high.counts().values()) > max(low.counts().values())
+
+    def test_scaled_memory_points(self):
+        points = scaled_memory_points([1.0, 2.0], scale=0.01)
+        assert points[0] == pytest.approx(0.01 * BYTES_PER_MB)
+        assert points[1] == pytest.approx(0.02 * BYTES_PER_MB)
+        # Tiny scales are floored so sketches stay constructible.
+        assert scaled_memory_points([0.001], scale=0.001)[0] >= 512
+
+
+class TestRunner:
+    def test_run_sketch_reports_accuracy(self):
+        stream = dataset("ip", scale=SCALE, seed=1)
+        run = run_sketch("CM_fast", 8 * 1024, stream, ExperimentSettings(tolerance=25))
+        assert run.algorithm == "CM_fast"
+        assert run.outliers >= 0
+        assert run.aae >= 0
+        assert run.report.evaluated_keys == stream.distinct_keys()
+
+    def test_run_competitors_covers_all_names(self):
+        stream = dataset("ip", scale=SCALE, seed=1)
+        runs = run_competitors(("Ours", "CM_fast"), 8 * 1024, stream)
+        assert set(runs) == {"Ours", "CM_fast"}
+
+    def test_key_restriction_passed_through(self):
+        stream = dataset("ip", scale=SCALE, seed=1)
+        frequent = stream.frequent_keys(50)
+        run = run_sketch("Ours", 8 * 1024, stream, keys=frequent)
+        assert run.report.evaluated_keys == len(frequent)
+
+    def test_zero_outlier_memory_search_finds_reliable_threshold(self):
+        stream = dataset("ip", scale=SCALE, seed=1)
+        memory = minimum_memory_for_zero_outliers(
+            "Ours", stream, ExperimentSettings(tolerance=25, seed=1),
+            low_bytes=512, high_bytes=64 * 1024,
+        )
+        assert memory is not None
+        # The found budget must indeed produce zero outliers.
+        assert run_sketch("Ours", memory, stream, ExperimentSettings(tolerance=25, seed=1)).outliers == 0
+
+    def test_search_returns_none_when_unreachable(self):
+        stream = dataset("ip", scale=SCALE, seed=1)
+        # 600 bytes is far too little for CM to reach zero outliers.
+        memory = minimum_memory_for_zero_outliers(
+            "CM_fast", stream, low_bytes=512, high_bytes=600
+        )
+        assert memory is None
+
+    def test_target_aae_search(self):
+        stream = dataset("ip", scale=SCALE, seed=1)
+        memory = minimum_memory_for_target_aae(
+            "CU_fast", stream, target_aae=5.0, low_bytes=512, high_bytes=128 * 1024
+        )
+        assert memory is not None
+        assert run_sketch("CU_fast", memory, stream).aae <= 5.0

@@ -1,0 +1,44 @@
+"""Table experiments and the text-table formatter."""
+
+from __future__ import annotations
+
+from repro.experiments import tables
+
+
+def test_format_table_aligns_columns():
+    text = tables.format_table(["name", "value"], [["a", 1], ["longer-name", 22]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert "longer-name" in lines[3]
+
+
+def test_format_table_empty_rows():
+    text = tables.format_table(["only", "headers"], [])
+    assert "only" in text
+
+
+def test_table1_rows_cover_four_families():
+    rows = tables.complexity_table_rows()
+    assert len(rows) == 4
+    assert rows[-1][0] == "ReliableSketch (Ours)"
+    text = tables.complexity_table_text()
+    assert "Heap-based" in text
+
+
+def test_table3_rows_match_model():
+    rows = tables.fpga_table_rows()
+    modules = [row[0] for row in rows]
+    assert modules[:3] == ["Hash", "ESbucket", "Emergency"]
+    assert modules[3] == "Total"
+    assert modules[4] == "Usage"
+    text = tables.fpga_table_text()
+    assert "ESbucket" in text and "340" in text
+
+
+def test_table4_rows_match_published_usage():
+    rows = {row[0]: row for row in tables.tofino_table_rows(layers=6)}
+    assert rows["Stateful ALU"][1] == 12
+    assert rows["Hash Bits"][1] == 541
+    text = tables.tofino_table_text()
+    assert "25.00%" in text

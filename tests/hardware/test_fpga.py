@@ -1,0 +1,78 @@
+"""FPGA model: Table 3 reproduction and scaling behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ReliableConfig
+from repro.hardware.fpga import (
+    CLOCK_MHZ,
+    DEVICE_BRAM_TILES,
+    DEVICE_LUTS,
+    INSERT_LATENCY_CYCLES,
+    FpgaModel,
+)
+from repro.metrics.memory import mb
+
+
+@pytest.fixture(scope="module")
+def default_report():
+    config = ReliableConfig.from_memory(mb(1), tolerance=25.0)
+    return FpgaModel().synthesize(config)
+
+
+def test_module_names_match_paper(default_report):
+    assert [m.module for m in default_report.modules] == ["Hash", "ESbucket", "Emergency"]
+
+
+def test_per_module_lut_and_register_counts_match_table3(default_report):
+    by_name = {m.module: m for m in default_report.modules}
+    assert (by_name["Hash"].clb_luts, by_name["Hash"].clb_registers) == (85, 130)
+    assert (by_name["ESbucket"].clb_luts, by_name["ESbucket"].clb_registers) == (2521, 2592)
+    assert (by_name["Emergency"].clb_luts, by_name["Emergency"].clb_registers) == (48, 112)
+
+
+def test_totals_match_table3(default_report):
+    assert default_report.total_luts == 85 + 2521 + 48 == 2654
+    assert default_report.total_registers == 130 + 2592 + 112 == 2834
+
+
+def test_bram_close_to_published_value(default_report):
+    # Table 3 reports 259 tiles for the default configuration.
+    assert default_report.total_bram == pytest.approx(259, rel=0.15)
+
+
+def test_utilisation_fractions(default_report):
+    assert default_report.lut_utilisation == pytest.approx(2654 / DEVICE_LUTS)
+    assert 0.0 < default_report.bram_utilisation < 0.25
+
+
+def test_clock_and_latency_constants(default_report):
+    assert default_report.clock_mhz == CLOCK_MHZ == 340.0
+    assert default_report.insert_latency_cycles == INSERT_LATENCY_CYCLES == 41
+    assert default_report.throughput_mops == pytest.approx(340.0)
+
+
+def test_bram_scales_with_memory():
+    small = FpgaModel().synthesize(ReliableConfig.from_memory(mb(0.25), tolerance=25.0))
+    large = FpgaModel().synthesize(ReliableConfig.from_memory(mb(4), tolerance=25.0))
+    assert large.total_bram > small.total_bram * 8
+
+
+def test_fits_device_for_reasonable_sizes():
+    model = FpgaModel()
+    assert model.fits(ReliableConfig.from_memory(mb(1), tolerance=25.0))
+    # A sketch larger than the device's total BRAM must not fit.
+    oversized = ReliableConfig.from_memory(DEVICE_BRAM_TILES * 4608 * 4, tolerance=25.0)
+    assert not model.fits(oversized)
+
+
+def test_rows_include_total_line(default_report):
+    rows = default_report.rows()
+    assert rows[-1]["Module"] == "Total"
+    assert rows[-1]["CLB LUTs"] == default_report.total_luts
+
+
+def test_pipeline_processing_report():
+    report = FpgaModel().process(1_000_000)
+    assert report.throughput_mops == pytest.approx(340.0, rel=0.01)

@@ -1,0 +1,50 @@
+"""Pipeline model: latency/throughput arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.pipeline import PipelineModel, PipelineReport
+
+
+def test_peak_throughput_is_clock_rate():
+    model = PipelineModel(clock_mhz=340.0, latency_cycles=41)
+    assert model.peak_throughput_mops == pytest.approx(340.0)
+
+
+def test_total_cycles_is_fill_plus_stream():
+    report = PipelineModel(100.0, 10).process(1_000)
+    assert report.total_cycles == 10 + 999
+
+
+def test_throughput_approaches_peak_for_long_bursts():
+    model = PipelineModel(clock_mhz=340.0, latency_cycles=41)
+    long_burst = model.process(10_000_000)
+    assert long_burst.throughput_mops == pytest.approx(340.0, rel=0.001)
+
+
+def test_short_burst_dominated_by_latency():
+    model = PipelineModel(clock_mhz=340.0, latency_cycles=41)
+    tiny = model.process(1)
+    assert tiny.total_cycles == 41
+    assert tiny.throughput_mops < 340.0 / 10
+
+
+def test_zero_operations_valid():
+    report = PipelineModel(340.0, 41).process(0)
+    assert report.total_cycles == 0
+    assert report.throughput_mops == 0.0
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        PipelineModel(0.0, 41)
+    with pytest.raises(ValueError):
+        PipelineModel(340.0, 0)
+    with pytest.raises(ValueError):
+        PipelineModel(340.0, 41).process(-1)
+
+
+def test_seconds_consistent_with_cycles():
+    report = PipelineReport(operations=100, clock_mhz=100.0, latency_cycles=10)
+    assert report.seconds == pytest.approx(report.total_cycles / 100e6)

@@ -1,0 +1,55 @@
+"""Testbed deployment: byte-volume replay, rate conversion, SRAM sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.testbed import LINK_SPEED_BPS, TestbedDeployment
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return TestbedDeployment(trace_name="hadoop", scale=0.002, seed=1)
+
+
+def test_stream_uses_byte_values(deployment):
+    values = {item.value for item in deployment.stream[:500]}
+    assert max(values) > 100  # byte volumes, not unit counts
+
+
+def test_replay_time_follows_link_speed(deployment):
+    expected = deployment.stream.total_value() * 8 / LINK_SPEED_BPS
+    assert deployment.replay_seconds == pytest.approx(expected)
+
+
+def test_default_tolerance_scales_with_packet_size(deployment):
+    mean_packet = deployment.stream.total_value() / len(deployment.stream)
+    assert deployment.tolerance_bytes == pytest.approx(25 * mean_packet)
+
+
+def test_run_reports_all_fields(deployment):
+    result = deployment.run(sram_bytes=4 * 1024)
+    assert result.sram_bytes == 4 * 1024
+    assert result.outliers >= 0
+    assert result.aae_bytes >= 0
+    assert result.aae_kbps >= 0
+    assert result.replay_seconds > 0
+
+
+def test_more_sram_means_fewer_or_equal_outliers(deployment):
+    low = deployment.run(sram_bytes=512)
+    high = deployment.run(sram_bytes=16 * 1024)
+    assert high.outliers <= low.outliers
+    assert high.aae_bytes <= low.aae_bytes
+
+
+def test_sweep_returns_one_result_per_size(deployment):
+    sizes = [1024.0, 2048.0, 4096.0]
+    results = deployment.sweep(sizes)
+    assert [r.sram_bytes for r in results] == sizes
+
+
+def test_kbps_conversion_consistent(deployment):
+    result = deployment.run(sram_bytes=2048)
+    expected_kbps = result.aae_bytes * 8 / deployment.replay_seconds / 1e3
+    assert result.aae_kbps == pytest.approx(expected_kbps)

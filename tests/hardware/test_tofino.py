@@ -1,0 +1,103 @@
+"""Tofino model: Table 4 reproduction and the constrained data-plane sketch."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import ReliableConfig
+from repro.hardware.tofino import (
+    PAPER_USAGE,
+    DataPlaneReliableSketch,
+    TofinoResourceModel,
+)
+
+
+class TestResourceModel:
+    def test_default_matches_table4(self):
+        usage = TofinoResourceModel(layers=6).usage()
+        assert usage == PAPER_USAGE
+
+    def test_percentages_match_table4(self):
+        rows = {row.resource: row for row in TofinoResourceModel(layers=6).rows()}
+        assert rows["Stateful ALU"].percentage == pytest.approx(0.25, abs=0.001)
+        assert rows["Map RAM"].percentage == pytest.approx(0.2066, abs=0.001)
+        assert rows["SRAM"].percentage == pytest.approx(0.1437, abs=0.001)
+        assert rows["TCAM"].usage == 0
+
+    def test_usage_scales_with_layers(self):
+        small = TofinoResourceModel(layers=3).usage()
+        large = TofinoResourceModel(layers=12).usage()
+        assert small["Stateful ALU"] == 6
+        assert large["Stateful ALU"] == 24
+
+    def test_fits_within_one_pipeline(self):
+        assert TofinoResourceModel(layers=6).fits()
+        # 24 layers would need 48 SALUs = the entire pipeline; still "fits",
+        # but more than that must not.
+        assert not TofinoResourceModel(layers=30).fits()
+
+    def test_invalid_layer_count_rejected(self):
+        with pytest.raises(ValueError):
+            TofinoResourceModel(layers=0)
+
+
+class TestDataPlaneSketch:
+    def make(self, sram_bytes=8 * 1024, tolerance=25.0, seed=1):
+        return DataPlaneReliableSketch.from_sram(sram_bytes, tolerance=tolerance, seed=seed)
+
+    def test_single_key_exact(self):
+        sketch = self.make()
+        sketch.insert("solo", 123)
+        assert sketch.query("solo") == 123
+
+    def test_matching_key_accumulates(self):
+        sketch = self.make()
+        for _ in range(50):
+            sketch.insert("flow", 2)
+        assert sketch.query("flow") == 100
+
+    def test_value_validation(self):
+        with pytest.raises(ValueError):
+            self.make().insert("x", 0)
+
+    def test_recirculations_counted_under_pressure(self, small_ip_trace):
+        sketch = self.make(sram_bytes=1024)
+        sketch.insert_stream(small_ip_trace)
+        assert sketch.recirculations > 0
+
+    def test_accuracy_improves_with_sram(self, small_ip_trace):
+        truth = small_ip_trace.counts()
+
+        def total_error(sram):
+            sketch = self.make(sram_bytes=sram, seed=3)
+            sketch.insert_stream(small_ip_trace)
+            return sum(abs(sketch.query(k) - v) for k, v in truth.items())
+
+        assert total_error(16 * 1024) < total_error(1 * 1024)
+
+    def test_memory_accounting(self):
+        sketch = self.make(sram_bytes=4096)
+        assert sketch.memory_bytes() <= 4096 * 1.05
+        assert sketch.parameters()["depth"] >= 1
+
+    def test_no_mice_filter_in_data_plane(self):
+        config = self.make().config
+        assert not config.use_mice_filter
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 40), st.integers(1, 12)), max_size=300),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_estimates_never_negative(self, sequence, seed):
+        config = ReliableConfig.build(total_buckets=64, tolerance=25, depth=6)
+        sketch = DataPlaneReliableSketch(config, seed=seed)
+        truth: Counter = Counter()
+        for key, value in sequence:
+            sketch.insert(key, value)
+            truth[key] += value
+        for key in truth:
+            assert sketch.query(key) >= 0

@@ -1,0 +1,131 @@
+"""Hash families: key normalisation, independence, call counting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hashing.families import (
+    HashFamily,
+    HashFunction,
+    SignHashFunction,
+    derive_seed,
+    key_to_bytes,
+)
+
+
+class TestKeyToBytes:
+    def test_bytes_pass_through(self):
+        assert key_to_bytes(b"abc") == b"abc"
+
+    def test_string_encoded(self):
+        assert key_to_bytes("abc") == b"abc"
+
+    def test_int_minimum_width(self):
+        assert len(key_to_bytes(0)) >= 4
+        assert len(key_to_bytes(1)) >= 4
+
+    def test_int_distinct_from_negative(self):
+        assert key_to_bytes(5) != key_to_bytes(-5)
+
+    def test_large_int_roundtrip_distinct(self):
+        values = [2**40 + i for i in range(100)]
+        encodings = {key_to_bytes(v) for v in values}
+        assert len(encodings) == len(values)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            key_to_bytes(3.14)
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_int_encoding_is_injective_vs_zero(self, value):
+        if value != 0:
+            assert key_to_bytes(value) != key_to_bytes(0)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(123, 4) == derive_seed(123, 4)
+
+    def test_distinct_indices_give_distinct_seeds(self):
+        seeds = {derive_seed(7, i) for i in range(64)}
+        assert len(seeds) == 64
+
+    def test_distinct_masters_give_distinct_seeds(self):
+        assert derive_seed(1, 0) != derive_seed(2, 0)
+
+    def test_fits_in_32_bits(self):
+        for i in range(100):
+            assert 0 <= derive_seed(999, i) < 2**32
+
+
+class TestHashFunction:
+    def test_maps_into_width(self):
+        fn = HashFunction(seed=1, width=17)
+        for i in range(500):
+            assert 0 <= fn(i) < 17
+
+    def test_counts_calls(self):
+        fn = HashFunction(seed=1, width=8)
+        for i in range(25):
+            fn(i)
+        assert fn.calls == 25
+        fn.reset_counter()
+        assert fn.calls == 0
+
+    def test_raw_without_width(self):
+        fn = HashFunction(seed=3)
+        assert 0 <= fn("x") < 2**32
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            HashFunction(seed=1, width=0)
+
+    def test_same_seed_same_mapping(self):
+        a = HashFunction(seed=5, width=100)
+        b = HashFunction(seed=5, width=100)
+        assert [a(i) for i in range(50)] == [b(i) for i in range(50)]
+
+
+class TestSignHash:
+    def test_only_plus_minus_one(self):
+        fn = SignHashFunction(seed=11)
+        values = {fn(i) for i in range(200)}
+        assert values == {-1, 1}
+
+    def test_roughly_balanced(self):
+        fn = SignHashFunction(seed=13)
+        total = sum(fn(i) for i in range(4000))
+        assert abs(total) < 400
+
+
+class TestHashFamily:
+    def test_draws_are_independent(self):
+        family = HashFamily(master_seed=9)
+        first = family.draw(width=1000)
+        second = family.draw(width=1000)
+        collisions = sum(1 for i in range(500) if first(i) == second(i))
+        # Two independent functions agree on ~1/1000 of keys, not most of them.
+        assert collisions < 20
+
+    def test_total_calls_aggregates(self):
+        family = HashFamily(master_seed=2)
+        functions = family.draw_many(3, width=10)
+        for fn in functions:
+            for i in range(7):
+                fn(i)
+        assert family.total_calls() == 21
+        family.reset_counters()
+        assert family.total_calls() == 0
+
+    def test_reproducible_from_master_seed(self):
+        family_a = HashFamily(master_seed=77)
+        family_b = HashFamily(master_seed=77)
+        fn_a = family_a.draw(width=64)
+        fn_b = family_b.draw(width=64)
+        assert [fn_a(k) for k in "abcdef"] == [fn_b(k) for k in "abcdef"]
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=2, max_value=1000))
+    def test_any_seed_width_combination_is_valid(self, seed, width):
+        fn = HashFamily(seed).draw(width)
+        assert 0 <= fn("probe") < width

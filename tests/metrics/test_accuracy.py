@@ -1,0 +1,101 @@
+"""Accuracy metrics: outliers, AAE, ARE, key restriction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.accuracy import (
+    average_absolute_error,
+    average_relative_error,
+    count_outliers,
+    evaluate_accuracy,
+)
+
+TRUTH = {"a": 100, "b": 50, "c": 10, "d": 1}
+
+
+def estimator(errors):
+    """Build an estimator adding a fixed error per key."""
+    return lambda key: TRUTH[key] + errors.get(key, 0)
+
+
+def test_perfect_estimator_has_no_error():
+    report = evaluate_accuracy(TRUTH, estimator({}), tolerance=5)
+    assert report.outliers == 0
+    assert report.aae == 0.0
+    assert report.are == 0.0
+    assert report.max_error == 0
+    assert report.zero_outliers
+
+
+def test_outlier_counting_uses_strict_inequality():
+    # An error exactly equal to the tolerance is NOT an outlier (|err| <= Λ).
+    report = evaluate_accuracy(TRUTH, estimator({"a": 5}), tolerance=5)
+    assert report.outliers == 0
+    report = evaluate_accuracy(TRUTH, estimator({"a": 6}), tolerance=5)
+    assert report.outliers == 1
+    assert report.outlier_keys == ["a"]
+
+
+def test_negative_errors_count_by_absolute_value():
+    report = evaluate_accuracy(TRUTH, estimator({"b": -20}), tolerance=5)
+    assert report.outliers == 1
+    assert report.max_error == 20
+
+
+def test_aae_is_mean_absolute_error():
+    report = evaluate_accuracy(TRUTH, estimator({"a": 4, "b": 2}), tolerance=10)
+    assert report.aae == pytest.approx((4 + 2 + 0 + 0) / 4)
+
+
+def test_are_divides_by_truth():
+    report = evaluate_accuracy(TRUTH, estimator({"a": 10, "d": 1}), tolerance=100)
+    assert report.are == pytest.approx((10 / 100 + 0 + 0 + 1 / 1) / 4)
+
+
+def test_zero_truth_key_uses_absolute_error_for_are():
+    truth = {"ghost": 0}
+    report = evaluate_accuracy(truth, lambda key: 3, tolerance=10)
+    assert report.are == pytest.approx(3.0)
+
+
+def test_key_restriction_limits_evaluation():
+    report = evaluate_accuracy(TRUTH, estimator({"a": 50, "c": 50}), tolerance=5, keys=["a", "b"])
+    assert report.evaluated_keys == 2
+    assert report.outliers == 1  # only "a" is evaluated and off
+
+
+def test_missing_key_treated_as_zero_truth():
+    report = evaluate_accuracy(TRUTH, lambda key: 7, tolerance=5, keys=["unknown"])
+    assert report.outliers == 1
+    assert report.max_error == 7
+
+
+def test_empty_key_set_gives_empty_report():
+    report = evaluate_accuracy({}, lambda key: 0, tolerance=5)
+    assert report.outliers == 0
+    assert report.evaluated_keys == 0
+
+
+def test_outlier_keys_capped():
+    truth = {i: 0 for i in range(100)}
+    report = evaluate_accuracy(truth, lambda key: 1_000, tolerance=5, keep_outlier_keys=10)
+    assert report.outliers == 100
+    assert len(report.outlier_keys) == 10
+
+
+def test_shortcut_functions_match_full_report():
+    errors = {"a": 7, "c": 3}
+    report = evaluate_accuracy(TRUTH, estimator(errors), tolerance=5)
+    assert count_outliers(TRUTH, estimator(errors), 5) == report.outliers
+    assert average_absolute_error(TRUTH, estimator(errors)) == pytest.approx(report.aae)
+    assert average_relative_error(TRUTH, estimator(errors)) == pytest.approx(report.are)
+
+
+@given(st.dictionaries(st.integers(0, 50), st.integers(1, 1000), min_size=1, max_size=50),
+       st.integers(0, 30))
+def test_overestimating_by_constant_never_exceeds_that_constant(truth, offset):
+    report = evaluate_accuracy(truth, lambda key: truth[key] + offset, tolerance=offset)
+    assert report.outliers == 0
+    assert report.max_error == offset if truth else 0

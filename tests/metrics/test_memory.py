@@ -1,0 +1,80 @@
+"""Memory accounting: field layouts, budget conversions, paper layouts."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.memory import (
+    BYTES_PER_KB,
+    BYTES_PER_MB,
+    COUNTER_32,
+    ELASTIC_HEAVY_BUCKET,
+    FieldSpec,
+    KEY_COUNTER_PAIR,
+    MemoryModel,
+    RELIABLE_BUCKET,
+    SPACESAVING_ENTRY,
+    kb,
+    mb,
+)
+
+
+def test_unit_helpers():
+    assert mb(1) == BYTES_PER_MB == 1024 * 1024
+    assert kb(1) == BYTES_PER_KB == 1024
+    assert mb(0.5) == 512 * 1024
+
+
+def test_field_spec_rejects_nonpositive_width():
+    with pytest.raises(ValueError):
+        FieldSpec("bad", 0)
+
+
+def test_bits_and_bytes_per_entry():
+    model = MemoryModel((FieldSpec("a", 32), FieldSpec("b", 16)))
+    assert model.bits_per_entry == 48
+    assert model.bytes_per_entry == 6.0
+
+
+def test_entries_for_budget_floor():
+    model = MemoryModel((FieldSpec("counter", 32),))
+    assert model.entries_for(100) == 25
+    assert model.entries_for(3) == 1  # never returns zero entries
+
+
+def test_bytes_for_entries_roundtrip():
+    model = RELIABLE_BUCKET
+    entries = model.entries_for(mb(1))
+    assert model.bytes_for(entries) <= mb(1)
+    assert model.bytes_for(entries + 1) > mb(1) - model.bytes_per_entry
+
+
+def test_invalid_budget_rejected():
+    with pytest.raises(ValueError):
+        COUNTER_32.entries_for(0)
+    with pytest.raises(ValueError):
+        COUNTER_32.bytes_for(-1)
+
+
+def test_paper_layout_widths():
+    # §6.1.1: ReliableSketch buckets are 32-bit YES + 16-bit NO + 32-bit ID.
+    assert RELIABLE_BUCKET.bits_per_entry == 80
+    assert COUNTER_32.bits_per_entry == 32
+    assert KEY_COUNTER_PAIR.bits_per_entry == 64
+    assert ELASTIC_HEAVY_BUCKET.bits_per_entry == 104
+    assert SPACESAVING_ENTRY.bits_per_entry == 160
+
+
+def test_one_megabyte_counts_match_hand_calculation():
+    assert COUNTER_32.entries_for(mb(1)) == mb(1) // 4
+    assert RELIABLE_BUCKET.entries_for(mb(1)) == mb(1) * 8 // 80
+
+
+@given(st.floats(min_value=64, max_value=1e8), st.integers(min_value=1, max_value=512))
+def test_entries_never_exceed_budget(budget, bits):
+    model = MemoryModel((FieldSpec("field", bits),))
+    entries = model.entries_for(budget)
+    # Allow the single-entry minimum to exceed a sub-entry budget.
+    if entries > 1:
+        assert model.bytes_for(entries) <= budget

@@ -1,0 +1,39 @@
+"""Throughput measurement: counting, units, degenerate cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.throughput import ThroughputResult, measure_throughput
+
+
+def test_counts_every_operation():
+    seen = []
+    result = measure_throughput(seen.append, range(1_000))
+    assert result.operations == 1_000
+    assert len(seen) == 1_000
+    assert result.seconds > 0
+
+
+def test_mops_unit_conversion():
+    result = ThroughputResult(operations=2_000_000, seconds=1.0)
+    assert result.mops == pytest.approx(2.0)
+    assert result.ops_per_second == pytest.approx(2_000_000)
+
+
+def test_zero_elapsed_reports_infinite():
+    result = ThroughputResult(operations=10, seconds=0.0)
+    assert result.ops_per_second == float("inf")
+
+
+def test_empty_input_is_valid():
+    result = measure_throughput(lambda x: x, [])
+    assert result.operations == 0
+
+
+def test_generator_input_is_materialised_before_timing():
+    def generator():
+        yield from range(100)
+
+    result = measure_throughput(lambda x: x, generator())
+    assert result.operations == 100

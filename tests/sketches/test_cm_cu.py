@@ -1,0 +1,104 @@
+"""Count-Min and CU sketches: overestimation, conservative update, sizing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.memory import COUNTER_32
+from repro.sketches.cm import CountMinSketch
+from repro.sketches.cu import CUSketch
+
+
+class TestCountMin:
+    def test_never_underestimates(self, small_zipf_stream):
+        sketch = CountMinSketch(8 * 1024, depth=3, seed=1)
+        sketch.insert_stream(small_zipf_stream)
+        for key, truth in small_zipf_stream.counts().items():
+            assert sketch.query(key) >= truth
+
+    def test_exact_without_collisions(self):
+        sketch = CountMinSketch(64 * 1024, depth=4, seed=2)
+        sketch.insert("only-key", 17)
+        assert sketch.query("only-key") == 17
+
+    def test_width_derived_from_memory(self):
+        memory = 12_000
+        sketch = CountMinSketch(memory, depth=3)
+        assert sketch.width == COUNTER_32.entries_for(memory) // 3
+        assert sketch.memory_bytes() <= memory
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(1024, depth=0)
+
+    def test_hash_calls_per_insert_equal_depth(self):
+        sketch = CountMinSketch(4096, depth=5, seed=3)
+        sketch.reset_hash_calls()
+        for i in range(10):
+            sketch.insert(i)
+        assert sketch.hash_calls() == 50
+
+    def test_parameters_reported(self):
+        sketch = CountMinSketch(4096, depth=3)
+        assert sketch.parameters() == {"depth": 3, "width": sketch.width}
+
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(1, 20)), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_upper_bound_property(self, pairs):
+        sketch = CountMinSketch(2048, depth=3, seed=7)
+        truth: dict[int, int] = {}
+        for key, value in pairs:
+            sketch.insert(key, value)
+            truth[key] = truth.get(key, 0) + value
+        for key, value in truth.items():
+            assert sketch.query(key) >= value
+
+
+class TestCU:
+    def test_never_underestimates(self, small_zipf_stream):
+        sketch = CUSketch(8 * 1024, depth=3, seed=1)
+        sketch.insert_stream(small_zipf_stream)
+        for key, truth in small_zipf_stream.counts().items():
+            assert sketch.query(key) >= truth
+
+    def test_at_least_as_accurate_as_cm(self, small_zipf_stream):
+        memory = 6 * 1024
+        cm = CountMinSketch(memory, depth=3, seed=5)
+        cu = CUSketch(memory, depth=3, seed=5)
+        cm.insert_stream(small_zipf_stream)
+        cu.insert_stream(small_zipf_stream)
+        truth = small_zipf_stream.counts()
+        cm_error = sum(cm.query(k) - v for k, v in truth.items())
+        cu_error = sum(cu.query(k) - v for k, v in truth.items())
+        assert cu_error <= cm_error
+
+    def test_conservative_update_leaves_larger_counters_alone(self):
+        sketch = CUSketch(4096, depth=2, seed=9)
+        # Key A becomes heavy; colliding key B must only lift the minimum.
+        for _ in range(100):
+            sketch.insert("A")
+        before = sketch.query("A")
+        sketch.insert("B", 1)
+        assert sketch.query("A") <= before + 1
+
+    def test_exact_without_collisions(self):
+        sketch = CUSketch(64 * 1024, depth=4, seed=2)
+        sketch.insert("only-key", 5)
+        sketch.insert("only-key", 7)
+        assert sketch.query("only-key") == 12
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            CUSketch(1024, depth=-1)
+
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(1, 20)), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_upper_bound_property(self, pairs):
+        sketch = CUSketch(2048, depth=3, seed=11)
+        truth: dict[int, int] = {}
+        for key, value in pairs:
+            sketch.insert(key, value)
+            truth[key] = truth.get(key, 0) + value
+        for key, value in truth.items():
+            assert sketch.query(key) >= value

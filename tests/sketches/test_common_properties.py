@@ -1,0 +1,109 @@
+"""Properties every sketch in the registry must satisfy.
+
+These tests run against all registered algorithms at once: they cannot check
+accuracy guarantees (those differ per family) but they pin down the shared
+contract of the :class:`repro.sketches.base.Sketch` interface.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.accuracy import evaluate_accuracy
+from repro.sketches.registry import build_sketch, competitor_names
+
+ALL_ALGORITHMS = competitor_names()
+MEMORY = 16 * 1024
+
+
+@pytest.fixture(scope="module", params=ALL_ALGORITHMS)
+def filled_sketch(request, small_zipf_stream):
+    """Each registered algorithm, filled with the shared Zipf stream."""
+    sketch = build_sketch(request.param, MEMORY, seed=1)
+    sketch.insert_stream(small_zipf_stream)
+    return request.param, sketch, small_zipf_stream
+
+
+def test_every_algorithm_is_registered_and_buildable():
+    for name in ALL_ALGORITHMS:
+        sketch = build_sketch(name, MEMORY, seed=0)
+        assert sketch.memory_bytes() > 0
+
+
+def test_rejects_unknown_algorithm():
+    with pytest.raises(ValueError, match="unknown sketch"):
+        build_sketch("NotASketch", MEMORY)
+
+
+def test_rejects_unknown_competitor_group():
+    with pytest.raises(ValueError, match="unknown competitor group"):
+        competitor_names("nope")
+
+
+def test_competitor_groups_reference_registered_names():
+    for group in ("outliers", "frequent", "error", "speed"):
+        for name in competitor_names(group):
+            assert name in ALL_ALGORITHMS
+
+
+def test_query_returns_nonnegative_int(filled_sketch):
+    name, sketch, stream = filled_sketch
+    for key in list(stream.counts())[:200]:
+        estimate = sketch.query(key)
+        assert isinstance(estimate, int)
+        assert estimate >= 0
+
+
+def test_unseen_key_estimate_is_bounded(filled_sketch):
+    name, sketch, stream = filled_sketch
+    # A key that never appeared can be overestimated, but its estimate should
+    # not exceed the whole stream's value (a trivially sound upper bound).
+    estimate = sketch.query("never-inserted-key-424242")
+    assert 0 <= estimate <= stream.total_value()
+
+
+def test_memory_budget_not_grossly_exceeded(filled_sketch):
+    name, sketch, stream = filled_sketch
+    # Constructors floor the entry count, so they fit the budget up to one
+    # entry of slack.
+    assert sketch.memory_bytes() <= MEMORY * 1.05
+
+
+def test_rejects_nonpositive_value(filled_sketch):
+    name, sketch, stream = filled_sketch
+    with pytest.raises(ValueError):
+        sketch.insert("key", 0)
+    with pytest.raises(ValueError):
+        sketch.insert("key", -3)
+
+
+def test_describe_reports_name_and_memory(filled_sketch):
+    name, sketch, stream = filled_sketch
+    description = sketch.describe()
+    assert description.memory_bytes == sketch.memory_bytes()
+    assert isinstance(description.parameters, dict)
+
+
+def test_weighted_and_unit_inserts_are_equivalent_in_total():
+    for name in ALL_ALGORITHMS:
+        weighted = build_sketch(name, MEMORY, seed=3)
+        weighted.insert("flow", 10)
+        repeated = build_sketch(name, MEMORY, seed=3)
+        for _ in range(10):
+            repeated.insert("flow", 1)
+        # A single key with no collisions must be counted exactly by every
+        # algorithm, whether inserted in one weighted update or ten unit ones.
+        assert weighted.query("flow") == repeated.query("flow") == 10
+
+
+def test_more_memory_never_hurts_much(small_zipf_stream):
+    """Doubling memory should not make accuracy dramatically worse."""
+    for name in ("CM_fast", "CU_fast", "Elastic", "Ours"):
+        small = build_sketch(name, 8 * 1024, seed=2)
+        large = build_sketch(name, 64 * 1024, seed=2)
+        small.insert_stream(small_zipf_stream)
+        large.insert_stream(small_zipf_stream)
+        truth = small_zipf_stream.counts()
+        aae_small = evaluate_accuracy(truth, small.query, 25).aae
+        aae_large = evaluate_accuracy(truth, large.query, 25).aae
+        assert aae_large <= aae_small + 1.0

@@ -1,0 +1,54 @@
+"""Count sketch: unbiased median estimation and sign hashing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sketches.count import CountSketch
+
+
+def test_exact_without_collisions():
+    sketch = CountSketch(64 * 1024, depth=5, seed=1)
+    sketch.insert("lonely", 9)
+    assert sketch.query("lonely") == 9
+
+
+def test_estimate_clamped_to_zero():
+    sketch = CountSketch(1024, depth=3, seed=2)
+    for i in range(500):
+        sketch.insert(f"other-{i}", 3)
+    # A never-inserted key can get a negative signed estimate; the public
+    # query clamps it because value sums are non-negative.
+    assert sketch.query("absent") >= 0
+
+
+def test_reasonable_accuracy_on_heavy_keys(small_zipf_stream):
+    sketch = CountSketch(16 * 1024, depth=5, seed=3)
+    sketch.insert_stream(small_zipf_stream)
+    truth = small_zipf_stream.counts()
+    heavy = sorted(truth, key=truth.get, reverse=True)[:10]
+    for key in heavy:
+        assert abs(sketch.query(key) - truth[key]) <= max(25, truth[key] * 0.2)
+
+
+def test_depth_validation():
+    with pytest.raises(ValueError):
+        CountSketch(1024, depth=0)
+
+
+def test_value_validation():
+    sketch = CountSketch(1024, depth=3)
+    with pytest.raises(ValueError):
+        sketch.insert("x", 0)
+
+
+def test_errors_roughly_centered(small_zipf_stream):
+    """Unlike CM, the Count sketch under- and over-estimates about equally."""
+    sketch = CountSketch(8 * 1024, depth=5, seed=4)
+    sketch.insert_stream(small_zipf_stream)
+    truth = small_zipf_stream.counts()
+    signed = [sketch.query(key) - value for key, value in truth.items()]
+    over = sum(1 for e in signed if e > 0)
+    under = sum(1 for e in signed if e < 0)
+    # Both directions must occur; CM-style one-sided error would fail this.
+    assert over > 0 and under > 0

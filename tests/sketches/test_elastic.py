@@ -1,0 +1,78 @@
+"""Elastic sketch: heavy/light split, eviction behaviour, accuracy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sketches.elastic import ElasticSketch
+
+
+def test_memory_split_follows_light_ratio():
+    sketch = ElasticSketch(32 * 1024, light_ratio=3.0)
+    heavy_bytes = sketch.heavy_width * 13  # 104-bit heavy buckets
+    light_bytes = sketch.light_width * 1   # 8-bit light counters
+    assert light_bytes == pytest.approx(3 * heavy_bytes, rel=0.1)
+    assert sketch.memory_bytes() <= 32 * 1024 * 1.05
+
+
+def test_exact_for_isolated_heavy_key():
+    sketch = ElasticSketch(32 * 1024, seed=1)
+    sketch.insert("vip", 500)
+    assert sketch.query("vip") == 500
+
+
+def test_heavy_key_estimate_close_to_truth(small_zipf_stream):
+    sketch = ElasticSketch(24 * 1024, seed=2)
+    sketch.insert_stream(small_zipf_stream)
+    truth = small_zipf_stream.counts()
+    top = sorted(truth, key=truth.get, reverse=True)[:5]
+    for key in top:
+        assert abs(sketch.query(key) - truth[key]) <= max(30, truth[key] * 0.2)
+
+
+def test_eviction_moves_incumbent_to_light_part():
+    sketch = ElasticSketch(16 * 1024, eviction_ratio=2, seed=3)
+    sketch.insert("old", 2)
+    # Find a key colliding with "old" in the heavy part, then make it dominant.
+    collider = None
+    for i in range(20_000):
+        candidate = f"cand-{i}"
+        if sketch._heavy_hash(candidate) == sketch._heavy_hash("old") and candidate != "old":
+            collider = candidate
+            break
+    assert collider is not None
+    for _ in range(50):
+        sketch.insert(collider)
+    # The collider should now own the heavy bucket, and "old" must still be
+    # queryable (from the light part), not silently lost.
+    assert sketch.query(collider) >= 40
+    assert sketch.query("old") >= 1
+
+
+def test_light_part_counters_saturate():
+    sketch = ElasticSketch(4 * 1024, seed=4)
+    for _ in range(5):
+        sketch.insert("heavy-light", 300)
+    # 8-bit light counters cap at 255, so estimates for light-part keys are
+    # bounded even under overflow pressure.
+    assert sketch._light_query("heavy-light") <= 255
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        ElasticSketch(1024, light_ratio=0)
+    with pytest.raises(ValueError):
+        ElasticSketch(1024, eviction_ratio=0)
+
+
+def test_value_validation():
+    sketch = ElasticSketch(1024)
+    with pytest.raises(ValueError):
+        sketch.insert("x", -1)
+
+
+def test_hash_call_accounting():
+    sketch = ElasticSketch(8 * 1024, seed=5)
+    sketch.reset_hash_calls()
+    sketch.insert("a")
+    assert sketch.hash_calls() >= 1

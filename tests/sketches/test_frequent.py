@@ -1,0 +1,89 @@
+"""Frequent (Misra-Gries): underestimation bound and decrement semantics."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+import pytest
+
+from repro.sketches.frequent import FrequentSketch
+
+
+def test_exact_below_capacity():
+    sketch = FrequentSketch(capacity=8)
+    for key, count in [("a", 4), ("b", 2)]:
+        for _ in range(count):
+            sketch.insert(key)
+    assert sketch.query("a") == 4
+    assert sketch.query("b") == 2
+
+
+def test_never_overestimates(small_zipf_stream):
+    sketch = FrequentSketch(capacity=128)
+    sketch.insert_stream(small_zipf_stream)
+    truth = small_zipf_stream.counts()
+    for key in truth:
+        assert sketch.query(key) <= truth[key]
+
+
+def test_underestimate_bounded_by_decrements(small_zipf_stream):
+    sketch = FrequentSketch(capacity=128)
+    sketch.insert_stream(small_zipf_stream)
+    truth = small_zipf_stream.counts()
+    for key, value in truth.items():
+        assert value - sketch.query(key) <= sketch.decremented_total
+
+
+def test_global_decrement_on_full_summary():
+    sketch = FrequentSketch(capacity=2)
+    sketch.insert("a", 5)
+    sketch.insert("b", 5)
+    sketch.insert("c", 2)  # decrements everyone by 2, c not admitted
+    assert sketch.query("a") == 3
+    assert sketch.query("b") == 3
+    assert sketch.query("c") == 0
+    assert sketch.decremented_total == 2
+
+
+def test_heavy_key_survives_many_light_keys():
+    sketch = FrequentSketch(capacity=4)
+    sketch.insert("heavy", 1_000)
+    for i in range(300):
+        sketch.insert(f"light-{i}", 1)
+    assert sketch.query("heavy") >= 1_000 - 300
+
+
+def test_capacity_from_memory():
+    sketch = FrequentSketch(memory_bytes=800)
+    assert sketch.capacity == 100  # 8 bytes per (key, counter) pair
+
+
+def test_requires_capacity_or_memory():
+    with pytest.raises(ValueError):
+        FrequentSketch()
+
+
+def test_monitored_keys_bounded():
+    sketch = FrequentSketch(capacity=3)
+    for i in range(50):
+        sketch.insert(i)
+    assert len(sketch.monitored_keys()) <= 3
+
+
+@given(st.lists(st.tuples(st.integers(0, 30), st.integers(1, 8)), min_size=1, max_size=250))
+@settings(max_examples=40, deadline=None)
+def test_misra_gries_error_bound(pairs):
+    """The textbook bound: underestimate <= total / (capacity + 1) (unit-ish values)."""
+    capacity = 9
+    sketch = FrequentSketch(capacity=capacity)
+    truth: dict[int, int] = {}
+    total = 0
+    max_value = 0
+    for key, value in pairs:
+        sketch.insert(key, value)
+        truth[key] = truth.get(key, 0) + value
+        total += value
+        max_value = max(max_value, value)
+    for key, value in truth.items():
+        estimate = sketch.query(key)
+        assert estimate <= value
+        assert value - estimate <= total / (capacity + 1) + max_value

@@ -1,0 +1,99 @@
+"""Coco, HashPipe and PRECISION: the switch-oriented competitor sketches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sketches.coco import CocoSketch
+from repro.sketches.hashpipe import HashPipe
+from repro.sketches.precision import Precision
+
+
+class TestCoco:
+    def test_exact_for_isolated_key(self):
+        sketch = CocoSketch(16 * 1024, seed=1)
+        sketch.insert("solo", 42)
+        assert sketch.query("solo") == 42
+
+    def test_deterministic_given_seed(self, small_zipf_stream):
+        a = CocoSketch(8 * 1024, seed=7)
+        b = CocoSketch(8 * 1024, seed=7)
+        a.insert_stream(small_zipf_stream)
+        b.insert_stream(small_zipf_stream)
+        keys = list(small_zipf_stream.counts())[:100]
+        assert [a.query(k) for k in keys] == [b.query(k) for k in keys]
+
+    def test_heavy_keys_tracked(self, small_zipf_stream):
+        sketch = CocoSketch(24 * 1024, seed=2)
+        sketch.insert_stream(small_zipf_stream)
+        truth = small_zipf_stream.counts()
+        top = sorted(truth, key=truth.get, reverse=True)[:5]
+        for key in top:
+            assert sketch.query(key) > 0
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            CocoSketch(1024, depth=0)
+
+
+class TestHashPipe:
+    def test_exact_for_isolated_key(self):
+        sketch = HashPipe(16 * 1024, seed=1)
+        sketch.insert("solo", 9)
+        assert sketch.query("solo") == 9
+
+    def test_first_stage_always_admits(self):
+        sketch = HashPipe(4 * 1024, depth=2, seed=3)
+        sketch.insert("a", 100)
+        sketch.insert("b", 1)
+        # Whatever the collision layout, the newly arriving key is always
+        # present somewhere right after its insertion.
+        assert sketch.query("b") >= 1
+
+    def test_duplicates_summed_across_stages(self, small_zipf_stream):
+        sketch = HashPipe(16 * 1024, seed=4)
+        sketch.insert_stream(small_zipf_stream)
+        truth = small_zipf_stream.counts()
+        top = max(truth, key=truth.get)
+        # The heaviest key must be tracked within a reasonable margin.
+        assert sketch.query(top) >= truth[top] * 0.5
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            HashPipe(1024, depth=0)
+
+
+class TestPrecision:
+    def test_exact_for_isolated_key(self):
+        sketch = Precision(16 * 1024, seed=1)
+        sketch.insert("solo", 3)
+        assert sketch.query("solo") == 3
+
+    def test_matched_key_always_counted(self):
+        sketch = Precision(8 * 1024, seed=2)
+        for _ in range(200):
+            sketch.insert("steady")
+        assert sketch.query("steady") >= 190  # admitted early, then exact
+
+    def test_recirculations_are_counted(self, small_zipf_stream):
+        sketch = Precision(2 * 1024, seed=5)
+        sketch.insert_stream(small_zipf_stream)
+        assert sketch.recirculations > 0
+
+    def test_never_negative_estimates(self, small_zipf_stream):
+        sketch = Precision(4 * 1024, seed=6)
+        sketch.insert_stream(small_zipf_stream)
+        for key in list(small_zipf_stream.counts())[:200]:
+            assert sketch.query(key) >= 0
+
+    def test_heavy_keys_tracked(self, small_zipf_stream):
+        sketch = Precision(24 * 1024, seed=7)
+        sketch.insert_stream(small_zipf_stream)
+        truth = small_zipf_stream.counts()
+        top = sorted(truth, key=truth.get, reverse=True)[:3]
+        for key in top:
+            assert sketch.query(key) >= truth[key] * 0.5
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            Precision(1024, depth=0)

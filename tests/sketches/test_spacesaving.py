@@ -1,0 +1,92 @@
+"""Space Saving: eviction semantics, bounds, top-k, memory sizing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketches.spacesaving import SpaceSaving
+
+
+def test_exact_below_capacity():
+    summary = SpaceSaving(capacity=10)
+    for key, count in [("a", 5), ("b", 3), ("c", 7)]:
+        for _ in range(count):
+            summary.insert(key)
+    assert summary.query("a") == 5
+    assert summary.query("b") == 3
+    assert summary.query("c") == 7
+    assert summary.query("missing") == 0
+
+
+def test_eviction_adopts_minimum_counter():
+    summary = SpaceSaving(capacity=2)
+    summary.insert("a", 10)
+    summary.insert("b", 3)
+    summary.insert("c", 1)  # evicts b (min=3), adopts 3+1=4
+    assert summary.query("c") == 4
+    assert summary.query("b") == 0
+    assert summary.guaranteed_count("c") == 1  # count - inherited error
+
+
+def test_never_underestimates_monitored_keys(small_zipf_stream):
+    summary = SpaceSaving(capacity=256)
+    summary.insert_stream(small_zipf_stream)
+    truth = small_zipf_stream.counts()
+    for key in summary.monitored_keys():
+        assert summary.query(key) >= truth.get(key, 0)
+
+
+def test_heavy_hitters_are_retained(small_zipf_stream):
+    summary = SpaceSaving(capacity=200)
+    summary.insert_stream(small_zipf_stream)
+    truth = small_zipf_stream.counts()
+    top_true = sorted(truth, key=truth.get, reverse=True)[:10]
+    monitored = set(summary.monitored_keys())
+    assert all(key in monitored for key in top_true)
+
+
+def test_top_k_ordering():
+    summary = SpaceSaving(capacity=16)
+    for key, count in [("x", 30), ("y", 20), ("z", 10)]:
+        summary.insert(key, count)
+    top = summary.top_k(2)
+    assert top[0] == ("x", 30)
+    assert top[1] == ("y", 20)
+
+
+def test_capacity_from_memory_budget():
+    summary = SpaceSaving(memory_bytes=2000)
+    assert summary.capacity == 100  # 20 bytes per entry
+    assert summary.memory_bytes() == pytest.approx(2000)
+
+
+def test_requires_capacity_or_memory():
+    with pytest.raises(ValueError):
+        SpaceSaving()
+    with pytest.raises(ValueError):
+        SpaceSaving(capacity=0)
+
+
+def test_monitored_never_exceeds_capacity(small_zipf_stream):
+    summary = SpaceSaving(capacity=64)
+    summary.insert_stream(small_zipf_stream)
+    assert len(summary.monitored_keys()) <= 64
+
+
+@given(st.lists(st.tuples(st.integers(0, 40), st.integers(1, 10)), min_size=1, max_size=300))
+@settings(max_examples=40, deadline=None)
+def test_overestimate_bounded_by_total_over_capacity(pairs):
+    """Classic SS guarantee: error <= N / capacity for every key."""
+    capacity = 8
+    summary = SpaceSaving(capacity=capacity)
+    truth: dict[int, int] = {}
+    total = 0
+    for key, value in pairs:
+        summary.insert(key, value)
+        truth[key] = truth.get(key, 0) + value
+        total += value
+    for key, value in truth.items():
+        estimate = summary.query(key)
+        if estimate:
+            assert value <= estimate <= value + total // capacity + max(v for _, v in pairs)

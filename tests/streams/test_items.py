@@ -1,0 +1,76 @@
+"""Stream/Item model: ground truth, unpacking, caching."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, strategies as st
+
+from repro.streams.items import Item, Stream, exact_counts, total_value
+
+
+def test_item_unpacks_to_key_value():
+    key, value = Item("flow", 7)
+    assert key == "flow"
+    assert value == 7
+
+
+def test_item_default_value_is_one():
+    assert Item("x").value == 1
+
+
+def test_stream_accepts_tuples_and_items():
+    stream = Stream([("a", 2), Item("b", 3)])
+    assert stream.counts() == Counter({"a": 2, "b": 3})
+
+
+def test_stream_len_and_indexing():
+    stream = Stream([("a", 1), ("b", 1), ("a", 1)])
+    assert len(stream) == 3
+    assert stream[0].key == "a"
+    assert stream[2].key == "a"
+
+
+def test_counts_are_cached_and_consistent(tiny_stream):
+    first = tiny_stream.counts()
+    second = tiny_stream.counts()
+    assert first is second
+    assert first["a"] == 50
+    assert first["d"] == 1
+
+
+def test_total_value_and_distinct(tiny_stream):
+    assert tiny_stream.total_value() == 87
+    assert tiny_stream.distinct_keys() == 5
+
+
+def test_frequent_keys_threshold(tiny_stream):
+    assert set(tiny_stream.frequent_keys(10)) == {"a", "b"}
+    assert set(tiny_stream.frequent_keys(0)) == {"a", "b", "c", "d", "e"}
+    assert tiny_stream.frequent_keys(1000) == []
+
+
+def test_keys_returns_all_distinct(tiny_stream):
+    assert sorted(tiny_stream.keys()) == ["a", "b", "c", "d", "e"]
+
+
+def test_exact_counts_helper_matches_stream():
+    items = [("x", 5), ("y", 1), ("x", 2)]
+    assert exact_counts(items) == Counter({"x": 7, "y": 1})
+    assert total_value(items) == 8
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=20), st.integers(min_value=1, max_value=9)),
+        max_size=200,
+    )
+)
+def test_ground_truth_matches_naive_accumulation(pairs):
+    stream = Stream(pairs)
+    naive: Counter = Counter()
+    for key, value in pairs:
+        naive[key] += value
+    assert stream.counts() == naive
+    assert stream.total_value() == sum(naive.values())
+    assert stream.distinct_keys() == len(naive)

@@ -1,0 +1,46 @@
+"""Trace file round-trip: write, read, exactness, error handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streams.items import Stream
+from repro.streams.readers import read_trace_file, write_trace_file
+from repro.streams.synthetic import zipf_stream
+
+
+def test_round_trip_preserves_items(tmp_path):
+    stream = zipf_stream(2_000, skew=1.0, universe=200, seed=6)
+    path = write_trace_file(stream, tmp_path / "trace.txt")
+    loaded = read_trace_file(path)
+    assert len(loaded) == len(stream)
+    assert loaded.counts() == stream.counts()
+    assert [item.key for item in loaded] == [item.key for item in stream]
+
+
+def test_string_keys_survive(tmp_path):
+    stream = Stream([("alpha", 3), ("beta", 2), ("alpha", 1)])
+    path = write_trace_file(stream, tmp_path / "strings.txt")
+    loaded = read_trace_file(path)
+    assert loaded.counts() == {"alpha": 4, "beta": 2}
+
+
+def test_comments_and_blank_lines_skipped(tmp_path):
+    path = tmp_path / "manual.txt"
+    path.write_text("# a comment\n\n10 3\n20 4\n")
+    loaded = read_trace_file(path)
+    assert loaded.counts() == {10: 3, 20: 4}
+
+
+def test_malformed_line_raises_with_location(tmp_path):
+    path = tmp_path / "broken.txt"
+    path.write_text("10 3\nnot-a-pair\n")
+    with pytest.raises(ValueError, match="broken.txt:2"):
+        read_trace_file(path)
+
+
+def test_stream_name_defaults_to_filename(tmp_path):
+    stream = Stream([(1, 1)])
+    path = write_trace_file(stream, tmp_path / "myname.txt")
+    assert read_trace_file(path).name == "myname"
+    assert read_trace_file(path, name="override").name == "override"

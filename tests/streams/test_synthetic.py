@@ -1,0 +1,66 @@
+"""Zipf workload generator: determinism, skew behaviour, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams.synthetic import ZipfGenerator, uniform_stream, zipf_stream
+
+
+def test_same_seed_same_stream():
+    a = zipf_stream(5_000, skew=1.1, universe=500, seed=3)
+    b = zipf_stream(5_000, skew=1.1, universe=500, seed=3)
+    assert [item.key for item in a] == [item.key for item in b]
+
+
+def test_different_seed_different_stream():
+    a = zipf_stream(5_000, skew=1.1, universe=500, seed=3)
+    b = zipf_stream(5_000, skew=1.1, universe=500, seed=4)
+    assert [item.key for item in a] != [item.key for item in b]
+
+
+def test_item_count_and_key_range():
+    stream = zipf_stream(2_000, skew=0.8, universe=300, seed=1)
+    assert len(stream) == 2_000
+    assert all(0 <= item.key < 300 for item in stream)
+
+
+def test_higher_skew_concentrates_mass():
+    low = zipf_stream(30_000, skew=0.3, universe=2_000, seed=5)
+    high = zipf_stream(30_000, skew=3.0, universe=2_000, seed=5)
+    top_low = max(low.counts().values())
+    top_high = max(high.counts().values())
+    assert top_high > top_low * 5
+
+
+def test_zero_skew_is_roughly_uniform():
+    stream = uniform_stream(40_000, universe=100, seed=2)
+    counts = np.array(list(stream.counts().values()))
+    assert counts.max() < counts.mean() * 1.5
+    assert stream.distinct_keys() == 100
+
+
+def test_constant_value_model():
+    stream = zipf_stream(1_000, skew=1.0, universe=50, seed=1, value=4)
+    assert all(item.value == 4 for item in stream)
+    assert stream.total_value() == 4_000
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        ZipfGenerator(skew=-0.1)
+    with pytest.raises(ValueError):
+        ZipfGenerator(skew=1.0, universe=0)
+
+
+def test_generator_draw_shape():
+    generator = ZipfGenerator(skew=1.5, universe=100, seed=9)
+    draws = generator.draw(256)
+    assert draws.shape == (256,)
+    assert draws.min() >= 0
+    assert draws.max() < 100
+
+
+def test_stream_name_defaults_to_skew():
+    assert "1.5" in zipf_stream(10, skew=1.5, universe=5, seed=1).name

@@ -1,0 +1,92 @@
+"""Trace surrogates: scaling, statistics, heavy-tail shape, value models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams.traces import (
+    TRACE_SPECS,
+    hadoop_trace,
+    ip_trace,
+    load_trace,
+    web_stream,
+    zipf_rank_frequencies,
+)
+
+
+class TestRankFrequencies:
+    def test_exact_distinct_and_total(self):
+        frequencies = zipf_rank_frequencies(500, 10_000, exponent=1.2)
+        assert len(frequencies) == 500
+        assert frequencies.sum() == 10_000
+        assert frequencies.min() >= 1
+
+    def test_monotone_nonincreasing(self):
+        frequencies = zipf_rank_frequencies(300, 9_000, exponent=1.3)
+        assert all(frequencies[i] >= frequencies[i + 1] for i in range(len(frequencies) - 1))
+
+    def test_heavy_tail_has_many_mice(self):
+        frequencies = zipf_rank_frequencies(1_000, 25_000, exponent=1.2)
+        mice_fraction = float((frequencies <= 3).mean())
+        assert mice_fraction > 0.4
+
+    def test_rejects_inconsistent_inputs(self):
+        with pytest.raises(ValueError):
+            zipf_rank_frequencies(100, 50, exponent=1.2)
+        with pytest.raises(ValueError):
+            zipf_rank_frequencies(0, 50, exponent=1.2)
+
+
+class TestTraceSurrogates:
+    def test_item_and_key_counts_scale(self):
+        stream = ip_trace(scale=0.002, seed=1)
+        spec = TRACE_SPECS["ip"]
+        assert len(stream) == pytest.approx(spec.paper_items * 0.002, rel=0.01)
+        assert stream.distinct_keys() == pytest.approx(spec.paper_distinct * 0.002, rel=0.01)
+
+    def test_items_per_key_matches_paper_ratio(self):
+        stream = web_stream(scale=0.002, seed=2)
+        spec = TRACE_SPECS["web"]
+        observed = len(stream) / stream.distinct_keys()
+        assert observed == pytest.approx(spec.items_per_key, rel=0.05)
+
+    def test_deterministic_per_seed(self):
+        a = hadoop_trace(scale=0.001, seed=9)
+        b = hadoop_trace(scale=0.001, seed=9)
+        assert [item.key for item in a[:200]] == [item.key for item in b[:200]]
+
+    def test_different_traces_have_different_shapes(self):
+        hadoop = hadoop_trace(scale=0.002, seed=3)
+        datacenter = load_trace("datacenter", scale=0.002, seed=3)
+        # Hadoop has very few, very heavy keys; the data-center trace has many
+        # light keys.
+        assert hadoop.distinct_keys() < datacenter.distinct_keys() / 10
+
+    def test_unit_value_model_default(self):
+        stream = ip_trace(scale=0.0005, seed=4)
+        assert all(item.value == 1 for item in stream[:500])
+
+    def test_bytes_value_model(self):
+        stream = ip_trace(scale=0.0005, seed=4, value_model="bytes")
+        values = np.array([item.value for item in stream])
+        assert values.min() >= 40
+        assert values.max() <= 1500
+        assert len(np.unique(values)) > 10
+
+    def test_unknown_value_model_rejected(self):
+        with pytest.raises(ValueError):
+            ip_trace(scale=0.0005, value_model="jumbo")
+
+    def test_unknown_trace_rejected(self):
+        with pytest.raises(ValueError):
+            load_trace("does-not-exist")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ip_trace(scale=0.0)
+
+    def test_load_trace_dispatches_all_names(self):
+        for name in TRACE_SPECS:
+            stream = load_trace(name, scale=0.0005, seed=5)
+            assert len(stream) > 0

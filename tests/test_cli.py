@@ -1,0 +1,46 @@
+"""CLI entry point: argument parsing and a few fast end-to-end commands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_accepts_all_registered_experiments():
+    parser = build_parser()
+    for experiment in ("table1", "table3", "table4", "fig4", "fig10", "fig20"):
+        args = parser.parse_args([experiment])
+        assert args.experiment == experiment
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig99"])
+
+
+def test_scale_and_seed_options():
+    args = build_parser().parse_args(["fig4", "--scale", "0.005", "--seed", "3", "--tolerance", "5"])
+    assert args.scale == 0.005
+    assert args.seed == 3
+    assert args.tolerance == 5
+
+
+def test_table_commands_print_output(capsys):
+    assert main(["table1"]) == 0
+    assert main(["table3"]) == 0
+    assert main(["table4"]) == 0
+    output = capsys.readouterr().out
+    assert "ReliableSketch (Ours)" in output
+    assert "ESbucket" in output
+    assert "Stateful ALU" in output
+
+
+def test_fig17_command_runs_small(capsys):
+    assert main(["fig17", "--scale", "0.001"]) == 0
+    assert "containing truth" in capsys.readouterr().out
+
+
+def test_fig19_command_runs_small(capsys):
+    assert main(["fig19", "--scale", "0.001"]) == 0
+    assert "KB" in capsys.readouterr().out

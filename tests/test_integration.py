@@ -1,0 +1,141 @@
+"""Cross-module integration tests: the library used the way the paper uses it.
+
+Each test stitches several subsystems together (streams → sketches → metrics
+→ experiments/hardware) and checks an end-to-end claim of the paper rather
+than a single module's behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import (
+    CountMinSketch,
+    ReliableSketch,
+    build_sketch,
+    evaluate_accuracy,
+    ip_trace,
+    zipf_stream,
+)
+from repro.core import analysis
+from repro.streams.readers import read_trace_file, write_trace_file
+
+
+def test_public_api_surface():
+    """Everything advertised in repro.__all__ is importable and non-None."""
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_headline_claim_zero_outliers_under_small_memory(small_ip_trace):
+    """§6.2.1: under the same memory, ReliableSketch has zero outliers while
+    Count-Min has many."""
+    tolerance = 25
+    memory = 4 * 1024  # deliberately tight for this stream
+
+    reliable = ReliableSketch.from_memory(memory, tolerance=tolerance, seed=1)
+    countmin = CountMinSketch(memory, depth=3, seed=1)
+    reliable.insert_stream(small_ip_trace)
+    countmin.insert_stream(small_ip_trace)
+
+    truth = small_ip_trace.counts()
+    ours = evaluate_accuracy(truth, reliable.query, tolerance)
+    cm = evaluate_accuracy(truth, countmin.query, tolerance)
+    assert ours.outliers < cm.outliers
+    assert ours.outliers == 0
+
+
+def test_error_sensing_end_to_end(small_ip_trace):
+    """§6.5.1: sensed intervals contain the truth and track the actual error."""
+    sketch = ReliableSketch.from_stream(
+        total_value=small_ip_trace.total_value(), tolerance=25, seed=2
+    )
+    sketch.insert_stream(small_ip_trace)
+    truth = small_ip_trace.counts()
+    total_sensed = 0
+    total_actual = 0
+    for key, value in truth.items():
+        result = sketch.query_with_error(key)
+        assert result.contains(value)
+        total_sensed += result.mpe
+        total_actual += abs(result.estimate - value)
+    assert total_sensed >= total_actual
+
+
+def test_depth_formula_is_sufficient_in_practice():
+    """A sketch whose depth follows Theorem 4's equation has no failures on a
+    stream of the assumed size."""
+    stream = zipf_stream(30_000, skew=1.3, universe=5_000, seed=3)
+    tolerance = 25
+    depth = analysis.required_depth(stream.total_value(), tolerance, delta=1e-6)
+    sketch = ReliableSketch.from_stream(
+        total_value=stream.total_value(), tolerance=tolerance, depth=max(depth, 4), seed=3
+    )
+    sketch.insert_stream(stream)
+    assert sketch.insert_failures == 0
+
+
+def test_registry_and_metrics_compose_for_all_algorithms(small_zipf_stream):
+    """Every registered algorithm can be driven by the same loop."""
+    from repro.sketches.registry import competitor_names
+
+    truth = small_zipf_stream.counts()
+    for name in competitor_names():
+        sketch = build_sketch(name, 16 * 1024, seed=4)
+        sketch.insert_stream(small_zipf_stream)
+        report = evaluate_accuracy(truth, sketch.query, 25)
+        assert report.evaluated_keys == len(truth)
+
+
+def test_trace_file_round_trip_preserves_sketch_results(tmp_path):
+    """Persisting a trace to disk and reloading it gives identical estimates."""
+    stream = ip_trace(scale=0.001, seed=9)
+    path = write_trace_file(stream, tmp_path / "ip.trace")
+    reloaded = read_trace_file(path)
+
+    direct = ReliableSketch.from_memory(8 * 1024, tolerance=25, seed=5)
+    from_file = ReliableSketch.from_memory(8 * 1024, tolerance=25, seed=5)
+    direct.insert_stream(stream)
+    from_file.insert_stream(reloaded)
+    for key in list(stream.counts())[:200]:
+        assert direct.query(key) == from_file.query(key)
+
+
+def test_weighted_byte_stream_end_to_end():
+    """Value sums (not just frequencies): byte-volume accounting stays sound."""
+    stream = ip_trace(scale=0.001, seed=11, value_model="bytes")
+    tolerance = 25 * 800  # bytes
+    sketch = ReliableSketch.from_stream(
+        total_value=stream.total_value(), tolerance=tolerance, seed=6
+    )
+    sketch.insert_stream(stream)
+    assert sketch.insert_failures == 0
+    report = evaluate_accuracy(stream.counts(), sketch.query, tolerance)
+    assert report.outliers == 0
+
+
+def test_fpga_and_switch_models_accept_cpu_configuration():
+    """The same configuration object drives the CPU sketch and both hardware models."""
+    from repro.hardware.fpga import FpgaModel
+    from repro.hardware.tofino import DataPlaneReliableSketch, TofinoResourceModel
+
+    config = ReliableSketch.from_memory(64 * 1024, tolerance=25).config
+    report = FpgaModel().synthesize(config)
+    assert report.total_bram >= 1
+    switch = DataPlaneReliableSketch(config, seed=1)
+    switch.insert("flow", 3)
+    assert switch.query("flow") == 3
+    assert TofinoResourceModel(layers=min(config.depth, 12)).usage()["Stateful ALU"] > 0
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_reproducibility_across_runs(seed, small_zipf_stream):
+    """Identical seeds give identical sketches, estimates and failure counts."""
+    a = ReliableSketch.from_memory(16 * 1024, tolerance=25, seed=seed)
+    b = ReliableSketch.from_memory(16 * 1024, tolerance=25, seed=seed)
+    a.insert_stream(small_zipf_stream)
+    b.insert_stream(small_zipf_stream)
+    assert a.insert_failures == b.insert_failures
+    for key in list(small_zipf_stream.counts())[:300]:
+        assert a.query(key) == b.query(key)
