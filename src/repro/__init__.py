@@ -24,7 +24,13 @@ from repro.core import (
     ReliableConfig,
     ReliableSketch,
 )
-from repro.metrics import evaluate_accuracy, measure_throughput, mb, kb
+from repro.metrics import (
+    evaluate_accuracy,
+    measure_throughput,
+    measure_batch_throughput,
+    mb,
+    kb,
+)
 from repro.sketches import (
     CountMinSketch,
     CUSketch,
@@ -58,6 +64,7 @@ __all__ = [
     "ReliableSketch",
     "evaluate_accuracy",
     "measure_throughput",
+    "measure_batch_throughput",
     "mb",
     "kb",
     "CountMinSketch",

@@ -10,6 +10,11 @@ Run Figure 10 at a larger scale::
 
     repro-cli fig10 --scale 0.05
 
+Run the memory sweep or the throughput comparison on the batch datapath::
+
+    repro-cli fig4 --batch-size 4096
+    repro-cli fig10 --batch-size 4096
+
 Print the three tables::
 
     repro-cli table1
@@ -48,7 +53,11 @@ def _cmd_table4(args) -> None:
 
 def _cmd_fig4(args) -> None:
     curves = outliers.outliers_vs_memory(
-        dataset_name=args.dataset, tolerance=args.tolerance, scale=args.scale, seed=args.seed
+        dataset_name=args.dataset,
+        tolerance=args.tolerance,
+        scale=args.scale,
+        seed=args.seed,
+        batch_size=args.batch_size,
     )
     _print_curves(curves, "outliers")
 
@@ -97,7 +106,9 @@ def _cmd_fig9(args) -> None:
 
 
 def _cmd_fig10(args) -> None:
-    rows = speed.throughput_comparison(scale=args.scale, seed=args.seed)
+    rows = speed.throughput_comparison(
+        dataset_name=args.dataset, scale=args.scale, seed=args.seed, batch_size=args.batch_size
+    )
     print(tables.format_table(
         ["Algorithm", "Insert Mops", "Query Mops"],
         [[row.algorithm, f"{row.insert_mops:.3f}", f"{row.query_mops:.3f}"] for row in rows],
@@ -205,12 +216,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="stream scale relative to the paper (default: %(default)s)")
     parser.add_argument("--tolerance", type=float, default=25.0, help="error tolerance Lambda")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--dataset", default="ip",
+                        help="dataset for the single-dataset experiments fig4 and fig10; "
+                             "other figures sweep their own fixed dataset lists "
+                             "(default: %(default)s)")
+    parser.add_argument("--batch-size", type=int, default=None, dest="batch_size",
+                        help="chunk size for the batch datapath; omit for the scalar loop "
+                             "(results are bit-identical, only speed changes)")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.batch_size is not None and args.batch_size <= 0:
+        parser.error("--batch-size must be a positive integer")
     _COMMANDS[args.experiment](args)
     return 0
 

@@ -15,11 +15,24 @@ insertion sequence:
 
 so ``NO`` is always a sound Maximum Possible Error (MPE) for every key, which
 is exactly the error signal ReliableSketch's lock mechanism needs.
+
+Two representations live here:
+
+* :class:`ErrorSensibleBucket` — the single-bucket object, kept as the
+  didactic reference (and for the per-bucket property tests);
+* :class:`BucketArrayLayer` — the struct-of-arrays layout ReliableSketch
+  actually uses since the batch-first datapath rework: one layer holds its
+  candidate keys in a Python list and its ``YES``/``NO`` counters in NumPy
+  ``int64`` arrays, so queries and diagnostics over a whole layer are
+  vectorizable while per-bucket views stay available for inspection.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -106,3 +119,82 @@ class ErrorSensibleBucket:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ErrorSensibleBucket(key={self.key!r}, yes={self.yes}, no={self.no})"
+
+
+class BucketView:
+    """Read-only view of one bucket inside a :class:`BucketArrayLayer`.
+
+    Exposes the ``key`` / ``yes`` / ``no`` / ``total_value`` surface of
+    :class:`ErrorSensibleBucket` backed by the layer's arrays, so diagnostics
+    and invariant tests (e.g. the value-conservation check in
+    ``tests/core/test_reliable_properties.py``) can keep treating a layer as
+    a sequence of buckets.  Deliberately read-only: all mutation goes through
+    the array-level insert paths in :mod:`repro.core.reliable_sketch`.
+    """
+
+    __slots__ = ("_layer", "_index")
+
+    def __init__(self, layer: "BucketArrayLayer", index: int) -> None:
+        self._layer = layer
+        self._index = index
+
+    @property
+    def key(self) -> object | None:
+        return self._layer.keys[self._index]
+
+    @property
+    def yes(self) -> int:
+        return int(self._layer.yes[self._index])
+
+    @property
+    def no(self) -> int:
+        return int(self._layer.no[self._index])
+
+    @property
+    def total_value(self) -> int:
+        return self.yes + self.no
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BucketView(key={self.key!r}, yes={self.yes}, no={self.no})"
+
+
+class BucketArrayLayer:
+    """One ReliableSketch layer in struct-of-arrays form.
+
+    ``keys`` is a plain Python list (stream keys are arbitrary hashable
+    objects, and per-item equality checks are faster on a list than on a
+    NumPy object array); ``yes`` and ``no`` are ``int64`` arrays so that
+    whole-layer reads — batch queries, occupancy, lock counts — are single
+    vectorized expressions.
+    """
+
+    __slots__ = ("keys", "yes", "no")
+
+    def __init__(self, width: int) -> None:
+        if width <= 0:
+            raise ValueError("layer width must be positive")
+        self.keys: list[object | None] = [None] * width
+        self.yes = np.zeros(width, dtype=np.int64)
+        self.no = np.zeros(width, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __iter__(self) -> Iterator[BucketView]:
+        for index in range(len(self.keys)):
+            yield BucketView(self, index)
+
+    def occupied_count(self) -> int:
+        """Number of non-empty buckets (a bucket is empty iff its key is unset)."""
+        return sum(1 for key in self.keys if key is not None)
+
+    def locked_count(self, threshold: float) -> int:
+        """Buckets whose ``NO`` reached the threshold while ``YES`` exceeds it."""
+        return int(np.count_nonzero((self.no >= threshold) & (self.yes > threshold)))
+
+    def total_value(self) -> int:
+        """Total value absorbed by the layer (``Σ YES + Σ NO``)."""
+        return int(self.yes.sum() + self.no.sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BucketArrayLayer(width={len(self.keys)}, occupied={self.occupied_count()})"

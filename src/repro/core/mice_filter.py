@@ -16,7 +16,9 @@ bucket of the first layer is replaced by a counter 36× narrower.
 
 from __future__ import annotations
 
-from repro.hashing import HashFamily
+import numpy as np
+
+from repro.hashing import EncodedKeyBatch, HashFamily
 
 
 class MiceFilter:
@@ -51,6 +53,9 @@ class MiceFilter:
         self._family = HashFamily(seed)
         self._hashes = self._family.draw_many(arrays, self.width)
         self._tables = [[0] * self.width for _ in range(arrays)]
+        # Read-only NumPy mirror of the tables for query_batch, rebuilt
+        # lazily after absorbs (all mutations go through _absorb_at).
+        self._tables_array: np.ndarray | None = None
 
     # ------------------------------------------------------------------ API
     def absorb(self, key: object, value: int) -> int:
@@ -63,20 +68,59 @@ class MiceFilter:
         """
         if value <= 0:
             raise ValueError("inserted value must be positive")
-        indexes = [hash_fn(key) for hash_fn in self._hashes]
+        return self._absorb_at([hash_fn(key) for hash_fn in self._hashes], value)
+
+    def _absorb_at(self, indexes: list[int], value: int) -> int:
+        """Saturating conservative update at pre-computed per-array indexes.
+
+        Shared verbatim by the scalar and batch absorb paths, so the two
+        cannot drift apart; returns the leftover value.
+        """
         current = min(table[idx] for table, idx in zip(self._tables, indexes))
-        room = self.cap - current
-        taken = min(value, room)
+        taken = min(value, self.cap - current)
         if taken > 0:
             target = current + taken
             for table, idx in zip(self._tables, indexes):
                 if table[idx] < target:
                     table[idx] = target
+            self._tables_array = None
         return value - taken
 
     def query(self, key: object) -> int:
         """The filter's contribution to the estimate (and to the MPE)."""
         return min(table[hash_fn(key)] for table, hash_fn in zip(self._tables, self._hashes))
+
+    def absorb_batch(self, batch: EncodedKeyBatch, values: np.ndarray) -> np.ndarray:
+        """Batch :meth:`absorb`: hash vectorized, updates replayed in order.
+
+        The saturating conservative update is order-dependent (an item's
+        leftover depends on the counters its predecessors left behind), so
+        only the hashing is vectorized; the counter updates run in stream
+        order, which keeps the leftovers bit-identical to scalar absorbs.
+
+        Returns the leftover value of every item as an ``int64`` array.
+        """
+        if values.size and int(values.min()) <= 0:
+            raise ValueError("inserted value must be positive")
+        index_rows = [hash_fn.index_batch(batch).tolist() for hash_fn in self._hashes]
+        leftovers = np.empty(len(batch), dtype=np.int64)
+        for position, value in enumerate(values.tolist()):
+            leftovers[position] = self._absorb_at(
+                [row[position] for row in index_rows], value
+            )
+        return leftovers
+
+    def query_batch(self, batch: EncodedKeyBatch) -> np.ndarray:
+        """Batch :meth:`query`: the filter readings of every key, vectorized."""
+        if self._tables_array is None:
+            self._tables_array = np.asarray(self._tables, dtype=np.int64)
+        readings = np.stack(
+            [
+                table[hash_fn.index_batch(batch)]
+                for table, hash_fn in zip(self._tables_array, self._hashes)
+            ]
+        )
+        return readings.min(axis=0)
 
     # ------------------------------------------------------------- helpers
     def memory_bytes(self) -> float:

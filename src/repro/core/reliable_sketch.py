@@ -14,13 +14,39 @@ Optional components (both from §3.3):
 * a **mice filter** in front of layer 1 (enabled by default, as in §6.1.1);
 * an **emergency store** behind layer ``d`` (disabled by default to match the
   paper's accuracy evaluation, which counts failures instead).
+
+Batch-first datapath
+--------------------
+
+Layers are stored struct-of-arrays (:class:`repro.core.bucket.BucketArrayLayer`:
+a Python key list plus NumPy ``int64`` ``YES``/``NO`` arrays) rather than as
+lists of bucket objects, and the sketch exposes ``insert_batch`` /
+``query_batch`` alongside the scalar API.  Because lock/replace decisions are
+order-dependent *within a layer*, the batch insert cannot blindly vectorize
+the whole of Algorithm 1; instead it mirrors the hardware pipeline:
+
+* **vectorized** — key encoding (once per item, shared by every layer), the
+  MurmurHash evaluations of each layer (over exactly the items that reach
+  that layer, keeping hash-call accounting identical to the scalar path),
+  and the whole-array reads of batch queries;
+* **stream order** — the mice-filter saturating updates and the per-bucket
+  vote/lock/replace transitions, replayed item by item per layer so that the
+  resulting state is bit-identical to scalar inserts in the same order.
+
+Items flow through the datapath layer by layer: all survivors of layer ``i``
+(in stream order) are hashed for layer ``i+1`` in one vectorized call, then
+applied sequentially.  ``query_batch`` works the same way, retiring keys as
+soon as their stopping condition (Algorithm 2) fires.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
-from repro.core.bucket import ErrorSensibleBucket
+import numpy as np
+
+from repro.core.bucket import BucketArrayLayer
 from repro.core.config import (
     DEFAULT_DEPTH,
     DEFAULT_R_LAMBDA,
@@ -29,7 +55,7 @@ from repro.core.config import (
 )
 from repro.core.emergency import EmergencyStore, ExactEmergencyStore
 from repro.core.mice_filter import MiceFilter
-from repro.hashing import HashFamily
+from repro.hashing import EncodedKeyBatch, HashFamily
 from repro.sketches.base import Sketch
 
 
@@ -77,9 +103,7 @@ class ReliableSketch(Sketch):
         self.seed = seed
         self._family = HashFamily(seed)
         self._hashes = [self._family.draw(layer.width) for layer in config.layers]
-        self._layers = [
-            [ErrorSensibleBucket() for _ in range(layer.width)] for layer in config.layers
-        ]
+        self._layers = [BucketArrayLayer(layer.width) for layer in config.layers]
         self._thresholds = [layer.threshold for layer in config.layers]
         self._filter: MiceFilter | None = None
         if config.use_mice_filter:
@@ -172,42 +196,110 @@ class ReliableSketch(Sketch):
                 self.inserts_settled_per_layer[self.config.depth] += 1
                 return
 
-        for layer_index, (buckets, hash_fn, threshold) in enumerate(
+        for layer_index, (layer, hash_fn, threshold) in enumerate(
             zip(self._layers, self._hashes, self._thresholds)
         ):
-            bucket = buckets[hash_fn(key)]
-            if bucket.key is None:
-                # Empty bucket: adopt the key outright (first arrival).
-                bucket.key = key
-                bucket.yes = remaining
-                bucket.no = 0
+            index = hash_fn(key)
+            remaining = self._apply_to_bucket(layer, index, key, remaining, threshold)
+            if remaining is None:
                 self.inserts_settled_per_layer[layer_index] += 1
                 return
-            if bucket.key == key:
-                bucket.yes += remaining
-                self.inserts_settled_per_layer[layer_index] += 1
-                return
-            if bucket.no + remaining > threshold and bucket.yes > threshold:
-                # Lock triggered: absorb only what keeps NO at the threshold,
-                # and push the excess to the next layer.
-                absorbed = threshold - bucket.no
-                if absorbed > 0:
-                    bucket.no = threshold
-                    remaining -= absorbed
-                continue
-            # Normal negative vote, possibly followed by a replacement.
-            bucket.no += remaining
-            if bucket.no >= bucket.yes:
-                bucket.key = key
-                bucket.yes, bucket.no = bucket.no, bucket.yes
-            self.inserts_settled_per_layer[layer_index] += 1
-            return
 
         # Value survived every layer: insertion failure (§3.2).
         self.insert_failures += 1
         self.failed_value += remaining
         if self._emergency is not None:
             self._emergency.insert(key, remaining)
+
+    @staticmethod
+    def _apply_to_bucket(
+        layer: BucketArrayLayer, index: int, key: object, remaining: int, threshold: float
+    ) -> int | None:
+        """Apply one ``<key, remaining>`` arrival to one bucket (Algorithm 1).
+
+        Returns ``None`` when the value settled in this layer, or the excess
+        value to push to the next layer when the bucket's lock triggered.
+        Shared verbatim by the scalar and the batch insert paths, so the two
+        cannot drift apart.
+        """
+        bucket_key = layer.keys[index]
+        yes = layer.yes
+        no = layer.no
+        if bucket_key is None:
+            # Empty bucket: adopt the key outright (first arrival).
+            layer.keys[index] = key
+            yes[index] = remaining
+            no[index] = 0
+            return None
+        if bucket_key == key:
+            yes[index] += remaining
+            return None
+        no_votes = int(no[index])
+        if no_votes + remaining > threshold and yes[index] > threshold:
+            # Lock triggered: absorb only what keeps NO at the threshold,
+            # and push the excess to the next layer.
+            absorbed = int(threshold - no_votes)
+            if absorbed > 0:
+                no[index] = threshold
+                remaining -= absorbed
+            return remaining
+        # Normal negative vote, possibly followed by a replacement.
+        no_votes += remaining
+        if no_votes >= yes[index]:
+            layer.keys[index] = key
+            no[index] = yes[index]
+            yes[index] = no_votes
+        else:
+            no[index] = no_votes
+        return None
+
+    def insert_batch(self, keys: Sequence[object], values: Sequence[int] | int | None = None) -> None:
+        """Batch insert, bit-identical to scalar inserts in stream order.
+
+        Vectorized: key encoding (once per item) and the per-layer hash
+        evaluations — layer ``i`` hashes exactly the items that reach layer
+        ``i``, in one call, so hash-call accounting matches the scalar path.
+        Stream order: the mice-filter updates and the bucket vote/lock/
+        replace transitions, which are order-dependent (see module docstring).
+        """
+        batch = EncodedKeyBatch(keys)
+        count = len(batch)
+        value_array = self._batch_values(values, count)
+        self._insert_count += count
+
+        key_list = batch.keys
+        if self._filter is not None:
+            remaining = self._filter.absorb_batch(batch, value_array).tolist()
+            active = [i for i in range(count) if remaining[i] > 0]
+            self.inserts_settled_per_layer[self.config.depth] += count - len(active)
+        else:
+            remaining = value_array.tolist()
+            active = list(range(count))
+
+        for layer_index, (layer, hash_fn, threshold) in enumerate(
+            zip(self._layers, self._hashes, self._thresholds)
+        ):
+            if not active:
+                return
+            sub = batch if len(active) == count else batch.take(active)
+            indexes = hash_fn.index_batch(sub).tolist()
+            survivors: list[int] = []
+            for position, item in enumerate(active):
+                excess = self._apply_to_bucket(
+                    layer, indexes[position], key_list[item], remaining[item], threshold
+                )
+                if excess is not None:
+                    remaining[item] = excess
+                    survivors.append(item)
+            self.inserts_settled_per_layer[layer_index] += len(active) - len(survivors)
+            active = survivors
+
+        for item in active:
+            # Value survived every layer: insertion failure (§3.2).
+            self.insert_failures += 1
+            self.failed_value += remaining[item]
+            if self._emergency is not None:
+                self._emergency.insert(key_list[item], remaining[item])
 
     # -------------------------------------------------------------- queries
     def query_with_error(self, key: object) -> QueryResult:
@@ -225,15 +317,15 @@ class ReliableSketch(Sketch):
             mpe += filtered
 
         layers_visited = 0
-        for buckets, hash_fn, threshold in zip(self._layers, self._hashes, self._thresholds):
-            bucket = buckets[hash_fn(key)]
+        for layer, hash_fn, threshold in zip(self._layers, self._hashes, self._thresholds):
+            index = hash_fn(key)
             layers_visited += 1
-            if bucket.key == key:
-                estimate += bucket.yes
-            else:
-                estimate += bucket.no
-            mpe += bucket.no
-            if bucket.no < threshold or bucket.yes == bucket.no or bucket.key == key:
+            matches = layer.keys[index] == key
+            yes = int(layer.yes[index])
+            no = int(layer.no[index])
+            estimate += yes if matches else no
+            mpe += no
+            if no < threshold or yes == no or matches:
                 break
         if self._emergency is not None:
             estimate += self._emergency.query(key)
@@ -242,6 +334,49 @@ class ReliableSketch(Sketch):
     def query(self, key: object) -> int:
         """Estimated value sum of ``key`` (the point estimate only)."""
         return self.query_with_error(key).estimate
+
+    def query_batch(self, keys: Sequence[object]) -> np.ndarray:
+        """Batch point estimates, bit-identical to scalar :meth:`query` calls.
+
+        Processes the batch layer by layer with vectorized hashing and
+        whole-array counter reads; a key retires from the batch as soon as
+        its stopping condition (Algorithm 2) fires, so per-layer hash-call
+        counts match the scalar path exactly.
+        """
+        batch = EncodedKeyBatch(keys)
+        count = len(batch)
+        self._query_count += count
+        estimates = np.zeros(count, dtype=np.int64)
+        if self._filter is not None:
+            estimates += self._filter.query_batch(batch)
+
+        key_list = batch.keys
+        active = list(range(count))
+        for layer, hash_fn, threshold in zip(self._layers, self._hashes, self._thresholds):
+            if not active:
+                break
+            sub = batch if len(active) == count else batch.take(active)
+            indexes = hash_fn.index_batch(sub)
+            yes_readings = layer.yes[indexes]
+            no_readings = layer.no[indexes]
+            layer_keys = layer.keys
+            matches = np.fromiter(
+                (
+                    layer_keys[index] == key
+                    for index, key in zip(indexes.tolist(), sub.keys)
+                ),
+                dtype=bool,
+                count=len(active),
+            )
+            active_array = np.asarray(active, dtype=np.intp)
+            estimates[active_array] += np.where(matches, yes_readings, no_readings)
+            stopped = (no_readings < threshold) | (yes_readings == no_readings) | matches
+            active = active_array[~stopped].tolist()
+
+        if self._emergency is not None:
+            for position, key in enumerate(key_list):
+                estimates[position] += self._emergency.query(key)
+        return estimates
 
     def sensed_error(self, key: object) -> int:
         """The Maximum Possible Error the sketch reports for ``key``."""
@@ -284,20 +419,14 @@ class ReliableSketch(Sketch):
 
     def layer_occupancy(self) -> list[float]:
         """Fraction of non-empty buckets per layer (diagnostics)."""
-        occupancy = []
-        for buckets in self._layers:
-            filled = sum(1 for bucket in buckets if not bucket.is_empty)
-            occupancy.append(filled / len(buckets))
-        return occupancy
+        return [layer.occupied_count() / len(layer) for layer in self._layers]
 
     def locked_buckets(self) -> list[int]:
         """Number of locked buckets per layer (NO at threshold, YES above it)."""
-        counts = []
-        for buckets, threshold in zip(self._layers, self._thresholds):
-            counts.append(
-                sum(1 for b in buckets if b.no >= threshold and b.yes > threshold)
-            )
-        return counts
+        return [
+            layer.locked_count(threshold)
+            for layer, threshold in zip(self._layers, self._thresholds)
+        ]
 
     def settled_layer_of(self, key: object) -> int:
         """The deepest layer a query for ``key`` needs to visit (1-indexed)."""

@@ -44,13 +44,19 @@ def outliers_vs_memory(
     memory_points: list[float] | None = None,
     algorithms: tuple[str, ...] | None = None,
     seed: int = 0,
+    batch_size: int | None = None,
 ) -> list[OutlierCurve]:
-    """#Outliers as a function of memory (Figure 4 for Λ∈{5,25}, Figure 6 per dataset)."""
+    """#Outliers as a function of memory (Figure 4 for Λ∈{5,25}, Figure 6 per dataset).
+
+    ``batch_size`` switches the sketch-filling loop to the batch datapath;
+    the curves are unchanged (batch inserts are bit-identical), it only
+    shortens the sweep's wall-clock time.
+    """
     stream = dataset(dataset_name, scale=scale, seed=seed + 1)
     if memory_points is None:
         memory_points = scaled_memory_points(PAPER_MEMORY_SWEEP_MB, scale)
     algorithms = algorithms or competitor_names("outliers")
-    settings = ExperimentSettings(tolerance=tolerance, seed=seed)
+    settings = ExperimentSettings(tolerance=tolerance, seed=seed, batch_size=batch_size)
 
     per_algorithm: dict[str, list[int]] = {name: [] for name in algorithms}
     for memory in memory_points:

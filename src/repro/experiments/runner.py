@@ -27,6 +27,10 @@ class ExperimentSettings:
 
     tolerance: float = 25.0
     seed: int = 0
+    #: Chunk size for the batch datapath; ``None`` keeps the scalar loop.
+    #: Batch and scalar runs produce bit-identical sketches, so this only
+    #: changes how fast an experiment fills its sketches, never its results.
+    batch_size: int | None = None
     #: Extra keyword arguments forwarded to the sketch constructors.
     sketch_kwargs: dict = field(default_factory=dict)
 
@@ -75,7 +79,7 @@ def run_sketch(
     """Build, fill and evaluate one algorithm on one stream."""
     settings = settings or ExperimentSettings()
     sketch = _sketch_factory(name, settings)(memory_bytes)
-    sketch.insert_stream(stream)
+    sketch.insert_stream(stream, batch_size=settings.batch_size)
     report = evaluate_accuracy(stream.counts(), sketch.query, settings.tolerance, keys=keys)
     return SketchRun(algorithm=name, memory_bytes=memory_bytes, report=report, sketch=sketch)
 

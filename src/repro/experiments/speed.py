@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.experiments.datasets import DEFAULT_SCALE, dataset, scaled_memory_points
 from repro.experiments.runner import ExperimentSettings
 from repro.metrics.memory import BYTES_PER_MB
-from repro.metrics.throughput import measure_throughput
+from repro.metrics.throughput import measure_batch_throughput, measure_throughput
 from repro.sketches.registry import build_sketch, competitor_names
 
 
@@ -44,8 +44,15 @@ def throughput_comparison(
     scale: float = DEFAULT_SCALE,
     algorithms: tuple[str, ...] | None = None,
     seed: int = 0,
+    batch_size: int | None = None,
 ) -> list[ThroughputRow]:
-    """Insertion and query throughput of every algorithm (Figure 10)."""
+    """Insertion and query throughput of every algorithm (Figure 10).
+
+    With ``batch_size`` set, both inserts and queries run through the batch
+    datapath (``insert_batch`` / ``query_batch``) in chunks of that size;
+    the reported unit is still items per second, so scalar and batch runs
+    are directly comparable.
+    """
     stream = dataset(dataset_name, scale=scale, seed=seed + 1)
     memory_bytes = scaled_memory_points([memory_megabytes], scale)[0]
     algorithms = algorithms or competitor_names("speed")
@@ -54,10 +61,22 @@ def throughput_comparison(
     rows: list[ThroughputRow] = []
     for name in algorithms:
         sketch = build_sketch(name, memory_bytes, seed=seed)
-        insert_result = measure_throughput(
-            lambda item, s=sketch: s.insert(item.key, item.value), stream
-        )
-        query_result = measure_throughput(lambda key, s=sketch: s.query(key), keys)
+        if batch_size is None:
+            insert_result = measure_throughput(
+                lambda item, s=sketch: s.insert(item.key, item.value), stream
+            )
+            query_result = measure_throughput(lambda key, s=sketch: s.query(key), keys)
+        else:
+            insert_result = measure_batch_throughput(
+                lambda chunk, s=sketch: s.insert_batch(
+                    [item.key for item in chunk], [item.value for item in chunk]
+                ),
+                stream,
+                batch_size,
+            )
+            query_result = measure_batch_throughput(
+                lambda chunk, s=sketch: s.query_batch(chunk), keys, batch_size
+            )
         rows.append(
             ThroughputRow(
                 algorithm=name,

@@ -5,20 +5,31 @@ We provide a faithful pure-Python MurmurHash3 (x86, 32-bit) implementation plus
 convenience wrappers that turn a seed into an independent hash function family,
 as required by multi-array sketches (CM, CU, Count, ...) and by the per-layer
 hash functions of ReliableSketch.
+
+The batch datapath hashes whole arrays of keys at once: encode a batch once
+with :class:`EncodedKeyBatch`, then feed it to ``HashFunction.raw_batch`` /
+``index_batch`` (or ``SignHashFunction.sign_batch``), which run the NumPy
+murmur kernel :func:`murmur3_32_fixed_batch` per same-length key group and
+produce bit-identical results to the scalar calls.
 """
 
-from repro.hashing.murmur import murmur3_32
+from repro.hashing.murmur import murmur3_32, murmur3_32_fixed_batch
 from repro.hashing.families import (
+    EncodedKeyBatch,
     HashFamily,
     HashFunction,
     SignHashFunction,
+    encode_keys,
     key_to_bytes,
 )
 
 __all__ = [
     "murmur3_32",
+    "murmur3_32_fixed_batch",
+    "EncodedKeyBatch",
     "HashFamily",
     "HashFunction",
     "SignHashFunction",
+    "encode_keys",
     "key_to_bytes",
 ]

@@ -12,9 +12,11 @@ same bucket regardless of which sketch consumes it.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
-from repro.hashing.murmur import murmur3_32
+import numpy as np
+
+from repro.hashing.murmur import murmur3_32, murmur3_32_fixed_batch
 
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 
@@ -42,6 +44,131 @@ def key_to_bytes(key: object) -> bytes:
         length = max(4, (key.bit_length() + 7) // 8)
         return key.to_bytes(length, "little")
     raise TypeError(f"unsupported key type: {type(key)!r}")
+
+
+def encode_keys(keys: Sequence[object]) -> list[bytes]:
+    """Batch :func:`key_to_bytes`: encode every key of a batch exactly once.
+
+    The scalar datapath re-encodes a key for every hash function that touches
+    it (``d`` times per insert for a depth-``d`` sketch); the batch datapath
+    encodes each key once and shares the encoding across all hash functions
+    via :class:`EncodedKeyBatch`.
+    """
+    return [key_to_bytes(key) for key in keys]
+
+
+class EncodedKeyBatch:
+    """A batch of stream keys, pre-encoded and grouped for vectorized hashing.
+
+    MurmurHash3 is only vectorizable over *same-length* inputs (the block
+    loop depends on the byte length), so the batch groups its keys by encoded
+    length and packs each group into a contiguous ``(n_group, length)``
+    ``uint8`` matrix.  Real workloads (32-bit flow IDs) collapse into a
+    single 4-byte group, which is the fully vectorized fast path; mixed key
+    types degrade gracefully into one kernel launch per distinct length.
+
+    The batch is immutable and reusable: every hash function of every layer
+    or array hashes the same encoded matrices, so encoding cost is paid once
+    per item regardless of sketch depth.  Batches of non-negative ints below
+    2^31 (the paper's 32-bit flow IDs) skip per-key ``key_to_bytes`` entirely
+    and build the packed matrix with whole-array NumPy operations.
+    """
+
+    __slots__ = ("keys", "_encoded", "_groups", "_group_of", "_row_of")
+
+    def __init__(self, keys: Sequence[object], _encoded: list[bytes] | None = None) -> None:
+        if isinstance(keys, np.ndarray):
+            keys = keys.tolist()
+        elif not isinstance(keys, (list, tuple)):
+            keys = list(keys)
+        self.keys = keys
+        self._encoded = _encoded
+        self._groups: list[tuple[np.ndarray, np.ndarray]] | None = None
+        # Per-position (group id, row within the group matrix) maps, built
+        # with the groups; they make take() a pure matrix-slicing operation.
+        self._group_of: np.ndarray | None = None
+        self._row_of: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def encoded(self) -> list[bytes]:
+        """Per-key encodings (materialised on demand)."""
+        if self._encoded is None:
+            self._encoded = encode_keys(self.keys)
+        return self._encoded
+
+    def _int_fast_groups(self) -> list[tuple[np.ndarray, np.ndarray]] | None:
+        """Single-group packing for batches of small non-negative ints.
+
+        ``key_to_bytes`` maps an int ``k`` in ``[0, 2^31)`` to the 4-byte
+        little-endian encoding of ``k << 1``, so the whole batch packs into
+        one ``(n, 4)`` matrix via a vectorized shift — no per-key encoding.
+        """
+        if not all(type(key) is int and 0 <= key < 2**31 for key in self.keys):
+            return None
+        shifted = np.asarray(self.keys, dtype=np.int64) << 1
+        matrix = shifted.astype("<u4").view(np.uint8).reshape(len(self.keys), 4)
+        return [(np.arange(len(self.keys), dtype=np.intp), matrix)]
+
+    @property
+    def groups(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Length groups as ``(original_positions, (n, length) uint8 matrix)``."""
+        if self._groups is None:
+            groups = None
+            if self._encoded is None and len(self.keys):
+                groups = self._int_fast_groups()
+            if groups is None:
+                by_length: dict[int, list[int]] = {}
+                for position, encoding in enumerate(self.encoded):
+                    by_length.setdefault(len(encoding), []).append(position)
+                groups = []
+                for length, positions in by_length.items():
+                    packed = b"".join(self.encoded[i] for i in positions)
+                    matrix = np.frombuffer(packed, dtype=np.uint8).reshape(len(positions), length)
+                    groups.append((np.asarray(positions, dtype=np.intp), matrix))
+            self._set_groups(groups)
+        return self._groups
+
+    def _set_groups(self, groups: list[tuple[np.ndarray, np.ndarray]]) -> None:
+        """Install groups and the position -> (group, row) reverse maps."""
+        self._groups = groups
+        count = len(self.keys)
+        self._group_of = np.empty(count, dtype=np.intp)
+        self._row_of = np.empty(count, dtype=np.intp)
+        for group_id, (positions, _) in enumerate(groups):
+            self._group_of[positions] = group_id
+            self._row_of[positions] = np.arange(len(positions), dtype=np.intp)
+
+    def take(self, positions: Sequence[int]) -> "EncodedKeyBatch":
+        """Sub-batch of the given positions, reusing the packed encodings.
+
+        Used by the layered datapath of ReliableSketch: only the items that
+        survive layer ``i`` are re-hashed for layer ``i + 1``.  When the
+        length groups are already packed, the sub-batch's groups are sliced
+        straight out of the parent matrices — no per-key re-encoding or
+        re-packing, even on the int fast path.
+        """
+        sub = EncodedKeyBatch(
+            [self.keys[i] for i in positions],
+            _encoded=None if self._encoded is None else [self._encoded[i] for i in positions],
+        )
+        # Force the parent's one-time packing (a no-op if a hash already
+        # triggered it), so sub-batches always slice instead of re-encoding.
+        parent_groups = self.groups
+        position_array = np.asarray(positions, dtype=np.intp)
+        group_ids = self._group_of[position_array]
+        rows = self._row_of[position_array]
+        groups = []
+        for group_id, (_, matrix) in enumerate(parent_groups):
+            mask = group_ids == group_id
+            if mask.any():
+                groups.append(
+                    (np.nonzero(mask)[0].astype(np.intp), matrix[rows[mask]])
+                )
+        sub._set_groups(groups)
+        return sub
 
 
 def derive_seed(master_seed: int, index: int) -> int:
@@ -86,6 +213,26 @@ class HashFunction:
             return value
         return value % self.width
 
+    def raw_batch(self, batch: EncodedKeyBatch) -> np.ndarray:
+        """Raw 32-bit hashes of a whole batch as an ``int64`` array.
+
+        Bit-identical to calling :meth:`raw` on each key; the call counter
+        advances by the batch size so that hash-call accounting (Figure 16)
+        matches the scalar path exactly.
+        """
+        self.calls += len(batch)
+        out = np.empty(len(batch), dtype=np.int64)
+        for positions, matrix in batch.groups:
+            out[positions] = murmur3_32_fixed_batch(matrix, self.seed).astype(np.int64)
+        return out
+
+    def index_batch(self, batch: EncodedKeyBatch) -> np.ndarray:
+        """Bucket indexes of a whole batch (``raw_batch`` reduced mod width)."""
+        raw = self.raw_batch(batch)
+        if self.width is None:
+            return raw
+        return raw % self.width
+
     def reset_counter(self) -> None:
         """Zero the call counter (used between measurement phases)."""
         self.calls = 0
@@ -99,6 +246,10 @@ class SignHashFunction(HashFunction):
 
     def __call__(self, key: object) -> int:  # type: ignore[override]
         return 1 if self.raw(key) & 1 else -1
+
+    def sign_batch(self, batch: EncodedKeyBatch) -> np.ndarray:
+        """±1 signs of a whole batch as an ``int64`` array."""
+        return np.where(self.raw_batch(batch) & 1, np.int64(1), np.int64(-1))
 
 
 class HashFamily:

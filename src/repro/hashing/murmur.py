@@ -1,12 +1,23 @@
-"""Pure-Python MurmurHash3 (x86, 32-bit).
+"""MurmurHash3 (x86, 32-bit): scalar reference and vectorized batch kernel.
 
 This mirrors the reference implementation used by the paper's C++ code.  The
 function is deterministic across runs and platforms, which matters because the
 experiments in the paper (notably Figure 7) repeat runs with different seeds
 and report worst-case behaviour — reproducibility requires a stable hash.
+
+Two entry points are provided:
+
+* :func:`murmur3_32` — the scalar reference, one key at a time;
+* :func:`murmur3_32_fixed_batch` — the same function evaluated over a
+  ``(n, length)`` matrix of same-length keys with NumPy ``uint32``
+  arithmetic.  It is bit-identical to the scalar path (the equivalence is
+  enforced by ``tests/hashing/test_batch_hashing.py``) and is the kernel
+  behind the batch-first datapath of every sketch.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 _MASK32 = 0xFFFFFFFF
 
@@ -80,3 +91,67 @@ def murmur3_32(data: bytes, seed: int = 0) -> int:
 
     h1 ^= length
     return _fmix32(h1)
+
+
+def murmur3_32_fixed_batch(blocks: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Vectorized MurmurHash3 of ``n`` same-length keys.
+
+    Parameters
+    ----------
+    blocks:
+        ``(n, length)`` ``uint8`` matrix, one pre-encoded key per row.  All
+        rows share the same byte length, so the block loop and the tail
+        handling are identical for every row and can run as whole-array
+        ``uint32`` operations (wrap-around multiplication gives the mod-2^32
+        semantics of the scalar path for free).
+    seed:
+        32-bit seed selecting a member of the hash family.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n,)`` ``uint32`` array, bit-identical to calling
+        :func:`murmur3_32` on each row.
+    """
+    blocks = np.asarray(blocks, dtype=np.uint8)
+    if blocks.ndim != 2:
+        raise ValueError("blocks must be a 2-D (n, length) uint8 array")
+    n, length = blocks.shape
+    h1 = np.full(n, seed & _MASK32, dtype=np.uint32)
+    rounded_end = (length // 4) * 4
+
+    for i in range(0, rounded_end, 4):
+        k1 = (
+            blocks[:, i].astype(np.uint32)
+            | (blocks[:, i + 1].astype(np.uint32) << 8)
+            | (blocks[:, i + 2].astype(np.uint32) << 16)
+            | (blocks[:, i + 3].astype(np.uint32) << 24)
+        )
+        k1 *= np.uint32(_C1)
+        k1 = (k1 << 15) | (k1 >> 17)
+        k1 *= np.uint32(_C2)
+
+        h1 ^= k1
+        h1 = (h1 << 13) | (h1 >> 19)
+        h1 = h1 * np.uint32(5) + np.uint32(0xE6546B64)
+
+    tail = length & 3
+    if tail:
+        k1 = np.zeros(n, dtype=np.uint32)
+        if tail >= 3:
+            k1 ^= blocks[:, rounded_end + 2].astype(np.uint32) << 16
+        if tail >= 2:
+            k1 ^= blocks[:, rounded_end + 1].astype(np.uint32) << 8
+        k1 ^= blocks[:, rounded_end].astype(np.uint32)
+        k1 *= np.uint32(_C1)
+        k1 = (k1 << 15) | (k1 >> 17)
+        k1 *= np.uint32(_C2)
+        h1 ^= k1
+
+    h1 ^= np.uint32(length)
+    h1 ^= h1 >> 16
+    h1 *= np.uint32(0x85EBCA6B)
+    h1 ^= h1 >> 13
+    h1 *= np.uint32(0xC2B2AE35)
+    h1 ^= h1 >> 16
+    return h1

@@ -14,7 +14,11 @@ from repro.metrics.accuracy import (
     average_absolute_error,
     average_relative_error,
 )
-from repro.metrics.throughput import ThroughputResult, measure_throughput
+from repro.metrics.throughput import (
+    ThroughputResult,
+    measure_throughput,
+    measure_batch_throughput,
+)
 from repro.metrics.memory import (
     BYTES_PER_MB,
     BYTES_PER_KB,
@@ -32,6 +36,7 @@ __all__ = [
     "average_relative_error",
     "ThroughputResult",
     "measure_throughput",
+    "measure_batch_throughput",
     "BYTES_PER_MB",
     "BYTES_PER_KB",
     "mb",

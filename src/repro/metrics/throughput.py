@@ -4,13 +4,21 @@ The paper reports Mpps of the C++ implementations; absolute Python numbers
 are orders of magnitude lower and not comparable, so the experiment harness
 only ever interprets these results *relatively* between algorithms run under
 identical conditions (same stream, same process, back to back).
+
+Two measurement modes exist since the batch datapath rework:
+
+* :func:`measure_throughput` — one call of ``operation`` per input element
+  (the scalar datapath);
+* :func:`measure_batch_throughput` — inputs are chunked and ``operation``
+  receives whole chunks (the batch datapath); the result still counts
+  *items*, not chunks, so the two modes are directly comparable.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Sequence
 
 
 @dataclass(frozen=True)
@@ -22,14 +30,25 @@ class ThroughputResult:
 
     @property
     def ops_per_second(self) -> float:
-        """Raw operations per second."""
+        """Raw operations per second.
+
+        Zero operations yield ``0.0`` (an empty measurement has no
+        throughput); a positive operation count against a timer reading of
+        zero (possible at very coarse timer resolution) yields ``inf``.
+        """
+        if self.operations == 0:
+            return 0.0
         if self.seconds <= 0:
             return float("inf")
         return self.operations / self.seconds
 
     @property
     def mops(self) -> float:
-        """Million operations per second (the paper's Mpps unit)."""
+        """Million operations per second (the paper's Mpps unit).
+
+        Inherits the degenerate-case behaviour of :attr:`ops_per_second`
+        (0.0 for empty measurements, inf for zero elapsed time).
+        """
         return self.ops_per_second / 1e6
 
 
@@ -44,4 +63,28 @@ def measure_throughput(operation: Callable[[object], object], inputs: Iterable[o
     for element in materialised:
         operation(element)
     elapsed = time.perf_counter() - start
+    return ThroughputResult(operations=len(materialised), seconds=elapsed)
+
+
+def measure_batch_throughput(
+    operation: Callable[[Sequence[object]], object],
+    inputs: Iterable[object],
+    chunk_size: int,
+) -> ThroughputResult:
+    """Chunk ``inputs`` and time one ``operation`` call per chunk.
+
+    ``operation`` receives each chunk as a list (e.g. a lambda forwarding to
+    ``Sketch.insert_batch``).  Inputs are materialised and chunked before
+    timing starts, mirroring :func:`measure_throughput`, and the reported
+    operation count is the number of *items* so scalar and batch results are
+    directly comparable.
+    """
+    from repro.streams.items import chunked
+
+    materialised = list(inputs)
+    chunks = list(chunked(materialised, chunk_size))
+    start_time = time.perf_counter()
+    for chunk in chunks:
+        operation(chunk)
+    elapsed = time.perf_counter() - start_time
     return ThroughputResult(operations=len(materialised), seconds=elapsed)

@@ -4,13 +4,22 @@ The experiment harness treats all algorithms uniformly: construct from a
 memory budget, feed a stream through ``insert``, then compare ``query``
 against the ground truth.  Keeping the interface minimal (two methods plus
 introspection helpers) mirrors the abstract "stream summary" problem of §2.1.
+
+Since the batch-first datapath rework, the interface also carries a batch
+contract: ``insert_batch(keys, values)`` / ``query_batch(keys)`` must be
+*observably equivalent* to the scalar loop — same estimates bit for bit,
+same hash-call accounting, same statistics — for any chunking of the stream.
+The base class provides the scalar fallback loop; sketches with a vectorized
+datapath (ReliableSketch, CM, CU, Count) override it.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Sequence
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -36,10 +45,60 @@ class Sketch(abc.ABC):
     def query(self, key: object) -> int:
         """Return the estimated value sum of ``key``."""
 
-    def insert_stream(self, items: Iterable) -> None:
-        """Insert every item of an iterable of ``(key, value)`` pairs."""
-        for key, value in items:
-            self.insert(key, value)
+    def insert_batch(self, keys: Sequence[object], values: Sequence[int] | int | None = None) -> None:
+        """Insert a batch of items, equivalent to a scalar ``insert`` loop.
+
+        Parameters
+        ----------
+        keys:
+            Stream keys, in stream order (order matters for order-dependent
+            sketches such as CU and ReliableSketch).
+        values:
+            Per-item positive values, a single int applied to every key, or
+            ``None`` for the unit-value default.
+
+        The default implementation is the scalar loop; overrides vectorize
+        but must stay bit-identical to it.
+        """
+        if values is None or isinstance(values, int):
+            value = 1 if values is None else values
+            for key in keys:
+                self.insert(key, value)
+        else:
+            if len(values) != len(keys):
+                raise ValueError("values must match the number of keys")
+            for key, item_value in zip(keys, values):
+                self.insert(key, int(item_value))
+
+    def query_batch(self, keys: Sequence[object]) -> np.ndarray:
+        """Estimated value sums of a batch of keys as an ``int64`` array.
+
+        The default implementation loops over :meth:`query`; overrides
+        vectorize but must return bit-identical estimates.
+        """
+        return np.fromiter(
+            (self.query(key) for key in keys), dtype=np.int64, count=len(keys)
+        )
+
+    def insert_stream(self, items: Iterable, batch_size: int | None = None) -> None:
+        """Insert every item of an iterable of ``(key, value)`` pairs.
+
+        With ``batch_size`` set, items are buffered into chunks and fed
+        through :meth:`insert_batch` — the batch datapath of the sketch, when
+        it has one — instead of the per-item scalar path.
+        """
+        if batch_size is None:
+            for key, value in items:
+                self.insert(key, value)
+            return
+        # Imported here: repro.streams is a leaf package, but keeping the
+        # import local avoids widening sketch import time for scalar users.
+        from repro.streams.items import chunked
+
+        for chunk in chunked(items, batch_size):
+            self.insert_batch(
+                [key for key, _ in chunk], [value for _, value in chunk]
+            )
 
     def memory_bytes(self) -> float:
         """Configured memory footprint of the data structure, in bytes."""
@@ -65,3 +124,24 @@ class Sketch(abc.ABC):
         """Shared validation: the stream-summary problem assumes positive values."""
         if value <= 0:
             raise ValueError("inserted value must be positive")
+
+    @staticmethod
+    def _batch_values(values: Sequence[int] | int | None, count: int) -> np.ndarray:
+        """Normalise and validate batch values to a positive ``int64`` array.
+
+        Shared by the vectorized ``insert_batch`` overrides; validation
+        happens up front for the whole batch (the scalar loop validates item
+        by item, so an invalid value mid-batch aborts earlier here — the
+        accepted inputs are identical).
+        """
+        if values is None:
+            value_array = np.ones(count, dtype=np.int64)
+        elif isinstance(values, int):
+            value_array = np.full(count, values, dtype=np.int64)
+        else:
+            value_array = np.asarray(values, dtype=np.int64)
+        if value_array.shape != (count,):
+            raise ValueError("values must match the number of keys")
+        if value_array.size and int(value_array.min()) <= 0:
+            raise ValueError("inserted value must be positive")
+        return value_array

@@ -8,13 +8,22 @@ accurate variant (``d = 16``); :mod:`repro.sketches.registry` exposes both.
 
 from __future__ import annotations
 
-from repro.hashing import HashFamily
+from typing import Sequence
+
+import numpy as np
+
+from repro.hashing import EncodedKeyBatch, HashFamily
 from repro.metrics.memory import COUNTER_32
 from repro.sketches.base import Sketch
 
 
 class CountMinSketch(Sketch):
     """Count-Min sketch sized from a memory budget.
+
+    Counters live in a ``(depth, width)`` NumPy ``int64`` matrix, so the
+    batch datapath is a pure array program: one vectorized hash per row plus
+    ``np.add.at`` scatter-adds.  Addition commutes, so the batch insert is
+    bit-identical to the scalar loop for any chunking.
 
     Parameters
     ----------
@@ -36,7 +45,7 @@ class CountMinSketch(Sketch):
         self.width = max(1, total_counters // depth)
         self._family = HashFamily(seed)
         self._hashes = self._family.draw_many(depth, self.width)
-        self._tables = [[0] * self.width for _ in range(depth)]
+        self._tables = np.zeros((depth, self.width), dtype=np.int64)
 
     def insert(self, key: object, value: int = 1) -> None:
         self._check_insert(value)
@@ -44,9 +53,22 @@ class CountMinSketch(Sketch):
             row[hash_fn(key)] += value
 
     def query(self, key: object) -> int:
-        return min(
-            row[hash_fn(key)] for row, hash_fn in zip(self._tables, self._hashes)
+        return int(
+            min(row[hash_fn(key)] for row, hash_fn in zip(self._tables, self._hashes))
         )
+
+    def insert_batch(self, keys: Sequence[object], values: Sequence[int] | int | None = None) -> None:
+        batch = EncodedKeyBatch(keys)
+        value_array = self._batch_values(values, len(batch))
+        for row, hash_fn in zip(self._tables, self._hashes):
+            np.add.at(row, hash_fn.index_batch(batch), value_array)
+
+    def query_batch(self, keys: Sequence[object]) -> np.ndarray:
+        batch = EncodedKeyBatch(keys)
+        readings = np.stack(
+            [row[hash_fn.index_batch(batch)] for row, hash_fn in zip(self._tables, self._hashes)]
+        )
+        return readings.min(axis=0)
 
     def memory_bytes(self) -> float:
         return COUNTER_32.bytes_for(self.depth * self.width)

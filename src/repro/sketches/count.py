@@ -10,14 +10,24 @@ contrasts the L1- and L2-norm families.
 from __future__ import annotations
 
 import statistics
+from typing import Sequence
 
-from repro.hashing import HashFamily
+import numpy as np
+
+from repro.hashing import EncodedKeyBatch, HashFamily
 from repro.metrics.memory import COUNTER_32
 from repro.sketches.base import Sketch
 
 
 class CountSketch(Sketch):
-    """Count sketch sized from a memory budget."""
+    """Count sketch sized from a memory budget.
+
+    Counters live in a ``(depth, width)`` NumPy ``int64`` matrix.  Signed
+    updates commute, so ``insert_batch`` is a pure array program (vectorized
+    index and sign hashes plus ``np.add.at``) and stays bit-identical to the
+    scalar loop for any chunking; ``query_batch`` takes the same per-row
+    signed readings and the same median as the scalar query.
+    """
 
     name = "Count"
 
@@ -30,7 +40,7 @@ class CountSketch(Sketch):
         self._family = HashFamily(seed)
         self._hashes = self._family.draw_many(depth, self.width)
         self._signs = [self._family.draw_sign() for _ in range(depth)]
-        self._tables = [[0] * self.width for _ in range(depth)]
+        self._tables = np.zeros((depth, self.width), dtype=np.int64)
 
     def insert(self, key: object, value: int = 1) -> None:
         self._check_insert(value)
@@ -39,12 +49,39 @@ class CountSketch(Sketch):
 
     def query(self, key: object) -> int:
         estimates = [
-            sign_fn(key) * row[hash_fn(key)]
+            int(sign_fn(key) * row[hash_fn(key)])
             for row, hash_fn, sign_fn in zip(self._tables, self._hashes, self._signs)
         ]
         # Estimates can be negative for rare keys; clamp to zero because the
         # stream-summary problem only has non-negative value sums.
         return max(0, int(statistics.median(estimates)))
+
+    def insert_batch(self, keys: Sequence[object], values: Sequence[int] | int | None = None) -> None:
+        batch = EncodedKeyBatch(keys)
+        value_array = self._batch_values(values, len(batch))
+        for row, hash_fn, sign_fn in zip(self._tables, self._hashes, self._signs):
+            np.add.at(row, hash_fn.index_batch(batch), sign_fn.sign_batch(batch) * value_array)
+
+    def query_batch(self, keys: Sequence[object]) -> np.ndarray:
+        batch = EncodedKeyBatch(keys)
+        estimates = np.stack(
+            [
+                sign_fn.sign_batch(batch) * row[hash_fn.index_batch(batch)]
+                for row, hash_fn, sign_fn in zip(self._tables, self._hashes, self._signs)
+            ]
+        )
+        # Median in integer arithmetic where possible: np.median would go
+        # through float64 and lose exactness above 2^53.  Odd depth takes the
+        # middle element exactly; even depth averages the middle pair through
+        # one float division, which is precisely what statistics.median does
+        # (and int()/astype both truncate towards zero).
+        estimates.sort(axis=0)
+        middle = self.depth // 2
+        if self.depth % 2:
+            medians = estimates[middle]
+        else:
+            medians = ((estimates[middle - 1] + estimates[middle]) / 2).astype(np.int64)
+        return np.maximum(medians, np.int64(0))
 
     def memory_bytes(self) -> float:
         return COUNTER_32.bytes_for(self.depth * self.width)

@@ -8,13 +8,24 @@ variants) and, in miniature, as the mice filter of ReliableSketch (§3.3).
 
 from __future__ import annotations
 
-from repro.hashing import HashFamily
+from typing import Sequence
+
+import numpy as np
+
+from repro.hashing import EncodedKeyBatch, HashFamily
 from repro.metrics.memory import COUNTER_32
 from repro.sketches.base import Sketch
 
 
 class CUSketch(Sketch):
-    """Conservative-update Count-Min sketch sized from a memory budget."""
+    """Conservative-update Count-Min sketch sized from a memory budget.
+
+    Conservative update is order-dependent within a batch (each item's
+    target depends on the counters left by its predecessors), so the batch
+    datapath vectorizes the hashing only and applies the counter updates in
+    stream order over plain Python lists — which keeps ``insert_batch``
+    bit-identical to the scalar loop.
+    """
 
     name = "CU"
 
@@ -27,22 +38,53 @@ class CUSketch(Sketch):
         self._family = HashFamily(seed)
         self._hashes = self._family.draw_many(depth, self.width)
         self._tables = [[0] * self.width for _ in range(depth)]
+        # Read-only NumPy mirror of the tables for query_batch, rebuilt
+        # lazily after inserts (all mutations go through _conservative_update).
+        self._tables_array: np.ndarray | None = None
 
     def insert(self, key: object, value: int = 1) -> None:
         self._check_insert(value)
-        indexes = [hash_fn(key) for hash_fn in self._hashes]
-        current = [row[idx] for row, idx in zip(self._tables, indexes)]
-        # Conservative update: raise every counter only up to the new lower
-        # bound (min + value); counters already above it are left untouched.
-        target = min(current) + value
-        for row, idx in zip(self._tables, indexes):
+        self._conservative_update([hash_fn(key) for hash_fn in self._hashes], value)
+
+    def _conservative_update(self, indexes: list[int], value: int) -> None:
+        """Conservative update at pre-computed per-row indexes.
+
+        Raises every counter only up to the new lower bound (min + value);
+        counters already above it are left untouched.  Shared verbatim by
+        the scalar and batch insert paths, so the two cannot drift apart.
+        """
+        tables = self._tables
+        target = min(row[idx] for row, idx in zip(tables, indexes)) + value
+        for row, idx in zip(tables, indexes):
             if row[idx] < target:
                 row[idx] = target
+        self._tables_array = None
 
     def query(self, key: object) -> int:
         return min(
             row[hash_fn(key)] for row, hash_fn in zip(self._tables, self._hashes)
         )
+
+    def insert_batch(self, keys: Sequence[object], values: Sequence[int] | int | None = None) -> None:
+        batch = EncodedKeyBatch(keys)
+        value_list = self._batch_values(values, len(batch)).tolist()
+        # Hashing is vectorized across the whole batch; the conservative
+        # updates then replay in stream order without further hashing.
+        index_rows = [hash_fn.index_batch(batch).tolist() for hash_fn in self._hashes]
+        for position, value in enumerate(value_list):
+            self._conservative_update([row[position] for row in index_rows], value)
+
+    def query_batch(self, keys: Sequence[object]) -> np.ndarray:
+        batch = EncodedKeyBatch(keys)
+        if self._tables_array is None:
+            self._tables_array = np.asarray(self._tables, dtype=np.int64)
+        readings = np.stack(
+            [
+                row[hash_fn.index_batch(batch)]
+                for row, hash_fn in zip(self._tables_array, self._hashes)
+            ]
+        )
+        return readings.min(axis=0)
 
     def memory_bytes(self) -> float:
         return COUNTER_32.bytes_for(self.depth * self.width)

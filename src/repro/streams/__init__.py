@@ -8,7 +8,7 @@ item-count / distinct-key / skew characteristics (see DESIGN.md for the
 substitution rationale), alongside the Zipf generator the paper itself uses.
 """
 
-from repro.streams.items import Item, Stream, exact_counts, total_value
+from repro.streams.items import Item, Stream, chunked, exact_counts, total_value
 from repro.streams.synthetic import ZipfGenerator, zipf_stream, uniform_stream
 from repro.streams.traces import (
     TraceSpec,
@@ -19,11 +19,17 @@ from repro.streams.traces import (
     hadoop_trace,
     load_trace,
 )
-from repro.streams.readers import write_trace_file, read_trace_file
+from repro.streams.readers import (
+    write_trace_file,
+    read_trace_file,
+    iter_trace_items,
+    iter_trace_batches,
+)
 
 __all__ = [
     "Item",
     "Stream",
+    "chunked",
     "exact_counts",
     "total_value",
     "ZipfGenerator",
@@ -38,4 +44,6 @@ __all__ = [
     "load_trace",
     "write_trace_file",
     "read_trace_file",
+    "iter_trace_items",
+    "iter_trace_batches",
 ]

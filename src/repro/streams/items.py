@@ -10,7 +10,29 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Sequence, TypeVar
+
+_T = TypeVar("_T")
+
+
+def chunked(items: Iterable[_T], chunk_size: int) -> Iterator[list[_T]]:
+    """Yield ``items`` as consecutive lists of at most ``chunk_size`` elements.
+
+    The single chunking primitive behind the batch datapath: stream and
+    trace iteration, batched stream insertion and batch throughput
+    measurement all share it, so the chunk contract (order preserved, last
+    chunk short, positive size required) lives in exactly one place.
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    chunk: list[_T] = []
+    for item in items:
+        chunk.append(item)
+        if len(chunk) >= chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
 
 
 @dataclass(frozen=True)
@@ -58,6 +80,16 @@ class Stream:
     def items(self) -> list[Item]:
         """The underlying item list (do not mutate)."""
         return self._items
+
+    def iter_batches(self, chunk_size: int) -> Iterator[list[Item]]:
+        """Yield the stream as consecutive chunks of at most ``chunk_size`` items.
+
+        Chunks preserve stream order, so feeding every chunk to
+        ``Sketch.insert_batch`` is equivalent to a scalar pass; the last
+        chunk may be shorter (and a chunk size beyond ``len(self)`` yields
+        one chunk holding the whole stream).
+        """
+        yield from chunked(self._items, chunk_size)
 
     def counts(self) -> Counter:
         """Exact per-key value sums ``f(e)`` (computed once, then cached)."""

@@ -4,13 +4,22 @@ Real deployments feed sketches from capture files.  To keep the repository
 self-contained we use a trivial text format — one ``key value`` pair per
 line — which is enough to snapshot a generated surrogate trace to disk, share
 it between experiments, and reload it deterministically.
+
+Reading is streaming-first: :func:`iter_trace_items` parses the file line by
+line (the file handle buffers; whole-file materialisation never happens), and
+:func:`iter_trace_batches` chunks that iterator for the batch datapath, so a
+trace much larger than memory can be fed straight into
+``Sketch.insert_batch``.  :func:`read_trace_file` remains the convenience
+wrapper that materialises a :class:`Stream` (with its cached ground truth)
+from the same iterator.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Iterator
 
-from repro.streams.items import Item, Stream
+from repro.streams.items import Item, Stream, chunked
 
 
 def write_trace_file(stream: Stream, path: str | Path) -> Path:
@@ -22,28 +31,52 @@ def write_trace_file(stream: Stream, path: str | Path) -> Path:
     return path
 
 
-def read_trace_file(path: str | Path, name: str | None = None) -> Stream:
-    """Read a stream previously written by :func:`write_trace_file`.
+def _parse_trace_line(line: str, path: Path, line_number: int) -> Item | None:
+    """Parse one trace line; ``None`` for blank lines and ``#`` comments."""
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    parts = line.split()
+    if len(parts) != 2:
+        raise ValueError(f"{path}:{line_number}: expected 'key value', got {line!r}")
+    raw_key, raw_value = parts
+    key: object
+    try:
+        key = int(raw_key)
+    except ValueError:
+        key = raw_key
+    return Item(key, int(raw_value))
+
+
+def iter_trace_items(path: str | Path) -> Iterator[Item]:
+    """Stream the items of a trace file one by one, without materialising it.
 
     Keys that look like integers are parsed back to ``int`` so that the
     round-trip is exact for the surrogate traces; everything else stays a
     string key.
     """
     path = Path(path)
-    items: list[Item] = []
     with path.open("r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            parts = line.split()
-            if len(parts) != 2:
-                raise ValueError(f"{path}:{line_number}: expected 'key value', got {line!r}")
-            raw_key, raw_value = parts
-            key: object
-            try:
-                key = int(raw_key)
-            except ValueError:
-                key = raw_key
-            items.append(Item(key, int(raw_value)))
-    return Stream(items, name=name or path.stem)
+            item = _parse_trace_line(line, path, line_number)
+            if item is not None:
+                yield item
+
+
+def iter_trace_batches(path: str | Path, chunk_size: int) -> Iterator[list[Item]]:
+    """Stream a trace file as chunks of at most ``chunk_size`` items.
+
+    Only one chunk is resident at a time, so arbitrarily large traces can be
+    pumped through ``Sketch.insert_batch`` with bounded memory.
+    """
+    yield from chunked(iter_trace_items(path), chunk_size)
+
+
+def read_trace_file(path: str | Path, name: str | None = None) -> Stream:
+    """Read a whole trace into a :class:`Stream` (cached ground truth etc.).
+
+    Built on :func:`iter_trace_items`; use that directly (or
+    :func:`iter_trace_batches`) when the trace should not be materialised.
+    """
+    path = Path(path)
+    return Stream(iter_trace_items(path), name=name or path.stem)

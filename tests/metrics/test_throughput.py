@@ -2,9 +2,15 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
-from repro.metrics.throughput import ThroughputResult, measure_throughput
+from repro.metrics.throughput import (
+    ThroughputResult,
+    measure_batch_throughput,
+    measure_throughput,
+)
 
 
 def test_counts_every_operation():
@@ -24,11 +30,27 @@ def test_mops_unit_conversion():
 def test_zero_elapsed_reports_infinite():
     result = ThroughputResult(operations=10, seconds=0.0)
     assert result.ops_per_second == float("inf")
+    assert result.mops == float("inf")
+
+
+def test_zero_operations_report_zero_not_inf():
+    # Regression: operations == 0 used to report inf (0 / 0-resolution timer).
+    assert ThroughputResult(operations=0, seconds=0.0).ops_per_second == 0.0
+    assert ThroughputResult(operations=0, seconds=0.0).mops == 0.0
+    assert ThroughputResult(operations=0, seconds=1.0).ops_per_second == 0.0
+    assert ThroughputResult(operations=0, seconds=1.0).mops == 0.0
+
+
+def test_mops_is_finite_in_the_normal_case():
+    result = ThroughputResult(operations=500, seconds=0.001)
+    assert math.isfinite(result.mops)
+    assert result.mops == pytest.approx(0.5)
 
 
 def test_empty_input_is_valid():
     result = measure_throughput(lambda x: x, [])
     assert result.operations == 0
+    assert result.ops_per_second == 0.0
 
 
 def test_generator_input_is_materialised_before_timing():
@@ -37,3 +59,26 @@ def test_generator_input_is_materialised_before_timing():
 
     result = measure_throughput(lambda x: x, generator())
     assert result.operations == 100
+
+
+class TestMeasureBatchThroughput:
+    def test_counts_items_not_chunks(self):
+        chunks_seen = []
+        result = measure_batch_throughput(chunks_seen.append, range(100), chunk_size=32)
+        assert result.operations == 100
+        assert [len(chunk) for chunk in chunks_seen] == [32, 32, 32, 4]
+
+    def test_chunk_larger_than_input(self):
+        chunks_seen = []
+        result = measure_batch_throughput(chunks_seen.append, range(5), chunk_size=1000)
+        assert result.operations == 5
+        assert len(chunks_seen) == 1
+
+    def test_empty_input(self):
+        result = measure_batch_throughput(lambda chunk: chunk, [], chunk_size=8)
+        assert result.operations == 0
+        assert result.ops_per_second == 0.0
+
+    def test_rejects_non_positive_chunk_size(self):
+        with pytest.raises(ValueError):
+            measure_batch_throughput(lambda chunk: chunk, range(10), chunk_size=0)

@@ -1,11 +1,18 @@
-"""Trace file round-trip: write, read, exactness, error handling."""
+"""Trace file round-trip: write, read, streaming iteration, error handling."""
 
 from __future__ import annotations
+
+import types
 
 import pytest
 
 from repro.streams.items import Stream
-from repro.streams.readers import read_trace_file, write_trace_file
+from repro.streams.readers import (
+    iter_trace_batches,
+    iter_trace_items,
+    read_trace_file,
+    write_trace_file,
+)
 from repro.streams.synthetic import zipf_stream
 
 
@@ -44,3 +51,40 @@ def test_stream_name_defaults_to_filename(tmp_path):
     path = write_trace_file(stream, tmp_path / "myname.txt")
     assert read_trace_file(path).name == "myname"
     assert read_trace_file(path, name="override").name == "override"
+
+
+class TestStreamingReaders:
+    def test_iter_trace_items_is_lazy_and_exact(self, tmp_path):
+        stream = zipf_stream(500, skew=1.0, universe=100, seed=2)
+        path = write_trace_file(stream, tmp_path / "lazy.txt")
+        iterator = iter_trace_items(path)
+        assert isinstance(iterator, types.GeneratorType)
+        assert list(iterator) == stream.items
+
+    def test_iter_trace_batches_preserves_order_and_sizes(self, tmp_path):
+        stream = zipf_stream(100, skew=0.8, universe=50, seed=3)
+        path = write_trace_file(stream, tmp_path / "chunks.txt")
+        chunks = list(iter_trace_batches(path, chunk_size=33))
+        assert [len(chunk) for chunk in chunks] == [33, 33, 33, 1]
+        flattened = [item for chunk in chunks for item in chunk]
+        assert flattened == stream.items
+
+    def test_iter_trace_batches_single_chunk_when_oversized(self, tmp_path):
+        stream = Stream([(1, 1), (2, 2)])
+        path = write_trace_file(stream, tmp_path / "small.txt")
+        chunks = list(iter_trace_batches(path, chunk_size=10))
+        assert len(chunks) == 1
+        assert chunks[0] == stream.items
+
+    def test_iter_trace_batches_rejects_bad_chunk_size(self, tmp_path):
+        path = write_trace_file(Stream([(1, 1)]), tmp_path / "one.txt")
+        with pytest.raises(ValueError):
+            next(iter_trace_batches(path, chunk_size=0))
+
+    def test_stream_iter_batches(self):
+        stream = Stream([(i, 1) for i in range(10)])
+        chunks = list(stream.iter_batches(4))
+        assert [len(chunk) for chunk in chunks] == [4, 4, 2]
+        assert [item for chunk in chunks for item in chunk] == stream.items
+        with pytest.raises(ValueError):
+            list(stream.iter_batches(0))
