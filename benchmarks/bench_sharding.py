@@ -1,0 +1,221 @@
+"""Sharded ingest + parallel sweep benchmark — the scaling trajectory tracker.
+
+Two measurements, written to ``BENCH_sharding.json``:
+
+1. **Sharded ingest** — for each benchmarked algorithm, batch-insert the
+   same Zipfian stream into a monolithic sketch and into a
+   hash-partitioned :class:`ShardedSketch`, recording items/sec, the
+   per-shard load split (imbalance factor) and — for mergeable families —
+   that ``merge_shards()`` is bit-identical to the monolithic sketch.
+2. **Parallel sweep** — run the same (algorithm × memory-point) accuracy
+   grid through ``run_grid`` with ``workers=1`` and with a process pool,
+   verifying the results are bit-identical and recording the wall-clock
+   speedup.
+
+Both sharded routing and parallel sweeps are exact (pinned by
+``tests/sketches/test_sharded.py`` and
+``tests/experiments/test_parallel_runner.py``), so the JSON is a pure
+performance artifact.  The recorded ``environment.cpu_count`` is what the
+speedup must be read against: on a single-core container the pool cannot
+beat the sequential sweep (expect ~1x), on a 4-core runner the grid sweep
+speedup lands between 2x and 4x.
+
+Not collected by pytest (the module name avoids the ``test_`` prefix); run
+it directly::
+
+    PYTHONPATH=src python benchmarks/bench_sharding.py
+    PYTHONPATH=src python benchmarks/bench_sharding.py --count 20000   # smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.parallel import resolve_workers
+from repro.experiments.runner import ExperimentSettings, run_grid
+from repro.metrics.throughput import measure_batch_throughput, shard_load_report
+from repro.sketches.registry import build_sketch, is_mergeable
+from repro.sketches.sharded import ShardedSketch
+from repro.streams.synthetic import zipf_stream
+
+SHARD_ALGORITHMS = ("CM_fast", "CU_fast", "Count", "Ours")
+SWEEP_ALGORITHMS = ("Ours", "CM_fast", "CU_fast", "Count")
+
+DEFAULT_COUNT = 400_000
+DEFAULT_SKEW = 1.1
+DEFAULT_CHUNK = 65_536
+DEFAULT_MEMORY_BYTES = 64 * 1024
+DEFAULT_SHARDS = 4
+
+
+def bench_sharded_ingest(name: str, items, keys, memory_bytes: float,
+                         shards: int, chunk_size: int, seed: int) -> dict:
+    """Monolithic vs sharded batch-insert throughput for one algorithm."""
+    def batch_insert(chunk, sketch):
+        sketch.insert_batch([item[0] for item in chunk], [item[1] for item in chunk])
+
+    single = build_sketch(name, memory_bytes, seed=seed)
+    single_insert = measure_batch_throughput(
+        lambda chunk, s=single: batch_insert(chunk, s), items, chunk_size
+    )
+
+    sharded = ShardedSketch.from_registry(name, memory_bytes, shards, seed=seed)
+    sharded_insert = measure_batch_throughput(
+        lambda chunk, s=sharded: batch_insert(chunk, s), items, chunk_size
+    )
+    load = shard_load_report(sharded.items_per_shard, sharded_insert.seconds)
+
+    row = {
+        "algorithm": name,
+        "shards": shards,
+        "unsharded_insert_ips": single_insert.ops_per_second,
+        "sharded_insert_ips": sharded_insert.ops_per_second,
+        "sharded_vs_unsharded": (
+            sharded_insert.ops_per_second / single_insert.ops_per_second
+        ),
+        "items_per_shard": list(load.items_per_shard),
+        "load_imbalance": load.load_imbalance,
+    }
+    if is_mergeable(name):
+        merged = sharded.merge_shards()
+        # Exact for CM/Count; CU documents an upper-bound merge instead, so
+        # both facets are recorded: bit-equality with the monolithic sketch
+        # and domination of the routed per-shard answers.
+        row["merge_exact"] = bool(
+            (merged.query_batch(keys) == single.query_batch(keys)).all()
+        )
+        row["merge_dominates_routing"] = bool(
+            (merged.query_batch(keys) >= sharded.query_batch(keys)).all()
+        )
+    return row
+
+
+def _grid_signature(grid) -> list:
+    """Comparable projection of a run_grid result (sketches excluded)."""
+    return [
+        (name, memory, run.report.outliers, run.report.aae, run.report.are,
+         run.report.max_error)
+        for (name, memory), run in sorted(grid.items(), key=lambda kv: (kv[0][0], kv[0][1]))
+    ]
+
+
+def bench_parallel_sweep(stream, memory_points, workers: int, seed: int,
+                         batch_size: int) -> dict:
+    """Sequential vs process-pool wall-clock of the same accuracy grid."""
+    sequential_settings = ExperimentSettings(seed=seed, batch_size=batch_size, workers=1)
+    parallel_settings = ExperimentSettings(seed=seed, batch_size=batch_size, workers=workers)
+
+    # Warm the cached ground truth so the one-time exact count isn't billed
+    # to whichever run happens to go first.
+    stream.counts()
+
+    start = time.perf_counter()
+    sequential = run_grid(SWEEP_ALGORITHMS, memory_points, stream, sequential_settings)
+    sequential_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_grid(SWEEP_ALGORITHMS, memory_points, stream, parallel_settings)
+    parallel_seconds = time.perf_counter() - start
+
+    return {
+        "algorithms": list(SWEEP_ALGORITHMS),
+        "memory_points_bytes": list(memory_points),
+        "tasks": len(SWEEP_ALGORITHMS) * len(memory_points),
+        "workers": workers,
+        "sequential_seconds": sequential_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": sequential_seconds / parallel_seconds,
+        "bit_identical": _grid_signature(sequential) == _grid_signature(parallel),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--count", type=int, default=DEFAULT_COUNT,
+                        help="stream length (default: %(default)s)")
+    parser.add_argument("--skew", type=float, default=DEFAULT_SKEW,
+                        help="Zipf skew (default: %(default)s)")
+    parser.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK,
+                        help="batch chunk size (default: %(default)s)")
+    parser.add_argument("--memory-bytes", type=float, default=DEFAULT_MEMORY_BYTES,
+                        help="per-sketch memory budget (default: %(default)s)")
+    parser.add_argument("--shards", type=int, default=DEFAULT_SHARDS,
+                        help="shard count for the ingest benchmark (default: %(default)s)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="pool width for the sweep benchmark; 0 = one per CPU core "
+                             "(default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=0, help="hash seed")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "BENCH_sharding.json",
+                        help="output JSON path (default: repo root)")
+    args = parser.parse_args(argv)
+    workers = resolve_workers(args.workers)
+
+    stream = zipf_stream(args.count, skew=args.skew, seed=args.seed + 1)
+    items = [(item.key, item.value) for item in stream]
+    keys = stream.keys()
+    print(
+        f"stream: {len(items)} items, {len(keys)} distinct keys, skew {args.skew}; "
+        f"{workers} workers, {args.shards} shards, cpu_count={os.cpu_count()}"
+    )
+
+    sharding_rows = []
+    for name in SHARD_ALGORITHMS:
+        row = bench_sharded_ingest(
+            name, items, keys, args.memory_bytes, args.shards, args.chunk_size, args.seed
+        )
+        sharding_rows.append(row)
+        merge_note = (
+            f" merge_exact={row['merge_exact']}" if "merge_exact" in row else ""
+        )
+        print(
+            f"{name:>10}: unsharded {row['unsharded_insert_ips']:>10.0f} -> "
+            f"sharded {row['sharded_insert_ips']:>10.0f} items/s "
+            f"(imbalance {row['load_imbalance']:.3f}){merge_note}"
+        )
+
+    memory_points = [args.memory_bytes / 2, args.memory_bytes, 2 * args.memory_bytes]
+    sweep = bench_parallel_sweep(
+        stream, memory_points, workers, args.seed, args.chunk_size
+    )
+    print(
+        f"sweep ({sweep['tasks']} tasks): sequential {sweep['sequential_seconds']:.2f}s, "
+        f"parallel[{workers}] {sweep['parallel_seconds']:.2f}s "
+        f"-> {sweep['speedup']:.2f}x, bit_identical={sweep['bit_identical']}"
+    )
+
+    payload = {
+        "workload": {
+            "stream": "zipf",
+            "count": args.count,
+            "skew": args.skew,
+            "distinct_keys": len(keys),
+            "chunk_size": args.chunk_size,
+            "memory_bytes": args.memory_bytes,
+            "shards": args.shards,
+            "seed": args.seed,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "sharded_ingest": sharding_rows,
+        "parallel_sweep": sweep,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if not sweep["bit_identical"]:
+        print("ERROR: parallel sweep diverged from sequential results", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

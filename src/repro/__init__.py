@@ -41,7 +41,10 @@ from repro.sketches import (
     CocoSketch,
     HashPipe,
     Precision,
+    ShardedSketch,
+    UnmergeableSketchError,
     build_sketch,
+    is_mergeable,
 )
 from repro.streams import (
     Item,
@@ -76,7 +79,10 @@ __all__ = [
     "CocoSketch",
     "HashPipe",
     "Precision",
+    "ShardedSketch",
+    "UnmergeableSketchError",
     "build_sketch",
+    "is_mergeable",
     "Item",
     "Stream",
     "zipf_stream",

@@ -15,6 +15,14 @@ Run the memory sweep or the throughput comparison on the batch datapath::
     repro-cli fig4 --batch-size 4096
     repro-cli fig10 --batch-size 4096
 
+Fan a sweep out over worker processes (bit-identical results) or run the
+sketches sharded (hash-partitioned distributed-ingest model: S full-budget
+replicas over a key partition, so accuracy and memory describe that
+deployment, not the monolithic sketch)::
+
+    repro-cli fig5 --workers 0          # 0 = one worker per CPU core
+    repro-cli fig10 --batch-size 4096 --shards 4
+
 Print the three tables::
 
     repro-cli table1
@@ -58,12 +66,16 @@ def _cmd_fig4(args) -> None:
         scale=args.scale,
         seed=args.seed,
         batch_size=args.batch_size,
+        shards=args.shards,
+        workers=args.workers,
     )
     _print_curves(curves, "outliers")
 
 
 def _cmd_fig5(args) -> None:
-    result = outliers.zero_outlier_memory(scale=args.scale, tolerance=args.tolerance, seed=args.seed)
+    result = outliers.zero_outlier_memory(
+        scale=args.scale, tolerance=args.tolerance, seed=args.seed, workers=args.workers
+    )
     for dataset_name, per_algorithm in result.items():
         print(f"[{dataset_name}]")
         for algorithm, memory in per_algorithm.items():
@@ -75,7 +87,9 @@ def _cmd_fig6(args) -> None:
     for dataset_name in ("web", "datacenter", "zipf-0.3", "zipf-3.0"):
         print(f"[{dataset_name}]")
         curves = outliers.outliers_vs_memory(
-            dataset_name=dataset_name, tolerance=args.tolerance, scale=args.scale, seed=args.seed
+            dataset_name=dataset_name, tolerance=args.tolerance, scale=args.scale,
+            seed=args.seed, batch_size=args.batch_size, shards=args.shards,
+            workers=args.workers,
         )
         _print_curves(curves, "outliers")
 
@@ -84,7 +98,8 @@ def _cmd_fig7(args) -> None:
     for threshold in (100, 1000):
         print(f"[frequent keys, T={threshold}]")
         curves = outliers.frequent_key_outliers(
-            threshold=threshold, scale=args.scale, tolerance=args.tolerance, seed=args.seed
+            threshold=threshold, scale=args.scale, tolerance=args.tolerance,
+            seed=args.seed, workers=args.workers,
         )
         _print_curves(curves, "outliers")
 
@@ -92,7 +107,10 @@ def _cmd_fig7(args) -> None:
 def _cmd_fig8(args) -> None:
     for dataset_name in ("ip", "zipf-3.0"):
         print(f"[{dataset_name}] AAE")
-        curves = error.average_error_sweep(dataset_name=dataset_name, scale=args.scale, seed=args.seed)
+        curves = error.average_error_sweep(
+            dataset_name=dataset_name, scale=args.scale, seed=args.seed,
+            batch_size=args.batch_size, shards=args.shards, workers=args.workers,
+        )
         for curve in curves:
             print(f"  {curve.algorithm:>10}: {[round(v, 3) for v in curve.aae]}")
 
@@ -100,23 +118,37 @@ def _cmd_fig8(args) -> None:
 def _cmd_fig9(args) -> None:
     for dataset_name in ("ip", "zipf-3.0"):
         print(f"[{dataset_name}] ARE")
-        curves = error.average_error_sweep(dataset_name=dataset_name, scale=args.scale, seed=args.seed)
+        curves = error.average_error_sweep(
+            dataset_name=dataset_name, scale=args.scale, seed=args.seed,
+            batch_size=args.batch_size, shards=args.shards, workers=args.workers,
+        )
         for curve in curves:
             print(f"  {curve.algorithm:>10}: {[round(v, 4) for v in curve.are]}")
 
 
 def _cmd_fig10(args) -> None:
     rows = speed.throughput_comparison(
-        dataset_name=args.dataset, scale=args.scale, seed=args.seed, batch_size=args.batch_size
+        dataset_name=args.dataset, scale=args.scale, seed=args.seed,
+        batch_size=args.batch_size, shards=args.shards,
     )
     print(tables.format_table(
         ["Algorithm", "Insert Mops", "Query Mops"],
         [[row.algorithm, f"{row.insert_mops:.3f}", f"{row.query_mops:.3f}"] for row in rows],
     ))
+    if args.shards > 1:
+        print("per-shard ingest accounting:")
+        for row in rows:
+            load = row.shard_load
+            print(
+                f"  {row.algorithm:>10}: items={list(load.items_per_shard)} "
+                f"imbalance={load.load_imbalance:.3f}"
+            )
 
 
 def _cmd_fig11(args) -> None:
-    curves = parameters.rw_sweep(scale=args.scale, tolerance=args.tolerance, seed=args.seed)
+    curves = parameters.rw_sweep(
+        scale=args.scale, tolerance=args.tolerance, seed=args.seed, workers=args.workers
+    )
     for curve in curves:
         readings = [
             (p.parameter, None if p.memory_bytes is None else round(p.memory_bytes / BYTES_PER_KB, 1))
@@ -126,7 +158,9 @@ def _cmd_fig11(args) -> None:
 
 
 def _cmd_fig13(args) -> None:
-    curves = parameters.rlambda_sweep(scale=args.scale, tolerance=args.tolerance, seed=args.seed)
+    curves = parameters.rlambda_sweep(
+        scale=args.scale, tolerance=args.tolerance, seed=args.seed, workers=args.workers
+    )
     for curve in curves:
         readings = [
             (p.parameter, None if p.memory_bytes is None else round(p.memory_bytes / BYTES_PER_KB, 1))
@@ -136,7 +170,7 @@ def _cmd_fig13(args) -> None:
 
 
 def _cmd_fig15(args) -> None:
-    result = parameters.lambda_sweep(scale=args.scale, seed=args.seed)
+    result = parameters.lambda_sweep(scale=args.scale, seed=args.seed, workers=args.workers)
     for dataset_name, points in result.items():
         readings = [
             (p.parameter, None if p.memory_bytes is None else round(p.memory_bytes / BYTES_PER_KB, 1))
@@ -146,7 +180,7 @@ def _cmd_fig15(args) -> None:
 
 
 def _cmd_fig16(args) -> None:
-    curves = speed.hash_call_profile(scale=args.scale, seed=args.seed)
+    curves = speed.hash_call_profile(scale=args.scale, seed=args.seed, workers=args.workers)
     for curve in curves:
         print(
             f"{curve.algorithm:>10}: insert={[round(v, 2) for v in curve.insert_calls]} "
@@ -206,6 +240,13 @@ _COMMANDS = {
 }
 
 
+#: Commands whose sketches can run sharded.  --shards changes measured
+#: results (distributed-ingest model), so commands that cannot honour it
+#: must reject it rather than silently ignore it; --batch-size and
+#: --workers are bit-identical knobs and are safe to ignore.
+_SHARDS_COMMANDS = frozenset({"fig4", "fig6", "fig8", "fig9", "fig10"})
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Argument parser of the ``repro-cli`` entry point."""
     parser = argparse.ArgumentParser(
@@ -223,6 +264,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--batch-size", type=int, default=None, dest="batch_size",
                         help="chunk size for the batch datapath; omit for the scalar loop "
                              "(results are bit-identical, only speed changes)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="hash-partitioned shards per sketch; each shard is a "
+                             "full-budget replica, so results model the distributed "
+                             "deployment (S x memory, typically fewer collisions) and "
+                             "are not comparable to --shards 1 curves "
+                             "(default: %(default)s)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool width for grid sweeps; 0 = one per CPU core "
+                             "(results are bit-identical, only speed changes; "
+                             "default: %(default)s)")
     return parser
 
 
@@ -232,6 +283,15 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.batch_size is not None and args.batch_size <= 0:
         parser.error("--batch-size must be a positive integer")
+    if args.shards <= 0:
+        parser.error("--shards must be a positive integer")
+    if args.shards > 1 and args.experiment not in _SHARDS_COMMANDS:
+        parser.error(
+            f"--shards is not supported by {args.experiment} "
+            f"(supported: {', '.join(sorted(_SHARDS_COMMANDS))})"
+        )
+    if args.workers < 0:
+        parser.error("--workers must be >= 0 (0 = one per CPU core)")
     _COMMANDS[args.experiment](args)
     return 0
 

@@ -9,11 +9,13 @@ EXPERIMENTS.md for paper-vs-measured results.
 """
 
 from repro.experiments.datasets import dataset, dataset_names, scaled_memory_points
+from repro.experiments.parallel import parallel_map, resolve_workers
 from repro.experiments.runner import (
     ExperimentSettings,
     SketchRun,
     run_sketch,
     run_competitors,
+    run_grid,
     minimum_memory_for_zero_outliers,
     minimum_memory_for_target_aae,
 )
@@ -33,8 +35,11 @@ __all__ = [
     "scaled_memory_points",
     "ExperimentSettings",
     "SketchRun",
+    "parallel_map",
+    "resolve_workers",
     "run_sketch",
     "run_competitors",
+    "run_grid",
     "minimum_memory_for_zero_outliers",
     "minimum_memory_for_target_aae",
     "deployment",

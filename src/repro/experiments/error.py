@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 from repro.experiments.datasets import DEFAULT_SCALE, dataset, scaled_memory_points
 from repro.experiments.outliers import PAPER_MEMORY_SWEEP_MB
-from repro.experiments.runner import ExperimentSettings, run_competitors
+from repro.experiments.runner import ExperimentSettings, run_grid
 from repro.sketches.registry import competitor_names
 
 
@@ -32,21 +32,30 @@ def average_error_sweep(
     memory_points: list[float] | None = None,
     algorithms: tuple[str, ...] | None = None,
     seed: int = 0,
+    batch_size: int | None = None,
+    shards: int = 1,
+    workers: int = 1,
 ) -> list[ErrorCurve]:
-    """AAE and ARE as a function of memory (Figures 8 and 9)."""
+    """AAE and ARE as a function of memory (Figures 8 and 9).
+
+    The (algorithm × memory) grid fans out over ``workers`` processes;
+    results are bit-identical to the sequential sweep.
+    """
     stream = dataset(dataset_name, scale=scale, seed=seed + 1)
     if memory_points is None:
         memory_points = scaled_memory_points(PAPER_MEMORY_SWEEP_MB, scale)
     algorithms = algorithms or competitor_names("error")
-    settings = ExperimentSettings(tolerance=tolerance, seed=seed)
+    settings = ExperimentSettings(
+        tolerance=tolerance, seed=seed, batch_size=batch_size, shards=shards, workers=workers
+    )
 
-    aae: dict[str, list[float]] = {name: [] for name in algorithms}
-    are: dict[str, list[float]] = {name: [] for name in algorithms}
-    for memory in memory_points:
-        runs = run_competitors(algorithms, memory, stream, settings)
-        for name, run in runs.items():
-            aae[name].append(run.aae)
-            are[name].append(run.are)
+    grid = run_grid(algorithms, memory_points, stream, settings)
     return [
-        ErrorCurve(name, list(memory_points), aae[name], are[name]) for name in algorithms
+        ErrorCurve(
+            name,
+            list(memory_points),
+            [grid[(name, memory)].aae for memory in memory_points],
+            [grid[(name, memory)].are for memory in memory_points],
+        )
+        for name in algorithms
     ]

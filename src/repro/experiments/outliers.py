@@ -3,6 +3,11 @@
 These are the paper's headline accuracy results: under the same memory
 budget, ReliableSketch drives the number of outliers to zero while the
 counter-based competitors keep thousands of them.
+
+All drivers accept ``workers`` (process-pool width, ``0`` = one per core);
+parallel sweeps use deterministic per-task seeds and are bit-identical to
+sequential runs.  ``shards`` switches sketch construction to the
+hash-partitioned distributed-ingest model.
 """
 
 from __future__ import annotations
@@ -10,10 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.datasets import DEFAULT_SCALE, dataset, scaled_memory_points
+from repro.experiments.parallel import parallel_map
 from repro.experiments.runner import (
     ExperimentSettings,
     minimum_memory_for_zero_outliers,
-    run_competitors,
+    run_grid,
+    run_sketch,
 )
 from repro.sketches.registry import competitor_names
 
@@ -45,28 +52,65 @@ def outliers_vs_memory(
     algorithms: tuple[str, ...] | None = None,
     seed: int = 0,
     batch_size: int | None = None,
+    shards: int = 1,
+    workers: int = 1,
 ) -> list[OutlierCurve]:
     """#Outliers as a function of memory (Figure 4 for Λ∈{5,25}, Figure 6 per dataset).
 
-    ``batch_size`` switches the sketch-filling loop to the batch datapath;
-    the curves are unchanged (batch inserts are bit-identical), it only
-    shortens the sweep's wall-clock time.
+    ``batch_size`` switches the sketch-filling loop to the batch datapath and
+    ``workers`` fans the (algorithm × memory) grid out over a process pool;
+    the curves are unchanged by either (batch inserts are bit-identical and
+    grid cells are independent), they only shorten the sweep's wall-clock
+    time.
     """
     stream = dataset(dataset_name, scale=scale, seed=seed + 1)
     if memory_points is None:
         memory_points = scaled_memory_points(PAPER_MEMORY_SWEEP_MB, scale)
     algorithms = algorithms or competitor_names("outliers")
-    settings = ExperimentSettings(tolerance=tolerance, seed=seed, batch_size=batch_size)
+    settings = ExperimentSettings(
+        tolerance=tolerance, seed=seed, batch_size=batch_size, shards=shards, workers=workers
+    )
 
-    per_algorithm: dict[str, list[int]] = {name: [] for name in algorithms}
-    for memory in memory_points:
-        runs = run_competitors(algorithms, memory, stream, settings)
-        for name, run in runs.items():
-            per_algorithm[name].append(run.outliers)
+    grid = run_grid(algorithms, memory_points, stream, settings)
     return [
-        OutlierCurve(name, list(memory_points), counts)
-        for name, counts in per_algorithm.items()
+        OutlierCurve(
+            name,
+            list(memory_points),
+            [grid[(name, memory)].outliers for memory in memory_points],
+        )
+        for name in algorithms
     ]
+
+
+@dataclass(frozen=True)
+class _SearchContext:
+    """Shared state of the parallel zero-outlier memory search."""
+
+    scale: float
+    seed: int
+    settings: ExperimentSettings
+    low_bytes: float
+    high_bytes: float
+
+
+def _zero_outlier_search_task(
+    shared: _SearchContext, task: tuple[str, str]
+) -> float | None:
+    """One (dataset × algorithm) cell of the Figure 5 search grid.
+
+    Workers regenerate the stream through the cached :func:`dataset` factory
+    (deterministic for a given name/scale/seed), so tasks ship two strings
+    instead of a pickled million-item stream.
+    """
+    dataset_name, algorithm = task
+    stream = dataset(dataset_name, scale=shared.scale, seed=shared.seed + 1)
+    return minimum_memory_for_zero_outliers(
+        algorithm,
+        stream,
+        shared.settings,
+        low_bytes=shared.low_bytes,
+        high_bytes=shared.high_bytes,
+    )
 
 
 def zero_outlier_memory(
@@ -76,26 +120,53 @@ def zero_outlier_memory(
     algorithms: tuple[str, ...] = ("Ours", "CM_acc", "CU_acc", "SS", "Elastic"),
     seed: int = 0,
     high_megabytes: float = 10.0,
+    workers: int = 1,
 ) -> dict[str, dict[str, float | None]]:
     """Minimum memory to reach zero outliers, per dataset and algorithm (Figure 5).
 
     ``None`` means the algorithm could not reach zero outliers within the
     (scaled) 10 MB search limit, matching the paper's observation for the
-    fast CM/CU variants and Coco.
+    fast CM/CU variants and Coco.  The per-(dataset, algorithm) binary
+    searches are independent and fan out over ``workers`` processes.
     """
     settings = ExperimentSettings(tolerance=tolerance, seed=seed)
     high_bytes = scaled_memory_points([high_megabytes], scale)[0]
     low_bytes = max(512.0, high_bytes / 2048)
-    results: dict[str, dict[str, float | None]] = {}
-    for dataset_name in dataset_names:
-        stream = dataset(dataset_name, scale=scale, seed=seed + 1)
-        per_algorithm: dict[str, float | None] = {}
-        for algorithm in algorithms:
-            per_algorithm[algorithm] = minimum_memory_for_zero_outliers(
-                algorithm, stream, settings, low_bytes=low_bytes, high_bytes=high_bytes
-            )
-        results[dataset_name] = per_algorithm
+    tasks = [
+        (dataset_name, algorithm)
+        for dataset_name in dataset_names
+        for algorithm in algorithms
+    ]
+    context = _SearchContext(scale, seed, settings, low_bytes, high_bytes)
+    memories = parallel_map(_zero_outlier_search_task, tasks, workers=workers, shared=context)
+    results: dict[str, dict[str, float | None]] = {name: {} for name in dataset_names}
+    for (dataset_name, algorithm), memory in zip(tasks, memories):
+        results[dataset_name][algorithm] = memory
     return results
+
+
+@dataclass(frozen=True)
+class _FrequentContext:
+    """Shared state of the parallel frequent-key worst-case sweep."""
+
+    dataset_name: str
+    scale: float
+    seed: int
+    tolerance: float
+    frequent: tuple
+
+
+def _frequent_outlier_task(
+    shared: _FrequentContext, task: tuple[str, float, int]
+) -> int:
+    """One (algorithm, memory, repetition-seed) run of the Figure 7 sweep."""
+    name, memory, repetition = task
+    stream = dataset(shared.dataset_name, scale=shared.scale, seed=shared.seed + 1)
+    settings = ExperimentSettings(
+        tolerance=shared.tolerance, seed=shared.seed + repetition
+    )
+    run = run_sketch(name, memory, stream, settings, keys=shared.frequent)
+    return run.outliers
 
 
 def frequent_key_outliers(
@@ -106,28 +177,41 @@ def frequent_key_outliers(
     memory_points: list[float] | None = None,
     repetitions: int = 3,
     seed: int = 0,
+    workers: int = 1,
 ) -> list[OutlierCurve]:
     """Worst-case #outliers among frequent keys over repeated seeds (Figure 7).
 
     The paper repeats each setting 100 times with different hash seeds and
     plots the worst case; ``repetitions`` controls how many seeds we try (the
-    benchmarks use a small number to stay fast, the CLI can raise it).
+    benchmarks use a small number to stay fast, the CLI can raise it).  Each
+    (algorithm, memory, seed) run is an independent task with a
+    deterministic seed, so the worst-case aggregation is order-free and the
+    parallel sweep matches the sequential one exactly.
     """
     stream = dataset(dataset_name, scale=scale, seed=seed + 1)
-    frequent = stream.frequent_keys(threshold)
+    frequent = tuple(stream.frequent_keys(threshold))
     if memory_points is None:
         memory_points = scaled_memory_points([0.2, 0.5, 1.0, 2.0, 4.0], scale)
     algorithms = competitor_names("frequent")
 
-    curves: list[OutlierCurve] = []
-    for name in algorithms:
-        worst_counts: list[int] = []
-        for memory in memory_points:
-            worst = 0
-            for repetition in range(repetitions):
-                settings = ExperimentSettings(tolerance=tolerance, seed=seed + repetition)
-                run = run_competitors((name,), memory, stream, settings, keys=frequent)[name]
-                worst = max(worst, run.outliers)
-            worst_counts.append(worst)
-        curves.append(OutlierCurve(name, list(memory_points), worst_counts))
-    return curves
+    tasks = [
+        (name, memory, repetition)
+        for name in algorithms
+        for memory in memory_points
+        for repetition in range(repetitions)
+    ]
+    context = _FrequentContext(dataset_name, scale, seed, tolerance, frequent)
+    outlier_counts = parallel_map(
+        _frequent_outlier_task, tasks, workers=workers, shared=context
+    )
+    worst: dict[tuple[str, float], int] = {}
+    for (name, memory, _), outliers in zip(tasks, outlier_counts):
+        cell = (name, memory)
+        worst[cell] = max(worst.get(cell, 0), outliers)
+    # .get keeps the degenerate repetitions=0 case returning all-zero curves.
+    return [
+        OutlierCurve(
+            name, list(memory_points), [worst.get((name, m), 0) for m in memory_points]
+        )
+        for name in algorithms
+    ]

@@ -1,0 +1,76 @@
+"""Process-pool fan-out for embarrassingly parallel experiment grids.
+
+The memory sweeps behind Figures 5 and 11–15 evaluate an (algorithm ×
+memory-point) grid where every cell is independent: build a sketch, fill it,
+measure it.  :func:`parallel_map` runs such grids over a
+``ProcessPoolExecutor`` while keeping three properties the experiment
+harness relies on:
+
+* **Determinism** — results come back in task order (``Executor.map``), and
+  every task is a pure function of its arguments, so a parallel run is
+  bit-identical to ``workers=1``.  ``tests/experiments/test_parallel_runner.py``
+  pins this.
+* **One-shot context shipping** — the shared context (stream, ground-truth
+  counts, settings) is sent to each worker once via the pool initializer,
+  not pickled per task, so fan-out cost is O(workers), not O(tasks).
+* **Graceful degradation** — ``workers <= 1`` or a single task short-circuits
+  to a plain loop in-process (no pool, picklability not required).
+
+Task functions must be module-level (picklable) callables of the form
+``fn(shared, task)``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+from typing import Callable, Iterable, Sequence, TypeVar
+
+_Task = TypeVar("_Task")
+_Result = TypeVar("_Result")
+
+#: Worker-side slot for the shared context installed by the pool initializer.
+_SHARED: object = None
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a worker-count knob: ``0``/``None`` means "all CPU cores"."""
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError("workers must be >= 0 (0 = one per CPU core)")
+    return workers
+
+
+def _install_shared(shared: object) -> None:
+    global _SHARED
+    _SHARED = shared
+
+
+def _invoke(fn: Callable, task: object) -> object:
+    return fn(_SHARED, task)
+
+
+def parallel_map(
+    fn: Callable[[object, _Task], _Result],
+    tasks: Iterable[_Task],
+    workers: int = 1,
+    shared: object = None,
+) -> list[_Result]:
+    """Order-preserving map of ``fn(shared, task)`` over ``tasks``.
+
+    With ``workers > 1`` the tasks are distributed over a process pool whose
+    workers receive ``shared`` once at startup; otherwise the map runs
+    sequentially in-process.  Either way the result list is in task order
+    and element-wise identical, so callers never need to care which path ran.
+    """
+    task_list: Sequence[_Task] = list(tasks)
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(task_list) <= 1:
+        return [fn(shared, task) for task in task_list]
+    pool_size = min(workers, len(task_list))
+    with ProcessPoolExecutor(
+        max_workers=pool_size, initializer=_install_shared, initargs=(shared,)
+    ) as pool:
+        return list(pool.map(partial(_invoke, fn), task_list))

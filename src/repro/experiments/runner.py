@@ -5,19 +5,33 @@ Every figure of §6 boils down to some combination of the helpers here:
 * :func:`run_sketch` — build an algorithm for a memory budget, feed it a
   stream and evaluate its accuracy against the ground truth.
 * :func:`run_competitors` — the same, for a whole competitor group.
+* :func:`run_grid` — a full (algorithm × memory-point) grid, optionally
+  fanned out over a process pool (``ExperimentSettings.workers``).
 * :func:`minimum_memory_for_zero_outliers` /
   :func:`minimum_memory_for_target_aae` — the memory-search loops behind
   Figures 5 and 11–15.
+
+Two scaling knobs thread through everything: ``shards`` builds every sketch
+as a :class:`~repro.sketches.sharded.ShardedSketch` of identically-seeded
+replicas (the distributed-ingest model), and ``workers`` runs grid sweeps in
+parallel with deterministic per-task seeds, so parallel results are
+bit-identical to sequential ones.
+
+Ground truth is computed once per stream (``stream.counts()`` is cached on
+the Stream, and the grid/search helpers thread the counter dict explicitly
+through every evaluation) — a sweep never recounts the stream per run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Mapping, Sequence
 
+from repro.experiments.parallel import parallel_map
 from repro.metrics.accuracy import AccuracyReport, evaluate_accuracy
 from repro.sketches.base import Sketch
 from repro.sketches.registry import build_sketch
+from repro.sketches.sharded import ShardedSketch
 from repro.streams.items import Stream
 
 
@@ -31,18 +45,36 @@ class ExperimentSettings:
     #: Batch and scalar runs produce bit-identical sketches, so this only
     #: changes how fast an experiment fills its sketches, never its results.
     batch_size: int | None = None
+    #: Number of hash-partitioned shards per sketch; ``1`` keeps monolithic
+    #: sketches.  With ``shards > 1`` every sketch becomes a ShardedSketch of
+    #: identically-configured *full-budget* replicas — the distributed-ingest
+    #: model, where each node holds the whole sketch over its key partition.
+    #: Such runs describe that deployment: the real footprint is S x the
+    #: nominal memory point and accuracy typically improves (each shard sees
+    #: less collision pressure), so sharded curves are not comparable to
+    #: ``shards=1`` curves at the same nominal memory.
+    shards: int = 1
+    #: Process-pool width for grid sweeps; ``1`` is sequential, ``0`` means
+    #: one worker per CPU core.  Results are bit-identical either way.
+    workers: int = 1
     #: Extra keyword arguments forwarded to the sketch constructors.
     sketch_kwargs: dict = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
 class SketchRun:
-    """Result of running one algorithm once on one stream."""
+    """Result of running one algorithm once on one stream.
+
+    ``sketch`` is the filled instance for sequential runs; process-pool grid
+    sweeps (``workers > 1``) drop it (``None``) so that megabytes of fitted
+    table state are never pickled back from the workers — every grid
+    consumer only reads the accuracy report.
+    """
 
     algorithm: str
     memory_bytes: float
     report: AccuracyReport
-    sketch: Sketch
+    sketch: Sketch | None
 
     @property
     def outliers(self) -> int:
@@ -64,6 +96,14 @@ def _sketch_factory(name: str, settings: ExperimentSettings) -> Callable[[float]
     """Factory building algorithm ``name`` for an arbitrary memory budget."""
 
     def build(memory_bytes: float) -> Sketch:
+        if settings.shards > 1:
+            return ShardedSketch.from_registry(
+                name,
+                memory_bytes,
+                settings.shards,
+                seed=settings.seed,
+                **settings.sketch_kwargs,
+            )
         return build_sketch(name, memory_bytes, seed=settings.seed, **settings.sketch_kwargs)
 
     return build
@@ -75,13 +115,74 @@ def run_sketch(
     stream: Stream,
     settings: ExperimentSettings | None = None,
     keys: Iterable[object] | None = None,
+    counts: Mapping[object, int] | None = None,
 ) -> SketchRun:
-    """Build, fill and evaluate one algorithm on one stream."""
+    """Build, fill and evaluate one algorithm on one stream.
+
+    ``counts`` is the exact ground truth; pass it when running many sketches
+    on the same stream so it is computed once per stream, not once per run
+    (omitted, it falls back to the stream's cached counter).
+    """
     settings = settings or ExperimentSettings()
     sketch = _sketch_factory(name, settings)(memory_bytes)
     sketch.insert_stream(stream, batch_size=settings.batch_size)
-    report = evaluate_accuracy(stream.counts(), sketch.query, settings.tolerance, keys=keys)
+    if counts is None:
+        counts = stream.counts()
+    report = evaluate_accuracy(counts, sketch.query, settings.tolerance, keys=keys)
     return SketchRun(algorithm=name, memory_bytes=memory_bytes, report=report, sketch=sketch)
+
+
+@dataclass(frozen=True)
+class _GridContext:
+    """Per-worker shared state of a grid sweep (shipped once per worker)."""
+
+    stream: Stream
+    settings: ExperimentSettings
+    keys: tuple | None
+    counts: Mapping[object, int]
+    keep_sketches: bool
+
+
+def _grid_task(shared: _GridContext, task: tuple[str, float]) -> SketchRun:
+    """One grid cell: run one algorithm at one memory point."""
+    name, memory_bytes = task
+    run = run_sketch(
+        name, memory_bytes, shared.stream, shared.settings, shared.keys, shared.counts
+    )
+    if not shared.keep_sketches:
+        run = replace(run, sketch=None)
+    return run
+
+
+def run_grid(
+    names: Sequence[str],
+    memory_points: Sequence[float],
+    stream: Stream,
+    settings: ExperimentSettings | None = None,
+    keys: Iterable[object] | None = None,
+) -> dict[tuple[str, float], SketchRun]:
+    """Run every (algorithm × memory-point) cell of a sweep grid.
+
+    With ``settings.workers > 1`` the cells fan out over a process pool;
+    every task is a pure function of ``(name, memory)`` plus the shared
+    context, so the result is bit-identical to the sequential sweep.  The
+    returned dict is keyed by ``(name, memory_bytes)`` in task order.
+    """
+    settings = settings or ExperimentSettings()
+    counts = stream.counts()
+    materialised_keys = None if keys is None else tuple(keys)
+    # Workers must not fan out recursively (each task runs sequentially),
+    # and pooled runs drop the fitted sketches instead of pickling them back.
+    context = _GridContext(
+        stream,
+        replace(settings, workers=1),
+        materialised_keys,
+        counts,
+        keep_sketches=settings.workers == 1,
+    )
+    tasks = [(name, memory) for memory in memory_points for name in names]
+    results = parallel_map(_grid_task, tasks, workers=settings.workers, shared=context)
+    return dict(zip(tasks, results))
 
 
 def run_competitors(
@@ -92,9 +193,8 @@ def run_competitors(
     keys: Iterable[object] | None = None,
 ) -> dict[str, SketchRun]:
     """Run every algorithm in ``names`` under the same memory budget."""
-    return {
-        name: run_sketch(name, memory_bytes, stream, settings, keys) for name in names
-    }
+    grid = run_grid(names, [memory_bytes], stream, settings, keys)
+    return {name: grid[(name, memory_bytes)] for name in names}
 
 
 def _search_minimum_memory(
@@ -132,12 +232,15 @@ def minimum_memory_for_zero_outliers(
     low_bytes: float = 1024.0,
     high_bytes: float = 64 * 1024 * 1024,
     keys: Iterable[object] | None = None,
+    counts: Mapping[object, int] | None = None,
 ) -> float | None:
     """Smallest memory (bytes) at which ``name`` produces zero outliers (Figure 5)."""
     settings = settings or ExperimentSettings()
+    if counts is None:
+        counts = stream.counts()
 
     def evaluate(memory_bytes: float) -> bool:
-        return run_sketch(name, memory_bytes, stream, settings, keys).outliers == 0
+        return run_sketch(name, memory_bytes, stream, settings, keys, counts).outliers == 0
 
     return _search_minimum_memory(evaluate, low_bytes, high_bytes)
 
@@ -149,11 +252,14 @@ def minimum_memory_for_target_aae(
     settings: ExperimentSettings | None = None,
     low_bytes: float = 1024.0,
     high_bytes: float = 64 * 1024 * 1024,
+    counts: Mapping[object, int] | None = None,
 ) -> float | None:
     """Smallest memory (bytes) at which ``name`` reaches the target AAE (Figures 12/14/15b)."""
     settings = settings or ExperimentSettings()
+    if counts is None:
+        counts = stream.counts()
 
     def evaluate(memory_bytes: float) -> bool:
-        return run_sketch(name, memory_bytes, stream, settings).aae <= target_aae
+        return run_sketch(name, memory_bytes, stream, settings, counts=counts).aae <= target_aae
 
     return _search_minimum_memory(evaluate, low_bytes, high_bytes)

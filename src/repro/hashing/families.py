@@ -72,11 +72,29 @@ class EncodedKeyBatch:
     per item regardless of sketch depth.  Batches of non-negative ints below
     2^31 (the paper's 32-bit flow IDs) skip per-key ``key_to_bytes`` entirely
     and build the packed matrix with whole-array NumPy operations.
+
+    Constructing an ``EncodedKeyBatch`` from an existing one shares all of
+    its cached state instead of re-encoding, and the batch behaves as a
+    read-only sequence of its original keys.  Together these let a batch be
+    passed anywhere a key sequence is accepted — in particular, a
+    :class:`repro.sketches.sharded.ShardedSketch` can route sub-batches into
+    its per-shard sketches' ``insert_batch`` without paying the encoding
+    twice.
     """
 
     __slots__ = ("keys", "_encoded", "_groups", "_group_of", "_row_of")
 
     def __init__(self, keys: Sequence[object], _encoded: list[bytes] | None = None) -> None:
+        if isinstance(keys, EncodedKeyBatch):
+            # Share the donor's cached encodings/groups: re-wrapping a batch
+            # (e.g. a routed sub-batch entering a sketch's insert_batch) must
+            # never redo the per-key encoding work.
+            self.keys = keys.keys
+            self._encoded = keys._encoded if _encoded is None else _encoded
+            self._groups = keys._groups
+            self._group_of = keys._group_of
+            self._row_of = keys._row_of
+            return
         if isinstance(keys, np.ndarray):
             keys = keys.tolist()
         elif not isinstance(keys, (list, tuple)):
@@ -91,6 +109,14 @@ class EncodedKeyBatch:
 
     def __len__(self) -> int:
         return len(self.keys)
+
+    def __iter__(self):
+        # Sequence behaviour over the original keys: scalar-fallback sketches
+        # inside a sharded wrapper receive sub-batches and loop over them.
+        return iter(self.keys)
+
+    def __getitem__(self, index):
+        return self.keys[index]
 
     @property
     def encoded(self) -> list[bytes]:

@@ -15,9 +15,11 @@ from repro.metrics.accuracy import (
     average_relative_error,
 )
 from repro.metrics.throughput import (
+    ShardLoadReport,
     ThroughputResult,
     measure_throughput,
     measure_batch_throughput,
+    shard_load_report,
 )
 from repro.metrics.memory import (
     BYTES_PER_MB,
@@ -34,9 +36,11 @@ __all__ = [
     "count_outliers",
     "average_absolute_error",
     "average_relative_error",
+    "ShardLoadReport",
     "ThroughputResult",
     "measure_throughput",
     "measure_batch_throughput",
+    "shard_load_report",
     "BYTES_PER_MB",
     "BYTES_PER_KB",
     "mb",

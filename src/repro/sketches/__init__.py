@@ -6,7 +6,7 @@ budget in bytes and sizes its arrays the same way the paper's C++
 implementation does (see :mod:`repro.metrics.memory`).
 """
 
-from repro.sketches.base import Sketch, SketchDescription
+from repro.sketches.base import Sketch, SketchDescription, UnmergeableSketchError
 from repro.sketches.cm import CountMinSketch
 from repro.sketches.cu import CUSketch
 from repro.sketches.count import CountSketch
@@ -16,11 +16,19 @@ from repro.sketches.elastic import ElasticSketch
 from repro.sketches.coco import CocoSketch
 from repro.sketches.hashpipe import HashPipe
 from repro.sketches.precision import Precision
-from repro.sketches.registry import build_sketch, competitor_names, COMPETITORS
+from repro.sketches.sharded import ShardedSketch
+from repro.sketches.registry import (
+    COMPETITORS,
+    build_sketch,
+    competitor_names,
+    is_mergeable,
+    mergeable_names,
+)
 
 __all__ = [
     "Sketch",
     "SketchDescription",
+    "UnmergeableSketchError",
     "CountMinSketch",
     "CUSketch",
     "CountSketch",
@@ -30,7 +38,10 @@ __all__ = [
     "CocoSketch",
     "HashPipe",
     "Precision",
+    "ShardedSketch",
     "build_sketch",
     "competitor_names",
+    "is_mergeable",
+    "mergeable_names",
     "COMPETITORS",
 ]

@@ -10,7 +10,15 @@ contract: ``insert_batch(keys, values)`` / ``query_batch(keys)`` must be
 *observably equivalent* to the scalar loop — same estimates bit for bit,
 same hash-call accounting, same statistics — for any chunking of the stream.
 The base class provides the scalar fallback loop; sketches with a vectorized
-datapath (ReliableSketch, CM, CU, Count) override it.
+datapath (ReliableSketch, CM, CU, Count, Elastic) override it.
+
+The sharded-ingest subsystem adds a *merge contract* on top: sketches whose
+state is a pure function of the multiset of inserted items (CM, Count) set
+``mergeable = True`` and implement :meth:`Sketch.merge` so that merging
+sketches fed disjoint partitions of a stream is bit-identical to one sketch
+fed the whole stream.  Order-dependent sketches either raise
+:class:`UnmergeableSketchError` or, like CU, document the weaker guarantee
+their merge provides.
 """
 
 from __future__ import annotations
@@ -31,11 +39,23 @@ class SketchDescription:
     parameters: dict
 
 
+class UnmergeableSketchError(NotImplementedError):
+    """Raised when :meth:`Sketch.merge` is called on a sketch without a
+    lossless merge operation (order-dependent or replacement-based state)."""
+
+
 class Sketch(abc.ABC):
     """Abstract base class of all stream-summary sketches."""
 
     #: Human-readable algorithm name, overridden by subclasses.
     name: str = "sketch"
+
+    #: Capability flag of the merge contract: True when :meth:`merge` is
+    #: implemented and merging sketches fed disjoint stream partitions equals
+    #: one sketch fed the full stream (exactly for CM/Count; CU documents a
+    #: weaker guarantee).  Checked by ``ShardedSketch.merge_shards`` and the
+    #: registry's ``is_mergeable``.
+    mergeable: bool = False
 
     @abc.abstractmethod
     def insert(self, key: object, value: int = 1) -> None:
@@ -99,6 +119,44 @@ class Sketch(abc.ABC):
             self.insert_batch(
                 [key for key, _ in chunk], [value for _, value in chunk]
             )
+
+    def merge(self, other: "Sketch") -> "Sketch":
+        """Fold another sketch's state into this one, in place.
+
+        ``other`` must be a structurally identical peer: same class, same
+        table geometry, same hash seeds (shards built by
+        ``ShardedSketch.from_registry`` satisfy this by construction).  For
+        mergeable sketches the merged instance answers queries as if it had
+        ingested the concatenation of both operands' streams.  Returns
+        ``self`` so merges chain.
+
+        Sketches whose state depends on stream order or on replacement
+        decisions (ReliableSketch, Elastic, SpaceSaving, ...) cannot merge
+        losslessly and raise :class:`UnmergeableSketchError`.
+        """
+        raise UnmergeableSketchError(
+            f"{type(self).__name__} ({self.name}) does not support lossless merging; "
+            "only sketches with mergeable=True implement merge()"
+        )
+
+    def _check_merge_peer(self, other: "Sketch", attributes: Sequence[str]) -> None:
+        """Shared merge validation: same class and identical named attributes.
+
+        ``attributes`` name the structural parameters that must match for
+        element-wise table addition to be meaningful (geometry and hash
+        seeds); a mismatch raises ``ValueError`` before any state changes.
+        """
+        if type(other) is not type(self):
+            raise ValueError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}"
+            )
+        for attribute in attributes:
+            mine, theirs = getattr(self, attribute), getattr(other, attribute)
+            if mine != theirs:
+                raise ValueError(
+                    f"cannot merge {self.name} sketches with mismatched "
+                    f"{attribute}: {mine!r} != {theirs!r}"
+                )
 
     def memory_bytes(self) -> float:
         """Configured memory footprint of the data structure, in bytes."""

@@ -36,6 +36,9 @@ class CountMinSketch(Sketch):
     """
 
     name = "CM"
+    #: CM state is the sum of per-item updates, so merging is element-wise
+    #: table addition and exactly equals one sketch fed both streams.
+    mergeable = True
 
     def __init__(self, memory_bytes: float, depth: int = 3, seed: int = 0) -> None:
         if depth <= 0:
@@ -69,6 +72,16 @@ class CountMinSketch(Sketch):
             [row[hash_fn.index_batch(batch)] for row, hash_fn in zip(self._tables, self._hashes)]
         )
         return readings.min(axis=0)
+
+    @property
+    def _hash_seeds(self) -> tuple[int, ...]:
+        return tuple(hash_fn.seed for hash_fn in self._hashes)
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        """Element-wise table addition; exact for any split of the stream."""
+        self._check_merge_peer(other, ("depth", "width", "_hash_seeds"))
+        self._tables += other._tables
+        return self
 
     def memory_bytes(self) -> float:
         return COUNTER_32.bytes_for(self.depth * self.width)

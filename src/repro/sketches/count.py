@@ -30,6 +30,9 @@ class CountSketch(Sketch):
     """
 
     name = "Count"
+    #: Signed updates sum, so merging is element-wise table addition and
+    #: exactly equals one sketch fed both streams.
+    mergeable = True
 
     def __init__(self, memory_bytes: float, depth: int = 3, seed: int = 0) -> None:
         if depth <= 0:
@@ -82,6 +85,18 @@ class CountSketch(Sketch):
         else:
             medians = ((estimates[middle - 1] + estimates[middle]) / 2).astype(np.int64)
         return np.maximum(medians, np.int64(0))
+
+    @property
+    def _hash_seeds(self) -> tuple[int, ...]:
+        return tuple(hash_fn.seed for hash_fn in self._hashes) + tuple(
+            sign_fn.seed for sign_fn in self._signs
+        )
+
+    def merge(self, other: "CountSketch") -> "CountSketch":
+        """Element-wise table addition; exact for any split of the stream."""
+        self._check_merge_peer(other, ("depth", "width", "_hash_seeds"))
+        self._tables += other._tables
+        return self
 
     def memory_bytes(self) -> float:
         return COUNTER_32.bytes_for(self.depth * self.width)

@@ -28,6 +28,10 @@ class CUSketch(Sketch):
     """
 
     name = "CU"
+    #: CU merges by element-wise addition like CM, but conservative update is
+    #: order-dependent, so the merge carries a weaker guarantee — see
+    #: :meth:`merge`.
+    mergeable = True
 
     def __init__(self, memory_bytes: float, depth: int = 3, seed: int = 0) -> None:
         if depth <= 0:
@@ -85,6 +89,27 @@ class CUSketch(Sketch):
             ]
         )
         return readings.min(axis=0)
+
+    @property
+    def _hash_seeds(self) -> tuple[int, ...]:
+        return tuple(hash_fn.seed for hash_fn in self._hashes)
+
+    def merge(self, other: "CUSketch") -> "CUSketch":
+        """Element-wise table addition — exact only where order permits.
+
+        The merged sketch still never underestimates (each key's counters
+        hold at least its value sum from either operand), and it is exactly
+        the single-pass CU result when the operands' occupied counters are
+        disjoint in every row (then no update's conservative minimum ever
+        spans both streams, so any interleaving produces the same tables).
+        When occupancy overlaps, the merge is an upper bound on the
+        single-pass CU — the standard distributed-CU compromise.
+        """
+        self._check_merge_peer(other, ("depth", "width", "_hash_seeds"))
+        for row, other_row in zip(self._tables, other._tables):
+            row[:] = [mine + theirs for mine, theirs in zip(row, other_row)]
+        self._tables_array = None
+        return self
 
     def memory_bytes(self) -> float:
         return COUNTER_32.bytes_for(self.depth * self.width)

@@ -9,6 +9,7 @@ experiment code never hard-codes constructor details.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable
 
 from repro.sketches.base import Sketch
@@ -100,3 +101,18 @@ def build_sketch(name: str, memory_bytes: float, seed: int = 0, **kwargs) -> Ske
             f"unknown sketch {name!r}; expected one of {sorted(_BUILDERS)}"
         ) from None
     return builder(memory_bytes, seed, **kwargs)
+
+
+@lru_cache(maxsize=None)
+def is_mergeable(name: str) -> bool:
+    """Whether the algorithm registered under ``name`` supports ``merge()``.
+
+    Probed from a throwaway minimum-size instance so the capability can never
+    drift from the sketch classes' own ``mergeable`` flags.
+    """
+    return bool(build_sketch(name, 1024.0, seed=0).mergeable)
+
+
+def mergeable_names() -> tuple[str, ...]:
+    """All registered algorithms whose shards can be merged losslessly."""
+    return tuple(name for name in _BUILDERS if is_mergeable(name))

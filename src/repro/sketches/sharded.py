@@ -1,0 +1,203 @@
+"""Sharded ingest: hash-partition a stream across per-shard sketches.
+
+This is the distributed-ingest model the ROADMAP names as the follow-on to
+the batch-first datapath: ``S`` identically-configured sketches ("shards")
+each ingest the sub-stream of keys that a dedicated partition hash routes to
+them.  Because the partition is *by key*, every key's entire update history
+lands on exactly one shard, in stream order — which makes sharding exact for
+order-dependent sketches too:
+
+* Queries route to the owning shard, so a :class:`ShardedSketch` answers
+  every query bit-identically to manually running ``S`` scalar sketches and
+  routing each item by hand (the property pinned by
+  ``tests/sketches/test_sharded.py``).
+* For mergeable families (CM, Count), :meth:`ShardedSketch.merge_shards`
+  folds the shards into one sketch by element-wise table addition, which is
+  bit-identical to a single sketch fed the full stream — the "merge at the
+  collector" step of a distributed deployment.
+
+The batch datapath is preserved end to end: one vectorized murmur evaluation
+partitions an :class:`~repro.hashing.EncodedKeyBatch`, and each shard
+receives a routed *sub-batch* that reuses the parent batch's packed
+encodings (``EncodedKeyBatch.take``), so keys are encoded once no matter how
+many shards or hash arrays touch them.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Sequence
+
+import numpy as np
+
+from repro.hashing import EncodedKeyBatch
+from repro.hashing.families import HashFunction, derive_seed, key_to_bytes
+from repro.hashing.murmur import murmur3_32
+from repro.sketches.base import Sketch, UnmergeableSketchError
+
+#: Salt folded into the master seed for the partition hash, so the router is
+#: independent of every hash the per-shard sketches draw from the same seed.
+_PARTITION_SALT = 0x53484152  # "SHAR"
+
+
+class ShardedSketch(Sketch):
+    """Hash-partitioned wrapper routing a stream across per-shard sketches.
+
+    Parameters
+    ----------
+    shards:
+        Pre-built per-shard sketches.  For :meth:`merge_shards` to be exact
+        they must be structurally identical (same class, geometry and hash
+        seeds); :meth:`from_registry` builds such replicas.
+    seed:
+        Master seed of the partition hash (independent of the shards' own
+        hash families by construction).
+
+    Every key is owned by exactly one shard (``shard_of``), and routed
+    batches preserve stream order within each shard, so sharding is exact
+    even for order-dependent sketches such as CU and ReliableSketch: each
+    shard's state equals a scalar sketch fed that shard's sub-stream.
+    """
+
+    def __init__(self, shards: Sequence[Sketch], seed: int = 0) -> None:
+        if not shards:
+            raise ValueError("ShardedSketch needs at least one shard")
+        self.shards: list[Sketch] = list(shards)
+        self.seed = seed
+        self.name = f"Sharded[{self.shards[0].name}x{len(self.shards)}]"
+        self.mergeable = all(shard.mergeable for shard in self.shards)
+        self._router = HashFunction(
+            derive_seed(seed ^ _PARTITION_SALT, 0), len(self.shards)
+        )
+        #: Items ingested per shard — the raw series behind per-shard
+        #: throughput accounting (`repro.metrics.throughput.shard_load_report`).
+        self.items_per_shard = np.zeros(len(self.shards), dtype=np.int64)
+
+    @classmethod
+    def from_registry(
+        cls,
+        name: str,
+        memory_bytes: float,
+        shards: int,
+        seed: int = 0,
+        **kwargs,
+    ) -> "ShardedSketch":
+        """Build ``shards`` identically-configured replicas of a registered sketch.
+
+        Each shard gets the *full* ``memory_bytes`` budget and the same hash
+        seed — the distributed model where every node runs the same sketch
+        over its partition and results merge at a collector.  (Replicas, not
+        splits: identical geometry is what makes ``merge_shards`` equal a
+        single sketch fed the whole stream.)
+        """
+        if shards <= 0:
+            raise ValueError("shard count must be positive")
+        from repro.sketches.registry import build_sketch
+
+        replicas = [
+            build_sketch(name, memory_bytes, seed=seed, **kwargs)
+            for _ in range(shards)
+        ]
+        return cls(replicas, seed=seed)
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, key: object) -> int:
+        """The shard owning ``key`` (introspection; no hash-call accounting)."""
+        return murmur3_32(key_to_bytes(key), self._router.seed) % self.shard_count
+
+    def _partition(self, batch: EncodedKeyBatch) -> list[np.ndarray]:
+        """Per-shard position arrays (ascending, so stream order survives)."""
+        shard_ids = self._router.index_batch(batch)
+        return [
+            np.nonzero(shard_ids == shard_id)[0]
+            for shard_id in range(len(self.shards))
+        ]
+
+    def insert(self, key: object, value: int = 1) -> None:
+        self._check_insert(value)
+        shard_id = self._router(key)
+        self.items_per_shard[shard_id] += 1
+        self.shards[shard_id].insert(key, value)
+
+    def query(self, key: object) -> int:
+        return self.shards[self._router(key)].query(key)
+
+    def insert_batch(self, keys: Sequence[object], values: Sequence[int] | int | None = None) -> None:
+        batch = EncodedKeyBatch(keys)
+        value_array = self._batch_values(values, len(batch))
+        for shard_id, positions in enumerate(self._partition(batch)):
+            if positions.size:
+                self.items_per_shard[shard_id] += positions.size
+                self.shards[shard_id].insert_batch(
+                    batch.take(positions), value_array[positions]
+                )
+
+    def query_batch(self, keys: Sequence[object]) -> np.ndarray:
+        batch = EncodedKeyBatch(keys)
+        estimates = np.zeros(len(batch), dtype=np.int64)
+        for shard_id, positions in enumerate(self._partition(batch)):
+            if positions.size:
+                estimates[positions] = self.shards[shard_id].query_batch(
+                    batch.take(positions)
+                )
+        return estimates
+
+    def merge_shards(self) -> Sketch:
+        """Fold all shards into one sketch (mergeable families only).
+
+        Returns a *new* sketch — the sharded instance stays usable.  For
+        CM/Count the result is bit-identical to a single sketch that ingested
+        the full stream; for CU it carries CU's weaker merge guarantee.
+        """
+        if not self.shards[0].mergeable:
+            raise UnmergeableSketchError(
+                f"{self.shards[0].name} shards cannot be merged losslessly; "
+                "query the sharded sketch directly instead"
+            )
+        merged = copy.deepcopy(self.shards[0])
+        for shard in self.shards[1:]:
+            merged.merge(shard)
+        return merged
+
+    def merge(self, other: Sketch) -> "ShardedSketch":
+        """Merge another ShardedSketch shard-by-shard (same router required).
+
+        This is the tree-reduction step of a multi-collector deployment:
+        two sharded ingests over the same partition function merge by
+        merging corresponding shards.
+        """
+        if type(other) is not ShardedSketch:
+            raise ValueError(f"cannot merge {type(other).__name__} into ShardedSketch")
+        if other.shard_count != self.shard_count or other._router.seed != self._router.seed:
+            raise ValueError(
+                "cannot merge ShardedSketches with different partition functions"
+            )
+        for mine, theirs in zip(self.shards, other.shards):
+            mine.merge(theirs)
+        self.items_per_shard += other.items_per_shard
+        return self
+
+    def memory_bytes(self) -> float:
+        return sum(shard.memory_bytes() for shard in self.shards)
+
+    def hash_calls(self) -> int:
+        return self._router.calls + sum(shard.hash_calls() for shard in self.shards)
+
+    def router_hash_calls(self) -> int:
+        """Partition-hash evaluations alone (excluded per-shard accounting)."""
+        return self._router.calls
+
+    def reset_hash_calls(self) -> None:
+        self._router.reset_counter()
+        for shard in self.shards:
+            shard.reset_hash_calls()
+
+    def parameters(self) -> dict:
+        return {
+            "shards": self.shard_count,
+            "algorithm": self.shards[0].name,
+            "shard_parameters": self.shards[0].parameters(),
+        }

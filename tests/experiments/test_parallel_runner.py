@@ -1,0 +1,122 @@
+"""Parallel runner determinism: workers > 1 must be bit-identical to workers=1.
+
+The process-pool fan-out (``experiments/parallel.py`` + ``run_grid``) is a
+pure wall-clock optimisation; these tests pin that contract on a real pool
+(two workers) and cover the ground-truth threading added alongside it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.parallel import parallel_map, resolve_workers
+from repro.experiments.runner import (
+    ExperimentSettings,
+    minimum_memory_for_zero_outliers,
+    run_competitors,
+    run_grid,
+    run_sketch,
+)
+from repro.streams import zipf_stream
+
+ALGORITHMS = ("CM_fast", "Count")
+MEMORY_POINTS = [2048.0, 8192.0]
+
+
+def _stream():
+    return zipf_stream(4000, skew=1.2, universe=600, seed=21)
+
+
+def _report_tuple(run):
+    report = run.report
+    return (run.algorithm, run.memory_bytes, report.outliers, report.aae,
+            report.are, report.max_error, report.evaluated_keys)
+
+
+def _double(shared, task):
+    return task * 2 + shared
+
+
+class TestParallelMap:
+    def test_sequential_and_pool_agree(self):
+        tasks = list(range(7))
+        sequential = parallel_map(_double, tasks, workers=1, shared=10)
+        pooled = parallel_map(_double, tasks, workers=2, shared=10)
+        assert sequential == pooled == [10 + 2 * t for t in tasks]
+
+    def test_order_preserved(self):
+        assert parallel_map(_double, [3, 1, 2], workers=2, shared=0) == [6, 2, 4]
+
+    def test_empty_and_single_task(self):
+        assert parallel_map(_double, [], workers=4, shared=0) == []
+        assert parallel_map(_double, [5], workers=4, shared=1) == [11]
+
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) >= 1
+        assert resolve_workers(None) >= 1
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+
+class TestRunGrid:
+    def test_parallel_grid_bit_identical_to_sequential(self):
+        stream = _stream()
+        sequential = run_grid(
+            ALGORITHMS, MEMORY_POINTS, stream,
+            ExperimentSettings(tolerance=10, seed=3, batch_size=512, workers=1),
+        )
+        parallel = run_grid(
+            ALGORITHMS, MEMORY_POINTS, stream,
+            ExperimentSettings(tolerance=10, seed=3, batch_size=512, workers=2),
+        )
+        assert set(sequential) == set(parallel)
+        for cell in sequential:
+            assert _report_tuple(sequential[cell]) == _report_tuple(parallel[cell])
+            # Pooled runs never ship the fitted sketch back; sequential runs
+            # keep it for callers that introspect it.
+            assert parallel[cell].sketch is None
+            assert sequential[cell].sketch is not None
+
+    def test_grid_covers_every_cell(self):
+        grid = run_grid(ALGORITHMS, MEMORY_POINTS, _stream())
+        assert set(grid) == {
+            (name, memory) for name in ALGORITHMS for memory in MEMORY_POINTS
+        }
+
+    def test_run_competitors_still_keyed_by_name(self):
+        runs = run_competitors(ALGORITHMS, 4096.0, _stream())
+        assert set(runs) == set(ALGORITHMS)
+        assert all(runs[name].algorithm == name for name in ALGORITHMS)
+
+    def test_sharded_settings_build_sharded_sketches(self):
+        run = run_sketch(
+            "CM_fast", 4096.0, _stream(), ExperimentSettings(shards=3, batch_size=512)
+        )
+        assert run.sketch.parameters()["shards"] == 3
+        # Sharded runs stay exact: a key's estimate comes from its owning shard.
+        unsharded = run_sketch("CM_fast", 4096.0, _stream(), ExperimentSettings())
+        assert run.report.evaluated_keys == unsharded.report.evaluated_keys
+
+
+class TestGroundTruthThreading:
+    def test_precomputed_counts_match_stream_counts(self):
+        stream = _stream()
+        with_counts = run_sketch(
+            "CM_fast", 4096.0, stream, counts=dict(stream.counts())
+        )
+        without = run_sketch("CM_fast", 4096.0, stream)
+        assert _report_tuple(with_counts) == _report_tuple(without)
+
+    def test_memory_search_accepts_counts(self):
+        stream = _stream()
+        counts = stream.counts()
+        found = minimum_memory_for_zero_outliers(
+            "CM_fast", stream, ExperimentSettings(tolerance=50),
+            low_bytes=512, high_bytes=256 * 1024, counts=counts,
+        )
+        reference = minimum_memory_for_zero_outliers(
+            "CM_fast", stream, ExperimentSettings(tolerance=50),
+            low_bytes=512, high_bytes=256 * 1024,
+        )
+        assert found == reference

@@ -1,0 +1,210 @@
+"""Shard/merge semantics: the contract of the sharded-ingest subsystem.
+
+Two properties pin the design:
+
+* **Routing exactness** — a :class:`ShardedSketch` (any shard count,
+  including S=1) answers every query bit-identically to manually running S
+  scalar sketches and routing each item by hand with the same partition
+  function.  This holds for *every* registered sketch, order-dependent ones
+  included, because a key's whole history lands on one shard in stream
+  order.
+* **Merge exactness** — for CM/Count, ``merge_shards()`` equals a single
+  sketch fed the full stream; unmergeable sketches raise
+  ``UnmergeableSketchError``; CU merges carry a documented upper-bound
+  guarantee.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sketches import (
+    ShardedSketch,
+    UnmergeableSketchError,
+    build_sketch,
+    competitor_names,
+    is_mergeable,
+    mergeable_names,
+)
+
+MEMORY = 4096
+SEED = 2
+
+
+def mixed_stream(seed: int, count: int = 600, universe: int = 150) -> list[tuple[object, int]]:
+    """A weighted stream mixing int and string keys."""
+    rng = random.Random(seed)
+    items: list[tuple[object, int]] = []
+    for _ in range(count):
+        key: object = rng.randrange(universe)
+        if rng.random() < 0.2:
+            key = f"flow-{rng.randrange(universe // 3)}"
+        items.append((key, rng.randrange(1, 5)))
+    return items
+
+
+def query_keys(items) -> list[object]:
+    """All present keys plus keys the stream never saw."""
+    present = sorted({key for key, _ in items}, key=str)
+    return present + ["absent", b"absent", 10**9]
+
+
+def fill_batched(sketch, items, chunk_size: int = 64) -> None:
+    for start in range(0, len(items), chunk_size):
+        chunk = items[start : start + chunk_size]
+        sketch.insert_batch([key for key, _ in chunk], [value for _, value in chunk])
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+@pytest.mark.parametrize("name", sorted(competitor_names()))
+def test_sharded_equals_routing_by_hand(name, shards):
+    """Batch-sharded queries match S scalar sketches with hand-routed items."""
+    items = mixed_stream(3)
+    sharded = ShardedSketch.from_registry(name, MEMORY, shards, seed=SEED)
+    manual = [build_sketch(name, MEMORY, seed=SEED) for _ in range(shards)]
+
+    fill_batched(sharded, items)
+    for key, value in items:
+        manual[sharded.shard_of(key)].insert(key, value)
+
+    keys = query_keys(items)
+    batched = sharded.query_batch(keys).tolist()
+    by_hand = [int(manual[sharded.shard_of(key)].query(key)) for key in keys]
+    assert batched == by_hand
+    # Scalar queries agree with the batch path too.
+    assert [int(sharded.query(key)) for key in keys] == by_hand
+
+
+@pytest.mark.parametrize("name", ["CM_fast", "Ours", "CU_fast"])
+@pytest.mark.parametrize("chunk_size", [1, 7, 10_000])
+def test_sharded_batch_scalar_equivalence(name, chunk_size):
+    """ShardedSketch itself honours the batch/scalar equivalence contract."""
+    items = mixed_stream(5)
+    scalar = ShardedSketch.from_registry(name, MEMORY, 3, seed=1)
+    batched = ShardedSketch.from_registry(name, MEMORY, 3, seed=1)
+
+    for key, value in items:
+        scalar.insert(key, value)
+    fill_batched(batched, items, chunk_size)
+    assert scalar.hash_calls() == batched.hash_calls(), "insert hash accounting"
+
+    keys = query_keys(items)
+    assert [scalar.query(key) for key in keys] == batched.query_batch(keys).tolist()
+    assert scalar.hash_calls() == batched.hash_calls(), "query hash accounting"
+
+
+@pytest.mark.parametrize("shards", [1, 3])
+@pytest.mark.parametrize("name", ["CM_fast", "CM_acc", "Count"])
+def test_merged_shards_equal_single_sketch(name, shards):
+    """CM/Count shard merging is bit-identical to one full-stream sketch."""
+    items = mixed_stream(7)
+    sharded = ShardedSketch.from_registry(name, MEMORY, shards, seed=SEED)
+    single = build_sketch(name, MEMORY, seed=SEED)
+
+    fill_batched(sharded, items)
+    for key, value in items:
+        single.insert(key, value)
+
+    merged = sharded.merge_shards()
+    keys = query_keys(items)
+    assert [merged.query(key) for key in keys] == [single.query(key) for key in keys]
+    # Deep equality of the tables, not just the queried projection.
+    assert (merged._tables == single._tables).all()
+    # merge_shards returns a fresh sketch: the sharded instance stays usable.
+    assert sharded.query_batch(keys).shape == (len(keys),)
+
+
+def test_cu_merge_upper_bounds_sharded_queries():
+    """CU shard merging never underestimates the routed (exact-shard) answer."""
+    items = mixed_stream(9)
+    sharded = ShardedSketch.from_registry("CU_fast", MEMORY, 3, seed=SEED)
+    fill_batched(sharded, items)
+    merged = sharded.merge_shards()
+    keys = query_keys(items)
+    routed = sharded.query_batch(keys).tolist()
+    for key, routed_estimate in zip(keys, routed):
+        assert merged.query(key) >= routed_estimate
+
+
+def test_capability_flags_match_classes():
+    assert set(mergeable_names()) == {"CM_fast", "CM_acc", "CU_fast", "CU_acc", "Count"}
+    assert is_mergeable("CM_fast")
+    assert not is_mergeable("Ours")
+    assert not is_mergeable("Elastic")
+
+
+def test_unmergeable_families_raise():
+    sharded = ShardedSketch.from_registry("Elastic", MEMORY, 2, seed=0)
+    sharded.insert_batch([1, 2, 3])
+    with pytest.raises(UnmergeableSketchError):
+        sharded.merge_shards()
+    with pytest.raises(UnmergeableSketchError):
+        build_sketch("SS", MEMORY).merge(build_sketch("SS", MEMORY))
+
+
+def test_merge_rejects_mismatched_peers():
+    cm3 = build_sketch("CM_fast", MEMORY, seed=0)
+    with pytest.raises(ValueError):
+        cm3.merge(build_sketch("CM_acc", MEMORY, seed=0))  # depth mismatch
+    with pytest.raises(ValueError):
+        cm3.merge(build_sketch("CM_fast", MEMORY, seed=1))  # seed mismatch
+    with pytest.raises(ValueError):
+        cm3.merge(build_sketch("Count", MEMORY, seed=0))  # class mismatch
+
+
+def test_sharded_tree_merge():
+    """Two ShardedSketches over the same partition merge shard-by-shard."""
+    items = mixed_stream(11)
+    half = len(items) // 2
+    left = ShardedSketch.from_registry("CM_fast", MEMORY, 3, seed=SEED)
+    right = ShardedSketch.from_registry("CM_fast", MEMORY, 3, seed=SEED)
+    whole = ShardedSketch.from_registry("CM_fast", MEMORY, 3, seed=SEED)
+
+    fill_batched(left, items[:half])
+    fill_batched(right, items[half:])
+    fill_batched(whole, items)
+
+    left.merge(right)
+    keys = query_keys(items)
+    assert left.query_batch(keys).tolist() == whole.query_batch(keys).tolist()
+    assert left.items_per_shard.tolist() == whole.items_per_shard.tolist()
+
+    mismatched = ShardedSketch.from_registry("CM_fast", MEMORY, 2, seed=SEED)
+    with pytest.raises(ValueError):
+        left.merge(mismatched)
+
+
+def test_sharded_validation():
+    with pytest.raises(ValueError):
+        ShardedSketch([])
+    with pytest.raises(ValueError):
+        ShardedSketch.from_registry("CM_fast", MEMORY, 0)
+    sketch = ShardedSketch.from_registry("CM_fast", MEMORY, 2)
+    with pytest.raises(ValueError):
+        sketch.insert(1, 0)
+    with pytest.raises(ValueError):
+        sketch.insert_batch([1, 2], [1, 0])
+
+
+def test_per_shard_item_accounting():
+    items = mixed_stream(13)
+    sharded = ShardedSketch.from_registry("CM_fast", MEMORY, 4, seed=SEED)
+    fill_batched(sharded, items)
+    assert int(sharded.items_per_shard.sum()) == len(items)
+    # Accounting matches the partition function exactly.
+    expected = [0, 0, 0, 0]
+    for key, _ in items:
+        expected[sharded.shard_of(key)] += 1
+    assert sharded.items_per_shard.tolist() == expected
+
+
+def test_memory_and_parameters_reporting():
+    sharded = ShardedSketch.from_registry("CM_fast", MEMORY, 3, seed=0)
+    single = build_sketch("CM_fast", MEMORY, seed=0)
+    assert sharded.memory_bytes() == pytest.approx(3 * single.memory_bytes())
+    parameters = sharded.parameters()
+    assert parameters["shards"] == 3
+    assert parameters["algorithm"] == "CM"
+    assert sharded.name == "Sharded[CMx3]"

@@ -19,6 +19,8 @@ from repro.core import ReliableSketch
 from repro.sketches.cm import CountMinSketch
 from repro.sketches.count import CountSketch
 from repro.sketches.cu import CUSketch
+from repro.sketches.elastic import ElasticSketch
+from repro.sketches.sharded import ShardedSketch
 from repro.sketches.spacesaving import SpaceSaving
 from repro.streams import Stream, zipf_stream
 
@@ -46,8 +48,16 @@ BUILDERS = {
     "CM": lambda seed: CountMinSketch(4096, depth=3, seed=seed),
     "CU": lambda seed: CUSketch(4096, depth=3, seed=seed),
     "Count": lambda seed: CountSketch(4096, depth=3, seed=seed),
+    # Elastic vectorizes the heavy-part hash only; the bucket state machine
+    # replays in stream order (order-dependent evictions).
+    "Elastic": lambda seed: ElasticSketch(2048, seed=seed),
     # SpaceSaving has no vectorized override: exercises the base fallback.
     "SS": lambda seed: SpaceSaving(2048),
+    # The sharded wrapper must itself honour the equivalence contract,
+    # including its partition-hash accounting.
+    "Sharded(CM)": lambda seed: ShardedSketch.from_registry(
+        "CM_fast", 4096, shards=3, seed=seed
+    ),
 }
 
 # Chunk size 1 degenerates to the scalar loop through the batch machinery;

@@ -26,6 +26,32 @@ def test_scale_and_seed_options():
     assert args.tolerance == 5
 
 
+def test_shards_and_workers_options():
+    args = build_parser().parse_args(["fig10", "--shards", "4", "--workers", "0"])
+    assert args.shards == 4
+    assert args.workers == 0  # 0 = one worker per CPU core
+    defaults = build_parser().parse_args(["fig10"])
+    assert defaults.shards == 1
+    assert defaults.workers == 1
+
+
+def test_invalid_shards_and_workers_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig4", "--shards", "0"])
+    with pytest.raises(SystemExit):
+        main(["fig4", "--workers", "-1"])
+
+
+def test_shards_rejected_by_unsupporting_commands():
+    # --shards changes measured results, so commands that cannot honour it
+    # must reject it instead of silently ignoring it.
+    for experiment in ("fig5", "fig7", "fig11", "fig16", "table1"):
+        with pytest.raises(SystemExit):
+            main([experiment, "--shards", "4"])
+    # --shards 1 (the default, monolithic model) stays accepted everywhere.
+    assert main(["table1", "--shards", "1"]) == 0
+
+
 def test_table_commands_print_output(capsys):
     assert main(["table1"]) == 0
     assert main(["table3"]) == 0
