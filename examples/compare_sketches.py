@@ -8,10 +8,14 @@ the same memory budget on the same surrogate IP trace and are scored on
 Run with::
 
     python examples/compare_sketches.py
+
+Set ``REPRO_EXAMPLE_SCALE`` to shrink the trace (the smoke test in
+``tests/test_examples.py`` does).
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro import build_sketch, evaluate_accuracy, ip_trace
@@ -33,7 +37,7 @@ ALGORITHMS = (
 
 
 def main() -> None:
-    stream = ip_trace(scale=0.02, seed=9)
+    stream = ip_trace(scale=float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.02")), seed=9)
     truth = stream.counts()
     tolerance = 25
     memory_bytes = 24 * 1024

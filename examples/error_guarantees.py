@@ -13,9 +13,14 @@ This example looks *inside* ReliableSketch on a surrogate IP trace:
 Run with::
 
     python examples/error_guarantees.py
+
+Set ``REPRO_EXAMPLE_SCALE`` to shrink the trace (the smoke test in
+``tests/test_examples.py`` does).
 """
 
 from __future__ import annotations
+
+import os
 
 from repro import ReliableSketch, ip_trace
 
@@ -29,7 +34,7 @@ def show_layer_decay(sketch: ReliableSketch, truth) -> None:
 
 
 def main() -> None:
-    stream = ip_trace(scale=0.02, seed=5)
+    stream = ip_trace(scale=float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.02")), seed=5)
     truth = stream.counts()
     tolerance = 25
 

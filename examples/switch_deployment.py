@@ -1,11 +1,16 @@
 #!/usr/bin/env python3
-"""Programmable-switch deployment: resources and accuracy (paper §5.2, §6.5.3).
+"""Programmable-switch deployment: resources, accuracy, distributed collection.
 
-Reproduces, at reduced scale, the two switch-related results:
+Reproduces, at reduced scale, the switch-related results and the deployment
+shape they imply:
 
 * Table 4 — the resource usage of ReliableSketch on a Tofino pipeline.
 * Figure 20 — accuracy of the constrained data-plane algorithm versus SRAM
   budget on the surrogate IP trace and Hadoop traces.
+* Distributed collection — several measurement points each ingest their key
+  partition into a shard-local sketch; a collector tree-merges the shipped
+  sketch states into one summary, bit-identical to a single box seeing the
+  whole stream (``repro.distributed``, see ``docs/architecture.md`` §4).
 
 Run with::
 
@@ -14,10 +19,13 @@ Run with::
 
 from __future__ import annotations
 
+from repro.distributed import run_distributed_ingest
 from repro.experiments.deployment import testbed_accuracy
 from repro.experiments.tables import format_table, tofino_table_rows
 from repro.hardware.fpga import FpgaModel
 from repro.core.config import ReliableConfig
+from repro.sketches.registry import build_sketch
+from repro.streams.traces import ip_trace
 
 
 def main() -> None:
@@ -44,6 +52,29 @@ def main() -> None:
             for r in curve.results
         ]
         print(format_table(["SRAM", "#Outliers", "AAE (Kbps)", "Recirculations"], rows))
+
+    print("\n=== Distributed collection: 4 measurement points, one collector ===")
+    # The deployment behind the paper's multi-vantage measurement setting:
+    # each ingest node owns the sketch for its hash partition of the keys,
+    # ships its table state to the collector, and the tree merge equals one
+    # sketch that saw the whole stream (exactly, for CM/Count).
+    stream = ip_trace(scale=0.004, seed=7)
+    memory_bytes = 32 * 1024
+    result = run_distributed_ingest(
+        "CM_fast", memory_bytes, stream, workers=4, transport="inproc", seed=7
+    )
+    single = build_sketch("CM_fast", memory_bytes, seed=7)
+    single.insert_stream(stream)
+    keys = stream.keys()
+    identical = bool(
+        (result.merged.query_batch(keys) == single.query_batch(keys)).all()
+    )
+    print(f"stream: {len(stream):,} packets over 4 ingest nodes "
+          f"{list(result.items_per_worker)}")
+    print(f"wire: {result.bytes_sent:,} B of routed batches out, "
+          f"{result.bytes_received:,} B of sketch state back")
+    print(f"collector tree-merged 4 snapshots in {result.merge_seconds * 1e3:.2f} ms; "
+          f"bit-identical to a single collector-side sketch: {identical}")
 
 
 if __name__ == "__main__":

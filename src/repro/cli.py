@@ -23,6 +23,18 @@ deployment, not the monolithic sketch)::
     repro-cli fig5 --workers 0          # 0 = one worker per CPU core
     repro-cli fig10 --batch-size 4096 --shards 4
 
+Run a sweep with the sharded fills executed on remote ingest workers
+(bit-identical results; ``--transport`` picks the backend)::
+
+    repro-cli fig4 --shards 4 --transport inproc
+
+Run a distributed ingest end to end — one self-hosted command, or a
+collector plus standalone TCP workers in separate terminals/hosts::
+
+    repro-cli ingest-collect --transport pipe --shards 4 --verify
+    repro-cli ingest-collect --transport tcp --shards 2 --bind 0.0.0.0:29461
+    repro-cli ingest-worker --connect collector-host:29461   # run twice
+
 Print the three tables::
 
     repro-cli table1
@@ -34,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.experiments import deployment, error, outliers, parameters, sensing, speed, tables
 from repro.experiments.datasets import DEFAULT_SCALE
@@ -68,6 +81,7 @@ def _cmd_fig4(args) -> None:
         batch_size=args.batch_size,
         shards=args.shards,
         workers=args.workers,
+        transport=args.transport,
     )
     _print_curves(curves, "outliers")
 
@@ -89,7 +103,7 @@ def _cmd_fig6(args) -> None:
         curves = outliers.outliers_vs_memory(
             dataset_name=dataset_name, tolerance=args.tolerance, scale=args.scale,
             seed=args.seed, batch_size=args.batch_size, shards=args.shards,
-            workers=args.workers,
+            workers=args.workers, transport=args.transport,
         )
         _print_curves(curves, "outliers")
 
@@ -110,6 +124,7 @@ def _cmd_fig8(args) -> None:
         curves = error.average_error_sweep(
             dataset_name=dataset_name, scale=args.scale, seed=args.seed,
             batch_size=args.batch_size, shards=args.shards, workers=args.workers,
+            transport=args.transport,
         )
         for curve in curves:
             print(f"  {curve.algorithm:>10}: {[round(v, 3) for v in curve.aae]}")
@@ -121,6 +136,7 @@ def _cmd_fig9(args) -> None:
         curves = error.average_error_sweep(
             dataset_name=dataset_name, scale=args.scale, seed=args.seed,
             batch_size=args.batch_size, shards=args.shards, workers=args.workers,
+            transport=args.transport,
         )
         for curve in curves:
             print(f"  {curve.algorithm:>10}: {[round(v, 4) for v in curve.are]}")
@@ -216,7 +232,101 @@ def _cmd_fig20(args) -> None:
             )
 
 
+def _parse_address(text: str) -> tuple[str, int]:
+    """Split a ``host:port`` CLI address."""
+    host, separator, port = text.rpartition(":")
+    if not separator or not host or not port.isdigit():
+        raise ValueError(f"address must look like host:port, got {text!r}")
+    return host, int(port)
+
+
+def _cmd_ingest_worker(args) -> None:
+    """Run one standalone TCP ingest worker until the collector shuts it down."""
+    from repro.distributed.ingest import worker_main
+    from repro.distributed.transport import connect_worker
+
+    host, port = _parse_address(args.connect or "127.0.0.1:29461")
+    print(f"connecting to collector at {host}:{port} ...")
+    channel = connect_worker(host, port)
+    print("connected; ingesting until the collector shuts down")
+    worker_main(channel)
+    print("collector closed the session; exiting")
+
+
+def _cmd_ingest_collect(args) -> None:
+    """Distribute a synthetic stream over ingest workers and merge the result."""
+    from repro.distributed.ingest import run_distributed_ingest
+    from repro.distributed.transport import TcpTransport
+    from repro.sketches.registry import build_sketch
+    from repro.streams.synthetic import zipf_stream
+
+    algorithm = args.algorithm or "CM_fast"
+    memory_bytes = args.memory_bytes if args.memory_bytes is not None else 64 * 1024
+    count = args.count if args.count is not None else 200_000
+    skew = args.skew if args.skew is not None else 1.1
+    chunk_size = args.batch_size or 8192
+
+    transport_name = args.transport or "inproc"
+    if transport_name == "tcp":
+        host, port = _parse_address(args.bind) if args.bind else ("127.0.0.1", 0)
+        # An explicit --bind waits for external `repro-cli ingest-worker`
+        # processes; without it the transport self-hosts worker threads.
+        backend: object = TcpTransport(host, port, self_hosted=args.bind is None)
+    else:
+        backend = transport_name
+
+    stream = zipf_stream(count, skew=skew, seed=args.seed + 1)
+    print(
+        f"stream: {len(stream)} items, {stream.distinct_keys()} distinct keys; "
+        f"{args.shards} workers over {transport_name}"
+    )
+    if isinstance(backend, TcpTransport) and not backend.self_hosted:
+        print(f"waiting for {args.shards} workers on {args.bind} ...")
+
+    start = time.perf_counter()
+    result = run_distributed_ingest(
+        algorithm,
+        memory_bytes,
+        stream,
+        workers=args.shards,
+        transport=backend,
+        chunk_size=chunk_size,
+        seed=args.seed,
+    )
+    wall = time.perf_counter() - start
+    print(
+        f"ingested {result.total_items} items in {result.ingest_seconds:.3f}s "
+        f"({result.total_items / max(result.ingest_seconds, 1e-9):,.0f} items/s); "
+        f"wire: {result.bytes_sent:,} B out, {result.bytes_received:,} B back"
+    )
+    print(f"per-worker items: {list(result.items_per_worker)}")
+    print(f"tree-merged {args.shards} snapshots in {result.merge_seconds * 1e3:.2f} ms")
+    if args.verify:
+        single = build_sketch(algorithm, memory_bytes, seed=args.seed)
+        single.insert_stream(stream, batch_size=chunk_size)
+        keys = stream.keys()
+        identical = bool(
+            (result.merged.query_batch(keys) == single.query_batch(keys)).all()
+        )
+        print(f"merged result bit-identical to single-node ingest: {identical}")
+        if not identical and algorithm.startswith("CU"):
+            # CU's documented merge guarantee: never below the true value
+            # sums, never below the routed per-shard answers.
+            counts = stream.counts()
+            truth = [counts[key] for key in keys]
+            never_underestimates = bool(
+                (result.merged.query_batch(keys) >= truth).all()
+            )
+            print(
+                "  (CU upper-bound merge semantics; never underestimates the "
+                f"true counts: {never_underestimates})"
+            )
+    print(f"total wall-clock {wall:.3f}s")
+
+
 _COMMANDS = {
+    "ingest-collect": _cmd_ingest_collect,
+    "ingest-worker": _cmd_ingest_worker,
     "table1": _cmd_table1,
     "table3": _cmd_table3,
     "table4": _cmd_table4,
@@ -244,7 +354,12 @@ _COMMANDS = {
 #: results (distributed-ingest model), so commands that cannot honour it
 #: must reject it rather than silently ignore it; --batch-size and
 #: --workers are bit-identical knobs and are safe to ignore.
-_SHARDS_COMMANDS = frozenset({"fig4", "fig6", "fig8", "fig9", "fig10"})
+_SHARDS_COMMANDS = frozenset({"fig4", "fig6", "fig8", "fig9", "fig10", "ingest-collect"})
+
+#: Commands that can execute sharded fills over a remote transport.
+#: --transport never changes results (remote routing equals local routing),
+#: but commands that would silently ignore it must reject it.
+_TRANSPORT_COMMANDS = frozenset({"fig4", "fig6", "fig8", "fig9", "ingest-collect"})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -274,6 +389,34 @@ def build_parser() -> argparse.ArgumentParser:
                         help="process-pool width for grid sweeps; 0 = one per CPU core "
                              "(results are bit-identical, only speed changes; "
                              "default: %(default)s)")
+    parser.add_argument("--transport", choices=("inproc", "pipe", "tcp"), default=None,
+                        help="run sharded fills on remote ingest workers over this "
+                             "backend (results are bit-identical: remote routing "
+                             "equals local routing); required form of ingest-collect")
+    # Ingest flags default to None sentinels so main() can reject their use
+    # on commands that would silently ignore them (the --shards policy);
+    # _cmd_ingest_* fill in the documented defaults.
+    ingest = parser.add_argument_group(
+        "distributed ingest", "options of ingest-collect / ingest-worker"
+    )
+    ingest.add_argument("--algorithm", default=None,
+                        help="registry name of the sketch to ingest into "
+                             "(mergeable families: CM_*/CU_*/Count; default: CM_fast)")
+    ingest.add_argument("--memory-bytes", type=float, default=None, dest="memory_bytes",
+                        help="per-worker sketch memory budget (default: 65536)")
+    ingest.add_argument("--count", type=int, default=None,
+                        help="ingest-collect stream length (default: 200000)")
+    ingest.add_argument("--skew", type=float, default=None,
+                        help="ingest-collect Zipf skew (default: 1.1)")
+    ingest.add_argument("--bind", default=None, metavar="HOST:PORT",
+                        help="ingest-collect (tcp): wait for external ingest-worker "
+                             "processes on this address instead of self-hosting threads")
+    ingest.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="ingest-worker: collector address to dial "
+                             "(default: 127.0.0.1:29461)")
+    ingest.add_argument("--verify", action="store_true",
+                        help="ingest-collect: re-ingest locally and check the merged "
+                             "sketch against single-node ingest")
     return parser
 
 
@@ -292,7 +435,55 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.workers < 0:
         parser.error("--workers must be >= 0 (0 = one per CPU core)")
-    _COMMANDS[args.experiment](args)
+    if args.transport is not None and args.experiment not in _TRANSPORT_COMMANDS:
+        parser.error(
+            f"--transport is not supported by {args.experiment} "
+            f"(supported: {', '.join(sorted(_TRANSPORT_COMMANDS))})"
+        )
+    if not args.experiment.startswith("ingest-"):
+        # Same policy as --shards/--transport: flags that only the ingest
+        # commands honour must be rejected, never silently ignored.
+        ingest_flags = {
+            "--algorithm": args.algorithm,
+            "--memory-bytes": args.memory_bytes,
+            "--count": args.count,
+            "--skew": args.skew,
+            "--bind": args.bind,
+            "--connect": args.connect,
+            "--verify": args.verify or None,
+        }
+        for flag, value in ingest_flags.items():
+            if value is not None:
+                parser.error(
+                    f"{flag} is only supported by ingest-collect / ingest-worker"
+                )
+    if args.bind is not None and args.transport != "tcp":
+        parser.error("--bind requires --transport tcp")
+    if args.experiment == "ingest-collect":
+        from repro.sketches.registry import is_mergeable
+
+        algorithm = args.algorithm or "CM_fast"
+        try:
+            mergeable = is_mergeable(algorithm)
+        except ValueError as error:
+            parser.error(str(error))
+        if not mergeable:
+            parser.error(
+                f"--algorithm {algorithm} cannot be collected remotely; "
+                "pick a mergeable family (CM_fast, CM_acc, CU_fast, CU_acc, Count)"
+            )
+    command = _COMMANDS[args.experiment]
+    if args.experiment.startswith("ingest-"):
+        # Bad addresses, unreachable collectors, ports in use, or workers
+        # that never dial in surface as clean argparse errors, not
+        # tracebacks (ValueError from parsing, OSError/timeout from
+        # sockets and pipes).
+        try:
+            command(args)
+        except (ValueError, OSError) as error:
+            parser.error(str(error) or type(error).__name__)
+    else:
+        command(args)
     return 0
 
 

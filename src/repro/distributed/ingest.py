@@ -1,0 +1,392 @@
+"""Transport-agnostic distributed ingest: worker loop, coordinator, collector.
+
+The deployment shape mirrors the paper's distributed measurement points —
+many ingest nodes, one collector, results merged centrally:
+
+* The **coordinator** owns the stream.  It partitions every chunk with the
+  *same* vectorized partition hash as local sharding
+  (:func:`repro.sketches.sharded.partition_router`), so key->worker
+  placement is identical to a :class:`~repro.sketches.sharded.ShardedSketch`:
+  each key's whole history reaches exactly one worker, in stream order —
+  which keeps remote ingest exact even for order-dependent update rules.
+  Routed sub-batches ship as wire frames over the chosen transport.
+* Each **worker** (:func:`worker_main`) builds a shard-local sketch from its
+  CONFIG frame, ingests BATCH frames through the normal ``insert_batch``
+  datapath, and answers a SNAPSHOT_REQUEST with its serialized table state.
+* The **collector** restores every worker snapshot into a registry-built
+  replica and :func:`tree_merge`-s the replicas into one sketch.  For
+  CM/Count the result is bit-identical to a single sketch fed the whole
+  stream; CU carries its documented upper-bound merge guarantee.
+
+:func:`run_distributed_ingest` wires the three together for one stream and
+is what the CLI, the experiment runner (``ExperimentSettings.transport``)
+and ``benchmarks/bench_distributed.py`` call.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.distributed.transport import Channel, Transport, create_transport
+from repro.distributed.wire import (
+    MSG_BATCH,
+    MSG_CONFIG,
+    MSG_SHUTDOWN,
+    MSG_SNAPSHOT,
+    MSG_SNAPSHOT_REQUEST,
+    WireFormatError,
+    decode_batch,
+    decode_config,
+    decode_frame,
+    decode_state,
+    encode_batch,
+    encode_config,
+    encode_frame,
+    encode_state,
+)
+from repro.hashing import EncodedKeyBatch
+from repro.sketches.base import Sketch, UnmergeableSketchError
+from repro.sketches.registry import build_sketch, is_mergeable
+from repro.sketches.sharded import ShardedSketch, partition_positions, partition_router
+from repro.streams.items import chunked
+
+#: Default chunk size of the coordinator's stream batching.
+DEFAULT_CHUNK_SIZE = 8192
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a worker needs to build its shard-local sketch.
+
+    Travels as the first frame on every channel, so workers are stateless
+    until configured — a TCP worker process can be started with nothing but
+    the collector's address.
+    """
+
+    algorithm: str
+    memory_bytes: float
+    seed: int
+    shard_id: int
+    shards: int
+    sketch_kwargs: dict = field(default_factory=dict)
+
+    def to_payload(self) -> bytes:
+        return encode_config(
+            {
+                "algorithm": self.algorithm,
+                "memory_bytes": self.memory_bytes,
+                "seed": self.seed,
+                "shard_id": self.shard_id,
+                "shards": self.shards,
+                "sketch_kwargs": self.sketch_kwargs,
+            }
+        )
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "WorkerConfig":
+        config = decode_config(payload)
+        try:
+            return cls(
+                algorithm=config["algorithm"],
+                memory_bytes=config["memory_bytes"],
+                seed=config["seed"],
+                shard_id=config["shard_id"],
+                shards=config["shards"],
+                sketch_kwargs=config.get("sketch_kwargs", {}),
+            )
+        except KeyError as missing:
+            raise WireFormatError(f"worker config is missing {missing}") from None
+
+    def build(self) -> Sketch:
+        """The shard-local replica (full budget, shared seed — see PR 2)."""
+        return build_sketch(
+            self.algorithm, self.memory_bytes, seed=self.seed, **self.sketch_kwargs
+        )
+
+
+def worker_main(channel: Channel) -> None:
+    """The worker node's event loop (same code on every transport).
+
+    Frames in: CONFIG (build the sketch), BATCH (ingest through the batch
+    datapath), SNAPSHOT_REQUEST (reply with serialized state + stats),
+    SHUTDOWN / EOF (exit).  Runs until the channel closes.
+    """
+    config: WorkerConfig | None = None
+    sketch: Sketch | None = None
+    items_ingested = 0
+    while True:
+        frame = channel.recv()
+        if frame is None:
+            break
+        msg_type, payload = decode_frame(frame)
+        if msg_type == MSG_CONFIG:
+            config = WorkerConfig.from_payload(payload)
+            sketch = config.build()
+            items_ingested = 0
+        elif msg_type == MSG_BATCH:
+            if sketch is None:
+                raise WireFormatError("BATCH frame before CONFIG")
+            batch, values = decode_batch(payload)
+            sketch.insert_batch(batch, values)
+            items_ingested += len(batch)
+        elif msg_type == MSG_SNAPSHOT_REQUEST:
+            if sketch is None or config is None:
+                raise WireFormatError("SNAPSHOT_REQUEST frame before CONFIG")
+            meta = {
+                "shard_id": config.shard_id,
+                "items": items_ingested,
+                "hash_calls": sketch.hash_calls(),
+            }
+            channel.send(
+                encode_frame(
+                    MSG_SNAPSHOT,
+                    encode_state(sketch.state_snapshot(), config.algorithm, meta),
+                )
+            )
+        elif msg_type == MSG_SHUTDOWN:
+            break
+        else:  # pragma: no cover - decode_frame already validates types
+            raise WireFormatError(f"unexpected message type {msg_type}")
+    channel.close()
+
+
+class IngestCoordinator:
+    """Collector-side driver: configure workers, route batches, collect state.
+
+    Parameters mirror ``ShardedSketch.from_registry``: ``workers``
+    identically-configured full-budget replicas of ``algorithm``, partitioned
+    by the canonical router for ``workers`` shards.  The algorithm must
+    support state snapshots (the mergeable families CM/CU/Count) — that is
+    what a worker can ship back over the wire.
+    """
+
+    def __init__(
+        self,
+        algorithm: str,
+        memory_bytes: float,
+        workers: int,
+        transport: Transport,
+        seed: int = 0,
+        sketch_kwargs: dict | None = None,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError("worker count must be positive")
+        if not is_mergeable(algorithm):
+            raise UnmergeableSketchError(
+                f"{algorithm} cannot be ingested remotely: distributed collection "
+                "requires the merge contract (state_snapshot/merge); "
+                "mergeable families are CM/CU/Count"
+            )
+        self.algorithm = algorithm
+        self.memory_bytes = memory_bytes
+        self.workers = workers
+        self.seed = seed
+        self.sketch_kwargs = dict(sketch_kwargs or {})
+        self.transport = transport
+        self.router = partition_router(seed, workers)
+        self.items_per_worker = np.zeros(workers, dtype=np.int64)
+        self.channels: list[Channel] = transport.launch(worker_main, workers)
+        for shard_id, channel in enumerate(self.channels):
+            config = WorkerConfig(
+                algorithm, memory_bytes, seed, shard_id, workers, self.sketch_kwargs
+            )
+            channel.send(encode_frame(MSG_CONFIG, config.to_payload()))
+
+    def send_batch(self, keys: Sequence[object], values: Sequence[int] | int | None = None) -> None:
+        """Partition one chunk and ship each worker its routed sub-batch.
+
+        Sub-batches reuse the parent batch's packed encodings
+        (``EncodedKeyBatch.take``) and arrive in stream order per worker —
+        exactly the local ``ShardedSketch.insert_batch`` routing, over a wire.
+        """
+        batch = keys if isinstance(keys, EncodedKeyBatch) else EncodedKeyBatch(keys)
+        value_array = Sketch._batch_values(values, len(batch))
+        for shard_id, positions in enumerate(partition_positions(self.router, batch)):
+            if positions.size:
+                self.items_per_worker[shard_id] += positions.size
+                payload = encode_batch(batch.take(positions), value_array[positions])
+                self.channels[shard_id].send(encode_frame(MSG_BATCH, payload))
+
+    def send_stream(self, items: Iterable, chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+        """Chunk an iterable of ``(key, value)`` pairs through :meth:`send_batch`."""
+        for chunk in chunked(items, chunk_size):
+            self.send_batch([key for key, _ in chunk], [value for _, value in chunk])
+
+    def collect(self) -> tuple[list[Sketch], list[dict]]:
+        """Snapshot every worker and restore the states into local replicas.
+
+        Returns ``(shard_sketches, metas)`` in shard order.  Each restored
+        replica is bit-identical to the worker's sketch, so the pair
+        (replicas, router seed) reconstructs the full sharded state locally.
+        """
+        for channel in self.channels:
+            channel.send(encode_frame(MSG_SNAPSHOT_REQUEST))
+        sketches: list[Sketch] = []
+        metas: list[dict] = []
+        for shard_id, channel in enumerate(self.channels):
+            frame = channel.recv()
+            if frame is None:
+                raise WireFormatError(f"worker {shard_id} closed before sending a snapshot")
+            msg_type, payload = decode_frame(frame)
+            if msg_type != MSG_SNAPSHOT:
+                raise WireFormatError(
+                    f"expected SNAPSHOT from worker {shard_id}, got message type {msg_type}"
+                )
+            state, algorithm, meta = decode_state(payload)
+            if algorithm != self.algorithm:
+                raise WireFormatError(
+                    f"worker {shard_id} snapshot is for {algorithm!r}, "
+                    f"expected {self.algorithm!r}"
+                )
+            if meta.get("items") != int(self.items_per_worker[shard_id]):
+                raise WireFormatError(
+                    f"worker {shard_id} ingested {meta.get('items')} items, "
+                    f"coordinator routed {int(self.items_per_worker[shard_id])}"
+                )
+            replica = WorkerConfig(
+                self.algorithm, self.memory_bytes, self.seed, shard_id,
+                self.workers, self.sketch_kwargs,
+            ).build()
+            replica.state_restore(state)
+            sketches.append(replica)
+            metas.append(meta)
+        return sketches, metas
+
+    def shutdown(self) -> None:
+        """Tell every worker to exit and close the collector-side channels."""
+        for channel in self.channels:
+            try:
+                channel.send(encode_frame(MSG_SHUTDOWN))
+            except (WireFormatError, OSError):
+                pass  # already closed
+        self.transport.close()
+        self.transport.join(timeout=30)
+
+    @property
+    def bytes_sent(self) -> int:
+        return sum(channel.bytes_sent for channel in self.channels)
+
+    @property
+    def bytes_received(self) -> int:
+        return sum(channel.bytes_received for channel in self.channels)
+
+
+def tree_merge(sketches: Sequence[Sketch]) -> Sketch:
+    """Merge sketches pairwise in rounds (the collector-tree reduction).
+
+    Mutates the left operand of every pair and returns the root.  Pass
+    copies to keep the inputs intact.  For the exactly-mergeable families
+    the result equals any merge order (addition commutes); the tree shape is
+    the latency win for a multi-collector deployment: ``ceil(log2 S)`` merge
+    rounds instead of ``S - 1`` sequential merges.
+    """
+    nodes = list(sketches)
+    if not nodes:
+        raise ValueError("tree_merge needs at least one sketch")
+    while len(nodes) > 1:
+        merged_round: list[Sketch] = []
+        for left_index in range(0, len(nodes) - 1, 2):
+            merged_round.append(nodes[left_index].merge(nodes[left_index + 1]))
+        if len(nodes) % 2:
+            merged_round.append(nodes[-1])
+        nodes = merged_round
+    return nodes[0]
+
+
+@dataclass(frozen=True)
+class DistributedIngestResult:
+    """Everything one distributed ingest run produced.
+
+    ``shard_sketches`` are the restored worker replicas (shard order);
+    ``merged`` is their tree-merge — for CM/Count bit-identical to a single
+    sketch fed the whole stream, for CU an upper bound with the documented
+    merge semantics.  ``sharded()`` wraps the replicas back into a routed
+    :class:`ShardedSketch`, which answers queries bit-identically to local
+    sharded ingest for *every* supported family (CU included: per-shard
+    states are exact; only the cross-shard merge is weaker).
+    """
+
+    algorithm: str
+    transport: str
+    workers: int
+    seed: int
+    memory_bytes: float
+    shard_sketches: list[Sketch]
+    worker_metas: list[dict]
+    merged: Sketch
+    items_per_worker: tuple[int, ...]
+    ingest_seconds: float
+    merge_seconds: float
+    bytes_sent: int
+    bytes_received: int
+
+    @property
+    def total_items(self) -> int:
+        return int(sum(self.items_per_worker))
+
+    def sharded(self) -> ShardedSketch:
+        """The restored shards behind the canonical router (routed queries)."""
+        sharded = ShardedSketch(self.shard_sketches, seed=self.seed)
+        sharded.items_per_shard[:] = np.asarray(self.items_per_worker, dtype=np.int64)
+        return sharded
+
+
+def run_distributed_ingest(
+    algorithm: str,
+    memory_bytes: float,
+    items: Iterable,
+    *,
+    workers: int = 2,
+    transport: str | Transport = "inproc",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    seed: int = 0,
+    sketch_kwargs: dict | None = None,
+) -> DistributedIngestResult:
+    """Ingest ``items`` over ``workers`` remote shards and collect the merge.
+
+    ``transport`` is a backend name (``inproc``/``pipe``/``tcp``) or a
+    pre-built :class:`Transport` (e.g. a ``TcpTransport`` awaiting external
+    workers).  Either way the transport is *consumed*: a Transport launches
+    workers once, and this function shuts them down and closes every channel
+    before returning — pass a fresh instance per run.  ``items`` is any
+    iterable of ``(key, value)`` pairs — a
+    :class:`~repro.streams.items.Stream` works as-is.
+    """
+    backend = create_transport(transport) if isinstance(transport, str) else transport
+    coordinator = IngestCoordinator(
+        algorithm, memory_bytes, workers, backend, seed=seed, sketch_kwargs=sketch_kwargs
+    )
+    try:
+        start = time.perf_counter()
+        coordinator.send_stream(items, chunk_size=chunk_size)
+        shard_sketches, metas = coordinator.collect()
+        ingest_seconds = time.perf_counter() - start
+        bytes_sent = coordinator.bytes_sent
+        bytes_received = coordinator.bytes_received
+    finally:
+        coordinator.shutdown()
+
+    start = time.perf_counter()
+    merged = tree_merge([copy.deepcopy(sketch) for sketch in shard_sketches])
+    merge_seconds = time.perf_counter() - start
+
+    return DistributedIngestResult(
+        algorithm=algorithm,
+        transport=backend.name,
+        workers=workers,
+        seed=seed,
+        memory_bytes=memory_bytes,
+        shard_sketches=shard_sketches,
+        worker_metas=metas,
+        merged=merged,
+        items_per_worker=tuple(int(count) for count in coordinator.items_per_worker),
+        ingest_seconds=ingest_seconds,
+        merge_seconds=merge_seconds,
+        bytes_sent=bytes_sent,
+        bytes_received=bytes_received,
+    )

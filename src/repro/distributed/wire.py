@@ -1,0 +1,329 @@
+"""Wire format of the distributed-ingest subsystem.
+
+Every message is one *frame*::
+
+    +-------+---------+----------+-------------+----------------+
+    | magic | version | msg type | payload len |    payload     |
+    |  2 B  |   1 B   |   1 B    |  4 B (BE)   | payload-len B  |
+    +-------+---------+----------+-------------+----------------+
+
+The header is fixed-size and length-prefixed, so stream transports (TCP)
+can delimit frames without scanning, and message transports (queues,
+pipes) just carry whole frames.  The version byte is checked on every
+decode; a mismatch raises :class:`WireFormatError` instead of guessing.
+
+Two payload families do the real work:
+
+* **Batch payloads** (:func:`encode_batch` / :func:`decode_batch`) carry a
+  chunk of the key/value stream.  They reuse the packed per-key encodings of
+  the batch datapath (``EncodedKeyBatch.encoded`` — the ``key_to_bytes``
+  forms, which are reversible given a one-byte type tag), so the decoder
+  rebuilds an :class:`~repro.hashing.EncodedKeyBatch` *without re-encoding a
+  single key*.  Batches of small non-negative ints (the paper's 32-bit flow
+  IDs) take a denser vectorized path: one ``uint32`` array, no per-key work
+  on either side.
+* **State payloads** (:func:`encode_state` / :func:`decode_state`) carry a
+  sketch's table state (the :meth:`~repro.sketches.base.Sketch.state_snapshot`
+  arrays) as a JSON header plus raw C-order array bytes — the collector
+  restores them into a structurally identical replica and merges.
+
+The format is deliberately self-contained (no pickle): a frame's bytes mean
+the same thing on every platform, and a malformed frame fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Sequence
+
+import numpy as np
+
+from repro.hashing import EncodedKeyBatch
+
+MAGIC = b"RS"
+#: Bump on any incompatible layout change; decoders reject other versions.
+WIRE_VERSION = 1
+
+_FRAME_HEADER = struct.Struct(">2sBBI")
+FRAME_HEADER_SIZE = _FRAME_HEADER.size  # 8 bytes
+
+# Message types.
+MSG_CONFIG = 1  # collector -> worker: WorkerConfig JSON
+MSG_BATCH = 2  # collector -> worker: one routed key/value chunk
+MSG_SNAPSHOT_REQUEST = 3  # collector -> worker: send your state
+MSG_SNAPSHOT = 4  # worker -> collector: sketch state + ingest stats
+MSG_SHUTDOWN = 5  # collector -> worker: drain and exit
+
+_MESSAGE_TYPES = frozenset(
+    {MSG_CONFIG, MSG_BATCH, MSG_SNAPSHOT_REQUEST, MSG_SNAPSHOT, MSG_SHUTDOWN}
+)
+
+# Key-block modes of a batch payload.
+_KEYS_INT32 = 0  # all keys are ints in [0, 2^31): one uint32 array
+_KEYS_TAGGED = 1  # per-key type tag + length + key_to_bytes encoding
+
+# Per-key type tags of the tagged mode.
+_TAG_INT = 0
+_TAG_STR = 1
+_TAG_BYTES = 2
+
+# Value-block modes of a batch payload.
+_VALUES_ONES = 0  # every value is 1 (the paper's frequency streams)
+_VALUES_UNIFORM = 1  # one shared int64
+_VALUES_ARRAY = 2  # one int64 per key
+
+
+class WireFormatError(ValueError):
+    """A frame or payload violates the wire format (or its version)."""
+
+
+def encode_frame(msg_type: int, payload: bytes = b"") -> bytes:
+    """Wrap ``payload`` in a versioned, length-prefixed frame."""
+    if msg_type not in _MESSAGE_TYPES:
+        raise WireFormatError(f"unknown message type {msg_type}")
+    return _FRAME_HEADER.pack(MAGIC, WIRE_VERSION, msg_type, len(payload)) + payload
+
+
+def parse_frame_header(header: bytes) -> tuple[int, int]:
+    """Validate a frame header and return ``(msg_type, payload_length)``."""
+    if len(header) != FRAME_HEADER_SIZE:
+        raise WireFormatError(
+            f"frame header must be {FRAME_HEADER_SIZE} bytes, got {len(header)}"
+        )
+    magic, version, msg_type, payload_length = _FRAME_HEADER.unpack(header)
+    if magic != MAGIC:
+        raise WireFormatError(f"bad frame magic {magic!r}")
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"unsupported wire version {version} (expected {WIRE_VERSION})"
+        )
+    if msg_type not in _MESSAGE_TYPES:
+        raise WireFormatError(f"unknown message type {msg_type}")
+    return msg_type, payload_length
+
+
+def decode_frame(frame: bytes) -> tuple[int, bytes]:
+    """Split one whole frame into ``(msg_type, payload)``."""
+    msg_type, payload_length = parse_frame_header(frame[:FRAME_HEADER_SIZE])
+    payload = frame[FRAME_HEADER_SIZE:]
+    if len(payload) != payload_length:
+        raise WireFormatError(
+            f"frame payload is {len(payload)} bytes, header promised {payload_length}"
+        )
+    return msg_type, payload
+
+
+# ---------------------------------------------------------------------------
+# Batch payloads
+
+
+def _decode_zigzag_int(encoded: bytes) -> int:
+    """Invert the zigzag int encoding of ``key_to_bytes``."""
+    value = int.from_bytes(encoded, "little")
+    return -(value >> 1) if value & 1 else value >> 1
+
+
+def encode_batch(
+    keys: Sequence[object], values: Sequence[int] | np.ndarray | int | None = None
+) -> bytes:
+    """Serialize a key/value chunk into a ``MSG_BATCH`` payload.
+
+    ``keys`` may be a plain sequence or an :class:`EncodedKeyBatch`; passing
+    a batch whose encodings are already materialised (e.g. a routed
+    sub-batch) reuses them instead of re-encoding.  Stream order is
+    preserved — decode returns the keys in exactly this order, which is what
+    keeps remote ingest exact for order-dependent sketches.
+    """
+    batch = keys if isinstance(keys, EncodedKeyBatch) else EncodedKeyBatch(keys)
+    count = len(batch)
+    parts = [struct.pack(">I", count)]
+
+    if all(type(key) is int and 0 <= key < 2**31 for key in batch.keys):
+        parts.append(bytes([_KEYS_INT32]))
+        parts.append(np.asarray(batch.keys, dtype="<u4").tobytes())
+    else:
+        # Tag before touching the encodings: an unsupported key type must
+        # surface as a WireFormatError, not a hashing-layer TypeError.
+        tags = bytearray(count)
+        for position, key in enumerate(batch.keys):
+            if isinstance(key, bytes):
+                tags[position] = _TAG_BYTES
+            elif isinstance(key, str):
+                tags[position] = _TAG_STR
+            elif isinstance(key, int):
+                tags[position] = _TAG_INT
+            else:
+                raise WireFormatError(f"unsupported key type: {type(key)!r}")
+        encoded = batch.encoded
+        lengths = np.fromiter(
+            (len(blob) for blob in encoded), dtype="<u4", count=count
+        )
+        parts.append(bytes([_KEYS_TAGGED]))
+        parts.append(bytes(tags))
+        parts.append(lengths.tobytes())
+        parts.append(b"".join(encoded))
+
+    if values is None:
+        parts.append(bytes([_VALUES_ONES]))
+    elif isinstance(values, int):
+        parts.append(bytes([_VALUES_UNIFORM]) + struct.pack(">q", values))
+    else:
+        value_array = np.asarray(values, dtype=np.int64)
+        if value_array.shape != (count,):
+            raise WireFormatError("values must match the number of keys")
+        if count and (value_array == value_array[0]).all():
+            # Degenerate to the uniform mode (covers the all-ones frequency
+            # streams of the paper): 8 bytes instead of 8 per key.
+            parts.append(bytes([_VALUES_UNIFORM]) + struct.pack(">q", int(value_array[0])))
+        else:
+            parts.append(bytes([_VALUES_ARRAY]) + value_array.astype("<i8").tobytes())
+    return b"".join(parts)
+
+
+def decode_batch(payload: bytes) -> tuple[EncodedKeyBatch, np.ndarray]:
+    """Inverse of :func:`encode_batch`: ``(EncodedKeyBatch, int64 values)``.
+
+    In the tagged mode the returned batch is seeded with the transmitted
+    per-key encodings, so the receiving sketch's hash kernels pack them
+    straight into matrices — the encoding work of the batch datapath is paid
+    once at the sender, never again.
+    """
+    offset = 0
+
+    def read(size: int) -> bytes:
+        nonlocal offset
+        blob = payload[offset : offset + size]
+        if len(blob) != size:
+            raise WireFormatError("truncated batch payload")
+        offset += size
+        return blob
+
+    (count,) = struct.unpack(">I", read(4))
+    key_mode = read(1)[0]
+    if key_mode == _KEYS_INT32:
+        raw = np.frombuffer(read(4 * count), dtype="<u4")
+        # tolist() materialises Python ints in one C-level pass — this mode
+        # stays free of per-key Python work on both sides.
+        batch = EncodedKeyBatch(raw.tolist())
+    elif key_mode == _KEYS_TAGGED:
+        tags = read(count)
+        lengths = np.frombuffer(read(4 * count), dtype="<u4")
+        blob = read(int(lengths.sum()))
+        keys: list[object] = []
+        encoded: list[bytes] = []
+        position = 0
+        for tag, length in zip(tags, lengths):
+            piece = blob[position : position + int(length)]
+            position += int(length)
+            encoded.append(piece)
+            if tag == _TAG_BYTES:
+                keys.append(piece)
+            elif tag == _TAG_STR:
+                try:
+                    keys.append(piece.decode("utf-8"))
+                except UnicodeDecodeError as error:
+                    raise WireFormatError(f"malformed str key: {error}") from None
+            elif tag == _TAG_INT:
+                keys.append(_decode_zigzag_int(piece))
+            else:
+                raise WireFormatError(f"unknown key tag {tag}")
+        batch = EncodedKeyBatch(keys, _encoded=encoded)
+    else:
+        raise WireFormatError(f"unknown key mode {key_mode}")
+
+    value_mode = read(1)[0]
+    if value_mode == _VALUES_ONES:
+        values = np.ones(count, dtype=np.int64)
+    elif value_mode == _VALUES_UNIFORM:
+        (value,) = struct.unpack(">q", read(8))
+        values = np.full(count, value, dtype=np.int64)
+    elif value_mode == _VALUES_ARRAY:
+        values = np.frombuffer(read(8 * count), dtype="<i8").astype(np.int64)
+    else:
+        raise WireFormatError(f"unknown value mode {value_mode}")
+    if offset != len(payload):
+        raise WireFormatError("trailing bytes after batch payload")
+    return batch, values
+
+
+# ---------------------------------------------------------------------------
+# Sketch-state payloads
+
+
+def encode_state(
+    state: dict[str, np.ndarray], algorithm: str, meta: dict | None = None
+) -> bytes:
+    """Serialize a ``state_snapshot()`` dict into a ``MSG_SNAPSHOT`` payload.
+
+    ``algorithm`` names the registry entry the snapshot came from (the
+    collector validates it restores into the same family), ``meta`` carries
+    small JSON-serializable ingest stats (item counts, timings).
+    """
+    arrays = []
+    blobs = []
+    for name, array in state.items():
+        array = np.ascontiguousarray(array)
+        arrays.append({"name": name, "dtype": array.dtype.str, "shape": list(array.shape)})
+        blobs.append(array.tobytes())
+    header = json.dumps(
+        {"algorithm": algorithm, "arrays": arrays, "meta": meta or {}}
+    ).encode("utf-8")
+    return struct.pack(">I", len(header)) + header + b"".join(blobs)
+
+
+def decode_state(payload: bytes) -> tuple[dict[str, np.ndarray], str, dict]:
+    """Inverse of :func:`encode_state`: ``(state, algorithm, meta)``."""
+    if len(payload) < 4:
+        raise WireFormatError("truncated state payload")
+    (header_length,) = struct.unpack(">I", payload[:4])
+    header_end = 4 + header_length
+    if len(payload) < header_end:
+        raise WireFormatError("truncated state header")
+    try:
+        header = json.loads(payload[4:header_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireFormatError(f"malformed state header: {error}") from None
+    state: dict[str, np.ndarray] = {}
+    offset = header_end
+    try:
+        algorithm = header["algorithm"]
+        meta = header["meta"]
+        entries = [
+            (entry["name"], np.dtype(entry["dtype"]), tuple(entry["shape"]))
+            for entry in header["arrays"]
+        ]
+    except (KeyError, TypeError, ValueError) as error:
+        # Structurally invalid headers (missing keys, bogus dtypes) must
+        # honour the module contract: WireFormatError, never a raw escape.
+        raise WireFormatError(f"invalid state header: {error!r}") from None
+    for name, dtype, shape in entries:
+        size = dtype.itemsize * int(np.prod(shape, dtype=np.int64)) if shape else dtype.itemsize
+        blob = payload[offset : offset + size]
+        if len(blob) != size:
+            raise WireFormatError(f"truncated array {name!r}")
+        offset += size
+        state[name] = np.frombuffer(blob, dtype=dtype).reshape(shape).copy()
+    if offset != len(payload):
+        raise WireFormatError("trailing bytes after state payload")
+    return state, algorithm, meta
+
+
+# ---------------------------------------------------------------------------
+# Config payloads
+
+
+def encode_config(config: dict) -> bytes:
+    """Serialize a worker-configuration dict (JSON, UTF-8)."""
+    return json.dumps(config).encode("utf-8")
+
+
+def decode_config(payload: bytes) -> dict:
+    """Inverse of :func:`encode_config`."""
+    try:
+        config = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireFormatError(f"malformed config payload: {error}") from None
+    if not isinstance(config, dict):
+        raise WireFormatError("config payload must be a JSON object")
+    return config

@@ -35,18 +35,21 @@ def average_error_sweep(
     batch_size: int | None = None,
     shards: int = 1,
     workers: int = 1,
+    transport: str | None = None,
 ) -> list[ErrorCurve]:
     """AAE and ARE as a function of memory (Figures 8 and 9).
 
-    The (algorithm × memory) grid fans out over ``workers`` processes;
-    results are bit-identical to the sequential sweep.
+    The (algorithm × memory) grid fans out over ``workers`` processes and
+    sharded fills optionally run on remote ingest workers (``transport``);
+    results are bit-identical to the sequential in-process sweep.
     """
     stream = dataset(dataset_name, scale=scale, seed=seed + 1)
     if memory_points is None:
         memory_points = scaled_memory_points(PAPER_MEMORY_SWEEP_MB, scale)
     algorithms = algorithms or competitor_names("error")
     settings = ExperimentSettings(
-        tolerance=tolerance, seed=seed, batch_size=batch_size, shards=shards, workers=workers
+        tolerance=tolerance, seed=seed, batch_size=batch_size, shards=shards,
+        workers=workers, transport=transport,
     )
 
     grid = run_grid(algorithms, memory_points, stream, settings)

@@ -54,21 +54,24 @@ def outliers_vs_memory(
     batch_size: int | None = None,
     shards: int = 1,
     workers: int = 1,
+    transport: str | None = None,
 ) -> list[OutlierCurve]:
     """#Outliers as a function of memory (Figure 4 for Λ∈{5,25}, Figure 6 per dataset).
 
-    ``batch_size`` switches the sketch-filling loop to the batch datapath and
-    ``workers`` fans the (algorithm × memory) grid out over a process pool;
-    the curves are unchanged by either (batch inserts are bit-identical and
-    grid cells are independent), they only shorten the sweep's wall-clock
-    time.
+    ``batch_size`` switches the sketch-filling loop to the batch datapath,
+    ``workers`` fans the (algorithm × memory) grid out over a process pool,
+    and ``transport`` runs the sharded fills on remote ingest workers; the
+    curves are unchanged by any of them (batch inserts are bit-identical,
+    grid cells are independent, remote routing equals local routing), they
+    only change where and how fast the sweep runs.
     """
     stream = dataset(dataset_name, scale=scale, seed=seed + 1)
     if memory_points is None:
         memory_points = scaled_memory_points(PAPER_MEMORY_SWEEP_MB, scale)
     algorithms = algorithms or competitor_names("outliers")
     settings = ExperimentSettings(
-        tolerance=tolerance, seed=seed, batch_size=batch_size, shards=shards, workers=workers
+        tolerance=tolerance, seed=seed, batch_size=batch_size, shards=shards,
+        workers=workers, transport=transport,
     )
 
     grid = run_grid(algorithms, memory_points, stream, settings)

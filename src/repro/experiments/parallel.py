@@ -18,6 +18,14 @@ harness relies on:
 
 Task functions must be module-level (picklable) callables of the form
 ``fn(shared, task)``.
+
+This is the *experiment-level* parallelism layer: whole (algorithm ×
+memory) cells fan out, each filling its sketches in-process.  It composes
+freely with the *ingest-level* layers below it — sharded construction
+(``ExperimentSettings.shards``) and remote ingest over a transport
+(``ExperimentSettings.transport``, :mod:`repro.distributed`) — because all
+three are exactness-preserving.  ``docs/architecture.md`` (§3) has the
+diagram and the contract.
 """
 
 from __future__ import annotations

@@ -11,11 +11,14 @@ Every figure of §6 boils down to some combination of the helpers here:
   :func:`minimum_memory_for_target_aae` — the memory-search loops behind
   Figures 5 and 11–15.
 
-Two scaling knobs thread through everything: ``shards`` builds every sketch
-as a :class:`~repro.sketches.sharded.ShardedSketch` of identically-seeded
-replicas (the distributed-ingest model), and ``workers`` runs grid sweeps in
-parallel with deterministic per-task seeds, so parallel results are
-bit-identical to sequential ones.
+Three scaling knobs thread through everything: ``shards`` builds every
+sketch as a :class:`~repro.sketches.sharded.ShardedSketch` of
+identically-seeded replicas (the distributed-ingest model), ``workers`` runs
+grid sweeps in parallel with deterministic per-task seeds (parallel results
+are bit-identical to sequential ones), and ``transport`` executes the
+sharded fill on remote workers over a wire (``repro.distributed``) instead
+of in-process — also bit-identical, because remote routing reuses the local
+partition hash.
 
 Ground truth is computed once per stream (``stream.counts()`` is cached on
 the Stream, and the grid/search helpers thread the counter dict explicitly
@@ -57,6 +60,17 @@ class ExperimentSettings:
     #: Process-pool width for grid sweeps; ``1`` is sequential, ``0`` means
     #: one worker per CPU core.  Results are bit-identical either way.
     workers: int = 1
+    #: Transport backend for distributed ingest (``"inproc"``, ``"pipe"`` or
+    #: ``"tcp"``); ``None`` fills sketches in-process.  With a transport set,
+    #: mergeable families ingest on ``shards`` remote workers (one shard per
+    #: worker, batches shipped as wire frames) and the evaluated sketch is
+    #: rebuilt from the collected worker snapshots — bit-identical to the
+    #: local sharded fill, because key->worker placement reuses the exact
+    #: ShardedSketch partition.  Families without snapshot support fall back
+    #: to the local fill over the identical partition, so a grid mixing both
+    #: kinds stays comparable.  Purely an execution knob: results never
+    #: change, only where the ingest work runs.
+    transport: str | None = None
     #: Extra keyword arguments forwarded to the sketch constructors.
     sketch_kwargs: dict = field(default_factory=dict)
 
@@ -109,6 +123,40 @@ def _sketch_factory(name: str, settings: ExperimentSettings) -> Callable[[float]
     return build
 
 
+def _fill_sketch(
+    name: str, memory_bytes: float, stream: Stream, settings: ExperimentSettings
+) -> Sketch:
+    """Build and fill one sketch, locally or over the configured transport.
+
+    The distributed path (``settings.transport``) ships routed batches to
+    ``settings.shards`` remote workers and restores their snapshots into a
+    :class:`ShardedSketch` — bit-identical to the local sharded fill because
+    both use the same partition router.  Sketches without snapshot support
+    (the non-mergeable families) take the local path over the identical
+    partition, which produces the same state remote ingest would.
+    """
+    if settings.transport is not None:
+        from repro.distributed import run_distributed_ingest
+        from repro.distributed.ingest import DEFAULT_CHUNK_SIZE
+        from repro.sketches.registry import is_mergeable
+
+        if is_mergeable(name):
+            result = run_distributed_ingest(
+                name,
+                memory_bytes,
+                stream,
+                workers=settings.shards,
+                transport=settings.transport,
+                chunk_size=settings.batch_size or DEFAULT_CHUNK_SIZE,
+                seed=settings.seed,
+                sketch_kwargs=settings.sketch_kwargs,
+            )
+            return result.sharded()
+    sketch = _sketch_factory(name, settings)(memory_bytes)
+    sketch.insert_stream(stream, batch_size=settings.batch_size)
+    return sketch
+
+
 def run_sketch(
     name: str,
     memory_bytes: float,
@@ -124,8 +172,7 @@ def run_sketch(
     (omitted, it falls back to the stream's cached counter).
     """
     settings = settings or ExperimentSettings()
-    sketch = _sketch_factory(name, settings)(memory_bytes)
-    sketch.insert_stream(stream, batch_size=settings.batch_size)
+    sketch = _fill_sketch(name, memory_bytes, stream, settings)
     if counts is None:
         counts = stream.counts()
     report = evaluate_accuracy(counts, sketch.query, settings.tolerance, keys=keys)

@@ -19,6 +19,14 @@ sketches fed disjoint partitions of a stream is bit-identical to one sketch
 fed the whole stream.  Order-dependent sketches either raise
 :class:`UnmergeableSketchError` or, like CU, document the weaker guarantee
 their merge provides.
+
+The distributed-ingest subsystem (``repro.distributed``) extends the merge
+contract with *state snapshots*: mergeable sketches implement
+:meth:`Sketch.state_snapshot` / :meth:`Sketch.state_restore` so a remote
+worker can ship its table state over a wire to a collector, which restores
+it into a structurally identical replica and merges.  Restoring a snapshot
+must reproduce the donor sketch exactly (every query answers identically),
+which is what makes remote ingest bit-identical to local ingest.
 """
 
 from __future__ import annotations
@@ -138,6 +146,49 @@ class Sketch(abc.ABC):
             f"{type(self).__name__} ({self.name}) does not support lossless merging; "
             "only sketches with mergeable=True implement merge()"
         )
+
+    def state_snapshot(self) -> dict[str, np.ndarray]:
+        """Mutable table state as named arrays (mergeable sketches only).
+
+        The snapshot is a *copy*: mutating the sketch afterwards does not
+        change it.  Together with :meth:`state_restore` this is the transfer
+        half of the merge contract — ``repro.distributed.wire`` serializes
+        snapshots so remote workers can ship shard state to a collector.
+        """
+        raise UnmergeableSketchError(
+            f"{type(self).__name__} ({self.name}) does not support state snapshots; "
+            "only sketches with mergeable=True implement state_snapshot()"
+        )
+
+    def state_restore(self, state: dict[str, np.ndarray]) -> None:
+        """Overwrite this sketch's table state from a snapshot, in place.
+
+        The receiving sketch must be a structurally identical peer of the
+        snapshot's donor (same class, geometry and hash seeds — e.g. built
+        from the registry with the donor's configuration); after restoring,
+        every query answers exactly as the donor would.  Array shapes are
+        validated; geometry/seed equality is the caller's contract, exactly
+        as for :meth:`merge`.
+        """
+        raise UnmergeableSketchError(
+            f"{type(self).__name__} ({self.name}) does not support state snapshots; "
+            "only sketches with mergeable=True implement state_restore()"
+        )
+
+    def _check_snapshot_shape(self, state: dict[str, np.ndarray], key: str,
+                              shape: tuple[int, ...]) -> np.ndarray:
+        """Shared restore validation: ``key`` present with the expected shape."""
+        try:
+            array = state[key]
+        except KeyError:
+            raise ValueError(f"snapshot is missing the {key!r} array") from None
+        array = np.asarray(array)
+        if array.shape != shape:
+            raise ValueError(
+                f"cannot restore {self.name} snapshot: {key!r} has shape "
+                f"{array.shape}, expected {shape}"
+            )
+        return array
 
     def _check_merge_peer(self, other: "Sketch", attributes: Sequence[str]) -> None:
         """Shared merge validation: same class and identical named attributes.

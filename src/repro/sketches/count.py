@@ -98,6 +98,14 @@ class CountSketch(Sketch):
         self._tables += other._tables
         return self
 
+    def state_snapshot(self) -> dict[str, np.ndarray]:
+        """The signed counter matrix — the whole mutable state of the sketch."""
+        return {"tables": self._tables.copy()}
+
+    def state_restore(self, state: dict[str, np.ndarray]) -> None:
+        tables = self._check_snapshot_shape(state, "tables", self._tables.shape)
+        self._tables = tables.astype(np.int64, copy=True)
+
     def memory_bytes(self) -> float:
         return COUNTER_32.bytes_for(self.depth * self.width)
 

@@ -111,6 +111,15 @@ class CUSketch(Sketch):
         self._tables_array = None
         return self
 
+    def state_snapshot(self) -> dict[str, np.ndarray]:
+        """The counter rows as one ``int64`` matrix (CU stores Python lists)."""
+        return {"tables": np.asarray(self._tables, dtype=np.int64)}
+
+    def state_restore(self, state: dict[str, np.ndarray]) -> None:
+        tables = self._check_snapshot_shape(state, "tables", (self.depth, self.width))
+        self._tables = [[int(value) for value in row] for row in tables]
+        self._tables_array = None
+
     def memory_bytes(self) -> float:
         return COUNTER_32.bytes_for(self.depth * self.width)
 

@@ -21,6 +21,12 @@ partitions an :class:`~repro.hashing.EncodedKeyBatch`, and each shard
 receives a routed *sub-batch* that reuses the parent batch's packed
 encodings (``EncodedKeyBatch.take``), so keys are encoded once no matter how
 many shards or hash arrays touch them.
+
+:func:`partition_router` is the *single* definition of key->shard
+placement: the distributed coordinator (:mod:`repro.distributed.ingest`)
+routes with the same hash, which is what makes ingest on remote workers
+bit-identical to this local wrapper.  ``docs/architecture.md`` (§2, §4)
+diagrams both layers; ``docs/api.md`` states the public contract.
 """
 
 from __future__ import annotations
@@ -38,6 +44,33 @@ from repro.sketches.base import Sketch, UnmergeableSketchError
 #: Salt folded into the master seed for the partition hash, so the router is
 #: independent of every hash the per-shard sketches draw from the same seed.
 _PARTITION_SALT = 0x53484152  # "SHAR"
+
+
+def partition_router(seed: int, shards: int) -> HashFunction:
+    """The canonical key->shard partition hash for ``shards`` partitions.
+
+    This single definition is shared by :class:`ShardedSketch` and the
+    distributed coordinator (``repro.distributed.ingest``), so local sharding
+    and remote ingest place every key on the same shard — the property that
+    keeps remote ingest exact for order-dependent families (each key's whole
+    history reaches one worker, in stream order).
+    """
+    if shards <= 0:
+        raise ValueError("shard count must be positive")
+    return HashFunction(derive_seed(seed ^ _PARTITION_SALT, 0), shards)
+
+
+def partition_positions(router: HashFunction, batch: EncodedKeyBatch) -> list[np.ndarray]:
+    """Per-shard position arrays of ``batch`` (ascending: stream order survives).
+
+    One vectorized murmur evaluation of the whole batch, then one
+    ``np.nonzero`` per shard; ``batch.take(positions)`` turns each position
+    array into a routed sub-batch that reuses the parent's packed encodings.
+    """
+    shard_ids = router.index_batch(batch)
+    return [
+        np.nonzero(shard_ids == shard_id)[0] for shard_id in range(router.width)
+    ]
 
 
 class ShardedSketch(Sketch):
@@ -66,9 +99,7 @@ class ShardedSketch(Sketch):
         self.seed = seed
         self.name = f"Sharded[{self.shards[0].name}x{len(self.shards)}]"
         self.mergeable = all(shard.mergeable for shard in self.shards)
-        self._router = HashFunction(
-            derive_seed(seed ^ _PARTITION_SALT, 0), len(self.shards)
-        )
+        self._router = partition_router(seed, len(self.shards))
         #: Items ingested per shard — the raw series behind per-shard
         #: throughput accounting (`repro.metrics.throughput.shard_load_report`).
         self.items_per_shard = np.zeros(len(self.shards), dtype=np.int64)
@@ -110,11 +141,7 @@ class ShardedSketch(Sketch):
 
     def _partition(self, batch: EncodedKeyBatch) -> list[np.ndarray]:
         """Per-shard position arrays (ascending, so stream order survives)."""
-        shard_ids = self._router.index_batch(batch)
-        return [
-            np.nonzero(shard_ids == shard_id)[0]
-            for shard_id in range(len(self.shards))
-        ]
+        return partition_positions(self._router, batch)
 
     def insert(self, key: object, value: int = 1) -> None:
         self._check_insert(value)

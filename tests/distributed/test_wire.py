@@ -1,0 +1,224 @@
+"""Wire-format round-trips: serialize -> deserialize must be the identity.
+
+Property-tested (Hypothesis) across key dtypes — small ints (the dense
+uint32 mode), large/negative ints, strings, bytes, and mixtures (the tagged
+mode) — plus empty batches, every value mode, and the state payloads of
+every mergeable sketch family.  Malformed frames must fail loudly with
+:class:`WireFormatError`, never decode to garbage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import wire
+from repro.distributed.wire import (
+    MSG_BATCH,
+    WireFormatError,
+    decode_batch,
+    decode_config,
+    decode_frame,
+    decode_state,
+    encode_batch,
+    encode_config,
+    encode_frame,
+    encode_state,
+)
+from repro.hashing import EncodedKeyBatch
+from repro.sketches.registry import build_sketch, mergeable_names
+
+# Key strategies mirror the supported stream key types.
+small_ints = st.integers(min_value=0, max_value=2**31 - 1)
+any_ints = st.integers(min_value=-(2**80), max_value=2**80)
+texts = st.text(max_size=24)
+blobs = st.binary(max_size=24)
+mixed_keys = st.one_of(any_ints, texts, blobs)
+
+
+def roundtrip(keys, values=None):
+    batch, decoded_values = decode_batch(encode_batch(keys, values))
+    return list(batch.keys), decoded_values
+
+
+@given(st.lists(small_ints, max_size=64))
+@settings(max_examples=60, deadline=None)
+def test_small_int_batches_roundtrip(keys):
+    decoded, values = roundtrip(keys)
+    assert decoded == keys
+    assert values.tolist() == [1] * len(keys)
+
+
+@given(st.lists(mixed_keys, max_size=64))
+@settings(max_examples=60, deadline=None)
+def test_mixed_key_batches_roundtrip(keys):
+    decoded, _ = roundtrip(keys)
+    assert decoded == keys
+    # Type-exact: 1 (int) must not come back as "1" (str) or b"\x01".
+    assert [type(key) for key in decoded] == [type(key) for key in keys]
+
+
+@given(st.lists(st.tuples(mixed_keys, st.integers(min_value=1, max_value=2**40)), max_size=48))
+@settings(max_examples=60, deadline=None)
+def test_key_value_batches_roundtrip(pairs):
+    keys = [key for key, _ in pairs]
+    values = [value for _, value in pairs]
+    decoded_keys, decoded_values = roundtrip(keys, values)
+    assert decoded_keys == keys
+    assert decoded_values.tolist() == values
+    assert decoded_values.dtype == np.int64
+
+
+def test_empty_batch_roundtrips():
+    decoded, values = roundtrip([])
+    assert decoded == []
+    assert values.shape == (0,)
+
+
+def test_uniform_and_scalar_values_roundtrip():
+    _, values = roundtrip([1, 2, 3], 7)
+    assert values.tolist() == [7, 7, 7]
+    # A constant array degrades to the compact uniform mode transparently.
+    _, values = roundtrip([1, 2, 3], [5, 5, 5])
+    assert values.tolist() == [5, 5, 5]
+
+
+def test_decoded_batch_reuses_transmitted_encodings():
+    """Tagged-mode decode must seed the batch with the wire encodings."""
+    keys = ["flow-a", b"raw", -17, 2**40]
+    source = EncodedKeyBatch(keys)
+    batch, _ = decode_batch(encode_batch(source))
+    assert batch._encoded == source.encoded
+
+
+def test_routed_subbatch_roundtrips():
+    """The coordinator's take() sub-batches serialize like fresh batches."""
+    parent = EncodedKeyBatch([5, "x", b"y", 9, 2**50])
+    sub = parent.take(np.asarray([0, 2, 4]))
+    decoded, _ = roundtrip(sub)
+    assert decoded == [5, b"y", 2**50]
+
+
+def test_value_length_mismatch_rejected():
+    with pytest.raises(WireFormatError):
+        encode_batch([1, 2, 3], [1, 2])
+
+
+def test_unsupported_key_type_rejected():
+    with pytest.raises(WireFormatError):
+        encode_batch([1.5])
+
+
+@pytest.mark.parametrize("name", sorted(mergeable_names()))
+def test_sketch_state_roundtrips(name):
+    """State payloads restore into replicas that answer queries identically."""
+    donor = build_sketch(name, 4096, seed=3)
+    items = [(key % 37, 1 + key % 5) for key in range(500)]
+    donor.insert_batch([key for key, _ in items], [value for _, value in items])
+
+    payload = encode_state(donor.state_snapshot(), name, {"items": len(items)})
+    state, algorithm, meta = decode_state(payload)
+    assert algorithm == name
+    assert meta == {"items": len(items)}
+
+    replica = build_sketch(name, 4096, seed=3)
+    replica.state_restore(state)
+    keys = sorted({key for key, _ in items}) + [999_999]
+    assert replica.query_batch(keys).tolist() == donor.query_batch(keys).tolist()
+
+
+def test_state_snapshot_is_a_copy():
+    sketch = build_sketch("CM_fast", 4096, seed=0)
+    sketch.insert(1, 5)
+    snapshot = sketch.state_snapshot()
+    sketch.insert(1, 5)
+    replica = build_sketch("CM_fast", 4096, seed=0)
+    replica.state_restore(snapshot)
+    assert replica.query(1) == 5
+    assert sketch.query(1) == 10
+
+
+def test_state_restore_validates_shape():
+    sketch = build_sketch("CM_fast", 4096, seed=0)
+    with pytest.raises(ValueError):
+        sketch.state_restore({"tables": np.zeros((1, 1), dtype=np.int64)})
+    with pytest.raises(ValueError):
+        sketch.state_restore({"wrong-name": np.zeros((1, 1), dtype=np.int64)})
+
+
+def test_unmergeable_sketches_refuse_snapshots():
+    from repro.sketches.base import UnmergeableSketchError
+
+    sketch = build_sketch("Elastic", 4096, seed=0)
+    with pytest.raises(UnmergeableSketchError):
+        sketch.state_snapshot()
+    with pytest.raises(UnmergeableSketchError):
+        sketch.state_restore({})
+
+
+def test_frame_roundtrip_and_validation():
+    frame = encode_frame(MSG_BATCH, b"payload")
+    assert decode_frame(frame) == (MSG_BATCH, b"payload")
+
+    with pytest.raises(WireFormatError):
+        encode_frame(99, b"")
+    with pytest.raises(WireFormatError):
+        decode_frame(b"XX" + frame[2:])  # bad magic
+    with pytest.raises(WireFormatError):
+        decode_frame(frame[:2] + bytes([wire.WIRE_VERSION + 1]) + frame[3:])  # version
+    with pytest.raises(WireFormatError):
+        decode_frame(frame[:-2])  # truncated payload
+    with pytest.raises(WireFormatError):
+        decode_frame(frame[: wire.FRAME_HEADER_SIZE - 1])  # truncated header
+
+
+@given(st.binary(max_size=64))
+@settings(max_examples=60, deadline=None)
+def test_malformed_batch_payloads_never_crash(payload):
+    """Arbitrary bytes either decode cleanly or raise WireFormatError."""
+    try:
+        batch, values = decode_batch(payload)
+    except WireFormatError:
+        return
+    assert len(batch) == len(values)
+
+
+def test_truncated_state_payloads_rejected():
+    payload = encode_state({"tables": np.arange(6).reshape(2, 3)}, "CM_fast", {})
+    with pytest.raises(WireFormatError):
+        decode_state(payload[:-4])
+    with pytest.raises(WireFormatError):
+        decode_state(payload + b"extra")
+    with pytest.raises(WireFormatError):
+        decode_state(b"\x00\x00")
+
+
+def test_structurally_invalid_state_headers_rejected():
+    """Valid JSON with the wrong shape must still raise WireFormatError."""
+    import json
+    import struct
+
+    def payload_for(header: dict) -> bytes:
+        blob = json.dumps(header).encode("utf-8")
+        return struct.pack(">I", len(blob)) + blob
+
+    for header in (
+        {},  # no arrays/algorithm/meta at all
+        {"algorithm": "CM_fast", "meta": {}},  # missing arrays
+        {"algorithm": "CM_fast", "meta": {}, "arrays": [{}]},  # entry missing keys
+        {"algorithm": "CM_fast", "meta": {},
+         "arrays": [{"name": "t", "dtype": "not-a-dtype", "shape": [1]}]},
+    ):
+        with pytest.raises(WireFormatError):
+            decode_state(payload_for(header))
+
+
+def test_config_roundtrip_and_validation():
+    config = {"algorithm": "CM_fast", "memory_bytes": 4096.0, "shard_id": 1}
+    assert decode_config(encode_config(config)) == config
+    with pytest.raises(WireFormatError):
+        decode_config(b"\xff\xfe")
+    with pytest.raises(WireFormatError):
+        decode_config(b"[1, 2]")

@@ -62,6 +62,69 @@ def test_table_commands_print_output(capsys):
     assert "Stateful ALU" in output
 
 
+def test_transport_option_parsing():
+    args = build_parser().parse_args(["fig4", "--shards", "2", "--transport", "inproc"])
+    assert args.transport == "inproc"
+    assert build_parser().parse_args(["fig4"]).transport is None
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig4", "--transport", "smoke-signals"])
+
+
+def test_transport_rejected_by_unsupporting_commands():
+    # --transport is a pure execution knob, but commands that would silently
+    # ignore it must reject it (mirrors the --shards policy).
+    for experiment in ("fig5", "fig10", "fig16", "table1", "ingest-worker"):
+        with pytest.raises(SystemExit):
+            main([experiment, "--transport", "inproc"])
+
+
+def test_ingest_only_flags_rejected_elsewhere():
+    # Mirrors the --shards policy: result-shaping ingest flags must never be
+    # silently ignored by the figure/table commands.
+    for flags in (["--algorithm", "CM_fast"], ["--count", "500"],
+                  ["--skew", "2.0"], ["--memory-bytes", "1024"],
+                  ["--connect", "x:1"], ["--verify"]):
+        with pytest.raises(SystemExit):
+            main(["fig4", *flags])
+
+
+def test_ingest_worker_connection_refused_is_clean():
+    # An unreachable collector must surface as an argparse error (exit 2),
+    # not an OSError traceback.
+    with pytest.raises(SystemExit) as excinfo:
+        main(["ingest-worker", "--connect", "127.0.0.1:39997"])
+    assert excinfo.value.code == 2
+
+
+def test_ingest_collect_validation():
+    with pytest.raises(SystemExit):
+        main(["ingest-collect", "--algorithm", "Elastic"])  # unmergeable
+    with pytest.raises(SystemExit):
+        main(["ingest-collect", "--algorithm", "NoSuchSketch"])
+    with pytest.raises(SystemExit):
+        main(["ingest-collect", "--bind", "127.0.0.1:0"])  # bind needs tcp
+    with pytest.raises(SystemExit):
+        main(["ingest-collect", "--transport", "tcp", "--bind", "no-port"])
+
+
+def test_ingest_collect_inproc_end_to_end(capsys):
+    assert main([
+        "ingest-collect", "--transport", "inproc", "--shards", "2",
+        "--count", "4000", "--memory-bytes", "8192", "--verify",
+    ]) == 0
+    output = capsys.readouterr().out
+    assert "2 workers over inproc" in output
+    assert "bit-identical to single-node ingest: True" in output
+
+
+def test_ingest_collect_tcp_self_hosted(capsys):
+    assert main([
+        "ingest-collect", "--transport", "tcp", "--shards", "2",
+        "--count", "2000", "--memory-bytes", "8192",
+    ]) == 0
+    assert "tree-merged 2 snapshots" in capsys.readouterr().out
+
+
 def test_fig17_command_runs_small(capsys):
     assert main(["fig17", "--scale", "0.001"]) == 0
     assert "containing truth" in capsys.readouterr().out

@@ -1,0 +1,48 @@
+"""The docs link contract, enforced locally (CI runs tools/check_links.py).
+
+Every intra-repository link in README.md and docs/*.md must resolve; the
+figure index must actually cover every ``benchmarks/test_fig*.py`` file, so
+a new figure benchmark cannot land undocumented.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_links import check_file, iter_markdown_files  # noqa: E402
+
+
+def test_docs_cover_the_expected_files():
+    names = [path.name for path in iter_markdown_files(REPO_ROOT)]
+    assert names[0] == "README.md"
+    assert {"architecture.md", "api.md", "benchmarks.md", "figures.md"} <= set(names)
+
+
+def test_no_broken_intra_repo_links():
+    errors = [
+        error
+        for path in iter_markdown_files(REPO_ROOT)
+        for error in check_file(path, REPO_ROOT)
+    ]
+    assert not errors, "\n".join(errors)
+
+
+def test_figures_doc_maps_every_figure_benchmark():
+    documented = (REPO_ROOT / "docs" / "figures.md").read_text()
+    benchmark_names = sorted(
+        path.name for path in (REPO_ROOT / "benchmarks").glob("test_*.py")
+    )
+    missing = [name for name in benchmark_names if name not in documented]
+    assert not missing, f"benchmarks missing from docs/figures.md: {missing}"
+
+
+def test_figures_doc_links_resolve_to_real_drivers():
+    """Driver-module links in the index must point at existing modules."""
+    text = (REPO_ROOT / "docs" / "figures.md").read_text()
+    for target in re.findall(r"\]\((\.\./src/repro/[^)#]+)\)", text):
+        assert (REPO_ROOT / "docs" / target).resolve().exists(), target

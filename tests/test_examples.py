@@ -1,0 +1,57 @@
+"""Smoke tests for the runnable walkthroughs under ``examples/``.
+
+Each script runs in a subprocess exactly as the README instructs
+(``PYTHONPATH=src python examples/<name>.py``) so a broken import of
+``repro``, a renamed public symbol, or a crashed walkthrough fails the
+tier-1 suite instead of rotting silently.  The two trace-heavy examples
+honour ``REPRO_EXAMPLE_SCALE`` to keep the smoke runs fast.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+#: Output every example must contain — proves the walkthrough reached its
+#: point, not just that Python exited zero.
+EXPECTED_OUTPUT = {
+    "compare_sketches.py": "Algorithm",
+    "error_guarantees.py": "error",
+    "heavy_hitters.py": "precision / recall",
+    "quickstart.py": "estimate",
+    "switch_deployment.py": "bit-identical to a single collector-side sketch: True",
+}
+
+
+def test_every_example_is_covered():
+    """A new example must register an expected-output marker here."""
+    assert [path.name for path in EXAMPLES] == sorted(EXPECTED_OUTPUT)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda path: path.name)
+def test_example_runs(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_EXAMPLE_SCALE"] = "0.004"
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=280,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} exited {completed.returncode}:\n{completed.stderr[-2000:]}"
+    )
+    marker = EXPECTED_OUTPUT[script.name]
+    assert marker.lower() in completed.stdout.lower(), (
+        f"{script.name} ran but its output lost the marker {marker!r}"
+    )

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repository links in the Markdown docs.
+
+Checks every ``[text](target)`` in ``README.md`` and ``docs/*.md``:
+
+* relative targets must resolve to an existing file or directory
+  (anchors are stripped; ``#section`` anchors themselves are not verified);
+* absolute paths and bare anchors are rejected (not portable across
+  checkouts / rendered views);
+* external URLs (``http://``, ``https://``, ``mailto:``) are skipped —
+  this is an offline, deterministic check.
+
+Run from the repository root (CI's docs job does)::
+
+    python tools/check_links.py
+
+Exits non-zero listing every broken link.  Also exercised by
+``tests/test_docs_links.py`` so the tier-1 suite catches breakage locally.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline Markdown links; images share the syntax via the optional ``!``.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_markdown_files(root: Path) -> list[Path]:
+    """The documentation set this repository promises to keep link-clean."""
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """Return one human-readable error per broken link in ``path``."""
+    errors = []
+    for line_number, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL):
+                continue
+            where = f"{path.relative_to(root)}:{line_number}"
+            if target.startswith("#"):
+                # Bare anchors depend on the renderer's heading-slug rules;
+                # the docs link to files instead.
+                errors.append(f"{where}: bare anchor link {target!r}")
+                continue
+            if target.startswith("/"):
+                errors.append(f"{where}: absolute path {target!r}")
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                errors.append(f"{where}: broken link {target!r}")
+    return errors
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = iter_markdown_files(root)
+    errors = [error for path in files for error in check_file(path, root)]
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} markdown files: "
+          f"{'OK' if not errors else f'{len(errors)} broken links'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
