@@ -1,0 +1,201 @@
+"""Conflict-free update kernels vs. the PR 1 per-item batch loops.
+
+Measures, for every order-dependent family ported onto the kernel
+subsystem (CU, ReliableSketch with and without the mice filter, Elastic)
+and for every available kernel backend (``python-replay``,
+``numpy-grouped``, and ``numba`` when installed), the batch-insert and
+batch-query throughput over the same Zipfian workload
+``bench_batch_throughput.py`` uses — and verifies on the *full stream*
+that each backend leaves the sketch bit-identical to the scalar insert
+loop (estimates for every key, hash-call accounting and, for
+ReliableSketch, the failure/settling statistics).
+
+The ``python-replay`` rows double as an in-run baseline (they replay per
+item, like the pre-kernel batch path); the committed PR 1 numbers are
+read from ``BENCH_throughput.json`` so the JSON also records the speedup
+against the recorded history.
+
+Not collected by pytest (the module name avoids the ``test_`` prefix); run
+it directly::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py
+    PYTHONPATH=src python benchmarks/bench_kernels.py --count 100000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import ReliableSketch
+from repro.kernels import available_backends, use_backend
+from repro.metrics.throughput import measure_batch_throughput
+from repro.sketches.registry import build_sketch
+from repro.streams.synthetic import zipf_stream
+
+#: Families whose order-dependent inner loops run on the kernel subsystem.
+FAMILIES = ("CU_fast", "Ours", "Ours(Raw)", "Elastic")
+
+DEFAULT_COUNT = 1_000_000
+DEFAULT_SKEW = 1.1
+DEFAULT_CHUNK = 65_536
+DEFAULT_MEMORY_BYTES = 64 * 1024
+
+
+def _fill_batched(sketch, items, chunk_size):
+    return measure_batch_throughput(
+        lambda chunk, s=sketch: s.insert_batch(
+            [item[0] for item in chunk], [item[1] for item in chunk]
+        ),
+        items,
+        chunk_size,
+    )
+
+
+def _bit_identical(reference, expected, insert_calls, candidate, keys) -> bool:
+    """Full-stream equivalence: estimates, insert hash calls, statistics.
+
+    ``expected`` and ``insert_calls`` are the reference's estimates and
+    post-fill hash-call counter, captured once per family; the candidate's
+    counter is read before its own queries so both sides count exactly the
+    insert-time hashing.
+    """
+    if candidate.hash_calls() != insert_calls:
+        return False
+    if not bool((candidate.query_batch(keys) == expected).all()):
+        return False
+    if isinstance(reference, ReliableSketch):
+        if reference.insert_failures != candidate.insert_failures:
+            return False
+        if reference.inserts_settled_per_layer != candidate.inserts_settled_per_layer:
+            return False
+    return True
+
+
+def _load_pr1_baselines(path: Path) -> dict[str, float]:
+    """Committed PR 1 batch-insert ips by family (empty if unavailable)."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+    return {
+        row["algorithm"]: row["batch_insert_ips"]
+        for row in payload.get("results", [])
+        if "batch_insert_ips" in row
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--count", type=int, default=DEFAULT_COUNT,
+                        help="stream length (default: %(default)s)")
+    parser.add_argument("--skew", type=float, default=DEFAULT_SKEW,
+                        help="Zipf skew (default: %(default)s)")
+    parser.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK,
+                        help="batch chunk size (default: %(default)s)")
+    parser.add_argument("--memory-bytes", type=float, default=DEFAULT_MEMORY_BYTES,
+                        help="per-sketch memory budget (default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=0, help="hash seed")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "BENCH_throughput.json",
+                        help="PR 1 throughput JSON for the recorded baselines")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "BENCH_kernels.json",
+                        help="output JSON path (default: repo root)")
+    args = parser.parse_args(argv)
+
+    stream = zipf_stream(args.count, skew=args.skew, seed=args.seed + 1)
+    items = [(item.key, item.value) for item in stream]
+    keys = stream.keys()
+    query_keys = keys + [10**9 + i for i in range(25)]
+    # Measure the replay baseline first so the faster backends can report
+    # their speedup against it.
+    backends = tuple(
+        name
+        for name in ("python-replay", "numpy-grouped", "numba")
+        if name in available_backends()
+    )
+    pr1 = _load_pr1_baselines(args.baseline)
+    print(
+        f"stream: {len(items)} items, {len(keys)} distinct keys, skew {args.skew}; "
+        f"backends: {', '.join(backends)}"
+    )
+
+    results = []
+    for family in FAMILIES:
+        # One scalar-filled reference per family anchors the bit-identity
+        # checks of every backend.
+        reference = build_sketch(family, args.memory_bytes, seed=args.seed)
+        for key, value in items:
+            reference.insert(key, value)
+        insert_calls = reference.hash_calls()
+        expected = reference.query_batch(query_keys)
+        replay_ips = None
+        for backend in backends:
+            with use_backend(backend):
+                sketch = build_sketch(family, args.memory_bytes, seed=args.seed)
+            insert = _fill_batched(sketch, items, args.chunk_size)
+            identical = _bit_identical(reference, expected, insert_calls, sketch, query_keys)
+            query = measure_batch_throughput(
+                lambda chunk, s=sketch: s.query_batch(chunk), keys, args.chunk_size
+            )
+            row = {
+                "family": family,
+                "backend": backend,
+                "insert_ips": insert.ops_per_second,
+                "query_ips": query.ops_per_second,
+                "bit_identical": identical,
+            }
+            if backend == "python-replay":
+                replay_ips = insert.ops_per_second
+            if replay_ips:
+                row["speedup_vs_python_replay"] = insert.ops_per_second / replay_ips
+            if family in pr1:
+                row["pr1_batch_insert_ips"] = pr1[family]
+                row["speedup_vs_pr1"] = insert.ops_per_second / pr1[family]
+            results.append(row)
+            speedup = row.get("speedup_vs_pr1")
+            print(
+                f"{family:>10} {backend:>14}: insert {insert.ops_per_second:>10.0f} items/s"
+                + (f" ({speedup:.1f}x vs PR1)" if speedup else "")
+                + f"  query {query.ops_per_second:>10.0f} items/s"
+                + ("" if identical else "  BIT-IDENTITY FAILED")
+            )
+
+    try:
+        import numba  # noqa: F401 - version probe only
+
+        numba_version = numba.__version__
+    except ImportError:
+        numba_version = None
+    payload = {
+        "workload": {
+            "stream": "zipf",
+            "count": args.count,
+            "skew": args.skew,
+            "distinct_keys": len(keys),
+            "chunk_size": args.chunk_size,
+            "memory_bytes": args.memory_bytes,
+            "seed": args.seed,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "numpy": np.__version__,
+            "numba": numba_version,
+        },
+        "baseline_source": str(args.baseline.name) if pr1 else None,
+        "results": results,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0 if all(row["bit_identical"] for row in results) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

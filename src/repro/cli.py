@@ -15,6 +15,12 @@ Run the memory sweep or the throughput comparison on the batch datapath::
     repro-cli fig4 --batch-size 4096
     repro-cli fig10 --batch-size 4096
 
+Pin the update-kernel backend of the order-dependent sketches (results are
+bit-identical across backends; ``REPRO_KERNEL`` is the env-var equivalent)::
+
+    repro-cli fig10 --batch-size 4096 --kernel numpy-grouped
+    repro-cli fig10 --batch-size 4096 --kernel numba
+
 Fan a sweep out over worker processes (bit-identical results) or run the
 sketches sharded (hash-partitioned distributed-ingest model: S full-budget
 replicas over a key partition, so accuracy and memory describe that
@@ -45,11 +51,18 @@ Print the three tables::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
 from repro.experiments import deployment, error, outliers, parameters, sensing, speed, tables
 from repro.experiments.datasets import DEFAULT_SCALE
+from repro.kernels import (
+    BACKEND_NAMES,
+    KERNEL_ENV_VAR,
+    KernelUnavailableError,
+    set_default_backend,
+)
 from repro.metrics.memory import BYTES_PER_KB
 
 
@@ -393,6 +406,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run sharded fills on remote ingest workers over this "
                              "backend (results are bit-identical: remote routing "
                              "equals local routing); required form of ingest-collect")
+    parser.add_argument("--kernel", choices=("auto",) + BACKEND_NAMES, default=None,
+                        help="update-kernel backend for the order-dependent insert "
+                             "paths (CU / mice filter / ReliableSketch / Elastic); "
+                             "every backend is bit-identical to the scalar loop, so "
+                             "this only changes speed (default: REPRO_KERNEL or auto)")
     # Ingest flags default to None sentinels so main() can reject their use
     # on commands that would silently ignore them (the --shards policy);
     # _cmd_ingest_* fill in the documented defaults.
@@ -435,6 +453,15 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.workers < 0:
         parser.error("--workers must be >= 0 (0 = one per CPU core)")
+    if args.kernel is not None:
+        # Bit-identical knob, honoured by every command.  Setting both the
+        # process default and the environment variable makes the choice
+        # reach process-pool workers regardless of their start method.
+        try:
+            set_default_backend(args.kernel)
+        except KernelUnavailableError as error:
+            parser.error(str(error))
+        os.environ[KERNEL_ENV_VAR] = args.kernel
     if args.transport is not None and args.experiment not in _TRANSPORT_COMMANDS:
         parser.error(
             f"--transport is not supported by {args.experiment} "

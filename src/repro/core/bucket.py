@@ -34,6 +34,8 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.kernels.scalar import EMPTY_ID
+
 
 @dataclass(frozen=True)
 class BucketQueryResult:
@@ -162,18 +164,22 @@ class BucketArrayLayer:
     """One ReliableSketch layer in struct-of-arrays form.
 
     ``keys`` is a plain Python list (stream keys are arbitrary hashable
-    objects, and per-item equality checks are faster on a list than on a
-    NumPy object array); ``yes`` and ``no`` are ``int64`` arrays so that
-    whole-layer reads — batch queries, occupancy, lock counts — are single
-    vectorized expressions.
+    objects); ``yes`` and ``no`` are ``int64`` arrays so that whole-layer
+    reads — batch queries, occupancy, lock counts — are single vectorized
+    expressions.  ``key_ids`` mirrors ``keys`` as the sketch's interned
+    integer ids (``EMPTY_ID`` where unset): the conflict-free update
+    kernels and the batch query path compare candidate keys as plain
+    ``int64`` arrays and never touch the objects; the owning sketch keeps
+    the two representations in sync whenever a bucket adopts a new key.
     """
 
-    __slots__ = ("keys", "yes", "no")
+    __slots__ = ("keys", "key_ids", "yes", "no")
 
     def __init__(self, width: int) -> None:
         if width <= 0:
             raise ValueError("layer width must be positive")
         self.keys: list[object | None] = [None] * width
+        self.key_ids = np.full(width, EMPTY_ID, dtype=np.int64)
         self.yes = np.zeros(width, dtype=np.int64)
         self.no = np.zeros(width, dtype=np.int64)
 

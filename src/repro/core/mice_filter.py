@@ -19,6 +19,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hashing import EncodedKeyBatch, HashFamily
+from repro.kernels import resolve_backend
+from repro.kernels.dispatch import KernelBackend
+from repro.kernels.scalar import saturating_apply
 
 
 class MiceFilter:
@@ -35,10 +38,15 @@ class MiceFilter:
         "2-array mice filter").
     seed:
         Hash-family seed.
+    kernel:
+        Update-kernel backend for ``absorb_batch`` — a name, a resolved
+        :class:`~repro.kernels.dispatch.KernelBackend` (ReliableSketch
+        passes its own down so sketch and filter always agree), or ``None``
+        for the configured default.
     """
 
     def __init__(self, memory_bytes: float, counter_bits: int = 2, arrays: int = 2,
-                 seed: int = 0) -> None:
+                 seed: int = 0, kernel: str | KernelBackend | None = None) -> None:
         if memory_bytes <= 0:
             raise ValueError("memory_bytes must be positive")
         if counter_bits <= 0 or counter_bits > 32:
@@ -52,10 +60,10 @@ class MiceFilter:
         self.width = max(1, total_counters // arrays)
         self._family = HashFamily(seed)
         self._hashes = self._family.draw_many(arrays, self.width)
-        self._tables = [[0] * self.width for _ in range(arrays)]
-        # Read-only NumPy mirror of the tables for query_batch, rebuilt
-        # lazily after absorbs (all mutations go through _absorb_at).
-        self._tables_array: np.ndarray | None = None
+        self._tables = np.zeros((arrays, self.width), dtype=np.int64)
+        if not isinstance(kernel, KernelBackend):
+            kernel = resolve_backend(kernel)
+        self._kernel = kernel
 
     # ------------------------------------------------------------------ API
     def absorb(self, key: object, value: int) -> int:
@@ -68,56 +76,38 @@ class MiceFilter:
         """
         if value <= 0:
             raise ValueError("inserted value must be positive")
-        return self._absorb_at([hash_fn(key) for hash_fn in self._hashes], value)
-
-    def _absorb_at(self, indexes: list[int], value: int) -> int:
-        """Saturating conservative update at pre-computed per-array indexes.
-
-        Shared verbatim by the scalar and batch absorb paths, so the two
-        cannot drift apart; returns the leftover value.
-        """
-        current = min(table[idx] for table, idx in zip(self._tables, indexes))
-        taken = min(value, self.cap - current)
-        if taken > 0:
-            target = current + taken
-            for table, idx in zip(self._tables, indexes):
-                if table[idx] < target:
-                    table[idx] = target
-            self._tables_array = None
-        return value - taken
+        return saturating_apply(
+            self._tables, [hash_fn(key) for hash_fn in self._hashes], value, self.cap
+        )
 
     def query(self, key: object) -> int:
         """The filter's contribution to the estimate (and to the MPE)."""
-        return min(table[hash_fn(key)] for table, hash_fn in zip(self._tables, self._hashes))
+        return int(
+            min(row[hash_fn(key)] for row, hash_fn in zip(self._tables, self._hashes))
+        )
 
     def absorb_batch(self, batch: EncodedKeyBatch, values: np.ndarray) -> np.ndarray:
-        """Batch :meth:`absorb`: hash vectorized, updates replayed in order.
+        """Batch :meth:`absorb`: vectorized hashing, kernel-applied updates.
 
         The saturating conservative update is order-dependent (an item's
         leftover depends on the counters its predecessors left behind), so
-        only the hashing is vectorized; the counter updates run in stream
-        order, which keeps the leftovers bit-identical to scalar absorbs.
+        the counter updates go through the conflict-free update kernel,
+        which keeps the leftovers bit-identical to scalar absorbs in stream
+        order.
 
         Returns the leftover value of every item as an ``int64`` array.
         """
         if values.size and int(values.min()) <= 0:
             raise ValueError("inserted value must be positive")
-        index_rows = [hash_fn.index_batch(batch).tolist() for hash_fn in self._hashes]
-        leftovers = np.empty(len(batch), dtype=np.int64)
-        for position, value in enumerate(values.tolist()):
-            leftovers[position] = self._absorb_at(
-                [row[position] for row in index_rows], value
-            )
-        return leftovers
+        indexes = np.stack([hash_fn.index_batch(batch) for hash_fn in self._hashes])
+        return self._kernel.saturating_update(self._tables, indexes, values, self.cap)
 
     def query_batch(self, batch: EncodedKeyBatch) -> np.ndarray:
         """Batch :meth:`query`: the filter readings of every key, vectorized."""
-        if self._tables_array is None:
-            self._tables_array = np.asarray(self._tables, dtype=np.int64)
         readings = np.stack(
             [
-                table[hash_fn.index_batch(batch)]
-                for table, hash_fn in zip(self._tables_array, self._hashes)
+                row[hash_fn.index_batch(batch)]
+                for row, hash_fn in zip(self._tables, self._hashes)
             ]
         )
         return readings.min(axis=0)
@@ -137,11 +127,10 @@ class MiceFilter:
 
     def saturation(self) -> float:
         """Fraction of counters at the cap — a diagnostic of filter pressure."""
-        total = self.arrays * self.width
-        saturated = sum(
-            1 for table in self._tables for counter in table if counter >= self.cap
-        )
-        return saturated / total if total else 0.0
+        total = self._tables.size
+        if not total:
+            return 0.0
+        return int(np.count_nonzero(self._tables >= self.cap)) / total
 
     def parameters(self) -> dict:
         """Filter geometry for experiment reports."""

@@ -19,24 +19,20 @@ Batch-first datapath
 --------------------
 
 Layers are stored struct-of-arrays (:class:`repro.core.bucket.BucketArrayLayer`:
-a Python key list plus NumPy ``int64`` ``YES``/``NO`` arrays) rather than as
-lists of bucket objects, and the sketch exposes ``insert_batch`` /
-``query_batch`` alongside the scalar API.  Because lock/replace decisions are
-order-dependent *within a layer*, the batch insert cannot blindly vectorize
-the whole of Algorithm 1; instead it mirrors the hardware pipeline:
-
-* **vectorized** — key encoding (once per item, shared by every layer), the
-  MurmurHash evaluations of each layer (over exactly the items that reach
-  that layer, keeping hash-call accounting identical to the scalar path),
-  and the whole-array reads of batch queries;
-* **stream order** — the mice-filter saturating updates and the per-bucket
-  vote/lock/replace transitions, replayed item by item per layer so that the
-  resulting state is bit-identical to scalar inserts in the same order.
-
-Items flow through the datapath layer by layer: all survivors of layer ``i``
-(in stream order) are hashed for layer ``i+1`` in one vectorized call, then
-applied sequentially.  ``query_batch`` works the same way, retiring keys as
-soon as their stopping condition (Algorithm 2) fires.
+a Python key list, its interned ``int64`` id mirror, and NumPy ``int64``
+``YES``/``NO`` arrays), and the sketch exposes ``insert_batch`` /
+``query_batch`` alongside the scalar API.  Because lock/replace decisions
+are order-dependent *within a layer*, the batch insert mirrors the hardware
+pipeline: all survivors of layer ``i`` (in stream order) are hashed for
+layer ``i+1`` in one vectorized call — keeping hash-call accounting
+identical to the scalar path — and the order-dependent bucket transitions
+of each layer are applied by a conflict-free update kernel
+(:mod:`repro.kernels`), bit-identical to replaying the survivors one by
+one.  Keys are *interned* into dense integer ids on first contact, so both
+the kernels and ``query_batch`` compare candidate keys as plain ``int64``
+arrays instead of looping over Python objects; ``query_batch`` retires keys
+as soon as their stopping condition (Algorithm 2) fires, exactly like the
+scalar :meth:`query_with_error`.
 """
 
 from __future__ import annotations
@@ -56,6 +52,9 @@ from repro.core.config import (
 from repro.core.emergency import EmergencyStore, ExactEmergencyStore
 from repro.core.mice_filter import MiceFilter
 from repro.hashing import EncodedKeyBatch, HashFamily
+from repro.kernels import resolve_backend
+from repro.kernels.interning import KeyInterner
+from repro.kernels.scalar import bucket_apply
 from repro.sketches.base import Sketch
 
 
@@ -98,6 +97,7 @@ class ReliableSketch(Sketch):
         seed: int = 0,
         emergency: EmergencyStore | None = None,
         use_emergency: bool = False,
+        kernel: str | None = None,
     ) -> None:
         self.config = config
         self.seed = seed
@@ -105,6 +105,15 @@ class ReliableSketch(Sketch):
         self._hashes = [self._family.draw(layer.width) for layer in config.layers]
         self._layers = [BucketArrayLayer(layer.width) for layer in config.layers]
         self._thresholds = [layer.threshold for layer in config.layers]
+        # Lock comparisons reduce exactly to int64 arithmetic against the
+        # threshold floors (see repro.kernels.scalar), which is what both
+        # the scalar path and every kernel backend use.
+        self._lam_floors = [int(threshold) for threshold in self._thresholds]
+        self._kernel = resolve_backend(kernel)
+        # Key interning: dense integer ids shared by all layers, assigned on
+        # first contact; the kernels' changed-bucket sync reads the inverse
+        # map (`id_to_key`).
+        self._interner = KeyInterner()
         self._filter: MiceFilter | None = None
         if config.use_mice_filter:
             self._filter = MiceFilter(
@@ -112,6 +121,7 @@ class ReliableSketch(Sketch):
                 counter_bits=config.mice_filter_bits,
                 arrays=config.mice_filter_arrays,
                 seed=seed + 1,
+                kernel=self._kernel,
             )
         self.use_emergency = use_emergency or emergency is not None
         self._emergency: EmergencyStore | None = emergency
@@ -140,6 +150,7 @@ class ReliableSketch(Sketch):
         use_mice_filter: bool = True,
         seed: int = 0,
         use_emergency: bool = False,
+        kernel: str | None = None,
     ) -> "ReliableSketch":
         """Size the sketch from the stream's total value ``N`` and Λ."""
         config = ReliableConfig.from_stream_statistics(
@@ -150,7 +161,7 @@ class ReliableSketch(Sketch):
             r_lambda=r_lambda,
             use_mice_filter=use_mice_filter,
         )
-        return cls(config, seed=seed, use_emergency=use_emergency)
+        return cls(config, seed=seed, use_emergency=use_emergency, kernel=kernel)
 
     @classmethod
     def from_memory(
@@ -164,6 +175,7 @@ class ReliableSketch(Sketch):
         use_mice_filter: bool = True,
         seed: int = 0,
         use_emergency: bool = False,
+        kernel: str | None = None,
     ) -> "ReliableSketch":
         """Size the sketch from a memory budget (the experiments' usual mode).
 
@@ -182,7 +194,7 @@ class ReliableSketch(Sketch):
             r_lambda=r_lambda,
             use_mice_filter=use_mice_filter,
         )
-        return cls(config, seed=seed, use_emergency=use_emergency)
+        return cls(config, seed=seed, use_emergency=use_emergency, kernel=kernel)
 
     # ------------------------------------------------------------ insertion
     def insert(self, key: object, value: int = 1) -> None:
@@ -196,11 +208,11 @@ class ReliableSketch(Sketch):
                 self.inserts_settled_per_layer[self.config.depth] += 1
                 return
 
-        for layer_index, (layer, hash_fn, threshold) in enumerate(
-            zip(self._layers, self._hashes, self._thresholds)
+        for layer_index, (layer, hash_fn, lam_floor) in enumerate(
+            zip(self._layers, self._hashes, self._lam_floors)
         ):
             index = hash_fn(key)
-            remaining = self._apply_to_bucket(layer, index, key, remaining, threshold)
+            remaining = self._apply_to_bucket(layer, index, key, remaining, lam_floor)
             if remaining is None:
                 self.inserts_settled_per_layer[layer_index] += 1
                 return
@@ -211,95 +223,82 @@ class ReliableSketch(Sketch):
         if self._emergency is not None:
             self._emergency.insert(key, remaining)
 
-    @staticmethod
     def _apply_to_bucket(
-        layer: BucketArrayLayer, index: int, key: object, remaining: int, threshold: float
+        self, layer: BucketArrayLayer, index: int, key: object, remaining: int,
+        lam_floor: int,
     ) -> int | None:
         """Apply one ``<key, remaining>`` arrival to one bucket (Algorithm 1).
 
         Returns ``None`` when the value settled in this layer, or the excess
         value to push to the next layer when the bucket's lock triggered.
-        Shared verbatim by the scalar and the batch insert paths, so the two
-        cannot drift apart.
+        The transition itself (:func:`repro.kernels.scalar.bucket_apply`) is
+        shared with the update kernels, so the scalar and batch paths cannot
+        drift apart; this wrapper adds the interning and the object-key sync.
         """
-        bucket_key = layer.keys[index]
-        yes = layer.yes
-        no = layer.no
-        if bucket_key is None:
-            # Empty bucket: adopt the key outright (first arrival).
+        item_id = self._interner.intern(key)
+        excess, changed = bucket_apply(
+            layer.key_ids, layer.yes, layer.no, index, item_id, remaining, lam_floor
+        )
+        if changed:
             layer.keys[index] = key
-            yes[index] = remaining
-            no[index] = 0
-            return None
-        if bucket_key == key:
-            yes[index] += remaining
-            return None
-        no_votes = int(no[index])
-        if no_votes + remaining > threshold and yes[index] > threshold:
-            # Lock triggered: absorb only what keeps NO at the threshold,
-            # and push the excess to the next layer.
-            absorbed = int(threshold - no_votes)
-            if absorbed > 0:
-                no[index] = threshold
-                remaining -= absorbed
-            return remaining
-        # Normal negative vote, possibly followed by a replacement.
-        no_votes += remaining
-        if no_votes >= yes[index]:
-            layer.keys[index] = key
-            no[index] = yes[index]
-            yes[index] = no_votes
-        else:
-            no[index] = no_votes
-        return None
+        return excess
 
     def insert_batch(self, keys: Sequence[object], values: Sequence[int] | int | None = None) -> None:
         """Batch insert, bit-identical to scalar inserts in stream order.
 
-        Vectorized: key encoding (once per item) and the per-layer hash
-        evaluations — layer ``i`` hashes exactly the items that reach layer
-        ``i``, in one call, so hash-call accounting matches the scalar path.
-        Stream order: the mice-filter updates and the bucket vote/lock/
-        replace transitions, which are order-dependent (see module docstring).
+        Vectorized: key encoding and interning (once per item) and the
+        per-layer hash evaluations — layer ``i`` hashes exactly the items
+        that reach layer ``i``, in one call, so hash-call accounting matches
+        the scalar path.  The order-dependent mice-filter updates and
+        bucket vote/lock/replace transitions run through the dispatched
+        conflict-free update kernel (see module docstring).
         """
         batch = EncodedKeyBatch(keys)
         count = len(batch)
         value_array = self._batch_values(values, count)
         self._insert_count += count
+        if not count:
+            return
 
-        key_list = batch.keys
+        item_ids = self._interner.intern_batch(batch.keys, batch.int_key_array)
         if self._filter is not None:
-            remaining = self._filter.absorb_batch(batch, value_array).tolist()
-            active = [i for i in range(count) if remaining[i] > 0]
+            remaining = self._filter.absorb_batch(batch, value_array)
+            active = np.flatnonzero(remaining > 0)
             self.inserts_settled_per_layer[self.config.depth] += count - len(active)
         else:
-            remaining = value_array.tolist()
-            active = list(range(count))
+            remaining = value_array.copy()
+            active = np.arange(count, dtype=np.intp)
 
-        for layer_index, (layer, hash_fn, threshold) in enumerate(
-            zip(self._layers, self._hashes, self._thresholds)
+        kernel = self._kernel
+        id_to_key = self._interner.id_to_key
+        for layer_index, (layer, hash_fn, lam_floor) in enumerate(
+            zip(self._layers, self._hashes, self._lam_floors)
         ):
-            if not active:
+            if not active.size:
                 return
             sub = batch if len(active) == count else batch.take(active)
-            indexes = hash_fn.index_batch(sub).tolist()
-            survivors: list[int] = []
-            for position, item in enumerate(active):
-                excess = self._apply_to_bucket(
-                    layer, indexes[position], key_list[item], remaining[item], threshold
-                )
-                if excess is not None:
-                    remaining[item] = excess
-                    survivors.append(item)
+            indexes = hash_fn.index_batch(sub)
+            survivors, excess, changed = kernel.reliable_layer_update(
+                layer.key_ids, layer.yes, layer.no, lam_floor,
+                indexes, item_ids[active], remaining[active],
+            )
+            if changed.size:
+                layer_keys = layer.keys
+                layer_ids = layer.key_ids
+                for bucket in changed.tolist():
+                    layer_keys[bucket] = id_to_key[layer_ids[bucket]]
             self.inserts_settled_per_layer[layer_index] += len(active) - len(survivors)
-            active = survivors
+            active = active[survivors]
+            remaining[active] = excess
 
-        for item in active:
-            # Value survived every layer: insertion failure (§3.2).
-            self.insert_failures += 1
-            self.failed_value += remaining[item]
+        if active.size:
+            # Values that survived every layer: insertion failures (§3.2).
+            self.insert_failures += len(active)
+            self.failed_value += int(remaining[active].sum())
             if self._emergency is not None:
-                self._emergency.insert(key_list[item], remaining[item])
+                key_list = batch.keys
+                for item in active.tolist():
+                    self._emergency.insert(key_list[item], int(remaining[item]))
 
     # -------------------------------------------------------------- queries
     def query_with_error(self, key: object) -> QueryResult:
@@ -338,9 +337,10 @@ class ReliableSketch(Sketch):
     def query_batch(self, keys: Sequence[object]) -> np.ndarray:
         """Batch point estimates, bit-identical to scalar :meth:`query` calls.
 
-        Processes the batch layer by layer with vectorized hashing and
-        whole-array counter reads; a key retires from the batch as soon as
-        its stopping condition (Algorithm 2) fires, so per-layer hash-call
+        Processes the batch layer by layer with vectorized hashing,
+        whole-array counter reads and interned-id key matching (no per-key
+        Python comparisons); a key retires from the batch as soon as its
+        stopping condition (Algorithm 2) fires, so per-layer hash-call
         counts match the scalar path exactly.
         """
         batch = EncodedKeyBatch(keys)
@@ -350,31 +350,22 @@ class ReliableSketch(Sketch):
         if self._filter is not None:
             estimates += self._filter.query_batch(batch)
 
-        key_list = batch.keys
-        active = list(range(count))
+        item_ids = self._interner.lookup_batch(batch.keys, batch.int_key_array)
+        active = np.arange(count, dtype=np.intp)
         for layer, hash_fn, threshold in zip(self._layers, self._hashes, self._thresholds):
-            if not active:
+            if not active.size:
                 break
             sub = batch if len(active) == count else batch.take(active)
             indexes = hash_fn.index_batch(sub)
             yes_readings = layer.yes[indexes]
             no_readings = layer.no[indexes]
-            layer_keys = layer.keys
-            matches = np.fromiter(
-                (
-                    layer_keys[index] == key
-                    for index, key in zip(indexes.tolist(), sub.keys)
-                ),
-                dtype=bool,
-                count=len(active),
-            )
-            active_array = np.asarray(active, dtype=np.intp)
-            estimates[active_array] += np.where(matches, yes_readings, no_readings)
+            matches = layer.key_ids[indexes] == item_ids[active]
+            estimates[active] += np.where(matches, yes_readings, no_readings)
             stopped = (no_readings < threshold) | (yes_readings == no_readings) | matches
-            active = active_array[~stopped].tolist()
+            active = active[~stopped]
 
         if self._emergency is not None:
-            for position, key in enumerate(key_list):
+            for position, key in enumerate(batch.keys):
                 estimates[position] += self._emergency.query(key)
         return estimates
 

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.experiments.parallel import parallel_map
+from repro.kernels import use_backend
 from repro.metrics.accuracy import AccuracyReport, evaluate_accuracy
 from repro.sketches.base import Sketch
 from repro.sketches.registry import build_sketch
@@ -71,6 +72,13 @@ class ExperimentSettings:
     #: kinds stays comparable.  Purely an execution knob: results never
     #: change, only where the ingest work runs.
     transport: str | None = None
+    #: Update-kernel backend for the order-dependent insert paths
+    #: (``"numba"``, ``"numpy-grouped"``, ``"python-replay"`` or ``"auto"``);
+    #: ``None`` keeps the process default (``REPRO_KERNEL`` or auto).  Every
+    #: backend is bit-identical to the scalar loop, so — like ``batch_size``
+    #: and ``workers`` — this only changes how fast sketches fill, never any
+    #: result (see :mod:`repro.kernels`).
+    kernel: str | None = None
     #: Extra keyword arguments forwarded to the sketch constructors.
     sketch_kwargs: dict = field(default_factory=dict)
 
@@ -134,7 +142,19 @@ def _fill_sketch(
     both use the same partition router.  Sketches without snapshot support
     (the non-mergeable families) take the local path over the identical
     partition, which produces the same state remote ingest would.
+
+    ``settings.kernel`` selects the update-kernel backend for everything
+    built here (kernels bind at sketch construction); because the override
+    is applied inside this function it also takes effect inside process-pool
+    workers, which re-enter it with the shipped settings.
     """
+    with use_backend(settings.kernel):
+        return _fill_sketch_with_kernel(name, memory_bytes, stream, settings)
+
+
+def _fill_sketch_with_kernel(
+    name: str, memory_bytes: float, stream: Stream, settings: ExperimentSettings
+) -> Sketch:
     if settings.transport is not None:
         from repro.distributed import run_distributed_ingest
         from repro.distributed.ingest import DEFAULT_CHUNK_SIZE

@@ -82,33 +82,64 @@ class EncodedKeyBatch:
     twice.
     """
 
-    __slots__ = ("keys", "_encoded", "_groups", "_group_of", "_row_of")
+    __slots__ = (
+        "_keys", "_encoded", "_groups", "_group_of", "_row_of",
+        "_int_array", "_count", "_parent", "_positions",
+    )
 
     def __init__(self, keys: Sequence[object], _encoded: list[bytes] | None = None) -> None:
         if isinstance(keys, EncodedKeyBatch):
             # Share the donor's cached encodings/groups: re-wrapping a batch
             # (e.g. a routed sub-batch entering a sketch's insert_batch) must
             # never redo the per-key encoding work.
-            self.keys = keys.keys
+            self._keys = keys._keys
             self._encoded = keys._encoded if _encoded is None else _encoded
             self._groups = keys._groups
             self._group_of = keys._group_of
             self._row_of = keys._row_of
+            self._int_array = keys._int_array
+            self._count = keys._count
+            self._parent = keys._parent
+            self._positions = keys._positions
             return
         if isinstance(keys, np.ndarray):
             keys = keys.tolist()
         elif not isinstance(keys, (list, tuple)):
             keys = list(keys)
-        self.keys = keys
+        self._keys = keys
         self._encoded = _encoded
         self._groups: list[tuple[np.ndarray, np.ndarray]] | None = None
         # Per-position (group id, row within the group matrix) maps, built
         # with the groups; they make take() a pure matrix-slicing operation.
         self._group_of: np.ndarray | None = None
         self._row_of: np.ndarray | None = None
+        self._int_array: np.ndarray | None = None
+        self._count = len(keys)
+        self._parent: EncodedKeyBatch | None = None
+        self._positions: np.ndarray | None = None
+
+    @property
+    def keys(self) -> Sequence[object]:
+        """The original key objects.
+
+        Sub-batches built by :meth:`take` defer this list: the per-layer
+        hashing of the survivor pipeline only ever touches the packed
+        matrices, so the Python-level key list is materialised lazily on
+        first access (typically never for intermediate layers).
+        """
+        if self._keys is None:
+            parent = self._parent
+            positions = self._positions
+            parent_keys = parent.keys
+            self._keys = [parent_keys[i] for i in positions]
+            if self._encoded is None and parent._encoded is not None:
+                self._encoded = [parent._encoded[i] for i in positions]
+            self._parent = None
+            self._positions = None
+        return self._keys
 
     def __len__(self) -> int:
-        return len(self.keys)
+        return self._count
 
     def __iter__(self):
         # Sequence behaviour over the original keys: scalar-fallback sketches
@@ -122,8 +153,21 @@ class EncodedKeyBatch:
     def encoded(self) -> list[bytes]:
         """Per-key encodings (materialised on demand)."""
         if self._encoded is None:
-            self._encoded = encode_keys(self.keys)
+            self.keys  # a deferred sub-batch slices its parent's encodings
+            if self._encoded is None:
+                self._encoded = encode_keys(self._keys)
         return self._encoded
+
+    @property
+    def int_key_array(self) -> np.ndarray | None:
+        """The keys as one ``int64`` array when the int fast path applies.
+
+        ``None`` for batches that did not take the fast path (mixed types,
+        negative or oversized ints).  Used by the key interner to resolve
+        whole batches through one table gather.
+        """
+        self.groups  # the fast-path probe runs with the one-time packing
+        return self._int_array
 
     def _int_fast_groups(self) -> list[tuple[np.ndarray, np.ndarray]] | None:
         """Single-group packing for batches of small non-negative ints.
@@ -131,19 +175,28 @@ class EncodedKeyBatch:
         ``key_to_bytes`` maps an int ``k`` in ``[0, 2^31)`` to the 4-byte
         little-endian encoding of ``k << 1``, so the whole batch packs into
         one ``(n, 4)`` matrix via a vectorized shift — no per-key encoding.
+        The type screen runs at C speed (``set(map(type, ...))`` is exactly
+        the per-key ``type(key) is int`` test) and the bounds check on the
+        already-converted array.
         """
-        if not all(type(key) is int and 0 <= key < 2**31 for key in self.keys):
+        if set(map(type, self.keys)) != {int}:
             return None
-        shifted = np.asarray(self.keys, dtype=np.int64) << 1
-        matrix = shifted.astype("<u4").view(np.uint8).reshape(len(self.keys), 4)
-        return [(np.arange(len(self.keys), dtype=np.intp), matrix)]
+        try:
+            array = np.asarray(self._keys, dtype=np.int64)
+        except OverflowError:
+            return None
+        if int(array.min()) < 0 or int(array.max()) >= 2**31:
+            return None
+        self._int_array = array
+        matrix = (array << 1).astype("<u4").view(np.uint8).reshape(self._count, 4)
+        return [(np.arange(self._count, dtype=np.intp), matrix)]
 
     @property
     def groups(self) -> list[tuple[np.ndarray, np.ndarray]]:
         """Length groups as ``(original_positions, (n, length) uint8 matrix)``."""
         if self._groups is None:
             groups = None
-            if self._encoded is None and len(self.keys):
+            if self._encoded is None and self._count:
                 groups = self._int_fast_groups()
             if groups is None:
                 by_length: dict[int, list[int]] = {}
@@ -160,7 +213,7 @@ class EncodedKeyBatch:
     def _set_groups(self, groups: list[tuple[np.ndarray, np.ndarray]]) -> None:
         """Install groups and the position -> (group, row) reverse maps."""
         self._groups = groups
-        count = len(self.keys)
+        count = self._count
         self._group_of = np.empty(count, dtype=np.intp)
         self._row_of = np.empty(count, dtype=np.intp)
         for group_id, (positions, _) in enumerate(groups):
@@ -174,16 +227,24 @@ class EncodedKeyBatch:
         survive layer ``i`` are re-hashed for layer ``i + 1``.  When the
         length groups are already packed, the sub-batch's groups are sliced
         straight out of the parent matrices — no per-key re-encoding or
-        re-packing, even on the int fast path.
+        re-packing, even on the int fast path — and the Python key list is
+        *deferred*: hashing only reads the matrices, so consumers that
+        never touch ``.keys`` (each layer of the survivor pipeline) skip
+        the per-key list construction entirely.
         """
-        sub = EncodedKeyBatch(
-            [self.keys[i] for i in positions],
-            _encoded=None if self._encoded is None else [self._encoded[i] for i in positions],
-        )
         # Force the parent's one-time packing (a no-op if a hash already
         # triggered it), so sub-batches always slice instead of re-encoding.
         parent_groups = self.groups
         position_array = np.asarray(positions, dtype=np.intp)
+        sub = object.__new__(EncodedKeyBatch)
+        sub._keys = None
+        sub._encoded = None
+        sub._count = len(position_array)
+        sub._parent = self
+        sub._positions = position_array
+        sub._int_array = (
+            None if self._int_array is None else self._int_array[position_array]
+        )
         group_ids = self._group_of[position_array]
         rows = self._row_of[position_array]
         groups = []

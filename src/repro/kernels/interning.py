@@ -1,0 +1,149 @@
+"""Key interning: dense integer ids for the kernel and batch-query paths.
+
+The conflict-free update kernels compare candidate keys as ``int64``
+arrays, so every key a sketch touches is assigned a dense id on first
+contact.  ``dict`` lookup defines identity (``==``/``hash`` — exactly the
+equality the object-holding buckets used), and a NumPy side table
+accelerates the common case: batches of small non-negative ints (the
+paper's flow IDs) intern through one vectorized gather instead of one
+dict probe per item.
+
+The side table is a pure cache of the dict (the dict stays the source of
+truth, so scalar inserts and batch inserts interleave consistently) and
+is only grown for keys below :data:`_TABLE_KEY_LIMIT` — an ``int64``
+entry per key caps it at 32 MiB, transiently up to twice that while a
+doubling re-allocation is in flight; everything else takes the dict path.
+Like the dict, it grows with the distinct keys ingested — the deliberate
+speed-for-memory trade of the batch datapath.
+"""
+
+from __future__ import annotations
+
+from itertools import repeat
+from typing import Sequence
+
+import numpy as np
+
+from repro.kernels.scalar import UNKNOWN_ID
+
+#: Int keys below this may enter the vectorized id table (32 MiB of int64
+#: ids at most, excluding the transient doubling copy).
+_TABLE_KEY_LIMIT = 1 << 22
+
+
+class KeyInterner:
+    """Assigns dense ids to keys on first contact, in stream order."""
+
+    __slots__ = ("_ids", "id_to_key", "_table")
+
+    def __init__(self) -> None:
+        self._ids: dict = {}
+        #: Inverse map; ``id_to_key[i]`` is the key that owns id ``i``.
+        self.id_to_key: list = []
+        self._table: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.id_to_key)
+
+    def intern(self, key: object) -> int:
+        """The id of ``key``, assigning the next dense id on first contact."""
+        item_id = self._ids.get(key)
+        if item_id is None:
+            item_id = self._assign(key)
+        return item_id
+
+    def _assign(self, key: object) -> int:
+        item_id = len(self.id_to_key)
+        self._ids[key] = item_id
+        self.id_to_key.append(key)
+        table = self._table
+        if table is not None and type(key) is int and 0 <= key < len(table):
+            table[key] = item_id
+        return item_id
+
+    # ------------------------------------------------------------- batches
+    def intern_batch(
+        self, keys: Sequence[object], int_keys: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Ids for a whole batch as ``int64``, assigning new ids in order.
+
+        ``int_keys`` is the batch's vectorized int-key array when the
+        encoding fast path applies (``EncodedKeyBatch.int_key_array``);
+        with it, known keys resolve through one table gather.
+        """
+        if int_keys is not None and int_keys.size and int(int_keys.max()) < _TABLE_KEY_LIMIT:
+            table = self._ensure_table(int(int_keys.max()))
+            ids = table[int_keys]
+            missing = np.flatnonzero(ids < 0)
+            if missing.size:
+                # The table is only a cache: consult the dict before
+                # assigning, so ids agree with any scalar-path interning.
+                get = self._ids.get
+                for position in missing.tolist():
+                    key = int(int_keys[position])
+                    item_id = get(key)
+                    if item_id is None:
+                        item_id = self._assign(key)
+                        table[key] = item_id
+                    else:
+                        table[key] = item_id
+                    ids[position] = item_id
+            return ids
+        ids = list(map(self._ids.get, keys))
+        if None in ids:
+            get = self._ids.get
+            for position, item_id in enumerate(ids):
+                if item_id is None:
+                    key = keys[position]
+                    item_id = get(key)
+                    if item_id is None:
+                        item_id = self._assign(key)
+                    ids[position] = item_id
+        return np.asarray(ids, dtype=np.int64)
+
+    def lookup_batch(
+        self, keys: Sequence[object], int_keys: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Ids for a query batch; unknown keys map to ``UNKNOWN_ID``.
+
+        Queries must never grow the interner: an unknown key cannot match
+        any bucket (every incumbent is interned by construction).
+        """
+        if (
+            int_keys is not None
+            and int_keys.size
+            and self._table is not None
+            and int(int_keys.max()) < len(self._table)
+        ):
+            ids = self._table[int_keys]
+            missing = np.flatnonzero(ids < 0)
+            if missing.size:
+                # A key may be known to the dict but not yet cached (it was
+                # interned before the table grew past it, or via an object
+                # that is == an int); resolve the leftovers through the dict.
+                get = self._ids.get
+                for position in missing.tolist():
+                    ids[position] = get(int(int_keys[position]), UNKNOWN_ID)
+            return ids
+        return np.asarray(
+            list(map(self._ids.get, keys, repeat(UNKNOWN_ID))), dtype=np.int64
+        )
+
+    def _ensure_table(self, top_key: int) -> np.ndarray:
+        """Grow the id table to cover ``top_key``, back-filling known ints."""
+        table = self._table
+        needed = top_key + 1
+        if table is None or len(table) < needed:
+            size = max(needed, 1024, 0 if table is None else 2 * len(table))
+            grown = np.full(size, UNKNOWN_ID, dtype=np.int64)
+            if table is not None:
+                grown[: len(table)] = table
+                start = len(table)
+            else:
+                start = 0
+            # Back-fill ids assigned before the table covered their keys.
+            for key, item_id in self._ids.items():
+                if type(key) is int and start <= key < size:
+                    grown[key] = item_id
+            self._table = table = grown
+        return table

@@ -1,0 +1,194 @@
+"""The ``numba`` kernel backend: JIT-compiled per-item replay.
+
+Importing this module requires the optional ``numba`` package (the core
+dependencies stay numba-free; the dispatch registry gates the import and
+falls back to ``numpy-grouped`` when it is missing).
+
+Because the sketches now hold their hot state as pure numeric arrays
+(``int64`` counters plus interned key ids — see
+:mod:`repro.kernels.scalar`), the fastest correct kernel is simply the
+scalar replay compiled to machine code: no grouping bookkeeping, one pass
+in stream order, trivially bit-identical control flow.  Each ``@njit``
+function below mirrors its counterpart in :mod:`repro.kernels.scalar`
+line for line; the kernel-parity tests pin them together.
+
+Functions compile lazily on first use (a one-off cost of a few hundred
+milliseconds per signature) and are cached for the process lifetime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+from repro.kernels.scalar import EMPTY_ID
+
+_EMPTY = EMPTY_ID
+
+
+@njit(cache=False)
+def _cu_update(tables, indexes, values):  # pragma: no cover - compiled
+    depth = tables.shape[0]
+    for position in range(values.shape[0]):
+        target = tables[0, indexes[0, position]]
+        for row in range(1, depth):
+            reading = tables[row, indexes[row, position]]
+            if reading < target:
+                target = reading
+        target += values[position]
+        for row in range(depth):
+            if tables[row, indexes[row, position]] < target:
+                tables[row, indexes[row, position]] = target
+
+
+@njit(cache=False)
+def _saturating_update(tables, indexes, values, cap):  # pragma: no cover
+    depth = tables.shape[0]
+    count = values.shape[0]
+    leftovers = np.empty(count, dtype=np.int64)
+    for position in range(count):
+        current = tables[0, indexes[0, position]]
+        for row in range(1, depth):
+            reading = tables[row, indexes[row, position]]
+            if reading < current:
+                current = reading
+        value = values[position]
+        taken = min(value, cap - current)
+        if taken > 0:
+            target = current + taken
+            for row in range(depth):
+                if tables[row, indexes[row, position]] < target:
+                    tables[row, indexes[row, position]] = target
+            leftovers[position] = value - taken
+        else:
+            leftovers[position] = value
+    return leftovers
+
+
+@njit(cache=False)
+def _reliable_layer_update(
+    key_ids, yes, no, lam_floor, indexes, item_ids, remaining
+):  # pragma: no cover - compiled
+    count = remaining.shape[0]
+    survivors = np.empty(count, dtype=np.intp)
+    excess = np.empty(count, dtype=np.int64)
+    changed = np.empty(count, dtype=np.int64)
+    survivor_count = 0
+    changed_count = 0
+    for position in range(count):
+        index = indexes[position]
+        item_id = item_ids[position]
+        value = remaining[position]
+        bucket_id = key_ids[index]
+        if bucket_id == _EMPTY:
+            key_ids[index] = item_id
+            yes[index] = value
+            no[index] = 0
+            changed[changed_count] = index
+            changed_count += 1
+            continue
+        if bucket_id == item_id:
+            yes[index] += value
+            continue
+        no_votes = no[index]
+        if no_votes + value > lam_floor and yes[index] > lam_floor:
+            absorbed = lam_floor - no_votes
+            if absorbed > 0:
+                no[index] = lam_floor
+                value -= absorbed
+            survivors[survivor_count] = position
+            excess[survivor_count] = value
+            survivor_count += 1
+            continue
+        no_votes += value
+        if no_votes >= yes[index]:
+            key_ids[index] = item_id
+            no[index] = yes[index]
+            yes[index] = no_votes
+            changed[changed_count] = index
+            changed_count += 1
+        else:
+            no[index] = no_votes
+    return (
+        survivors[:survivor_count].copy(),
+        excess[:survivor_count].copy(),
+        changed[:changed_count].copy(),
+    )
+
+
+@njit(cache=False)
+def _elastic_update(
+    key_ids, positive, negative, flags, eviction_ratio, indexes, item_ids, values
+):  # pragma: no cover - compiled
+    count = values.shape[0]
+    light = np.empty(count, dtype=np.intp)
+    evicted_ids = np.empty(count, dtype=np.int64)
+    evicted_values = np.empty(count, dtype=np.int64)
+    changed = np.empty(count, dtype=np.int64)
+    light_count = 0
+    evicted_count = 0
+    changed_count = 0
+    for position in range(count):
+        index = indexes[position]
+        item_id = item_ids[position]
+        value = values[position]
+        bucket_id = key_ids[index]
+        if bucket_id == _EMPTY:
+            key_ids[index] = item_id
+            positive[index] = value
+            negative[index] = 0
+            flags[index] = False
+            changed[changed_count] = index
+            changed_count += 1
+            continue
+        if bucket_id == item_id:
+            positive[index] += value
+            continue
+        negative[index] += value
+        if negative[index] >= eviction_ratio * positive[index]:
+            evicted_ids[evicted_count] = bucket_id
+            evicted_values[evicted_count] = positive[index]
+            evicted_count += 1
+            key_ids[index] = item_id
+            positive[index] = value
+            negative[index] = 1
+            flags[index] = True
+            changed[changed_count] = index
+            changed_count += 1
+        else:
+            light[light_count] = position
+            light_count += 1
+    return (
+        light[:light_count].copy(),
+        evicted_ids[:evicted_count].copy(),
+        evicted_values[:evicted_count].copy(),
+        changed[:changed_count].copy(),
+    )
+
+
+def cu_update(tables, indexes, values):
+    """Conservative updates for a whole batch (compiled replay)."""
+    _cu_update(tables, np.ascontiguousarray(indexes), values)
+
+
+def saturating_update(tables, indexes, values, cap):
+    """Capped conservative updates; returns per-item leftovers."""
+    return _saturating_update(tables, np.ascontiguousarray(indexes), values, cap)
+
+
+def reliable_layer_update(key_ids, yes, no, lam_floor, indexes, item_ids, remaining):
+    """One ReliableSketch layer replay; see the python backend contract."""
+    survivors, excess, changed = _reliable_layer_update(
+        key_ids, yes, no, lam_floor, indexes, item_ids, remaining
+    )
+    return survivors, excess, np.unique(changed)
+
+
+def elastic_update(
+    key_ids, positive, negative, flags, eviction_ratio, indexes, item_ids, values
+):
+    """Elastic heavy-part replay; see the python backend contract."""
+    light, evicted_ids, evicted_values, changed = _elastic_update(
+        key_ids, positive, negative, flags, eviction_ratio, indexes, item_ids, values
+    )
+    return light, evicted_ids, evicted_values, np.unique(changed)

@@ -1,0 +1,623 @@
+"""The ``numpy-grouped`` kernel backend: conflict-free grouping engine.
+
+Order-dependent sketches (CU, the mice filter, ReliableSketch's bucket
+layers, Elastic's heavy part) cannot blindly vectorize a batch: each item's
+update depends on the counters its predecessors left behind.  But that
+dependency only exists *between items that touch the same counter cell*,
+and this backend removes the per-item Python loop with two exact
+strategies, one per update algebra:
+
+* **Conservative updates (CU, mice filter)** are pure ``max`` writes, so
+  the whole batch reduces to a monotone *fixpoint relaxation* over the
+  per-item write targets — a few segmented-scan passes, no sequencing at
+  all (see :func:`_grouped_conservative`).
+
+* **Bucket state machines (ReliableSketch layers, Elastic's heavy part)**
+  are grouped by key (same key implies same bucket) and *scheduled into
+  conflict-free rounds*: along every bucket's toucher sequence, round
+  numbers never decrease and strictly increase whenever the key changes.
+  Each round's touchers of any bucket therefore form one contiguous
+  same-key block — every foreign toucher lands in an earlier or later
+  round, blocks apply in stream order, and a block's whole run collapses
+  into a closed form (segmented cumulative sums locate the lock /
+  replacement / eviction crossing).  The minimal schedule is one segmented
+  scan (``round[i] = max(round[i-1] + key_changed, 1)`` along each
+  bucket's sequence), so a hot key costs one closed-form update per round
+  it straddles, not one update per occurrence.
+
+Correctness rests on two facts, both pinned by the kernel-parity tests:
+items that share no cell commute (their updates read and write disjoint
+state), so reordering the stream by round number is a sequence of legal
+swaps; and a key's consecutive arrivals at one bucket reduce to the closed
+forms derived in the function docstrings.  All arithmetic is ``int64``
+(see :mod:`repro.kernels.scalar` for why the float lock threshold reduces
+exactly to its floor).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.scalar import EMPTY_ID
+
+
+def _cell_argsort(cells: np.ndarray) -> np.ndarray:
+    """Stable argsort of non-negative cell/round indexes.
+
+    Values below 2¹⁶ take NumPy's radix path (an order of magnitude faster
+    than the comparison sort); anything larger falls back to the general
+    stable sort.
+    """
+    if cells.size and int(cells.max()) < 65536:
+        return cells.astype(np.uint16).argsort(kind="stable")
+    return cells.argsort(kind="stable")
+
+
+def _tuple_groups(indexes: np.ndarray) -> np.ndarray:
+    """Group ids by full per-row index tuple (same tuple, same update).
+
+    An LSD sort — one stable per-row pass, least-significant row first —
+    keeps every pass on the radix path for ordinary table widths.
+    """
+    count = indexes.shape[1]
+    order = _cell_argsort(indexes[-1])
+    for row in indexes[-2::-1]:
+        order = order[_cell_argsort(row[order])]
+    cols = indexes[:, order]
+    distinct = (cols[:, 1:] != cols[:, :-1]).any(axis=0)
+    sorted_ids = np.empty(count, dtype=np.int64)
+    sorted_ids[0] = 0
+    sorted_ids[1:] = np.cumsum(distinct)
+    groups = np.empty(count, dtype=np.int64)
+    groups[order] = sorted_ids
+    return groups
+
+
+def _schedule(buckets: np.ndarray, groups: np.ndarray) -> np.ndarray:
+    """Round number of every item of a single-row (bucket) kernel.
+
+    Along each bucket's toucher sequence (stable cell sort keeps stream
+    order), the round is the index of the item's *run* of consecutive
+    same-group arrivals: ``round[i] = round[i-1] + (group changed)``,
+    i.e. one plus the number of group boundaries before the item within
+    its bucket's sequence — a segmented prefix count.
+    """
+    count = len(buckets)
+    rounds = np.ones(count, dtype=np.int64)
+    if count < 2:
+        return rounds
+    order = _cell_argsort(buckets)
+    sorted_cells = buckets[order]
+    new_cell = np.empty(count, dtype=bool)
+    new_cell[0] = True
+    np.not_equal(sorted_cells[1:], sorted_cells[:-1], out=new_cell[1:])
+    sorted_groups = groups[order]
+    boundary = np.zeros(count, dtype=np.int64)
+    boundary[1:] = ~new_cell[1:] & (sorted_groups[1:] != sorted_groups[:-1])
+    boundary_count = np.cumsum(boundary)
+    segment = np.cumsum(new_cell) - 1
+    segment_base = boundary_count[np.flatnonzero(new_cell)][segment]
+    rounds[order] = 1 + boundary_count - segment_base
+    return rounds
+
+
+#: Round sizes below this replay per item instead of paying the fixed cost
+#: of a closed-form round (a few dozen small array operations).
+_SCALAR_TAIL = 24
+
+
+def _round_slices(rounds: np.ndarray, buckets: np.ndarray):
+    """Items ordered by (round, bucket, stream position), sliced per round.
+
+    Within a round every bucket is touched by exactly one group, so the
+    bucket index doubles as the segment key — it is small enough for the
+    radix sort path, unlike the interned key ids.
+
+    Yields ``(positions, is_tail)`` pairs.  Once a round shrinks below
+    :data:`_SCALAR_TAIL` items, all still-pending items are emitted as one
+    final tail (``is_tail=True``, in stream order) for per-item replay:
+    the schedule guarantees no pending item shares a bucket with an
+    already-applied item that follows it in the stream (that would force
+    the pending item into an earlier round), so replaying the pending
+    suffix item by item is exactly the scalar semantics — and far cheaper
+    than running dozens of near-empty closed-form rounds.
+    """
+    order = _cell_argsort(buckets)
+    order = order[_cell_argsort((rounds - 1)[order])]
+    sorted_rounds = rounds[order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], sorted_rounds[1:] != sorted_rounds[:-1]))
+    )
+    ends = np.append(starts[1:], len(order))
+    for start, end in zip(starts, ends):
+        if end - start < _SCALAR_TAIL:
+            yield np.sort(order[start:]), True
+            return
+        yield order[start:end], False
+
+
+def _segments(sorted_groups: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Segment boundaries of a group-sorted selection.
+
+    Returns ``(seg_starts, seg_ends, seg_id)``: the first and last sorted
+    position of each segment and, per item, the segment it belongs to.
+    """
+    count = len(sorted_groups)
+    starts = np.empty(count, dtype=bool)
+    starts[0] = True
+    np.not_equal(sorted_groups[1:], sorted_groups[:-1], out=starts[1:])
+    seg_starts = np.flatnonzero(starts)
+    seg_ends = np.append(seg_starts[1:], count) - 1
+    seg_id = np.cumsum(starts) - 1
+    return seg_starts, seg_ends, seg_id
+
+
+#: Relaxation passes before the conservative fixpoint falls back to the
+#: per-item replay (only reachable on adversarial cross-row chains).
+_MAX_FIXPOINT_PASSES = 60
+
+#: Block size of the conservative fixpoint.  Interference chains cannot
+#: span blocks (each block commits its counters before the next starts),
+#: so the pass count — the depth of the longest cross-group raise chain —
+#: stays small and roughly constant instead of growing with the batch.
+_FIXPOINT_BLOCK = 8192
+
+
+def _grouped_conservative(
+    tables: np.ndarray, indexes: np.ndarray, values: np.ndarray, cap: int | None
+) -> np.ndarray | None:
+    """Blocked driver of :func:`_conservative_block` (see its docstring)."""
+    count = values.shape[0]
+    if count == 0:
+        return np.zeros(0, dtype=np.int64) if cap is not None else None
+    if count <= _FIXPOINT_BLOCK:
+        return _conservative_block(tables, indexes, values, cap)
+    leftovers = np.empty(count, dtype=np.int64) if cap is not None else None
+    for start in range(0, count, _FIXPOINT_BLOCK):
+        stop = min(start + _FIXPOINT_BLOCK, count)
+        block = _conservative_block(tables, indexes[:, start:stop], values[start:stop], cap)
+        if leftovers is not None:
+            leftovers[start:stop] = block
+    return leftovers
+
+
+def _conservative_block(
+    tables: np.ndarray, indexes: np.ndarray, values: np.ndarray, cap: int | None
+) -> np.ndarray | None:
+    """Shared CU / mice-filter engine: monotone fixpoint relaxation.
+
+    Replaying conservative updates in stream order computes, for item
+    ``i``, the write target ``t_i = min(cap, v_i + m_i)`` where ``m_i`` is
+    the minimum over the item's cells of ``max(T₀[c], max{t_j : j < i
+    touching c})`` — each counter's value at time ``i`` is its initial
+    value raised by every earlier target written there, because the update
+    is a pure ``max``.  Those equations have a unique solution (induction
+    over stream position), and the operator behind them is monotone, so
+    iterating it from below converges to exactly the sequential result —
+    no round scheduling needed:
+
+    * per row, the inner ``max{t_j : j < i at the same cell}`` is one
+      *exclusive segmented running maximum* over the items sorted by
+      (cell, stream position) — a whole cell chain propagates in a single
+      pass, which is why a handful of passes suffice (each extra pass only
+      resolves dependencies that hop between rows);
+    * the final counters are ``max(T₀[c], max over t at c)``, one
+      segmented maximum per row;
+    * per-item leftovers (the mice filter's output) are ``v_i − (t_i −
+      m_i)``, read off the converged fixpoint.
+
+    The running maxima are segmented by adding ``segment · (max t + 1)``
+    before one global ``np.maximum.accumulate``; if the needed offset would
+    overflow ``int64`` (counters beyond ~2⁴⁶ in a 64Ki batch), or the
+    passes fail to converge, the call falls back to the bit-identical
+    per-item replay.
+    """
+    count = values.shape[0]
+    if count == 0:
+        return np.zeros(0, dtype=np.int64) if cap is not None else None
+    depth = indexes.shape[0]
+    int_min = np.int64(np.iinfo(np.int64).min)
+
+    # Per-row, one-off: items sorted by (cell, stream position), segment
+    # structure, and the initial counter reading of every touched cell.
+    metas = []
+    for row in range(depth):
+        cells = indexes[row]
+        order = _cell_argsort(cells)
+        sorted_cells = cells[order]
+        new_cell = np.empty(count, dtype=bool)
+        new_cell[0] = True
+        np.not_equal(sorted_cells[1:], sorted_cells[:-1], out=new_cell[1:])
+        segment = np.cumsum(new_cell) - 1
+        seg_starts = np.flatnonzero(new_cell)
+        initial = tables[row, sorted_cells]
+        metas.append((order, sorted_cells, new_cell, segment, seg_starts, initial))
+
+    # Start the iteration from each tuple group's *own* closed form —
+    # ``min(cap, low + S_i)`` with ``low`` the group's entry minimum and
+    # ``S`` its value prefix sums.  This is exact absent cross-group
+    # interference and always a lower bound on the true targets, so the
+    # whole chain of a hot key is resolved before the first pass; the
+    # passes only need to propagate the (rare) cross-group raises.
+    # A tightly capped table (the 2-bit mice filter) can skip the grouping
+    # work: every chain saturates within ``cap`` hops, so the plain
+    # per-item lower bound converges just as surely in a handful of passes.
+    if cap is not None and cap <= 16:
+        low = tables[0, indexes[0]]
+        for row in range(1, depth):
+            np.minimum(low, tables[row, indexes[row]], out=low)
+        targets = np.minimum(low + values, cap)
+    else:
+        groups = _tuple_groups(indexes)
+        group_order = _cell_argsort(groups)
+        grouped_values = values[group_order]
+        seg_starts_g, _, seg_id_g = _segments(groups[group_order])
+        cumulative = np.cumsum(grouped_values)
+        base = (cumulative[seg_starts_g] - grouped_values[seg_starts_g])[seg_id_g]
+        prefix = cumulative - base
+        rep_items = group_order[seg_starts_g]
+        rep_cells = indexes[:, rep_items]
+        low_rep = tables[np.arange(depth)[:, None], rep_cells].min(axis=0)
+        targets = np.empty(count, dtype=np.int64)
+        targets[group_order] = low_rep[seg_id_g] + prefix
+        if cap is not None:
+            np.minimum(targets, cap, out=targets)
+
+    floors = None
+    candidate = np.empty((depth, count), dtype=np.int64)
+    for _ in range(_MAX_FIXPOINT_PASSES):
+        for row, (order, _, new_cell, segment, _, initial) in enumerate(metas):
+            sorted_targets = targets[order]
+            top = int(sorted_targets.max())
+            offset_step = top + 1
+            if offset_step > 0 and int(segment[-1]) + 1 > np.iinfo(np.int64).max // offset_step:
+                return _replay_conservative(tables, indexes, values, cap)
+            scan = sorted_targets + segment * offset_step
+            np.maximum.accumulate(scan, out=scan)
+            before = np.empty(count, dtype=np.int64)
+            before[0] = int_min
+            before[1:] = scan[:-1] - segment[1:] * offset_step
+            before[new_cell] = int_min  # first toucher of a cell sees no prior target
+            candidate[row][order] = np.maximum(initial, before)
+        floors = candidate.min(axis=0)
+        new_targets = floors + values
+        if cap is not None:
+            np.minimum(new_targets, cap, out=new_targets)
+        if np.array_equal(new_targets, targets):
+            break
+        targets = new_targets
+    else:
+        return _replay_conservative(tables, indexes, values, cap)
+
+    # Commit: every touched counter rises to the largest target written to
+    # it (max is order-independent, so one segmented maximum per row).
+    for row, (order, sorted_cells, _, _, seg_starts, initial) in enumerate(metas):
+        sorted_targets = targets[order]
+        peaks = np.maximum.reduceat(sorted_targets, seg_starts)
+        touched = sorted_cells[seg_starts]
+        tables[row, touched] = np.maximum(tables[row, touched], peaks)
+    if cap is None:
+        return None
+    return values - (targets - floors)
+
+
+def _replay_conservative(
+    tables: np.ndarray, indexes: np.ndarray, values: np.ndarray, cap: int | None
+) -> np.ndarray | None:
+    """Per-item fallback, shared with the python-replay backend."""
+    from repro.kernels import python_backend
+
+    if cap is None:
+        python_backend.cu_update(tables, indexes, values)
+        return None
+    return python_backend.saturating_update(tables, indexes, values, cap)
+
+
+def cu_update(tables: np.ndarray, indexes: np.ndarray, values: np.ndarray) -> None:
+    """Conservative updates for a whole batch via fixpoint relaxation."""
+    _grouped_conservative(tables, indexes, values, cap=None)
+
+
+def saturating_update(
+    tables: np.ndarray, indexes: np.ndarray, values: np.ndarray, cap: int
+) -> np.ndarray:
+    """Capped conservative updates; returns per-item leftovers.
+
+    Saturation fast path: an item whose every counter already sits at the
+    cap absorbs nothing and leaves no trace — its target is exactly the
+    cap, which cannot raise anything, and capped cells can never grow, so
+    excluding such items from the fixpoint is exact.  Once a mice filter
+    has warmed up this covers most of the stream.
+    """
+    count = values.shape[0]
+    if count == 0:
+        return np.zeros(0, dtype=np.int64)
+    saturated = tables[0, indexes[0]] >= cap
+    for row in range(1, indexes.shape[0]):
+        saturated &= tables[row, indexes[row]] >= cap
+    if not saturated.any():
+        return _grouped_conservative(tables, indexes, values, cap=cap)
+    leftovers = np.empty(count, dtype=np.int64)
+    leftovers[saturated] = values[saturated]
+    live = np.flatnonzero(~saturated)
+    if live.size:
+        leftovers[live] = _grouped_conservative(
+            tables, indexes[:, live], values[live], cap=cap
+        )
+    return leftovers
+
+
+def _first_crossing(
+    flags: np.ndarray, seg_starts: np.ndarray, sentinel: int
+) -> np.ndarray:
+    """Per segment, the first sorted position where ``flags`` holds."""
+    candidates = np.where(flags, np.arange(len(flags)), sentinel)
+    return np.minimum.reduceat(candidates, seg_starts)
+
+
+def reliable_layer_update(
+    key_ids: np.ndarray,
+    yes: np.ndarray,
+    no: np.ndarray,
+    lam_floor: int,
+    indexes: np.ndarray,
+    item_ids: np.ndarray,
+    remaining: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One ReliableSketch layer via conflict-free rounds.
+
+    Groups are keys (same key, same bucket).  A block of ``m`` same-key
+    arrivals at one bucket (entry state ``K/Y/N``, prefix sums ``S_i``)
+    collapses into one of four closed forms:
+
+    * **empty bucket** — adopt: ``Y = S_m``, ``N = 0``; all settle.
+    * **matching key** — ``Y += S_m``; all settle.
+    * **foreign key, Y > λ** (lock-eligible; votes can never reach ``Y``
+      because they stop at λ < Y): votes accumulate until the first ``i``
+      with ``N + S_i > λ``.  No crossing: ``N += S_m``, all settle.
+      Crossing at ``i``: the lock absorbs ``max(0, λ - (N + S_{i-1}))``
+      from item ``i`` and pins ``N`` at λ; item ``i`` survives with the
+      rest and every later item passes through whole (once NO sits at or
+      above the floor, nothing more fits under λ).
+    * **foreign key, Y ≤ λ** (the lock cannot trigger): votes accumulate
+      until the first ``i`` with ``N + S_i ≥ Y`` replaces the incumbent;
+      the remaining items then vote YES, leaving ``Y = N + S_m``,
+      ``N = Y_old``.  No crossing: ``N += S_m``.  All settle either way.
+    """
+    count = remaining.shape[0]
+    survive = np.zeros(count, dtype=bool)
+    excess_out = np.zeros(count, dtype=np.int64)
+    changed_parts: list[np.ndarray] = []
+    if count == 0:
+        return np.empty(0, dtype=np.intp), np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+    # Saturation fast path.  A bucket that is already *hard-locked* — NO at
+    # or above the threshold floor with YES strictly above it — can never
+    # change again within the batch: every foreign arrival takes the lock
+    # branch with nothing left to absorb (state untouched, value passes
+    # through whole) and every matching arrival only grows YES, which keeps
+    # the lock condition true.  Both effects commute, so items landing on
+    # such buckets skip the round machinery entirely; this is what keeps
+    # steady-state ingest fast once a layer has locked up.
+    touched = indexes
+    locked_buckets = (no[touched] >= lam_floor) & (yes[touched] > lam_floor)
+    if locked_buckets.any():
+        on_locked = np.flatnonzero(locked_buckets)
+        matching = key_ids[touched[on_locked]] == item_ids[on_locked]
+        passing = on_locked[~matching]
+        survive[passing] = True
+        excess_out[passing] = remaining[passing]
+        growing = on_locked[matching]
+        if growing.size:
+            grow_buckets = indexes[growing]
+            order = _cell_argsort(grow_buckets)
+            sorted_buckets = grow_buckets[order]
+            starts = np.flatnonzero(
+                np.concatenate(([True], sorted_buckets[1:] != sorted_buckets[:-1]))
+            )
+            yes[sorted_buckets[starts]] += np.add.reduceat(
+                remaining[growing][order], starts
+            )
+        live = np.flatnonzero(~locked_buckets)
+        if not live.size:
+            survivors_out = np.flatnonzero(survive)
+            return survivors_out, excess_out[survivors_out], np.empty(0, dtype=np.int64)
+        indexes = indexes[live]
+        item_ids = item_ids[live]
+        live_remaining = remaining[live]
+    else:
+        live = None
+        live_remaining = remaining
+
+    rounds = _schedule(indexes, item_ids)
+    for pos, is_tail in _round_slices(rounds, indexes):
+        out_pos = pos if live is None else live[pos]
+        if is_tail:
+            from repro.kernels import python_backend
+
+            tail_survivors, tail_excess, tail_changed = (
+                python_backend.reliable_layer_update(
+                    key_ids, yes, no, lam_floor,
+                    indexes[pos], item_ids[pos], live_remaining[pos],
+                )
+            )
+            survive[out_pos[tail_survivors]] = True
+            excess_out[out_pos[tail_survivors]] = tail_excess
+            if tail_changed.size:
+                changed_parts.append(tail_changed)
+            break
+        values = live_remaining[pos]
+        seg_starts, seg_ends, seg_id = _segments(indexes[pos])
+        cumulative = np.cumsum(values)
+        base = (cumulative[seg_starts] - values[seg_starts])[seg_id]
+        prefix = cumulative - base
+        totals = prefix[seg_ends]
+        buckets = indexes[pos[seg_starts]]
+        group_ids = item_ids[pos[seg_starts]]
+        held = key_ids[buckets]
+        pos_votes = yes[buckets]
+        neg_votes = no[buckets]
+
+        empty = held == EMPTY_ID
+        match = held == group_ids
+        foreign = ~(empty | match)
+        if empty.any():
+            adopted = buckets[empty]
+            key_ids[adopted] = group_ids[empty]
+            yes[adopted] = totals[empty]
+            no[adopted] = 0
+            changed_parts.append(adopted)
+        if match.any():
+            yes[buckets[match]] += totals[match]
+        if foreign.any():
+            sentinel = len(pos)
+            item_index = np.arange(sentinel)
+            lock_eligible = foreign & (pos_votes > lam_floor)
+            # --- lock-eligible segments -------------------------------
+            crossed = (neg_votes[seg_id] + prefix) > lam_floor
+            first = _first_crossing(crossed, seg_starts, sentinel)
+            locked = lock_eligible & (first < sentinel)
+            vote_only = lock_eligible & ~locked
+            if vote_only.any():
+                no[buckets[vote_only]] += totals[vote_only]
+            if locked.any():
+                safe_first = np.minimum(first, sentinel - 1)
+                pre_votes = neg_votes + prefix[safe_first] - values[safe_first]
+                absorbed = lam_floor - pre_votes
+                no[buckets[locked]] = np.where(
+                    absorbed[locked] > 0, lam_floor, pre_votes[locked]
+                )
+                item_locked = locked[seg_id]
+                item_first = first[seg_id]
+                survivors = item_locked & (item_index >= item_first)
+                item_excess = np.where(
+                    item_index == item_first,
+                    values - np.maximum(absorbed[seg_id], 0),
+                    values,
+                )
+                survive[out_pos[survivors]] = True
+                excess_out[out_pos[survivors]] = item_excess[survivors]
+            # --- replacement-eligible segments ------------------------
+            vote_eligible = foreign & ~lock_eligible
+            reached = (neg_votes[seg_id] + prefix) >= pos_votes[seg_id]
+            first_reach = _first_crossing(reached, seg_starts, sentinel)
+            replaced = vote_eligible & (first_reach < sentinel)
+            outvoted = vote_eligible & ~replaced
+            if outvoted.any():
+                no[buckets[outvoted]] += totals[outvoted]
+            if replaced.any():
+                swapped = buckets[replaced]
+                key_ids[swapped] = group_ids[replaced]
+                no[swapped] = pos_votes[replaced]
+                yes[swapped] = (neg_votes + totals)[replaced]
+                changed_parts.append(swapped)
+    survivors_out = np.flatnonzero(survive)
+    changed = (
+        np.unique(np.concatenate(changed_parts))
+        if changed_parts
+        else np.empty(0, dtype=np.int64)
+    )
+    return survivors_out, excess_out[survivors_out], changed
+
+
+def elastic_update(
+    key_ids: np.ndarray,
+    positive: np.ndarray,
+    negative: np.ndarray,
+    flags: np.ndarray,
+    eviction_ratio: int,
+    indexes: np.ndarray,
+    item_ids: np.ndarray,
+    values: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Elastic heavy-part replay via conflict-free rounds.
+
+    Same-key blocks at one bucket collapse like ReliableSketch's, with the
+    eviction test ``N + S_i ≥ ratio · P`` in place of the lock: no crossing
+    means every item of the block light-inserts itself (``N += S_m``); a
+    crossing at ``i`` light-inserts items before ``i``, evicts the
+    incumbent (one light insert of ``(K, P)`` for the caller), installs the
+    key with ``P = v_i + (S_m - S_i)``, ``N = 1`` and the ejected flag set.
+    """
+    count = values.shape[0]
+    light = np.zeros(count, dtype=bool)
+    evicted_ids: list[np.ndarray] = []
+    evicted_values: list[np.ndarray] = []
+    changed_parts: list[np.ndarray] = []
+    if count == 0:
+        empty_i64 = np.empty(0, dtype=np.int64)
+        return np.empty(0, dtype=np.intp), empty_i64, empty_i64.copy(), empty_i64.copy()
+    rounds = _schedule(indexes, item_ids)
+    for pos, is_tail in _round_slices(rounds, indexes):
+        if is_tail:
+            from repro.kernels import python_backend
+
+            tail_light, tail_ids, tail_values, tail_changed = (
+                python_backend.elastic_update(
+                    key_ids, positive, negative, flags, eviction_ratio,
+                    indexes[pos], item_ids[pos], values[pos],
+                )
+            )
+            light[pos[tail_light]] = True
+            if tail_ids.size:
+                evicted_ids.append(tail_ids)
+                evicted_values.append(tail_values)
+            if tail_changed.size:
+                changed_parts.append(tail_changed)
+            break
+        item_values = values[pos]
+        seg_starts, seg_ends, seg_id = _segments(indexes[pos])
+        cumulative = np.cumsum(item_values)
+        base = (cumulative[seg_starts] - item_values[seg_starts])[seg_id]
+        prefix = cumulative - base
+        totals = prefix[seg_ends]
+        buckets = indexes[pos[seg_starts]]
+        group_ids = item_ids[pos[seg_starts]]
+        held = key_ids[buckets]
+        incumbency = positive[buckets]
+        neg_votes = negative[buckets]
+
+        empty = held == EMPTY_ID
+        match = held == group_ids
+        foreign = ~(empty | match)
+        if empty.any():
+            adopted = buckets[empty]
+            key_ids[adopted] = group_ids[empty]
+            positive[adopted] = totals[empty]
+            negative[adopted] = 0
+            flags[adopted] = False
+            changed_parts.append(adopted)
+        if match.any():
+            positive[buckets[match]] += totals[match]
+        if foreign.any():
+            sentinel = len(pos)
+            item_index = np.arange(sentinel)
+            crossed = (neg_votes[seg_id] + prefix) >= (eviction_ratio * incumbency)[seg_id]
+            first = _first_crossing(crossed, seg_starts, sentinel)
+            evicting = foreign & (first < sentinel)
+            voting = foreign & ~evicting
+            if voting.any():
+                negative[buckets[voting]] += totals[voting]
+            item_foreign = foreign[seg_id]
+            item_first = first[seg_id]
+            light_here = item_foreign & (item_index < item_first)
+            light[pos[light_here]] = True
+            if evicting.any():
+                swapped = buckets[evicting]
+                evicted_ids.append(held[evicting])
+                evicted_values.append(incumbency[evicting])
+                safe_first = np.minimum(first, sentinel - 1)
+                tail = item_values[safe_first] + totals - prefix[safe_first]
+                key_ids[swapped] = group_ids[evicting]
+                positive[swapped] = tail[evicting]
+                negative[swapped] = 1
+                flags[swapped] = True
+                changed_parts.append(swapped)
+    return (
+        np.flatnonzero(light),
+        np.concatenate(evicted_ids) if evicted_ids else np.empty(0, dtype=np.int64),
+        np.concatenate(evicted_values) if evicted_values else np.empty(0, dtype=np.int64),
+        np.unique(np.concatenate(changed_parts))
+        if changed_parts
+        else np.empty(0, dtype=np.int64),
+    )

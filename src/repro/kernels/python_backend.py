@@ -1,0 +1,126 @@
+"""The ``python-replay`` kernel backend: per-item loops over the shared
+scalar transitions.
+
+This is the reference implementation of the kernel contract (see
+:mod:`repro.kernels.dispatch`): it replays the batch item by item in stream
+order through the exact transition functions the sketches' scalar ``insert``
+paths use, so it is bit-identical to scalar inserts *by construction*.  The
+vectorized backends are pinned to it (and to the scalar path) by the
+kernel-parity tests.
+
+It is also the fallback of last resort: always available, no dependencies
+beyond NumPy, and roughly as fast as the pre-kernel per-item batch loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.scalar import (
+    bucket_apply,
+    cu_apply,
+    elastic_apply,
+    saturating_apply,
+)
+
+
+def cu_update(tables: np.ndarray, indexes: np.ndarray, values: np.ndarray) -> None:
+    """Conservative updates for a whole batch, replayed in stream order."""
+    index_rows = [row.tolist() for row in indexes]
+    for position, value in enumerate(values.tolist()):
+        cu_apply(tables, [row[position] for row in index_rows], value)
+
+
+def saturating_update(
+    tables: np.ndarray, indexes: np.ndarray, values: np.ndarray, cap: int
+) -> np.ndarray:
+    """Capped conservative updates in stream order; returns the leftovers."""
+    index_rows = [row.tolist() for row in indexes]
+    leftovers = np.empty(len(values), dtype=np.int64)
+    for position, value in enumerate(values.tolist()):
+        leftovers[position] = saturating_apply(
+            tables, [row[position] for row in index_rows], value, cap
+        )
+    return leftovers
+
+
+def reliable_layer_update(
+    key_ids: np.ndarray,
+    yes: np.ndarray,
+    no: np.ndarray,
+    lam_floor: int,
+    indexes: np.ndarray,
+    item_ids: np.ndarray,
+    remaining: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One ReliableSketch layer's bucket replay for a batch of survivors.
+
+    Returns ``(survivors, excess, changed)``: the positions (ascending, i.e.
+    stream order) of the items whose value did not settle in this layer, the
+    excess value each pushes to the next layer, and the bucket indexes whose
+    candidate key changed.
+    """
+    survivors: list[int] = []
+    excess: list[int] = []
+    changed: list[int] = []
+    index_list = indexes.tolist()
+    id_list = item_ids.tolist()
+    for position, value in enumerate(remaining.tolist()):
+        index = index_list[position]
+        leftover, adopted = bucket_apply(
+            key_ids, yes, no, index, id_list[position], value, lam_floor
+        )
+        if adopted:
+            changed.append(index)
+        if leftover is not None:
+            survivors.append(position)
+            excess.append(leftover)
+    return (
+        np.asarray(survivors, dtype=np.intp),
+        np.asarray(excess, dtype=np.int64),
+        np.unique(np.asarray(changed, dtype=np.int64)),
+    )
+
+
+def elastic_update(
+    key_ids: np.ndarray,
+    positive: np.ndarray,
+    negative: np.ndarray,
+    flags: np.ndarray,
+    eviction_ratio: int,
+    indexes: np.ndarray,
+    item_ids: np.ndarray,
+    values: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Elastic heavy-part replay for a whole batch.
+
+    Returns ``(light_positions, evicted_ids, evicted_values, changed)``:
+    the positions whose own ``<key, value>`` goes to the light part
+    (ascending), the interned ids and vote counts of evicted incumbents
+    (one light insert each, in eviction order), and the changed buckets.
+    """
+    light_positions: list[int] = []
+    evicted_ids: list[int] = []
+    evicted_values: list[int] = []
+    changed: list[int] = []
+    index_list = indexes.tolist()
+    id_list = item_ids.tolist()
+    for position, value in enumerate(values.tolist()):
+        index = index_list[position]
+        light_self, evicted, adopted = elastic_apply(
+            key_ids, positive, negative, flags, index, id_list[position], value,
+            eviction_ratio,
+        )
+        if adopted:
+            changed.append(index)
+        if light_self:
+            light_positions.append(position)
+        if evicted is not None:
+            evicted_ids.append(evicted[0])
+            evicted_values.append(evicted[1])
+    return (
+        np.asarray(light_positions, dtype=np.intp),
+        np.asarray(evicted_ids, dtype=np.int64),
+        np.asarray(evicted_values, dtype=np.int64),
+        np.unique(np.asarray(changed, dtype=np.int64)),
+    )

@@ -1,0 +1,174 @@
+"""Shared single-item state transitions of the order-dependent sketches.
+
+Every conflict-free update kernel in this package — the pure-Python replay
+backend, the NumPy grouped backend and the optional Numba backend — must be
+bit-identical to inserting the same items one by one.  The functions here
+*are* that per-item semantics, expressed over the numeric struct-of-arrays
+state the sketches now carry (``int64`` counter arrays plus interned key-id
+arrays):
+
+* :func:`cu_apply` — one conservative update (CU sketch);
+* :func:`saturating_apply` — one capped conservative update (mice filter);
+* :func:`bucket_apply` — one Error-Sensible bucket arrival with the layer
+  lock of Algorithm 1 (ReliableSketch);
+* :func:`elastic_apply` — one Elastic heavy-part arrival (vote / evict).
+
+The sketches' scalar ``insert`` paths call these directly and the
+``python-replay`` backend loops over them, so the scalar loop and the
+slowest kernel backend cannot drift apart; the vectorized backends are
+pinned to them by the kernel-parity test matrix.
+
+Key identity is integer-encoded: each sketch interns keys into dense ids
+(``dict`` lookups use ``==``/``hash``, exactly the equality the previous
+object-holding buckets used), and the sentinels below mark the two "no id"
+cases.  ``EMPTY_ID`` and ``UNKNOWN_ID`` are distinct so that a query for a
+never-inserted key can never match an empty bucket.
+
+Integer thresholds
+------------------
+
+ReliableSketch's lock threshold λ is a float, but every comparison the
+scalar path makes reduces exactly to ``int64`` arithmetic against
+``lam_floor = int(λ)``: for integers ``a`` and ``λ ≥ 0``, ``a > λ`` iff
+``a > floor(λ)`` (for integral λ trivially; for fractional λ because an
+integer exceeds λ iff it exceeds the next integer down), the absorbed value
+``int(λ - no)`` equals ``floor(λ) - no`` whenever it is positive, and the
+``no = λ`` lock write truncates to ``floor(λ)`` inside an ``int64`` array.
+Working in ``int64`` keeps all three backends exact (no float rounding at
+counters beyond 2^53) and makes the kernels Numba-friendly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: ``key_ids`` value of a bucket that holds no key.
+EMPTY_ID = -1
+#: Batch id of a query key that was never interned (matches no bucket).
+UNKNOWN_ID = -2
+
+
+def cu_apply(tables: np.ndarray, indexes, value: int) -> None:
+    """One conservative update at pre-computed per-row indexes.
+
+    Raises every counter only up to the new lower bound (min + value);
+    counters already above it are left untouched.
+    """
+    depth = tables.shape[0]
+    target = int(tables[0, indexes[0]])
+    for row in range(1, depth):
+        reading = int(tables[row, indexes[row]])
+        if reading < target:
+            target = reading
+    target += value
+    for row in range(depth):
+        if tables[row, indexes[row]] < target:
+            tables[row, indexes[row]] = target
+
+
+def saturating_apply(tables: np.ndarray, indexes, value: int, cap: int) -> int:
+    """One capped conservative update; returns the leftover value.
+
+    Absorbs up to ``cap - min`` units towards ``min + taken`` (the mice
+    filter's saturating CU, §3.3) and leaves the rest to the caller.
+    """
+    depth = tables.shape[0]
+    current = int(tables[0, indexes[0]])
+    for row in range(1, depth):
+        reading = int(tables[row, indexes[row]])
+        if reading < current:
+            current = reading
+    taken = min(value, cap - current)
+    if taken > 0:
+        target = current + taken
+        for row in range(depth):
+            if tables[row, indexes[row]] < target:
+                tables[row, indexes[row]] = target
+    return value - taken
+
+
+def bucket_apply(
+    key_ids: np.ndarray,
+    yes: np.ndarray,
+    no: np.ndarray,
+    index: int,
+    item_id: int,
+    value: int,
+    lam_floor: int,
+) -> tuple[int | None, bool]:
+    """One ``<key, value>`` arrival at one Error-Sensible bucket (Algorithm 1).
+
+    Returns ``(excess, changed)``: ``excess`` is ``None`` when the value
+    settled in this layer or the positive amount to push to the next layer
+    when the bucket's lock triggered; ``changed`` is True when the bucket's
+    candidate key changed (adoption or replacement), so the caller can keep
+    the object-key list in sync with ``key_ids``.
+    """
+    bucket_id = int(key_ids[index])
+    if bucket_id == EMPTY_ID:
+        # Empty bucket: adopt the key outright (first arrival).
+        key_ids[index] = item_id
+        yes[index] = value
+        no[index] = 0
+        return None, True
+    if bucket_id == item_id:
+        yes[index] += value
+        return None, False
+    no_votes = int(no[index])
+    if no_votes + value > lam_floor and yes[index] > lam_floor:
+        # Lock triggered: absorb only what keeps NO at the threshold,
+        # and push the excess to the next layer.
+        absorbed = lam_floor - no_votes
+        if absorbed > 0:
+            no[index] = lam_floor
+            value -= absorbed
+        return value, False
+    # Normal negative vote, possibly followed by a replacement.
+    no_votes += value
+    if no_votes >= yes[index]:
+        key_ids[index] = item_id
+        no[index] = yes[index]
+        yes[index] = no_votes
+        return None, True
+    no[index] = no_votes
+    return None, False
+
+
+def elastic_apply(
+    key_ids: np.ndarray,
+    positive: np.ndarray,
+    negative: np.ndarray,
+    flags: np.ndarray,
+    index: int,
+    item_id: int,
+    value: int,
+    eviction_ratio: int,
+) -> tuple[bool, tuple[int, int] | None, bool]:
+    """One Elastic heavy-part arrival at a pre-computed bucket index.
+
+    Returns ``(light_self, evicted, changed)``: ``light_self`` is True when
+    the item's own ``<key, value>`` must go to the light part, ``evicted``
+    carries ``(incumbent_id, incumbent_votes)`` when the arrival evicted the
+    incumbent (the caller light-inserts it), and ``changed`` flags a new
+    candidate key for the object-list sync.
+    """
+    bucket_id = int(key_ids[index])
+    if bucket_id == EMPTY_ID:
+        key_ids[index] = item_id
+        positive[index] = value
+        negative[index] = 0
+        flags[index] = False
+        return False, None, True
+    if bucket_id == item_id:
+        positive[index] += value
+        return False, None, False
+    negative[index] += value
+    if negative[index] >= eviction_ratio * positive[index]:
+        # Evict the incumbent to the light part and install the newcomer.
+        evicted = (bucket_id, int(positive[index]))
+        key_ids[index] = item_id
+        positive[index] = value
+        negative[index] = 1  # Elastic resets the vote-all counter.
+        flags[index] = True
+        return False, evicted, True
+    return True, None, False

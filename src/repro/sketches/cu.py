@@ -13,6 +13,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.hashing import EncodedKeyBatch, HashFamily
+from repro.kernels import resolve_backend
+from repro.kernels.scalar import cu_apply
 from repro.metrics.memory import COUNTER_32
 from repro.sketches.base import Sketch
 
@@ -21,10 +23,12 @@ class CUSketch(Sketch):
     """Conservative-update Count-Min sketch sized from a memory budget.
 
     Conservative update is order-dependent within a batch (each item's
-    target depends on the counters left by its predecessors), so the batch
-    datapath vectorizes the hashing only and applies the counter updates in
-    stream order over plain Python lists — which keeps ``insert_batch``
-    bit-identical to the scalar loop.
+    target depends on the counters left by its predecessors), so
+    ``insert_batch`` hands the vectorized per-row indexes to a conflict-free
+    update kernel (:mod:`repro.kernels`) — bit-identical to the scalar loop,
+    which applies the same transition (:func:`repro.kernels.scalar.cu_apply`)
+    one item at a time.  The counter rows live in one native ``int64``
+    matrix, shared by inserts, queries, merges and snapshots alike.
     """
 
     name = "CU"
@@ -33,7 +37,13 @@ class CUSketch(Sketch):
     #: :meth:`merge`.
     mergeable = True
 
-    def __init__(self, memory_bytes: float, depth: int = 3, seed: int = 0) -> None:
+    def __init__(
+        self,
+        memory_bytes: float,
+        depth: int = 3,
+        seed: int = 0,
+        kernel: str | None = None,
+    ) -> None:
         if depth <= 0:
             raise ValueError("depth must be positive")
         total_counters = COUNTER_32.entries_for(memory_bytes)
@@ -41,51 +51,34 @@ class CUSketch(Sketch):
         self.width = max(1, total_counters // depth)
         self._family = HashFamily(seed)
         self._hashes = self._family.draw_many(depth, self.width)
-        self._tables = [[0] * self.width for _ in range(depth)]
-        # Read-only NumPy mirror of the tables for query_batch, rebuilt
-        # lazily after inserts (all mutations go through _conservative_update).
-        self._tables_array: np.ndarray | None = None
+        self._tables = np.zeros((depth, self.width), dtype=np.int64)
+        self._kernel = resolve_backend(kernel)
 
     def insert(self, key: object, value: int = 1) -> None:
         self._check_insert(value)
-        self._conservative_update([hash_fn(key) for hash_fn in self._hashes], value)
-
-    def _conservative_update(self, indexes: list[int], value: int) -> None:
-        """Conservative update at pre-computed per-row indexes.
-
-        Raises every counter only up to the new lower bound (min + value);
-        counters already above it are left untouched.  Shared verbatim by
-        the scalar and batch insert paths, so the two cannot drift apart.
-        """
-        tables = self._tables
-        target = min(row[idx] for row, idx in zip(tables, indexes)) + value
-        for row, idx in zip(tables, indexes):
-            if row[idx] < target:
-                row[idx] = target
-        self._tables_array = None
+        cu_apply(self._tables, [hash_fn(key) for hash_fn in self._hashes], value)
 
     def query(self, key: object) -> int:
-        return min(
-            row[hash_fn(key)] for row, hash_fn in zip(self._tables, self._hashes)
+        return int(
+            min(row[hash_fn(key)] for row, hash_fn in zip(self._tables, self._hashes))
         )
 
     def insert_batch(self, keys: Sequence[object], values: Sequence[int] | int | None = None) -> None:
         batch = EncodedKeyBatch(keys)
-        value_list = self._batch_values(values, len(batch)).tolist()
-        # Hashing is vectorized across the whole batch; the conservative
-        # updates then replay in stream order without further hashing.
-        index_rows = [hash_fn.index_batch(batch).tolist() for hash_fn in self._hashes]
-        for position, value in enumerate(value_list):
-            self._conservative_update([row[position] for row in index_rows], value)
+        value_array = self._batch_values(values, len(batch))
+        if not len(batch):
+            return
+        # Hashing is vectorized across the whole batch; the order-dependent
+        # conservative updates then run through the dispatched kernel.
+        indexes = np.stack([hash_fn.index_batch(batch) for hash_fn in self._hashes])
+        self._kernel.cu_update(self._tables, indexes, value_array)
 
     def query_batch(self, keys: Sequence[object]) -> np.ndarray:
         batch = EncodedKeyBatch(keys)
-        if self._tables_array is None:
-            self._tables_array = np.asarray(self._tables, dtype=np.int64)
         readings = np.stack(
             [
                 row[hash_fn.index_batch(batch)]
-                for row, hash_fn in zip(self._tables_array, self._hashes)
+                for row, hash_fn in zip(self._tables, self._hashes)
             ]
         )
         return readings.min(axis=0)
@@ -106,19 +99,16 @@ class CUSketch(Sketch):
         single-pass CU — the standard distributed-CU compromise.
         """
         self._check_merge_peer(other, ("depth", "width", "_hash_seeds"))
-        for row, other_row in zip(self._tables, other._tables):
-            row[:] = [mine + theirs for mine, theirs in zip(row, other_row)]
-        self._tables_array = None
+        self._tables += other._tables
         return self
 
     def state_snapshot(self) -> dict[str, np.ndarray]:
-        """The counter rows as one ``int64`` matrix (CU stores Python lists)."""
-        return {"tables": np.asarray(self._tables, dtype=np.int64)}
+        """A copy of the counter matrix."""
+        return {"tables": self._tables.copy()}
 
     def state_restore(self, state: dict[str, np.ndarray]) -> None:
         tables = self._check_snapshot_shape(state, "tables", (self.depth, self.width))
-        self._tables = [[int(value) for value in row] for row in tables]
-        self._tables_array = None
+        self._tables = tables.astype(np.int64, copy=True)
 
     def memory_bytes(self) -> float:
         return COUNTER_32.bytes_for(self.depth * self.width)

@@ -6,10 +6,11 @@ reset on replacement, so it cannot bound the error (§7 of the paper).
 
 Structure:
 
-* **Heavy part** — an array of buckets, each holding a candidate key, its
-  positive votes, a negative-vote counter and an "ejected" flag.  When
-  ``negative / positive`` exceeds the eviction ratio ``λ`` (8 in the original
-  paper), the candidate is evicted to the light part and replaced.
+* **Heavy part** — struct-of-arrays election buckets, each holding a
+  candidate key (as an interned ``int64`` id plus the object for queries),
+  its positive votes, a negative-vote counter and an "ejected" flag.  When
+  ``negative / positive`` exceeds the eviction ratio ``λ`` (8 in the
+  original paper), the candidate is evicted to the light part and replaced.
 * **Light part** — a single-array CM sketch of 8-bit counters.
 
 Memory is split ``1 : light_ratio`` between heavy and light parts
@@ -24,6 +25,9 @@ from typing import Sequence
 import numpy as np
 
 from repro.hashing import EncodedKeyBatch, HashFamily
+from repro.kernels import resolve_backend
+from repro.kernels.interning import KeyInterner
+from repro.kernels.scalar import EMPTY_ID, elastic_apply
 from repro.metrics.memory import ELASTIC_HEAVY_BUCKET, FieldSpec, MemoryModel
 from repro.sketches.base import Sketch
 
@@ -31,29 +35,20 @@ _LIGHT_COUNTER = MemoryModel((FieldSpec("counter", 8),))
 _LIGHT_COUNTER_MAX = 255
 
 
-class _HeavyBucket:
-    """One heavy-part bucket: candidate key, votes and eviction flag."""
-
-    __slots__ = ("key", "positive", "negative", "flag")
-
-    def __init__(self) -> None:
-        self.key = None
-        self.positive = 0
-        self.negative = 0
-        self.flag = False
-
-
 class ElasticSketch(Sketch):
     """Elastic sketch sized from a memory budget.
 
     The batch datapath vectorizes the heavy-part hash (evaluated
-    unconditionally, once per item) through the murmur batch kernel; the
-    bucket state machine then replays in stream order, because eviction
-    decisions depend on every predecessor, and light-part accesses stay
-    scalar because whether an item touches the light part at all is decided
-    by that replay.  This keeps ``insert_batch``/``query_batch`` bit-identical
-    to the scalar loop — including hash-call accounting — while removing the
-    dominant per-item hashing overhead.
+    unconditionally, once per item) through the murmur batch kernel and
+    applies the order-dependent bucket state machine through a
+    conflict-free update kernel (:mod:`repro.kernels`) over the interned
+    key-id arrays.  Light-part traffic falls out of that replay: items the
+    kernel routes to the light part are hashed in one vectorized sub-batch
+    call, evicted incumbents one by one (exactly as many light-hash
+    evaluations as the scalar loop performs), and since the light part's
+    saturating addition is order-independent the accumulated sums apply in
+    a single scatter.  ``insert_batch``/``query_batch`` therefore stay
+    bit-identical to the scalar loop — including hash-call accounting.
     """
 
     name = "Elastic"
@@ -64,6 +59,7 @@ class ElasticSketch(Sketch):
         light_ratio: float = 3.0,
         eviction_ratio: int = 8,
         seed: int = 0,
+        kernel: str | None = None,
     ) -> None:
         if light_ratio <= 0:
             raise ValueError("light_ratio must be positive")
@@ -77,15 +73,24 @@ class ElasticSketch(Sketch):
         self._family = HashFamily(seed)
         self._heavy_hash = self._family.draw(self.heavy_width)
         self._light_hash = self._family.draw(self.light_width)
-        self._heavy = [_HeavyBucket() for _ in range(self.heavy_width)]
-        self._light = [0] * self.light_width
+        # Heavy part, struct-of-arrays: object keys for scalar queries plus
+        # the interned id mirror the kernels and batch queries compare.
+        self._heavy_keys: list[object | None] = [None] * self.heavy_width
+        self._heavy_ids = np.full(self.heavy_width, EMPTY_ID, dtype=np.int64)
+        self._heavy_positive = np.zeros(self.heavy_width, dtype=np.int64)
+        self._heavy_negative = np.zeros(self.heavy_width, dtype=np.int64)
+        self._heavy_flags = np.zeros(self.heavy_width, dtype=bool)
+        self._light = np.zeros(self.light_width, dtype=np.int64)
+        self._kernel = resolve_backend(kernel)
+        self._interner = KeyInterner()
 
+    # ------------------------------------------------------------- inserts
     def _light_insert(self, key: object, value: int) -> None:
         index = self._light_hash(key)
-        self._light[index] = min(_LIGHT_COUNTER_MAX, self._light[index] + value)
+        self._light[index] = min(_LIGHT_COUNTER_MAX, int(self._light[index]) + value)
 
     def _light_query(self, key: object) -> int:
-        return self._light[self._light_hash(key)]
+        return int(self._light[self._light_hash(key)])
 
     def insert(self, key: object, value: int = 1) -> None:
         self._check_insert(value)
@@ -94,63 +99,88 @@ class ElasticSketch(Sketch):
     def _insert_at(self, key: object, value: int, heavy_index: int) -> None:
         """Bucket state machine at a pre-computed heavy-part index.
 
-        Shared verbatim by the scalar and batch insert paths, so the two
-        cannot drift apart.
+        The transition itself (:func:`repro.kernels.scalar.elastic_apply`)
+        is shared with the update kernels, so the scalar and batch paths
+        cannot drift apart; this wrapper adds interning, the object-key
+        sync and the light-part side effects.
         """
-        bucket = self._heavy[heavy_index]
-        if bucket.key is None:
-            bucket.key = key
-            bucket.positive = value
-            bucket.negative = 0
-            bucket.flag = False
-            return
-        if bucket.key == key:
-            bucket.positive += value
-            return
-        bucket.negative += value
-        if bucket.negative >= self.eviction_ratio * bucket.positive:
-            # Evict the incumbent to the light part and install the newcomer.
-            self._light_insert(bucket.key, bucket.positive)
-            bucket.key = key
-            bucket.positive = value
-            bucket.negative = 1  # Elastic resets the vote-all counter.
-            bucket.flag = True
-        else:
+        item_id = self._interner.intern(key)
+        light_self, evicted, changed = elastic_apply(
+            self._heavy_ids, self._heavy_positive, self._heavy_negative,
+            self._heavy_flags, heavy_index, item_id, value, self.eviction_ratio,
+        )
+        if changed:
+            self._heavy_keys[heavy_index] = key
+        if evicted is not None:
+            # Evict the incumbent to the light part.
+            self._light_insert(self._interner.id_to_key[evicted[0]], evicted[1])
+        if light_self:
             self._light_insert(key, value)
 
+    def insert_batch(self, keys: Sequence[object], values: Sequence[int] | int | None = None) -> None:
+        batch = EncodedKeyBatch(keys)
+        value_array = self._batch_values(values, len(batch))
+        if not len(batch):
+            return
+        heavy_indexes = self._heavy_hash.index_batch(batch)
+        item_ids = self._interner.intern_batch(batch.keys, batch.int_key_array)
+        light_positions, evicted_ids, evicted_values, changed = self._kernel.elastic_update(
+            self._heavy_ids, self._heavy_positive, self._heavy_negative,
+            self._heavy_flags, self.eviction_ratio,
+            heavy_indexes, item_ids, value_array,
+        )
+        if changed.size:
+            heavy_keys = self._heavy_keys
+            heavy_ids = self._heavy_ids
+            id_to_key = self._interner.id_to_key
+            for bucket in changed.tolist():
+                heavy_keys[bucket] = id_to_key[heavy_ids[bucket]]
+        if light_positions.size:
+            # One vectorized light-hash call for the items the replay routed
+            # to the light part (one scalar call each on the scalar path);
+            # saturating addition commutes, so accumulate-then-clip is the
+            # per-event result.
+            light_indexes = self._light_hash.index_batch(batch.take(light_positions))
+            np.add.at(self._light, light_indexes, value_array[light_positions])
+        id_to_key = self._interner.id_to_key
+        for evicted_id, evicted_value in zip(evicted_ids.tolist(), evicted_values.tolist()):
+            index = self._light_hash(id_to_key[evicted_id])
+            self._light[index] += evicted_value
+        if light_positions.size or evicted_ids.size:
+            np.minimum(self._light, _LIGHT_COUNTER_MAX, out=self._light)
+
+    # ------------------------------------------------------------- queries
     def query(self, key: object) -> int:
         return self._query_at(key, self._heavy_hash(key))
 
     def _query_at(self, key: object, heavy_index: int) -> int:
-        bucket = self._heavy[heavy_index]
-        if bucket.key == key:
-            estimate = bucket.positive
-            if bucket.flag:
+        if self._heavy_keys[heavy_index] == key:
+            estimate = int(self._heavy_positive[heavy_index])
+            if self._heavy_flags[heavy_index]:
                 estimate += self._light_query(key)
             return estimate
         return self._light_query(key)
 
-    def insert_batch(self, keys: Sequence[object], values: Sequence[int] | int | None = None) -> None:
-        batch = EncodedKeyBatch(keys)
-        value_list = self._batch_values(values, len(batch)).tolist()
-        # The heavy hash is evaluated once per item unconditionally, so it
-        # vectorizes; light-part traffic depends on the replayed eviction
-        # decisions and keeps its conditional scalar hashing.
-        heavy_indexes = self._heavy_hash.index_batch(batch).tolist()
-        for key, value, heavy_index in zip(batch.keys, value_list, heavy_indexes):
-            self._insert_at(key, value, heavy_index)
-
     def query_batch(self, keys: Sequence[object]) -> np.ndarray:
         batch = EncodedKeyBatch(keys)
-        heavy_indexes = self._heavy_hash.index_batch(batch).tolist()
-        return np.fromiter(
-            (
-                self._query_at(key, heavy_index)
-                for key, heavy_index in zip(batch.keys, heavy_indexes)
-            ),
-            dtype=np.int64,
-            count=len(batch),
-        )
+        heavy_indexes = self._heavy_hash.index_batch(batch)
+        item_ids = self._interner.lookup_batch(batch.keys, batch.int_key_array)
+        matches = self._heavy_ids[heavy_indexes] == item_ids
+        flags = self._heavy_flags[heavy_indexes]
+        estimates = np.where(matches, self._heavy_positive[heavy_indexes], 0)
+        # The light part is read exactly where the scalar path reads it: on
+        # every miss and on ejected-flag hits (hash-call counts match).
+        need_light = ~matches | flags
+        light_positions = np.flatnonzero(need_light)
+        if light_positions.size:
+            light_indexes = self._light_hash.index_batch(batch.take(light_positions))
+            readings = self._light[light_indexes]
+            estimates[light_positions] = np.where(
+                matches[light_positions],
+                estimates[light_positions] + readings,
+                readings,
+            )
+        return estimates
 
     def memory_bytes(self) -> float:
         return ELASTIC_HEAVY_BUCKET.bytes_for(self.heavy_width) + _LIGHT_COUNTER.bytes_for(

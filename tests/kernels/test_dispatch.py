@@ -1,0 +1,167 @@
+"""Kernel dispatch: registry, env var, overrides and clean numba fallback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels import dispatch
+from repro.kernels.dispatch import (
+    AUTO,
+    BACKEND_NAMES,
+    KERNEL_ENV_VAR,
+    KernelUnavailableError,
+    available_backends,
+    default_backend_name,
+    is_backend_available,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
+from repro.sketches.cu import CUSketch
+
+NUMBA_PRESENT = is_backend_available("numba")
+
+
+@pytest.fixture(autouse=True)
+def clean_dispatch_state(monkeypatch):
+    """Isolate the process-wide default and env var per test."""
+    monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+    previous = dispatch._DEFAULT_OVERRIDE
+    dispatch._DEFAULT_OVERRIDE = None
+    yield
+    dispatch._DEFAULT_OVERRIDE = previous
+
+
+def test_numpy_and_python_backends_always_available():
+    names = available_backends()
+    assert "numpy-grouped" in names
+    assert "python-replay" in names
+    # Resolution order of "auto" is fastest-first.
+    assert names == tuple(n for n in BACKEND_NAMES if n in names)
+
+
+def test_resolve_by_name_and_contract_surface():
+    for name in ("numpy-grouped", "python-replay"):
+        backend = resolve_backend(name)
+        assert backend.name == name
+        for entry_point in (
+            backend.cu_update,
+            backend.saturating_update,
+            backend.reliable_layer_update,
+            backend.elastic_update,
+        ):
+            assert callable(entry_point)
+
+
+def test_unknown_backend_name_rejected():
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        resolve_backend("sorcery")
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        set_default_backend("sorcery")
+
+
+def test_auto_resolves_to_first_available():
+    assert resolve_backend(AUTO).name == available_backends()[0]
+    assert default_backend_name() == available_backends()[0]
+
+
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv(KERNEL_ENV_VAR, "python-replay")
+    assert resolve_backend(None).name == "python-replay"
+    assert CUSketch(1024, seed=0)._kernel.name == "python-replay"
+
+
+def test_env_var_with_unknown_name_rejected(monkeypatch):
+    monkeypatch.setenv(KERNEL_ENV_VAR, "sorcery")
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        resolve_backend(None)
+
+
+@pytest.mark.skipif(NUMBA_PRESENT, reason="numba installed: no fallback to exercise")
+def test_missing_numba_explicit_request_raises():
+    with pytest.raises(KernelUnavailableError, match="numba"):
+        resolve_backend("numba")
+    with pytest.raises(KernelUnavailableError, match="numba"):
+        set_default_backend("numba")
+
+
+@pytest.mark.skipif(NUMBA_PRESENT, reason="numba installed: no fallback to exercise")
+def test_missing_numba_via_env_falls_back_cleanly(monkeypatch):
+    monkeypatch.setenv(KERNEL_ENV_VAR, "numba")
+    monkeypatch.setattr(dispatch, "_WARNED_ENV_FALLBACK", False)
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        backend = resolve_backend(None)
+    assert backend.name == "numpy-grouped"
+    # The warning fires once; later resolutions stay silent but identical.
+    assert resolve_backend(None).name == "numpy-grouped"
+
+
+@pytest.mark.skipif(not NUMBA_PRESENT, reason="numba not installed")
+def test_numba_backend_loads_when_present():
+    assert resolve_backend("numba").name == "numba"
+    assert default_backend_name() == "numba"  # first in the auto order
+
+
+def test_set_default_backend_applies_and_clears():
+    set_default_backend("python-replay")
+    assert default_backend_name() == "python-replay"
+    assert CUSketch(1024, seed=0)._kernel.name == "python-replay"
+    set_default_backend(None)
+    assert default_backend_name() == available_backends()[0]
+
+
+def test_use_backend_context_overrides_and_restores():
+    before = default_backend_name()
+    with use_backend("python-replay"):
+        assert default_backend_name() == "python-replay"
+        sketch = CUSketch(1024, seed=0)
+    assert default_backend_name() == before
+    # Sketches bind their backend at construction time.
+    assert sketch._kernel.name == "python-replay"
+    with use_backend(None):
+        assert default_backend_name() == before
+
+
+def test_sketch_constructor_argument_wins_over_default():
+    set_default_backend("numpy-grouped")
+    sketch = CUSketch(1024, seed=0, kernel="python-replay")
+    assert sketch._kernel.name == "python-replay"
+
+
+def test_settings_kernel_threads_into_experiment_runs():
+    from repro.experiments.runner import ExperimentSettings, run_sketch
+    from repro.streams.synthetic import zipf_stream
+
+    stream = zipf_stream(2000, skew=1.2, universe=300, seed=5)
+    default_run = run_sketch("CU_fast", 2048, stream, ExperimentSettings(batch_size=256))
+    for name in available_backends():
+        pinned = run_sketch(
+            "CU_fast", 2048, stream, ExperimentSettings(batch_size=256, kernel=name)
+        )
+        assert pinned.report == default_run.report
+        assert pinned.sketch._kernel.name == name
+
+
+def test_backends_share_one_loaded_instance():
+    assert resolve_backend("numpy-grouped") is resolve_backend("numpy-grouped")
+
+
+def test_reliable_sketch_passes_kernel_to_mice_filter():
+    from repro.core import ReliableSketch
+
+    sketch = ReliableSketch.from_memory(2048, tolerance=25, seed=0, kernel="python-replay")
+    assert sketch._kernel.name == "python-replay"
+    assert sketch.mice_filter._kernel is sketch._kernel
+
+
+def test_empty_batches_are_noops_on_every_backend():
+    for name in available_backends():
+        backend = resolve_backend(name)
+        tables = np.zeros((2, 4), dtype=np.int64)
+        backend.cu_update(tables, np.zeros((2, 0), dtype=np.int64), np.zeros(0, dtype=np.int64))
+        leftovers = backend.saturating_update(
+            tables, np.zeros((2, 0), dtype=np.int64), np.zeros(0, dtype=np.int64), 3
+        )
+        assert leftovers.shape == (0,)
+        assert not tables.any()

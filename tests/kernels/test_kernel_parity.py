@@ -1,0 +1,246 @@
+"""Kernel-parity matrix: every backend × every ported family × adversarial streams.
+
+The conflict-free update kernels (:mod:`repro.kernels`) must be
+*bit-identical* to replaying the same items one by one through the scalar
+``insert`` path — state, statistics and hash-call accounting included.
+This file pins that for each available backend against purpose-built
+adversarial streams: every key hashing into a single bucket (width-1
+sketches), two hot keys alternating at one cell (the worst case for the
+round scheduler), single-key floods (the worst case for chain relaxation),
+lock-heavy ReliableSketch layers, eviction-heavy Elastic buckets, mixed
+key types and huge values (the fixpoint's overflow fallback).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ReliableSketch
+from repro.core.config import LayerSpec, ReliableConfig
+from repro.kernels import available_backends, use_backend
+from repro.sketches.cu import CUSketch
+from repro.sketches.elastic import ElasticSketch
+from repro.streams import Stream, zipf_stream
+
+BACKENDS = available_backends()
+
+
+def _width1_reliable(seed: int) -> ReliableSketch:
+    """A ReliableSketch whose every layer has exactly one bucket."""
+    config = ReliableConfig(
+        layers=(LayerSpec(1, 1, 9), LayerSpec(2, 1, 4), LayerSpec(3, 1, 0)),
+        tolerance=13.0,
+        r_w=2.0,
+        r_lambda=2.0,
+        mice_filter_fraction=0.0,
+        mice_filter_bits=2,
+        mice_filter_arrays=2,
+        mice_filter_bytes=0.0,
+    )
+    assert all(layer.width == 1 for layer in config.layers)
+    return ReliableSketch(config, seed=seed)
+
+
+BUILDERS = {
+    "CU": lambda seed: CUSketch(2048, depth=3, seed=seed),
+    # entries_for(1 byte) == 0 counters -> every row collapses to width 1:
+    # all keys collide on the single cell of every row.
+    "CU(width1)": lambda seed: CUSketch(1, depth=3, seed=seed),
+    "Ours": lambda seed: ReliableSketch.from_memory(2048, tolerance=10, seed=seed),
+    "Ours(Raw)": lambda seed: ReliableSketch.from_memory(
+        2048, tolerance=10, seed=seed, use_mice_filter=False
+    ),
+    "Ours(width1)": _width1_reliable,
+    "Elastic": lambda seed: ElasticSketch(2048, eviction_ratio=2, seed=seed),
+    # heavy_width == light_width == 1 with eviction on every other arrival.
+    "Elastic(width1)": lambda seed: ElasticSketch(8, eviction_ratio=1, seed=seed),
+}
+
+
+def _mixed_stream(seed: int, count: int = 3000) -> list[tuple[object, int]]:
+    rng = random.Random(seed)
+    items: list[tuple[object, int]] = []
+    for _ in range(count):
+        key: object = rng.randrange(250)
+        roll = rng.random()
+        if roll < 0.1:
+            key = f"flow-{rng.randrange(40)}"
+        elif roll < 0.15:
+            key = str(key).encode()
+        items.append((key, rng.randrange(1, 7)))
+    return items
+
+
+STREAMS = {
+    "zipf": lambda: [(item.key, item.value) for item in zipf_stream(3000, skew=1.3, universe=400, seed=9)],
+    "single-key-flood": lambda: [(7, 1 + (i % 3)) for i in range(2000)],
+    "two-key-alternating": lambda: [(i % 2, 1) for i in range(2000)],
+    "mixed-types": lambda: _mixed_stream(21),
+    "mice-swarm": lambda: [(i, 1) for i in range(2000)],
+}
+
+CHUNK_SIZES = (64, 1024, 10_000)
+
+
+def _fill_scalar(sketch, items):
+    for key, value in items:
+        sketch.insert(key, value)
+
+
+def _fill_batched(sketch, items, chunk_size):
+    for start in range(0, len(items), chunk_size):
+        chunk = items[start:start + chunk_size]
+        sketch.insert_batch([k for k, _ in chunk], [v for _, v in chunk])
+
+
+def _query_keys(items):
+    seen = list(dict.fromkeys(key for key, _ in items))
+    return seen + ["never-seen", b"never-seen", 10**9, -3]
+
+
+def _assert_same_state(reference, candidate, items, context):
+    keys = _query_keys(items)
+    expected = [int(reference.query(key)) for key in keys]
+    actual = candidate.query_batch(keys).tolist()
+    assert expected == actual, context
+    assert reference.hash_calls() == candidate.hash_calls(), context
+    if isinstance(reference, ReliableSketch):
+        assert reference.insert_failures == candidate.insert_failures, context
+        assert reference.failed_value == candidate.failed_value, context
+        assert (
+            reference.inserts_settled_per_layer == candidate.inserts_settled_per_layer
+        ), context
+        for ref_layer, cand_layer in zip(reference._layers, candidate._layers):
+            assert ref_layer.keys == cand_layer.keys, context
+            assert (ref_layer.yes == cand_layer.yes).all(), context
+            assert (ref_layer.no == cand_layer.no).all(), context
+    if isinstance(reference, ElasticSketch):
+        assert reference._heavy_keys == candidate._heavy_keys, context
+        assert (reference._heavy_positive == candidate._heavy_positive).all(), context
+        assert (reference._heavy_negative == candidate._heavy_negative).all(), context
+        assert (reference._heavy_flags == candidate._heavy_flags).all(), context
+        assert (reference._light == candidate._light).all(), context
+    if isinstance(reference, CUSketch):
+        snapshot = reference.state_snapshot()["tables"]
+        assert (snapshot == candidate.state_snapshot()["tables"]).all(), context
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("family", sorted(BUILDERS))
+@pytest.mark.parametrize("stream_name", sorted(STREAMS))
+def test_kernel_matches_scalar_replay(backend, family, stream_name):
+    items = STREAMS[stream_name]()
+    for chunk_size in CHUNK_SIZES:
+        reference = BUILDERS[family](seed=3)
+        _fill_scalar(reference, items)
+        with use_backend(backend):
+            candidate = BUILDERS[family](seed=3)
+        _fill_batched(candidate, items, chunk_size)
+        _assert_same_state(
+            reference, candidate, items,
+            context=(backend, family, stream_name, chunk_size),
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_huge_values_stay_bit_identical(backend):
+    # Counter chains far beyond float53 must stay exact (all-int kernels).
+    items = [(i % 5, 2**54 + i) for i in range(150)]
+    reference = CUSketch(1, depth=3, seed=1)
+    _fill_scalar(reference, items)
+    with use_backend(backend):
+        candidate = CUSketch(1, depth=3, seed=1)
+    _fill_batched(candidate, items, 150)
+    _assert_same_state(reference, candidate, items, context=backend)
+
+
+def test_fixpoint_fallback_is_bit_identical(monkeypatch):
+    # With zero relaxation passes allowed, the numpy backend must take its
+    # per-item fallback and still match scalar replay exactly.
+    from repro.kernels import numpy_backend
+
+    monkeypatch.setattr(numpy_backend, "_MAX_FIXPOINT_PASSES", 0)
+    items = STREAMS["zipf"]()
+    for family in ("CU", "Ours"):
+        reference = BUILDERS[family](seed=6)
+        _fill_scalar(reference, items)
+        with use_backend("numpy-grouped"):
+            candidate = BUILDERS[family](seed=6)
+        _fill_batched(candidate, items, 512)
+        _assert_same_state(reference, candidate, items, context=family)
+
+
+@pytest.mark.parametrize("tail", [0, 10**9])
+def test_scalar_tail_threshold_extremes_stay_bit_identical(monkeypatch, tail):
+    # _SCALAR_TAIL=0 keeps every round in closed form; a huge threshold
+    # replays the whole batch per item.  Both ends must agree with scalar.
+    from repro.kernels import numpy_backend
+
+    monkeypatch.setattr(numpy_backend, "_SCALAR_TAIL", tail)
+    items = STREAMS["zipf"]()
+    for family in ("Ours(Raw)", "Elastic"):
+        reference = BUILDERS[family](seed=8)
+        _fill_scalar(reference, items)
+        with use_backend("numpy-grouped"):
+            candidate = BUILDERS[family](seed=8)
+        _fill_batched(candidate, items, 512)
+        _assert_same_state(reference, candidate, items, context=(family, tail))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_lock_heavy_layers_push_survivors_identically(backend):
+    # A narrow, shallow sketch under a flood locks buckets and overflows
+    # items off the last layer: failure accounting must match exactly.
+    items = [(key, 1) for key in [0, 1] * 600 + list(range(50)) * 4]
+    reference = _width1_reliable(seed=2)
+    _fill_scalar(reference, items)
+    with use_backend(backend):
+        candidate = _width1_reliable(seed=2)
+    _fill_batched(candidate, items, 128)
+    assert reference.insert_failures > 0  # the scenario actually overflows
+    _assert_same_state(reference, candidate, items, context=backend)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(max_examples=25, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=30), st.integers(min_value=1, max_value=9)),
+        min_size=1,
+        max_size=300,
+    ),
+    chunk_size=st.integers(min_value=1, max_value=64),
+)
+def test_property_random_streams_bit_identical(backend, data, chunk_size):
+    for build in (
+        lambda: CUSketch(64, depth=2, seed=5),
+        lambda: ReliableSketch.from_memory(512, tolerance=5, seed=5),
+        lambda: ElasticSketch(64, eviction_ratio=2, seed=5),
+    ):
+        reference = build()
+        _fill_scalar(reference, data)
+        with use_backend(backend):
+            candidate = build()
+        _fill_batched(candidate, data, chunk_size)
+        keys = _query_keys(data)
+        assert [int(reference.query(k)) for k in keys] == candidate.query_batch(keys).tolist()
+        assert reference.hash_calls() == candidate.hash_calls()
+
+
+def test_sharded_and_stream_fill_reach_kernels():
+    # The kernels sit under ShardedSketch routing and insert_stream chunking
+    # untouched: results equal the scalar fill of the same stream.
+    from repro.sketches.sharded import ShardedSketch
+
+    stream = Stream(_mixed_stream(4, count=1500), name="mixed")
+    scalar = ShardedSketch.from_registry("CU_fast", 2048, shards=3, seed=1)
+    for key, value in stream:
+        scalar.insert(key, value)
+    batched = ShardedSketch.from_registry("CU_fast", 2048, shards=3, seed=1)
+    batched.insert_stream(stream, batch_size=256)
+    keys = stream.keys()
+    assert [int(scalar.query(k)) for k in keys] == batched.query_batch(keys).tolist()

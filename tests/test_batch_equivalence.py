@@ -16,6 +16,7 @@ import random
 import pytest
 
 from repro.core import ReliableSketch
+from repro.kernels import available_backends, use_backend
 from repro.sketches.cm import CountMinSketch
 from repro.sketches.count import CountSketch
 from repro.sketches.cu import CUSketch
@@ -23,6 +24,18 @@ from repro.sketches.elastic import ElasticSketch
 from repro.sketches.sharded import ShardedSketch
 from repro.sketches.spacesaving import SpaceSaving
 from repro.streams import Stream, zipf_stream
+
+
+@pytest.fixture(params=available_backends())
+def kernel_backend(request):
+    """Run a test under each available update-kernel backend.
+
+    The order-dependent sketches (CU, ReliableSketch, Elastic) bind a
+    kernel at construction; the equivalence contract must hold for every
+    backend, not just the default.
+    """
+    with use_backend(request.param):
+        yield request.param
 
 
 def random_stream(seed: int, count: int = 1500, universe: int = 400) -> Stream:
@@ -85,7 +98,9 @@ def query_keys(stream):
 @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
 @pytest.mark.parametrize("name", sorted(BUILDERS))
 @pytest.mark.parametrize("stream_seed,sketch_seed", [(1, 0), (2, 9)])
-def test_insert_and_query_batch_match_scalar(name, chunk_size, stream_seed, sketch_seed):
+def test_insert_and_query_batch_match_scalar(
+    name, chunk_size, stream_seed, sketch_seed, kernel_backend
+):
     stream = random_stream(stream_seed)
     scalar = BUILDERS[name](sketch_seed)
     batched = BUILDERS[name](sketch_seed)
@@ -103,7 +118,7 @@ def test_insert_and_query_batch_match_scalar(name, chunk_size, stream_seed, sket
 
 @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
 @pytest.mark.parametrize("use_filter", [True, False])
-def test_reliable_sketch_statistics_match(chunk_size, use_filter):
+def test_reliable_sketch_statistics_match(chunk_size, use_filter, kernel_backend):
     stream = zipf_stream(3000, skew=1.2, universe=500, seed=11)
     build = lambda: ReliableSketch.from_memory(
         1024, tolerance=10, seed=4, use_mice_filter=use_filter

@@ -133,3 +133,35 @@ def test_fig17_command_runs_small(capsys):
 def test_fig19_command_runs_small(capsys):
     assert main(["fig19", "--scale", "0.001"]) == 0
     assert "KB" in capsys.readouterr().out
+
+
+def test_kernel_option_applies_and_validates(monkeypatch):
+    # --kernel is a bit-identical knob honoured by every command: it sets
+    # the process default and exports REPRO_KERNEL for pool workers.
+    import os
+
+    from repro.kernels import dispatch
+
+    monkeypatch.delenv(dispatch.KERNEL_ENV_VAR, raising=False)
+    previous = dispatch._DEFAULT_OVERRIDE
+    try:
+        assert main(["table1", "--kernel", "python-replay"]) == 0
+        assert dispatch.default_backend_name() == "python-replay"
+        assert os.environ[dispatch.KERNEL_ENV_VAR] == "python-replay"
+    finally:
+        dispatch._DEFAULT_OVERRIDE = previous
+        os.environ.pop(dispatch.KERNEL_ENV_VAR, None)
+    # Unknown backends are an argparse error, not a traceback.
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig4", "--kernel", "sorcery"])
+    assert build_parser().parse_args(["fig4"]).kernel is None
+
+
+def test_kernel_numba_rejected_cleanly_when_missing(monkeypatch):
+    from repro.kernels import dispatch
+
+    if dispatch.is_backend_available("numba"):
+        pytest.skip("numba installed: the clean-rejection path cannot trigger")
+    monkeypatch.delenv(dispatch.KERNEL_ENV_VAR, raising=False)
+    with pytest.raises(SystemExit):
+        main(["table1", "--kernel", "numba"])
