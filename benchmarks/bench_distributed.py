@@ -46,6 +46,7 @@ from repro.distributed.ingest import run_distributed_ingest
 from repro.distributed.wire import decode_batch, encode_batch
 from repro.metrics.throughput import measure_batch_throughput
 from repro.sketches.registry import build_sketch
+from repro.sketches.sharded import ShardedSketch
 from repro.streams.items import chunked
 from repro.streams.synthetic import zipf_stream
 
@@ -109,14 +110,28 @@ def bench_transport(transport: str, name: str, items, keys, truth, single,
         "bytes_received": result.bytes_received,
         "items_per_worker": list(result.items_per_worker),
     }
-    merged_answers = result.merged.query_batch(keys)
-    row["bit_identical"] = bool((merged_answers == single.query_batch(keys)).all())
-    if name.startswith("CU"):
-        # CU's merge is an upper bound by contract, not bit-identical: the
-        # meaningful regression signal is "never below the exact counts"
-        # (comparing against the routed answers would be true by
-        # construction — sums of non-negative tables always dominate).
-        row["merge_never_underestimates"] = bool((merged_answers >= truth).all())
+    if result.merged is not None:
+        merged_answers = result.merged.query_batch(keys)
+        row["bit_identical"] = bool((merged_answers == single.query_batch(keys)).all())
+        if name.startswith("CU"):
+            # CU's merge is an upper bound by contract, not bit-identical:
+            # the meaningful regression signal is "never below the exact
+            # counts" (comparing against the routed answers would be true by
+            # construction — sums of non-negative tables always dominate).
+            row["merge_never_underestimates"] = bool((merged_answers >= truth).all())
+    else:
+        # Snapshotable but unmergeable (ReliableSketch): the queryable
+        # result is the routed sharded view, and the regression signal is
+        # its bit-identity against a local sharded ingest of the same
+        # stream over the same partition.
+        local = ShardedSketch.from_registry(
+            name, memory_bytes, workers, seed=seed
+        )
+        local.insert_stream(items, batch_size=chunk_size)
+        row["bit_identical"] = bool(
+            (result.sharded().query_batch(keys) == local.query_batch(keys)).all()
+        )
+        row["merged"] = None
     return row
 
 

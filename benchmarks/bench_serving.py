@@ -1,0 +1,169 @@
+"""Online-serving benchmark — sustained qps, latency and staleness per transport.
+
+For every (transport × algorithm) pair, launches one remote
+:func:`repro.serve.server.serve_main` endpoint over the transport, then
+drives it with the closed-loop load generator
+(:mod:`repro.serve.loadgen`): a Zipf key mix at a configurable read/write
+ratio, one outstanding operation at a time.  Each row of
+``BENCH_serving.json`` records:
+
+* sustained operations/sec, read qps and ingest items/sec;
+* read latency p50/p99/mean (closed-loop service latency, milliseconds);
+* staleness — items between epoch publishes (mean/max) and the number of
+  epochs rotated during the run;
+* ``epoch_consistent`` — both correctness signals of the load generator
+  held: repeat reads within one epoch were bit-identical (no torn reads)
+  and the final epoch's answers equal a local reference sketch fed the
+  identical write stream (CI asserts this flag on every row).
+
+Absolute numbers carry the usual single-core caveat (see
+``docs/benchmarks.md``): on a 1-core container the ``pipe``/``tcp`` server
+cannot overlap with the client, so cross-transport ratios are floors, not
+verdicts.  Latency percentiles and the consistency flags are meaningful
+everywhere.
+
+Not collected by pytest (the module name avoids the ``test_`` prefix); run
+it directly::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+    PYTHONPATH=src python benchmarks/bench_serving.py --operations 500 --transports inproc
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.serve.loadgen import LoadGenConfig, run_loadgen
+from repro.serve.server import ServeConfig, ServingSession
+from repro.sketches.registry import build_sketch
+
+#: Families benchmarked by default: the cheapest mergeable baseline, the
+#: order-dependent CU, and the paper's sketch — all snapshot-rotated.
+ALGORITHMS = ("CM_fast", "CU_fast", "Ours")
+DEFAULT_TRANSPORTS = ("inproc", "pipe", "tcp")
+
+DEFAULT_OPERATIONS = 4000
+DEFAULT_READ_RATIO = 0.5
+DEFAULT_WRITE_BATCH = 256
+DEFAULT_READ_BATCH = 64
+DEFAULT_SKEW = 1.1
+DEFAULT_UNIVERSE = 10_000
+DEFAULT_MEMORY_BYTES = 64 * 1024
+DEFAULT_PUBLISH_EVERY = 8192
+
+
+def bench_pair(transport: str, algorithm: str, args) -> dict:
+    """One load-generation run against one remote service."""
+    serve_config = ServeConfig(
+        algorithm,
+        args.memory_bytes,
+        seed=args.seed,
+        publish_every_items=args.publish_every,
+    )
+    load_config = LoadGenConfig(
+        operations=args.operations,
+        read_ratio=args.read_ratio,
+        write_batch=args.write_batch,
+        read_batch=args.read_batch,
+        skew=args.skew,
+        universe=args.universe,
+        seed=args.seed,
+    )
+    reference = build_sketch(algorithm, args.memory_bytes, seed=args.seed)
+    with ServingSession(serve_config, transport) as session:
+        report = run_loadgen(session.client, load_config, reference=reference)
+        wire_out, wire_in = session.client.bytes_sent, session.client.bytes_received
+    row = {"transport": transport, "algorithm": algorithm, **report.to_row()}
+    row["bytes_sent"] = wire_out
+    row["bytes_received"] = wire_in
+    return row
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--operations", type=int, default=DEFAULT_OPERATIONS,
+                        help="closed-loop operations per run (default: %(default)s)")
+    parser.add_argument("--read-ratio", type=float, default=DEFAULT_READ_RATIO,
+                        help="fraction of operations that are reads (default: %(default)s)")
+    parser.add_argument("--write-batch", type=int, default=DEFAULT_WRITE_BATCH,
+                        help="items per write operation (default: %(default)s)")
+    parser.add_argument("--read-batch", type=int, default=DEFAULT_READ_BATCH,
+                        help="keys per read operation (default: %(default)s)")
+    parser.add_argument("--skew", type=float, default=DEFAULT_SKEW,
+                        help="Zipf skew of the key mix (default: %(default)s)")
+    parser.add_argument("--universe", type=int, default=DEFAULT_UNIVERSE,
+                        help="distinct-key universe (default: %(default)s)")
+    parser.add_argument("--memory-bytes", type=float, default=DEFAULT_MEMORY_BYTES,
+                        help="served sketch memory budget (default: %(default)s)")
+    parser.add_argument("--publish-every", type=int, default=DEFAULT_PUBLISH_EVERY,
+                        help="epoch length in items (default: %(default)s)")
+    parser.add_argument("--transports", default=",".join(DEFAULT_TRANSPORTS),
+                        help="comma-separated backends (default: %(default)s)")
+    parser.add_argument("--algorithms", default=",".join(ALGORITHMS),
+                        help="comma-separated registry names (default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=0, help="schedule / hash seed")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "BENCH_serving.json",
+                        help="output JSON path (default: repo root)")
+    args = parser.parse_args(argv)
+    transports = tuple(name for name in args.transports.split(",") if name)
+    algorithms = tuple(name for name in args.algorithms.split(",") if name)
+
+    print(
+        f"load: {args.operations} ops, read ratio {args.read_ratio}, "
+        f"write batch {args.write_batch}, read batch {args.read_batch}, "
+        f"zipf {args.skew} over {args.universe} keys, "
+        f"epoch every {args.publish_every} items, cpu_count={os.cpu_count()}"
+    )
+    rows = []
+    for algorithm in algorithms:
+        for transport in transports:
+            row = bench_pair(transport, algorithm, args)
+            rows.append(row)
+            print(
+                f"{transport:>7} {algorithm:>8}: {row['ops_per_second']:>8,.0f} ops/s "
+                f"({row['keys_read_per_second']:,.0f} keys/s read, "
+                f"{row['items_written_per_second']:,.0f} items/s write), "
+                f"p50 {row['read_latency_p50_ms']:.3f} ms, "
+                f"p99 {row['read_latency_p99_ms']:.3f} ms, "
+                f"staleness {row['mean_staleness_items']:,.0f} items, "
+                f"epoch_consistent={row['epoch_consistent']}"
+            )
+
+    payload = {
+        "workload": {
+            "operations": args.operations,
+            "read_ratio": args.read_ratio,
+            "write_batch": args.write_batch,
+            "read_batch": args.read_batch,
+            "skew": args.skew,
+            "universe": args.universe,
+            "memory_bytes": args.memory_bytes,
+            "publish_every_items": args.publish_every,
+            "seed": args.seed,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "results": rows,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if not all(row["epoch_consistent"] for row in rows):
+        print("ERROR: a serving run violated epoch consistency", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,13 @@ collector plus standalone TCP workers in separate terminals/hosts::
     repro-cli ingest-collect --transport tcp --shards 2 --bind 0.0.0.0:29461
     repro-cli ingest-worker --connect collector-host:29461   # run twice
 
+Serve a sketch online (snapshot-isolated reads concurrent with ingest) and
+query it from another terminal/host::
+
+    repro-cli serve --bind 0.0.0.0:29462 --algorithm Ours
+    repro-cli query --connect host:29462 --count 100000      # demo writer
+    repro-cli query --connect host:29462 --keys 17,42 --top-k 5 --stats
+
 Print the three tables::
 
     repro-cli table1
@@ -253,6 +260,100 @@ def _parse_address(text: str) -> tuple[str, int]:
     return host, int(port)
 
 
+def _parse_keys(text: str) -> list[object]:
+    """Parse the comma-separated ``--keys`` list (ints where they look it)."""
+    keys: list[object] = []
+    for piece in text.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        try:
+            keys.append(int(piece))
+        except ValueError:
+            keys.append(piece)
+    if not keys:
+        raise ValueError("--keys needs at least one key")
+    return keys
+
+
+def _cmd_serve(args) -> None:
+    """Serve one sketch online over TCP until --max-sessions clients finish."""
+    import socket
+
+    from repro.serve.server import ServeConfig, serve_forever
+
+    host, port = _parse_address(args.bind or "127.0.0.1:29462")
+    algorithm = args.algorithm or "CM_fast"
+    memory_bytes = args.memory_bytes if args.memory_bytes is not None else 64 * 1024
+    publish_every = args.publish_every if args.publish_every is not None else 8192
+    config = ServeConfig(
+        algorithm,
+        memory_bytes,
+        seed=args.seed,
+        shards=args.shards,
+        publish_every_items=publish_every,
+    )
+    service = config.build_service()
+    listener = socket.create_server((host, port), backlog=8)
+    try:
+        bound_port = listener.getsockname()[1]
+        print(
+            f"serving {algorithm} ({memory_bytes:.0f} B budget, epoch every "
+            f"{publish_every} items) on {host}:{bound_port}"
+        )
+        # Clients are served sequentially over one shared service, so state
+        # a writer session loads persists for later reader sessions.
+        sessions = serve_forever(listener, service, max_sessions=args.max_sessions)
+    finally:
+        listener.close()
+    stats = service.stats()
+    print(
+        f"served {sessions} client session(s); epoch {stats['epoch_id']}, "
+        f"{stats['items_ingested']} items absorbed, "
+        f"{stats['distinct_keys_tracked']} distinct keys"
+    )
+
+
+def _cmd_query(args) -> None:
+    """Talk to a running ``repro-cli serve`` endpoint."""
+    import json as json_module
+
+    from repro.distributed.transport import connect_worker
+    from repro.serve.server import QueryClient
+    from repro.streams.synthetic import zipf_stream
+
+    if not (args.keys or args.top_k or args.stats or args.count):
+        raise ValueError(
+            "query needs at least one of --keys / --top-k / --stats / --count"
+        )
+    host, port = _parse_address(args.connect or "127.0.0.1:29462")
+    client = QueryClient(connect_worker(host, port))
+    try:
+        if args.count:
+            skew = args.skew if args.skew is not None else 1.1
+            stream = zipf_stream(args.count, skew=skew, seed=args.seed + 1)
+            for chunk_start in range(0, len(stream), 8192):
+                chunk = stream.items[chunk_start : chunk_start + 8192]
+                client.ingest([item.key for item in chunk], [item.value for item in chunk])
+            epoch = client.flush()
+            print(f"ingested {len(stream)} items; service now at epoch {epoch}")
+        if args.keys:
+            keys = _parse_keys(args.keys)
+            estimates, epoch = client.query_batch(keys)
+            for key, estimate in zip(keys, estimates.tolist()):
+                print(f"{key}: {estimate}")
+            print(f"(answered at epoch {epoch})")
+        if args.top_k:
+            ranking, epoch = client.top_k(args.top_k)
+            for rank, (key, estimate) in enumerate(ranking, start=1):
+                print(f"#{rank}: {key} = {estimate}")
+            print(f"(answered at epoch {epoch})")
+        if args.stats:
+            print(json_module.dumps(client.stats(), indent=2, default=str))
+    finally:
+        client.close()
+
+
 def _cmd_ingest_worker(args) -> None:
     """Run one standalone TCP ingest worker until the collector shuts it down."""
     from repro.distributed.ingest import worker_main
@@ -313,33 +414,53 @@ def _cmd_ingest_collect(args) -> None:
         f"wire: {result.bytes_sent:,} B out, {result.bytes_received:,} B back"
     )
     print(f"per-worker items: {list(result.items_per_worker)}")
-    print(f"tree-merged {args.shards} snapshots in {result.merge_seconds * 1e3:.2f} ms")
-    if args.verify:
-        single = build_sketch(algorithm, memory_bytes, seed=args.seed)
-        single.insert_stream(stream, batch_size=chunk_size)
-        keys = stream.keys()
-        identical = bool(
-            (result.merged.query_batch(keys) == single.query_batch(keys)).all()
+    if result.merged is not None:
+        print(f"tree-merged {args.shards} snapshots in {result.merge_seconds * 1e3:.2f} ms")
+    else:
+        print(
+            f"collected {args.shards} snapshots into a routed sharded sketch "
+            "(this family snapshots but has no lossless merge)"
         )
-        print(f"merged result bit-identical to single-node ingest: {identical}")
-        if not identical and algorithm.startswith("CU"):
-            # CU's documented merge guarantee: never below the true value
-            # sums, never below the routed per-shard answers.
-            counts = stream.counts()
-            truth = [counts[key] for key in keys]
-            never_underestimates = bool(
-                (result.merged.query_batch(keys) >= truth).all()
+    if args.verify:
+        keys = stream.keys()
+        if result.merged is not None:
+            single = build_sketch(algorithm, memory_bytes, seed=args.seed)
+            single.insert_stream(stream, batch_size=chunk_size)
+            identical = bool(
+                (result.merged.query_batch(keys) == single.query_batch(keys)).all()
             )
-            print(
-                "  (CU upper-bound merge semantics; never underestimates the "
-                f"true counts: {never_underestimates})"
+            print(f"merged result bit-identical to single-node ingest: {identical}")
+            if not identical and algorithm.startswith("CU"):
+                # CU's documented merge guarantee: never below the true value
+                # sums, never below the routed per-shard answers.
+                counts = stream.counts()
+                truth = [counts[key] for key in keys]
+                never_underestimates = bool(
+                    (result.merged.query_batch(keys) >= truth).all()
+                )
+                print(
+                    "  (CU upper-bound merge semantics; never underestimates the "
+                    f"true counts: {never_underestimates})"
+                )
+        else:
+            from repro.sketches.sharded import ShardedSketch
+
+            local = ShardedSketch.from_registry(
+                algorithm, memory_bytes, args.shards, seed=args.seed
             )
+            local.insert_stream(stream, batch_size=chunk_size)
+            identical = bool(
+                (result.sharded().query_batch(keys) == local.query_batch(keys)).all()
+            )
+            print(f"routed answers bit-identical to local sharded ingest: {identical}")
     print(f"total wall-clock {wall:.3f}s")
 
 
 _COMMANDS = {
     "ingest-collect": _cmd_ingest_collect,
     "ingest-worker": _cmd_ingest_worker,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
     "table1": _cmd_table1,
     "table3": _cmd_table3,
     "table4": _cmd_table4,
@@ -367,12 +488,32 @@ _COMMANDS = {
 #: results (distributed-ingest model), so commands that cannot honour it
 #: must reject it rather than silently ignore it; --batch-size and
 #: --workers are bit-identical knobs and are safe to ignore.
-_SHARDS_COMMANDS = frozenset({"fig4", "fig6", "fig8", "fig9", "fig10", "ingest-collect"})
+_SHARDS_COMMANDS = frozenset(
+    {"fig4", "fig6", "fig8", "fig9", "fig10", "ingest-collect", "serve"}
+)
 
 #: Commands that can execute sharded fills over a remote transport.
 #: --transport never changes results (remote routing equals local routing),
 #: but commands that would silently ignore it must reject it.
 _TRANSPORT_COMMANDS = frozenset({"fig4", "fig6", "fig8", "fig9", "ingest-collect"})
+
+#: Which commands honour each connection-oriented flag.  Same policy as
+#: --shards/--transport: a flag a command would silently ignore must be
+#: rejected, never swallowed.
+_FLAG_COMMANDS = {
+    "--algorithm": frozenset({"ingest-collect", "serve"}),
+    "--memory-bytes": frozenset({"ingest-collect", "serve"}),
+    "--count": frozenset({"ingest-collect", "query"}),
+    "--skew": frozenset({"ingest-collect", "query"}),
+    "--bind": frozenset({"ingest-collect", "serve"}),
+    "--connect": frozenset({"ingest-worker", "query"}),
+    "--verify": frozenset({"ingest-collect"}),
+    "--publish-every": frozenset({"serve"}),
+    "--max-sessions": frozenset({"serve"}),
+    "--keys": frozenset({"query"}),
+    "--top-k": frozenset({"query"}),
+    "--stats": frozenset({"query"}),
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -411,30 +552,49 @@ def build_parser() -> argparse.ArgumentParser:
                              "paths (CU / mice filter / ReliableSketch / Elastic); "
                              "every backend is bit-identical to the scalar loop, so "
                              "this only changes speed (default: REPRO_KERNEL or auto)")
-    # Ingest flags default to None sentinels so main() can reject their use
-    # on commands that would silently ignore them (the --shards policy);
-    # _cmd_ingest_* fill in the documented defaults.
+    # Connection-oriented flags default to None sentinels so main() can
+    # reject their use on commands that would silently ignore them (the
+    # --shards policy); the commands fill in the documented defaults.
     ingest = parser.add_argument_group(
         "distributed ingest", "options of ingest-collect / ingest-worker"
     )
     ingest.add_argument("--algorithm", default=None,
-                        help="registry name of the sketch to ingest into "
-                             "(mergeable families: CM_*/CU_*/Count; default: CM_fast)")
+                        help="registry name of the sketch to ingest into / serve "
+                             "(snapshotable families: CM_*/CU_*/Count/Ours/Ours(Raw); "
+                             "default: CM_fast)")
     ingest.add_argument("--memory-bytes", type=float, default=None, dest="memory_bytes",
-                        help="per-worker sketch memory budget (default: 65536)")
+                        help="per-worker / served sketch memory budget (default: 65536)")
     ingest.add_argument("--count", type=int, default=None,
-                        help="ingest-collect stream length (default: 200000)")
+                        help="synthetic stream length: ingest-collect's stream, or the "
+                             "demo write stream of query (default: 200000 / off)")
     ingest.add_argument("--skew", type=float, default=None,
-                        help="ingest-collect Zipf skew (default: 1.1)")
+                        help="Zipf skew of the synthetic stream (default: 1.1)")
     ingest.add_argument("--bind", default=None, metavar="HOST:PORT",
                         help="ingest-collect (tcp): wait for external ingest-worker "
-                             "processes on this address instead of self-hosting threads")
+                             "processes on this address instead of self-hosting "
+                             "threads; serve: listen address (default: 127.0.0.1:29462)")
     ingest.add_argument("--connect", default=None, metavar="HOST:PORT",
                         help="ingest-worker: collector address to dial "
-                             "(default: 127.0.0.1:29461)")
+                             "(default: 127.0.0.1:29461); query: server address "
+                             "(default: 127.0.0.1:29462)")
     ingest.add_argument("--verify", action="store_true",
                         help="ingest-collect: re-ingest locally and check the merged "
                              "sketch against single-node ingest")
+    serving = parser.add_argument_group(
+        "online serving", "options of serve / query"
+    )
+    serving.add_argument("--publish-every", type=int, default=None, dest="publish_every",
+                         help="serve: epoch length in items — readers lag ingest by at "
+                              "most this many items (default: 8192)")
+    serving.add_argument("--max-sessions", type=int, default=None, dest="max_sessions",
+                         help="serve: exit after this many client sessions "
+                              "(default: serve until interrupted)")
+    serving.add_argument("--keys", default=None, metavar="K1,K2,...",
+                         help="query: comma-separated keys to estimate")
+    serving.add_argument("--top-k", type=int, default=None, dest="top_k",
+                         help="query: print the server's k heaviest keys")
+    serving.add_argument("--stats", action="store_true",
+                         help="query: print the service's epoch/cache/staleness stats")
     return parser
 
 
@@ -467,44 +627,53 @@ def main(argv: list[str] | None = None) -> int:
             f"--transport is not supported by {args.experiment} "
             f"(supported: {', '.join(sorted(_TRANSPORT_COMMANDS))})"
         )
-    if not args.experiment.startswith("ingest-"):
-        # Same policy as --shards/--transport: flags that only the ingest
-        # commands honour must be rejected, never silently ignored.
-        ingest_flags = {
-            "--algorithm": args.algorithm,
-            "--memory-bytes": args.memory_bytes,
-            "--count": args.count,
-            "--skew": args.skew,
-            "--bind": args.bind,
-            "--connect": args.connect,
-            "--verify": args.verify or None,
-        }
-        for flag, value in ingest_flags.items():
-            if value is not None:
-                parser.error(
-                    f"{flag} is only supported by ingest-collect / ingest-worker"
-                )
-    if args.bind is not None and args.transport != "tcp":
+    flag_values = {
+        "--algorithm": args.algorithm,
+        "--memory-bytes": args.memory_bytes,
+        "--count": args.count,
+        "--skew": args.skew,
+        "--bind": args.bind,
+        "--connect": args.connect,
+        "--verify": args.verify or None,
+        "--publish-every": args.publish_every,
+        "--max-sessions": args.max_sessions,
+        "--keys": args.keys,
+        "--top-k": args.top_k,
+        "--stats": args.stats or None,
+    }
+    for flag, value in flag_values.items():
+        if value is not None and args.experiment not in _FLAG_COMMANDS[flag]:
+            parser.error(
+                f"{flag} is only supported by "
+                f"{' / '.join(sorted(_FLAG_COMMANDS[flag]))}"
+            )
+    if args.experiment == "ingest-collect" and args.bind is not None and args.transport != "tcp":
         parser.error("--bind requires --transport tcp")
-    if args.experiment == "ingest-collect":
-        from repro.sketches.registry import is_mergeable
+    if args.publish_every is not None and args.publish_every <= 0:
+        parser.error("--publish-every must be a positive integer")
+    if args.max_sessions is not None and args.max_sessions <= 0:
+        parser.error("--max-sessions must be a positive integer")
+    if args.top_k is not None and args.top_k <= 0:
+        parser.error("--top-k must be a positive integer")
+    if args.experiment in ("ingest-collect", "serve"):
+        from repro.sketches.registry import supports_snapshots
 
         algorithm = args.algorithm or "CM_fast"
         try:
-            mergeable = is_mergeable(algorithm)
+            snapshotable = supports_snapshots(algorithm)
         except ValueError as error:
             parser.error(str(error))
-        if not mergeable:
+        if args.experiment == "ingest-collect" and not snapshotable:
             parser.error(
-                f"--algorithm {algorithm} cannot be collected remotely; "
-                "pick a mergeable family (CM_fast, CM_acc, CU_fast, CU_acc, Count)"
+                f"--algorithm {algorithm} cannot be collected remotely; pick a "
+                "snapshotable family (CM_fast, CM_acc, CU_fast, CU_acc, Count, "
+                "Ours, Ours(Raw))"
             )
     command = _COMMANDS[args.experiment]
-    if args.experiment.startswith("ingest-"):
-        # Bad addresses, unreachable collectors, ports in use, or workers
-        # that never dial in surface as clean argparse errors, not
-        # tracebacks (ValueError from parsing, OSError/timeout from
-        # sockets and pipes).
+    if args.experiment.startswith("ingest-") or args.experiment in ("serve", "query"):
+        # Bad addresses, unreachable peers, ports in use, or workers that
+        # never dial in surface as clean argparse errors, not tracebacks
+        # (ValueError from parsing, OSError/timeout from sockets and pipes).
         try:
             command(args)
         except (ValueError, OSError) as error:

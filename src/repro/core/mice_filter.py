@@ -113,6 +113,20 @@ class MiceFilter:
         return readings.min(axis=0)
 
     # ------------------------------------------------------------- helpers
+    def state_snapshot(self) -> np.ndarray:
+        """The counter matrix — the whole mutable state of the filter (a copy)."""
+        return self._tables.copy()
+
+    def state_restore(self, tables: np.ndarray) -> None:
+        """Overwrite the counters from a snapshot (shape-validated, copied)."""
+        tables = np.asarray(tables)
+        if tables.shape != self._tables.shape:
+            raise ValueError(
+                f"cannot restore mice-filter snapshot: tables have shape "
+                f"{tables.shape}, expected {self._tables.shape}"
+            )
+        self._tables = tables.astype(np.int64, copy=True)
+
     def memory_bytes(self) -> float:
         """Actual memory used by the filter counters."""
         return self.arrays * self.width * self.counter_bits / 8

@@ -52,10 +52,11 @@ from repro.core.config import (
 from repro.core.emergency import EmergencyStore, ExactEmergencyStore
 from repro.core.mice_filter import MiceFilter
 from repro.hashing import EncodedKeyBatch, HashFamily
+from repro.hashing.families import keys_from_arrays, keys_to_arrays
 from repro.kernels import resolve_backend
 from repro.kernels.interning import KeyInterner
-from repro.kernels.scalar import bucket_apply
-from repro.sketches.base import Sketch
+from repro.kernels.scalar import EMPTY_ID, bucket_apply
+from repro.sketches.base import Sketch, UnmergeableSketchError
 
 
 @dataclass(frozen=True)
@@ -90,6 +91,14 @@ class ReliableSketch(Sketch):
     """
 
     name = "Ours"
+    #: Layer tables, candidate keys (via the reversible key codec of
+    #: ``repro.hashing.families``), filter counters and failure statistics
+    #: all round-trip through named arrays — see :meth:`state_snapshot`.
+    #: ``merge`` stays unsupported: lock/replace decisions are
+    #: order-dependent, so two independently-fed sketches have no lossless
+    #: combination.  Snapshots alone are what remote ingest (each key's whole
+    #: history reaches one worker) and the serving layer need.
+    snapshotable = True
 
     def __init__(
         self,
@@ -98,6 +107,7 @@ class ReliableSketch(Sketch):
         emergency: EmergencyStore | None = None,
         use_emergency: bool = False,
         kernel: str | None = None,
+        max_interned_keys: int | None = None,
     ) -> None:
         self.config = config
         self.seed = seed
@@ -112,8 +122,10 @@ class ReliableSketch(Sketch):
         self._kernel = resolve_backend(kernel)
         # Key interning: dense integer ids shared by all layers, assigned on
         # first contact; the kernels' changed-bucket sync reads the inverse
-        # map (`id_to_key`).
-        self._interner = KeyInterner()
+        # map (`id_to_key`).  ``max_interned_keys`` bounds it against
+        # adversarial key spaces (KeyInternerOverflowError past the bound).
+        self._interner = KeyInterner(max_keys=max_interned_keys)
+        self.max_interned_keys = max_interned_keys
         self._filter: MiceFilter | None = None
         if config.use_mice_filter:
             self._filter = MiceFilter(
@@ -151,6 +163,7 @@ class ReliableSketch(Sketch):
         seed: int = 0,
         use_emergency: bool = False,
         kernel: str | None = None,
+        max_interned_keys: int | None = None,
     ) -> "ReliableSketch":
         """Size the sketch from the stream's total value ``N`` and Λ."""
         config = ReliableConfig.from_stream_statistics(
@@ -161,7 +174,8 @@ class ReliableSketch(Sketch):
             r_lambda=r_lambda,
             use_mice_filter=use_mice_filter,
         )
-        return cls(config, seed=seed, use_emergency=use_emergency, kernel=kernel)
+        return cls(config, seed=seed, use_emergency=use_emergency, kernel=kernel,
+                   max_interned_keys=max_interned_keys)
 
     @classmethod
     def from_memory(
@@ -176,6 +190,7 @@ class ReliableSketch(Sketch):
         seed: int = 0,
         use_emergency: bool = False,
         kernel: str | None = None,
+        max_interned_keys: int | None = None,
     ) -> "ReliableSketch":
         """Size the sketch from a memory budget (the experiments' usual mode).
 
@@ -194,7 +209,8 @@ class ReliableSketch(Sketch):
             r_lambda=r_lambda,
             use_mice_filter=use_mice_filter,
         )
-        return cls(config, seed=seed, use_emergency=use_emergency, kernel=kernel)
+        return cls(config, seed=seed, use_emergency=use_emergency, kernel=kernel,
+                   max_interned_keys=max_interned_keys)
 
     # ------------------------------------------------------------ insertion
     def insert(self, key: object, value: int = 1) -> None:
@@ -372,6 +388,107 @@ class ReliableSketch(Sketch):
     def sensed_error(self, key: object) -> int:
         """The Maximum Possible Error the sketch reports for ``key``."""
         return self.query_with_error(key).mpe
+
+    # ------------------------------------------------------------- snapshots
+    def _check_no_emergency(self, operation: str) -> None:
+        if self._emergency is not None:
+            raise UnmergeableSketchError(
+                f"ReliableSketch with an emergency store does not support "
+                f"{operation}: the store holds an exact per-key dict that has "
+                "no array form (disable use_emergency to snapshot)"
+            )
+
+    def state_snapshot(self) -> dict[str, np.ndarray]:
+        """Whole mutable state as named arrays — layers, filter, statistics.
+
+        Per layer: the ``YES``/``NO`` counter arrays plus the candidate keys
+        serialized through the reversible key codec
+        (:func:`repro.hashing.families.keys_to_arrays` — type tags, encoded
+        lengths and one byte blob), so arbitrary ``int``/``str``/``bytes``
+        keys survive the array-only snapshot contract and the distributed
+        wire format unchanged.  ``filter_tables`` carries the mice-filter
+        counters, ``settled``/``stats`` the failure and operation accounting.
+        Hash-call counters are measurement state, not sketch state, and are
+        deliberately excluded (exactly as for CM/CU/Count).
+
+        A replica built with the same configuration and seed restores into a
+        sketch that answers every query — estimates *and* sensed error
+        bounds — bit-identically to the donor, and that continues ingesting
+        identically (interned ids are reassigned locally; they are
+        representation, not state).
+        """
+        self._check_no_emergency("state_snapshot()")
+        state: dict[str, np.ndarray] = {}
+        for index, layer in enumerate(self._layers):
+            key_arrays = keys_to_arrays(layer.keys)
+            state[f"layer{index}_yes"] = layer.yes.copy()
+            state[f"layer{index}_no"] = layer.no.copy()
+            state[f"layer{index}_key_tags"] = key_arrays["tags"]
+            state[f"layer{index}_key_lengths"] = key_arrays["lengths"]
+            state[f"layer{index}_key_blob"] = key_arrays["blob"]
+        if self._filter is not None:
+            state["filter_tables"] = self._filter.state_snapshot()
+        state["settled"] = np.asarray(self.inserts_settled_per_layer, dtype=np.int64)
+        state["stats"] = np.asarray(
+            [self.insert_failures, self.failed_value, self._insert_count, self._query_count],
+            dtype=np.int64,
+        )
+        return state
+
+    def state_restore(self, state: dict[str, np.ndarray]) -> None:
+        """Inverse of :meth:`state_snapshot` (validate first, then commit).
+
+        Every array is shape-checked and the key blobs decoded *before* any
+        sketch state changes, so a malformed snapshot raises ``ValueError``
+        (or ``KeyInternerOverflowError`` for a bounded interner) and leaves
+        the sketch untouched.  Restored candidate keys are interned into a
+        *fresh* id space that replaces this instance's interner at commit —
+        ids are local by construction, so donor and replica agree on every
+        observable answer without sharing an interner, and restoring into a
+        previously-used sketch does not accumulate stale ids.
+        """
+        self._check_no_emergency("state_restore()")
+        decoded = []
+        interner = KeyInterner(max_keys=self.max_interned_keys)
+        for index, layer in enumerate(self._layers):
+            width = (len(layer),)
+            yes = self._check_snapshot_shape(state, f"layer{index}_yes", width)
+            no = self._check_snapshot_shape(state, f"layer{index}_no", width)
+            tags = self._check_snapshot_shape(state, f"layer{index}_key_tags", width)
+            lengths = self._check_snapshot_shape(state, f"layer{index}_key_lengths", width)
+            try:
+                blob = state[f"layer{index}_key_blob"]
+            except KeyError:
+                raise ValueError(
+                    f"snapshot is missing the 'layer{index}_key_blob' array"
+                ) from None
+            keys = keys_from_arrays(tags, lengths, blob)
+            key_ids = np.full(len(keys), EMPTY_ID, dtype=np.int64)
+            for position, key in enumerate(keys):
+                if key is not None:
+                    key_ids[position] = interner.intern(key)
+            decoded.append((yes, no, keys, key_ids))
+        settled = self._check_snapshot_shape(state, "settled", (self.config.depth + 1,))
+        stats = self._check_snapshot_shape(state, "stats", (4,))
+        filter_tables = None
+        if self._filter is not None:
+            filter_tables = self._check_snapshot_shape(
+                state, "filter_tables", self._filter.state_snapshot().shape
+            )
+
+        self._interner = interner
+        for layer, (yes, no, keys, key_ids) in zip(self._layers, decoded):
+            layer.yes = yes.astype(np.int64, copy=True)
+            layer.no = no.astype(np.int64, copy=True)
+            layer.keys = list(keys)
+            layer.key_ids = key_ids
+        if filter_tables is not None:
+            self._filter.state_restore(filter_tables)
+        self.inserts_settled_per_layer = [int(value) for value in settled]
+        self.insert_failures = int(stats[0])
+        self.failed_value = int(stats[1])
+        self._insert_count = int(stats[2])
+        self._query_count = int(stats[3])
 
     # --------------------------------------------------------- introspection
     @property

@@ -51,7 +51,7 @@ from repro.distributed.wire import (
 )
 from repro.hashing import EncodedKeyBatch
 from repro.sketches.base import Sketch, UnmergeableSketchError
-from repro.sketches.registry import build_sketch, is_mergeable
+from repro.sketches.registry import build_sketch, supports_snapshots
 from repro.sketches.sharded import ShardedSketch, partition_positions, partition_router
 from repro.streams.items import chunked
 
@@ -161,8 +161,11 @@ class IngestCoordinator:
     Parameters mirror ``ShardedSketch.from_registry``: ``workers``
     identically-configured full-budget replicas of ``algorithm``, partitioned
     by the canonical router for ``workers`` shards.  The algorithm must
-    support state snapshots (the mergeable families CM/CU/Count) — that is
-    what a worker can ship back over the wire.
+    support state snapshots (the mergeable families CM/CU/Count plus
+    ReliableSketch) — that is what a worker can ship back over the wire.
+    Whether the collected shards additionally *merge* into one sketch is the
+    stricter ``mergeable`` contract; the routed ``sharded()`` view works for
+    every snapshotable family.
     """
 
     def __init__(
@@ -176,11 +179,11 @@ class IngestCoordinator:
     ) -> None:
         if workers <= 0:
             raise ValueError("worker count must be positive")
-        if not is_mergeable(algorithm):
+        if not supports_snapshots(algorithm):
             raise UnmergeableSketchError(
                 f"{algorithm} cannot be ingested remotely: distributed collection "
-                "requires the merge contract (state_snapshot/merge); "
-                "mergeable families are CM/CU/Count"
+                "requires state-snapshot support (state_snapshot/state_restore); "
+                "snapshotable families are CM/CU/Count and ReliableSketch"
             )
         self.algorithm = algorithm
         self.memory_bytes = memory_bytes
@@ -305,10 +308,13 @@ class DistributedIngestResult:
     ``shard_sketches`` are the restored worker replicas (shard order);
     ``merged`` is their tree-merge — for CM/Count bit-identical to a single
     sketch fed the whole stream, for CU an upper bound with the documented
-    merge semantics.  ``sharded()`` wraps the replicas back into a routed
+    merge semantics, and ``None`` for snapshotable-but-unmergeable families
+    (ReliableSketch), whose shards have no lossless combination.
+    ``sharded()`` wraps the replicas back into a routed
     :class:`ShardedSketch`, which answers queries bit-identically to local
-    sharded ingest for *every* supported family (CU included: per-shard
-    states are exact; only the cross-shard merge is weaker).
+    sharded ingest for *every* supported family (CU and ReliableSketch
+    included: per-shard states are exact; only the cross-shard merge is
+    weaker or absent).
     """
 
     algorithm: str
@@ -318,7 +324,7 @@ class DistributedIngestResult:
     memory_bytes: float
     shard_sketches: list[Sketch]
     worker_metas: list[dict]
-    merged: Sketch
+    merged: Sketch | None
     items_per_worker: tuple[int, ...]
     ingest_seconds: float
     merge_seconds: float
@@ -372,7 +378,12 @@ def run_distributed_ingest(
         coordinator.shutdown()
 
     start = time.perf_counter()
-    merged = tree_merge([copy.deepcopy(sketch) for sketch in shard_sketches])
+    if shard_sketches[0].mergeable:
+        merged = tree_merge([copy.deepcopy(sketch) for sketch in shard_sketches])
+    else:
+        # Snapshotable but order-dependent (ReliableSketch): the routed
+        # sharded() view is the queryable result; there is no lossless merge.
+        merged = None
     merge_seconds = time.perf_counter() - start
 
     return DistributedIngestResult(

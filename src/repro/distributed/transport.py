@@ -257,6 +257,13 @@ class SocketChannel(Channel):
         super().__init__()
         self._socket = sock
         self._closed = False
+        try:
+            # Frames are whole messages: Nagle buys nothing on bulk ingest
+            # (frames already fill segments) and costs the serving layer a
+            # delayed-ACK round trip (~40 ms) per request/response exchange.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - non-TCP sockets in tests
+            pass
 
     def send(self, frame: bytes) -> None:
         if self._closed:

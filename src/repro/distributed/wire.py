@@ -35,11 +35,18 @@ from __future__ import annotations
 
 import json
 import struct
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from repro.hashing import EncodedKeyBatch
+from repro.hashing.families import (
+    KEY_TAG_BYTES,
+    KEY_TAG_INT,
+    KEY_TAG_STR,
+    decode_zigzag_int,
+)
 
 MAGIC = b"RS"
 #: Bump on any incompatible layout change; decoders reject other versions.
@@ -54,19 +61,39 @@ MSG_BATCH = 2  # collector -> worker: one routed key/value chunk
 MSG_SNAPSHOT_REQUEST = 3  # collector -> worker: send your state
 MSG_SNAPSHOT = 4  # worker -> collector: sketch state + ingest stats
 MSG_SHUTDOWN = 5  # collector -> worker: drain and exit
+MSG_QUERY = 6  # client -> server: one query request (serving layer)
+MSG_QUERY_REPLY = 7  # server -> client: the epoch-stamped answer
 
 _MESSAGE_TYPES = frozenset(
-    {MSG_CONFIG, MSG_BATCH, MSG_SNAPSHOT_REQUEST, MSG_SNAPSHOT, MSG_SHUTDOWN}
+    {
+        MSG_CONFIG,
+        MSG_BATCH,
+        MSG_SNAPSHOT_REQUEST,
+        MSG_SNAPSHOT,
+        MSG_SHUTDOWN,
+        MSG_QUERY,
+        MSG_QUERY_REPLY,
+    }
 )
+
+# Request kinds of the serving layer's MSG_QUERY / MSG_QUERY_REPLY payloads.
+QUERY_KEYS = 0  # batch point estimates for an explicit key list
+QUERY_TOP_K = 1  # the k heaviest keys of the service's directory
+QUERY_STATS = 2  # service counters as JSON
+QUERY_FLUSH = 3  # force an epoch publish; reply carries the new epoch id
+
+_QUERY_KINDS = frozenset({QUERY_KEYS, QUERY_TOP_K, QUERY_STATS, QUERY_FLUSH})
 
 # Key-block modes of a batch payload.
 _KEYS_INT32 = 0  # all keys are ints in [0, 2^31): one uint32 array
 _KEYS_TAGGED = 1  # per-key type tag + length + key_to_bytes encoding
 
-# Per-key type tags of the tagged mode.
-_TAG_INT = 0
-_TAG_STR = 1
-_TAG_BYTES = 2
+# Per-key type tags of the tagged mode — the reversible key codec of
+# ``repro.hashing.families`` is the single source of the tag assignment,
+# shared with sketch snapshots (``keys_to_arrays``).
+_TAG_INT = KEY_TAG_INT
+_TAG_STR = KEY_TAG_STR
+_TAG_BYTES = KEY_TAG_BYTES
 
 # Value-block modes of a batch payload.
 _VALUES_ONES = 0  # every value is 1 (the paper's frequency streams)
@@ -118,27 +145,13 @@ def decode_frame(frame: bytes) -> tuple[int, bytes]:
 # Batch payloads
 
 
-def _decode_zigzag_int(encoded: bytes) -> int:
-    """Invert the zigzag int encoding of ``key_to_bytes``."""
-    value = int.from_bytes(encoded, "little")
-    return -(value >> 1) if value & 1 else value >> 1
+def _append_key_block(parts: list[bytes], batch: EncodedKeyBatch) -> None:
+    """Append the key block of ``batch`` (mode byte + packed keys) to ``parts``.
 
-
-def encode_batch(
-    keys: Sequence[object], values: Sequence[int] | np.ndarray | int | None = None
-) -> bytes:
-    """Serialize a key/value chunk into a ``MSG_BATCH`` payload.
-
-    ``keys`` may be a plain sequence or an :class:`EncodedKeyBatch`; passing
-    a batch whose encodings are already materialised (e.g. a routed
-    sub-batch) reuses them instead of re-encoding.  Stream order is
-    preserved — decode returns the keys in exactly this order, which is what
-    keeps remote ingest exact for order-dependent sketches.
+    Shared by batch payloads and the serving layer's query frames, so every
+    frame family ships keys in the same packed encodings.
     """
-    batch = keys if isinstance(keys, EncodedKeyBatch) else EncodedKeyBatch(keys)
     count = len(batch)
-    parts = [struct.pack(">I", count)]
-
     if all(type(key) is int and 0 <= key < 2**31 for key in batch.keys):
         parts.append(bytes([_KEYS_INT32]))
         parts.append(np.asarray(batch.keys, dtype="<u4").tobytes())
@@ -163,6 +176,75 @@ def encode_batch(
         parts.append(bytes(tags))
         parts.append(lengths.tobytes())
         parts.append(b"".join(encoded))
+
+
+def _read_key_block(read, count: int) -> EncodedKeyBatch:
+    """Inverse of :func:`_append_key_block` over a payload ``read`` cursor."""
+    key_mode = read(1)[0]
+    if key_mode == _KEYS_INT32:
+        raw = np.frombuffer(read(4 * count), dtype="<u4")
+        # tolist() materialises Python ints in one C-level pass — this mode
+        # stays free of per-key Python work on both sides.
+        return EncodedKeyBatch(raw.tolist())
+    if key_mode == _KEYS_TAGGED:
+        tags = read(count)
+        lengths = np.frombuffer(read(4 * count), dtype="<u4")
+        blob = read(int(lengths.sum()))
+        keys: list[object] = []
+        encoded: list[bytes] = []
+        position = 0
+        for tag, length in zip(tags, lengths):
+            piece = blob[position : position + int(length)]
+            position += int(length)
+            encoded.append(piece)
+            if tag == _TAG_BYTES:
+                keys.append(piece)
+            elif tag == _TAG_STR:
+                try:
+                    keys.append(piece.decode("utf-8"))
+                except UnicodeDecodeError as error:
+                    raise WireFormatError(f"malformed str key: {error}") from None
+            elif tag == _TAG_INT:
+                keys.append(decode_zigzag_int(piece))
+            else:
+                raise WireFormatError(f"unknown key tag {tag}")
+        return EncodedKeyBatch(keys, _encoded=encoded)
+    raise WireFormatError(f"unknown key mode {key_mode}")
+
+
+def _payload_reader(payload: bytes):
+    """A bounds-checked ``read(size)`` cursor plus its position probe."""
+    offset = 0
+
+    def read(size: int) -> bytes:
+        nonlocal offset
+        blob = payload[offset : offset + size]
+        if len(blob) != size:
+            raise WireFormatError("truncated payload")
+        offset += size
+        return blob
+
+    def position() -> int:
+        return offset
+
+    return read, position
+
+
+def encode_batch(
+    keys: Sequence[object], values: Sequence[int] | np.ndarray | int | None = None
+) -> bytes:
+    """Serialize a key/value chunk into a ``MSG_BATCH`` payload.
+
+    ``keys`` may be a plain sequence or an :class:`EncodedKeyBatch`; passing
+    a batch whose encodings are already materialised (e.g. a routed
+    sub-batch) reuses them instead of re-encoding.  Stream order is
+    preserved — decode returns the keys in exactly this order, which is what
+    keeps remote ingest exact for order-dependent sketches.
+    """
+    batch = keys if isinstance(keys, EncodedKeyBatch) else EncodedKeyBatch(keys)
+    count = len(batch)
+    parts = [struct.pack(">I", count)]
+    _append_key_block(parts, batch)
 
     if values is None:
         parts.append(bytes([_VALUES_ONES]))
@@ -189,48 +271,9 @@ def decode_batch(payload: bytes) -> tuple[EncodedKeyBatch, np.ndarray]:
     straight into matrices — the encoding work of the batch datapath is paid
     once at the sender, never again.
     """
-    offset = 0
-
-    def read(size: int) -> bytes:
-        nonlocal offset
-        blob = payload[offset : offset + size]
-        if len(blob) != size:
-            raise WireFormatError("truncated batch payload")
-        offset += size
-        return blob
-
+    read, position = _payload_reader(payload)
     (count,) = struct.unpack(">I", read(4))
-    key_mode = read(1)[0]
-    if key_mode == _KEYS_INT32:
-        raw = np.frombuffer(read(4 * count), dtype="<u4")
-        # tolist() materialises Python ints in one C-level pass — this mode
-        # stays free of per-key Python work on both sides.
-        batch = EncodedKeyBatch(raw.tolist())
-    elif key_mode == _KEYS_TAGGED:
-        tags = read(count)
-        lengths = np.frombuffer(read(4 * count), dtype="<u4")
-        blob = read(int(lengths.sum()))
-        keys: list[object] = []
-        encoded: list[bytes] = []
-        position = 0
-        for tag, length in zip(tags, lengths):
-            piece = blob[position : position + int(length)]
-            position += int(length)
-            encoded.append(piece)
-            if tag == _TAG_BYTES:
-                keys.append(piece)
-            elif tag == _TAG_STR:
-                try:
-                    keys.append(piece.decode("utf-8"))
-                except UnicodeDecodeError as error:
-                    raise WireFormatError(f"malformed str key: {error}") from None
-            elif tag == _TAG_INT:
-                keys.append(_decode_zigzag_int(piece))
-            else:
-                raise WireFormatError(f"unknown key tag {tag}")
-        batch = EncodedKeyBatch(keys, _encoded=encoded)
-    else:
-        raise WireFormatError(f"unknown key mode {key_mode}")
+    batch = _read_key_block(read, count)
 
     value_mode = read(1)[0]
     if value_mode == _VALUES_ONES:
@@ -242,7 +285,7 @@ def decode_batch(payload: bytes) -> tuple[EncodedKeyBatch, np.ndarray]:
         values = np.frombuffer(read(8 * count), dtype="<i8").astype(np.int64)
     else:
         raise WireFormatError(f"unknown value mode {value_mode}")
-    if offset != len(payload):
+    if position() != len(payload):
         raise WireFormatError("trailing bytes after batch payload")
     return batch, values
 
@@ -327,3 +370,159 @@ def decode_config(payload: bytes) -> dict:
     if not isinstance(config, dict):
         raise WireFormatError("config payload must be a JSON object")
     return config
+
+
+# ---------------------------------------------------------------------------
+# Query payloads (the serving layer)
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One decoded ``MSG_QUERY`` payload.
+
+    ``keys`` is set for :data:`QUERY_KEYS` (an :class:`EncodedKeyBatch`
+    carrying the transmitted packed encodings), ``k`` for
+    :data:`QUERY_TOP_K`; :data:`QUERY_STATS` and :data:`QUERY_FLUSH` carry
+    nothing but the request id.
+    """
+
+    request_id: int
+    kind: int
+    keys: EncodedKeyBatch | None = None
+    k: int | None = None
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """One decoded ``MSG_QUERY_REPLY`` payload.
+
+    ``epoch_id`` stamps every answer with the epoch that produced it — the
+    client-visible handle of snapshot isolation (two answers with the same
+    epoch id came from the same frozen replica).  ``estimates`` is set for
+    key and top-k queries, ``keys`` for top-k (the ranked keys, heaviest
+    first), ``stats`` for stats requests.
+    """
+
+    request_id: int
+    kind: int
+    epoch_id: int
+    estimates: np.ndarray | None = None
+    keys: EncodedKeyBatch | None = None
+    stats: dict | None = None
+
+
+def encode_query_request(
+    request_id: int,
+    kind: int,
+    keys: Sequence[object] | None = None,
+    k: int | None = None,
+) -> bytes:
+    """Serialize a query request into a ``MSG_QUERY`` payload.
+
+    Key lists ride the same packed key block as batch payloads, so a query
+    for a million keys costs the sender no per-key Python work on the int
+    fast path.
+    """
+    if kind not in _QUERY_KINDS:
+        raise WireFormatError(f"unknown query kind {kind}")
+    parts = [struct.pack(">IB", request_id, kind)]
+    if kind == QUERY_KEYS:
+        if keys is None:
+            raise WireFormatError("QUERY_KEYS requires a key list")
+        batch = keys if isinstance(keys, EncodedKeyBatch) else EncodedKeyBatch(keys)
+        parts.append(struct.pack(">I", len(batch)))
+        _append_key_block(parts, batch)
+    elif kind == QUERY_TOP_K:
+        if k is None or k <= 0:
+            raise WireFormatError("QUERY_TOP_K requires a positive k")
+        parts.append(struct.pack(">I", k))
+    return b"".join(parts)
+
+
+def decode_query_request(payload: bytes) -> QueryRequest:
+    """Inverse of :func:`encode_query_request`."""
+    read, position = _payload_reader(payload)
+    request_id, kind = struct.unpack(">IB", read(5))
+    if kind not in _QUERY_KINDS:
+        raise WireFormatError(f"unknown query kind {kind}")
+    keys = None
+    k = None
+    if kind == QUERY_KEYS:
+        (count,) = struct.unpack(">I", read(4))
+        keys = _read_key_block(read, count)
+    elif kind == QUERY_TOP_K:
+        (k,) = struct.unpack(">I", read(4))
+        if k <= 0:
+            raise WireFormatError("QUERY_TOP_K requires a positive k")
+    if position() != len(payload):
+        raise WireFormatError("trailing bytes after query request")
+    return QueryRequest(request_id=request_id, kind=kind, keys=keys, k=k)
+
+
+def encode_query_response(
+    request_id: int,
+    kind: int,
+    epoch_id: int,
+    estimates: np.ndarray | Sequence[int] | None = None,
+    keys: Sequence[object] | None = None,
+    stats: dict | None = None,
+) -> bytes:
+    """Serialize an epoch-stamped answer into a ``MSG_QUERY_REPLY`` payload."""
+    if kind not in _QUERY_KINDS:
+        raise WireFormatError(f"unknown query kind {kind}")
+    parts = [struct.pack(">IBQ", request_id, kind, epoch_id)]
+    if kind in (QUERY_KEYS, QUERY_TOP_K):
+        if estimates is None:
+            raise WireFormatError("key and top-k responses require estimates")
+        estimate_array = np.asarray(estimates, dtype=np.int64)
+        if estimate_array.ndim != 1:
+            raise WireFormatError("estimates must be one-dimensional")
+        parts.append(struct.pack(">I", len(estimate_array)))
+        if kind == QUERY_TOP_K:
+            if keys is None:
+                raise WireFormatError("top-k responses require the ranked keys")
+            batch = keys if isinstance(keys, EncodedKeyBatch) else EncodedKeyBatch(keys)
+            if len(batch) != len(estimate_array):
+                raise WireFormatError("top-k keys must match the estimates")
+            _append_key_block(parts, batch)
+        parts.append(estimate_array.astype("<i8").tobytes())
+    elif kind == QUERY_STATS:
+        if stats is None:
+            raise WireFormatError("stats responses require a stats dict")
+        parts.append(json.dumps(stats).encode("utf-8"))
+    return b"".join(parts)
+
+
+def decode_query_response(payload: bytes) -> QueryResponse:
+    """Inverse of :func:`encode_query_response`."""
+    read, position = _payload_reader(payload)
+    request_id, kind, epoch_id = struct.unpack(">IBQ", read(13))
+    if kind not in _QUERY_KINDS:
+        raise WireFormatError(f"unknown query kind {kind}")
+    estimates = None
+    keys = None
+    stats = None
+    if kind in (QUERY_KEYS, QUERY_TOP_K):
+        (count,) = struct.unpack(">I", read(4))
+        if kind == QUERY_TOP_K:
+            keys = _read_key_block(read, count)
+        estimates = np.frombuffer(read(8 * count), dtype="<i8").astype(np.int64)
+    elif kind == QUERY_STATS:
+        blob = payload[position():]
+        read(len(blob))
+        try:
+            stats = json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise WireFormatError(f"malformed stats payload: {error}") from None
+        if not isinstance(stats, dict):
+            raise WireFormatError("stats payload must be a JSON object")
+    if position() != len(payload):
+        raise WireFormatError("trailing bytes after query response")
+    return QueryResponse(
+        request_id=request_id,
+        kind=kind,
+        epoch_id=epoch_id,
+        estimates=estimates,
+        keys=keys,
+        stats=stats,
+    )

@@ -63,7 +63,8 @@ class ExperimentSettings:
     workers: int = 1
     #: Transport backend for distributed ingest (``"inproc"``, ``"pipe"`` or
     #: ``"tcp"``); ``None`` fills sketches in-process.  With a transport set,
-    #: mergeable families ingest on ``shards`` remote workers (one shard per
+    #: snapshot-supporting families (CM/CU/Count and ReliableSketch) ingest
+    #: on ``shards`` remote workers (one shard per
     #: worker, batches shipped as wire frames) and the evaluated sketch is
     #: rebuilt from the collected worker snapshots — bit-identical to the
     #: local sharded fill, because key->worker placement reuses the exact
@@ -79,6 +80,19 @@ class ExperimentSettings:
     #: and ``workers`` — this only changes how fast sketches fill, never any
     #: result (see :mod:`repro.kernels`).
     kernel: str | None = None
+    #: Epoch length of the serving layer, in items; ``None`` fills sketches
+    #: directly.  When set, the local fill runs through the epoch writer of
+    #: ``repro.serve.snapshots`` (publishing an immutable snapshot every
+    #: ``epoch_items`` absorbed items) and the evaluated sketch is the final
+    #: *published epoch* after a flush — bit-identical to the direct fill,
+    #: because a flush publishes the complete state (pinned by
+    #: ``tests/serve/test_snapshots.py``).  Another pure execution knob: it
+    #: exercises the serving path inside any experiment without changing a
+    #: single number.  Mutually exclusive with ``transport`` (the remote
+    #: fill's epoch structure lives on the workers, not here): combining
+    #: the two raises instead of silently ignoring one — the same policy
+    #: the CLI applies to its flags.
+    epoch_items: int | None = None
     #: Extra keyword arguments forwarded to the sketch constructors.
     sketch_kwargs: dict = field(default_factory=dict)
 
@@ -155,12 +169,17 @@ def _fill_sketch(
 def _fill_sketch_with_kernel(
     name: str, memory_bytes: float, stream: Stream, settings: ExperimentSettings
 ) -> Sketch:
+    if settings.transport is not None and settings.epoch_items is not None:
+        raise ValueError(
+            "epoch_items cannot be combined with transport: the remote fill "
+            "has no local epoch writer to rotate (drop one of the two knobs)"
+        )
     if settings.transport is not None:
         from repro.distributed import run_distributed_ingest
         from repro.distributed.ingest import DEFAULT_CHUNK_SIZE
-        from repro.sketches.registry import is_mergeable
+        from repro.sketches.registry import supports_snapshots
 
-        if is_mergeable(name):
+        if supports_snapshots(name):
             result = run_distributed_ingest(
                 name,
                 memory_bytes,
@@ -173,6 +192,15 @@ def _fill_sketch_with_kernel(
             )
             return result.sharded()
     sketch = _sketch_factory(name, settings)(memory_bytes)
+    if settings.epoch_items is not None:
+        from repro.serve.snapshots import EpochWriter
+        from repro.streams.items import chunked
+
+        writer = EpochWriter(sketch, publish_every_items=settings.epoch_items)
+        chunk_size = settings.batch_size or settings.epoch_items
+        for chunk in chunked(stream, chunk_size):
+            writer.ingest([key for key, _ in chunk], [value for _, value in chunk])
+        return writer.publish().sketch
     sketch.insert_stream(stream, batch_size=settings.batch_size)
     return sketch
 

@@ -57,6 +57,88 @@ def encode_keys(keys: Sequence[object]) -> list[bytes]:
     return [key_to_bytes(key) for key in keys]
 
 
+# Per-key type tags of the reversible key-list codec (shared with the wire
+# format's tagged batch mode, which uses the same 0/1/2 assignment).
+KEY_TAG_INT = 0
+KEY_TAG_STR = 1
+KEY_TAG_BYTES = 2
+#: Slot-is-empty tag of :func:`keys_to_arrays` (``None`` entries, e.g. the
+#: unset buckets of a ReliableSketch layer).
+KEY_TAG_NONE = 3
+
+
+def decode_zigzag_int(encoded: bytes) -> int:
+    """Invert the zigzag int encoding of :func:`key_to_bytes`."""
+    value = int.from_bytes(encoded, "little")
+    return -(value >> 1) if value & 1 else value >> 1
+
+
+def key_from_bytes(tag: int, encoded: bytes) -> object | None:
+    """Invert :func:`key_to_bytes` given the key's type tag."""
+    if tag == KEY_TAG_BYTES:
+        return encoded
+    if tag == KEY_TAG_STR:
+        return encoded.decode("utf-8")
+    if tag == KEY_TAG_INT:
+        return decode_zigzag_int(encoded)
+    if tag == KEY_TAG_NONE:
+        return None
+    raise ValueError(f"unknown key tag {tag}")
+
+
+def keys_to_arrays(keys: Sequence[object | None]) -> dict[str, np.ndarray]:
+    """Serialize a key list (``None`` allowed) into three plain arrays.
+
+    Returns ``{"tags": uint8, "lengths": uint32, "blob": uint8}`` —
+    per-slot type tags, per-slot encoded lengths and the concatenated
+    :func:`key_to_bytes` encodings.  The representation is array-only on
+    purpose: it rides inside ``state_snapshot()`` dicts, which the
+    distributed wire format ships as raw array bytes.  Inverse:
+    :func:`keys_from_arrays`.
+    """
+    count = len(keys)
+    tags = np.empty(count, dtype=np.uint8)
+    encodings: list[bytes] = []
+    for position, key in enumerate(keys):
+        if key is None:
+            tags[position] = KEY_TAG_NONE
+            encodings.append(b"")
+        elif isinstance(key, bytes):
+            tags[position] = KEY_TAG_BYTES
+            encodings.append(key)
+        elif isinstance(key, str):
+            tags[position] = KEY_TAG_STR
+            encodings.append(key.encode("utf-8"))
+        elif isinstance(key, int):
+            tags[position] = KEY_TAG_INT
+            encodings.append(key_to_bytes(key))
+        else:
+            raise TypeError(f"unsupported key type: {type(key)!r}")
+    lengths = np.fromiter((len(blob) for blob in encodings), dtype=np.uint32, count=count)
+    blob = np.frombuffer(b"".join(encodings), dtype=np.uint8)
+    return {"tags": tags, "lengths": lengths, "blob": blob}
+
+
+def keys_from_arrays(
+    tags: np.ndarray, lengths: np.ndarray, blob: np.ndarray
+) -> list[object | None]:
+    """Inverse of :func:`keys_to_arrays`; malformed input raises ``ValueError``."""
+    tags = np.asarray(tags, dtype=np.uint8)
+    lengths = np.asarray(lengths, dtype=np.uint32)
+    if tags.shape != lengths.shape:
+        raise ValueError("key tags and lengths must have the same shape")
+    raw = np.asarray(blob, dtype=np.uint8).tobytes()
+    if int(lengths.sum()) != len(raw):
+        raise ValueError("key blob does not match the encoded lengths")
+    keys: list[object | None] = []
+    position = 0
+    for tag, length in zip(tags.tolist(), lengths.tolist()):
+        piece = raw[position : position + length]
+        position += length
+        keys.append(key_from_bytes(tag, piece))
+    return keys
+
+
 class EncodedKeyBatch:
     """A batch of stream keys, pre-encoded and grouped for vectorized hashing.
 

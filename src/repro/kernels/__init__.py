@@ -32,9 +32,12 @@ from repro.kernels.dispatch import (
     set_default_backend,
     use_backend,
 )
+from repro.kernels.interning import KeyInterner, KeyInternerOverflowError
 from repro.kernels.scalar import EMPTY_ID, UNKNOWN_ID
 
 __all__ = [
+    "KeyInterner",
+    "KeyInternerOverflowError",
     "AUTO",
     "BACKEND_NAMES",
     "KERNEL_ENV_VAR",

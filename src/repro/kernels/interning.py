@@ -31,16 +31,37 @@ from repro.kernels.scalar import UNKNOWN_ID
 _TABLE_KEY_LIMIT = 1 << 22
 
 
+class KeyInternerOverflowError(RuntimeError):
+    """A bounded :class:`KeyInterner` ran out of ids (``max_keys`` reached).
+
+    Raised *before* any state changes, so the interner (and the sketch that
+    owns it) stays consistent: every id handed out so far remains valid and
+    queries keep answering.  Catch it to fail a hostile ingest loudly instead
+    of letting an adversarial key space grow the id maps without bound.
+    """
+
+
 class KeyInterner:
-    """Assigns dense ids to keys on first contact, in stream order."""
+    """Assigns dense ids to keys on first contact, in stream order.
 
-    __slots__ = ("_ids", "id_to_key", "_table")
+    ``max_keys`` bounds the number of distinct keys that may ever be
+    interned; the default ``None`` keeps the historical unbounded behaviour
+    (the deliberate speed-for-memory trade of the batch datapath).  With a
+    bound set, interning the ``max_keys + 1``-th distinct key raises
+    :class:`KeyInternerOverflowError` — a clear failure mode for adversarial
+    key spaces instead of silent unbounded dict growth.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("_ids", "id_to_key", "_table", "max_keys")
+
+    def __init__(self, max_keys: int | None = None) -> None:
+        if max_keys is not None and max_keys <= 0:
+            raise ValueError("max_keys must be positive (or None for unbounded)")
         self._ids: dict = {}
         #: Inverse map; ``id_to_key[i]`` is the key that owns id ``i``.
         self.id_to_key: list = []
         self._table: np.ndarray | None = None
+        self.max_keys = max_keys
 
     def __len__(self) -> int:
         return len(self.id_to_key)
@@ -54,6 +75,12 @@ class KeyInterner:
 
     def _assign(self, key: object) -> int:
         item_id = len(self.id_to_key)
+        if self.max_keys is not None and item_id >= self.max_keys:
+            raise KeyInternerOverflowError(
+                f"key interner is full: {self.max_keys} distinct keys already "
+                f"interned, cannot intern {key!r} (raise max_keys or leave it "
+                "unbounded)"
+            )
         self._ids[key] = item_id
         self.id_to_key.append(key)
         table = self._table

@@ -15,6 +15,7 @@ from repro.metrics.accuracy import (
     average_relative_error,
 )
 from repro.metrics.throughput import (
+    LatencySummary,
     ShardLoadReport,
     ThroughputResult,
     measure_throughput,
@@ -36,6 +37,7 @@ __all__ = [
     "count_outliers",
     "average_absolute_error",
     "average_relative_error",
+    "LatencySummary",
     "ShardLoadReport",
     "ThroughputResult",
     "measure_throughput",

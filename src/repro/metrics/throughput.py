@@ -53,6 +53,39 @@ class ThroughputResult:
 
 
 @dataclass(frozen=True)
+class LatencySummary:
+    """Percentile summary of per-operation latencies, in milliseconds.
+
+    The serving layer's closed-loop measurements (one outstanding request)
+    report p50/p99 of *service* latency — there is no queueing delay to
+    conflate.  An empty sample yields all-zero summaries rather than NaNs,
+    so JSON artifacts stay clean for write-only runs.
+    """
+
+    count: int
+    p50_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_ms: float
+
+    @classmethod
+    def from_seconds(cls, latencies_seconds: Sequence[float]) -> "LatencySummary":
+        """Summarise raw per-operation wall-clock samples (seconds)."""
+        import numpy as np
+
+        if not len(latencies_seconds):
+            return cls(count=0, p50_ms=0.0, p99_ms=0.0, mean_ms=0.0, max_ms=0.0)
+        samples_ms = np.asarray(latencies_seconds, dtype=np.float64) * 1e3
+        return cls(
+            count=int(samples_ms.size),
+            p50_ms=float(np.percentile(samples_ms, 50)),
+            p99_ms=float(np.percentile(samples_ms, 99)),
+            mean_ms=float(samples_ms.mean()),
+            max_ms=float(samples_ms.max()),
+        )
+
+
+@dataclass(frozen=True)
 class ShardLoadReport:
     """Per-shard ingest accounting of one sharded measurement.
 

@@ -1,0 +1,42 @@
+"""Online query serving: snapshot-isolated reads concurrent with ingest.
+
+The sixth layer of the engine (see ``docs/architecture.md``).  Everything
+below it answers queries *after* a stream has been absorbed; this package
+answers them *while* the stream is being absorbed, without ever letting a
+reader observe a half-applied update:
+
+* :mod:`repro.serve.snapshots` — epoch-based snapshot rotation: a single
+  writer ingests batches into the live sketch and periodically publishes an
+  immutable replica (``state_snapshot`` → ``state_restore`` when the sketch
+  supports it, deep copy otherwise).  Readers always see the latest
+  *published* epoch, so every answer is bit-identical to querying a frozen
+  copy of the sketch at that epoch — reads never contend with inserts.
+* :mod:`repro.serve.service` — :class:`~repro.serve.service.SketchService`:
+  the query front end (``query`` / ``query_batch`` / ``top_k`` / ``stats``)
+  with a bounded LRU answer cache invalidated on epoch publish.
+* :mod:`repro.serve.server` — request/response framing layered on the
+  distributed ``Transport`` protocol, so the same inproc/pipe/tcp backends
+  that ship ingest batches also serve remote queries
+  (``repro-cli serve`` / ``repro-cli query``).
+* :mod:`repro.serve.loadgen` — a closed-loop load generator (Zipf key mix,
+  configurable read/write ratio) behind ``benchmarks/bench_serving.py``.
+"""
+
+from repro.serve.loadgen import LoadGenConfig, LoadGenReport, run_loadgen
+from repro.serve.server import QueryClient, ServeConfig, ServingSession, serve_main
+from repro.serve.service import SketchService
+from repro.serve.snapshots import EpochSnapshot, EpochWriter, replicate_sketch
+
+__all__ = [
+    "EpochSnapshot",
+    "EpochWriter",
+    "LoadGenConfig",
+    "LoadGenReport",
+    "QueryClient",
+    "ServeConfig",
+    "ServingSession",
+    "SketchService",
+    "replicate_sketch",
+    "run_loadgen",
+    "serve_main",
+]

@@ -1,0 +1,203 @@
+"""Closed-loop load generation against a serving endpoint.
+
+The generator models the paper's operator workload: a measurement stream
+being absorbed (writes) while per-flow estimates are queried concurrently
+(reads).  It is *closed-loop*: one outstanding operation at a time, the
+next op issued when the previous completes — so reported latencies are
+service latencies, not queue-buildup artifacts, and sustained ops/sec is
+the inverse of mean latency.
+
+Operations are drawn from a pre-generated schedule (read with probability
+``read_ratio``, write otherwise) over a Zipf key mix; all randomness is
+materialised before the timed loop so the measurement is pure serving cost.
+
+Two correctness signals ride along and land in ``BENCH_serving.json``:
+
+* **Repeat-read consistency** — a sampled fraction of reads is immediately
+  re-issued; whenever both answers carry the same epoch id they must be
+  bit-identical (a torn read would differ).
+* **End-of-run bit-identity** — after the final flush, every distinct key's
+  served answer must equal a local *reference sketch* fed the identical
+  write stream in the identical order.  Channels are FIFO and the service
+  is single-writer, so the remote live sketch is bit-identical to the local
+  reference by the layers-below contracts; the final epoch must expose
+  exactly that state.
+
+``epoch_consistent`` is the conjunction of both.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.metrics.throughput import LatencySummary
+from repro.serve.server import QueryClient
+from repro.sketches.base import Sketch
+from repro.streams.synthetic import ZipfGenerator
+
+#: Fraction of reads that are immediately re-issued for the consistency check.
+REPEAT_READ_FRACTION = 0.05
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """Shape of one load-generation run."""
+
+    #: Total operations (each write ships ``write_batch`` items, each read
+    #: queries ``read_batch`` keys).
+    operations: int = 2000
+    #: Probability that an operation is a read.
+    read_ratio: float = 0.5
+    #: Items per write operation.
+    write_batch: int = 256
+    #: Keys per read operation.
+    read_batch: int = 64
+    #: Zipf skew of the key mix (reads and writes share it).
+    skew: float = 1.1
+    #: Key universe size.
+    universe: int = 10_000
+    #: RNG seed (schedule and key draws are fully deterministic).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.operations <= 0:
+            raise ValueError("operations must be positive")
+        if not 0.0 <= self.read_ratio <= 1.0:
+            raise ValueError("read_ratio must be in [0, 1]")
+        if self.write_batch <= 0 or self.read_batch <= 0:
+            raise ValueError("write_batch and read_batch must be positive")
+
+
+@dataclass
+class LoadGenReport:
+    """Everything one run measured (one row of ``BENCH_serving.json``)."""
+
+    operations: int
+    reads: int
+    writes: int
+    items_written: int
+    keys_read: int
+    wall_seconds: float
+    ops_per_second: float
+    reads_per_second: float
+    keys_read_per_second: float
+    items_written_per_second: float
+    read_latency_p50_ms: float
+    read_latency_p99_ms: float
+    read_latency_mean_ms: float
+    #: Epoch rotation observed by the service (staleness accounting).
+    epochs_published: int
+    mean_staleness_items: float
+    max_staleness_items: float
+    #: Both correctness signals held (see the module docstring).
+    epoch_consistent: bool
+    repeat_reads_checked: int
+    service_stats: dict = field(default_factory=dict)
+
+    def to_row(self) -> dict:
+        """A flat JSON-serializable dict."""
+        return dict(self.__dict__)
+
+
+def run_loadgen(
+    client: QueryClient,
+    config: LoadGenConfig,
+    reference: Sketch | None = None,
+) -> LoadGenReport:
+    """Drive one serving endpoint with a mixed read/write workload.
+
+    ``reference`` is a local empty sketch built with the *same* registry
+    configuration and seed as the served one; the generator feeds it every
+    write batch it ships and uses it for the end-of-run bit-identity check
+    (skipped when ``None``, leaving only the repeat-read signal).
+    """
+    rng = np.random.default_rng(config.seed)
+    zipf = ZipfGenerator(config.skew, universe=config.universe, seed=config.seed + 1)
+
+    # Materialise the whole schedule before the timed loop.
+    is_read = rng.random(config.operations) < config.read_ratio
+    reads = int(is_read.sum())
+    writes = config.operations - reads
+    write_keys = zipf.draw(writes * config.write_batch).tolist()
+    read_keys = zipf.draw(reads * config.read_batch).tolist()
+    repeat_read = rng.random(reads) < REPEAT_READ_FRACTION
+
+    consistent = True
+    repeat_checked = 0
+    read_latencies: list[float] = []
+    write_cursor = 0
+    read_cursor = 0
+    read_index = 0
+    written_keys: dict = {}
+
+    start = time.perf_counter()
+    for operation in range(config.operations):
+        if is_read[operation]:
+            keys = read_keys[read_cursor : read_cursor + config.read_batch]
+            read_cursor += config.read_batch
+            issued = time.perf_counter()
+            estimates, epoch_id = client.query_batch(keys)
+            read_latencies.append(time.perf_counter() - issued)
+            if repeat_read[read_index]:
+                again, again_epoch = client.query_batch(keys)
+                repeat_checked += 1
+                if again_epoch == epoch_id and not (again == estimates).all():
+                    # Same epoch, different answers: a torn read.
+                    consistent = False
+            read_index += 1
+        else:
+            keys = write_keys[write_cursor : write_cursor + config.write_batch]
+            write_cursor += config.write_batch
+            client.ingest(keys)
+            if reference is not None:
+                reference.insert_batch(keys)
+            written_keys.update(dict.fromkeys(keys))
+    wall_seconds = time.perf_counter() - start
+
+    # Epoch-rotation accounting must be read BEFORE the drain flush: the
+    # flush force-publishes, so reading afterwards would make
+    # ``epochs_published`` >= 1 even if rotation during the run was broken
+    # (and the CI assertion on it vacuous).
+    in_run_stats = client.stats()
+    publishes = int(in_run_stats.get("publishes", 0))
+
+    # Drain: force the final epoch, then compare every written key against
+    # the reference fed the identical stream.
+    client.flush()
+    if reference is not None and written_keys:
+        distinct = list(written_keys)
+        served, _ = client.query_batch(distinct)
+        if not (served == reference.query_batch(distinct)).all():
+            consistent = False
+
+    stats = client.stats()
+    latency = LatencySummary.from_seconds(read_latencies)
+    items_written = writes * config.write_batch
+    keys_read = reads * config.read_batch
+    return LoadGenReport(
+        operations=config.operations,
+        reads=reads,
+        writes=writes,
+        items_written=items_written,
+        keys_read=keys_read,
+        wall_seconds=wall_seconds,
+        ops_per_second=config.operations / max(wall_seconds, 1e-9),
+        reads_per_second=reads / max(wall_seconds, 1e-9),
+        keys_read_per_second=keys_read / max(wall_seconds, 1e-9),
+        items_written_per_second=items_written / max(wall_seconds, 1e-9),
+        read_latency_p50_ms=latency.p50_ms,
+        read_latency_p99_ms=latency.p99_ms,
+        read_latency_mean_ms=latency.mean_ms,
+        epochs_published=publishes,
+        # Staleness from the in-run stats too: the drain flush would append
+        # one short partial interval and skew the mean low.
+        mean_staleness_items=float(in_run_stats.get("mean_interval_items", 0.0)),
+        max_staleness_items=float(in_run_stats.get("max_interval_items", 0)),
+        epoch_consistent=consistent,
+        repeat_reads_checked=repeat_checked,
+        service_stats=stats,
+    )

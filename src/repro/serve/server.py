@@ -1,0 +1,355 @@
+"""Remote serving: the query loop and client over the distributed transports.
+
+The serving layer deliberately reuses the distributed-ingest machinery
+instead of growing its own networking stack:
+
+* **Writes** travel as the existing ``MSG_BATCH`` frames (packed key
+  encodings, value compression) — a remote writer feeds a service exactly
+  the way a coordinator feeds an ingest worker.
+* **Reads** travel as the new ``MSG_QUERY``/``MSG_QUERY_REPLY`` frames
+  (:mod:`repro.distributed.wire`), each reply stamped with the epoch id
+  that answered it.
+* **Transports** are the same ``inproc``/``pipe``/``tcp`` backends: a
+  channel is a channel, whether it carries ingest batches or queries.
+
+:func:`serve_main` is the server-side event loop (symmetric to
+``ingest.worker_main``): stateless until a CONFIG frame describes the
+service, then ingesting batches and answering queries until the channel
+closes.  :class:`QueryClient` is the caller side.  :class:`ServingSession`
+wires one server behind any transport backend and hands back a connected
+client — the entry point of ``benchmarks/bench_serving.py``.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.distributed.transport import Channel, SocketChannel, Transport, create_transport
+from repro.distributed.wire import (
+    MSG_BATCH,
+    MSG_CONFIG,
+    MSG_QUERY,
+    MSG_QUERY_REPLY,
+    MSG_SHUTDOWN,
+    QUERY_FLUSH,
+    QUERY_KEYS,
+    QUERY_STATS,
+    QUERY_TOP_K,
+    QueryResponse,
+    WireFormatError,
+    decode_batch,
+    decode_config,
+    decode_frame,
+    decode_query_request,
+    decode_query_response,
+    encode_batch,
+    encode_config,
+    encode_frame,
+    encode_query_request,
+    encode_query_response,
+)
+from repro.serve.service import DEFAULT_CACHE_SIZE, SketchService
+from repro.serve.snapshots import DEFAULT_PUBLISH_EVERY_ITEMS
+from repro.sketches.base import Sketch
+from repro.sketches.registry import build_sketch
+from repro.sketches.sharded import ShardedSketch
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything a remote server needs to build its :class:`SketchService`.
+
+    Travels as the first frame on a serving channel (the serving analogue of
+    ``ingest.WorkerConfig``), so a TCP server process can be started with
+    nothing but a listen address.  ``shards > 1`` builds the service over a
+    :class:`~repro.sketches.sharded.ShardedSketch` of full-budget replicas.
+    """
+
+    algorithm: str
+    memory_bytes: float
+    seed: int = 0
+    shards: int = 1
+    publish_every_items: int = DEFAULT_PUBLISH_EVERY_ITEMS
+    cache_size: int = DEFAULT_CACHE_SIZE
+    sketch_kwargs: dict = field(default_factory=dict)
+
+    def to_payload(self) -> bytes:
+        return encode_config(
+            {
+                "algorithm": self.algorithm,
+                "memory_bytes": self.memory_bytes,
+                "seed": self.seed,
+                "shards": self.shards,
+                "publish_every_items": self.publish_every_items,
+                "cache_size": self.cache_size,
+                "sketch_kwargs": self.sketch_kwargs,
+            }
+        )
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "ServeConfig":
+        config = decode_config(payload)
+        try:
+            return cls(
+                algorithm=config["algorithm"],
+                memory_bytes=config["memory_bytes"],
+                seed=config.get("seed", 0),
+                shards=config.get("shards", 1),
+                publish_every_items=config.get(
+                    "publish_every_items", DEFAULT_PUBLISH_EVERY_ITEMS
+                ),
+                cache_size=config.get("cache_size", DEFAULT_CACHE_SIZE),
+                sketch_kwargs=config.get("sketch_kwargs", {}),
+            )
+        except KeyError as missing:
+            raise WireFormatError(f"serve config is missing {missing}") from None
+
+    def build_sketch(self) -> Sketch:
+        if self.shards > 1:
+            return ShardedSketch.from_registry(
+                self.algorithm, self.memory_bytes, self.shards,
+                seed=self.seed, **self.sketch_kwargs,
+            )
+        return build_sketch(
+            self.algorithm, self.memory_bytes, seed=self.seed, **self.sketch_kwargs
+        )
+
+    def build_service(self) -> SketchService:
+        """The configured service, with the replica factory wired in."""
+        return SketchService(
+            self.build_sketch(),
+            factory=self.build_sketch,
+            publish_every_items=self.publish_every_items,
+            cache_size=self.cache_size,
+        )
+
+
+def answer_request(service: SketchService, payload: bytes) -> bytes:
+    """Decode one MSG_QUERY payload, serve it, encode the MSG_QUERY_REPLY.
+
+    Shared by every server front end (transport-launched ``serve_main`` and
+    the CLI's TCP accept loop), so request semantics cannot drift between
+    deployment shapes.
+    """
+    request = decode_query_request(payload)
+    if request.kind == QUERY_KEYS:
+        estimates, epoch_id = service.serve_batch(request.keys)
+        return encode_query_response(
+            request.request_id, QUERY_KEYS, epoch_id, estimates=estimates
+        )
+    if request.kind == QUERY_TOP_K:
+        ranking, epoch_id = service.serve_top_k(request.k)
+        return encode_query_response(
+            request.request_id,
+            QUERY_TOP_K,
+            epoch_id,
+            estimates=[estimate for _, estimate in ranking],
+            keys=[key for key, _ in ranking],
+        )
+    if request.kind == QUERY_STATS:
+        return encode_query_response(
+            request.request_id,
+            QUERY_STATS,
+            service.current_epoch.epoch_id,
+            stats=service.stats(),
+        )
+    # QUERY_FLUSH — decode_query_request already rejected unknown kinds.
+    epoch = service.flush()
+    return encode_query_response(request.request_id, QUERY_FLUSH, epoch.epoch_id)
+
+
+def serve_channel(channel: Channel, service: SketchService) -> None:
+    """Serve one configured channel until it closes (or SHUTDOWN arrives)."""
+    while True:
+        frame = channel.recv()
+        if frame is None:
+            break
+        msg_type, payload = decode_frame(frame)
+        if msg_type == MSG_BATCH:
+            batch, values = decode_batch(payload)
+            service.ingest(batch, values)
+        elif msg_type == MSG_QUERY:
+            channel.send(encode_frame(MSG_QUERY_REPLY, answer_request(service, payload)))
+        elif msg_type == MSG_SHUTDOWN:
+            break
+        else:
+            raise WireFormatError(
+                f"unexpected message type {msg_type} on a serving channel"
+            )
+
+
+def serve_main(channel: Channel) -> None:
+    """The remote server's event loop (same code on every transport).
+
+    Frames in: CONFIG (build the service), BATCH (ingest through the epoch
+    writer), QUERY (answer from the latest published epoch),
+    SHUTDOWN / EOF (exit).  Mirrors ``ingest.worker_main`` — and is
+    launchable by any ``Transport`` the same way.
+    """
+    frame = channel.recv()
+    if frame is None:
+        channel.close()
+        return
+    msg_type, payload = decode_frame(frame)
+    if msg_type != MSG_CONFIG:
+        channel.close()
+        raise WireFormatError("serving channel must start with a CONFIG frame")
+    service = ServeConfig.from_payload(payload).build_service()
+    try:
+        serve_channel(channel, service)
+    finally:
+        channel.close()
+
+
+class QueryClient:
+    """Caller-side API over one serving channel.
+
+    Writes (:meth:`ingest`) are fire-and-forget ``MSG_BATCH`` frames; reads
+    round-trip and return epoch-stamped answers.  Channels are FIFO in both
+    directions, so a read observes every write the same client sent before
+    it (once the read's epoch has rotated past them — :meth:`flush` forces
+    that).  Not thread-safe: one client per channel, one channel per client.
+    """
+
+    def __init__(self, channel: Channel) -> None:
+        self._channel = channel
+        self._next_request_id = 0
+
+    # ----------------------------------------------------------- write side
+    def ingest(self, keys: Sequence[object], values: Sequence[int] | int | None = None) -> None:
+        """Ship one write batch (packed key encodings, no acknowledgement)."""
+        self._channel.send(encode_frame(MSG_BATCH, encode_batch(keys, values)))
+
+    # ------------------------------------------------------------ read side
+    def _round_trip(self, kind: int, **request_kwargs) -> QueryResponse:
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        self._channel.send(
+            encode_frame(
+                MSG_QUERY, encode_query_request(request_id, kind, **request_kwargs)
+            )
+        )
+        frame = self._channel.recv()
+        if frame is None:
+            raise WireFormatError("server closed the channel mid-request")
+        msg_type, payload = decode_frame(frame)
+        if msg_type != MSG_QUERY_REPLY:
+            raise WireFormatError(f"expected MSG_QUERY_REPLY, got {msg_type}")
+        response = decode_query_response(payload)
+        if response.request_id != request_id or response.kind != kind:
+            raise WireFormatError(
+                f"response ({response.request_id}, kind {response.kind}) does not "
+                f"match request ({request_id}, kind {kind})"
+            )
+        return response
+
+    def query_batch(self, keys: Sequence[object]) -> tuple[np.ndarray, int]:
+        """Point estimates plus the id of the epoch that answered."""
+        response = self._round_trip(QUERY_KEYS, keys=keys)
+        if len(response.estimates) != len(keys):
+            raise WireFormatError("server returned a mismatched estimate count")
+        return response.estimates, response.epoch_id
+
+    def query(self, key: object) -> int:
+        """Point estimate of one key."""
+        return int(self.query_batch([key])[0][0])
+
+    def top_k(self, k: int) -> tuple[list[tuple[object, int]], int]:
+        """The server's top-k ranking (heaviest first) plus its epoch id."""
+        response = self._round_trip(QUERY_TOP_K, k=k)
+        ranking = list(zip(response.keys, response.estimates.tolist()))
+        return ranking, response.epoch_id
+
+    def stats(self) -> dict:
+        """The service's counters (see :meth:`SketchService.stats`)."""
+        return self._round_trip(QUERY_STATS).stats
+
+    def flush(self) -> int:
+        """Force an epoch publish; returns the new epoch id.
+
+        Because the channel is FIFO, the new epoch covers every batch this
+        client ingested before the flush — the read-your-writes barrier.
+        """
+        return self._round_trip(QUERY_FLUSH).epoch_id
+
+    def close(self) -> None:
+        self._channel.close()
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._channel.bytes_sent
+
+    @property
+    def bytes_received(self) -> int:
+        return self._channel.bytes_received
+
+
+class ServingSession:
+    """One remote service behind a transport, with a connected client.
+
+    ``transport`` is a backend name (``inproc``/``pipe``/``tcp``) or a
+    pre-built :class:`Transport`.  The session launches a single
+    :func:`serve_main` endpoint over it (a thread for ``inproc``, an OS
+    process for ``pipe``, a socket peer for ``tcp``), ships the CONFIG
+    frame, and exposes the :class:`QueryClient`.  Use as a context manager;
+    exit shuts the server down and joins it.
+    """
+
+    def __init__(self, config: ServeConfig, transport: str | Transport = "inproc") -> None:
+        self.config = config
+        self.transport = (
+            create_transport(transport) if isinstance(transport, str) else transport
+        )
+        channels = self.transport.launch(serve_main, 1)
+        self._channel = channels[0]
+        self._channel.send(encode_frame(MSG_CONFIG, config.to_payload()))
+        self.client = QueryClient(self._channel)
+
+    def shutdown(self) -> None:
+        try:
+            self._channel.send(encode_frame(MSG_SHUTDOWN))
+        except (WireFormatError, OSError):
+            pass  # already closed
+        self.transport.close()
+        self.transport.join(timeout=30)
+
+    def __enter__(self) -> "ServingSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def serve_forever(
+    listener: socket.socket, service: SketchService, max_sessions: int | None = None
+) -> int:
+    """Accept and serve TCP clients sequentially over one shared service.
+
+    The ``repro-cli serve`` accept loop: each accepted connection is served
+    until it disconnects; the service (and its sketch state) persists across
+    sessions, so a writer client can load state that later reader clients
+    query.  A misbehaving client — garbage bytes, a connection dropped
+    mid-frame — ends *its* session, never the server: the error is reported
+    and the loop accepts the next client with the sketch state intact.
+    Returns the number of completed sessions (``max_sessions`` bounds it;
+    ``None`` loops until the listener is closed).
+    """
+    sessions = 0
+    while max_sessions is None or sessions < max_sessions:
+        try:
+            connection, _ = listener.accept()
+        except (OSError, TimeoutError):
+            break
+        channel = SocketChannel(connection)
+        try:
+            serve_channel(channel, service)
+        except (WireFormatError, OSError) as error:
+            print(f"client session ended with an error: {error}")
+        finally:
+            channel.close()
+        sessions += 1
+    return sessions

@@ -1,0 +1,228 @@
+"""The query front end of the serving layer.
+
+:class:`SketchService` bolts the read API onto an
+:class:`~repro.serve.snapshots.EpochWriter`:
+
+* ``query(key)`` / ``query_batch(keys)`` — point estimates answered from
+  the latest published epoch (never from the live sketch), so every answer
+  is bit-identical to querying a frozen copy of the sketch at that epoch;
+* ``top_k(k)`` — the heaviest keys among those the service has ingested,
+  ranked by their epoch estimates (ties broken by first-contact order, so
+  the ranking is deterministic);
+* ``stats()`` — epoch id, items absorbed, memory, staleness and cache
+  counters (the ``repro-cli query --stats`` payload);
+* ``ingest(keys, values)`` / ``flush()`` — the write side, delegated to the
+  epoch writer.
+
+A bounded LRU **answer cache** sits in front of the scalar ``query`` and
+``top_k`` paths; it is keyed per epoch and cleared on every publish, so a
+cached answer can never outlive the epoch it was computed in.  The batch
+query path bypasses the cache on purpose — one vectorized ``query_batch``
+against the replica is cheaper than per-key cache probes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.serve.snapshots import (
+    DEFAULT_PUBLISH_EVERY_ITEMS,
+    EpochSnapshot,
+    EpochWriter,
+)
+from repro.sketches.base import Sketch
+
+#: Default bound of the per-epoch LRU answer cache.
+DEFAULT_CACHE_SIZE = 4096
+
+
+class SketchService:
+    """Snapshot-isolated online query service over one live sketch.
+
+    Parameters
+    ----------
+    sketch:
+        The live sketch (any :class:`~repro.sketches.base.Sketch`, including
+        a :class:`~repro.sketches.sharded.ShardedSketch`).
+    factory:
+        Optional builder of structurally identical empty peers — enables the
+        cheap snapshot-restore epoch replication (see
+        :func:`~repro.serve.snapshots.replicate_sketch`).
+    publish_every_items / publish_every_seconds:
+        Epoch rotation cadence, forwarded to the writer.
+    cache_size:
+        Bound of the LRU answer cache (0 disables caching).
+    track_keys:
+        Maintain the key directory behind :meth:`top_k` (every distinct key
+        ever ingested, in first-contact order).  The directory grows with
+        the distinct keys — the same deliberate speed-for-memory trade as
+        the kernel interner; disable it for unbounded key spaces, at the
+        price of ``top_k`` raising.
+    """
+
+    def __init__(
+        self,
+        sketch: Sketch,
+        factory: Callable[[], Sketch] | None = None,
+        publish_every_items: int = DEFAULT_PUBLISH_EVERY_ITEMS,
+        publish_every_seconds: float | None = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        track_keys: bool = True,
+    ) -> None:
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        self.cache_size = cache_size
+        self._cache: OrderedDict = OrderedDict()
+        self._cache_lock = threading.Lock()
+        self._cache_epoch = -1
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._track_keys = track_keys
+        # First-contact-ordered key directory (dict-as-ordered-set).
+        self._keys: dict = {}
+        self._writer = EpochWriter(
+            sketch,
+            factory=factory,
+            publish_every_items=publish_every_items,
+            publish_every_seconds=publish_every_seconds,
+            on_publish=self._on_publish,
+        )
+
+    # ------------------------------------------------------------ write side
+    def ingest(self, keys: Sequence[object], values: Sequence[int] | int | None = None) -> None:
+        """Absorb one batch (single-writer contract, see the epoch writer)."""
+        if self._track_keys:
+            directory = self._keys
+            for key in keys:
+                directory[key] = None
+        self._writer.ingest(keys, values)
+
+    def flush(self) -> EpochSnapshot:
+        """Force an epoch publish so reads catch up with all absorbed items."""
+        return self._writer.publish()
+
+    def _on_publish(self, epoch: EpochSnapshot) -> None:
+        # A new epoch invalidates every cached answer: answers are per-epoch
+        # facts, and the next probe repopulates against the new replica.
+        with self._cache_lock:
+            self._cache.clear()
+            self._cache_epoch = epoch.epoch_id
+
+    # ------------------------------------------------------------- read side
+    @property
+    def current_epoch(self) -> EpochSnapshot:
+        """The epoch reads are currently served from."""
+        return self._writer.current
+
+    def serve_batch(self, keys: Sequence[object]) -> tuple[np.ndarray, int]:
+        """Estimates for ``keys`` plus the id of the epoch that answered.
+
+        The epoch is captured once, so all estimates of one call come from
+        the same frozen replica even if a publish lands mid-call — the
+        wire-level ``QueryResponse`` carries this epoch id.
+        """
+        epoch = self._writer.current
+        return epoch.sketch.query_batch(keys), epoch.epoch_id
+
+    def query_batch(self, keys: Sequence[object]) -> np.ndarray:
+        """Point estimates from the latest published epoch."""
+        return self.serve_batch(keys)[0]
+
+    def query(self, key: object) -> int:
+        """Point estimate of one key (LRU-cached within the current epoch)."""
+        if not self.cache_size:
+            return int(self._writer.current.sketch.query(key))
+        cache_key = ("q", key)
+        epoch = self._writer.current
+        with self._cache_lock:
+            if self._cache_epoch == epoch.epoch_id and cache_key in self._cache:
+                self._cache.move_to_end(cache_key)
+                self.cache_hits += 1
+                return self._cache[cache_key]
+        estimate = int(epoch.sketch.query(key))
+        self._cache_store(epoch.epoch_id, cache_key, estimate)
+        return estimate
+
+    def top_k(self, k: int) -> list[tuple[object, int]]:
+        """The ``k`` heaviest directory keys by current-epoch estimate.
+
+        Candidates are the keys the service has ingested (the directory);
+        ranking is by estimate descending, ties by first-contact order —
+        deterministic, so remote and local top-k agree exactly.
+        """
+        return self.serve_top_k(k)[0]
+
+    def serve_top_k(self, k: int) -> tuple[list[tuple[object, int]], int]:
+        """:meth:`top_k` plus the id of the epoch that ranked it.
+
+        Like :meth:`serve_batch`, the epoch is captured once so the ranking
+        and the stamp cannot straddle a publish.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if not self._track_keys:
+            raise ValueError(
+                "top_k needs the key directory; this service was built with "
+                "track_keys=False"
+            )
+        cache_key = ("topk", k)
+        epoch = self._writer.current
+        if self.cache_size:
+            with self._cache_lock:
+                if self._cache_epoch == epoch.epoch_id and cache_key in self._cache:
+                    self._cache.move_to_end(cache_key)
+                    self.cache_hits += 1
+                    return list(self._cache[cache_key]), epoch.epoch_id
+        candidates = list(self._keys)
+        if candidates:
+            estimates = epoch.sketch.query_batch(candidates)
+            # stable sort on -estimate keeps first-contact order within ties
+            order = np.argsort(-estimates, kind="stable")[:k]
+            ranking = [(candidates[i], int(estimates[i])) for i in order.tolist()]
+        else:
+            ranking = []
+        self._cache_store(epoch.epoch_id, cache_key, ranking)
+        return list(ranking), epoch.epoch_id
+
+    def _cache_store(self, epoch_id: int, cache_key, answer) -> None:
+        if not self.cache_size:
+            return
+        with self._cache_lock:
+            self.cache_misses += 1
+            if self._cache_epoch != epoch_id:
+                # A publish raced this computation: the answer belongs to an
+                # older epoch and must not be cached against the new one.
+                return
+            self._cache[cache_key] = answer
+            self._cache.move_to_end(cache_key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+
+    # ------------------------------------------------------------ accounting
+    def stats(self) -> dict:
+        """Service counters (JSON-serializable; the STATS wire payload)."""
+        epoch = self._writer.current
+        writer = self._writer
+        intervals = writer.publish_count
+        return {
+            "epoch_id": epoch.epoch_id,
+            "epoch_items": epoch.items,
+            "items_ingested": writer.items_ingested,
+            "staleness_items": writer.staleness_items,
+            "publish_every_items": writer.publish_every_items,
+            "publishes": intervals,
+            "mean_interval_items": (
+                writer.total_interval_items / intervals if intervals else 0.0
+            ),
+            "max_interval_items": writer.max_interval_items,
+            "memory_bytes": float(writer.live_sketch.memory_bytes()),
+            "distinct_keys_tracked": len(self._keys),
+            "cache_size": self.cache_size,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "algorithm": writer.live_sketch.name,
+        }

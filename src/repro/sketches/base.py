@@ -65,6 +65,16 @@ class Sketch(abc.ABC):
     #: registry's ``is_mergeable``.
     mergeable: bool = False
 
+    #: Capability flag of the snapshot half of the contract: True when
+    #: :meth:`state_snapshot` / :meth:`state_restore` are implemented, i.e.
+    #: the sketch's whole mutable state round-trips through named arrays.
+    #: Every mergeable sketch is snapshotable (snapshots are how distributed
+    #: workers ship state), but not vice versa: ReliableSketch snapshots its
+    #: layers yet stays unmergeable (lock/replace decisions are
+    #: order-dependent).  Snapshot support is what the distributed ingest
+    #: pipeline and the serving layer (``repro.serve``) actually require.
+    snapshotable: bool = False
+
     @abc.abstractmethod
     def insert(self, key: object, value: int = 1) -> None:
         """Process one stream item ``<key, value>`` (value must be positive)."""
@@ -153,11 +163,13 @@ class Sketch(abc.ABC):
         The snapshot is a *copy*: mutating the sketch afterwards does not
         change it.  Together with :meth:`state_restore` this is the transfer
         half of the merge contract — ``repro.distributed.wire`` serializes
-        snapshots so remote workers can ship shard state to a collector.
+        snapshots so remote workers can ship shard state to a collector —
+        and the publication step of the serving layer's epoch rotation
+        (``repro.serve.snapshots``).
         """
         raise UnmergeableSketchError(
             f"{type(self).__name__} ({self.name}) does not support state snapshots; "
-            "only sketches with mergeable=True implement state_snapshot()"
+            "only sketches with snapshotable=True implement state_snapshot()"
         )
 
     def state_restore(self, state: dict[str, np.ndarray]) -> None:
@@ -172,7 +184,7 @@ class Sketch(abc.ABC):
         """
         raise UnmergeableSketchError(
             f"{type(self).__name__} ({self.name}) does not support state snapshots; "
-            "only sketches with mergeable=True implement state_restore()"
+            "only sketches with snapshotable=True implement state_restore()"
         )
 
     def _check_snapshot_shape(self, state: dict[str, np.ndarray], key: str,

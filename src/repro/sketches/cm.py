@@ -39,6 +39,8 @@ class CountMinSketch(Sketch):
     #: CM state is the sum of per-item updates, so merging is element-wise
     #: table addition and exactly equals one sketch fed both streams.
     mergeable = True
+    #: The counter matrix is the whole mutable state (snapshot contract).
+    snapshotable = True
 
     def __init__(self, memory_bytes: float, depth: int = 3, seed: int = 0) -> None:
         if depth <= 0:

@@ -36,6 +36,8 @@ class CUSketch(Sketch):
     #: order-dependent, so the merge carries a weaker guarantee — see
     #: :meth:`merge`.
     mergeable = True
+    #: The counter matrix is the whole mutable state (snapshot contract).
+    snapshotable = True
 
     def __init__(
         self,

@@ -60,6 +60,7 @@ class ElasticSketch(Sketch):
         eviction_ratio: int = 8,
         seed: int = 0,
         kernel: str | None = None,
+        max_interned_keys: int | None = None,
     ) -> None:
         if light_ratio <= 0:
             raise ValueError("light_ratio must be positive")
@@ -82,7 +83,7 @@ class ElasticSketch(Sketch):
         self._heavy_flags = np.zeros(self.heavy_width, dtype=bool)
         self._light = np.zeros(self.light_width, dtype=np.int64)
         self._kernel = resolve_backend(kernel)
-        self._interner = KeyInterner()
+        self._interner = KeyInterner(max_keys=max_interned_keys)
 
     # ------------------------------------------------------------- inserts
     def _light_insert(self, key: object, value: int) -> None:

@@ -116,3 +116,21 @@ def is_mergeable(name: str) -> bool:
 def mergeable_names() -> tuple[str, ...]:
     """All registered algorithms whose shards can be merged losslessly."""
     return tuple(name for name in _BUILDERS if is_mergeable(name))
+
+
+@lru_cache(maxsize=None)
+def supports_snapshots(name: str) -> bool:
+    """Whether ``name`` implements ``state_snapshot``/``state_restore``.
+
+    Snapshot support is what distributed workers need to ship state and what
+    the serving layer needs for cheap epoch publication; it is a strictly
+    weaker requirement than ``is_mergeable`` (ReliableSketch snapshots but
+    does not merge).  Probed like :func:`is_mergeable`, from a throwaway
+    instance, so it can never drift from the classes' ``snapshotable`` flags.
+    """
+    return bool(build_sketch(name, 1024.0, seed=0).snapshotable)
+
+
+def snapshot_names() -> tuple[str, ...]:
+    """All registered algorithms whose state round-trips through snapshots."""
+    return tuple(name for name in _BUILDERS if supports_snapshots(name))

@@ -99,6 +99,7 @@ class ShardedSketch(Sketch):
         self.seed = seed
         self.name = f"Sharded[{self.shards[0].name}x{len(self.shards)}]"
         self.mergeable = all(shard.mergeable for shard in self.shards)
+        self.snapshotable = all(shard.snapshotable for shard in self.shards)
         self._router = partition_router(seed, len(self.shards))
         #: Items ingested per shard — the raw series behind per-shard
         #: throughput accounting (`repro.metrics.throughput.shard_load_report`).
@@ -206,6 +207,54 @@ class ShardedSketch(Sketch):
             mine.merge(theirs)
         self.items_per_shard += other.items_per_shard
         return self
+
+    def state_snapshot(self) -> dict[str, np.ndarray]:
+        """Per-shard snapshots under ``shard{i}/`` prefixes, plus load counts.
+
+        Snapshotable whenever every shard is — which includes ReliableSketch
+        shards, so a sharded ``Ours`` can be epoch-published by the serving
+        layer (``repro.serve``) exactly like the mergeable families.
+        """
+        if not self.snapshotable:
+            raise UnmergeableSketchError(
+                f"{self.shards[0].name} shards do not support state snapshots"
+            )
+        state: dict[str, np.ndarray] = {"items_per_shard": self.items_per_shard.copy()}
+        for index, shard in enumerate(self.shards):
+            for name, array in shard.state_snapshot().items():
+                state[f"shard{index}/{name}"] = array
+        return state
+
+    def state_restore(self, state: dict[str, np.ndarray]) -> None:
+        """Inverse of :meth:`state_snapshot` (delegates shard by shard).
+
+        Validate-then-commit like the per-sketch restores: every shard's
+        sub-state is restored into a throwaway copy first, and the live
+        shards are only swapped once all of them succeeded — a snapshot
+        that is malformed for shard ``k`` must not leave shards ``< k``
+        already overwritten.
+        """
+        if not self.snapshotable:
+            raise UnmergeableSketchError(
+                f"{self.shards[0].name} shards do not support state snapshots"
+            )
+        items = self._check_snapshot_shape(
+            state, "items_per_shard", (self.shard_count,)
+        )
+        restored: list[Sketch] = []
+        for index, shard in enumerate(self.shards):
+            prefix = f"shard{index}/"
+            replica = copy.deepcopy(shard)
+            replica.state_restore(
+                {
+                    name[len(prefix):]: array
+                    for name, array in state.items()
+                    if name.startswith(prefix)
+                }
+            )
+            restored.append(replica)
+        self.shards = restored
+        self.items_per_shard = items.astype(np.int64, copy=True)
 
     def memory_bytes(self) -> float:
         return sum(shard.memory_bytes() for shard in self.shards)

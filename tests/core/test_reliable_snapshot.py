@@ -1,0 +1,203 @@
+"""ReliableSketch state snapshots: the ROADMAP follow-on from PR 3.
+
+A restored replica must answer every query — point estimates *and* sensed
+error bounds — bit-identically to the donor, continue ingesting
+identically, and survive the distributed wire format.  Merging stays
+unsupported (order-dependent lock/replace decisions have no lossless
+combination).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ReliableSketch
+from repro.distributed.ingest import run_distributed_ingest
+from repro.distributed.wire import decode_state, encode_state
+from repro.sketches.base import UnmergeableSketchError
+from repro.sketches.registry import build_sketch
+from repro.sketches.sharded import ShardedSketch
+from repro.streams.synthetic import zipf_stream
+
+MEMORY = 32 * 1024
+
+
+def filled(name="Ours", count=8000, seed=5, **kwargs):
+    sketch = build_sketch(name, MEMORY, seed=0, **kwargs)
+    stream = zipf_stream(count, skew=1.2, universe=1500, seed=seed)
+    sketch.insert_stream(stream, batch_size=512)
+    return sketch, stream
+
+
+@pytest.mark.parametrize("name", ("Ours", "Ours(Raw)"))
+def test_restore_is_bit_identical(name):
+    donor, stream = filled(name)
+    replica = build_sketch(name, MEMORY, seed=0)
+    replica.state_restore(donor.state_snapshot())
+    keys = stream.keys() + ["missing", b"blob", -17]
+    assert (replica.query_batch(keys) == donor.query_batch(keys)).all()
+    for key in stream.keys()[:50]:
+        mine, theirs = donor.query_with_error(key), replica.query_with_error(key)
+        assert (mine.estimate, mine.mpe, mine.layers_visited) == (
+            theirs.estimate, theirs.mpe, theirs.layers_visited,
+        )
+    assert replica.insert_failures == donor.insert_failures
+    assert replica.failed_value == donor.failed_value
+    assert replica.inserts_settled_per_layer == donor.inserts_settled_per_layer
+    assert replica.operation_counts() == donor.operation_counts()
+
+
+def test_restored_replica_continues_identically():
+    donor, stream = filled()
+    replica = build_sketch("Ours", MEMORY, seed=0)
+    replica.state_restore(donor.state_snapshot())
+    more = zipf_stream(3000, skew=1.1, universe=1500, seed=77)
+    donor.insert_stream(more, batch_size=256)
+    replica.insert_stream(more, batch_size=640)  # different chunking, same result
+    keys = stream.keys()
+    assert (replica.query_batch(keys) == donor.query_batch(keys)).all()
+
+
+def test_snapshot_is_a_copy():
+    donor, stream = filled()
+    snapshot = donor.state_snapshot()
+    before = {name: array.copy() for name, array in snapshot.items()}
+    donor.insert_stream(zipf_stream(2000, skew=1.0, universe=1500, seed=3))
+    for name, array in snapshot.items():
+        assert (array == before[name]).all(), name
+
+
+def test_snapshot_survives_the_wire_with_mixed_key_types():
+    donor = build_sketch("Ours", 16 * 1024, seed=1)
+    items = (
+        [(f"flow-{i}", 1) for i in range(400)]
+        + [(b"raw-%d" % i, 2) for i in range(200)]
+        + [(-i, 1) for i in range(1, 150)]
+        + [(i, 1) for i in range(900)]
+    )
+    donor.insert_stream(items, batch_size=128)
+    state, algorithm, _ = decode_state(encode_state(donor.state_snapshot(), "Ours", {}))
+    assert algorithm == "Ours"
+    replica = build_sketch("Ours", 16 * 1024, seed=1)
+    replica.state_restore(state)
+    keys = [key for key, _ in items] + ["absent"]
+    assert (replica.query_batch(keys) == donor.query_batch(keys)).all()
+
+
+def test_restore_validates_before_mutating():
+    donor, stream = filled()
+    replica = build_sketch("Ours", MEMORY, seed=0)
+    replica.state_restore(donor.state_snapshot())
+    keys = stream.keys()
+    expected = replica.query_batch(keys).copy()
+    bad = donor.state_snapshot()
+    bad["layer0_yes"] = np.zeros(3, dtype=np.int64)  # wrong shape
+    with pytest.raises(ValueError):
+        replica.state_restore(bad)
+    missing = donor.state_snapshot()
+    del missing["stats"]
+    with pytest.raises(ValueError):
+        replica.state_restore(missing)
+    assert (replica.query_batch(keys) == expected).all()
+
+
+def test_repeated_restore_resets_the_interner():
+    """Restoring replaces the id space; stale ids never accumulate."""
+    donor, stream = filled()
+    replica = build_sketch("Ours", MEMORY, seed=0)
+    for _ in range(3):
+        replica.state_restore(donor.state_snapshot())
+    assert len(replica._interner) <= len(donor._interner)
+    keys = stream.keys()
+    assert (replica.query_batch(keys) == donor.query_batch(keys)).all()
+
+
+def test_restore_into_bounded_sketch_is_atomic():
+    """A bounded interner that cannot hold the snapshot fails pre-commit."""
+    from repro.kernels import KeyInternerOverflowError
+
+    donor, stream = filled()
+    occupied = sum(
+        1 for layer in donor._layers for key in layer.keys if key is not None
+    )
+    bounded = build_sketch("Ours", MEMORY, seed=0, max_interned_keys=max(1, occupied // 2))
+    bounded.insert_batch(list(range(5)))
+    expected = bounded.query_batch(list(range(5))).copy()
+    with pytest.raises(KeyInternerOverflowError):
+        bounded.state_restore(donor.state_snapshot())
+    # nothing was committed: the sketch still answers exactly as before
+    assert (bounded.query_batch(list(range(5))) == expected).all()
+
+
+def test_sharded_restore_is_atomic():
+    """A snapshot malformed for a later shard must not touch earlier shards."""
+    stream = zipf_stream(4000, skew=1.2, universe=800, seed=8)
+    donor = ShardedSketch.from_registry("CM_fast", MEMORY, 2, seed=0)
+    donor.insert_stream(stream, batch_size=512)
+    target = ShardedSketch.from_registry("CM_fast", MEMORY, 2, seed=0)
+    target.insert_stream(stream, batch_size=256)
+    keys = stream.keys()
+    expected = target.query_batch(keys).copy()
+    bad = {
+        name: array
+        for name, array in donor.state_snapshot().items()
+        if not name.startswith("shard1/")
+    }
+    with pytest.raises(ValueError):
+        target.state_restore(bad)
+    assert (target.query_batch(keys) == expected).all()
+
+
+def test_emergency_store_refuses_snapshots():
+    sketch = ReliableSketch.from_memory(MEMORY, use_emergency=True)
+    sketch.insert(1, 5)
+    with pytest.raises(UnmergeableSketchError):
+        sketch.state_snapshot()
+    with pytest.raises(UnmergeableSketchError):
+        sketch.state_restore({})
+
+
+def test_merge_stays_unsupported():
+    donor, _ = filled()
+    other, _ = filled(seed=6)
+    assert not donor.mergeable and donor.snapshotable
+    with pytest.raises(UnmergeableSketchError):
+        donor.merge(other)
+
+
+@pytest.mark.parametrize("transport", ("inproc", "pipe"))
+def test_distributed_ingest_of_reliable_sketch(transport):
+    """Remote Ours ingest: routed answers equal local sharded ingest."""
+    stream = zipf_stream(12_000, skew=1.1, universe=2500, seed=9)
+    items = [(item.key, item.value) for item in stream]
+    result = run_distributed_ingest(
+        "Ours", MEMORY, items, workers=2, transport=transport, chunk_size=1024, seed=0
+    )
+    assert result.merged is None  # snapshotable, not mergeable
+    local = ShardedSketch.from_registry("Ours", MEMORY, 2, seed=0)
+    local.insert_stream(items, batch_size=1024)
+    keys = stream.keys()
+    assert (result.sharded().query_batch(keys) == local.query_batch(keys)).all()
+    assert list(result.items_per_worker) == local.items_per_shard.tolist()
+
+
+def test_sharded_snapshot_round_trip():
+    """ShardedSketch delegates snapshots shard by shard (incl. Ours)."""
+    stream = zipf_stream(6000, skew=1.2, universe=1000, seed=4)
+    donor = ShardedSketch.from_registry("Ours", MEMORY, 3, seed=0)
+    donor.insert_stream(stream, batch_size=512)
+    replica = ShardedSketch.from_registry("Ours", MEMORY, 3, seed=0)
+    replica.state_restore(donor.state_snapshot())
+    keys = stream.keys()
+    assert (replica.query_batch(keys) == donor.query_batch(keys)).all()
+    assert replica.items_per_shard.tolist() == donor.items_per_shard.tolist()
+
+
+def test_unsnapshotable_shards_refuse():
+    sharded = ShardedSketch.from_registry("SS", MEMORY, 2, seed=0)
+    assert not sharded.snapshotable
+    with pytest.raises(UnmergeableSketchError):
+        sharded.state_snapshot()
+    with pytest.raises(UnmergeableSketchError):
+        sharded.state_restore({})

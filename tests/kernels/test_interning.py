@@ -1,0 +1,80 @@
+"""KeyInterner bounds: adversarial key spaces must fail loudly, not grow.
+
+ROADMAP follow-on from PR 4: the interner's dict + id table grow with the
+distinct keys ingested.  ``max_keys`` turns that into a clear, stateless
+failure (:class:`KeyInternerOverflowError`) instead of unbounded growth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.interning import KeyInterner, KeyInternerOverflowError
+from repro.sketches.registry import build_sketch
+
+
+def test_unbounded_by_default():
+    interner = KeyInterner()
+    assert [interner.intern(key) for key in range(100)] == list(range(100))
+    assert interner.max_keys is None
+
+
+def test_scalar_overflow_raises_and_preserves_state():
+    interner = KeyInterner(max_keys=3)
+    for key in ("a", "b", "c"):
+        interner.intern(key)
+    with pytest.raises(KeyInternerOverflowError):
+        interner.intern("d")
+    # existing ids survive; re-interning known keys still works
+    assert interner.intern("a") == 0
+    assert interner.intern("c") == 2
+    assert len(interner) == 3
+    assert "d" not in interner._ids
+
+
+def test_batch_overflow_raises_on_both_paths():
+    # int fast path (vectorized table)
+    interner = KeyInterner(max_keys=5)
+    interner.intern_batch([0, 1, 2], np.asarray([0, 1, 2], dtype=np.int64))
+    with pytest.raises(KeyInternerOverflowError):
+        interner.intern_batch(
+            [3, 4, 5, 6], np.asarray([3, 4, 5, 6], dtype=np.int64)
+        )
+    # object path (no int array)
+    interner = KeyInterner(max_keys=2)
+    with pytest.raises(KeyInternerOverflowError):
+        interner.intern_batch(["x", "y", "z"])
+
+
+def test_lookup_never_grows_a_bounded_interner():
+    interner = KeyInterner(max_keys=2)
+    interner.intern_batch([1, 2], np.asarray([1, 2], dtype=np.int64))
+    ids = interner.lookup_batch([1, 2, 3, 4], np.asarray([1, 2, 3, 4], dtype=np.int64))
+    assert ids[:2].tolist() == [0, 1]
+    assert (ids[2:] < 0).all()  # unknown, not assigned
+    assert len(interner) == 2
+
+
+def test_bad_bound_rejected():
+    with pytest.raises(ValueError):
+        KeyInterner(max_keys=0)
+
+
+@pytest.mark.parametrize("name", ("Ours", "Elastic"))
+def test_sketch_level_bound_surfaces_cleanly(name):
+    """Registry-built sketches thread max_interned_keys to their interner."""
+    sketch = build_sketch(name, 16 * 1024, seed=0, max_interned_keys=50)
+    with pytest.raises(KeyInternerOverflowError):
+        sketch.insert_batch(list(range(500)))
+
+
+def test_bounded_sketch_keeps_answering_after_overflow():
+    sketch = build_sketch("Ours", 16 * 1024, seed=0, max_interned_keys=64)
+    sketch.insert_batch(list(range(60)))
+    before = sketch.query_batch(list(range(60))).copy()
+    with pytest.raises(KeyInternerOverflowError):
+        sketch.insert_batch(list(range(100, 400)))
+    # interned state is intact: known keys answer exactly as before (the
+    # overflow fired during interning, before any table mutation)
+    assert (sketch.query_batch(list(range(60))) == before).all()

@@ -82,3 +82,21 @@ class TestMeasureBatchThroughput:
     def test_rejects_non_positive_chunk_size(self):
         with pytest.raises(ValueError):
             measure_batch_throughput(lambda chunk: chunk, range(10), chunk_size=0)
+
+
+def test_latency_summary_from_seconds():
+    from repro.metrics.throughput import LatencySummary
+
+    summary = LatencySummary.from_seconds([0.001, 0.002, 0.003, 0.010])
+    assert summary.count == 4
+    assert summary.p50_ms == pytest.approx(2.5)
+    assert summary.mean_ms == pytest.approx(4.0)
+    assert summary.max_ms == pytest.approx(10.0)
+    assert summary.p50_ms <= summary.p99_ms <= summary.max_ms
+
+
+def test_latency_summary_empty_sample_is_all_zero():
+    from repro.metrics.throughput import LatencySummary
+
+    summary = LatencySummary.from_seconds([])
+    assert summary == LatencySummary(0, 0.0, 0.0, 0.0, 0.0)

@@ -1,0 +1,133 @@
+"""SketchService semantics: epoch-pinned reads, the answer cache, top-k."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.service import SketchService
+from repro.sketches.registry import build_sketch
+from repro.streams.synthetic import zipf_stream
+
+MEMORY = 32 * 1024
+
+
+def make_service(name="CM_fast", publish_every_items=1000, **kwargs) -> SketchService:
+    return SketchService(
+        build_sketch(name, MEMORY, seed=0),
+        factory=lambda: build_sketch(name, MEMORY, seed=0),
+        publish_every_items=publish_every_items,
+        **kwargs,
+    )
+
+
+def test_reads_lag_until_publish():
+    service = make_service(publish_every_items=1000)
+    service.ingest([7] * 600)
+    assert service.query(7) == 0  # epoch 0 is the empty sketch
+    service.ingest([7] * 600)  # crosses the epoch boundary
+    assert service.query(7) == 1200
+    assert service.current_epoch.epoch_id == 1
+
+
+def test_flush_forces_read_your_writes():
+    service = make_service(publish_every_items=10**9)
+    service.ingest([1, 1, 2])
+    assert service.query_batch([1, 2]).tolist() == [0, 0]
+    service.flush()
+    assert service.query_batch([1, 2]).tolist() == [2, 1]
+
+
+def test_serve_batch_stamps_the_answering_epoch():
+    service = make_service(publish_every_items=100)
+    service.ingest(list(range(100)))
+    estimates, epoch_id = service.serve_batch([1, 2])
+    assert epoch_id == service.current_epoch.epoch_id == 1
+    assert estimates.tolist() == [1, 1]
+
+
+def test_cache_hits_within_epoch_and_invalidates_on_publish():
+    service = make_service(publish_every_items=100)
+    service.ingest([5] * 100)
+    assert service.query(5) == 100
+    assert (service.cache_hits, service.cache_misses) == (0, 1)
+    assert service.query(5) == 100
+    assert service.cache_hits == 1
+    service.ingest([5] * 100)  # publishes epoch 2, invalidating the cache
+    assert service.query(5) == 200
+    assert service.cache_misses == 2
+
+
+def test_cache_is_bounded_lru():
+    service = make_service(cache_size=4)
+    service.ingest(list(range(100)))
+    service.flush()
+    for key in range(10):
+        service.query(key)
+    assert len(service._cache) <= 4
+
+
+def test_cache_can_be_disabled():
+    service = make_service(cache_size=0)
+    service.ingest([3, 3])
+    service.flush()
+    assert service.query(3) == 2
+    assert (service.cache_hits, service.cache_misses) == (0, 0)
+
+
+def test_top_k_matches_brute_force():
+    service = make_service(name="CM_fast", publish_every_items=10**9)
+    stream = zipf_stream(8000, skew=1.3, universe=500, seed=11)
+    for chunk in stream.iter_batches(512):
+        service.ingest([item.key for item in chunk], [item.value for item in chunk])
+    epoch = service.flush()
+    ranking = service.top_k(10)
+    # brute force over the same candidates against the same frozen epoch
+    candidates = list(service._keys)
+    estimates = {key: int(value) for key, value in
+                 zip(candidates, epoch.sketch.query_batch(candidates))}
+    expected = sorted(candidates, key=lambda key: -estimates[key])[:10]
+    # ties break by first-contact order (stable sort), matching `expected`
+    # because Python's sort is stable over the same candidate order
+    assert [key for key, _ in ranking] == expected
+    assert all(estimate == estimates[key] for key, estimate in ranking)
+
+
+def test_top_k_is_cached_per_epoch():
+    service = make_service()
+    service.ingest(list(range(50)))
+    service.flush()
+    first = service.top_k(5)
+    hits_before = service.cache_hits
+    assert service.top_k(5) == first
+    assert service.cache_hits == hits_before + 1
+
+
+def test_top_k_validation():
+    service = make_service()
+    with pytest.raises(ValueError):
+        service.top_k(0)
+    untracked = SketchService(build_sketch("CM_fast", MEMORY, seed=0), track_keys=False)
+    untracked.ingest([1, 2, 3])
+    with pytest.raises(ValueError):
+        untracked.top_k(3)
+
+
+def test_stats_counters():
+    service = make_service(publish_every_items=1000)
+    service.ingest(list(range(1000)))
+    service.ingest(list(range(1000, 2000)))
+    service.ingest(list(range(2000, 2500)))
+    stats = service.stats()
+    assert stats["epoch_id"] == 2
+    assert stats["items_ingested"] == 2500
+    assert stats["epoch_items"] == 2000
+    assert stats["staleness_items"] == 500
+    assert stats["publishes"] == 2
+    assert stats["distinct_keys_tracked"] == 2500
+    assert stats["memory_bytes"] > 0
+    assert stats["algorithm"] == "CM"
+
+
+def test_service_rejects_negative_cache():
+    with pytest.raises(ValueError):
+        make_service(cache_size=-1)

@@ -25,6 +25,7 @@ EXPECTED_OUTPUT = {
     "compare_sketches.py": "Algorithm",
     "error_guarantees.py": "error",
     "heavy_hitters.py": "precision / recall",
+    "online_serving.py": "bit-identical to the local reference: True",
     "quickstart.py": "estimate",
     "switch_deployment.py": "bit-identical to a single collector-side sketch: True",
 }
