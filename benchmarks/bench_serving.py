@@ -1,8 +1,8 @@
-"""Online-serving benchmark — sustained qps, latency and staleness per transport.
+"""Online-serving benchmark — per-transport closed loop plus concurrency sweep.
 
-For every (transport × algorithm) pair, launches one remote
-:func:`repro.serve.server.serve_main` endpoint over the transport, then
-drives it with the closed-loop load generator
+**Closed loop** (the original section): for every (transport × algorithm)
+pair, launches one remote :func:`repro.serve.server.serve_main` endpoint
+over the transport, then drives it with the closed-loop load generator
 (:mod:`repro.serve.loadgen`): a Zipf key mix at a configurable read/write
 ratio, one outstanding operation at a time.  Each row of
 ``BENCH_serving.json`` records:
@@ -16,17 +16,35 @@ ratio, one outstanding operation at a time.  Each row of
   and the final epoch's answers equal a local reference sketch fed the
   identical write stream (CI asserts this flag on every row).
 
-Absolute numbers carry the usual single-core caveat (see
-``docs/benchmarks.md``): on a 1-core container the ``pipe``/``tcp`` server
-cannot overlap with the client, so cross-transport ratios are floors, not
-verdicts.  Latency percentiles and the consistency flags are meaningful
-everywhere.
+**Concurrency** (the ``"concurrency"`` section): pre-loads one service,
+then sweeps client counts over tcp against two front ends serving it —
+the selector event loop (:class:`~repro.serve.async_server.AsyncSketchServer`)
+and the sequential accept loop (:func:`repro.serve.server.serve_forever`,
+which serves one connection at a time).  Each (server × clients) row runs
+the open-loop generator twice:
+
+* *blast mode* (``target_qps=0``) — saturation throughput
+  (``saturation_qps``): every client streams pipelined requests as fast as
+  the socket accepts them;
+* *paced mode* — Poisson arrivals at an offered load (default: half the
+  measured saturation), reporting schedule-relative latency p50/p99/p99.9
+  — the open-loop convention, so queueing delay counts.
+
+Every row also carries the BUSY admission-control counters and the same
+``epoch_consistent`` flag (cross-client same-epoch agreement plus final
+bit-identity against a local reference), including across epoch publishes
+forced mid-run on the async rows.  The ``comparison`` block divides async
+by sequential saturation per client count; on a 1-core container the two
+front ends time-slice one CPU, so the ratio reflects fairness and tail
+latency, not parallel speedup — rows below 2x carry that note explicitly.
 
 Not collected by pytest (the module name avoids the ``test_`` prefix); run
 it directly::
 
     PYTHONPATH=src python benchmarks/bench_serving.py
     PYTHONPATH=src python benchmarks/bench_serving.py --operations 500 --transports inproc
+    PYTHONPATH=src python benchmarks/bench_serving.py --skip-closed-loop \\
+        --concurrency-clients 1,8 --concurrency-requests 400
 """
 
 from __future__ import annotations
@@ -35,14 +53,30 @@ import argparse
 import json
 import os
 import platform
+import socket
 import sys
+import threading
 from pathlib import Path
 
 import numpy as np
 
-from repro.serve.loadgen import LoadGenConfig, run_loadgen
-from repro.serve.server import ServeConfig, ServingSession
+from repro.distributed.transport import SocketChannel
+from repro.serve.async_server import AsyncServingSession
+from repro.serve.loadgen import (
+    LoadGenConfig,
+    OpenLoopConfig,
+    run_loadgen,
+    run_open_loop,
+)
+from repro.serve.server import (
+    QueryClient,
+    ServeConfig,
+    ServingSession,
+    create_listener,
+    serve_forever,
+)
 from repro.sketches.registry import build_sketch
+from repro.streams.synthetic import ZipfGenerator
 
 #: Families benchmarked by default: the cheapest mergeable baseline, the
 #: order-dependent CU, and the paper's sketch — all snapshot-rotated.
@@ -57,6 +91,21 @@ DEFAULT_SKEW = 1.1
 DEFAULT_UNIVERSE = 10_000
 DEFAULT_MEMORY_BYTES = 64 * 1024
 DEFAULT_PUBLISH_EVERY = 8192
+
+# --- concurrency-section defaults -----------------------------------------
+DEFAULT_CONCURRENCY_CLIENTS = (1, 8)
+DEFAULT_CONCURRENCY_REQUESTS = 600
+DEFAULT_CONCURRENCY_READ_BATCH = 16
+DEFAULT_CONCURRENCY_ALGORITHM = "Ours"
+DEFAULT_PRELOAD_ITEMS = 20_000
+SERVER_KINDS = ("sequential", "async")
+
+ONE_CORE_NOTE = (
+    "single-core container: both front ends time-slice one CPU, so the "
+    "async/sequential saturation ratio measures multiplexing overhead, not "
+    "parallel speedup — compare tail latency and fairness instead "
+    "(see docs/benchmarks.md)"
+)
 
 
 def bench_pair(transport: str, algorithm: str, args) -> dict:
@@ -86,6 +135,179 @@ def bench_pair(transport: str, algorithm: str, args) -> dict:
     return row
 
 
+# ---------------------------------------------------------------------------
+# Concurrency sweep: async event loop vs sequential accept loop, over tcp.
+
+
+def _preloaded_service(algorithm: str, args):
+    """A service pre-loaded with a Zipf stream, plus its local reference."""
+    serve_config = ServeConfig(
+        algorithm,
+        args.memory_bytes,
+        seed=args.seed,
+        publish_every_items=args.publish_every,
+    )
+    service = serve_config.build_service()
+    reference = build_sketch(algorithm, args.memory_bytes, seed=args.seed)
+    zipf = ZipfGenerator(args.skew, universe=args.universe, seed=args.seed + 7)
+    keys = zipf.draw(args.preload_items).tolist()
+    service.ingest(keys)
+    reference.insert_batch(keys)
+    service.flush()
+    return service, reference
+
+
+def _sequential_endpoint(service):
+    """The baseline front end: ``serve_forever`` sessions on a thread.
+
+    Connections are served one at a time in accept order — the second
+    client's first reply arrives only after the first client disconnects.
+    Returns ``(connect, shutdown)`` matching the async session's shape.
+    """
+    listener = create_listener("127.0.0.1", 0, backlog=256)
+    host, port = listener.getsockname()[:2]
+    thread = threading.Thread(
+        target=serve_forever, args=(listener, service, None),
+        name="sequential-sketch-server", daemon=True,
+    )
+    thread.start()
+
+    def connect() -> QueryClient:
+        sock = socket.create_connection((host, port), timeout=30.0)
+        sock.settimeout(None)
+        return QueryClient(SocketChannel(sock))
+
+    def shutdown() -> dict:
+        listener.close()  # accept() raises OSError -> the loop exits
+        thread.join(timeout=30)
+        return {}
+
+    return connect, shutdown
+
+
+def bench_concurrency_row(server_kind: str, clients: int, algorithm: str, args) -> dict:
+    """One (server × clients) row: a blast run then a paced run."""
+    service, reference = _preloaded_service(algorithm, args)
+    if server_kind == "async":
+        session = AsyncServingSession(service, max_inflight=args.max_inflight)
+        connect, shutdown = session.connect, session.shutdown
+        # Rotate epochs mid-run on the async rows: consistency must hold
+        # across publishes.  The sequential loop cannot interleave the
+        # control connection with live sessions, so its rows skip this.
+        flushes = 2
+    else:
+        connect, shutdown = _sequential_endpoint(service)
+        flushes = 0
+
+    blast_config = OpenLoopConfig(
+        clients=clients,
+        requests_per_client=args.concurrency_requests,
+        target_qps=0.0,
+        read_batch=args.concurrency_read_batch,
+        skew=args.skew,
+        universe=args.universe,
+        seed=args.seed,
+        flushes_during_run=flushes,
+    )
+    blast = run_open_loop(connect, blast_config, reference=reference)
+    offered = args.offered_qps if args.offered_qps > 0 else 0.5 * blast.achieved_qps
+    paced_config = OpenLoopConfig(
+        clients=clients,
+        requests_per_client=args.concurrency_requests,
+        target_qps=offered,
+        read_batch=args.concurrency_read_batch,
+        skew=args.skew,
+        universe=args.universe,
+        seed=args.seed + 1,
+        flushes_during_run=flushes,
+    )
+    paced = run_open_loop(connect, paced_config, reference=reference)
+    stats = shutdown()
+
+    busy = blast.busy_rejected + paced.busy_rejected
+    attempts = blast.completed + paced.completed + busy
+    row = {
+        "server": server_kind,
+        "transport": "tcp",
+        "algorithm": algorithm,
+        "clients": clients,
+        "requests_per_client": args.concurrency_requests,
+        "read_batch": args.concurrency_read_batch,
+        "saturation_qps": blast.achieved_qps,
+        "offered_qps": offered,
+        "achieved_qps": paced.achieved_qps,
+        "latency_p50_ms": paced.latency_p50_ms,
+        "latency_p99_ms": paced.latency_p99_ms,
+        "latency_p999_ms": paced.latency_p999_ms,
+        "latency_mean_ms": paced.latency_mean_ms,
+        "latency_max_ms": paced.latency_max_ms,
+        "completed": blast.completed + paced.completed,
+        "failed": blast.failed + paced.failed,
+        "busy_rejected": busy,
+        "busy_retried": blast.busy_retried + paced.busy_retried,
+        "busy_rejection_rate": busy / attempts if attempts else 0.0,
+        "epoch_consistent": blast.epoch_consistent and paced.epoch_consistent,
+        "epochs_observed": max(blast.epochs_observed, paced.epochs_observed),
+        "client_errors": blast.client_errors + paced.client_errors,
+    }
+    if hasattr(stats, "to_dict"):
+        row["server_stats"] = stats.to_dict()
+    return row
+
+
+def run_concurrency_section(args) -> dict:
+    """The whole sweep: ``SERVER_KINDS`` × client counts, plus comparisons."""
+    rows = []
+    for clients in args.concurrency_client_counts:
+        for server_kind in SERVER_KINDS:
+            row = bench_concurrency_row(
+                server_kind, clients, args.concurrency_algorithm, args
+            )
+            rows.append(row)
+            print(
+                f"{server_kind:>10} x{clients:<2} clients: "
+                f"saturation {row['saturation_qps']:>8,.0f} qps, "
+                f"paced {row['achieved_qps']:,.0f}/{row['offered_qps']:,.0f} qps, "
+                f"p50 {row['latency_p50_ms']:.2f} ms, "
+                f"p99 {row['latency_p99_ms']:.2f} ms, "
+                f"p99.9 {row['latency_p999_ms']:.2f} ms, "
+                f"busy rate {row['busy_rejection_rate']:.4f}, "
+                f"epoch_consistent={row['epoch_consistent']}"
+            )
+
+    one_core = (os.cpu_count() or 1) <= 1
+    comparison = []
+    for clients in args.concurrency_client_counts:
+        by_kind = {
+            row["server"]: row for row in rows if row["clients"] == clients
+        }
+        if len(by_kind) < len(SERVER_KINDS):
+            continue
+        sequential = by_kind["sequential"]["saturation_qps"]
+        ratio = by_kind["async"]["saturation_qps"] / max(sequential, 1e-9)
+        entry = {"clients": clients, "async_vs_sequential_saturation": ratio}
+        if ratio < 2.0 and one_core:
+            entry["note"] = ONE_CORE_NOTE
+            by_kind["async"]["note"] = ONE_CORE_NOTE
+        comparison.append(entry)
+        print(f"async/sequential saturation x{clients} clients: {ratio:.2f}x")
+
+    return {
+        "workload": {
+            "algorithm": args.concurrency_algorithm,
+            "client_counts": list(args.concurrency_client_counts),
+            "requests_per_client": args.concurrency_requests,
+            "read_batch": args.concurrency_read_batch,
+            "preload_items": args.preload_items,
+            "offered_qps": args.offered_qps or "auto (half of saturation)",
+            "max_inflight": args.max_inflight,
+            "seed": args.seed,
+        },
+        "results": rows,
+        "comparison": comparison,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--operations", type=int, default=DEFAULT_OPERATIONS,
@@ -109,12 +331,41 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--algorithms", default=",".join(ALGORITHMS),
                         help="comma-separated registry names (default: %(default)s)")
     parser.add_argument("--seed", type=int, default=0, help="schedule / hash seed")
+    parser.add_argument("--concurrency-clients", default=",".join(
+                            str(n) for n in DEFAULT_CONCURRENCY_CLIENTS),
+                        help="comma-separated client counts for the concurrency "
+                             "sweep (default: %(default)s)")
+    parser.add_argument("--concurrency-requests", type=int,
+                        default=DEFAULT_CONCURRENCY_REQUESTS,
+                        help="open-loop requests per client per run (default: %(default)s)")
+    parser.add_argument("--concurrency-read-batch", type=int,
+                        default=DEFAULT_CONCURRENCY_READ_BATCH,
+                        help="keys per open-loop request (default: %(default)s)")
+    parser.add_argument("--concurrency-algorithm",
+                        default=DEFAULT_CONCURRENCY_ALGORITHM,
+                        help="registry name served in the concurrency sweep "
+                             "(default: %(default)s)")
+    parser.add_argument("--preload-items", type=int, default=DEFAULT_PRELOAD_ITEMS,
+                        help="items pre-loaded before the read-only sweep "
+                             "(default: %(default)s)")
+    parser.add_argument("--offered-qps", type=float, default=0.0,
+                        help="paced-run offered load; 0 = half of the measured "
+                             "saturation (default: %(default)s)")
+    parser.add_argument("--max-inflight", type=int, default=1024,
+                        help="async server admission bound (default: %(default)s)")
+    parser.add_argument("--skip-concurrency", action="store_true",
+                        help="run only the closed-loop transport section")
+    parser.add_argument("--skip-closed-loop", action="store_true",
+                        help="run only the concurrency section")
     parser.add_argument("--output", type=Path,
                         default=Path(__file__).resolve().parent.parent / "BENCH_serving.json",
                         help="output JSON path (default: repo root)")
     args = parser.parse_args(argv)
     transports = tuple(name for name in args.transports.split(",") if name)
     algorithms = tuple(name for name in args.algorithms.split(",") if name)
+    args.concurrency_client_counts = tuple(
+        int(name) for name in args.concurrency_clients.split(",") if name
+    )
 
     print(
         f"load: {args.operations} ops, read ratio {args.read_ratio}, "
@@ -123,19 +374,25 @@ def main(argv: list[str] | None = None) -> int:
         f"epoch every {args.publish_every} items, cpu_count={os.cpu_count()}"
     )
     rows = []
-    for algorithm in algorithms:
-        for transport in transports:
-            row = bench_pair(transport, algorithm, args)
-            rows.append(row)
-            print(
-                f"{transport:>7} {algorithm:>8}: {row['ops_per_second']:>8,.0f} ops/s "
-                f"({row['keys_read_per_second']:,.0f} keys/s read, "
-                f"{row['items_written_per_second']:,.0f} items/s write), "
-                f"p50 {row['read_latency_p50_ms']:.3f} ms, "
-                f"p99 {row['read_latency_p99_ms']:.3f} ms, "
-                f"staleness {row['mean_staleness_items']:,.0f} items, "
-                f"epoch_consistent={row['epoch_consistent']}"
-            )
+    if not args.skip_closed_loop:
+        for algorithm in algorithms:
+            for transport in transports:
+                row = bench_pair(transport, algorithm, args)
+                rows.append(row)
+                print(
+                    f"{transport:>7} {algorithm:>8}: {row['ops_per_second']:>8,.0f} ops/s "
+                    f"({row['keys_read_per_second']:,.0f} keys/s read, "
+                    f"{row['items_written_per_second']:,.0f} items/s write), "
+                    f"p50 {row['read_latency_p50_ms']:.3f} ms, "
+                    f"p99 {row['read_latency_p99_ms']:.3f} ms, "
+                    f"staleness {row['mean_staleness_items']:,.0f} items, "
+                    f"epoch_consistent={row['epoch_consistent']}"
+                )
+
+    concurrency = None
+    if not args.skip_concurrency:
+        print("concurrency sweep: async event loop vs sequential accept loop (tcp)")
+        concurrency = run_concurrency_section(args)
 
     payload = {
         "workload": {
@@ -157,9 +414,12 @@ def main(argv: list[str] | None = None) -> int:
         },
         "results": rows,
     }
+    if concurrency is not None:
+        payload["concurrency"] = concurrency
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
-    if not all(row["epoch_consistent"] for row in rows):
+    all_rows = rows + (concurrency["results"] if concurrency else [])
+    if not all(row["epoch_consistent"] for row in all_rows):
         print("ERROR: a serving run violated epoch consistency", file=sys.stderr)
         return 1
     return 0

@@ -277,15 +277,14 @@ def _parse_keys(text: str) -> list[object]:
 
 
 def _cmd_serve(args) -> None:
-    """Serve one sketch online over TCP until --max-sessions clients finish."""
-    import socket
-
-    from repro.serve.server import ServeConfig, serve_forever
+    """Serve one sketch online over TCP (sequential sessions or --async)."""
+    from repro.serve.server import ServeConfig, create_listener, serve_forever
 
     host, port = _parse_address(args.bind or "127.0.0.1:29462")
     algorithm = args.algorithm or "CM_fast"
     memory_bytes = args.memory_bytes if args.memory_bytes is not None else 64 * 1024
     publish_every = args.publish_every if args.publish_every is not None else 8192
+    backlog = args.backlog if args.backlog is not None else 128
     config = ServeConfig(
         algorithm,
         memory_bytes,
@@ -294,24 +293,59 @@ def _cmd_serve(args) -> None:
         publish_every_items=publish_every,
     )
     service = config.build_service()
-    listener = socket.create_server((host, port), backlog=8)
-    try:
-        bound_port = listener.getsockname()[1]
+    if args.async_mode:
+        from repro.serve.async_server import AsyncSketchServer
+
+        server = AsyncSketchServer(
+            service,
+            host,
+            port,
+            max_inflight=args.max_inflight if args.max_inflight is not None else 1024,
+            backlog=backlog,
+            drain_timeout=(
+                args.drain_timeout if args.drain_timeout is not None else 10.0
+            ),
+        )
+        bound_host, bound_port = server.address
         print(
             f"serving {algorithm} ({memory_bytes:.0f} B budget, epoch every "
-            f"{publish_every} items) on {host}:{bound_port}"
+            f"{publish_every} items) on {bound_host}:{bound_port} "
+            f"[async, max {server.max_inflight} in-flight]"
         )
-        # Clients are served sequentially over one shared service, so state
-        # a writer session loads persists for later reader sessions.
-        sessions = serve_forever(listener, service, max_sessions=args.max_sessions)
-    finally:
-        listener.close()
-    stats = service.stats()
-    print(
-        f"served {sessions} client session(s); epoch {stats['epoch_id']}, "
-        f"{stats['items_ingested']} items absorbed, "
-        f"{stats['distinct_keys_tracked']} distinct keys"
-    )
+        # serve_forever treats KeyboardInterrupt as shutdown(): stop
+        # accepting, finish in-flight requests, flush, close — then report.
+        async_stats = server.serve_forever()
+        print(
+            f"served {async_stats.queries_served} queries over "
+            f"{async_stats.accepted} connection(s); "
+            f"{async_stats.busy_rejected} busy-rejected, "
+            f"{async_stats.frame_errors + async_stats.oversized_rejected} "
+            f"frame errors, drained={async_stats.drained}"
+        )
+    else:
+        # SO_REUSEADDR listener: restarting on the same port must not fail
+        # while old connections sit in TIME_WAIT.
+        listener = create_listener(host, port, backlog=backlog)
+        try:
+            bound_port = listener.getsockname()[1]
+            print(
+                f"serving {algorithm} ({memory_bytes:.0f} B budget, epoch every "
+                f"{publish_every} items) on {host}:{bound_port}"
+            )
+            # Clients are served sequentially over one shared service, so state
+            # a writer session loads persists for later reader sessions.
+            sessions = serve_forever(listener, service, max_sessions=args.max_sessions)
+        except KeyboardInterrupt:
+            sessions = 0
+            print("interrupted; closing the listener")
+        finally:
+            listener.close()
+        stats = service.stats()
+        print(
+            f"served {sessions} client session(s); epoch {stats['epoch_id']}, "
+            f"{stats['items_ingested']} items absorbed, "
+            f"{stats['distinct_keys_tracked']} distinct keys"
+        )
 
 
 def _cmd_query(args) -> None:
@@ -339,10 +373,26 @@ def _cmd_query(args) -> None:
             print(f"ingested {len(stream)} items; service now at epoch {epoch}")
         if args.keys:
             keys = _parse_keys(args.keys)
-            estimates, epoch = client.query_batch(keys)
-            for key, estimate in zip(keys, estimates.tolist()):
-                print(f"{key}: {estimate}")
-            print(f"(answered at epoch {epoch})")
+            if args.pipeline:
+                # One request per key, up to --pipeline in flight on this
+                # single connection; replies come back in order (BUSY
+                # rejections are retried transparently).
+                answers = client.query_batches_pipelined(
+                    [[key] for key in keys], max_inflight=args.pipeline
+                )
+                epochs = set()
+                for key, (estimates, epoch) in zip(keys, answers):
+                    print(f"{key}: {int(estimates[0])}")
+                    epochs.add(epoch)
+                print(
+                    f"(pipelined {len(keys)} requests, depth {args.pipeline}; "
+                    f"epochs {sorted(epochs)})"
+                )
+            else:
+                estimates, epoch = client.query_batch(keys)
+                for key, estimate in zip(keys, estimates.tolist()):
+                    print(f"{key}: {estimate}")
+                print(f"(answered at epoch {epoch})")
         if args.top_k:
             ranking, epoch = client.top_k(args.top_k)
             for rank, (key, estimate) in enumerate(ranking, start=1):
@@ -510,9 +560,14 @@ _FLAG_COMMANDS = {
     "--verify": frozenset({"ingest-collect"}),
     "--publish-every": frozenset({"serve"}),
     "--max-sessions": frozenset({"serve"}),
+    "--async": frozenset({"serve"}),
+    "--max-inflight": frozenset({"serve"}),
+    "--drain-timeout": frozenset({"serve"}),
+    "--backlog": frozenset({"serve"}),
     "--keys": frozenset({"query"}),
     "--top-k": frozenset({"query"}),
     "--stats": frozenset({"query"}),
+    "--pipeline": frozenset({"query"}),
 }
 
 
@@ -588,13 +643,32 @@ def build_parser() -> argparse.ArgumentParser:
                               "most this many items (default: 8192)")
     serving.add_argument("--max-sessions", type=int, default=None, dest="max_sessions",
                          help="serve: exit after this many client sessions "
-                              "(default: serve until interrupted)")
+                              "(default: serve until interrupted; sequential mode only)")
+    serving.add_argument("--async", action="store_true", dest="async_mode",
+                         help="serve: multiplex concurrent connections on one "
+                              "event loop (pipelined frames, bounded in-flight "
+                              "queries, graceful drain) instead of sequential "
+                              "sessions")
+    serving.add_argument("--max-inflight", type=int, default=None, dest="max_inflight",
+                         help="serve --async: bound on globally queued queries; "
+                              "excess requests get a typed BUSY reply "
+                              "(default: 1024)")
+    serving.add_argument("--drain-timeout", type=float, default=None, dest="drain_timeout",
+                         help="serve --async: upper bound in seconds on the "
+                              "graceful drain at shutdown (default: 10)")
+    serving.add_argument("--backlog", type=int, default=None,
+                         help="serve: listener pending-accept queue length "
+                              "(default: 128)")
     serving.add_argument("--keys", default=None, metavar="K1,K2,...",
                          help="query: comma-separated keys to estimate")
     serving.add_argument("--top-k", type=int, default=None, dest="top_k",
                          help="query: print the server's k heaviest keys")
     serving.add_argument("--stats", action="store_true",
                          help="query: print the service's epoch/cache/staleness stats")
+    serving.add_argument("--pipeline", type=int, default=None,
+                         help="query: issue the --keys estimates as pipelined "
+                              "single-key requests with this many in flight "
+                              "(demonstrates in-order pipelined replies)")
     return parser
 
 
@@ -637,9 +711,14 @@ def main(argv: list[str] | None = None) -> int:
         "--verify": args.verify or None,
         "--publish-every": args.publish_every,
         "--max-sessions": args.max_sessions,
+        "--async": args.async_mode or None,
+        "--max-inflight": args.max_inflight,
+        "--drain-timeout": args.drain_timeout,
+        "--backlog": args.backlog,
         "--keys": args.keys,
         "--top-k": args.top_k,
         "--stats": args.stats or None,
+        "--pipeline": args.pipeline,
     }
     for flag, value in flag_values.items():
         if value is not None and args.experiment not in _FLAG_COMMANDS[flag]:
@@ -653,8 +732,22 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--publish-every must be a positive integer")
     if args.max_sessions is not None and args.max_sessions <= 0:
         parser.error("--max-sessions must be a positive integer")
+    if args.max_sessions is not None and args.async_mode:
+        parser.error("--max-sessions applies to sequential serving only")
+    if args.max_inflight is not None and args.max_inflight <= 0:
+        parser.error("--max-inflight must be a positive integer")
+    if args.drain_timeout is not None and args.drain_timeout <= 0:
+        parser.error("--drain-timeout must be positive")
+    if args.backlog is not None and args.backlog <= 0:
+        parser.error("--backlog must be a positive integer")
+    if (args.max_inflight is not None or args.drain_timeout is not None) and not args.async_mode:
+        parser.error("--max-inflight/--drain-timeout require serve --async")
     if args.top_k is not None and args.top_k <= 0:
         parser.error("--top-k must be a positive integer")
+    if args.pipeline is not None and args.pipeline <= 0:
+        parser.error("--pipeline must be a positive integer")
+    if args.pipeline is not None and not args.keys:
+        parser.error("--pipeline requires --keys")
     if args.experiment in ("ingest-collect", "serve"):
         from repro.sketches.registry import supports_snapshots
 

@@ -50,7 +50,14 @@ from repro.hashing.families import (
 
 MAGIC = b"RS"
 #: Bump on any incompatible layout change; decoders reject other versions.
-WIRE_VERSION = 1
+#: v2: MSG_QUERY_REPLY carries a status byte (OK / BUSY back-pressure).
+WIRE_VERSION = 2
+
+#: Upper bound on a single frame's payload.  Nothing legitimate comes close
+#: (the largest payloads are sketch-state snapshots, a few MiB at paper
+#: budgets); a declared length beyond this is a hostile or corrupt header,
+#: and rejecting it here means no server ever allocates buffers for it.
+MAX_PAYLOAD_BYTES = 64 * 1024 * 1024
 
 _FRAME_HEADER = struct.Struct(">2sBBI")
 FRAME_HEADER_SIZE = _FRAME_HEADER.size  # 8 bytes
@@ -84,6 +91,16 @@ QUERY_FLUSH = 3  # force an epoch publish; reply carries the new epoch id
 
 _QUERY_KINDS = frozenset({QUERY_KEYS, QUERY_TOP_K, QUERY_STATS, QUERY_FLUSH})
 
+# Status byte of a MSG_QUERY_REPLY (wire v2).  BUSY is the typed
+# back-pressure signal of the async front end: the request was *not*
+# served (the global in-flight bound was hit) and carries no body — the
+# client may retry.  The reply still echoes the request id and kind, so
+# pipelined clients keep their in-order bookkeeping.
+STATUS_OK = 0
+STATUS_BUSY = 1
+
+_QUERY_STATUSES = frozenset({STATUS_OK, STATUS_BUSY})
+
 # Key-block modes of a batch payload.
 _KEYS_INT32 = 0  # all keys are ints in [0, 2^31): one uint32 array
 _KEYS_TAGGED = 1  # per-key type tag + length + key_to_bytes encoding
@@ -109,6 +126,10 @@ def encode_frame(msg_type: int, payload: bytes = b"") -> bytes:
     """Wrap ``payload`` in a versioned, length-prefixed frame."""
     if msg_type not in _MESSAGE_TYPES:
         raise WireFormatError(f"unknown message type {msg_type}")
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise WireFormatError(
+            f"payload of {len(payload)} bytes exceeds the {MAX_PAYLOAD_BYTES}-byte bound"
+        )
     return _FRAME_HEADER.pack(MAGIC, WIRE_VERSION, msg_type, len(payload)) + payload
 
 
@@ -127,6 +148,13 @@ def parse_frame_header(header: bytes) -> tuple[int, int]:
         )
     if msg_type not in _MESSAGE_TYPES:
         raise WireFormatError(f"unknown message type {msg_type}")
+    if payload_length > MAX_PAYLOAD_BYTES:
+        # A hostile or corrupt header must never make a server allocate (or
+        # wait for) an absurd payload — fail at the header, before any read.
+        raise WireFormatError(
+            f"declared payload of {payload_length} bytes exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte bound"
+        )
     return msg_type, payload_length
 
 
@@ -401,6 +429,11 @@ class QueryResponse:
     epoch id came from the same frozen replica).  ``estimates`` is set for
     key and top-k queries, ``keys`` for top-k (the ranked keys, heaviest
     first), ``stats`` for stats requests.
+
+    ``status`` is :data:`STATUS_OK` for a served answer.  A
+    :data:`STATUS_BUSY` reply is the admission-control rejection of the
+    async front end: the request was never executed, the reply carries no
+    body, and the client may retry it.
     """
 
     request_id: int
@@ -409,6 +442,7 @@ class QueryResponse:
     estimates: np.ndarray | None = None
     keys: EncodedKeyBatch | None = None
     stats: dict | None = None
+    status: int = STATUS_OK
 
 
 def encode_query_request(
@@ -466,11 +500,22 @@ def encode_query_response(
     estimates: np.ndarray | Sequence[int] | None = None,
     keys: Sequence[object] | None = None,
     stats: dict | None = None,
+    status: int = STATUS_OK,
 ) -> bytes:
-    """Serialize an epoch-stamped answer into a ``MSG_QUERY_REPLY`` payload."""
+    """Serialize an epoch-stamped answer into a ``MSG_QUERY_REPLY`` payload.
+
+    A :data:`STATUS_BUSY` reply carries no body (the request was rejected,
+    not answered), so ``estimates``/``keys``/``stats`` must be omitted.
+    """
     if kind not in _QUERY_KINDS:
         raise WireFormatError(f"unknown query kind {kind}")
-    parts = [struct.pack(">IBQ", request_id, kind, epoch_id)]
+    if status not in _QUERY_STATUSES:
+        raise WireFormatError(f"unknown reply status {status}")
+    parts = [struct.pack(">IBBQ", request_id, kind, status, epoch_id)]
+    if status == STATUS_BUSY:
+        if estimates is not None or keys is not None or stats is not None:
+            raise WireFormatError("a BUSY reply must not carry a body")
+        return b"".join(parts)
     if kind in (QUERY_KEYS, QUERY_TOP_K):
         if estimates is None:
             raise WireFormatError("key and top-k responses require estimates")
@@ -496,12 +541,20 @@ def encode_query_response(
 def decode_query_response(payload: bytes) -> QueryResponse:
     """Inverse of :func:`encode_query_response`."""
     read, position = _payload_reader(payload)
-    request_id, kind, epoch_id = struct.unpack(">IBQ", read(13))
+    request_id, kind, status, epoch_id = struct.unpack(">IBBQ", read(14))
     if kind not in _QUERY_KINDS:
         raise WireFormatError(f"unknown query kind {kind}")
+    if status not in _QUERY_STATUSES:
+        raise WireFormatError(f"unknown reply status {status}")
     estimates = None
     keys = None
     stats = None
+    if status == STATUS_BUSY:
+        if position() != len(payload):
+            raise WireFormatError("trailing bytes after a BUSY reply")
+        return QueryResponse(
+            request_id=request_id, kind=kind, epoch_id=epoch_id, status=status
+        )
     if kind in (QUERY_KEYS, QUERY_TOP_K):
         (count,) = struct.unpack(">I", read(4))
         if kind == QUERY_TOP_K:
@@ -525,4 +578,5 @@ def decode_query_response(payload: bytes) -> QueryResponse:
         estimates=estimates,
         keys=keys,
         stats=stats,
+        status=status,
     )

@@ -18,25 +18,58 @@ reader observe a half-applied update:
   distributed ``Transport`` protocol, so the same inproc/pipe/tcp backends
   that ship ingest batches also serve remote queries
   (``repro-cli serve`` / ``repro-cli query``).
-* :mod:`repro.serve.loadgen` — a closed-loop load generator (Zipf key mix,
-  configurable read/write ratio) behind ``benchmarks/bench_serving.py``.
+* :mod:`repro.serve.async_server` — the concurrent TCP front end: one
+  selector event loop multiplexing every live connection over one shared
+  service, with pipelined frames, bounded in-flight admission control
+  (typed BUSY replies) and graceful drain (``repro-cli serve --async``).
+* :mod:`repro.serve.loadgen` — load generation: a closed-loop generator
+  (Zipf key mix, configurable read/write ratio) and an open-loop
+  multi-client harness (target-qps Poisson arrivals, per-request latency),
+  both behind ``benchmarks/bench_serving.py``.
 """
 
-from repro.serve.loadgen import LoadGenConfig, LoadGenReport, run_loadgen
-from repro.serve.server import QueryClient, ServeConfig, ServingSession, serve_main
+from repro.serve.async_server import (
+    AsyncServerStats,
+    AsyncServingSession,
+    AsyncSketchServer,
+)
+from repro.serve.loadgen import (
+    LoadGenConfig,
+    LoadGenReport,
+    OpenLoopConfig,
+    OpenLoopReport,
+    run_loadgen,
+    run_open_loop,
+)
+from repro.serve.server import (
+    QueryClient,
+    ServeConfig,
+    ServerBusyError,
+    ServingSession,
+    create_listener,
+    serve_main,
+)
 from repro.serve.service import SketchService
 from repro.serve.snapshots import EpochSnapshot, EpochWriter, replicate_sketch
 
 __all__ = [
+    "AsyncServerStats",
+    "AsyncServingSession",
+    "AsyncSketchServer",
     "EpochSnapshot",
     "EpochWriter",
     "LoadGenConfig",
     "LoadGenReport",
+    "OpenLoopConfig",
+    "OpenLoopReport",
     "QueryClient",
     "ServeConfig",
+    "ServerBusyError",
     "ServingSession",
     "SketchService",
+    "create_listener",
     "replicate_sketch",
     "run_loadgen",
+    "run_open_loop",
     "serve_main",
 ]

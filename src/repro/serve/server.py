@@ -23,6 +23,7 @@ client — the entry point of ``benchmarks/bench_serving.py``.
 from __future__ import annotations
 
 import socket
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -39,6 +40,7 @@ from repro.distributed.wire import (
     QUERY_KEYS,
     QUERY_STATS,
     QUERY_TOP_K,
+    STATUS_BUSY,
     QueryResponse,
     WireFormatError,
     decode_batch,
@@ -57,6 +59,45 @@ from repro.serve.snapshots import DEFAULT_PUBLISH_EVERY_ITEMS
 from repro.sketches.base import Sketch
 from repro.sketches.registry import build_sketch
 from repro.sketches.sharded import ShardedSketch
+
+
+class ServerBusyError(RuntimeError):
+    """The server rejected a request with a typed BUSY reply.
+
+    Raised by :class:`QueryClient` when a reply carries
+    :data:`~repro.distributed.wire.STATUS_BUSY` — the async front end's
+    admission control turned the request away (it was never executed).
+    Retrying is safe; the load generator does so with bounded attempts.
+    """
+
+    def __init__(self, request_id: int, kind: int, epoch_id: int) -> None:
+        super().__init__(
+            f"server is at its in-flight bound (request {request_id}, "
+            f"kind {kind}, epoch {epoch_id})"
+        )
+        self.request_id = request_id
+        self.kind = kind
+        self.epoch_id = epoch_id
+
+
+def create_listener(host: str, port: int, backlog: int = 128) -> socket.socket:
+    """A TCP listener with ``SO_REUSEADDR`` set.
+
+    Restarting a server on the same port must not fail while the previous
+    incarnation's connections sit in TIME_WAIT — the classic
+    "address already in use" of a quickly restarted ``repro-cli serve``.
+    ``backlog`` is the pending-accept queue; concurrent clients beyond it
+    see connection refusals instead of unbounded kernel queueing.
+    """
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, port))
+        sock.listen(backlog)
+    except OSError:
+        sock.close()
+        raise
+    return sock
 
 
 @dataclass(frozen=True)
@@ -245,6 +286,8 @@ class QueryClient:
                 f"response ({response.request_id}, kind {response.kind}) does not "
                 f"match request ({request_id}, kind {kind})"
             )
+        if response.status == STATUS_BUSY:
+            raise ServerBusyError(response.request_id, response.kind, response.epoch_id)
         return response
 
     def query_batch(self, keys: Sequence[object]) -> tuple[np.ndarray, int]:
@@ -253,6 +296,66 @@ class QueryClient:
         if len(response.estimates) != len(keys):
             raise WireFormatError("server returned a mismatched estimate count")
         return response.estimates, response.epoch_id
+
+    def query_batches_pipelined(
+        self,
+        key_batches: Sequence[Sequence[object]],
+        max_inflight: int = 64,
+        busy_retries: int | None = 64,
+    ) -> list[tuple[np.ndarray, int]]:
+        """Issue many key-batch queries with up to ``max_inflight`` in flight.
+
+        The pipelined read path: requests are streamed without waiting for
+        their replies, so one connection amortises its round-trip latency
+        over the whole window (both servers answer pipelined frames; the
+        async server interleaves them with other connections).  Results
+        come back in ``key_batches`` order regardless of BUSY retries —
+        a BUSY reply re-enqueues its batch under a fresh request id until
+        it is served (``busy_retries`` bounds the total; ``None`` retries
+        forever).
+        """
+        results: list[tuple[np.ndarray, int] | None] = [None] * len(key_batches)
+        unsent = deque(range(len(key_batches)))
+        id_to_index: dict[int, int] = {}
+        retries = 0
+        while unsent or id_to_index:
+            while unsent and len(id_to_index) < max_inflight:
+                index = unsent.popleft()
+                request_id = self._next_request_id
+                self._next_request_id += 1
+                id_to_index[request_id] = index
+                self._channel.send(
+                    encode_frame(
+                        MSG_QUERY,
+                        encode_query_request(
+                            request_id, QUERY_KEYS, keys=key_batches[index]
+                        ),
+                    )
+                )
+            frame = self._channel.recv()
+            if frame is None:
+                raise WireFormatError("server closed the channel mid-pipeline")
+            msg_type, payload = decode_frame(frame)
+            if msg_type != MSG_QUERY_REPLY:
+                raise WireFormatError(f"expected MSG_QUERY_REPLY, got {msg_type}")
+            response = decode_query_response(payload)
+            index = id_to_index.pop(response.request_id, None)
+            if index is None:
+                raise WireFormatError(
+                    f"reply {response.request_id} matches no in-flight request"
+                )
+            if response.status == STATUS_BUSY:
+                retries += 1
+                if busy_retries is not None and retries > busy_retries:
+                    raise ServerBusyError(
+                        response.request_id, response.kind, response.epoch_id
+                    )
+                unsent.append(index)
+                continue
+            if len(response.estimates) != len(key_batches[index]):
+                raise WireFormatError("server returned a mismatched estimate count")
+            results[index] = (response.estimates, response.epoch_id)
+        return results  # type: ignore[return-value]
 
     def query(self, key: object) -> int:
         """Point estimate of one key."""

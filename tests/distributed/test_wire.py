@@ -215,6 +215,66 @@ def test_structurally_invalid_state_headers_rejected():
             decode_state(payload_for(header))
 
 
+def test_oversized_frames_rejected_at_both_ends():
+    """The 64 MiB payload bound holds on encode and on header parse.
+
+    The parse side is the hostile one: a corrupt or adversarial header
+    declaring an absurd length must fail before any buffer is allocated
+    or any payload byte is awaited.
+    """
+    import struct
+
+    with pytest.raises(WireFormatError, match="bound"):
+        encode_frame(MSG_BATCH, bytes(wire.MAX_PAYLOAD_BYTES + 1))
+
+    hostile = wire._FRAME_HEADER.pack(
+        wire.MAGIC, wire.WIRE_VERSION, MSG_BATCH, wire.MAX_PAYLOAD_BYTES + 1
+    )
+    with pytest.raises(WireFormatError, match="bound"):
+        wire.parse_frame_header(hostile)
+    # The bound itself is fine: only the header is built here, no payload.
+    msg_type, length = wire.parse_frame_header(
+        struct.pack(">2sBBI", wire.MAGIC, wire.WIRE_VERSION, MSG_BATCH,
+                    wire.MAX_PAYLOAD_BYTES)
+    )
+    assert (msg_type, length) == (MSG_BATCH, wire.MAX_PAYLOAD_BYTES)
+
+
+def test_busy_query_reply_round_trips():
+    """v2 replies carry a status byte; BUSY replies carry no body."""
+    from repro.distributed.wire import (
+        QUERY_KEYS,
+        STATUS_BUSY,
+        STATUS_OK,
+        decode_query_response,
+        encode_query_response,
+    )
+
+    busy = decode_query_response(
+        encode_query_response(42, QUERY_KEYS, 7, status=STATUS_BUSY)
+    )
+    assert (busy.request_id, busy.kind, busy.epoch_id) == (42, QUERY_KEYS, 7)
+    assert busy.status == STATUS_BUSY
+    assert busy.estimates is None and busy.keys is None and busy.stats is None
+
+    ok = decode_query_response(
+        encode_query_response(42, QUERY_KEYS, 7, estimates=[1, 2])
+    )
+    assert ok.status == STATUS_OK
+    assert ok.estimates.tolist() == [1, 2]
+
+    # A BUSY reply must not smuggle a body, and unknown statuses must fail.
+    with pytest.raises(WireFormatError):
+        encode_query_response(1, QUERY_KEYS, 0, estimates=[1], status=STATUS_BUSY)
+    busy_frame = encode_query_response(1, QUERY_KEYS, 0, status=STATUS_BUSY)
+    with pytest.raises(WireFormatError):
+        decode_query_response(busy_frame + b"x")  # trailing bytes after BUSY
+    corrupt = bytearray(busy_frame)
+    corrupt[5] = 99  # the status byte of the >IBBQ header
+    with pytest.raises(WireFormatError):
+        decode_query_response(bytes(corrupt))
+
+
 def test_config_roundtrip_and_validation():
     config = {"algorithm": "CM_fast", "memory_bytes": 4096.0, "shard_id": 1}
     assert decode_config(encode_config(config)) == config

@@ -198,6 +198,56 @@ def test_serving_validation():
     assert excinfo.value.code == 2
 
 
+def test_async_serving_flags_policy():
+    # The async flags obey the same never-silently-ignored policy.
+    for flags in (["--async"], ["--max-inflight", "8"],
+                  ["--drain-timeout", "1"], ["--backlog", "4"],
+                  ["--pipeline", "4"]):
+        with pytest.raises(SystemExit):
+            main(["fig4", *flags])
+    with pytest.raises(SystemExit):
+        main(["query", "--async"])  # serve-only flag on query
+    with pytest.raises(SystemExit):
+        main(["serve", "--pipeline", "4"])  # query-only flag on serve
+
+
+def test_async_serving_validation():
+    # --max-inflight / --drain-timeout shape the async event loop only.
+    with pytest.raises(SystemExit):
+        main(["serve", "--max-inflight", "8"])
+    with pytest.raises(SystemExit):
+        main(["serve", "--drain-timeout", "2"])
+    # --max-sessions counts sequential sessions; the async loop has none.
+    with pytest.raises(SystemExit):
+        main(["serve", "--async", "--max-sessions", "2"])
+    with pytest.raises(SystemExit):
+        main(["serve", "--async", "--max-inflight", "0"])
+    with pytest.raises(SystemExit):
+        main(["serve", "--async", "--drain-timeout", "0"])
+    with pytest.raises(SystemExit):
+        main(["serve", "--backlog", "0"])
+    with pytest.raises(SystemExit):
+        main(["query", "--connect", "127.0.0.1:1", "--keys", "1", "--pipeline", "0"])
+    with pytest.raises(SystemExit):
+        main(["query", "--connect", "127.0.0.1:1", "--stats", "--pipeline", "4"])
+
+
+def test_query_pipeline_against_async_server(capsys):
+    from repro.serve.async_server import AsyncServingSession
+    from repro.serve.server import ServeConfig
+
+    service = ServeConfig("CM_fast", 16384, seed=0).build_service()
+    service.ingest([1, 1, 2])
+    service.flush()
+    with AsyncServingSession(service) as session:
+        host, port = session.address
+        assert main(["query", "--connect", f"{host}:{port}",
+                     "--keys", "1,2,3", "--pipeline", "2"]) == 0
+    output = capsys.readouterr().out
+    assert "pipelined 3 requests, depth 2" in output
+    assert "1: 2" in output and "2: 1" in output and "3: 0" in output
+
+
 def test_ingest_collect_accepts_reliable_sketch(capsys):
     # PR 3 follow-on: Ours snapshots, so it can be collected remotely; the
     # verify path compares routed answers against local sharded ingest.
