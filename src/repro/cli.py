@@ -291,6 +291,7 @@ def _cmd_serve(args) -> None:
         seed=args.seed,
         shards=args.shards,
         publish_every_items=publish_every,
+        max_tracked_keys=args.max_tracked_keys,
     )
     service = config.build_service()
     if args.async_mode:
@@ -564,6 +565,7 @@ _FLAG_COMMANDS = {
     "--max-inflight": frozenset({"serve"}),
     "--drain-timeout": frozenset({"serve"}),
     "--backlog": frozenset({"serve"}),
+    "--max-tracked-keys": frozenset({"serve"}),
     "--keys": frozenset({"query"}),
     "--top-k": frozenset({"query"}),
     "--stats": frozenset({"query"}),
@@ -659,6 +661,11 @@ def build_parser() -> argparse.ArgumentParser:
     serving.add_argument("--backlog", type=int, default=None,
                          help="serve: listener pending-accept queue length "
                               "(default: 128)")
+    serving.add_argument("--max-tracked-keys", type=int, default=None,
+                         dest="max_tracked_keys",
+                         help="serve: bound the top-k key directory to this many "
+                              "heavy-hitter candidates (min-estimate pruning; "
+                              "default: unbounded)")
     serving.add_argument("--keys", default=None, metavar="K1,K2,...",
                          help="query: comma-separated keys to estimate")
     serving.add_argument("--top-k", type=int, default=None, dest="top_k",
@@ -687,6 +694,8 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.workers < 0:
         parser.error("--workers must be >= 0 (0 = one per CPU core)")
+    if args.max_tracked_keys is not None and args.max_tracked_keys <= 0:
+        parser.error("--max-tracked-keys must be a positive integer")
     if args.kernel is not None:
         # Bit-identical knob, honoured by every command.  Setting both the
         # process default and the environment variable makes the choice
@@ -715,6 +724,7 @@ def main(argv: list[str] | None = None) -> int:
         "--max-inflight": args.max_inflight,
         "--drain-timeout": args.drain_timeout,
         "--backlog": args.backlog,
+        "--max-tracked-keys": args.max_tracked_keys,
         "--keys": args.keys,
         "--top-k": args.top_k,
         "--stats": args.stats or None,

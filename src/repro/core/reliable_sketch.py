@@ -108,6 +108,7 @@ class ReliableSketch(Sketch):
         use_emergency: bool = False,
         kernel: str | None = None,
         max_interned_keys: int | None = None,
+        interner_eviction: str | None = None,
     ) -> None:
         self.config = config
         self.seed = seed
@@ -123,9 +124,13 @@ class ReliableSketch(Sketch):
         # Key interning: dense integer ids shared by all layers, assigned on
         # first contact; the kernels' changed-bucket sync reads the inverse
         # map (`id_to_key`).  ``max_interned_keys`` bounds it against
-        # adversarial key spaces (KeyInternerOverflowError past the bound).
-        self._interner = KeyInterner(max_keys=max_interned_keys)
+        # adversarial key spaces (KeyInternerOverflowError past the bound,
+        # or LRU id recycling with ``interner_eviction="lru"``).
+        self._interner = KeyInterner(
+            max_keys=max_interned_keys, evict=interner_eviction
+        )
         self.max_interned_keys = max_interned_keys
+        self.interner_eviction = interner_eviction
         self._filter: MiceFilter | None = None
         if config.use_mice_filter:
             self._filter = MiceFilter(
@@ -164,6 +169,7 @@ class ReliableSketch(Sketch):
         use_emergency: bool = False,
         kernel: str | None = None,
         max_interned_keys: int | None = None,
+        interner_eviction: str | None = None,
     ) -> "ReliableSketch":
         """Size the sketch from the stream's total value ``N`` and Λ."""
         config = ReliableConfig.from_stream_statistics(
@@ -175,7 +181,8 @@ class ReliableSketch(Sketch):
             use_mice_filter=use_mice_filter,
         )
         return cls(config, seed=seed, use_emergency=use_emergency, kernel=kernel,
-                   max_interned_keys=max_interned_keys)
+                   max_interned_keys=max_interned_keys,
+                   interner_eviction=interner_eviction)
 
     @classmethod
     def from_memory(
@@ -191,6 +198,7 @@ class ReliableSketch(Sketch):
         use_emergency: bool = False,
         kernel: str | None = None,
         max_interned_keys: int | None = None,
+        interner_eviction: str | None = None,
     ) -> "ReliableSketch":
         """Size the sketch from a memory budget (the experiments' usual mode).
 
@@ -210,7 +218,8 @@ class ReliableSketch(Sketch):
             use_mice_filter=use_mice_filter,
         )
         return cls(config, seed=seed, use_emergency=use_emergency, kernel=kernel,
-                   max_interned_keys=max_interned_keys)
+                   max_interned_keys=max_interned_keys,
+                   interner_eviction=interner_eviction)
 
     # ------------------------------------------------------------ insertion
     def insert(self, key: object, value: int = 1) -> None:
@@ -449,7 +458,9 @@ class ReliableSketch(Sketch):
         """
         self._check_no_emergency("state_restore()")
         decoded = []
-        interner = KeyInterner(max_keys=self.max_interned_keys)
+        interner = KeyInterner(
+            max_keys=self.max_interned_keys, evict=self.interner_eviction
+        )
         for index, layer in enumerate(self._layers):
             width = (len(layer),)
             yes = self._check_snapshot_shape(state, f"layer{index}_yes", width)

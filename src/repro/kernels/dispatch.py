@@ -1,8 +1,8 @@
 """Runtime dispatch of the conflict-free update kernels.
 
-Three backends implement one contract (four functions operating on the
-sketches' numeric state; see :mod:`repro.kernels.python_backend` for the
-reference semantics):
+Three backends implement one contract (seven update functions operating on
+the sketches' numeric state; see :mod:`repro.kernels.python_backend` for
+the reference semantics):
 
 * ``"numba"`` — JIT-compiled per-item replay (optional dependency);
 * ``"numpy-grouped"`` — pure-NumPy conflict-free grouping rounds;
@@ -50,13 +50,16 @@ class KernelUnavailableError(RuntimeError):
 
 @dataclass(frozen=True)
 class KernelBackend:
-    """One kernel implementation: a name plus the four update entry points."""
+    """One kernel implementation: a name plus the update entry points."""
 
     name: str
     cu_update: Callable
     saturating_update: Callable
     reliable_layer_update: Callable
     elastic_update: Callable
+    coco_update: Callable
+    hashpipe_update: Callable
+    precision_update: Callable
 
 
 def _backend_from_module(name: str, module) -> KernelBackend:
@@ -66,6 +69,9 @@ def _backend_from_module(name: str, module) -> KernelBackend:
         saturating_update=module.saturating_update,
         reliable_layer_update=module.reliable_layer_update,
         elastic_update=module.elastic_update,
+        coco_update=module.coco_update,
+        hashpipe_update=module.hashpipe_update,
+        precision_update=module.precision_update,
     )
 
 

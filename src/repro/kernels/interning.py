@@ -50,18 +50,61 @@ class KeyInterner:
     bound set, interning the ``max_keys + 1``-th distinct key raises
     :class:`KeyInternerOverflowError` — a clear failure mode for adversarial
     key spaces instead of silent unbounded dict growth.
+
+    ``evict="lru"`` (requires ``max_keys``) recycles ids instead of
+    raising: interning a new key while full reassigns the id of the
+    least-recently-interned key, whose dict/table entries are dropped.
+    Recency advances on interning, not on queries, and batch interns touch
+    at batch granularity (every id in the batch gets the same clock tick).
+    Eviction is a *bounded-memory* mode, not a free lunch: a bucket may
+    still hold the recycled id, so the sketch then reports the new owner
+    key for that bucket — acceptable for the heavy-hitter sketches, whose
+    buckets track recently-frequent keys anyway.  A single batch
+    containing more distinct keys than ``max_keys`` will alias ids within
+    the batch; size the bound well above the expected working set.
+
+    ``on_assign`` (an optional ``(key, item_id)`` callable) fires whenever
+    an id is (re)assigned — sketches use it to maintain per-id caches.
     """
 
-    __slots__ = ("_ids", "id_to_key", "_table", "max_keys")
+    __slots__ = (
+        "_ids",
+        "id_to_key",
+        "_table",
+        "max_keys",
+        "evict",
+        "on_assign",
+        "_last_touch",
+        "_touch_clock",
+        "_int_only",
+    )
 
-    def __init__(self, max_keys: int | None = None) -> None:
+    def __init__(
+        self, max_keys: int | None = None, evict: str | None = None
+    ) -> None:
         if max_keys is not None and max_keys <= 0:
             raise ValueError("max_keys must be positive (or None for unbounded)")
+        if evict not in (None, "lru"):
+            raise ValueError(f"unknown eviction policy {evict!r}; expected 'lru'")
+        if evict == "lru" and max_keys is None:
+            raise ValueError("evict='lru' requires max_keys")
         self._ids: dict = {}
         #: Inverse map; ``id_to_key[i]`` is the key that owns id ``i``.
         self.id_to_key: list = []
         self._table: np.ndarray | None = None
         self.max_keys = max_keys
+        self.evict = evict
+        #: Optional ``(key, item_id)`` hook fired on every id assignment.
+        self.on_assign = None
+        self._last_touch = (
+            np.zeros(max_keys, dtype=np.int64) if evict == "lru" else None
+        )
+        self._touch_clock = 0
+        #: True while every interned key is a plain ``int`` — the invariant
+        #: that lets batch misses skip the per-key dict probe (no ``==``-equal
+        #: non-int alias can exist, and every covered int key is mirrored in
+        #: the table by ``_assign`` / ``_ensure_table`` back-fill).
+        self._int_only = True
 
     def __len__(self) -> int:
         return len(self.id_to_key)
@@ -71,22 +114,47 @@ class KeyInterner:
         item_id = self._ids.get(key)
         if item_id is None:
             item_id = self._assign(key)
+        elif self._last_touch is not None:
+            self._touch_clock += 1
+            self._last_touch[item_id] = self._touch_clock
         return item_id
 
     def _assign(self, key: object) -> int:
+        if type(key) is not int:
+            self._int_only = False
         item_id = len(self.id_to_key)
         if self.max_keys is not None and item_id >= self.max_keys:
-            raise KeyInternerOverflowError(
-                f"key interner is full: {self.max_keys} distinct keys already "
-                f"interned, cannot intern {key!r} (raise max_keys or leave it "
-                "unbounded)"
-            )
-        self._ids[key] = item_id
-        self.id_to_key.append(key)
+            if self.evict != "lru":
+                raise KeyInternerOverflowError(
+                    f"key interner is full: {self.max_keys} distinct keys "
+                    f"already interned, cannot intern {key!r} (raise max_keys, "
+                    "leave it unbounded, or enable evict='lru')"
+                )
+            item_id = self._evict_one()
+            self._ids[key] = item_id
+            self.id_to_key[item_id] = key
+        else:
+            self._ids[key] = item_id
+            self.id_to_key.append(key)
+        if self._last_touch is not None:
+            self._touch_clock += 1
+            self._last_touch[item_id] = self._touch_clock
         table = self._table
         if table is not None and type(key) is int and 0 <= key < len(table):
             table[key] = item_id
+        if self.on_assign is not None:
+            self.on_assign(key, item_id)
         return item_id
+
+    def _evict_one(self) -> int:
+        """Drop the least-recently-interned key and return its freed id."""
+        victim = int(np.argmin(self._last_touch))
+        old_key = self.id_to_key[victim]
+        del self._ids[old_key]
+        table = self._table
+        if table is not None and type(old_key) is int and 0 <= old_key < len(table):
+            table[old_key] = UNKNOWN_ID
+        return victim
 
     # ------------------------------------------------------------- batches
     def intern_batch(
@@ -103,18 +171,24 @@ class KeyInterner:
             ids = table[int_keys]
             missing = np.flatnonzero(ids < 0)
             if missing.size:
-                # The table is only a cache: consult the dict before
-                # assigning, so ids agree with any scalar-path interning.
-                get = self._ids.get
-                for position in missing.tolist():
-                    key = int(int_keys[position])
-                    item_id = get(key)
-                    if item_id is None:
-                        item_id = self._assign(key)
+                if (
+                    self.max_keys is None
+                    and self.on_assign is None
+                    and self._last_touch is None
+                ):
+                    self._assign_batch(int_keys, ids, missing, table)
+                else:
+                    # Bounded / hooked interners take the scalar path so
+                    # eviction, overflow and assignment hooks fire per key.
+                    get = self._ids.get
+                    for position in missing.tolist():
+                        key = int(int_keys[position])
+                        item_id = get(key)
+                        if item_id is None:
+                            item_id = self._assign(key)
                         table[key] = item_id
-                    else:
-                        table[key] = item_id
-                    ids[position] = item_id
+                        ids[position] = item_id
+            self._touch_batch(ids)
             return ids
         ids = list(map(self._ids.get, keys))
         if None in ids:
@@ -126,7 +200,56 @@ class KeyInterner:
                     if item_id is None:
                         item_id = self._assign(key)
                     ids[position] = item_id
-        return np.asarray(ids, dtype=np.int64)
+        id_array = np.asarray(ids, dtype=np.int64)
+        self._touch_batch(id_array)
+        return id_array
+
+    def _assign_batch(
+        self,
+        int_keys: np.ndarray,
+        ids: np.ndarray,
+        missing: np.ndarray,
+        table: np.ndarray,
+    ) -> None:
+        """Bulk-assign the batch's table misses in first-contact order.
+
+        Only for the unhooked, unbounded interner (no ``max_keys``, no
+        ``on_assign``, no LRU clock): ids are dense stream-order integers,
+        so each distinct new key takes the next id at its first occurrence.
+        While the interner has only ever seen plain ``int`` keys
+        (``_int_only``), a table miss is provably a brand-new key, so the
+        whole batch of misses assigns through bulk ``dict.update`` /
+        ``list.extend``; otherwise the dict is consulted per distinct key —
+        a miss may be a key interned under an ``==``-equal non-int object.
+        """
+        miss_keys = int_keys[missing]
+        uniq, first_seen = np.unique(miss_keys, return_index=True)
+        contact_order = np.argsort(first_seen, kind="stable")
+        if self._int_only:
+            new_keys = uniq[contact_order]
+            start = len(self.id_to_key)
+            key_list = new_keys.tolist()
+            self._ids.update(zip(key_list, range(start, start + len(key_list))))
+            self.id_to_key.extend(key_list)
+            table[new_keys] = np.arange(start, start + len(key_list), dtype=np.int64)
+        else:
+            get = self._ids.get
+            ids_map = self._ids
+            id_to_key = self.id_to_key
+            for key in uniq[contact_order].tolist():
+                item_id = get(key)
+                if item_id is None:
+                    item_id = len(id_to_key)
+                    ids_map[key] = item_id
+                    id_to_key.append(key)
+                table[key] = item_id
+        ids[missing] = table[miss_keys]
+
+    def _touch_batch(self, ids: np.ndarray) -> None:
+        """LRU touch at batch granularity: one clock tick for the whole batch."""
+        if self._last_touch is not None and ids.size:
+            self._touch_clock += 1
+            self._last_touch[np.unique(ids)] = self._touch_clock
 
     def lookup_batch(
         self, keys: Sequence[object], int_keys: np.ndarray | None = None

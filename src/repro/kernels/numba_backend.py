@@ -166,6 +166,175 @@ def _elastic_update(
     )
 
 
+@njit(cache=False)
+def _counter_rand(seed, position):  # pragma: no cover - compiled
+    # Mirrors repro.kernels.scalar.counter_rand on uint64 locals.
+    z = (np.uint64(seed) + (np.uint64(position) + np.uint64(1)) * np.uint64(
+        0x9E3779B97F4A7C15
+    ))
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    z = z ^ (z >> np.uint64(31))
+    return np.float64(z >> np.uint64(11)) * (2.0**-53)
+
+
+@njit(cache=False)
+def _coco_update(
+    key_ids, counts, indexes, item_ids, values, positions, seed
+):  # pragma: no cover - compiled
+    depth = key_ids.shape[0]
+    count = item_ids.shape[0]
+    changed_rows = np.empty(count, dtype=np.int64)
+    changed_cells = np.empty(count, dtype=np.int64)
+    changed_count = 0
+    for position in range(count):
+        item_id = item_ids[position]
+        value = values[position]
+        matched = False
+        min_row = 0
+        min_count = np.int64(-1)
+        for row in range(depth):
+            cell = indexes[row, position]
+            if key_ids[row, cell] == item_id:
+                counts[row, cell] += value
+                matched = True
+                break
+            reading = counts[row, cell]
+            if min_count < 0 or reading < min_count:
+                min_row = row
+                min_count = reading
+        if matched:
+            continue
+        cell = indexes[min_row, position]
+        if key_ids[min_row, cell] == _EMPTY:
+            key_ids[min_row, cell] = item_id
+            counts[min_row, cell] = value
+            changed_rows[changed_count] = min_row
+            changed_cells[changed_count] = cell
+            changed_count += 1
+            continue
+        new_count = min_count + value
+        counts[min_row, cell] = new_count
+        draw = _counter_rand(seed, positions[position])
+        if draw < np.float64(value) / np.float64(new_count):
+            key_ids[min_row, cell] = item_id
+            changed_rows[changed_count] = min_row
+            changed_cells[changed_count] = cell
+            changed_count += 1
+    return changed_rows[:changed_count].copy(), changed_cells[:changed_count].copy()
+
+
+@njit(cache=False)
+def _precision_update(
+    key_ids, counts, indexes, item_ids, values, positions, seed
+):  # pragma: no cover - compiled
+    depth = key_ids.shape[0]
+    count = item_ids.shape[0]
+    changed_rows = np.empty(count, dtype=np.int64)
+    changed_cells = np.empty(count, dtype=np.int64)
+    changed_count = 0
+    recirculations = 0
+    for position in range(count):
+        item_id = item_ids[position]
+        value = values[position]
+        settled = False
+        min_row = 0
+        min_count = np.int64(-1)
+        for row in range(depth):
+            cell = indexes[row, position]
+            held = key_ids[row, cell]
+            if held == item_id:
+                counts[row, cell] += value
+                settled = True
+                break
+            if held == _EMPTY:
+                key_ids[row, cell] = item_id
+                counts[row, cell] = value
+                changed_rows[changed_count] = row
+                changed_cells[changed_count] = cell
+                changed_count += 1
+                settled = True
+                break
+            reading = counts[row, cell]
+            if min_count < 0 or reading < min_count:
+                min_row = row
+                min_count = reading
+        if settled:
+            continue
+        draw = _counter_rand(seed, positions[position])
+        if draw < np.float64(value) / np.float64(min_count + value):
+            cell = indexes[min_row, position]
+            key_ids[min_row, cell] = item_id
+            counts[min_row, cell] = min_count + value
+            changed_rows[changed_count] = min_row
+            changed_cells[changed_count] = cell
+            changed_count += 1
+            recirculations += 1
+    return (
+        changed_rows[:changed_count].copy(),
+        changed_cells[:changed_count].copy(),
+        recirculations,
+    )
+
+
+@njit(cache=False)
+def _hashpipe_update(
+    key_ids, counts, stage_cells, item_ids, values
+):  # pragma: no cover - compiled
+    depth = key_ids.shape[0]
+    count = item_ids.shape[0]
+    capacity = count * depth
+    changed_rows = np.empty(capacity, dtype=np.int64)
+    changed_cells = np.empty(capacity, dtype=np.int64)
+    changed_count = 0
+    stage_entries = np.zeros(depth, dtype=np.int64)
+    for position in range(count):
+        item_id = item_ids[position]
+        value = values[position]
+        cell = stage_cells[0, item_id]
+        held = key_ids[0, cell]
+        if held == item_id:
+            counts[0, cell] += value
+            continue
+        token_count = counts[0, cell]
+        key_ids[0, cell] = item_id
+        counts[0, cell] = value
+        changed_rows[changed_count] = 0
+        changed_cells[changed_count] = cell
+        changed_count += 1
+        if held == _EMPTY:
+            continue
+        token_id = held
+        for row in range(1, depth):
+            stage_entries[row] += 1
+            cell = stage_cells[row, token_id]
+            incumbent = key_ids[row, cell]
+            if incumbent == token_id:
+                counts[row, cell] += token_count
+                break
+            if incumbent == _EMPTY:
+                key_ids[row, cell] = token_id
+                counts[row, cell] = token_count
+                changed_rows[changed_count] = row
+                changed_cells[changed_count] = cell
+                changed_count += 1
+                break
+            if counts[row, cell] < token_count:
+                incumbent_count = counts[row, cell]
+                key_ids[row, cell] = token_id
+                counts[row, cell] = token_count
+                changed_rows[changed_count] = row
+                changed_cells[changed_count] = cell
+                changed_count += 1
+                token_id = incumbent
+                token_count = incumbent_count
+    return (
+        changed_rows[:changed_count].copy(),
+        changed_cells[:changed_count].copy(),
+        stage_entries,
+    )
+
+
 def cu_update(tables, indexes, values):
     """Conservative updates for a whole batch (compiled replay)."""
     _cu_update(tables, np.ascontiguousarray(indexes), values)
@@ -192,3 +361,30 @@ def elastic_update(
         key_ids, positive, negative, flags, eviction_ratio, indexes, item_ids, values
     )
     return light, evicted_ids, evicted_values, np.unique(changed)
+
+
+def _seed_bits(seed):
+    """Fold a Python-int seed into an int64 whose bit pattern is seed mod 2^64."""
+    bits = seed & 0xFFFFFFFFFFFFFFFF
+    return bits - (1 << 64) if bits >= 1 << 63 else bits
+
+
+def coco_update(key_ids, counts, indexes, item_ids, values, positions, seed):
+    """CocoSketch compiled replay; see the python backend contract."""
+    return _coco_update(
+        key_ids, counts, np.ascontiguousarray(indexes), item_ids, values,
+        positions, _seed_bits(seed),
+    )
+
+
+def precision_update(key_ids, counts, indexes, item_ids, values, positions, seed):
+    """PRECISION compiled replay; see the python backend contract."""
+    return _precision_update(
+        key_ids, counts, np.ascontiguousarray(indexes), item_ids, values,
+        positions, _seed_bits(seed),
+    )
+
+
+def hashpipe_update(key_ids, counts, stage_cells, item_ids, values):
+    """HashPipe compiled replay; see the python backend contract."""
+    return _hashpipe_update(key_ids, counts, stage_cells, item_ids, values)

@@ -18,8 +18,11 @@ import numpy as np
 
 from repro.kernels.scalar import (
     bucket_apply,
+    coco_apply,
     cu_apply,
     elastic_apply,
+    hashpipe_apply,
+    precision_apply,
     saturating_apply,
 )
 
@@ -123,4 +126,111 @@ def elastic_update(
         np.asarray(evicted_ids, dtype=np.int64),
         np.asarray(evicted_values, dtype=np.int64),
         np.unique(np.asarray(changed, dtype=np.int64)),
+    )
+
+
+def coco_update(
+    key_ids: np.ndarray,
+    counts: np.ndarray,
+    indexes: np.ndarray,
+    item_ids: np.ndarray,
+    values: np.ndarray,
+    positions: np.ndarray,
+    seed: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """CocoSketch replay for a whole batch, in stream order.
+
+    ``positions`` carries each item's absolute RNG position (the sketch's
+    running draw counter), so replaying any sub-slice of a stream draws the
+    same numbers the full scalar run would.  Returns the ``(rows, cells)``
+    whose candidate key changed.
+    """
+    changed_rows: list[int] = []
+    changed_cells: list[int] = []
+    index_rows = [row.tolist() for row in indexes]
+    position_list = positions.tolist()
+    id_list = item_ids.tolist()
+    for item, value in enumerate(values.tolist()):
+        cells = [row[item] for row in index_rows]
+        row = coco_apply(
+            key_ids, counts, cells, id_list[item], value, seed, position_list[item]
+        )
+        if row >= 0:
+            changed_rows.append(row)
+            changed_cells.append(cells[row])
+    return (
+        np.asarray(changed_rows, dtype=np.int64),
+        np.asarray(changed_cells, dtype=np.int64),
+    )
+
+
+def precision_update(
+    key_ids: np.ndarray,
+    counts: np.ndarray,
+    indexes: np.ndarray,
+    item_ids: np.ndarray,
+    values: np.ndarray,
+    positions: np.ndarray,
+    seed: int,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """PRECISION replay for a whole batch, in stream order.
+
+    Returns ``(changed_rows, changed_cells, recirculations)``.
+    """
+    changed_rows: list[int] = []
+    changed_cells: list[int] = []
+    recirculations = 0
+    index_rows = [row.tolist() for row in indexes]
+    position_list = positions.tolist()
+    id_list = item_ids.tolist()
+    for item, value in enumerate(values.tolist()):
+        cells = [row[item] for row in index_rows]
+        row, recirculated = precision_apply(
+            key_ids, counts, cells, id_list[item], value, seed, position_list[item]
+        )
+        if recirculated:
+            recirculations += 1
+        if row >= 0:
+            changed_rows.append(row)
+            changed_cells.append(cells[row])
+    return (
+        np.asarray(changed_rows, dtype=np.int64),
+        np.asarray(changed_cells, dtype=np.int64),
+        recirculations,
+    )
+
+
+def hashpipe_update(
+    key_ids: np.ndarray,
+    counts: np.ndarray,
+    stage_cells: np.ndarray,
+    item_ids: np.ndarray,
+    values: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """HashPipe replay for a whole batch, in stream order.
+
+    ``stage_cells[row, id]`` pre-computes every interned key's cell at
+    every stage (the walk needs the *evicted* key's cells, which a plain
+    per-item index batch cannot supply).  Returns ``(changed_rows,
+    changed_cells, stage_entries)`` where ``stage_entries[row]`` counts the
+    carried keys that entered walk stage ``row`` — the per-stage hash-call
+    accounting of the scalar loop.
+    """
+    changed_rows: list[int] = []
+    changed_cells: list[int] = []
+    stage_entries = np.zeros(key_ids.shape[0], dtype=np.int64)
+    id_list = item_ids.tolist()
+    for item, value in enumerate(values.tolist()):
+        changed, walk_stages = hashpipe_apply(
+            key_ids, counts, stage_cells, id_list[item], value
+        )
+        for row, cell in changed:
+            changed_rows.append(row)
+            changed_cells.append(cell)
+        if walk_stages:
+            stage_entries[1 : 1 + walk_stages] += 1
+    return (
+        np.asarray(changed_rows, dtype=np.int64),
+        np.asarray(changed_cells, dtype=np.int64),
+        stage_entries,
     )

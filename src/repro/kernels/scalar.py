@@ -11,7 +11,24 @@ arrays):
 * :func:`saturating_apply` — one capped conservative update (mice filter);
 * :func:`bucket_apply` — one Error-Sensible bucket arrival with the layer
   lock of Algorithm 1 (ReliableSketch);
-* :func:`elastic_apply` — one Elastic heavy-part arrival (vote / evict).
+* :func:`elastic_apply` — one Elastic heavy-part arrival (vote / evict);
+* :func:`coco_apply` — one CocoSketch arrival (probabilistic replacement);
+* :func:`precision_apply` — one PRECISION arrival (probabilistic
+  recirculation);
+* :func:`hashpipe_apply` — one HashPipe arrival (d-stage eviction walk),
+  composed from :func:`hashpipe_stage1_apply` and
+  :func:`hashpipe_token_apply`.
+
+Randomized transitions (Coco, PRECISION) draw from :func:`counter_rand`, a
+counter-based generator keyed on ``(seed, stream position)``: the draw of
+an item depends only on its position, never on how many earlier draws were
+actually evaluated, so a vectorized backend can compute a whole round's
+draws in one shot and still match the scalar replay bit for bit.  Their
+acceptance thresholds are computed as ``float64(value) / float64(count)``
+— both operands converted to float64 *before* the division — which is the
+one form that is bit-identical across Python scalars, NumPy arrays and
+Numba (Python's exact-rational int/int division differs once counters pass
+2^53).
 
 The sketches' scalar ``insert`` paths call these directly and the
 ``python-replay`` backend loops over them, so the scalar loop and the
@@ -46,6 +63,28 @@ import numpy as np
 EMPTY_ID = -1
 #: Batch id of a query key that was never interned (matches no bucket).
 UNKNOWN_ID = -2
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+#: splitmix64 increment — the same constant ``derive_seed`` uses, so the
+#: per-position draw stream is a splitmix64 output sequence.
+_SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+
+
+def counter_rand(seed: int, position: int) -> float:
+    """Uniform draw in [0, 1) keyed on ``(seed, stream position)``.
+
+    One splitmix64 output: the counter ``position + 1`` is multiplied by
+    the golden-gamma increment and finalized, and the top 53 bits become
+    the mantissa.  All arithmetic wraps mod 2^64, so the identical bit
+    pattern falls out of Python ints (masked), NumPy ``uint64`` arrays
+    (silent wraparound) and Numba ``uint64`` locals; ``z >> 11 < 2^53``
+    makes the float conversion exact everywhere.
+    """
+    z = (seed + (position + 1) * _SPLITMIX_GAMMA) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    z ^= z >> 31
+    return (z >> 11) * (2.0**-53)
 
 
 def cu_apply(tables: np.ndarray, indexes, value: int) -> None:
@@ -172,3 +211,181 @@ def elastic_apply(
         flags[index] = True
         return False, evicted, True
     return True, None, False
+
+
+def coco_apply(
+    key_ids: np.ndarray,
+    counts: np.ndarray,
+    cells,
+    item_id: int,
+    value: int,
+    seed: int,
+    position: int,
+) -> int:
+    """One CocoSketch arrival at pre-computed per-row cells.
+
+    Scan the rows in order: a matching cell absorbs the value outright;
+    otherwise the first strictly-smallest cell among all rows takes it —
+    installed when empty, or counted with a ``value / new_count``
+    probabilistic key replacement (unbiased per-cell sum, as in CocoSketch).
+    Returns the changed row (new candidate key) or ``-1``.
+    """
+    depth = key_ids.shape[0]
+    min_row = 0
+    min_count = -1
+    for row in range(depth):
+        cell = cells[row]
+        if key_ids[row, cell] == item_id:
+            counts[row, cell] += value
+            return -1
+        reading = int(counts[row, cell])
+        if min_count < 0 or reading < min_count:
+            min_row = row
+            min_count = reading
+    cell = cells[min_row]
+    if key_ids[min_row, cell] == EMPTY_ID:
+        key_ids[min_row, cell] = item_id
+        counts[min_row, cell] = value
+        return min_row
+    new_count = min_count + value
+    counts[min_row, cell] = new_count
+    if counter_rand(seed, position) < float(value) / float(new_count):
+        key_ids[min_row, cell] = item_id
+        return min_row
+    return -1
+
+
+def precision_apply(
+    key_ids: np.ndarray,
+    counts: np.ndarray,
+    cells,
+    item_id: int,
+    value: int,
+    seed: int,
+    position: int,
+) -> tuple[int, bool]:
+    """One PRECISION arrival at pre-computed per-row cells.
+
+    The first row that matches absorbs the value; the first empty row
+    adopts the key.  When every row holds a foreign key, the entry with
+    the strictly-smallest count recirculates the packet with probability
+    ``value / (min + value)`` — on success the key is replaced and the
+    counter jumps to ``min + value``; on failure nothing changes.
+    Returns ``(changed_row or -1, recirculated)``.
+    """
+    depth = key_ids.shape[0]
+    min_row = 0
+    min_count = -1
+    for row in range(depth):
+        cell = cells[row]
+        held = int(key_ids[row, cell])
+        if held == item_id:
+            counts[row, cell] += value
+            return -1, False
+        if held == EMPTY_ID:
+            key_ids[row, cell] = item_id
+            counts[row, cell] = value
+            return row, False
+        reading = int(counts[row, cell])
+        if min_count < 0 or reading < min_count:
+            min_row = row
+            min_count = reading
+    if counter_rand(seed, position) < float(value) / float(min_count + value):
+        cell = cells[min_row]
+        key_ids[min_row, cell] = item_id
+        counts[min_row, cell] = min_count + value
+        return min_row, True
+    return -1, False
+
+
+def hashpipe_stage1_apply(
+    key_ids_row: np.ndarray,
+    counts_row: np.ndarray,
+    cell: int,
+    item_id: int,
+    value: int,
+) -> tuple[tuple[int, int] | None, bool]:
+    """HashPipe's always-install first stage at one cell.
+
+    A match adds in place; otherwise the arriving key is installed
+    unconditionally and the previous occupant (if any) is carried into the
+    eviction walk.  Returns ``(carried (id, count) or None, key_changed)``.
+    """
+    held = int(key_ids_row[cell])
+    if held == item_id:
+        counts_row[cell] += value
+        return None, False
+    carried = None if held == EMPTY_ID else (held, int(counts_row[cell]))
+    key_ids_row[cell] = item_id
+    counts_row[cell] = value
+    return carried, True
+
+
+def hashpipe_token_apply(
+    key_ids_row: np.ndarray,
+    counts_row: np.ndarray,
+    cell: int,
+    token_id: int,
+    token_count: int,
+) -> tuple[tuple[int, int] | None, bool]:
+    """One carried key visiting one walk-stage cell (HashPipe stages 2..d).
+
+    A match merges the carried count; an empty cell settles it; a smaller
+    incumbent is swapped out and carried onward; a larger-or-equal
+    incumbent passes the token through unchanged.  Returns ``(carry
+    (id, count) or None, key_changed)``.
+    """
+    held = int(key_ids_row[cell])
+    if held == token_id:
+        counts_row[cell] += token_count
+        return None, False
+    if held == EMPTY_ID:
+        key_ids_row[cell] = token_id
+        counts_row[cell] = token_count
+        return None, True
+    incumbent_count = int(counts_row[cell])
+    if incumbent_count < token_count:
+        key_ids_row[cell] = token_id
+        counts_row[cell] = token_count
+        return (held, incumbent_count), True
+    return (token_id, token_count), False
+
+
+def hashpipe_apply(
+    key_ids: np.ndarray,
+    counts: np.ndarray,
+    stage_cells: np.ndarray,
+    item_id: int,
+    value: int,
+) -> tuple[list[tuple[int, int]], int]:
+    """One full HashPipe arrival: stage 1 plus the eviction walk.
+
+    ``stage_cells[row, id]`` is the pre-computed cell of every interned key
+    at every stage.  Returns ``(changed (row, cell) pairs, walk_stages)``
+    where ``walk_stages`` counts the stages 2..d the carried key actually
+    entered (the walk stages are contiguous, so the caller can charge one
+    hash call to each).
+    """
+    changed: list[tuple[int, int]] = []
+    cell = int(stage_cells[0, item_id])
+    carried, key_changed = hashpipe_stage1_apply(
+        key_ids[0], counts[0], cell, item_id, value
+    )
+    if key_changed:
+        changed.append((0, cell))
+    walk_stages = 0
+    if carried is not None:
+        token_id, token_count = carried
+        depth = key_ids.shape[0]
+        for row in range(1, depth):
+            walk_stages += 1
+            cell = int(stage_cells[row, token_id])
+            carry, key_changed = hashpipe_token_apply(
+                key_ids[row], counts[row], cell, token_id, token_count
+            )
+            if key_changed:
+                changed.append((row, cell))
+            if carry is None:
+                break
+            token_id, token_count = carry
+    return changed, walk_stages

@@ -116,6 +116,7 @@ class ServeConfig:
     shards: int = 1
     publish_every_items: int = DEFAULT_PUBLISH_EVERY_ITEMS
     cache_size: int = DEFAULT_CACHE_SIZE
+    max_tracked_keys: int | None = None
     sketch_kwargs: dict = field(default_factory=dict)
 
     def to_payload(self) -> bytes:
@@ -127,6 +128,7 @@ class ServeConfig:
                 "shards": self.shards,
                 "publish_every_items": self.publish_every_items,
                 "cache_size": self.cache_size,
+                "max_tracked_keys": self.max_tracked_keys,
                 "sketch_kwargs": self.sketch_kwargs,
             }
         )
@@ -144,6 +146,7 @@ class ServeConfig:
                     "publish_every_items", DEFAULT_PUBLISH_EVERY_ITEMS
                 ),
                 cache_size=config.get("cache_size", DEFAULT_CACHE_SIZE),
+                max_tracked_keys=config.get("max_tracked_keys"),
                 sketch_kwargs=config.get("sketch_kwargs", {}),
             )
         except KeyError as missing:
@@ -166,6 +169,7 @@ class ServeConfig:
             factory=self.build_sketch,
             publish_every_items=self.publish_every_items,
             cache_size=self.cache_size,
+            max_tracked_keys=self.max_tracked_keys,
         )
 
 

@@ -62,6 +62,14 @@ class SketchService:
         the distinct keys — the same deliberate speed-for-memory trade as
         the kernel interner; disable it for unbounded key spaces, at the
         price of ``top_k`` raising.
+    max_tracked_keys:
+        Bound the directory to a heavy-hitter candidate set.  When the
+        directory overshoots the bound (plus a small slack so pruning is
+        amortized), it is pruned back to the ``max_tracked_keys`` keys with
+        the highest current-epoch estimates (ties kept in first-contact
+        order).  ``top_k`` then ranks *candidates*, not all keys ever seen:
+        a key pruned while light is invisible to ``top_k`` until it is
+        ingested again — see ``docs/api.md`` for the accuracy caveat.
     """
 
     def __init__(
@@ -72,9 +80,12 @@ class SketchService:
         publish_every_seconds: float | None = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
         track_keys: bool = True,
+        max_tracked_keys: int | None = None,
     ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be >= 0")
+        if max_tracked_keys is not None and max_tracked_keys <= 0:
+            raise ValueError("max_tracked_keys must be positive (or None)")
         self.cache_size = cache_size
         self._cache: OrderedDict = OrderedDict()
         self._cache_lock = threading.Lock()
@@ -82,6 +93,9 @@ class SketchService:
         self.cache_hits = 0
         self.cache_misses = 0
         self._track_keys = track_keys
+        self.max_tracked_keys = max_tracked_keys
+        #: Number of times the bounded directory was pruned.
+        self.directory_prunes = 0
         # First-contact-ordered key directory (dict-as-ordered-set).
         self._keys: dict = {}
         self._writer = EpochWriter(
@@ -99,7 +113,25 @@ class SketchService:
             directory = self._keys
             for key in keys:
                 directory[key] = None
+            cap = self.max_tracked_keys
+            if cap is not None and len(directory) > cap + max(64, cap // 8):
+                self._prune_directory()
         self._writer.ingest(keys, values)
+
+    def _prune_directory(self) -> None:
+        """Shrink the directory to the ``max_tracked_keys`` heaviest keys.
+
+        Ranked by current-epoch estimate (items absorbed since the last
+        publish are not yet visible — a freshly ingested heavy key can be
+        pruned once, and re-enters the directory on its next ingest), ties
+        kept in first-contact order.
+        """
+        candidates = list(self._keys)
+        estimates = self._writer.current.sketch.query_batch(candidates)
+        order = np.argsort(-estimates, kind="stable")[: self.max_tracked_keys]
+        # Re-sort the survivors by position to preserve first-contact order.
+        self._keys = {candidates[i]: None for i in sorted(order.tolist())}
+        self.directory_prunes += 1
 
     def flush(self) -> EpochSnapshot:
         """Force an epoch publish so reads catch up with all absorbed items."""
@@ -221,6 +253,8 @@ class SketchService:
             "max_interval_items": writer.max_interval_items,
             "memory_bytes": float(writer.live_sketch.memory_bytes()),
             "distinct_keys_tracked": len(self._keys),
+            "max_tracked_keys": self.max_tracked_keys,
+            "directory_prunes": self.directory_prunes,
             "cache_size": self.cache_size,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,

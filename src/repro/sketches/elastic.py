@@ -61,6 +61,7 @@ class ElasticSketch(Sketch):
         seed: int = 0,
         kernel: str | None = None,
         max_interned_keys: int | None = None,
+        interner_eviction: str | None = None,
     ) -> None:
         if light_ratio <= 0:
             raise ValueError("light_ratio must be positive")
@@ -83,7 +84,9 @@ class ElasticSketch(Sketch):
         self._heavy_flags = np.zeros(self.heavy_width, dtype=bool)
         self._light = np.zeros(self.light_width, dtype=np.int64)
         self._kernel = resolve_backend(kernel)
-        self._interner = KeyInterner(max_keys=max_interned_keys)
+        self._interner = KeyInterner(
+            max_keys=max_interned_keys, evict=interner_eviction
+        )
 
     # ------------------------------------------------------------- inserts
     def _light_insert(self, key: object, value: int) -> None:

@@ -4,38 +4,54 @@ Probabilistic-recirculation heavy-hitter detection for programmable
 switches, used as a competitor in Figures 7 and 10.  Like HashPipe it keeps
 ``d`` stages of (key, counter) slots, but instead of always evicting at the
 first stage it admits an unmatched key only *probabilistically*, with
-probability ``1 / (min_count + 1)`` — emulating the recirculation budget of a
-real switch.  This avoids HashPipe's duplicate entries at the cost of a small
-admission delay for emerging heavy hitters.
+probability ``value / (min_count + value)`` — emulating the recirculation
+budget of a real switch.  This avoids HashPipe's duplicate entries at the
+cost of a small admission delay for emerging heavy hitters.
 
 The paper uses ``d = 3`` stages for best performance.
+
+The state is struct-of-arrays (``int64`` counters plus interned key ids,
+with the key objects mirrored for scalar queries), and both datapaths run
+through the shared kernel transitions (:mod:`repro.kernels`).  Admission
+draws come from the counter-based RNG keyed on ``(seed, stream position)``,
+so scalar, batched and kernel-backend runs are bit-identical for any
+chunking.
 """
 
 from __future__ import annotations
 
-import random
+from typing import Sequence
 
-from repro.hashing import HashFamily
+import numpy as np
+
+from repro.hashing import EncodedKeyBatch, HashFamily
+from repro.hashing.families import keys_from_arrays, keys_to_arrays
+from repro.kernels import resolve_backend
+from repro.kernels.interning import KeyInterner
+from repro.kernels.scalar import EMPTY_ID, precision_apply
 from repro.metrics.memory import KEY_COUNTER_PAIR
 from repro.sketches.base import Sketch
 
 
-class _Slot:
-    """One (key, counter) slot of a PRECISION stage."""
-
-    __slots__ = ("key", "count")
-
-    def __init__(self) -> None:
-        self.key = None
-        self.count = 0
-
-
 class Precision(Sketch):
-    """PRECISION sized from a memory budget."""
+    """PRECISION sized from a memory budget.
+
+    Parameters mirror :class:`repro.sketches.coco.CocoSketch`; ``depth``
+    defaults to the paper's 3 stages.
+    """
 
     name = "PRECISION"
+    snapshotable = True
 
-    def __init__(self, memory_bytes: float, depth: int = 3, seed: int = 0) -> None:
+    def __init__(
+        self,
+        memory_bytes: float,
+        depth: int = 3,
+        seed: int = 0,
+        kernel: str | None = None,
+        max_interned_keys: int | None = None,
+        interner_eviction: str | None = None,
+    ) -> None:
         if depth <= 0:
             raise ValueError("depth must be positive")
         total_slots = KEY_COUNTER_PAIR.entries_for(memory_bytes)
@@ -43,40 +59,142 @@ class Precision(Sketch):
         self.width = max(1, total_slots // depth)
         self._family = HashFamily(seed)
         self._hashes = self._family.draw_many(depth, self.width)
-        self._stages = [[_Slot() for _ in range(self.width)] for _ in range(depth)]
-        self._rng = random.Random(seed)
+        self._key_ids = np.full((depth, self.width), EMPTY_ID, dtype=np.int64)
+        self._counts = np.zeros((depth, self.width), dtype=np.int64)
+        self._keys: list[list[object | None]] = [
+            [None] * self.width for _ in range(depth)
+        ]
+        self._kernel = resolve_backend(kernel)
+        self.max_interned_keys = max_interned_keys
+        self.interner_eviction = interner_eviction
+        self._interner = self._new_interner()
+        self._rng_seed = seed
+        self._draws = 0
         #: Number of simulated recirculations (entry replacements).
         self.recirculations = 0
 
+    def _new_interner(self) -> KeyInterner:
+        return KeyInterner(
+            max_keys=self.max_interned_keys, evict=self.interner_eviction
+        )
+
+    # ------------------------------------------------------------- inserts
     def insert(self, key: object, value: int = 1) -> None:
         self._check_insert(value)
-        minimum_slot: _Slot | None = None
-        for stage, hash_fn in zip(self._stages, self._hashes):
-            slot = stage[hash_fn(key)]
-            if slot.key == key:
-                slot.count += value
-                return
-            if slot.key is None:
-                slot.key, slot.count = key, value
-                return
-            if minimum_slot is None or slot.count < minimum_slot.count:
-                minimum_slot = slot
-        assert minimum_slot is not None
-        # Probabilistic recirculation: replace the minimum entry with
-        # probability value / (min_count + value); on success the new entry
-        # starts from min_count + value, preserving the overestimate bound.
-        if self._rng.random() < value / (minimum_slot.count + value):
+        # All d stage cells are evaluated up front (the switch pipeline this
+        # emulates hashes at every stage regardless of where the key
+        # settles), matching the batch datapath's per-row accounting.
+        cells = [hash_fn(key) for hash_fn in self._hashes]
+        item_id = self._interner.intern(key)
+        position = self._draws
+        self._draws += 1
+        row, recirculated = precision_apply(
+            self._key_ids, self._counts, cells, item_id, value,
+            self._rng_seed, position,
+        )
+        if recirculated:
             self.recirculations += 1
-            minimum_slot.key = key
-            minimum_slot.count += value
+        if row >= 0:
+            self._keys[row][cells[row]] = key
 
+    def insert_batch(
+        self, keys: Sequence[object], values: Sequence[int] | int | None = None
+    ) -> None:
+        batch = EncodedKeyBatch(keys)
+        value_array = self._batch_values(values, len(batch))
+        if not len(batch):
+            return
+        indexes = np.stack([hash_fn.index_batch(batch) for hash_fn in self._hashes])
+        item_ids = self._interner.intern_batch(batch.keys, batch.int_key_array)
+        positions = np.arange(
+            self._draws, self._draws + len(batch), dtype=np.int64
+        )
+        self._draws += len(batch)
+        rows, cells, recirculations = self._kernel.precision_update(
+            self._key_ids, self._counts, indexes, item_ids, value_array,
+            positions, self._rng_seed,
+        )
+        self.recirculations += int(recirculations)
+        self._sync_changed(rows, cells)
+
+    def _sync_changed(self, rows: np.ndarray, cells: np.ndarray) -> None:
+        """Re-sync the object-key mirror at every (row, cell) the kernel changed."""
+        if not rows.size:
+            return
+        id_to_key = self._interner.id_to_key
+        key_table = self._keys
+        rows_u, cells_u = np.divmod(np.unique(rows * self.width + cells), self.width)
+        ids = self._key_ids[rows_u, cells_u].tolist()
+        for row, cell, item_id in zip(rows_u.tolist(), cells_u.tolist(), ids):
+            key_table[row][cell] = id_to_key[item_id]
+
+    # ------------------------------------------------------------- queries
     def query(self, key: object) -> int:
-        for stage, hash_fn in zip(self._stages, self._hashes):
-            slot = stage[hash_fn(key)]
-            if slot.key == key:
-                return slot.count
+        cells = [hash_fn(key) for hash_fn in self._hashes]
+        for row, cell in enumerate(cells):
+            if self._keys[row][cell] == key:
+                return int(self._counts[row, cell])
         return 0
 
+    def query_batch(self, keys: Sequence[object]) -> np.ndarray:
+        batch = EncodedKeyBatch(keys)
+        indexes = [hash_fn.index_batch(batch) for hash_fn in self._hashes]
+        ids = self._interner.lookup_batch(batch.keys, batch.int_key_array)
+        estimates = np.zeros(len(batch), dtype=np.int64)
+        # Reverse row order so the earliest matching row wins the overwrite,
+        # mirroring the scalar first-match scan.
+        for row in range(self.depth - 1, -1, -1):
+            cells = indexes[row]
+            matches = self._key_ids[row, cells] == ids
+            estimates = np.where(matches, self._counts[row, cells], estimates)
+        return estimates
+
+    # ----------------------------------------------------------- snapshots
+    def state_snapshot(self) -> dict[str, np.ndarray]:
+        resident = [key for row_keys in self._keys for key in row_keys]
+        arrays = keys_to_arrays(resident)
+        return {
+            "counts": self._counts.copy(),
+            "key_tags": arrays["tags"],
+            "key_lengths": arrays["lengths"],
+            "key_blob": arrays["blob"],
+            "draws": np.asarray([self._draws], dtype=np.int64),
+            "recirculations": np.asarray([self.recirculations], dtype=np.int64),
+        }
+
+    def state_restore(self, state: dict[str, np.ndarray]) -> None:
+        shape = (self.depth, self.width)
+        slots = self.depth * self.width
+        counts = self._check_snapshot_shape(state, "counts", shape).astype(np.int64)
+        tags = self._check_snapshot_shape(state, "key_tags", (slots,))
+        lengths = self._check_snapshot_shape(state, "key_lengths", (slots,))
+        draws = self._check_snapshot_shape(state, "draws", (1,)).astype(np.int64)
+        recirculations = self._check_snapshot_shape(
+            state, "recirculations", (1,)
+        ).astype(np.int64)
+        if "key_blob" not in state:
+            raise ValueError("snapshot is missing the 'key_blob' array")
+        resident = keys_from_arrays(tags, lengths, state["key_blob"])
+        interner = self._new_interner()
+        key_ids = np.full(shape, EMPTY_ID, dtype=np.int64)
+        key_table: list[list[object | None]] = [
+            [None] * self.width for _ in range(self.depth)
+        ]
+        for row in range(self.depth):
+            row_keys = key_table[row]
+            for cell in range(self.width):
+                key = resident[row * self.width + cell]
+                if key is not None:
+                    key_ids[row, cell] = interner.intern(key)
+                    row_keys[cell] = key
+        self._counts = counts.copy()
+        self._key_ids = key_ids
+        self._keys = key_table
+        self._interner = interner
+        self._draws = int(draws[0])
+        self.recirculations = int(recirculations[0])
+
+    # -------------------------------------------------------- introspection
     def memory_bytes(self) -> float:
         return KEY_COUNTER_PAIR.bytes_for(self.depth * self.width)
 

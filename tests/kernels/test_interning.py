@@ -78,3 +78,78 @@ def test_bounded_sketch_keeps_answering_after_overflow():
     # interned state is intact: known keys answer exactly as before (the
     # overflow fired during interning, before any table mutation)
     assert (sketch.query_batch(list(range(60))) == before).all()
+
+
+# ------------------------------------------------------------------ LRU mode
+def test_lru_requires_max_keys_and_known_policy():
+    with pytest.raises(ValueError):
+        KeyInterner(evict="lru")
+    with pytest.raises(ValueError):
+        KeyInterner(max_keys=4, evict="fifo")
+
+
+def test_lru_recycles_least_recently_interned_id():
+    interner = KeyInterner(max_keys=3, evict="lru")
+    assert [interner.intern(key) for key in ("a", "b", "c")] == [0, 1, 2]
+    # "a" is the stalest; the fourth key takes its id.
+    assert interner.intern("d") == 0
+    assert interner.id_to_key[0] == "d"
+    assert "a" not in interner._ids
+    assert len(interner) == 3
+    # Re-interning "a" now evicts "b" (the new stalest).
+    assert interner.intern("a") == 1
+    assert "b" not in interner._ids
+
+
+def test_lru_recency_advances_on_intern():
+    interner = KeyInterner(max_keys=3, evict="lru")
+    for key in ("a", "b", "c"):
+        interner.intern(key)
+    interner.intern("a")  # refresh: "b" becomes the eviction victim
+    assert interner.intern("d") == 1
+    assert "b" not in interner._ids
+    assert interner._ids["a"] == 0
+
+
+def test_lru_table_entry_cleared_on_eviction():
+    interner = KeyInterner(max_keys=2, evict="lru")
+    interner.intern_batch([5, 6], np.asarray([5, 6], dtype=np.int64))
+    interner.intern(7)  # evicts 5 from dict AND the vectorized table
+    ids = interner.lookup_batch([5, 6, 7], np.asarray([5, 6, 7], dtype=np.int64))
+    assert ids[0] < 0  # evicted key is unknown again
+    assert ids[1].item() == 1
+    assert ids[2].item() == 0  # recycled id
+
+
+def test_lru_batch_touches_at_batch_granularity():
+    interner = KeyInterner(max_keys=4, evict="lru")
+    interner.intern_batch([0, 1], np.asarray([0, 1], dtype=np.int64))
+    interner.intern_batch([2, 3], np.asarray([2, 3], dtype=np.int64))
+    # Both ids of the first batch share one clock tick; np.argmin breaks the
+    # tie at the lowest id, so key 0 is evicted first, then key 1.
+    assert interner.intern("x") == 0
+    assert interner.intern("y") == 1
+    assert 2 in interner._ids and 3 in interner._ids
+
+
+def test_lru_on_assign_refires_on_reassignment():
+    assignments = []
+    interner = KeyInterner(max_keys=2, evict="lru")
+    interner.on_assign = lambda key, item_id: assignments.append((key, item_id))
+    interner.intern("a")
+    interner.intern("b")
+    interner.intern("c")  # recycles id 0
+    assert assignments == [("a", 0), ("b", 1), ("c", 0)]
+
+
+@pytest.mark.parametrize("name", ("Ours", "Coco", "HashPipe", "PRECISION"))
+def test_sketch_level_lru_ingests_beyond_the_bound(name):
+    # With eviction enabled the same hostile ingest that overflows a bounded
+    # interner completes, and the interner never exceeds its bound.
+    sketch = build_sketch(
+        name, 16 * 1024, seed=0, max_interned_keys=50, interner_eviction="lru"
+    )
+    sketch.insert_batch(list(range(500)))
+    assert len(sketch._interner) <= 50
+    # Recently interned keys still answer through the batch path.
+    assert sketch.query_batch(list(range(450, 500))).shape == (50,)

@@ -22,8 +22,12 @@ from hypothesis import strategies as st
 from repro.core import ReliableSketch
 from repro.core.config import LayerSpec, ReliableConfig
 from repro.kernels import available_backends, use_backend
+from repro.sketches.base import UnmergeableSketchError
+from repro.sketches.coco import CocoSketch
 from repro.sketches.cu import CUSketch
 from repro.sketches.elastic import ElasticSketch
+from repro.sketches.hashpipe import HashPipe
+from repro.sketches.precision import Precision
 from repro.streams import Stream, zipf_stream
 
 BACKENDS = available_backends()
@@ -58,7 +62,20 @@ BUILDERS = {
     "Elastic": lambda seed: ElasticSketch(2048, eviction_ratio=2, seed=seed),
     # heavy_width == light_width == 1 with eviction on every other arrival.
     "Elastic(width1)": lambda seed: ElasticSketch(8, eviction_ratio=1, seed=seed),
+    # Pipeline competitors: probabilistic replacement (Coco), eviction walks
+    # (HashPipe) and probabilistic recirculation (PRECISION).  The width-1
+    # variants force every key onto one cell per stage — maximal carry
+    # chains and replacement churn.
+    "Coco": lambda seed: CocoSketch(2048, seed=seed),
+    "Coco(width1)": lambda seed: CocoSketch(1, seed=seed),
+    "HashPipe": lambda seed: HashPipe(2048, seed=seed),
+    "HashPipe(width1)": lambda seed: HashPipe(1, seed=seed),
+    "PRECISION": lambda seed: Precision(2048, seed=seed),
+    "PRECISION(width1)": lambda seed: Precision(1, seed=seed),
 }
+
+#: The three pipeline families share the struct-of-arrays layout below.
+PIPELINE_FAMILIES = ("Coco", "HashPipe", "PRECISION")
 
 
 def _mixed_stream(seed: int, count: int = 3000) -> list[tuple[object, int]]:
@@ -127,6 +144,13 @@ def _assert_same_state(reference, candidate, items, context):
     if isinstance(reference, CUSketch):
         snapshot = reference.state_snapshot()["tables"]
         assert (snapshot == candidate.state_snapshot()["tables"]).all(), context
+    if isinstance(reference, (CocoSketch, HashPipe, Precision)):
+        # Struct-of-arrays state: counters and the object-key mirror pin the
+        # full bucket contents (ids are interner-relative, keys are not).
+        assert (reference._counts == candidate._counts).all(), context
+        assert reference._keys == candidate._keys, context
+    if isinstance(reference, Precision):
+        assert reference.recirculations == candidate.recirculations, context
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
@@ -189,6 +213,81 @@ def test_scalar_tail_threshold_extremes_stay_bit_identical(monkeypatch, tail):
             candidate = BUILDERS[family](seed=8)
         _fill_batched(candidate, items, 512)
         _assert_same_state(reference, candidate, items, context=(family, tail))
+
+
+@pytest.mark.parametrize("tail", [0, 10**9])
+def test_pipeline_tail_threshold_extremes_stay_bit_identical(monkeypatch, tail):
+    # Tail thresholds of the pipeline kernels: 0 keeps every round on the
+    # vectorized path; a huge threshold replays everything per item.  Both
+    # ends must agree with scalar replay bit for bit.
+    from repro.kernels import numpy_backend
+
+    monkeypatch.setattr(numpy_backend, "_COCO_TAIL", tail)
+    monkeypatch.setattr(numpy_backend, "_PRECISION_TAIL", tail)
+    monkeypatch.setattr(numpy_backend, "_HASHPIPE_TAIL", tail)
+    items = STREAMS["zipf"]()
+    for family in PIPELINE_FAMILIES:
+        reference = BUILDERS[family](seed=11)
+        _fill_scalar(reference, items)
+        with use_backend("numpy-grouped"):
+            candidate = BUILDERS[family](seed=11)
+        _fill_batched(candidate, items, 512)
+        _assert_same_state(reference, candidate, items, context=(family, tail))
+
+
+def test_pipeline_subchunk_recursion_stays_bit_identical(monkeypatch):
+    # A tiny sub-chunk bound forces the conflict-splitting recursion of the
+    # Coco/PRECISION engines on every batch; state must not drift.
+    from repro.kernels import numpy_backend
+
+    monkeypatch.setattr(numpy_backend, "_COCO_CHUNK", 17)
+    monkeypatch.setattr(numpy_backend, "_PRECISION_CHUNK", 17)
+    items = STREAMS["zipf"]()
+    for family in ("Coco", "PRECISION"):
+        reference = BUILDERS[family](seed=12)
+        _fill_scalar(reference, items)
+        with use_backend("numpy-grouped"):
+            candidate = BUILDERS[family](seed=12)
+        _fill_batched(candidate, items, 2048)
+        _assert_same_state(reference, candidate, items, context=family)
+
+
+@pytest.mark.parametrize("family", sorted(PIPELINE_FAMILIES))
+def test_pipeline_merge_is_refused(family):
+    # None of the pipeline competitors defines a lossless merge; the base
+    # contract must refuse loudly rather than combine states incorrectly.
+    first = BUILDERS[family](seed=3)
+    second = BUILDERS[family](seed=3)
+    first.insert(1, 2)
+    second.insert(2, 3)
+    with pytest.raises(UnmergeableSketchError):
+        first.merge(second)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("family", sorted(PIPELINE_FAMILIES))
+def test_pipeline_snapshot_roundtrip_continues_identically(backend, family):
+    # Snapshot mid-stream, restore into a fresh sketch, finish the stream
+    # batched: the result must equal one uninterrupted scalar fill.  Coco
+    # and PRECISION snapshots carry the RNG draw counter, so the resumed
+    # stream consumes the same replacement draws at the same positions.
+    items = _mixed_stream(17)
+    head, rest = items[:1700], items[1700:]
+    reference = BUILDERS[family](seed=4)
+    _fill_scalar(reference, items)
+    with use_backend(backend):
+        donor = BUILDERS[family](seed=4)
+        resumed = BUILDERS[family](seed=4)
+    _fill_batched(donor, head, 256)
+    resumed.state_restore(donor.state_snapshot())
+    _fill_batched(resumed, rest, 256)
+    keys = _query_keys(items)
+    expected = [int(reference.query(key)) for key in keys]
+    assert expected == resumed.query_batch(keys).tolist(), (backend, family)
+    assert (reference._counts == resumed._counts).all(), (backend, family)
+    assert reference._keys == resumed._keys, (backend, family)
+    if isinstance(reference, Precision):
+        assert reference.recirculations == resumed.recirculations, backend
 
 
 @pytest.mark.parametrize("backend", BACKENDS)

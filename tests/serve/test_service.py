@@ -131,3 +131,72 @@ def test_stats_counters():
 def test_service_rejects_negative_cache():
     with pytest.raises(ValueError):
         make_service(cache_size=-1)
+
+
+# ------------------------------------------------------- bounded directory
+def test_directory_unbounded_by_default():
+    service = make_service(publish_every_items=10**9)
+    service.ingest(list(range(5000)))
+    assert len(service._keys) == 5000
+    assert service.directory_prunes == 0
+    assert service.stats()["max_tracked_keys"] is None
+
+
+def test_directory_prune_waits_for_the_slack():
+    # Pruning is amortized: it fires only past cap + max(64, cap // 8), so
+    # a directory hovering at the cap is not re-sorted on every batch.
+    service = make_service(publish_every_items=10**9, max_tracked_keys=100)
+    service.ingest(list(range(160)))
+    assert service.directory_prunes == 0
+    assert len(service._keys) == 160
+    service.ingest(list(range(160, 170)))  # 170 > 100 + 64
+    assert service.directory_prunes == 1
+    assert len(service._keys) == 100
+
+
+def test_directory_prune_keeps_the_heaviest_published_keys():
+    service = make_service(publish_every_items=10**9, max_tracked_keys=100)
+    service.ingest([key for key in range(100) for _ in range(5)])
+    service.flush()  # heavy keys are now visible to the pruning rank
+    service.ingest(list(range(1000, 1100)))  # 200 tracked > 164 -> prune
+    assert service.directory_prunes == 1
+    assert set(service._keys) == set(range(100))
+    stats = service.stats()
+    assert stats["distinct_keys_tracked"] == 100
+    assert stats["max_tracked_keys"] == 100
+    assert stats["directory_prunes"] == 1
+
+
+def test_pruned_key_reenters_on_next_ingest():
+    service = make_service(publish_every_items=10**9, max_tracked_keys=100)
+    service.ingest([key for key in range(100) for _ in range(5)])
+    service.flush()
+    service.ingest(list(range(1000, 1100)))  # prunes the light keys away
+    assert 1000 not in service._keys
+    service.ingest([1000])
+    assert 1000 in service._keys
+
+
+def test_directory_prune_preserves_top_k_contract():
+    # After pruning, top_k still ranks against the frozen epoch and breaks
+    # ties in first-contact order over the surviving candidates.
+    service = make_service(publish_every_items=10**9, max_tracked_keys=50)
+    stream = zipf_stream(4000, skew=1.3, universe=300, seed=7)
+    for chunk in stream.iter_batches(256):
+        service.ingest([item.key for item in chunk], [item.value for item in chunk])
+        service.flush()
+    assert service.directory_prunes > 0  # the scenario actually prunes
+    epoch = service.flush()
+    ranking = service.top_k(10)
+    candidates = list(service._keys)
+    estimates = {key: int(value) for key, value in
+                 zip(candidates, epoch.sketch.query_batch(candidates))}
+    expected = sorted(candidates, key=lambda key: -estimates[key])[:10]
+    assert [key for key, _ in ranking] == expected
+
+
+def test_directory_bound_validation():
+    with pytest.raises(ValueError):
+        make_service(max_tracked_keys=0)
+    with pytest.raises(ValueError):
+        make_service(max_tracked_keys=-5)

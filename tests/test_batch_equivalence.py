@@ -1,8 +1,8 @@
 """Batch/scalar equivalence: the core contract of the batch-first datapath.
 
 For every sketch with a vectorized ``insert_batch`` / ``query_batch``
-(ReliableSketch with and without mice filter, CM, CU, Count) and for the
-default fallback loop, feeding the same stream through the batch API in any
+(ReliableSketch with and without mice filter, CM, CU, Count, Elastic,
+Coco, HashPipe, PRECISION) and for the default fallback loop, feeding the same stream through the batch API in any
 chunking must leave the sketch in a state indistinguishable from the scalar
 loop: identical estimates for every key (present or absent), identical
 hash-call accounting, and — for ReliableSketch — identical failure and
@@ -18,9 +18,12 @@ import pytest
 from repro.core import ReliableSketch
 from repro.kernels import available_backends, use_backend
 from repro.sketches.cm import CountMinSketch
+from repro.sketches.coco import CocoSketch
 from repro.sketches.count import CountSketch
 from repro.sketches.cu import CUSketch
 from repro.sketches.elastic import ElasticSketch
+from repro.sketches.hashpipe import HashPipe
+from repro.sketches.precision import Precision
 from repro.sketches.sharded import ShardedSketch
 from repro.sketches.spacesaving import SpaceSaving
 from repro.streams import Stream, zipf_stream
@@ -66,6 +69,12 @@ BUILDERS = {
     "Elastic": lambda seed: ElasticSketch(2048, seed=seed),
     # SpaceSaving has no vectorized override: exercises the base fallback.
     "SS": lambda seed: SpaceSaving(2048),
+    # Pipeline competitors on the kernel subsystem: probabilistic
+    # replacement, eviction walks and probabilistic recirculation — all
+    # order-dependent, all bound to the active kernel backend.
+    "Coco": lambda seed: CocoSketch(2048, seed=seed),
+    "HashPipe": lambda seed: HashPipe(2048, seed=seed),
+    "PRECISION": lambda seed: Precision(2048, seed=seed),
     # The sharded wrapper must itself honour the equivalence contract,
     # including its partition-hash accounting.
     "Sharded(CM)": lambda seed: ShardedSketch.from_registry(
