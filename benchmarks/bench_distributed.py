@@ -16,6 +16,12 @@ Three measurements, written to ``BENCH_distributed.json``:
    guarantee instead).
 3. **Single-node baseline** — the same stream batch-inserted into one local
    sketch, so every transport row reads as a ratio against staying local.
+4. **Reshard under load** — the dynamic fleet splits its busiest worker a
+   third of the way into the stream and folds it back at two thirds;
+   recorded against a quiet dynamic fleet: items/s dip, per-handoff
+   latency, the epoch trail, and ``bit_identical`` against a local static
+   ``partitions``-shard fleet (the no-failure reshard path must not move a
+   single counter).
 
 Correctness here is pinned by ``tests/distributed/``; the JSON is a pure
 performance artifact.  Read it against ``environment.cpu_count`` — on a
@@ -135,6 +141,75 @@ def bench_transport(transport: str, name: str, items, keys, truth, single,
     return row
 
 
+def bench_reshard(name: str, items, keys, memory_bytes: float, workers: int,
+                  partitions: int, chunk_size: int, seed: int) -> dict:
+    """Reshard-under-load: live fleet surgery vs the same dynamic fleet at rest.
+
+    Two runs over the identical stream: a quiet dynamic fleet (the baseline)
+    and one that splits the busiest worker a third of the way in and folds
+    the new worker back at two thirds.  The row records the throughput dip,
+    per-handoff latency, the epoch trail, and ``bit_identical`` against a
+    local static ``partitions``-shard fleet — the no-failure reshard path
+    must not move a single counter.
+    """
+    from repro.distributed.ingest import run_dynamic_ingest
+
+    quiet = run_dynamic_ingest(
+        name, memory_bytes, items,
+        workers=workers, partitions=partitions, transport="inproc",
+        chunk_size=chunk_size, seed=seed,
+    )
+    quiet_ips = quiet.total_items / max(quiet.ingest_seconds, 1e-9)
+
+    chunks_total = max(1, -(-len(items) // chunk_size))
+    new_ids: list[int] = []
+
+    def split(coordinator):
+        busiest = max(
+            coordinator.alive_workers(),
+            key=lambda w: len(coordinator.router.partitions_of(w)),
+        )
+        new_ids.append(coordinator.split_worker(busiest))
+
+    def merge(coordinator):
+        if new_ids and new_ids[-1] in coordinator.alive_workers():
+            coordinator.merge_workers(
+                new_ids[-1], coordinator._least_loaded(exclude={new_ids[-1]})
+            )
+
+    result = run_dynamic_ingest(
+        name, memory_bytes, items,
+        workers=workers, partitions=partitions, transport="inproc",
+        chunk_size=chunk_size, seed=seed,
+        actions={max(1, chunks_total // 3): split,
+                 max(2, 2 * chunks_total // 3): merge},
+    )
+    ingest_ips = result.total_items / max(result.ingest_seconds, 1e-9)
+
+    local = ShardedSketch.from_registry(name, memory_bytes, partitions, seed=seed)
+    local.insert_stream(items, batch_size=chunk_size)
+    bit_identical = bool(
+        (result.sharded().query_batch(keys) == local.query_batch(keys)).all()
+    )
+    handoff_seconds = [record["seconds"] for record in result.handoffs]
+    return {
+        "algorithm": name,
+        "transport": "inproc",
+        "workers": workers,
+        "partitions": partitions,
+        "ingest_ips": ingest_ips,
+        "static_ips": quiet_ips,
+        "reshard_vs_static": ingest_ips / max(quiet_ips, 1e-9),
+        "handoffs": len(result.handoffs),
+        "handoff_seconds_mean": float(np.mean(handoff_seconds)) if handoff_seconds else 0.0,
+        "handoff_seconds_max": float(np.max(handoff_seconds)) if handoff_seconds else 0.0,
+        "handoff_items_moved": int(sum(r["items"] for r in result.handoffs)),
+        "final_epoch": result.epoch,
+        "max_outstanding": result.max_outstanding,
+        "bit_identical": bit_identical,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--count", type=int, default=DEFAULT_COUNT,
@@ -205,6 +280,26 @@ def main(argv: list[str] | None = None) -> int:
                 f"bit_identical={row['bit_identical']}"
             )
 
+    partitions = max(2 * args.workers, 2)
+    reshard_rows = []
+    for name in algorithms:
+        row = bench_reshard(
+            name, items, keys, args.memory_bytes, args.workers, partitions,
+            args.chunk_size, args.seed,
+        )
+        reshard_rows.append(row)
+        if not row["bit_identical"]:
+            ok = False
+        print(
+            f"reshard {name:>8}: {row['ingest_ips']:>10,.0f} items/s "
+            f"({row['reshard_vs_static']:.2f}x quiet fleet), "
+            f"{row['handoffs']} handoffs "
+            f"(mean {row['handoff_seconds_mean'] * 1e3:.2f} ms, "
+            f"max {row['handoff_seconds_max'] * 1e3:.2f} ms), "
+            f"epoch {row['final_epoch']}, "
+            f"bit_identical={row['bit_identical']}"
+        )
+
     payload = {
         "workload": {
             "stream": "zipf",
@@ -223,11 +318,13 @@ def main(argv: list[str] | None = None) -> int:
         },
         "serialization": serialization,
         "transports": transport_rows,
+        "reshard": reshard_rows,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
     if not ok:
-        print("ERROR: an exactly-mergeable family diverged from single-node ingest",
+        print("ERROR: a distributed run diverged from its local reference "
+              "(merge vs single-node, or reshard vs static fleet)",
               file=sys.stderr)
         return 1
     return 0

@@ -407,14 +407,18 @@ def _cmd_query(args) -> None:
 
 def _cmd_ingest_worker(args) -> None:
     """Run one standalone TCP ingest worker until the collector shuts it down."""
-    from repro.distributed.ingest import worker_main
+    from repro.distributed.ingest import dynamic_worker_main, worker_main
     from repro.distributed.transport import connect_worker
 
     host, port = _parse_address(args.connect or "127.0.0.1:29461")
     print(f"connecting to collector at {host}:{port} ...")
     channel = connect_worker(host, port)
-    print("connected; ingesting until the collector shuts down")
-    worker_main(channel)
+    if args.dynamic:
+        print("connected; dynamic worker (resharding protocol) until shutdown")
+        dynamic_worker_main(channel)
+    else:
+        print("connected; ingesting until the collector shuts down")
+        worker_main(channel)
     print("collector closed the session; exiting")
 
 
@@ -447,6 +451,11 @@ def _cmd_ingest_collect(args) -> None:
     )
     if isinstance(backend, TcpTransport) and not backend.self_hosted:
         print(f"waiting for {args.shards} workers on {args.bind} ...")
+
+    if args.reshard or args.partitions is not None:
+        _ingest_collect_dynamic(args, algorithm, memory_bytes, chunk_size,
+                                stream, backend)
+        return
 
     start = time.perf_counter()
     result = run_distributed_ingest(
@@ -507,6 +516,85 @@ def _cmd_ingest_collect(args) -> None:
     print(f"total wall-clock {wall:.3f}s")
 
 
+def _ingest_collect_dynamic(args, algorithm, memory_bytes, chunk_size,
+                            stream, backend) -> None:
+    """The dynamic-fleet form of ingest-collect: reshard while ingesting.
+
+    ``--reshard`` splits the busiest worker a third of the way into the
+    stream and folds it back at two thirds, so one command demonstrates
+    the full quiesce -> snapshot -> epoch flip -> handoff cycle; with
+    ``--verify`` the final partitions are checked bit-identical to a local
+    static ``--partitions``-shard fleet.  External tcp workers must be
+    started with ``repro-cli ingest-worker --dynamic``.
+    """
+    from repro.distributed.ingest import run_dynamic_ingest
+    from repro.sketches.sharded import ShardedSketch
+
+    partitions = args.partitions if args.partitions is not None else max(args.shards, 2)
+    chunks_total = max(1, -(-len(stream) // chunk_size))
+    actions = {}
+    if args.reshard:
+        new_ids = []
+
+        def split(coordinator):
+            busiest = max(
+                coordinator.alive_workers(),
+                key=lambda w: len(coordinator.router.partitions_of(w)),
+            )
+            new_ids.append(coordinator.split_worker(busiest))
+            print(f"  [chunk {chunks_total // 3}] split worker {busiest} "
+                  f"-> new worker {new_ids[-1]} (epoch {coordinator.epoch})")
+
+        def merge(coordinator):
+            if new_ids and new_ids[-1] in coordinator.alive_workers():
+                target = coordinator._least_loaded(exclude={new_ids[-1]})
+                coordinator.merge_workers(new_ids[-1], target)
+                print(f"  [chunk {2 * chunks_total // 3}] merged worker "
+                      f"{new_ids[-1]} into {target} (epoch {coordinator.epoch})")
+
+        actions = {max(1, chunks_total // 3): split,
+                   max(2, 2 * chunks_total // 3): merge}
+
+    start = time.perf_counter()
+    result = run_dynamic_ingest(
+        algorithm,
+        memory_bytes,
+        stream,
+        workers=args.shards,
+        partitions=partitions,
+        transport=backend,
+        chunk_size=chunk_size,
+        seed=args.seed,
+        actions=actions,
+    )
+    wall = time.perf_counter() - start
+    print(
+        f"ingested {result.total_items} items in {result.ingest_seconds:.3f}s "
+        f"({result.total_items / max(result.ingest_seconds, 1e-9):,.0f} items/s) "
+        f"across {partitions} partitions; final epoch {result.epoch}; "
+        f"wire: {result.bytes_sent:,} B out, {result.bytes_received:,} B back"
+    )
+    for record in result.handoffs:
+        print(
+            f"  handoff: partition {record['partition']} "
+            f"worker {record['from_worker']} -> {record['to_worker']} "
+            f"({record['items']} items, {record['seconds'] * 1e3:.2f} ms, "
+            f"epoch {record['epoch']})"
+        )
+    if args.verify:
+        local = ShardedSketch.from_registry(
+            algorithm, memory_bytes, partitions, seed=args.seed
+        )
+        local.insert_stream(stream, batch_size=chunk_size)
+        keys = stream.keys()
+        identical = bool(
+            (result.sharded().query_batch(keys) == local.query_batch(keys)).all()
+        )
+        print(f"resharded answers bit-identical to static {partitions}-shard "
+              f"fleet: {identical}")
+    print(f"total wall-clock {wall:.3f}s")
+
+
 _COMMANDS = {
     "ingest-collect": _cmd_ingest_collect,
     "ingest-worker": _cmd_ingest_worker,
@@ -559,6 +647,9 @@ _FLAG_COMMANDS = {
     "--bind": frozenset({"ingest-collect", "serve"}),
     "--connect": frozenset({"ingest-worker", "query"}),
     "--verify": frozenset({"ingest-collect"}),
+    "--partitions": frozenset({"ingest-collect"}),
+    "--reshard": frozenset({"ingest-collect"}),
+    "--dynamic": frozenset({"ingest-worker"}),
     "--publish-every": frozenset({"serve"}),
     "--max-sessions": frozenset({"serve"}),
     "--async": frozenset({"serve"}),
@@ -637,6 +728,22 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--verify", action="store_true",
                         help="ingest-collect: re-ingest locally and check the merged "
                              "sketch against single-node ingest")
+    ingest.add_argument("--partitions", type=int, default=None,
+                        help="ingest-collect: run the dynamic fleet with this many "
+                             "fixed partitions (>= --shards); partitions, not "
+                             "workers, are the unit of state migration "
+                             "(default: static fleet, or max(shards, 2) with "
+                             "--reshard)")
+    ingest.add_argument("--reshard", action="store_true",
+                        help="ingest-collect: split the busiest worker a third of "
+                             "the way into the stream and merge it back at two "
+                             "thirds — a live quiesce/snapshot/epoch-flip/handoff "
+                             "demo (combine with --verify for the bit-identity "
+                             "check)")
+    ingest.add_argument("--dynamic", action="store_true",
+                        help="ingest-worker: speak the dynamic resharding protocol "
+                             "(required when the collector runs with --partitions/"
+                             "--reshard)")
     serving = parser.add_argument_group(
         "online serving", "options of serve / query"
     )
@@ -718,6 +825,9 @@ def main(argv: list[str] | None = None) -> int:
         "--bind": args.bind,
         "--connect": args.connect,
         "--verify": args.verify or None,
+        "--partitions": args.partitions,
+        "--reshard": args.reshard or None,
+        "--dynamic": args.dynamic or None,
         "--publish-every": args.publish_every,
         "--max-sessions": args.max_sessions,
         "--async": args.async_mode or None,
@@ -738,6 +848,8 @@ def main(argv: list[str] | None = None) -> int:
             )
     if args.experiment == "ingest-collect" and args.bind is not None and args.transport != "tcp":
         parser.error("--bind requires --transport tcp")
+    if args.partitions is not None and args.partitions < max(args.shards, 1):
+        parser.error("--partitions must be at least --shards")
     if args.publish_every is not None and args.publish_every <= 0:
         parser.error("--publish-every must be a positive integer")
     if args.max_sessions is not None and args.max_sessions <= 0:

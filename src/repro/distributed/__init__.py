@@ -24,14 +24,34 @@ Three cooperating layers:
   sharding: each key's whole history reaches one worker in stream order,
   which keeps remote ingest exact even for order-dependent families.
 
+PR 8 adds the **dynamic** layer on top: partition-grained ownership behind
+an epoch-versioned router (:class:`~repro.sketches.sharded.EpochRouter`),
+live resharding (split/merge/add/remove under ingest via epoch-fenced
+state handoff), worker-failure recovery (heartbeats, snapshot+journal
+restore onto survivors, exact lost-window reporting), credit-based flow
+control on routed batches, and a deterministic fault-injection harness
+(:mod:`repro.distributed.fault`) that the chaos/property suites drive.
+
 See ``docs/architecture.md`` for the full deployment picture.
 """
 
+from repro.distributed.fault import (
+    ChannelFault,
+    FaultInjectingChannel,
+    FaultInjectingTransport,
+    FaultPlan,
+)
 from repro.distributed.ingest import (
     DistributedIngestResult,
+    DynamicIngestCoordinator,
+    DynamicIngestResult,
+    DynamicWorkerConfig,
     IngestCoordinator,
+    RecoveryReport,
     WorkerConfig,
+    dynamic_worker_main,
     run_distributed_ingest,
+    run_dynamic_ingest,
     tree_merge,
     worker_main,
 )
@@ -58,8 +78,16 @@ from repro.distributed.wire import (
 
 __all__ = [
     "Channel",
+    "ChannelFault",
     "DistributedIngestResult",
+    "DynamicIngestCoordinator",
+    "DynamicIngestResult",
+    "DynamicWorkerConfig",
+    "FaultInjectingChannel",
+    "FaultInjectingTransport",
+    "FaultPlan",
     "IngestCoordinator",
+    "RecoveryReport",
     "InprocTransport",
     "PipeTransport",
     "TcpTransport",
@@ -72,11 +100,13 @@ __all__ = [
     "decode_config",
     "decode_frame",
     "decode_state",
+    "dynamic_worker_main",
     "encode_batch",
     "encode_config",
     "encode_frame",
     "encode_state",
     "run_distributed_ingest",
+    "run_dynamic_ingest",
     "tree_merge",
     "worker_main",
 ]

@@ -1,0 +1,180 @@
+"""Deterministic fault injection for distributed-ingest channels.
+
+The chaos/property suites of the dynamic ingest protocol need faults that
+are *repeatable*: the same seed must produce the same drop/delay/kill
+schedule on every run, on every transport.  This module is that harness —
+a first-class library, not test-local scaffolding:
+
+* :class:`FaultPlan` declares a schedule in terms of frame *counters*
+  (kill after N sends, drop send #k, delay every recv), plus seeded
+  probabilistic drops.  Counters, not wall clocks, are what make the
+  schedule deterministic under arbitrary scheduler timing.
+* :class:`FaultInjectingChannel` wraps any :class:`~repro.distributed.transport.Channel`
+  and applies a plan.  A *kill* closes the underlying channel — the peer
+  observes a real EOF (thread workers drain, process workers exit), and the
+  wrapping side sees ``ChannelFault`` on send / ``None`` on recv, exactly
+  the signals a coordinator's failure detector watches for.
+* :class:`FaultInjectingTransport` wraps a whole transport backend and
+  applies per-worker plans by launch index, so a chaos test can say "run a
+  normal tcp fleet, but worker 1's link dies after 7 frames".
+
+Every decision the harness makes is recorded (``sends``, ``recvs``,
+``dropped_sends``, ``killed``), so a test can assert the schedule fired as
+planned before asserting what the protocol did about it.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.distributed.transport import Channel, Transport, WorkerFn
+from repro.distributed.wire import WireFormatError
+
+
+class ChannelFault(WireFormatError):
+    """A fault-injected channel refused an operation (it is dead).
+
+    Subclasses :class:`WireFormatError` so coordinator-side failure
+    detection treats an injected link death exactly like a real closed
+    channel — callers never special-case the harness.
+    """
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One channel's deterministic fault schedule.
+
+    All counters are 0-based frame indices *as seen by the wrapped side*.
+    ``None`` disables a fault.  The probabilistic drop draws from
+    ``random.Random(seed)`` once per send, in send order — same seed, same
+    coin flips, every run.
+    """
+
+    #: The channel dies immediately after this many successful sends.
+    kill_after_sends: int | None = None
+    #: The channel dies immediately after this many successful recvs.
+    kill_after_recvs: int | None = None
+    #: Send indices to drop silently (sender believes the frame went out).
+    drop_sends: frozenset[int] = field(default_factory=frozenset)
+    #: Seeded per-send drop probability (0.0 = never).
+    drop_send_probability: float = 0.0
+    #: Deterministic pacing: sleep this long before every send / recv.
+    delay_send_seconds: float = 0.0
+    delay_recv_seconds: float = 0.0
+    #: Seed of the per-channel RNG behind the probabilistic faults.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_send_probability <= 1.0:
+            raise ValueError("drop_send_probability must be in [0, 1]")
+        if self.delay_send_seconds < 0 or self.delay_recv_seconds < 0:
+            raise ValueError("fault delays must be non-negative")
+
+
+class FaultInjectingChannel(Channel):
+    """A :class:`Channel` decorator executing a :class:`FaultPlan`.
+
+    Byte counters (``bytes_sent``/``bytes_received``) track what the wrapped
+    side *observed* — dropped frames still count as sent, because the sender
+    cannot tell; the divergence from the peer's receive counter is exactly
+    the injected loss.
+    """
+
+    def __init__(self, inner: Channel, plan: FaultPlan | None = None) -> None:
+        super().__init__()
+        self.inner = inner
+        self.plan = plan or FaultPlan()
+        self.sends = 0
+        self.recvs = 0
+        self.dropped_sends: list[int] = []
+        self.killed = False
+        self._rng = random.Random(self.plan.seed)
+
+    # -- schedule execution -------------------------------------------------
+
+    def _kill(self) -> None:
+        """Take the channel down: the peer sees EOF, this side sees faults."""
+        if not self.killed:
+            self.killed = True
+            self.inner.close()
+
+    def _check_dead(self) -> None:
+        if self.killed:
+            raise ChannelFault("send on a fault-killed channel")
+
+    def send(self, frame: bytes) -> None:
+        self._check_dead()
+        if self.plan.delay_send_seconds:
+            time.sleep(self.plan.delay_send_seconds)
+        index = self.sends
+        self.sends += 1
+        dropped = index in self.plan.drop_sends or (
+            self.plan.drop_send_probability > 0.0
+            and self._rng.random() < self.plan.drop_send_probability
+        )
+        self.bytes_sent += len(frame)
+        if not dropped:
+            self.inner.send(frame)
+        else:
+            self.dropped_sends.append(index)
+        if (
+            self.plan.kill_after_sends is not None
+            and self.sends >= self.plan.kill_after_sends
+        ):
+            self._kill()
+
+    def recv(self) -> bytes | None:
+        if self.killed:
+            return None
+        if self.plan.delay_recv_seconds:
+            time.sleep(self.plan.delay_recv_seconds)
+        frame = self.inner.recv()
+        if frame is None:
+            return None
+        self.recvs += 1
+        self.bytes_received += len(frame)
+        if (
+            self.plan.kill_after_recvs is not None
+            and self.recvs >= self.plan.kill_after_recvs
+        ):
+            self._kill()
+        return frame
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+class FaultInjectingTransport(Transport):
+    """Wrap a transport backend, fault-injecting selected worker channels.
+
+    ``plans`` maps a worker's launch index (0-based, cumulative across
+    ``launch`` calls — the same index the coordinator uses as the worker id)
+    to its :class:`FaultPlan`.  Unlisted workers get a clean pass-through
+    wrapper, so counters stay comparable across the fleet.
+    """
+
+    def __init__(self, inner: Transport, plans: dict[int, FaultPlan] | None = None) -> None:
+        super().__init__()
+        self.inner = inner
+        self.plans = dict(plans or {})
+        self.name = f"faulty+{inner.name}"
+        self._launched = 0
+
+    def launch(self, worker_fn: WorkerFn, count: int) -> list[Channel]:
+        raw = self.inner.launch(worker_fn, count)
+        # Transports return the *cumulative* channel list; wrap only the new
+        # tail so a channel keeps one wrapper (and one schedule) for life.
+        for channel in raw[self._launched :]:
+            plan = self.plans.get(self._launched)
+            self._channels.append(FaultInjectingChannel(channel, plan))
+            self._launched += 1
+        return list(self._channels)
+
+    def join(self, timeout: float | None = None) -> None:
+        self.inner.join(timeout)
+
+    def close(self) -> None:
+        super().close()
+        self.inner.close()

@@ -37,6 +37,15 @@ from repro.distributed.wire import FRAME_HEADER_SIZE, WireFormatError, parse_fra
 #: Registry names accepted by :func:`create_transport` (and the CLI flag).
 TRANSPORT_NAMES = ("inproc", "pipe", "tcp")
 
+
+class ChannelClosedError(WireFormatError):
+    """Send on a channel whose endpoint is already closed.
+
+    A distinct subclass so worker loops can tell a dead link (normal exit:
+    the peer hung up or fault injection killed the channel) from a genuine
+    protocol violation, which must stay loud.
+    """
+
 #: How a worker entry point looks to every transport: a callable taking the
 #: worker-side channel.  ``pipe`` additionally requires it to be picklable
 #: (a module-level function such as ``repro.distributed.ingest.worker_main``).
@@ -113,7 +122,7 @@ class QueueChannel(Channel):
 
     def send(self, frame: bytes) -> None:
         if self._closed:
-            raise WireFormatError("send on a closed channel")
+            raise ChannelClosedError("send on a closed channel")
         self.bytes_sent += len(frame)
         self._send_queue.put(frame)
 
@@ -141,9 +150,17 @@ class QueueChannel(Channel):
 
 
 def _run_worker(worker_fn: WorkerFn, channel: Channel) -> None:
-    """Worker entry shared by all self-hosted backends: always close on exit."""
+    """Worker entry shared by all self-hosted backends: always close on exit.
+
+    A dead link mid-send — the collector hung up, or fault injection killed
+    the channel — is a normal worker exit, not a crash: the collector's
+    failure detector already owns that event.  Protocol violations
+    (plain :class:`WireFormatError`) stay loud.
+    """
     try:
         worker_fn(channel)
+    except (ChannelClosedError, OSError, EOFError):
+        pass
     finally:
         channel.close()
 
@@ -190,7 +207,7 @@ class PipeChannel(Channel):
 
     def send(self, frame: bytes) -> None:
         if self._closed:
-            raise WireFormatError("send on a closed channel")
+            raise ChannelClosedError("send on a closed channel")
         self.bytes_sent += len(frame)
         self._connection.send_bytes(frame)
 
@@ -210,8 +227,17 @@ class PipeChannel(Channel):
             self._connection.close()
 
 
-def _pipe_worker_entry(worker_fn: WorkerFn, connection) -> None:
-    """Module-level process target (must be picklable on spawn platforms)."""
+def _pipe_worker_entry(worker_fn: WorkerFn, connection, parent_ends=()) -> None:
+    """Module-level process target (must be picklable on spawn platforms).
+
+    ``parent_ends`` are the collector-side connections this child inherited
+    copies of (under fork: its own pipe's collector end plus every earlier
+    worker's).  They must be closed here, or the collector closing its end
+    would never surface as EOF on any worker's pipe — a worker whose link
+    is killed would block in ``recv`` forever instead of exiting.
+    """
+    for end in parent_ends:
+        end.close()
     _run_worker(worker_fn, PipeChannel(connection))
 
 
@@ -227,9 +253,14 @@ class PipeTransport(Transport):
     def launch(self, worker_fn: WorkerFn, count: int) -> list[Channel]:
         for index in range(count):
             collector_side, worker_side = multiprocessing.Pipe(duplex=True)
+            parent_ends = [
+                channel._connection
+                for channel in self._channels
+                if isinstance(channel, PipeChannel)
+            ] + [collector_side]
             process = multiprocessing.Process(
                 target=_pipe_worker_entry,
-                args=(worker_fn, worker_side),
+                args=(worker_fn, worker_side, parent_ends),
                 name=f"ingest-worker-{index}",
                 daemon=True,
             )
@@ -267,7 +298,7 @@ class SocketChannel(Channel):
 
     def send(self, frame: bytes) -> None:
         if self._closed:
-            raise WireFormatError("send on a closed channel")
+            raise ChannelClosedError("send on a closed channel")
         self.bytes_sent += len(frame)
         self._socket.sendall(frame)
 

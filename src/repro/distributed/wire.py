@@ -51,7 +51,11 @@ from repro.hashing.families import (
 MAGIC = b"RS"
 #: Bump on any incompatible layout change; decoders reject other versions.
 #: v2: MSG_QUERY_REPLY carries a status byte (OK / BUSY back-pressure).
-WIRE_VERSION = 2
+#: v3: the dynamic-ingest frames — HEARTBEAT/HEARTBEAT_ACK (liveness),
+#: HANDOFF/HANDOFF_ACK (epoch-fenced partition migration), CREDIT
+#: (flow control) and ROUTED_BATCH (per-partition, epoch-stamped data);
+#: MSG_SNAPSHOT_REQUEST optionally carries a per-partition body.
+WIRE_VERSION = 3
 
 #: Upper bound on a single frame's payload.  Nothing legitimate comes close
 #: (the largest payloads are sketch-state snapshots, a few MiB at paper
@@ -70,6 +74,12 @@ MSG_SNAPSHOT = 4  # worker -> collector: sketch state + ingest stats
 MSG_SHUTDOWN = 5  # collector -> worker: drain and exit
 MSG_QUERY = 6  # client -> server: one query request (serving layer)
 MSG_QUERY_REPLY = 7  # server -> client: the epoch-stamped answer
+MSG_HEARTBEAT = 8  # coordinator -> worker: liveness probe (seq, epoch)
+MSG_HEARTBEAT_ACK = 9  # worker -> coordinator: echo + ingest stats
+MSG_HANDOFF = 10  # coordinator -> worker: install one partition's state
+MSG_HANDOFF_ACK = 11  # worker -> coordinator: partition installed at epoch
+MSG_CREDIT = 12  # worker -> coordinator: return flow-control credits
+MSG_ROUTED_BATCH = 13  # coordinator -> worker: epoch-fenced partition chunk
 
 _MESSAGE_TYPES = frozenset(
     {
@@ -80,6 +90,12 @@ _MESSAGE_TYPES = frozenset(
         MSG_SHUTDOWN,
         MSG_QUERY,
         MSG_QUERY_REPLY,
+        MSG_HEARTBEAT,
+        MSG_HEARTBEAT_ACK,
+        MSG_HANDOFF,
+        MSG_HANDOFF_ACK,
+        MSG_CREDIT,
+        MSG_ROUTED_BATCH,
     }
 )
 
@@ -398,6 +414,213 @@ def decode_config(payload: bytes) -> dict:
     if not isinstance(config, dict):
         raise WireFormatError("config payload must be a JSON object")
     return config
+
+
+# ---------------------------------------------------------------------------
+# Dynamic-ingest payloads (live resharding / fault tolerance)
+#
+# Every frame of the dynamic protocol is *epoch-fenced*: it carries the
+# routing epoch the sender believed in.  Decoders accept an optional
+# ``expected_epoch``; a mismatch raises :class:`WireFormatError` — a stale
+# frame (routed before an epoch flip) must never be applied silently, which
+# is what keeps at-most-once delivery provable under fault injection.
+
+_HEARTBEAT = struct.Struct(">II")  # seq, epoch
+_HEARTBEAT_ACK = struct.Struct(">IIQI")  # seq, epoch, items, stale_dropped
+_CREDIT = struct.Struct(">II")  # epoch, amount
+_ROUTED_HEADER = struct.Struct(">II")  # epoch, partition
+_HANDOFF_HEADER = struct.Struct(">II")  # epoch, partition
+_HANDOFF_ACK = struct.Struct(">II")  # epoch, partition
+_SNAPSHOT_REQUEST = struct.Struct(">IIB")  # epoch, partition, release flag
+
+
+def _check_epoch(epoch: int, expected_epoch: int | None, what: str) -> None:
+    if expected_epoch is not None and epoch != expected_epoch:
+        raise WireFormatError(
+            f"{what} is fenced at epoch {epoch}, expected epoch {expected_epoch}"
+        )
+
+
+def _unpack_exact(layout: struct.Struct, payload: bytes, what: str) -> tuple:
+    """Unpack a fixed-layout payload, rejecting truncation and trailing bytes."""
+    if len(payload) != layout.size:
+        raise WireFormatError(
+            f"{what} payload must be {layout.size} bytes, got {len(payload)}"
+        )
+    return layout.unpack(payload)
+
+
+def encode_heartbeat(seq: int, epoch: int) -> bytes:
+    """Serialize a coordinator liveness probe (``MSG_HEARTBEAT``)."""
+    try:
+        return _HEARTBEAT.pack(seq, epoch)
+    except struct.error as error:
+        raise WireFormatError(f"invalid heartbeat fields: {error}") from None
+
+
+def decode_heartbeat(payload: bytes, expected_epoch: int | None = None) -> tuple[int, int]:
+    """Inverse of :func:`encode_heartbeat`: ``(seq, epoch)``."""
+    seq, epoch = _unpack_exact(_HEARTBEAT, payload, "heartbeat")
+    _check_epoch(epoch, expected_epoch, "heartbeat")
+    return seq, epoch
+
+
+def encode_heartbeat_ack(seq: int, epoch: int, items: int, stale_dropped: int = 0) -> bytes:
+    """Serialize a worker's heartbeat echo (``MSG_HEARTBEAT_ACK``).
+
+    ``items`` is the worker's total applied item count, ``stale_dropped`` how
+    many epoch-fenced frames it rejected — both ride along so every liveness
+    round doubles as a cheap accounting probe.
+    """
+    try:
+        return _HEARTBEAT_ACK.pack(seq, epoch, items, stale_dropped)
+    except struct.error as error:
+        raise WireFormatError(f"invalid heartbeat-ack fields: {error}") from None
+
+
+def decode_heartbeat_ack(
+    payload: bytes, expected_epoch: int | None = None
+) -> tuple[int, int, int, int]:
+    """Inverse of :func:`encode_heartbeat_ack`: ``(seq, epoch, items, stale_dropped)``."""
+    seq, epoch, items, stale_dropped = _unpack_exact(
+        _HEARTBEAT_ACK, payload, "heartbeat ack"
+    )
+    _check_epoch(epoch, expected_epoch, "heartbeat ack")
+    return seq, epoch, items, stale_dropped
+
+
+def encode_credit(epoch: int, amount: int) -> bytes:
+    """Serialize a flow-control credit grant (``MSG_CREDIT``).
+
+    A worker returns one credit per applied (or deliberately rejected)
+    ``MSG_ROUTED_BATCH`` frame; the coordinator never has more than the
+    credit limit outstanding, which is the bounded-queue guarantee.
+    """
+    if amount <= 0:
+        raise WireFormatError("credit amount must be positive")
+    try:
+        return _CREDIT.pack(epoch, amount)
+    except struct.error as error:
+        raise WireFormatError(f"invalid credit fields: {error}") from None
+
+
+def decode_credit(payload: bytes) -> tuple[int, int]:
+    """Inverse of :func:`encode_credit`: ``(epoch, amount)``.
+
+    Credits are deliberately *not* epoch-fenced on decode: a credit returned
+    for a pre-flip batch still frees a real send slot.
+    """
+    epoch, amount = _unpack_exact(_CREDIT, payload, "credit")
+    if amount <= 0:
+        raise WireFormatError("credit amount must be positive")
+    return epoch, amount
+
+
+def encode_routed_batch(
+    epoch: int,
+    partition: int,
+    keys: Sequence[object],
+    values: Sequence[int] | np.ndarray | int | None = None,
+) -> bytes:
+    """Serialize an epoch-fenced per-partition chunk (``MSG_ROUTED_BATCH``).
+
+    The body after the 8-byte fence header is exactly an
+    :func:`encode_batch` payload, so routed frames reuse the packed key
+    encodings of the batch datapath unchanged.
+    """
+    try:
+        header = _ROUTED_HEADER.pack(epoch, partition)
+    except struct.error as error:
+        raise WireFormatError(f"invalid routed-batch fields: {error}") from None
+    return header + encode_batch(keys, values)
+
+
+def decode_routed_batch(
+    payload: bytes, expected_epoch: int | None = None
+) -> tuple[int, int, EncodedKeyBatch, np.ndarray]:
+    """Inverse of :func:`encode_routed_batch`: ``(epoch, partition, batch, values)``."""
+    if len(payload) < _ROUTED_HEADER.size:
+        raise WireFormatError("truncated routed-batch payload")
+    epoch, partition = _ROUTED_HEADER.unpack(payload[: _ROUTED_HEADER.size])
+    _check_epoch(epoch, expected_epoch, "routed batch")
+    batch, values = decode_batch(payload[_ROUTED_HEADER.size :])
+    return epoch, partition, batch, values
+
+
+def encode_handoff(
+    epoch: int,
+    partition: int,
+    state: dict[str, np.ndarray],
+    algorithm: str,
+    meta: dict | None = None,
+) -> bytes:
+    """Serialize a partition-state migration (``MSG_HANDOFF``).
+
+    ``epoch`` is the *new* routing epoch the receiver must adopt; the body
+    after the fence header is an :func:`encode_state` payload, so handoff
+    reuses the existing sketch-state frames wholesale.
+    """
+    try:
+        header = _HANDOFF_HEADER.pack(epoch, partition)
+    except struct.error as error:
+        raise WireFormatError(f"invalid handoff fields: {error}") from None
+    return header + encode_state(state, algorithm, meta)
+
+
+def decode_handoff(
+    payload: bytes, expected_epoch: int | None = None
+) -> tuple[int, int, dict[str, np.ndarray], str, dict]:
+    """Inverse of :func:`encode_handoff`: ``(epoch, partition, state, algorithm, meta)``."""
+    if len(payload) < _HANDOFF_HEADER.size:
+        raise WireFormatError("truncated handoff payload")
+    epoch, partition = _HANDOFF_HEADER.unpack(payload[: _HANDOFF_HEADER.size])
+    _check_epoch(epoch, expected_epoch, "handoff")
+    state, algorithm, meta = decode_state(payload[_HANDOFF_HEADER.size :])
+    return epoch, partition, state, algorithm, meta
+
+
+def encode_handoff_ack(epoch: int, partition: int) -> bytes:
+    """Serialize the receiver's installation acknowledgement (``MSG_HANDOFF_ACK``)."""
+    try:
+        return _HANDOFF_ACK.pack(epoch, partition)
+    except struct.error as error:
+        raise WireFormatError(f"invalid handoff-ack fields: {error}") from None
+
+
+def decode_handoff_ack(
+    payload: bytes, expected_epoch: int | None = None
+) -> tuple[int, int]:
+    """Inverse of :func:`encode_handoff_ack`: ``(epoch, partition)``."""
+    epoch, partition = _unpack_exact(_HANDOFF_ACK, payload, "handoff ack")
+    _check_epoch(epoch, expected_epoch, "handoff ack")
+    return epoch, partition
+
+
+def encode_snapshot_request(epoch: int, partition: int, release: bool = False) -> bytes:
+    """Serialize a per-partition snapshot request body (dynamic protocol).
+
+    The static protocol sends ``MSG_SNAPSHOT_REQUEST`` with an empty payload
+    ("snapshot your whole shard"); the dynamic protocol names a partition.
+    ``release=True`` additionally tells the owner to drop its copy once the
+    snapshot is on the wire — the quiesce step of a handoff.
+    """
+    try:
+        return _SNAPSHOT_REQUEST.pack(epoch, partition, 1 if release else 0)
+    except struct.error as error:
+        raise WireFormatError(f"invalid snapshot-request fields: {error}") from None
+
+
+def decode_snapshot_request(
+    payload: bytes, expected_epoch: int | None = None
+) -> tuple[int, int, bool]:
+    """Inverse of :func:`encode_snapshot_request`: ``(epoch, partition, release)``."""
+    epoch, partition, release = _unpack_exact(
+        _SNAPSHOT_REQUEST, payload, "snapshot request"
+    )
+    if release not in (0, 1):
+        raise WireFormatError(f"invalid snapshot-request release flag {release}")
+    _check_epoch(epoch, expected_epoch, "snapshot request")
+    return epoch, partition, bool(release)
 
 
 # ---------------------------------------------------------------------------

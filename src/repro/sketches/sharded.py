@@ -73,6 +73,84 @@ def partition_positions(router: HashFunction, batch: EncodedKeyBatch) -> list[np
     ]
 
 
+class EpochRouter:
+    """Epoch-versioned key->partition->owner routing for a dynamic fleet.
+
+    The key->partition map is the *immutable* canonical partition hash
+    (:func:`partition_router` over a fixed ``partitions`` count), so a key's
+    partition never changes — that is what keeps every key's history on one
+    continuous state lineage.  The partition->owner assignment is the
+    *mutable* half: reassigning a partition bumps the routing ``epoch``,
+    and every frame of the dynamic ingest protocol is fenced on that epoch
+    (:mod:`repro.distributed.wire`).  Live resharding is therefore pure
+    assignment surgery; the hash — and with it bit-identical placement
+    against a static ``partitions``-shard fleet — never moves.
+    """
+
+    def __init__(self, seed: int, partitions: int, owners: Sequence[int]) -> None:
+        if len(owners) != partitions:
+            raise ValueError(
+                f"owner table has {len(owners)} entries for {partitions} partitions"
+            )
+        self.hash = partition_router(seed, partitions)
+        self.partitions = partitions
+        self.assignment = [int(owner) for owner in owners]
+        self.epoch = 0
+
+    @classmethod
+    def round_robin(cls, seed: int, partitions: int, workers: int) -> "EpochRouter":
+        """The initial placement: partition ``p`` on worker ``p % workers``."""
+        if workers <= 0:
+            raise ValueError("worker count must be positive")
+        return cls(seed, partitions, [p % workers for p in range(partitions)])
+
+    def owner(self, partition: int) -> int:
+        """The worker currently owning ``partition``."""
+        return self.assignment[partition]
+
+    def partitions_of(self, worker: int) -> tuple[int, ...]:
+        """All partitions currently assigned to ``worker`` (ascending)."""
+        return tuple(
+            partition
+            for partition, owner in enumerate(self.assignment)
+            if owner == worker
+        )
+
+    def load(self) -> dict[int, int]:
+        """Partitions per worker, for least-loaded placement decisions."""
+        load: dict[int, int] = {}
+        for owner in self.assignment:
+            load[owner] = load.get(owner, 0) + 1
+        return load
+
+    def reassign(self, partition: int, owner: int) -> int:
+        """Move ``partition`` to ``owner``; returns the bumped routing epoch.
+
+        Every reassignment is one epoch flip — the fence that lets receivers
+        reject frames routed under the old placement.
+        """
+        if not 0 <= partition < self.partitions:
+            raise ValueError(f"partition {partition} out of range")
+        self.assignment[partition] = int(owner)
+        self.epoch += 1
+        return self.epoch
+
+    def route(self, batch: EncodedKeyBatch) -> list[tuple[int, int, np.ndarray]]:
+        """Partition a batch: ``(owner, partition, positions)`` per non-empty partition.
+
+        One vectorized hash evaluation; position arrays are ascending, so
+        stream order survives within every partition — the same guarantee
+        :class:`ShardedSketch` gives locally.
+        """
+        return [
+            (self.assignment[partition], partition, positions)
+            for partition, positions in enumerate(
+                partition_positions(self.hash, batch)
+            )
+            if positions.size
+        ]
+
+
 class ShardedSketch(Sketch):
     """Hash-partitioned wrapper routing a stream across per-shard sketches.
 

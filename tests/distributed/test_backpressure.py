@@ -1,0 +1,114 @@
+"""Credit-based flow control: a slow worker bounds the coordinator, not RAM.
+
+Every ROUTED_BATCH costs one credit from the owner's window; the worker
+returns a credit per frame it applies (or rejects).  With a deliberately
+slow worker the coordinator must block at the credit limit — the worker's
+inbox and the coordinator's outstanding count stay bounded — and once the
+stream ends the window must drain completely.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.distributed.fault import (
+    FaultInjectingChannel,
+    FaultInjectingTransport,
+    FaultPlan,
+)
+from repro.distributed.ingest import DynamicIngestCoordinator, run_dynamic_ingest
+from repro.distributed.transport import InprocTransport, QueueChannel
+
+MEMORY = 16 * 1024
+SEED = 3
+
+
+def items_for(count, seed=5):
+    rng = np.random.default_rng(seed)
+    return [(int(key), 1) for key in rng.integers(0, 200, count)]
+
+
+def slow_transport(delay_recv_seconds):
+    """Delay every frame the coordinator *reads back* from worker 0 — its
+    credits arrive late, which is indistinguishable from a slow worker."""
+    return FaultInjectingTransport(
+        InprocTransport(),
+        plans={0: FaultPlan(delay_recv_seconds=delay_recv_seconds)},
+    )
+
+
+def test_outstanding_batches_cap_at_the_credit_limit():
+    credit_limit = 4
+    transport = slow_transport(0.002)
+    coordinator = DynamicIngestCoordinator(
+        "CM_fast", MEMORY, workers=1, transport=transport,
+        partitions=1, seed=SEED, credit_limit=credit_limit,
+        journal_limit=10_000,
+    )
+    inbox_sizes = []
+    stop = threading.Event()
+    channel = coordinator._workers[0].channel
+    assert isinstance(channel, FaultInjectingChannel)
+    inbox = channel.inner._send_queue  # frames the worker has not consumed yet
+
+    def sample():
+        while not stop.is_set():
+            inbox_sizes.append(inbox.qsize())
+            stop.wait(0.001)
+
+    sampler = threading.Thread(target=sample, daemon=True)
+    sampler.start()
+    try:
+        for start in range(0, 2000, 50):
+            piece = items_for(2000)[start : start + 50]
+            coordinator.send_batch(
+                [key for key, _ in piece], [value for _, value in piece]
+            )
+        sketches, metas = coordinator.collect()
+    finally:
+        stop.set()
+        sampler.join(timeout=5)
+        coordinator.shutdown()
+
+    # The coordinator hit the cap (the slow worker really did push back)
+    # and never exceeded it.
+    assert coordinator.max_outstanding == credit_limit
+    # The worker's inbox held at most the credit window plus the in-flight
+    # control frames of the final collect (CONFIG rode ahead of sampling).
+    assert max(inbox_sizes) <= credit_limit + 1
+    # Eventual drain: collection saw every item, credits all came home.
+    assert metas[0]["items"] == 2000
+    assert coordinator._workers[0].credits == credit_limit
+
+
+def test_fast_workers_never_feel_the_window():
+    """With an instant worker the window never empties: outstanding stays
+    below the limit, proving back-pressure only engages under lag."""
+    result = run_dynamic_ingest(
+        "CM_fast", MEMORY, items_for(3000), workers=2, partitions=2,
+        transport="inproc", chunk_size=100, seed=SEED, credit_limit=64,
+    )
+    assert result.max_outstanding < 64
+    assert result.total_items == 3000
+
+
+def test_slow_run_still_bit_identical_and_complete():
+    """Back-pressure is pure pacing: the slow path changes no state."""
+    items = items_for(1500)
+    slow = run_dynamic_ingest(
+        "CM_fast", MEMORY, items, workers=2, partitions=4,
+        transport=slow_transport(0.001), chunk_size=128, seed=SEED,
+        credit_limit=2,
+    )
+    fast = run_dynamic_ingest(
+        "CM_fast", MEMORY, items, workers=2, partitions=4,
+        transport="inproc", chunk_size=128, seed=SEED,
+    )
+    assert slow.max_outstanding == 2
+    for slow_shard, fast_shard in zip(slow.partition_sketches, fast.partition_sketches):
+        slow_state = slow_shard.state_snapshot()
+        fast_state = fast_shard.state_snapshot()
+        for name in slow_state:
+            assert np.array_equal(slow_state[name], fast_state[name])

@@ -1,0 +1,196 @@
+"""Chaos suite: kill a worker mid-ingest on every transport, prove recovery.
+
+Each test drives the same deterministic schedule — worker 1's link dies
+after a fixed number of frames (counter-based, so the run is repeatable on
+thread, pipe, and socket transports alike) — and pins the protocol's two
+safety properties:
+
+* **No frame double-applied.**  With journal replay the final state is
+  bit-identical to a static fleet fed the *whole* stream; any double-apply
+  (or silent loss) would break bit-identity.
+* **The accuracy delta equals the reported lost window.**  With replay
+  disabled, every partition's counters sum to exactly
+  ``routed - reported_lost`` items — the coordinator's loss report is the
+  truth, not an estimate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed.fault import FaultInjectingTransport, FaultPlan
+from repro.distributed.ingest import run_dynamic_ingest
+from repro.distributed.transport import TRANSPORT_NAMES, create_transport
+from repro.sketches.registry import build_sketch
+from repro.sketches.sharded import ShardedSketch
+
+MEMORY = 32 * 1024
+SEED = 3
+CHUNK = 128
+PARTITIONS = 6
+KILL_AFTER = 9  # frames into worker 1's link: config + 8 routed batches
+
+
+def zipf_items(count=2000, seed=11, universe=300):
+    rng = np.random.default_rng(seed)
+    keys = rng.zipf(1.3, count) % universe
+    return [(int(key), 1) for key in keys]
+
+
+def faulty_transport(name):
+    return FaultInjectingTransport(
+        create_transport(name), plans={1: FaultPlan(kill_after_sends=KILL_AFTER)}
+    )
+
+
+def static_states(items, chunk=CHUNK):
+    reference = ShardedSketch(
+        [build_sketch("CM_fast", MEMORY, seed=SEED) for _ in range(PARTITIONS)],
+        seed=SEED,
+    )
+    for start in range(0, len(items), chunk):
+        piece = items[start : start + chunk]
+        reference.insert_batch(
+            [key for key, _ in piece], [value for _, value in piece]
+        )
+    return [shard.state_snapshot() for shard in reference.shards]
+
+
+@pytest.mark.parametrize("transport_name", TRANSPORT_NAMES)
+def test_kill_with_replay_is_lossless_on_every_transport(transport_name):
+    items = zipf_items()
+    result = run_dynamic_ingest(
+        "CM_fast", MEMORY, items, workers=2, partitions=PARTITIONS,
+        transport=faulty_transport(transport_name), chunk_size=CHUNK, seed=SEED,
+        replay_on_recovery=True,
+    )
+    (recovery,) = result.recoveries
+    assert recovery.worker_id == 1
+    assert recovery.lost_items == 0
+    assert recovery.replayed_items > 0
+    assert result.total_lost == 0
+    assert result.total_items == len(items)
+    assert result.epoch == len(recovery.partitions)  # one flip per re-placed partition
+    assert set(recovery.targets.values()) == {0}  # everything landed on the survivor
+
+    # Bit-identity with the full static fleet: nothing lost, nothing doubled.
+    for partition, reference in enumerate(static_states(items)):
+        remote = result.partition_sketches[partition].state_snapshot()
+        for name in reference:
+            assert np.array_equal(remote[name], reference[name]), (
+                f"{transport_name}: partition {partition} diverged after recovery"
+            )
+
+
+@pytest.mark.parametrize("transport_name", TRANSPORT_NAMES)
+def test_kill_without_replay_reports_the_exact_lost_window(transport_name):
+    items = zipf_items()
+    result = run_dynamic_ingest(
+        "CM_fast", MEMORY, items, workers=2, partitions=PARTITIONS,
+        transport=faulty_transport(transport_name), chunk_size=CHUNK, seed=SEED,
+        replay_on_recovery=False,
+    )
+    (recovery,) = result.recoveries
+    assert recovery.lost_items > 0
+    assert recovery.replayed_items == 0
+    assert result.total_lost == recovery.lost_items
+    # Only the dead worker's partitions lost anything.
+    lost = dict(enumerate(result.items_lost_per_partition))
+    assert {p for p, count in lost.items() if count} <= set(recovery.partitions)
+
+    # The accuracy delta IS the reported window: every CM row of every
+    # partition sums to exactly the items the coordinator says were applied
+    # (all values are 1).  A double-applied frame would overshoot; an
+    # unreported loss would undershoot.
+    for partition in range(PARTITIONS):
+        applied = int(
+            result.items_per_partition[partition]
+            - result.items_lost_per_partition[partition]
+        )
+        tables = result.partition_sketches[partition].state_snapshot()["tables"]
+        assert tables.sum(axis=1).tolist() == [applied] * tables.shape[0]
+        assert result.partition_metas[partition]["items"] == applied
+
+
+def test_kill_schedule_is_deterministic_across_runs():
+    """Same seed, same schedule: two runs produce identical outcomes."""
+    items = zipf_items()
+
+    def run():
+        result = run_dynamic_ingest(
+            "CM_fast", MEMORY, items, workers=2, partitions=PARTITIONS,
+            transport=faulty_transport("inproc"), chunk_size=CHUNK, seed=SEED,
+            replay_on_recovery=False,
+        )
+        return (
+            result.items_lost_per_partition,
+            tuple(r.lost_items for r in result.recoveries),
+            result.epoch,
+        )
+
+    assert run() == run()
+
+
+def test_heartbeat_round_detects_a_silent_death():
+    """A worker whose link died between batches is found by ping(), not by a
+    failed send — the detection path heartbeats exist for."""
+    items = zipf_items(1200)
+    observed = {}
+
+    def probe(coordinator):
+        observed["alive"] = coordinator.ping()
+
+    result = run_dynamic_ingest(
+        "CM_fast", MEMORY, items, workers=3, partitions=PARTITIONS,
+        transport=FaultInjectingTransport(
+            create_transport("inproc"), plans={2: FaultPlan(kill_after_sends=2)}
+        ),
+        chunk_size=CHUNK, seed=SEED, replay_on_recovery=True,
+        actions={5: probe},
+    )
+    assert observed["alive"] == (0, 1)
+    assert [recovery.worker_id for recovery in result.recoveries] == [2]
+    assert result.total_lost == 0
+    for partition, reference in enumerate(static_states(items)):
+        remote = result.partition_sketches[partition].state_snapshot()
+        for name in reference:
+            assert np.array_equal(remote[name], reference[name])
+
+
+def test_cascading_failure_still_recovers_when_survivors_remain():
+    """Two links die; recovery cascades until a survivor holds everything."""
+    items = zipf_items(1600)
+    result = run_dynamic_ingest(
+        "CM_fast", MEMORY, items, workers=3, partitions=PARTITIONS,
+        transport=FaultInjectingTransport(
+            create_transport("inproc"),
+            plans={
+                1: FaultPlan(kill_after_sends=7),
+                2: FaultPlan(kill_after_sends=11),
+            },
+        ),
+        chunk_size=CHUNK, seed=SEED, replay_on_recovery=True,
+    )
+    assert sorted(recovery.worker_id for recovery in result.recoveries) == [1, 2]
+    assert result.total_lost == 0
+    for partition, reference in enumerate(static_states(items)):
+        remote = result.partition_sketches[partition].state_snapshot()
+        for name in reference:
+            assert np.array_equal(remote[name], reference[name])
+
+
+def test_total_fleet_loss_fails_loudly():
+    items = zipf_items(800)
+    with pytest.raises(RuntimeError, match="no surviving workers"):
+        run_dynamic_ingest(
+            "CM_fast", MEMORY, items, workers=2, partitions=4,
+            transport=FaultInjectingTransport(
+                create_transport("inproc"),
+                plans={
+                    0: FaultPlan(kill_after_sends=3),
+                    1: FaultPlan(kill_after_sends=3),
+                },
+            ),
+            chunk_size=CHUNK, seed=SEED,
+        )

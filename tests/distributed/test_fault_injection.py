@@ -1,0 +1,128 @@
+"""The fault-injection harness itself must be deterministic and honest.
+
+Before the chaos suite can lean on :mod:`repro.distributed.fault`, the
+harness has to prove its own contract: schedules fire at exactly the
+declared frame counters, seeded probabilistic drops replay identically,
+kills surface as real EOF to the peer, and every decision is recorded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.fault import (
+    ChannelFault,
+    FaultInjectingChannel,
+    FaultInjectingTransport,
+    FaultPlan,
+)
+from repro.distributed.transport import InprocTransport, QueueChannel
+from repro.distributed.wire import WireFormatError
+
+
+def make_pair():
+    """A queue channel pair: (wrapped side, peer side)."""
+    coordinator_side, worker_side = QueueChannel.pair()
+    return coordinator_side, worker_side
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        FaultPlan(drop_send_probability=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan(delay_send_seconds=-1.0)
+
+
+def test_kill_after_sends_fires_at_exact_counter():
+    inner, peer = make_pair()
+    channel = FaultInjectingChannel(inner, FaultPlan(kill_after_sends=3))
+    for _ in range(3):
+        channel.send(b"frame")
+    assert channel.killed
+    # The wrapped side faults on further sends; the peer drains what was
+    # delivered, then sees a real EOF.
+    with pytest.raises(ChannelFault):
+        channel.send(b"frame")
+    assert [peer.recv() for _ in range(3)] == [b"frame"] * 3
+    assert peer.recv() is None
+    assert channel.sends == 3
+
+
+def test_channel_fault_is_a_wire_format_error():
+    """Failure detectors watch WireFormatError; injected faults must match."""
+    assert issubclass(ChannelFault, WireFormatError)
+
+
+def test_kill_after_recvs_returns_none_afterwards():
+    inner, peer = make_pair()
+    channel = FaultInjectingChannel(inner, FaultPlan(kill_after_recvs=2))
+    for index in range(4):
+        peer.send(bytes([index]))
+    assert channel.recv() == b"\x00"
+    assert channel.recv() == b"\x01"
+    assert channel.killed
+    assert channel.recv() is None  # frames 2..3 are gone with the link
+    assert channel.recvs == 2
+
+
+def test_explicit_drop_schedule_is_exact_and_recorded():
+    inner, peer = make_pair()
+    channel = FaultInjectingChannel(inner, FaultPlan(drop_sends=frozenset({1, 3})))
+    for index in range(5):
+        channel.send(bytes([index]))
+    inner.close()
+    delivered = []
+    while (frame := peer.recv()) is not None:
+        delivered.append(frame[0])
+    assert delivered == [0, 2, 4]
+    assert channel.dropped_sends == [1, 3]
+    # The sender cannot tell a dropped frame from a delivered one.
+    assert channel.sends == 5
+    assert channel.bytes_sent == 5
+
+
+def test_seeded_probabilistic_drops_replay_identically():
+    def run(seed):
+        inner, _ = make_pair()
+        channel = FaultInjectingChannel(
+            inner, FaultPlan(drop_send_probability=0.5, seed=seed)
+        )
+        for index in range(64):
+            channel.send(bytes([index]))
+        return tuple(channel.dropped_sends)
+
+    assert run(11) == run(11)  # same seed, same coin flips
+    assert run(11) != run(12)  # different seed, different schedule
+
+
+def test_transport_wrapper_applies_plans_by_launch_index():
+    def worker(channel):
+        while channel.recv() is not None:
+            pass
+        channel.close()
+
+    transport = FaultInjectingTransport(
+        InprocTransport(), plans={1: FaultPlan(kill_after_sends=1)}
+    )
+    channels = transport.launch(worker, 2)
+    assert transport.name == "faulty+inproc"
+    assert all(isinstance(channel, FaultInjectingChannel) for channel in channels)
+
+    channels[0].send(b"ok")
+    channels[0].send(b"ok")  # unplanned workers pass everything through
+    channels[1].send(b"boom")
+    with pytest.raises(ChannelFault):
+        channels[1].send(b"never")
+
+    # Incremental launches wrap only the new tail — the cumulative list and
+    # each channel's wrapper (with its counters) are stable across calls.
+    more = transport.launch(worker, 1)
+    assert more[:2] == channels[:2]
+    assert len(more) == 3
+    assert more[1].killed
+
+    for channel in more:
+        if not channel.killed:
+            channel.close()
+    transport.close()
+    transport.join(timeout=5)

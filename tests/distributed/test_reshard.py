@@ -1,0 +1,267 @@
+"""Live resharding under ingest: placement must stay exact through surgery.
+
+The invariant every test here pins: after any sequence of
+split/merge/add/remove operations mid-stream, each partition's state is
+bit-identical to a *static* ``partitions``-shard fleet fed the same stream
+(locally, a :class:`~repro.sketches.sharded.ShardedSketch` with the same
+seed) — because the key->partition hash never moves, only the
+partition->owner table does, behind an epoch fence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed.ingest import (
+    DynamicIngestCoordinator,
+    run_dynamic_ingest,
+)
+from repro.distributed.transport import create_transport
+from repro.distributed.wire import WireFormatError
+from repro.sketches.base import UnmergeableSketchError
+from repro.sketches.registry import build_sketch
+from repro.sketches.sharded import EpochRouter, ShardedSketch
+
+MEMORY = 32 * 1024
+SEED = 3
+CHUNK = 128
+
+
+def zipf_items(count=2500, seed=7, universe=400):
+    rng = np.random.default_rng(seed)
+    keys = rng.zipf(1.3, count) % universe
+    return [(int(key), 1) for key in keys]
+
+
+def static_reference(algorithm, items, partitions, chunk=CHUNK):
+    """The static fleet: one local shard per partition, same seed."""
+    local = ShardedSketch(
+        [build_sketch(algorithm, MEMORY, seed=SEED) for _ in range(partitions)],
+        seed=SEED,
+    )
+    for start in range(0, len(items), chunk):
+        piece = items[start : start + chunk]
+        local.insert_batch([key for key, _ in piece], [value for _, value in piece])
+    return local
+
+
+def states_equal(sketch_a, sketch_b):
+    state_a, state_b = sketch_a.state_snapshot(), sketch_b.state_snapshot()
+    return set(state_a) == set(state_b) and all(
+        np.array_equal(state_a[name], state_b[name]) for name in state_a
+    )
+
+
+def assert_bit_identical(result, items):
+    reference = static_reference(result.algorithm, items, result.partitions)
+    for partition in range(result.partitions):
+        assert states_equal(
+            result.partition_sketches[partition], reference.shards[partition]
+        ), f"partition {partition} diverged from the static fleet"
+
+
+# -- EpochRouter ------------------------------------------------------------
+
+
+def test_router_reassign_bumps_epoch_and_moves_exactly_one_partition():
+    router = EpochRouter.round_robin(SEED, partitions=6, workers=2)
+    assert router.epoch == 0
+    assert router.partitions_of(0) == (0, 2, 4)
+    assert router.reassign(2, 1) == 1
+    assert router.partitions_of(0) == (0, 4)
+    assert router.partitions_of(1) == (1, 2, 3, 5)
+    assert router.load() == {0: 2, 1: 4}
+    with pytest.raises(ValueError):
+        router.reassign(99, 0)
+
+
+def test_router_placement_matches_local_sharding():
+    """route() must partition a batch exactly like ShardedSketch does."""
+    router = EpochRouter.round_robin(SEED, partitions=4, workers=4)
+    local = ShardedSketch(
+        [build_sketch("CM_fast", MEMORY, seed=SEED) for _ in range(4)], seed=SEED
+    )
+    keys = [key for key, _ in zipf_items(600)]
+    local.insert_batch(keys, 1)
+    from repro.hashing import EncodedKeyBatch
+
+    routed_counts = {
+        partition: positions.size
+        for _, partition, positions in router.route(EncodedKeyBatch(keys))
+    }
+    for partition in range(4):
+        assert routed_counts.get(partition, 0) == int(local.items_per_shard[partition])
+
+
+# -- reshard operations under live ingest -----------------------------------
+
+
+def test_no_op_run_matches_static_fleet():
+    items = zipf_items()
+    result = run_dynamic_ingest(
+        "CM_fast", MEMORY, items, workers=2, partitions=6,
+        transport="inproc", chunk_size=CHUNK, seed=SEED,
+    )
+    assert result.epoch == 0
+    assert result.total_items == len(items)
+    assert result.total_lost == 0
+    assert_bit_identical(result, items)
+
+
+@pytest.mark.parametrize("algorithm", ["CM_fast", "CU_fast", "Count"])
+def test_split_merge_add_remove_under_load_is_bit_identical(algorithm):
+    items = zipf_items()
+    actions = {
+        3: lambda c: c.split_worker(0),
+        7: lambda c: c.add_worker(),
+        9: lambda c: c.move_partition(0, 1),
+        12: lambda c: c.merge_workers(2, 1),
+        15: lambda c: c.remove_worker(3),
+    }
+    result = run_dynamic_ingest(
+        algorithm, MEMORY, items, workers=2, partitions=6,
+        transport="inproc", chunk_size=CHUNK, seed=SEED, actions=actions,
+    )
+    assert result.total_items == len(items)
+    assert result.total_lost == 0
+    assert result.epoch > 0
+    assert result.handoffs, "fleet surgery must record its handoffs"
+    assert_bit_identical(result, items)
+
+
+def test_merged_result_matches_single_node_for_exact_families():
+    items = zipf_items()
+    result = run_dynamic_ingest(
+        "CM_fast", MEMORY, items, workers=2, partitions=4,
+        transport="inproc", chunk_size=CHUNK, seed=SEED,
+        actions={5: lambda c: c.split_worker(0)},
+    )
+    single = build_sketch("CM_fast", MEMORY, seed=SEED)
+    for start in range(0, len(items), CHUNK):
+        piece = items[start : start + CHUNK]
+        single.insert_batch([key for key, _ in piece], [value for _, value in piece])
+    assert states_equal(result.merged, single)
+
+
+def test_sharded_view_answers_routed_queries():
+    items = zipf_items()
+    result = run_dynamic_ingest(
+        "CM_fast", MEMORY, items, workers=2, partitions=4,
+        transport="inproc", chunk_size=CHUNK, seed=SEED,
+        actions={4: lambda c: c.split_worker(1)},
+    )
+    sharded = result.sharded()
+    reference = static_reference("CM_fast", items, 4)
+    keys = sorted({key for key, _ in items})
+    assert sharded.query_batch(keys).tolist() == reference.query_batch(keys).tolist()
+    assert int(sharded.items_per_shard.sum()) == len(items)
+
+
+def test_handoff_records_carry_latency_and_lineage():
+    items = zipf_items(1200)
+    result = run_dynamic_ingest(
+        "CM_fast", MEMORY, items, workers=2, partitions=4,
+        transport="inproc", chunk_size=CHUNK, seed=SEED,
+        actions={4: lambda c: c.move_partition(1, 0)},
+    )
+    (record,) = result.handoffs
+    assert record["partition"] == 1
+    assert record["to_worker"] == 0
+    assert record["from_worker"] == 1
+    assert record["seconds"] >= 0.0
+    assert record["epoch"] == result.epoch == 1
+
+
+def test_empty_worker_merge_and_double_surgery():
+    """Surgery on empty workers and repeated moves must stay exact."""
+    items = zipf_items(1500)
+    def churn(coordinator):
+        new = coordinator.add_worker()
+        coordinator.merge_workers(new, 0)  # immediately fold the empty worker
+    result = run_dynamic_ingest(
+        "CM_fast", MEMORY, items, workers=2, partitions=4,
+        transport="inproc", chunk_size=CHUNK, seed=SEED,
+        actions={2: churn, 6: churn},
+    )
+    assert_bit_identical(result, items)
+
+
+# -- coordinator guard rails -------------------------------------------------
+
+
+def test_coordinator_rejects_bad_topologies():
+    with pytest.raises(ValueError):
+        DynamicIngestCoordinator(
+            "CM_fast", MEMORY, workers=4, transport=create_transport("inproc"),
+            partitions=2,
+        )
+    with pytest.raises(ValueError):
+        DynamicIngestCoordinator(
+            "CM_fast", MEMORY, workers=1, transport=create_transport("inproc"),
+            credit_limit=0,
+        )
+    with pytest.raises(UnmergeableSketchError):
+        DynamicIngestCoordinator(
+            "Elastic", MEMORY, workers=1, transport=create_transport("inproc")
+        )
+
+
+def test_move_to_dead_or_unknown_worker_rejected():
+    coordinator = DynamicIngestCoordinator(
+        "CM_fast", MEMORY, workers=2, transport=create_transport("inproc"),
+        partitions=4, seed=SEED,
+    )
+    try:
+        with pytest.raises(ValueError):
+            coordinator.move_partition(0, 7)
+        coordinator.remove_worker(1)
+        with pytest.raises(ValueError):
+            coordinator.move_partition(0, 1)  # retired workers are not targets
+        with pytest.raises(ValueError):
+            coordinator.remove_worker(1)  # cannot retire twice
+        with pytest.raises(ValueError):
+            coordinator.merge_workers(0, 0)
+    finally:
+        coordinator.shutdown()
+
+
+def test_worker_rejects_stale_handoff_and_double_ownership():
+    """The epoch fence on the worker side: stale or duplicate handoffs are
+    protocol violations, not silently-adopted state."""
+    from repro.distributed.ingest import DynamicWorkerConfig, dynamic_worker_main
+    from repro.distributed.transport import QueueChannel
+    from repro.distributed.wire import (
+        MSG_CONFIG,
+        MSG_HANDOFF,
+        encode_frame,
+        encode_handoff,
+    )
+    import threading
+
+    for stale_epoch, partition in ((0, 3), (5, 0)):  # stale epoch / owned partition
+        ours, theirs = QueueChannel.pair()
+        config = DynamicWorkerConfig(
+            "CM_fast", MEMORY, SEED, worker_id=0, partitions=4, owned=(0, 2),
+            epoch=2,
+        )
+        errors = []
+
+        def run():
+            try:
+                dynamic_worker_main(theirs)
+            except WireFormatError as error:
+                errors.append(error)
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        ours.send(encode_frame(MSG_CONFIG, config.to_payload()))
+        state = build_sketch("CM_fast", MEMORY, seed=SEED).state_snapshot()
+        ours.send(
+            encode_frame(
+                MSG_HANDOFF,
+                encode_handoff(stale_epoch, partition, state, "CM_fast", {}),
+            )
+        )
+        thread.join(timeout=10)
+        assert errors, "worker must reject the hostile handoff loudly"

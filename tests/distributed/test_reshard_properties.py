@@ -1,0 +1,138 @@
+"""Property test: *arbitrary* reshard interleavings never move placement.
+
+Hypothesis drives random sequences of {split, merge, add-worker,
+remove-worker, move-partition} at random points of a random stream; the
+final per-partition state must be bit-identical to a static
+``partitions``-shard fleet for every mergeable family, and the tree-merged
+result must keep each family's merge guarantee (CM/Count exact vs
+single-node, CU a point-wise upper bound that still dominates truth).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed.ingest import run_dynamic_ingest
+from repro.sketches.registry import build_sketch
+from repro.sketches.sharded import ShardedSketch
+
+MEMORY = 16 * 1024
+SEED = 3
+CHUNK = 64
+PARTITIONS = 6
+WORKERS = 2
+
+
+def make_ops(plan):
+    """Translate drawn (chunk_index, op_code, a, b) tuples into actions.
+
+    Op codes pick fleet surgery; the drawn integers select (and are wrapped
+    onto) live workers at execution time, so every drawn plan is valid no
+    matter what earlier operations did to the fleet.
+    """
+
+    def pick(coordinator, value):
+        alive = coordinator.alive_workers()
+        return alive[value % len(alive)]
+
+    def apply(coordinator, op_code, a, b):
+        alive = coordinator.alive_workers()
+        if op_code == 0:
+            coordinator.split_worker(pick(coordinator, a))
+        elif op_code == 1 and len(alive) >= 2:
+            source = pick(coordinator, a)
+            into = pick(coordinator, a + 1 + b)
+            if source != into:
+                coordinator.merge_workers(source, into)
+        elif op_code == 2:
+            coordinator.add_worker()
+        elif op_code == 3 and len(alive) >= 2:
+            coordinator.remove_worker(pick(coordinator, a))
+        elif op_code == 4:
+            coordinator.move_partition(a % PARTITIONS, pick(coordinator, b))
+
+    actions = {}
+    for chunk_index, op_code, a, b in plan:
+        queued = actions.setdefault(chunk_index, [])
+        queued.append((op_code, a, b))
+
+    return {
+        chunk_index: (
+            lambda c, ops=ops: [apply(c, *op) for op in ops]
+        )
+        for chunk_index, ops in actions.items()
+    }
+
+
+op_steps = st.tuples(
+    st.integers(min_value=0, max_value=9),   # chunk index to fire before
+    st.integers(min_value=0, max_value=4),   # op code
+    st.integers(min_value=0, max_value=7),   # operand a
+    st.integers(min_value=0, max_value=7),   # operand b
+)
+
+
+@given(
+    plan=st.lists(op_steps, max_size=6),
+    stream_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    algorithm=st.sampled_from(["CM_fast", "CU_fast", "Count"]),
+)
+@settings(max_examples=20, deadline=None)
+def test_arbitrary_interleavings_are_bit_identical_to_static_fleet(
+    plan, stream_seed, algorithm
+):
+    rng = np.random.default_rng(stream_seed)
+    keys = rng.zipf(1.3, 600) % 150
+    items = [(int(key), 1) for key in keys]
+
+    result = run_dynamic_ingest(
+        algorithm, MEMORY, items, workers=WORKERS, partitions=PARTITIONS,
+        transport="inproc", chunk_size=CHUNK, seed=SEED,
+        actions=make_ops(plan),
+    )
+    assert result.total_items == len(items)
+    assert result.total_lost == 0
+
+    # Per-partition bit-identity against the static fleet.
+    reference = ShardedSketch(
+        [build_sketch(algorithm, MEMORY, seed=SEED) for _ in range(PARTITIONS)],
+        seed=SEED,
+    )
+    for start in range(0, len(items), CHUNK):
+        piece = items[start : start + CHUNK]
+        reference.insert_batch(
+            [key for key, _ in piece], [value for _, value in piece]
+        )
+    for partition in range(PARTITIONS):
+        remote = result.partition_sketches[partition].state_snapshot()
+        local = reference.shards[partition].state_snapshot()
+        assert set(remote) == set(local)
+        for name in remote:
+            assert np.array_equal(remote[name], local[name]), (
+                f"{algorithm} partition {partition} diverged under plan {plan}"
+            )
+
+    # Merge guarantee: exact families match single-node bit-for-bit; CU's
+    # merged estimate upper-bounds truth (its documented merge semantics).
+    truth = {}
+    for key, value in items:
+        truth[key] = truth.get(key, 0) + value
+    queries = sorted(truth)
+    if algorithm == "CU_fast":
+        estimates = result.merged.query_batch(queries)
+        assert all(
+            estimate >= truth[key] for key, estimate in zip(queries, estimates)
+        )
+    else:
+        single = build_sketch(algorithm, MEMORY, seed=SEED)
+        for start in range(0, len(items), CHUNK):
+            piece = items[start : start + CHUNK]
+            single.insert_batch(
+                [key for key, _ in piece], [value for _, value in piece]
+            )
+        merged_state = result.merged.state_snapshot()
+        single_state = single.state_snapshot()
+        for name in single_state:
+            assert np.array_equal(merged_state[name], single_state[name])

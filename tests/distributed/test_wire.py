@@ -282,3 +282,165 @@ def test_config_roundtrip_and_validation():
         decode_config(b"\xff\xfe")
     with pytest.raises(WireFormatError):
         decode_config(b"[1, 2]")
+
+
+# ---------------------------------------------------------------------------
+# v3 dynamic-protocol frames: heartbeat / handoff / credit / routed batches.
+# Same hostile-input bar as the v2 query frames — round-trip identity, and
+# truncated, oversized, trailing-garbage, and wrong-epoch payloads must all
+# raise WireFormatError, never decode to something plausible.
+
+
+def test_heartbeat_roundtrip_and_epoch_fence():
+    from repro.distributed.wire import decode_heartbeat, encode_heartbeat
+
+    assert decode_heartbeat(encode_heartbeat(7, 3)) == (7, 3)
+    assert decode_heartbeat(encode_heartbeat(7, 3), expected_epoch=3) == (7, 3)
+    with pytest.raises(WireFormatError, match="epoch"):
+        decode_heartbeat(encode_heartbeat(7, 3), expected_epoch=4)
+    with pytest.raises(WireFormatError):
+        decode_heartbeat(encode_heartbeat(7, 3)[:-1])  # truncated
+    with pytest.raises(WireFormatError):
+        decode_heartbeat(encode_heartbeat(7, 3) + b"\x00")  # trailing
+
+
+def test_heartbeat_ack_roundtrip_and_validation():
+    from repro.distributed.wire import decode_heartbeat_ack, encode_heartbeat_ack
+
+    payload = encode_heartbeat_ack(9, 2, 1_000_000, stale_dropped=4)
+    assert decode_heartbeat_ack(payload) == (9, 2, 1_000_000, 4)
+    with pytest.raises(WireFormatError, match="epoch"):
+        decode_heartbeat_ack(payload, expected_epoch=1)
+    with pytest.raises(WireFormatError):
+        decode_heartbeat_ack(payload[:-2])
+    with pytest.raises(WireFormatError):
+        decode_heartbeat_ack(payload + b"xx")
+
+
+def test_credit_roundtrip_and_validation():
+    from repro.distributed.wire import decode_credit, encode_credit
+
+    assert decode_credit(encode_credit(5, 2)) == (5, 2)
+    with pytest.raises(WireFormatError):
+        encode_credit(5, 0)  # a credit grant must free at least one slot
+    with pytest.raises(WireFormatError):
+        decode_credit(encode_credit(5, 1)[:-1])
+    with pytest.raises(WireFormatError):
+        decode_credit(encode_credit(5, 1) + b"\x00")
+
+
+def test_routed_batch_roundtrip_and_epoch_fence():
+    from repro.distributed.wire import decode_routed_batch, encode_routed_batch
+
+    batch = EncodedKeyBatch([3, "flow", b"raw", 2**50])
+    payload = encode_routed_batch(4, 11, batch, [1, 2, 3, 4])
+    epoch, partition, decoded, values = decode_routed_batch(payload)
+    assert (epoch, partition) == (4, 11)
+    assert list(decoded.keys) == [3, "flow", b"raw", 2**50]
+    assert values.tolist() == [1, 2, 3, 4]
+
+    with pytest.raises(WireFormatError, match="epoch"):
+        decode_routed_batch(payload, expected_epoch=3)
+    with pytest.raises(WireFormatError):
+        decode_routed_batch(payload[:6])  # header truncated mid-struct
+    with pytest.raises(WireFormatError):
+        decode_routed_batch(payload[:9])  # batch body truncated
+
+
+def test_handoff_roundtrip_and_epoch_fence():
+    from repro.distributed.wire import decode_handoff, encode_handoff
+
+    donor = build_sketch("CM_fast", 4096, seed=3)
+    donor.insert_batch(list(range(40)), [2] * 40)
+    payload = encode_handoff(
+        6, 2, donor.state_snapshot(), "CM_fast", {"items": 40}
+    )
+    epoch, partition, state, algorithm, meta = decode_handoff(payload)
+    assert (epoch, partition, algorithm, meta) == (6, 2, "CM_fast", {"items": 40})
+    replica = build_sketch("CM_fast", 4096, seed=3)
+    replica.state_restore(state)
+    assert replica.query_batch(list(range(40))).tolist() == donor.query_batch(
+        list(range(40))
+    ).tolist()
+
+    with pytest.raises(WireFormatError, match="epoch"):
+        decode_handoff(payload, expected_epoch=5)
+    with pytest.raises(WireFormatError):
+        decode_handoff(payload[:7])  # header truncated
+    with pytest.raises(WireFormatError):
+        decode_handoff(payload[:-3])  # state body truncated
+    with pytest.raises(WireFormatError):
+        decode_handoff(payload + b"junk")  # trailing bytes after the state
+
+
+def test_handoff_ack_roundtrip_and_epoch_fence():
+    from repro.distributed.wire import decode_handoff_ack, encode_handoff_ack
+
+    assert decode_handoff_ack(encode_handoff_ack(6, 2)) == (6, 2)
+    with pytest.raises(WireFormatError, match="epoch"):
+        decode_handoff_ack(encode_handoff_ack(6, 2), expected_epoch=7)
+    with pytest.raises(WireFormatError):
+        decode_handoff_ack(encode_handoff_ack(6, 2)[:-1])
+    with pytest.raises(WireFormatError):
+        decode_handoff_ack(encode_handoff_ack(6, 2) + b"\x00")
+
+
+def test_snapshot_request_roundtrip_and_validation():
+    from repro.distributed.wire import (
+        decode_snapshot_request,
+        encode_snapshot_request,
+    )
+
+    assert decode_snapshot_request(encode_snapshot_request(3, 5)) == (3, 5, False)
+    assert decode_snapshot_request(
+        encode_snapshot_request(3, 5, release=True)
+    ) == (3, 5, True)
+    with pytest.raises(WireFormatError, match="epoch"):
+        decode_snapshot_request(encode_snapshot_request(3, 5), expected_epoch=2)
+    with pytest.raises(WireFormatError):
+        decode_snapshot_request(encode_snapshot_request(3, 5)[:-1])
+    # A release flag outside {0, 1} is corruption, not a boolean.
+    corrupt = bytearray(encode_snapshot_request(3, 5))
+    corrupt[-1] = 2
+    with pytest.raises(WireFormatError):
+        decode_snapshot_request(bytes(corrupt))
+
+
+def test_oversized_handoff_frames_hit_the_frame_bound():
+    """A handoff whose state exceeds the payload bound fails at encode_frame —
+    the same 64 MiB ceiling every other frame type lives under."""
+    from repro.distributed.wire import MSG_HANDOFF
+
+    state = {"tables": np.zeros(wire.MAX_PAYLOAD_BYTES // 8 + 16, dtype=np.int64)}
+    payload = wire.encode_handoff(1, 0, state, "CM_fast", {})
+    with pytest.raises(WireFormatError, match="bound"):
+        encode_frame(MSG_HANDOFF, payload)
+
+
+@given(st.binary(max_size=48))
+@settings(max_examples=60, deadline=None)
+def test_malformed_dynamic_payloads_never_crash(payload):
+    """Arbitrary bytes against every v3 decoder: clean decode or WireFormatError."""
+    from repro.distributed.wire import (
+        decode_credit,
+        decode_handoff,
+        decode_handoff_ack,
+        decode_heartbeat,
+        decode_heartbeat_ack,
+        decode_routed_batch,
+        decode_snapshot_request,
+    )
+
+    for decoder in (
+        decode_heartbeat,
+        decode_heartbeat_ack,
+        decode_credit,
+        decode_handoff_ack,
+        decode_snapshot_request,
+        decode_routed_batch,
+        decode_handoff,
+    ):
+        try:
+            decoder(payload)
+        except WireFormatError:
+            pass
