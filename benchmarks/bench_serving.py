@@ -38,6 +38,14 @@ by sequential saturation per client count; on a 1-core container the two
 front ends time-slice one CPU, so the ratio reflects fairness and tail
 latency, not parallel speedup — rows below 2x carry that note explicitly.
 
+**Warm restart** (the ``"warm_restart"`` section): ingests a stream into
+a service backed by a durable store (``--store``), kills it *without*
+flushing, then measures restart-to-first-answer — recover the newest
+checksummed snapshot plus the WAL tail — against rebuilding the same
+state by replaying the full stream from scratch.  Each row asserts
+``bit_identical``: the restarted service's answers equal the replayed
+reference's exactly (CI gates on this flag, like ``epoch_consistent``).
+
 Not collected by pytest (the module name avoids the ``test_`` prefix); run
 it directly::
 
@@ -45,6 +53,8 @@ it directly::
     PYTHONPATH=src python benchmarks/bench_serving.py --operations 500 --transports inproc
     PYTHONPATH=src python benchmarks/bench_serving.py --skip-closed-loop \\
         --concurrency-clients 1,8 --concurrency-requests 400
+    PYTHONPATH=src python benchmarks/bench_serving.py --skip-closed-loop \\
+        --skip-concurrency --warm-restart-items 100000
 """
 
 from __future__ import annotations
@@ -308,6 +318,95 @@ def run_concurrency_section(args) -> dict:
     }
 
 
+# ---------------------------------------------------------------------------
+# Warm restart: durable-store recovery vs full stream replay.
+
+WARM_RESTART_ALGORITHMS = ("CM_fast", "Ours")
+DEFAULT_WARM_RESTART_ITEMS = 30_000
+WARM_RESTART_BATCH = 4096
+
+
+def bench_warm_restart_row(algorithm: str, args) -> dict:
+    """One family: kill a durable service mid-journal, race recovery vs replay."""
+    import shutil
+    import tempfile
+    import time
+
+    directory = tempfile.mkdtemp(prefix="bench-warm-restart-")
+    try:
+        durable_config = ServeConfig(
+            algorithm,
+            args.memory_bytes,
+            seed=args.seed,
+            publish_every_items=args.publish_every,
+            store_dir=directory,
+        )
+        zipf = ZipfGenerator(args.skew, universe=args.universe, seed=args.seed + 13)
+        keys = zipf.draw(args.warm_restart_items).tolist()
+        service = durable_config.build_service()
+        for start in range(0, len(keys), WARM_RESTART_BATCH):
+            service.ingest(keys[start : start + WARM_RESTART_BATCH])
+        # Kill without flush: recovery must replay the journal tail, not
+        # just reload the last published snapshot.
+        service.close()
+
+        probe = keys[:64]
+        begin = time.perf_counter()
+        warm = durable_config.build_service()
+        warm_answers = warm.query_batch(probe)
+        restart_seconds = time.perf_counter() - begin
+        warm_stats = warm.stats()
+        warm.close()
+
+        replay_config = ServeConfig(
+            algorithm,
+            args.memory_bytes,
+            seed=args.seed,
+            publish_every_items=args.publish_every,
+        )
+        begin = time.perf_counter()
+        replay = replay_config.build_service()
+        for start in range(0, len(keys), WARM_RESTART_BATCH):
+            replay.ingest(keys[start : start + WARM_RESTART_BATCH])
+        replay.flush()
+        replay_answers = replay.query_batch(probe)
+        replay_seconds = time.perf_counter() - begin
+
+        bit_identical = bool(
+            np.array_equal(warm_answers, replay_answers)
+            and warm_stats["items_ingested"] == replay.stats()["items_ingested"]
+        )
+        return {
+            "algorithm": algorithm,
+            "items": len(keys),
+            "publish_every_items": args.publish_every,
+            "restart_to_first_answer_seconds": restart_seconds,
+            "full_replay_seconds": replay_seconds,
+            "replay_over_restart": replay_seconds / max(restart_seconds, 1e-9),
+            "recovered_items": warm_stats["items_ingested"],
+            "recovered_epoch": warm_stats.get("store", {}).get("last_snapshot_epoch"),
+            "bit_identical": bit_identical,
+        }
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def run_warm_restart_section(args) -> list[dict]:
+    rows = []
+    for algorithm in WARM_RESTART_ALGORITHMS:
+        row = bench_warm_restart_row(algorithm, args)
+        rows.append(row)
+        print(
+            f"warm restart {algorithm:>8}: "
+            f"{row['restart_to_first_answer_seconds'] * 1e3:.1f} ms to first "
+            f"answer vs {row['full_replay_seconds'] * 1e3:.1f} ms full replay "
+            f"({row['replay_over_restart']:.1f}x), "
+            f"{row['recovered_items']} items recovered, "
+            f"bit_identical={row['bit_identical']}"
+        )
+    return rows
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--operations", type=int, default=DEFAULT_OPERATIONS,
@@ -353,10 +452,16 @@ def main(argv: list[str] | None = None) -> int:
                              "saturation (default: %(default)s)")
     parser.add_argument("--max-inflight", type=int, default=1024,
                         help="async server admission bound (default: %(default)s)")
+    parser.add_argument("--warm-restart-items", type=int,
+                        default=DEFAULT_WARM_RESTART_ITEMS,
+                        help="items ingested before the durable-store restart "
+                             "race (default: %(default)s)")
     parser.add_argument("--skip-concurrency", action="store_true",
                         help="run only the closed-loop transport section")
     parser.add_argument("--skip-closed-loop", action="store_true",
                         help="run only the concurrency section")
+    parser.add_argument("--skip-warm-restart", action="store_true",
+                        help="skip the durable-store restart section")
     parser.add_argument("--output", type=Path,
                         default=Path(__file__).resolve().parent.parent / "BENCH_serving.json",
                         help="output JSON path (default: repo root)")
@@ -394,6 +499,11 @@ def main(argv: list[str] | None = None) -> int:
         print("concurrency sweep: async event loop vs sequential accept loop (tcp)")
         concurrency = run_concurrency_section(args)
 
+    warm_restart = None
+    if not args.skip_warm_restart:
+        print("warm restart: durable-store recovery vs full stream replay")
+        warm_restart = run_warm_restart_section(args)
+
     payload = {
         "workload": {
             "operations": args.operations,
@@ -416,11 +526,21 @@ def main(argv: list[str] | None = None) -> int:
     }
     if concurrency is not None:
         payload["concurrency"] = concurrency
+    if warm_restart is not None:
+        payload["warm_restart"] = {
+            "items": args.warm_restart_items,
+            "results": warm_restart,
+        }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
     all_rows = rows + (concurrency["results"] if concurrency else [])
     if not all(row["epoch_consistent"] for row in all_rows):
         print("ERROR: a serving run violated epoch consistency", file=sys.stderr)
+        return 1
+    if warm_restart is not None and not all(
+        row["bit_identical"] for row in warm_restart
+    ):
+        print("ERROR: a warm restart was not bit-identical", file=sys.stderr)
         return 1
     return 0
 

@@ -48,6 +48,15 @@ query it from another terminal/host::
     repro-cli query --connect host:29462 --count 100000      # demo writer
     repro-cli query --connect host:29462 --keys 17,42 --top-k 5 --stats
 
+Serve with a crash-safe durable store (WAL + checksummed epoch snapshots;
+restarting over the same directory warm-starts bit-identically), and audit
+or maintain a store directory offline::
+
+    repro-cli serve --algorithm Ours --store /var/lib/repro/ours
+    repro-cli store-inspect --store /var/lib/repro/ours
+    repro-cli store-verify --store /var/lib/repro/ours
+    repro-cli store-compact --store /var/lib/repro/ours --store-retain 2
+
 Print the three tables::
 
     repro-cli table1
@@ -292,8 +301,16 @@ def _cmd_serve(args) -> None:
         shards=args.shards,
         publish_every_items=publish_every,
         max_tracked_keys=args.max_tracked_keys,
+        store_dir=args.store,
     )
     service = config.build_service()
+    if args.store is not None:
+        store_stats = service.stats().get("store", {})
+        epoch = store_stats.get("last_snapshot_epoch")
+        print(
+            f"durable store at {args.store}: "
+            + (f"warm start from epoch {epoch}" if epoch else "cold start")
+        )
     if args.async_mode:
         from repro.serve.async_server import AsyncSketchServer
 
@@ -347,6 +364,15 @@ def _cmd_serve(args) -> None:
             f"{stats['items_ingested']} items absorbed, "
             f"{stats['distinct_keys_tracked']} distinct keys"
         )
+    service.close()
+    if args.store is not None:
+        store_stats = service.stats().get("store", {})
+        if store_stats.get("degraded"):
+            print(
+                f"WARNING: store degraded ({store_stats.get('degrade_reason')}); "
+                f"{store_stats.get('dropped_batches')} batch(es) and "
+                f"{store_stats.get('dropped_publishes')} publish(es) not persisted"
+            )
 
 
 def _cmd_query(args) -> None:
@@ -403,6 +429,57 @@ def _cmd_query(args) -> None:
             print(json_module.dumps(client.stats(), indent=2, default=str))
     finally:
         client.close()
+
+
+def _cmd_store_inspect(args) -> None:
+    """Audit a durable store directory without modifying anything."""
+    import json as json_module
+
+    from repro.store import SketchStore
+
+    with SketchStore(args.store) as store:
+        print(json_module.dumps(store.inspect(), indent=2, default=str))
+
+
+def _cmd_store_verify(args) -> None:
+    """Run a full recovery pass and report what a warm start would load.
+
+    This is recovery, not a dry run: torn journals are repaired (the
+    original preserved in ``quarantine/``) and corrupt files quarantined,
+    exactly as ``serve --store`` would on startup.
+    """
+    from repro.store import SketchStore
+
+    with SketchStore(args.store) as store:
+        report = store.recover()
+        if report is None:
+            print(f"{args.store}: empty store (cold start)")
+            return
+        print(
+            f"{args.store}: recoverable at epoch {report.epoch_id} "
+            f"({report.algorithm}, {report.items} items in the snapshot, "
+            f"{report.wal_frames} journal frame(s) / {report.wal_items} item(s) "
+            f"to replay)"
+        )
+        if report.wal_tail_error:
+            print(f"  journal tail repaired: {report.wal_tail_error}")
+        for name in report.quarantined:
+            print(f"  quarantined: {name}")
+
+
+def _cmd_store_compact(args) -> None:
+    """Apply the retention policy to a store directory."""
+    from repro.store import DEFAULT_RETENTION_EPOCHS, SketchStore
+
+    retain = args.store_retain if args.store_retain is not None else DEFAULT_RETENTION_EPOCHS
+    with SketchStore(args.store, retention_epochs=retain) as store:
+        removed = store.compact()
+        audit = store.inspect()
+        print(
+            f"{args.store}: removed {removed} file(s); "
+            f"{len(audit['snapshots'])} snapshot(s) and {len(audit['wals'])} "
+            f"journal(s) retained (newest epoch: {audit['recoverable_epoch']})"
+        )
 
 
 def _cmd_ingest_worker(args) -> None:
@@ -555,6 +632,8 @@ def _ingest_collect_dynamic(args, algorithm, memory_bytes, chunk_size,
         actions = {max(1, chunks_total // 3): split,
                    max(2, 2 * chunks_total // 3): merge}
 
+    if args.store is not None:
+        print(f"persisting partition checkpoints to {args.store}")
     start = time.perf_counter()
     result = run_dynamic_ingest(
         algorithm,
@@ -565,6 +644,9 @@ def _ingest_collect_dynamic(args, algorithm, memory_bytes, chunk_size,
         transport=backend,
         chunk_size=chunk_size,
         seed=args.seed,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_timeout=args.heartbeat_timeout,
+        store_dir=args.store,
         actions=actions,
     )
     wall = time.perf_counter() - start
@@ -600,6 +682,9 @@ _COMMANDS = {
     "ingest-worker": _cmd_ingest_worker,
     "serve": _cmd_serve,
     "query": _cmd_query,
+    "store-inspect": _cmd_store_inspect,
+    "store-verify": _cmd_store_verify,
+    "store-compact": _cmd_store_compact,
     "table1": _cmd_table1,
     "table3": _cmd_table3,
     "table4": _cmd_table4,
@@ -661,6 +746,12 @@ _FLAG_COMMANDS = {
     "--top-k": frozenset({"query"}),
     "--stats": frozenset({"query"}),
     "--pipeline": frozenset({"query"}),
+    "--store": frozenset(
+        {"serve", "ingest-collect", "store-inspect", "store-verify", "store-compact"}
+    ),
+    "--store-retain": frozenset({"store-compact"}),
+    "--heartbeat-interval": frozenset({"ingest-collect"}),
+    "--heartbeat-timeout": frozenset({"ingest-collect"}),
 }
 
 
@@ -783,6 +874,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="query: issue the --keys estimates as pipelined "
                               "single-key requests with this many in flight "
                               "(demonstrates in-order pipelined replies)")
+    durability = parser.add_argument_group(
+        "durability", "options of serve --store / ingest-collect --store / store-*"
+    )
+    durability.add_argument("--store", default=None, metavar="DIR",
+                            help="serve: journal every ingest batch and persist every "
+                                 "published epoch under DIR, warm-starting from it on "
+                                 "restart; ingest-collect (dynamic fleet): persist "
+                                 "partition checkpoints under DIR and resume from "
+                                 "them; store-*: the directory to operate on")
+    durability.add_argument("--store-retain", type=int, default=None, dest="store_retain",
+                            help="store-compact: keep this many newest epoch "
+                                 "snapshots (default: 2)")
+    durability.add_argument("--heartbeat-interval", type=float, default=None,
+                            dest="heartbeat_interval",
+                            help="ingest-collect (dynamic fleet): probe worker "
+                                 "liveness between chunks at this wall-clock cadence "
+                                 "in seconds (default: only on failure signals)")
+    durability.add_argument("--heartbeat-timeout", type=float, default=None,
+                            dest="heartbeat_timeout",
+                            help="ingest-collect (dynamic fleet): declare a worker "
+                                 "dead if a heartbeat ack takes longer than this "
+                                 "many seconds — hung workers are recovered like "
+                                 "dead ones (default: wait forever)")
     return parser
 
 
@@ -839,6 +953,10 @@ def main(argv: list[str] | None = None) -> int:
         "--top-k": args.top_k,
         "--stats": args.stats or None,
         "--pipeline": args.pipeline,
+        "--store": args.store,
+        "--store-retain": args.store_retain,
+        "--heartbeat-interval": args.heartbeat_interval,
+        "--heartbeat-timeout": args.heartbeat_timeout,
     }
     for flag, value in flag_values.items():
         if value is not None and args.experiment not in _FLAG_COMMANDS[flag]:
@@ -870,6 +988,32 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--pipeline must be a positive integer")
     if args.pipeline is not None and not args.keys:
         parser.error("--pipeline requires --keys")
+    if args.experiment.startswith("store-") and args.store is None:
+        parser.error(f"{args.experiment} requires --store DIR")
+    if args.store_retain is not None and args.store_retain <= 0:
+        parser.error("--store-retain must be a positive integer")
+    if args.heartbeat_interval is not None and args.heartbeat_interval <= 0:
+        parser.error("--heartbeat-interval must be positive")
+    if args.heartbeat_timeout is not None and args.heartbeat_timeout <= 0:
+        parser.error("--heartbeat-timeout must be positive")
+    dynamic_only = {
+        "--heartbeat-interval": args.heartbeat_interval,
+        "--heartbeat-timeout": args.heartbeat_timeout,
+    }
+    if args.experiment == "ingest-collect":
+        dynamic_only["--store"] = args.store
+    if not (args.reshard or args.partitions is not None):
+        for flag, value in dynamic_only.items():
+            if value is not None:
+                parser.error(
+                    f"{flag} requires the dynamic fleet "
+                    "(combine with --partitions or --reshard)"
+                )
+    if args.experiment == "ingest-collect" and args.store is not None and args.verify:
+        parser.error(
+            "--verify cannot be combined with --store: a resumed fleet "
+            "carries prior runs' history, which local re-ingest cannot mirror"
+        )
     if args.experiment in ("ingest-collect", "serve"):
         from repro.sketches.registry import supports_snapshots
 
@@ -884,14 +1028,22 @@ def main(argv: list[str] | None = None) -> int:
                 "snapshotable family (CM_fast, CM_acc, CU_fast, CU_acc, Count, "
                 "Ours, Ours(Raw))"
             )
+        if args.experiment == "serve" and args.store is not None and not snapshotable:
+            parser.error(
+                f"--store needs a snapshotable algorithm, and {algorithm} is not "
+                "(pick CM_fast, CM_acc, CU_fast, CU_acc, Count, Ours, or Ours(Raw))"
+            )
     command = _COMMANDS[args.experiment]
-    if args.experiment.startswith("ingest-") or args.experiment in ("serve", "query"):
-        # Bad addresses, unreachable peers, ports in use, or workers that
-        # never dial in surface as clean argparse errors, not tracebacks
-        # (ValueError from parsing, OSError/timeout from sockets and pipes).
+    if args.experiment.startswith(("ingest-", "store-")) or args.experiment in ("serve", "query"):
+        # Bad addresses, unreachable peers, ports in use, workers that never
+        # dial in, or an unrecoverable store directory surface as clean
+        # argparse errors, not tracebacks (ValueError from parsing,
+        # OSError/timeout from sockets and pipes, StoreError from recovery).
+        from repro.store import StoreError
+
         try:
             command(args)
-        except (ValueError, OSError) as error:
+        except (ValueError, OSError, StoreError) as error:
             parser.error(str(error) or type(error).__name__)
     else:
         command(args)

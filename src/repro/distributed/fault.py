@@ -125,12 +125,12 @@ class FaultInjectingChannel(Channel):
         ):
             self._kill()
 
-    def recv(self) -> bytes | None:
+    def recv(self, timeout: float | None = None) -> bytes | None:
         if self.killed:
             return None
         if self.plan.delay_recv_seconds:
             time.sleep(self.plan.delay_recv_seconds)
-        frame = self.inner.recv()
+        frame = self.inner.recv(timeout=timeout)
         if frame is None:
             return None
         self.recvs += 1

@@ -28,11 +28,16 @@ from __future__ import annotations
 import copy
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
 
-from repro.distributed.transport import Channel, Transport, create_transport
+from repro.distributed.transport import (
+    Channel,
+    ChannelTimeoutError,
+    Transport,
+    create_transport,
+)
 from repro.distributed.wire import (
     MSG_BATCH,
     MSG_CONFIG,
@@ -79,6 +84,9 @@ from repro.sketches.sharded import (
     partition_router,
 )
 from repro.streams.items import chunked
+
+if TYPE_CHECKING:  # imported lazily at runtime: repro.store depends on wire
+    from repro.store import PartitionStore
 
 #: Default chunk size of the coordinator's stream batching.
 DEFAULT_CHUNK_SIZE = 8192
@@ -691,6 +699,17 @@ class DynamicIngestCoordinator:
       every batch sent since that snapshot — is replayed exactly once
       (``replay_on_recovery=True``, lossless) or discarded and *reported*
       as the lost window (``replay_on_recovery=False``).
+    * Heartbeat cadence is configurable: ``heartbeat_interval`` makes
+      :meth:`maybe_ping` probe the fleet that often (called once per chunk
+      by :func:`run_dynamic_ingest`), and ``heartbeat_timeout`` bounds how
+      long :meth:`ping` waits for each ack — a silent-but-connected worker
+      (hung, not dead) is then declared failed and recovered, instead of
+      stalling the coordinator forever.
+    * With a :class:`~repro.store.PartitionStore`, every checkpoint /
+      quiesce / collect snapshot is also persisted to disk, and a new
+      coordinator over the same directory **resumes** the fleet from the
+      persisted checkpoints — recovery from a coordinator crash no longer
+      needs a surviving process's memory.
     * ``MSG_BATCH`` flow control: every routed frame consumes a credit from
       the owner's window (``credit_limit``); workers return one credit per
       frame applied (or rejected), so a slow worker back-pressures the
@@ -717,6 +736,9 @@ class DynamicIngestCoordinator:
         credit_limit: int = DEFAULT_CREDIT_LIMIT,
         journal_limit: int = DEFAULT_JOURNAL_LIMIT,
         replay_on_recovery: bool = True,
+        heartbeat_interval: float | None = None,
+        heartbeat_timeout: float | None = None,
+        store: "PartitionStore | None" = None,
         sketch_kwargs: dict | None = None,
     ) -> None:
         if workers <= 0:
@@ -728,6 +750,10 @@ class DynamicIngestCoordinator:
             raise ValueError("credit limit must be positive")
         if journal_limit <= 0:
             raise ValueError("journal limit must be positive")
+        if heartbeat_interval is not None and heartbeat_interval <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise ValueError("heartbeat timeout must be positive")
         if not supports_snapshots(algorithm):
             raise UnmergeableSketchError(
                 f"{algorithm} cannot be ingested remotely: dynamic ingest requires "
@@ -740,6 +766,9 @@ class DynamicIngestCoordinator:
         self.credit_limit = credit_limit
         self.journal_limit = journal_limit
         self.replay_on_recovery = replay_on_recovery
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.store = store
         self.sketch_kwargs = dict(sketch_kwargs or {})
         self.transport = transport
         self.router = EpochRouter.round_robin(seed, partitions, workers)
@@ -749,7 +778,10 @@ class DynamicIngestCoordinator:
         self.max_outstanding = 0
         self.handoffs: list[dict] = []
         self.recoveries: list[RecoveryReport] = []
+        self.store_errors = 0
+        self.heartbeat_rounds = 0
         self._heartbeat_seq = 0
+        self._last_ping = time.monotonic()
 
         # The epoch-0 snapshot of every partition is the empty sketch — what
         # recovery restores from before the first checkpoint lands.
@@ -770,8 +802,26 @@ class DynamicIngestCoordinator:
             partition: [] for partition in range(partitions)
         }
 
+        # Resume: a PartitionStore holding checkpoints from a previous
+        # coordinator replaces the empty epoch-0 snapshots, and the routed
+        # counters pick up where that coordinator's accounting stopped.
+        self.resumed_partitions: tuple[int, ...] = ()
+        if store is not None:
+            persisted = store.load_all()
+            for partition in persisted:
+                if not 0 <= partition < partitions:
+                    raise ValueError(
+                        f"store holds partition {partition} but this fleet "
+                        f"has {partitions} partitions"
+                    )
+            for partition, (state, meta) in persisted.items():
+                self._snapshots[partition] = (state, dict(meta))
+                self.items_per_partition[partition] = int(meta.get("items", 0))
+            self.resumed_partitions = tuple(sorted(persisted))
+
         self._workers: list[_WorkerHandle] = []
         channels = transport.launch(dynamic_worker_main, workers)
+        resuming = bool(self.resumed_partitions)
         for worker_id in range(workers):
             handle = _WorkerHandle(
                 worker_id, channels[worker_id], credits=credit_limit
@@ -783,11 +833,18 @@ class DynamicIngestCoordinator:
                 seed,
                 worker_id,
                 partitions,
-                self.router.partitions_of(worker_id),
+                # On resume, workers start owning nothing and every partition
+                # is installed below via HANDOFF — the only path that can
+                # carry non-empty state into a fresh worker.
+                () if resuming else self.router.partitions_of(worker_id),
                 epoch=0,
                 sketch_kwargs=self.sketch_kwargs,
             )
             handle.channel.send(encode_frame(MSG_CONFIG, config.to_payload()))
+        if resuming:
+            for partition in range(partitions):
+                state, meta = self._snapshots[partition]
+                self._install(self.router.owner(partition), partition, state, meta, 0)
 
     # -- epoch / fleet introspection ---------------------------------------
 
@@ -812,18 +869,27 @@ class DynamicIngestCoordinator:
 
     # -- channel pump --------------------------------------------------------
 
-    def _recv_control(self, handle: _WorkerHandle, want: int | None) -> bytes | None:
+    def _recv_control(
+        self,
+        handle: _WorkerHandle,
+        want: int | None,
+        timeout: float | None = None,
+    ) -> bytes | None:
         """Receive from one worker, absorbing control frames along the way.
 
         CREDIT and HEARTBEAT_ACK frames are bookkeeping and are consumed
         wherever they appear; ``want`` names the frame type to return (or
-        ``None`` to absorb exactly one frame of any kind).  EOF and channel
-        errors surface as :class:`WorkerUnavailable` — the single signal the
-        failure detector acts on.
+        ``None`` to absorb exactly one frame of any kind).  EOF, channel
+        errors and a breached ``timeout`` all surface as
+        :class:`WorkerUnavailable` — the single signal the failure detector
+        acts on, so a hung-but-connected worker is treated exactly like a
+        dead one.
         """
         while True:
             try:
-                frame = handle.channel.recv()
+                frame = handle.channel.recv(timeout=timeout)
+            except ChannelTimeoutError:
+                raise WorkerUnavailable(handle.worker_id) from None
             except (WireFormatError, OSError):
                 frame = None
             if frame is None:
@@ -932,6 +998,21 @@ class DynamicIngestCoordinator:
             )
         return state, meta
 
+    def _persist(self, partition: int, state: dict[str, np.ndarray], meta: dict) -> None:
+        """Write one partition checkpoint to the durable store, if configured.
+
+        Coordinator-side disk trouble must not kill a healthy ingest fleet:
+        failures are counted (``store_errors``) and the coordinator carries
+        on with in-memory snapshots only — the same loud-degradation
+        contract as :class:`~repro.store.SketchStore`.
+        """
+        if self.store is None:
+            return
+        try:
+            self.store.save(partition, state, meta, self.algorithm)
+        except OSError:
+            self.store_errors += 1
+
     def checkpoint(self, partition: int) -> dict:
         """Refresh one partition's stored snapshot and clear its journal.
 
@@ -952,6 +1033,7 @@ class DynamicIngestCoordinator:
                 continue
             self._snapshots[partition] = (state, meta)
             self._journal[partition] = []
+            self._persist(partition, state, meta)
             return meta
 
     # -- resharding ----------------------------------------------------------
@@ -1022,6 +1104,7 @@ class DynamicIngestCoordinator:
             return
         self._snapshots[partition] = (state, meta)
         self._journal[partition] = []
+        self._persist(partition, state, meta)
         epoch = self.router.reassign(partition, to_worker)
         self._install(to_worker, partition, state, meta, epoch)
         self.handoffs.append(
@@ -1104,9 +1187,13 @@ class DynamicIngestCoordinator:
 
         Returns the ids of workers alive after the round.  Any ack counts as
         liveness proof; a dead channel (EOF or send failure) triggers the
-        same recovery path as a mid-send failure.
+        same recovery path as a mid-send failure.  With
+        ``heartbeat_timeout`` set, a worker that stays *connected* but never
+        acks (hung, not dead) is also recovered instead of blocking the
+        coordinator forever.
         """
         self._heartbeat_seq += 1
+        self.heartbeat_rounds += 1
         for handle in list(self._workers):
             if not handle.alive:
                 continue
@@ -1117,12 +1204,26 @@ class DynamicIngestCoordinator:
                         encode_heartbeat(self._heartbeat_seq, self.epoch),
                     )
                 )
-                self._recv_control(handle, MSG_HEARTBEAT_ACK)
+                self._recv_control(
+                    handle, MSG_HEARTBEAT_ACK, timeout=self.heartbeat_timeout
+                )
             except WorkerUnavailable:
                 self._recover(handle.worker_id)
             except (WireFormatError, OSError):
                 self._recover(handle.worker_id)
+        self._last_ping = time.monotonic()
         return self.alive_workers()
+
+    def maybe_ping(self) -> tuple[int, ...] | None:
+        """Run :meth:`ping` iff ``heartbeat_interval`` has elapsed since the
+        last round.  The stream pump calls this once per chunk, so probe
+        cadence is wall-clock bounded without a background thread.
+        """
+        if self.heartbeat_interval is None:
+            return None
+        if time.monotonic() - self._last_ping < self.heartbeat_interval:
+            return None
+        return self.ping()
 
     def _recover(self, worker_id: int, prefer: int | None = None) -> None:
         """Re-place every partition of a dead worker on survivors.
@@ -1213,6 +1314,7 @@ class DynamicIngestCoordinator:
                 )
             self._snapshots[partition] = (state, meta)
             self._journal[partition] = []
+            self._persist(partition, state, meta)
             replica = build_sketch(
                 self.algorithm, self.memory_bytes, seed=self.seed, **self.sketch_kwargs
             )
@@ -1296,6 +1398,9 @@ def run_dynamic_ingest(
     credit_limit: int = DEFAULT_CREDIT_LIMIT,
     journal_limit: int = DEFAULT_JOURNAL_LIMIT,
     replay_on_recovery: bool = True,
+    heartbeat_interval: float | None = None,
+    heartbeat_timeout: float | None = None,
+    store_dir: str | None = None,
     sketch_kwargs: dict | None = None,
     actions: dict[int, Callable[["DynamicIngestCoordinator"], None]] | None = None,
 ) -> DynamicIngestResult:
@@ -1306,8 +1411,18 @@ def run_dynamic_ingest(
     the reshard-under-load benchmark use to split/merge/kill mid-ingest
     deterministically (chunk counts, not wall clocks).  Like the static
     runner, the transport is consumed.
+
+    ``heartbeat_interval`` probes the fleet between chunks at that cadence;
+    ``heartbeat_timeout`` bounds each ack wait.  ``store_dir`` opens a
+    :class:`~repro.store.PartitionStore` there: checkpoints persist to disk
+    and a later run over the same directory resumes from them.
     """
     backend = create_transport(transport) if isinstance(transport, str) else transport
+    store = None
+    if store_dir is not None:
+        from repro.store import PartitionStore
+
+        store = PartitionStore(store_dir, algorithm=algorithm)
     coordinator = DynamicIngestCoordinator(
         algorithm,
         memory_bytes,
@@ -1318,6 +1433,9 @@ def run_dynamic_ingest(
         credit_limit=credit_limit,
         journal_limit=journal_limit,
         replay_on_recovery=replay_on_recovery,
+        heartbeat_interval=heartbeat_interval,
+        heartbeat_timeout=heartbeat_timeout,
+        store=store,
         sketch_kwargs=sketch_kwargs,
     )
     try:
@@ -1325,6 +1443,7 @@ def run_dynamic_ingest(
         for index, chunk in enumerate(chunked(items, chunk_size)):
             if actions and index in actions:
                 actions[index](coordinator)
+            coordinator.maybe_ping()
             coordinator.send_batch(
                 [key for key, _ in chunk], [value for _, value in chunk]
             )

@@ -46,6 +46,19 @@ class ChannelClosedError(WireFormatError):
     protocol violation, which must stay loud.
     """
 
+
+class ChannelTimeoutError(WireFormatError):
+    """``recv(timeout=...)`` expired with no frame.
+
+    Distinct from EOF (``recv`` returning ``None``): the peer has not hung
+    up, it has merely not answered in time — the signal a heartbeat failure
+    detector or a client deadline acts on.  On the stream-oriented TCP
+    backend a timeout may strike *mid-frame*; the channel is then
+    positioned inside a partial message and must not be recv'd again
+    (callers treat a deadline breach as fatal for the channel, which is
+    exactly what the failure detector and the query client both do).
+    """
+
 #: How a worker entry point looks to every transport: a callable taking the
 #: worker-side channel.  ``pipe`` additionally requires it to be picklable
 #: (a module-level function such as ``repro.distributed.ingest.worker_main``).
@@ -64,8 +77,12 @@ class Channel(abc.ABC):
         """Send one whole wire frame."""
 
     @abc.abstractmethod
-    def recv(self) -> bytes | None:
-        """Block for the next frame; ``None`` once the peer closed."""
+    def recv(self, timeout: float | None = None) -> bytes | None:
+        """Block for the next frame; ``None`` once the peer closed.
+
+        With a ``timeout`` (seconds), raise :class:`ChannelTimeoutError`
+        if no frame arrives in time; ``None`` keeps the blocking default.
+        """
 
     @abc.abstractmethod
     def close(self) -> None:
@@ -126,10 +143,13 @@ class QueueChannel(Channel):
         self.bytes_sent += len(frame)
         self._send_queue.put(frame)
 
-    def recv(self) -> bytes | None:
+    def recv(self, timeout: float | None = None) -> bytes | None:
         if self._eof:
             return None
-        frame = self._recv_queue.get()
+        try:
+            frame = self._recv_queue.get(timeout=timeout)
+        except queue.Empty:
+            raise ChannelTimeoutError(f"no frame within {timeout}s") from None
         if frame is None:
             self._eof = True
             return None
@@ -211,10 +231,12 @@ class PipeChannel(Channel):
         self.bytes_sent += len(frame)
         self._connection.send_bytes(frame)
 
-    def recv(self) -> bytes | None:
+    def recv(self, timeout: float | None = None) -> bytes | None:
         if self._closed:
             return None
         try:
+            if timeout is not None and not self._connection.poll(timeout):
+                raise ChannelTimeoutError(f"no frame within {timeout}s")
             frame = self._connection.recv_bytes()
         except EOFError:
             return None
@@ -308,6 +330,11 @@ class SocketChannel(Channel):
         while remaining:
             try:
                 chunk = self._socket.recv(remaining)
+            except socket.timeout:
+                # The deadline struck (possibly mid-frame: the stream is then
+                # desynchronized and the caller must not recv again — see
+                # ChannelTimeoutError).
+                raise ChannelTimeoutError("no frame within the recv timeout") from None
             except OSError:
                 return None
             if not chunk:
@@ -316,16 +343,25 @@ class SocketChannel(Channel):
             remaining -= len(chunk)
         return b"".join(chunks)
 
-    def recv(self) -> bytes | None:
+    def recv(self, timeout: float | None = None) -> bytes | None:
         if self._closed:
             return None
-        header = self._recv_exact(FRAME_HEADER_SIZE)
-        if header is None:
-            return None
-        _, payload_length = parse_frame_header(header)
-        payload = self._recv_exact(payload_length) if payload_length else b""
-        if payload is None:
-            raise WireFormatError("connection closed mid-frame")
+        if timeout is not None:
+            self._socket.settimeout(timeout)
+        try:
+            header = self._recv_exact(FRAME_HEADER_SIZE)
+            if header is None:
+                return None
+            _, payload_length = parse_frame_header(header)
+            payload = self._recv_exact(payload_length) if payload_length else b""
+            if payload is None:
+                raise WireFormatError("connection closed mid-frame")
+        finally:
+            if timeout is not None and not self._closed:
+                try:
+                    self._socket.settimeout(None)
+                except OSError:  # pragma: no cover - racing a concurrent close
+                    pass
         frame = header + payload
         self.bytes_received += len(frame)
         return frame

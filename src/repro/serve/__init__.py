@@ -43,8 +43,10 @@ from repro.serve.loadgen import (
 )
 from repro.serve.server import (
     QueryClient,
+    RetryPolicy,
     ServeConfig,
     ServerBusyError,
+    ServeTimeoutError,
     ServingSession,
     create_listener,
     serve_main,
@@ -63,8 +65,10 @@ __all__ = [
     "OpenLoopConfig",
     "OpenLoopReport",
     "QueryClient",
+    "RetryPolicy",
     "ServeConfig",
     "ServerBusyError",
+    "ServeTimeoutError",
     "ServingSession",
     "SketchService",
     "create_listener",

@@ -22,14 +22,22 @@ client — the entry point of ``benchmarks/bench_serving.py``.
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
-from repro.distributed.transport import Channel, SocketChannel, Transport, create_transport
+from repro.distributed.transport import (
+    Channel,
+    ChannelTimeoutError,
+    SocketChannel,
+    Transport,
+    create_transport,
+)
 from repro.distributed.wire import (
     MSG_BATCH,
     MSG_CONFIG,
@@ -80,6 +88,63 @@ class ServerBusyError(RuntimeError):
         self.epoch_id = epoch_id
 
 
+class ServeTimeoutError(RuntimeError):
+    """A client-side deadline expired before the server answered.
+
+    Raised by :class:`QueryClient` when a :class:`RetryPolicy` deadline is
+    breached — either because BUSY retries (with backoff) did not get
+    through in time, or because the server went silent mid-request /
+    mid-pipeline and the bounded ``recv`` never produced a reply.  Typed so
+    callers can tell "the server said no" (:class:`ServerBusyError`) from
+    "the server said nothing" without string matching.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with jitter for BUSY retries.
+
+    ``delay(attempt, rng)`` grows ``base_delay`` by ``multiplier`` per
+    attempt, capped at ``max_delay``, then shrinks it by up to ``jitter``
+    (a seeded fraction) so a fleet of rejected clients does not reconverge
+    on the server in lockstep — the classic retry-storm fix.
+
+    ``max_retries`` bounds the attempts (``None`` = unbounded — rely on the
+    deadline); ``deadline_seconds`` bounds the *total* time a logical
+    request (or one whole pipelined call) may take, including server
+    silence: with a deadline set, replies are awaited with a bounded
+    ``recv`` and its expiry raises :class:`ServeTimeoutError` instead of
+    hanging on a dead server.
+    """
+
+    max_retries: int | None = 64
+    base_delay: float = 0.001
+    max_delay: float = 0.25
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    deadline_seconds: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative (or None)")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be at least 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        raw = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        if self.jitter:
+            raw *= 1.0 - self.jitter * rng.random()
+        return raw
+
+
 def create_listener(host: str, port: int, backlog: int = 128) -> socket.socket:
     """A TCP listener with ``SO_REUSEADDR`` set.
 
@@ -108,6 +173,12 @@ class ServeConfig:
     ``ingest.WorkerConfig``), so a TCP server process can be started with
     nothing but a listen address.  ``shards > 1`` builds the service over a
     :class:`~repro.sketches.sharded.ShardedSketch` of full-budget replicas.
+
+    ``store_dir`` makes the service durable: :meth:`build_service` opens a
+    :class:`~repro.store.SketchStore` there, recovers the newest valid
+    epoch (warm restart — the sketch resumes bit-identical to the process
+    that died), and journals everything ingested afterwards.  Requires a
+    snapshotable algorithm (the store persists ``state_snapshot()``).
     """
 
     algorithm: str
@@ -117,6 +188,7 @@ class ServeConfig:
     publish_every_items: int = DEFAULT_PUBLISH_EVERY_ITEMS
     cache_size: int = DEFAULT_CACHE_SIZE
     max_tracked_keys: int | None = None
+    store_dir: str | None = None
     sketch_kwargs: dict = field(default_factory=dict)
 
     def to_payload(self) -> bytes:
@@ -129,6 +201,7 @@ class ServeConfig:
                 "publish_every_items": self.publish_every_items,
                 "cache_size": self.cache_size,
                 "max_tracked_keys": self.max_tracked_keys,
+                "store_dir": self.store_dir,
                 "sketch_kwargs": self.sketch_kwargs,
             }
         )
@@ -147,6 +220,7 @@ class ServeConfig:
                 ),
                 cache_size=config.get("cache_size", DEFAULT_CACHE_SIZE),
                 max_tracked_keys=config.get("max_tracked_keys"),
+                store_dir=config.get("store_dir"),
                 sketch_kwargs=config.get("sketch_kwargs", {}),
             )
         except KeyError as missing:
@@ -163,13 +237,47 @@ class ServeConfig:
         )
 
     def build_service(self) -> SketchService:
-        """The configured service, with the replica factory wired in."""
+        """The configured service, with the replica factory wired in.
+
+        With ``store_dir``: opens the durable store, recovers the newest
+        valid epoch + journal replay into a warm sketch, and seeds the
+        epoch writer one epoch past the recovered one — the construction
+        publish then immediately re-snapshots the warm state, so the
+        journal debt is repaid the moment the service is up.  Cold start
+        (an empty directory) builds exactly the undurable service plus
+        journaling.  The top-k key directory does not survive a restart
+        (documented caveat — it re-fills from post-restart ingest).
+        """
+        store = None
+        sketch = None
+        start_epoch = 0
+        start_items = 0
+        if self.store_dir is not None:
+            from repro.sketches.registry import supports_snapshots
+            from repro.store import SketchStore
+
+            if not supports_snapshots(self.algorithm):
+                raise ValueError(
+                    f"--store needs a snapshotable algorithm; {self.algorithm!r} "
+                    "does not support state snapshots"
+                )
+            store = SketchStore(self.store_dir, algorithm=self.algorithm)
+            recovered = store.restore_into(self.build_sketch)
+            if recovered is not None:
+                sketch, report = recovered
+                start_epoch = report.epoch_id + 1
+                start_items = report.items_total
+        if sketch is None:
+            sketch = self.build_sketch()
         return SketchService(
-            self.build_sketch(),
+            sketch,
             factory=self.build_sketch,
             publish_every_items=self.publish_every_items,
             cache_size=self.cache_size,
             max_tracked_keys=self.max_tracked_keys,
+            store=store,
+            start_epoch=start_epoch,
+            start_items=start_items,
         )
 
 
@@ -258,11 +366,21 @@ class QueryClient:
     directions, so a read observes every write the same client sent before
     it (once the read's epoch has rotated past them — :meth:`flush` forces
     that).  Not thread-safe: one client per channel, one channel per client.
+
+    ``retry_policy`` governs BUSY handling on every read path: rejected
+    requests are retried under exponential backoff with seeded jitter
+    instead of spinning, bounded by the policy's ``max_retries`` and (when
+    set) its total deadline — a breach raises :class:`ServeTimeoutError`
+    rather than hanging on a server that died mid-request.
     """
 
-    def __init__(self, channel: Channel) -> None:
+    def __init__(self, channel: Channel, retry_policy: RetryPolicy | None = None) -> None:
         self._channel = channel
         self._next_request_id = 0
+        self.retry_policy = retry_policy or RetryPolicy()
+        self._retry_rng = random.Random(self.retry_policy.seed)
+        #: BUSY replies absorbed by backoff (monitoring counter).
+        self.busy_retries = 0
 
     # ----------------------------------------------------------- write side
     def ingest(self, keys: Sequence[object], values: Sequence[int] | int | None = None) -> None:
@@ -270,29 +388,76 @@ class QueryClient:
         self._channel.send(encode_frame(MSG_BATCH, encode_batch(keys, values)))
 
     # ------------------------------------------------------------ read side
+    def _deadline(self) -> float | None:
+        seconds = self.retry_policy.deadline_seconds
+        return None if seconds is None else time.monotonic() + seconds
+
+    def _recv_within(self, deadline: float | None) -> bytes | None:
+        """One frame, bounded by the deadline when there is one."""
+        if deadline is None:
+            return self._channel.recv()
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise ServeTimeoutError(
+                f"deadline of {self.retry_policy.deadline_seconds}s exhausted "
+                "waiting for the server"
+            )
+        try:
+            return self._channel.recv(timeout=remaining)
+        except ChannelTimeoutError:
+            raise ServeTimeoutError(
+                f"no reply within the {self.retry_policy.deadline_seconds}s deadline "
+                "(server silent; channel no longer usable)"
+            ) from None
+
+    def _backoff(self, attempt: int, deadline: float | None) -> None:
+        """Sleep before BUSY retry ``attempt``, never past the deadline."""
+        delay = self.retry_policy.delay(attempt, self._retry_rng)
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServeTimeoutError(
+                    f"deadline of {self.retry_policy.deadline_seconds}s exhausted "
+                    f"after {attempt} BUSY retries"
+                )
+            delay = min(delay, remaining)
+        if delay > 0:
+            time.sleep(delay)
+
     def _round_trip(self, kind: int, **request_kwargs) -> QueryResponse:
-        request_id = self._next_request_id
-        self._next_request_id += 1
-        self._channel.send(
-            encode_frame(
-                MSG_QUERY, encode_query_request(request_id, kind, **request_kwargs)
+        policy = self.retry_policy
+        deadline = self._deadline()
+        attempt = 0
+        while True:
+            request_id = self._next_request_id
+            self._next_request_id += 1
+            self._channel.send(
+                encode_frame(
+                    MSG_QUERY, encode_query_request(request_id, kind, **request_kwargs)
+                )
             )
-        )
-        frame = self._channel.recv()
-        if frame is None:
-            raise WireFormatError("server closed the channel mid-request")
-        msg_type, payload = decode_frame(frame)
-        if msg_type != MSG_QUERY_REPLY:
-            raise WireFormatError(f"expected MSG_QUERY_REPLY, got {msg_type}")
-        response = decode_query_response(payload)
-        if response.request_id != request_id or response.kind != kind:
-            raise WireFormatError(
-                f"response ({response.request_id}, kind {response.kind}) does not "
-                f"match request ({request_id}, kind {kind})"
-            )
-        if response.status == STATUS_BUSY:
-            raise ServerBusyError(response.request_id, response.kind, response.epoch_id)
-        return response
+            frame = self._recv_within(deadline)
+            if frame is None:
+                raise WireFormatError("server closed the channel mid-request")
+            msg_type, payload = decode_frame(frame)
+            if msg_type != MSG_QUERY_REPLY:
+                raise WireFormatError(f"expected MSG_QUERY_REPLY, got {msg_type}")
+            response = decode_query_response(payload)
+            if response.request_id != request_id or response.kind != kind:
+                raise WireFormatError(
+                    f"response ({response.request_id}, kind {response.kind}) does not "
+                    f"match request ({request_id}, kind {kind})"
+                )
+            if response.status == STATUS_BUSY:
+                if policy.max_retries is not None and attempt >= policy.max_retries:
+                    raise ServerBusyError(
+                        response.request_id, response.kind, response.epoch_id
+                    )
+                self._backoff(attempt, deadline)
+                self.busy_retries += 1
+                attempt += 1
+                continue
+            return response
 
     def query_batch(self, keys: Sequence[object]) -> tuple[np.ndarray, int]:
         """Point estimates plus the id of the epoch that answered."""
@@ -314,17 +479,27 @@ class QueryClient:
         over the whole window (both servers answer pipelined frames; the
         async server interleaves them with other connections).  Results
         come back in ``key_batches`` order regardless of BUSY retries —
-        a BUSY reply re-enqueues its batch under a fresh request id until
-        it is served (``busy_retries`` bounds the total; ``None`` retries
-        forever).
+        a BUSY reply re-enqueues its batch under a fresh request id *after
+        the policy's backoff delay* (per-batch exponential growth with
+        seeded jitter, so a saturated server is not hammered in a tight
+        resend loop).  ``busy_retries`` bounds the total across the call
+        (``None`` retries forever); the policy's ``deadline_seconds``
+        bounds the whole call — replies are then awaited with a bounded
+        ``recv``, so a server dying mid-pipeline raises
+        :class:`ServeTimeoutError` instead of hanging.
         """
         results: list[tuple[np.ndarray, int] | None] = [None] * len(key_batches)
-        unsent = deque(range(len(key_batches)))
+        # (index, earliest send time); 0 = immediately.  Backoff works by
+        # re-enqueuing a rejected batch with a future ready time.
+        unsent: deque[tuple[int, float]] = deque((i, 0.0) for i in range(len(key_batches)))
+        attempts = [0] * len(key_batches)
         id_to_index: dict[int, int] = {}
         retries = 0
+        deadline = self._deadline()
         while unsent or id_to_index:
-            while unsent and len(id_to_index) < max_inflight:
-                index = unsent.popleft()
+            now = time.monotonic()
+            while unsent and len(id_to_index) < max_inflight and unsent[0][1] <= now:
+                index, _ = unsent.popleft()
                 request_id = self._next_request_id
                 self._next_request_id += 1
                 id_to_index[request_id] = index
@@ -336,7 +511,23 @@ class QueryClient:
                         ),
                     )
                 )
-            frame = self._channel.recv()
+            if not id_to_index:
+                # Nothing in flight: every pending batch is backing off.
+                # Sleep to its ready time (deadline-capped) instead of
+                # spinning on the empty window.
+                wait = unsent[0][1] - time.monotonic()
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise ServeTimeoutError(
+                            f"deadline of {self.retry_policy.deadline_seconds}s "
+                            f"exhausted with {len(unsent)} batch(es) unserved"
+                        )
+                    wait = min(wait, remaining)
+                if wait > 0:
+                    time.sleep(wait)
+                continue
+            frame = self._recv_within(deadline)
             if frame is None:
                 raise WireFormatError("server closed the channel mid-pipeline")
             msg_type, payload = decode_frame(frame)
@@ -354,7 +545,10 @@ class QueryClient:
                     raise ServerBusyError(
                         response.request_id, response.kind, response.epoch_id
                     )
-                unsent.append(index)
+                self.busy_retries += 1
+                delay = self.retry_policy.delay(attempts[index], self._retry_rng)
+                attempts[index] += 1
+                unsent.append((index, time.monotonic() + delay))
                 continue
             if len(response.estimates) != len(key_batches[index]):
                 raise WireFormatError("server returned a mismatched estimate count")
@@ -406,7 +600,12 @@ class ServingSession:
     exit shuts the server down and joins it.
     """
 
-    def __init__(self, config: ServeConfig, transport: str | Transport = "inproc") -> None:
+    def __init__(
+        self,
+        config: ServeConfig,
+        transport: str | Transport = "inproc",
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
         self.config = config
         self.transport = (
             create_transport(transport) if isinstance(transport, str) else transport
@@ -414,7 +613,7 @@ class ServingSession:
         channels = self.transport.launch(serve_main, 1)
         self._channel = channels[0]
         self._channel.send(encode_frame(MSG_CONFIG, config.to_payload()))
-        self.client = QueryClient(self._channel)
+        self.client = QueryClient(self._channel, retry_policy=retry_policy)
 
     def shutdown(self) -> None:
         try:

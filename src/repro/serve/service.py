@@ -70,6 +70,18 @@ class SketchService:
         order).  ``top_k`` then ranks *candidates*, not all keys ever seen:
         a key pruned while light is invisible to ``top_k`` until it is
         ingested again — see ``docs/api.md`` for the accuracy caveat.
+    store:
+        Optional :class:`~repro.store.SketchStore` making the epoch stream
+        durable: every ingest batch is journaled **before** the in-memory
+        insert and every published epoch is persisted from the publish
+        hook, so a restarted service recovers bit-identical to one that
+        never died.  The store must already be recovered (its journal
+        rotates on the construction-time publish).  The key directory is
+        *not* persisted — after a warm restart ``top_k`` ranks only keys
+        ingested since (documented caveat in ``docs/api.md``).
+    start_epoch / start_items:
+        Warm-restart seeding forwarded to the epoch writer (see
+        :class:`~repro.serve.snapshots.EpochWriter`).
     """
 
     def __init__(
@@ -81,6 +93,9 @@ class SketchService:
         cache_size: int = DEFAULT_CACHE_SIZE,
         track_keys: bool = True,
         max_tracked_keys: int | None = None,
+        store=None,
+        start_epoch: int = 0,
+        start_items: int = 0,
     ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be >= 0")
@@ -98,17 +113,29 @@ class SketchService:
         self.directory_prunes = 0
         # First-contact-ordered key directory (dict-as-ordered-set).
         self._keys: dict = {}
+        # Set before the writer exists: the construction-time publish fires
+        # _on_publish, which must already see the store to persist epoch 0
+        # (or the warm-restart epoch) and rotate its journal.
+        self._store = store
         self._writer = EpochWriter(
             sketch,
             factory=factory,
             publish_every_items=publish_every_items,
             publish_every_seconds=publish_every_seconds,
             on_publish=self._on_publish,
+            start_epoch=start_epoch,
+            start_items=start_items,
         )
 
     # ------------------------------------------------------------ write side
     def ingest(self, keys: Sequence[object], values: Sequence[int] | int | None = None) -> None:
         """Absorb one batch (single-writer contract, see the epoch writer)."""
+        if self._store is not None:
+            # Journal first: a batch is either durably in the WAL before it
+            # can affect an answer, or (post-crash) absent from both the
+            # journal and the sketch — never in one without the other in a
+            # direction that loses acknowledged state.
+            self._store.append_batch(keys, values)
         if self._track_keys:
             directory = self._keys
             for key in keys:
@@ -143,6 +170,12 @@ class SketchService:
         with self._cache_lock:
             self._cache.clear()
             self._cache_epoch = epoch.epoch_id
+        if self._store is not None:
+            # Persist the frozen replica (not the live sketch): the hook
+            # runs inside the writer lock, but the replica is immutable so
+            # the store reads a consistent state no matter how long the
+            # disk takes.  Degradation is handled inside the store.
+            self._store.publish_epoch(epoch.epoch_id, epoch.items, epoch.sketch)
 
     # ------------------------------------------------------------- read side
     @property
@@ -240,7 +273,7 @@ class SketchService:
         epoch = self._writer.current
         writer = self._writer
         intervals = writer.publish_count
-        return {
+        stats = {
             "epoch_id": epoch.epoch_id,
             "epoch_items": epoch.items,
             "items_ingested": writer.items_ingested,
@@ -260,3 +293,12 @@ class SketchService:
             "cache_misses": self.cache_misses,
             "algorithm": writer.live_sketch.name,
         }
+        if self._store is not None:
+            stats["store"] = self._store.stats()
+        return stats
+
+    # --------------------------------------------------------------- teardown
+    def close(self) -> None:
+        """Release the durable store's journal handle (no-op without one)."""
+        if self._store is not None:
+            self._store.close()

@@ -104,9 +104,16 @@ class EpochWriter:
         references, metrics) are never behind a reader that already sees
         the new epoch.
 
-    Epoch 0 (the empty sketch) is published at construction, so readers
-    always have a consistent epoch to query — a service is never "not yet
-    ready", it is simply at epoch 0.
+    start_epoch / start_items:
+        Warm-restart seeding: the first published epoch takes id
+        ``start_epoch`` and the item counter starts at ``start_items``.
+        The durable store's recovery path hands a restarted writer the
+        recovered sketch plus these, so the epoch/item sequence resumes
+        where the dead process left off instead of restarting at zero.
+
+    Epoch ``start_epoch`` (0 by default — the empty sketch) is published at
+    construction, so readers always have a consistent epoch to query — a
+    service is never "not yet ready", it is simply at its first epoch.
     """
 
     def __init__(
@@ -116,18 +123,25 @@ class EpochWriter:
         publish_every_items: int = DEFAULT_PUBLISH_EVERY_ITEMS,
         publish_every_seconds: float | None = None,
         on_publish: Callable[[EpochSnapshot], None] | None = None,
+        start_epoch: int = 0,
+        start_items: int = 0,
     ) -> None:
         if publish_every_items <= 0:
             raise ValueError("publish_every_items must be positive")
         if publish_every_seconds is not None and publish_every_seconds <= 0:
             raise ValueError("publish_every_seconds must be positive")
+        if start_epoch < 0:
+            raise ValueError("start_epoch must be non-negative")
+        if start_items < 0:
+            raise ValueError("start_items must be non-negative")
         self._sketch = sketch
         self._factory = factory
         self.publish_every_items = publish_every_items
         self.publish_every_seconds = publish_every_seconds
         self._on_publish = on_publish
+        self._start_epoch = start_epoch
         self._lock = threading.Lock()
-        self.items_ingested = 0
+        self.items_ingested = start_items
         #: Publish-interval accounting (items between consecutive publishes);
         #: the staleness series of ``BENCH_serving.json``.
         self.publish_count = 0
@@ -179,7 +193,7 @@ class EpochWriter:
     def _publish_locked(self) -> EpochSnapshot:
         previous = self._current
         epoch = EpochSnapshot(
-            epoch_id=0 if previous is None else previous.epoch_id + 1,
+            epoch_id=self._start_epoch if previous is None else previous.epoch_id + 1,
             items=self.items_ingested,
             sketch=replicate_sketch(self._sketch, self._factory),
             published_at=time.perf_counter(),

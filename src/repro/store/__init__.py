@@ -1,0 +1,42 @@
+"""Durable, crash-safe persistence for published sketch epochs.
+
+``repro.store`` is the at-rest layer of the serving stack: checksummed,
+format-versioned snapshot files plus a write-ahead journal of
+post-snapshot ingest batches, written through a narrow filesystem seam so
+deterministic crash injection can prove recovery bit-identical.  See
+:mod:`repro.store.store` for the design argument.
+"""
+
+from repro.store.faultfs import (
+    CrashInjectingFileSystem,
+    CrashPlan,
+    FileSystem,
+    InjectedCrash,
+)
+from repro.store.format import (
+    STORE_FORMAT_VERSION,
+    StoreCorruptionError,
+    StoreError,
+)
+from repro.store.partitions import PartitionStore
+from repro.store.store import (
+    DEFAULT_RETENTION_EPOCHS,
+    QUARANTINE_DIR,
+    RecoveryReport,
+    SketchStore,
+)
+
+__all__ = [
+    "CrashInjectingFileSystem",
+    "CrashPlan",
+    "DEFAULT_RETENTION_EPOCHS",
+    "FileSystem",
+    "InjectedCrash",
+    "PartitionStore",
+    "QUARANTINE_DIR",
+    "RecoveryReport",
+    "SketchStore",
+    "STORE_FORMAT_VERSION",
+    "StoreCorruptionError",
+    "StoreError",
+]

@@ -1,0 +1,317 @@
+"""Deterministic crash injection for the durable store's disk I/O.
+
+The crash-safety claims of :mod:`repro.store.store` are only worth what
+their tests can *prove*, and real crashes are not reproducible.  This
+module is the at-rest sibling of :mod:`repro.distributed.fault`: the store
+performs every disk operation through a :class:`FileSystem` object, and
+:class:`CrashInjectingFileSystem` wraps the real one with a
+:class:`CrashPlan` — a schedule expressed in **syscall counters and byte
+offsets**, not wall clocks, so the same plan produces the same torn file on
+every run.
+
+A scheduled crash raises :class:`InjectedCrash`, which deliberately
+subclasses ``BaseException``: the store's graceful-degradation handlers
+catch ``OSError`` (a *failing* disk is survivable), but a crash is the
+process dying mid-syscall — nothing in the store may catch it.  The test
+harness catches it at the top, throws the store object away (the "process"
+is gone), and reopens the directory with a clean filesystem to exercise
+recovery, exactly like the chaos suites reopen a fleet after a link kill.
+
+Every decision is recorded (``writes``, ``bytes_written``, ``fsyncs``,
+``replaces``, ``crashed``) so a test can assert the schedule fired before
+asserting what recovery did about it.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import time
+from dataclasses import dataclass, field
+
+
+class InjectedCrash(BaseException):
+    """The simulated process died mid-syscall.
+
+    ``BaseException`` on purpose: the store catches ``OSError`` to degrade
+    gracefully, and a crash must never be mistaken for a survivable disk
+    error — it has to unwind through the store untouched.
+    """
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """One store's deterministic crash/corruption schedule.
+
+    All counters are 0-based operation indices as issued by the store.
+    ``None`` disables a fault.  Exactly like :class:`~repro.distributed.fault.FaultPlan`,
+    counters (not clocks) are what make a plan replayable.
+    """
+
+    #: Crash *during* this write call, after letting ``write_prefix`` bytes
+    #: through — the torn-write window of a real kill.
+    crash_at_write: int | None = None
+    #: Bytes of the fatal write that reach the file (0 = none).
+    write_prefix: int = 0
+    #: Crash when cumulative bytes written would cross this absolute offset;
+    #: the partial write up to the offset lands.  Drives kill-at-offset
+    #: sweeps over a whole run's write stream.
+    crash_at_byte: int | None = None
+    #: Crash on this fsync call, *before* anything is made durable.
+    crash_at_fsync: int | None = None
+    #: Crash on this replace (atomic rename) call; ``replace_completes``
+    #: decides whether the rename landed before the process died.
+    crash_at_replace: int | None = None
+    replace_completes: bool = False
+    #: fsync calls that fail with ``OSError`` (disk full / I/O error) —
+    #: survivable faults exercising the degradation path, not crashes.
+    fail_fsyncs: frozenset[int] = field(default_factory=frozenset)
+    #: write calls that fail with ``OSError`` (disk full).
+    fail_writes: frozenset[int] = field(default_factory=frozenset)
+    #: Deterministic pacing: every fsync takes at least this long (drives
+    #: the slow-fsync demotion threshold).
+    delay_fsync_seconds: float = 0.0
+    #: Silent corruption: on write call ``garble_write``, XOR the byte at
+    #: ``garble_offset`` (within that write) with ``garble_mask`` before it
+    #: hits the disk.  Models firmware/medium bit rot that fsync cannot see.
+    garble_write: int | None = None
+    garble_offset: int = 0
+    garble_mask: int = 0xFF
+
+    def __post_init__(self) -> None:
+        if self.write_prefix < 0:
+            raise ValueError("write_prefix must be non-negative")
+        if self.delay_fsync_seconds < 0:
+            raise ValueError("delay_fsync_seconds must be non-negative")
+        if not 0 <= self.garble_mask <= 0xFF:
+            raise ValueError("garble_mask must be a byte")
+
+
+class FileSystem:
+    """The store's complete disk surface, one syscall per method.
+
+    The real implementation is a thin veneer over ``os``/``shutil``; its
+    value is that every byte the store moves flows through one narrow,
+    wrappable interface.  Handles are plain binary file objects — wrappers
+    interpose on the *calls*, not the handles.
+    """
+
+    def makedirs(self, path: str) -> None:
+        os.makedirs(path, exist_ok=True)
+
+    def listdir(self, path: str) -> list[str]:
+        return sorted(os.listdir(path))
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def file_size(self, path: str) -> int:
+        return os.path.getsize(path)
+
+    def read_bytes(self, path: str) -> bytes:
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def open_write(self, path: str):
+        """Open for writing, truncating (snapshot temp files).
+
+        Unbuffered on purpose: every :meth:`write` reaches the OS before it
+        returns, so a simulated crash between two writes leaves exactly the
+        bytes written so far in the file — never a Python-level buffer that
+        a leaked handle could flush *after* "death", which would make torn
+        files nondeterministic.
+        """
+        return open(path, "wb", buffering=0)
+
+    def open_append(self, path: str):
+        """Open for appending (the live WAL); unbuffered, see :meth:`open_write`."""
+        return open(path, "ab", buffering=0)
+
+    def write(self, handle, data: bytes) -> None:
+        handle.write(data)
+
+    def fsync(self, handle) -> None:
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def close(self, handle) -> None:
+        handle.close()
+
+    def replace(self, src: str, dst: str) -> None:
+        """Atomic rename — the commit point of a snapshot publish."""
+        os.replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        os.remove(path)
+
+    def move(self, src: str, dst: str) -> None:
+        """Rename across names (quarantine moves); never overwrites."""
+        os.rename(src, dst)
+
+    def copy(self, src: str, dst: str) -> None:
+        shutil.copyfile(src, dst)
+
+    def truncate(self, path: str, size: int) -> None:
+        """Shrink a file in place (torn-tail repair; only ever shrinks)."""
+        with open(path, "r+b") as handle:
+            handle.truncate(size)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def fsync_dir(self, path: str) -> None:
+        """Make a directory entry (create/rename/remove) durable."""
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return  # platform without directory fsync — best effort
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+class CrashInjectingFileSystem(FileSystem):
+    """A :class:`FileSystem` decorator executing a :class:`CrashPlan`.
+
+    Once a crash fires the filesystem is *dead*: every further operation
+    raises :class:`InjectedCrash`, because a real dead process issues no
+    further syscalls — a store that kept going after one would be a bug in
+    the harness's model, and this makes it loud.
+    """
+
+    def __init__(self, inner: FileSystem | None = None, plan: CrashPlan | None = None) -> None:
+        self.inner = inner or FileSystem()
+        self.plan = plan or CrashPlan()
+        self.writes = 0
+        self.bytes_written = 0
+        self.fsyncs = 0
+        self.replaces = 0
+        self.truncates = 0
+        self.crashed = False
+        self.garbled = False
+
+    # -- schedule execution -------------------------------------------------
+
+    def _crash(self, what: str) -> None:
+        self.crashed = True
+        raise InjectedCrash(what)
+
+    def _check_dead(self) -> None:
+        if self.crashed:
+            raise InjectedCrash("filesystem operation after injected crash")
+
+    # -- interposed operations ----------------------------------------------
+
+    def write(self, handle, data: bytes) -> None:
+        self._check_dead()
+        plan = self.plan
+        index = self.writes
+        self.writes += 1
+        if index in plan.fail_writes:
+            raise OSError(28, "injected disk full")  # ENOSPC
+        if plan.garble_write == index and data:
+            offset = min(plan.garble_offset, len(data) - 1)
+            garbled = bytearray(data)
+            garbled[offset] ^= plan.garble_mask
+            data = bytes(garbled)
+            self.garbled = True
+        if plan.crash_at_write == index:
+            prefix = min(plan.write_prefix, len(data))
+            if prefix:
+                self.inner.write(handle, data[:prefix])
+                self.bytes_written += prefix
+            self._crash(f"crash during write #{index}")
+        if plan.crash_at_byte is not None and self.bytes_written + len(data) > plan.crash_at_byte:
+            prefix = max(0, plan.crash_at_byte - self.bytes_written)
+            if prefix:
+                self.inner.write(handle, data[:prefix])
+                self.bytes_written += prefix
+            self._crash(f"crash at byte offset {plan.crash_at_byte}")
+        self.inner.write(handle, data)
+        self.bytes_written += len(data)
+
+    def fsync(self, handle) -> None:
+        self._check_dead()
+        index = self.fsyncs
+        self.fsyncs += 1
+        if self.plan.crash_at_fsync == index:
+            self._crash(f"crash during fsync #{index}")
+        if index in self.plan.fail_fsyncs:
+            raise OSError(5, "injected I/O error on fsync")  # EIO
+        if self.plan.delay_fsync_seconds:
+            time.sleep(self.plan.delay_fsync_seconds)
+        self.inner.fsync(handle)
+
+    def replace(self, src: str, dst: str) -> None:
+        self._check_dead()
+        index = self.replaces
+        self.replaces += 1
+        if self.plan.crash_at_replace == index:
+            if self.plan.replace_completes:
+                self.inner.replace(src, dst)
+            self._crash(f"crash during replace #{index}")
+        self.inner.replace(src, dst)
+
+    def truncate(self, path: str, size: int) -> None:
+        self._check_dead()
+        self.truncates += 1
+        self.inner.truncate(path, size)
+
+    # -- pass-throughs (guarded: a dead process issues no syscalls) ---------
+
+    def makedirs(self, path: str) -> None:
+        self._check_dead()
+        self.inner.makedirs(path)
+
+    def listdir(self, path: str) -> list[str]:
+        self._check_dead()
+        return self.inner.listdir(path)
+
+    def exists(self, path: str) -> bool:
+        self._check_dead()
+        return self.inner.exists(path)
+
+    def file_size(self, path: str) -> int:
+        self._check_dead()
+        return self.inner.file_size(path)
+
+    def read_bytes(self, path: str) -> bytes:
+        self._check_dead()
+        return self.inner.read_bytes(path)
+
+    def open_write(self, path: str):
+        self._check_dead()
+        return self.inner.open_write(path)
+
+    def open_append(self, path: str):
+        self._check_dead()
+        return self.inner.open_append(path)
+
+    def close(self, handle) -> None:
+        # Closing is allowed even after a crash: the harness's cleanup path
+        # (and CPython's GC) closes handles the dead "process" leaked.
+        self.inner.close(handle)
+
+    def remove(self, path: str) -> None:
+        self._check_dead()
+        self.inner.remove(path)
+
+    def move(self, src: str, dst: str) -> None:
+        self._check_dead()
+        self.inner.move(src, dst)
+
+    def copy(self, src: str, dst: str) -> None:
+        self._check_dead()
+        self.inner.copy(src, dst)
+
+    def fsync_dir(self, path: str) -> None:
+        self._check_dead()
+        index = self.fsyncs
+        self.fsyncs += 1
+        if self.plan.crash_at_fsync == index:
+            self._crash(f"crash during directory fsync #{index}")
+        if index in self.plan.fail_fsyncs:
+            raise OSError(5, "injected I/O error on fsync")
+        if self.plan.delay_fsync_seconds:
+            time.sleep(self.plan.delay_fsync_seconds)
+        self.inner.fsync_dir(path)

@@ -1,0 +1,151 @@
+"""Durable per-partition checkpoints for the dynamic ingest coordinator.
+
+The coordinator already keeps an in-memory snapshot + journal per
+partition (its failure-recovery source).  :class:`PartitionStore` mirrors
+the snapshot half onto disk — one checksummed, atomically-replaced file
+per partition, same format armor as the epoch store — so a coordinator
+restart can resume a fleet from disk instead of from a survivor's memory:
+``DynamicIngestCoordinator(..., store=PartitionStore(dir))`` persists every
+checkpoint/collect/handoff snapshot, and a new coordinator constructed
+over the same directory installs the persisted states into its workers
+before ingesting another item.
+
+Unlike the epoch store there is no journal here: the coordinator's
+checkpoint cadence (``journal_limit``) already bounds the replay window,
+and batches between checkpoints remain the *stream's* responsibility —
+the durable unit is the fenced, quiesced partition snapshot, which is the
+only state the handoff protocol itself trusts.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import numpy as np
+
+from repro.store.faultfs import FileSystem
+from repro.store.format import (
+    StoreCorruptionError,
+    StoreError,
+    decode_snapshot_file,
+    encode_snapshot_file,
+)
+
+QUARANTINE_DIR = "quarantine"
+
+_PARTITION_NAME = re.compile(r"^partition-(\d{5})\.snap$")
+
+
+def partition_filename(partition: int) -> str:
+    return f"partition-{partition:05d}.snap"
+
+
+class PartitionStore:
+    """One directory of per-partition checkpoint files.
+
+    ``algorithm`` (optional) pins the sketch family; a persisted checkpoint
+    naming another family raises :class:`StoreError` on load.  Corrupt
+    checkpoint files are quarantined and loading raises
+    :class:`StoreCorruptionError` — a fleet must never silently resume
+    with a partition's history missing.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        algorithm: str | None = None,
+        sync: bool = True,
+        fs: FileSystem | None = None,
+    ) -> None:
+        self.directory = directory
+        self.algorithm = algorithm
+        self.sync = sync
+        self._fs = fs or FileSystem()
+        self._fs.makedirs(directory)
+        self._fs.makedirs(os.path.join(directory, QUARANTINE_DIR))
+        self.saves = 0
+        self.quarantined_files = 0
+
+    def _path(self, name: str) -> str:
+        return os.path.join(self.directory, name)
+
+    def _quarantine(self, name: str) -> str:
+        destination = os.path.join(QUARANTINE_DIR, name)
+        suffix = 0
+        while self._fs.exists(self._path(destination)):
+            suffix += 1
+            destination = os.path.join(QUARANTINE_DIR, f"{name}.{suffix}")
+        self._fs.move(self._path(name), self._path(destination))
+        self.quarantined_files += 1
+        return destination
+
+    # ------------------------------------------------------------------ api
+    def save(
+        self,
+        partition: int,
+        state: dict[str, np.ndarray],
+        meta: dict,
+        algorithm: str,
+    ) -> None:
+        """Atomically persist one partition's checkpoint (latest wins)."""
+        blob = encode_snapshot_file(state, algorithm, {**meta, "partition": partition})
+        name = partition_filename(partition)
+        tmp = self._path(name + ".tmp")
+        handle = self._fs.open_write(tmp)
+        try:
+            self._fs.write(handle, blob)
+            if self.sync:
+                self._fs.fsync(handle)
+        finally:
+            self._fs.close(handle)
+        self._fs.replace(tmp, self._path(name))
+        self._fs.fsync_dir(self.directory)
+        self.saves += 1
+
+    def load_all(self) -> dict[int, tuple[dict[str, np.ndarray], dict]]:
+        """Every persisted partition's ``(state, meta)``, keyed by partition.
+
+        Raises :class:`StoreCorruptionError` after quarantining if any
+        checkpoint fails validation — partial resume is not offered.
+        """
+        checkpoints: dict[int, tuple[dict[str, np.ndarray], dict]] = {}
+        corrupt: list[str] = []
+        for name in self._fs.listdir(self.directory):
+            if name == QUARANTINE_DIR:
+                continue
+            if name.endswith(".tmp"):
+                corrupt.append(self._quarantine(name))
+                continue
+            match = _PARTITION_NAME.match(name)
+            if match is None:
+                corrupt.append(self._quarantine(name))
+                continue
+            partition = int(match.group(1))
+            try:
+                blob = self._fs.read_bytes(self._path(name))
+                state, algorithm, meta = decode_snapshot_file(blob)
+            except (StoreCorruptionError, OSError):
+                corrupt.append(self._quarantine(name))
+                continue
+            if self.algorithm is not None and algorithm != self.algorithm:
+                raise StoreError(
+                    f"partition store holds {algorithm!r}, expected {self.algorithm!r}"
+                )
+            checkpoints[partition] = (state, meta)
+        if corrupt:
+            raise StoreCorruptionError(
+                f"partition store at {self.directory} has corrupt checkpoints "
+                f"(quarantined: {', '.join(corrupt)})"
+            )
+        return checkpoints
+
+    def partitions(self) -> list[int]:
+        """Partitions with a persisted checkpoint (no validation)."""
+        found = []
+        for name in self._fs.listdir(self.directory):
+            match = _PARTITION_NAME.match(name)
+            if match is not None:
+                found.append(int(match.group(1)))
+        return sorted(found)

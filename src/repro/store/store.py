@@ -1,0 +1,584 @@
+"""The durable epoch store: crash-safe persistence for published sketches.
+
+:class:`SketchStore` owns one directory and persists the serving layer's
+epoch stream into it with two complementary structures:
+
+* **Snapshot files** — each published epoch's ``state_snapshot()`` written
+  whole, checksummed and format-versioned (:mod:`repro.store.format`),
+  committed atomically: write to ``*.tmp`` → fsync → ``os.replace`` →
+  directory fsync.  A snapshot either exists completely or not at all; a
+  crash at any byte of the write leaves the previous epoch untouched.
+* **A write-ahead journal** — every ingest batch accepted *after* the last
+  snapshot, appended (and by default fsynced) to ``wal-<epoch>.log``
+  **before** the in-memory insert.  Recovery is therefore lossless up to
+  the last fsynced frame: restored state = newest valid snapshot + replay
+  of its journal's valid prefix, and the replay is bit-identical because
+  ``insert_batch`` is pinned chunking-stable for every family.
+
+Recovery (:meth:`SketchStore.recover`) trusts nothing: it scans for the
+newest epoch whose checksum and version validate, moves everything torn or
+corrupt into ``quarantine/`` (files are **never deleted silently** — the
+only sanctioned deletions are the compaction policy's, and those are
+counted), repairs a torn journal tail by truncating to the last valid
+frame after preserving the original in quarantine, and raises a typed
+:class:`~repro.store.format.StoreCorruptionError` if state existed but
+none of it can be trusted — a cold start only ever happens on a genuinely
+empty directory.
+
+A failing disk must not take ingest down with it: any ``OSError`` (disk
+full, I/O error) or an fsync slower than ``max_sync_seconds`` **demotes
+the store to in-memory-only** — appends and publishes become counted
+no-ops (``dropped_batches``/``dropped_publishes``, surfaced through
+``stats()`` and the serving layer) and the service keeps answering from
+memory.  Degradation is one-way until the operator intervenes: a disk that
+failed once is not quietly trusted again.
+
+Every disk operation goes through the :class:`~repro.store.faultfs.FileSystem`
+seam, so the crash-injection suites can kill, truncate and garble writes
+at scheduled byte offsets and prove all of the above deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.store.faultfs import FileSystem
+from repro.store.format import (
+    StoreCorruptionError,
+    StoreError,
+    WAL_HEADER_BYTES,
+    decode_snapshot_file,
+    encode_snapshot_file,
+    encode_wal_frame,
+    encode_wal_header,
+    parse_snapshot_filename,
+    parse_wal_filename,
+    read_wal,
+    snapshot_filename,
+    wal_filename,
+)
+
+#: Snapshots kept by compaction (newest first).  Two means one full epoch
+#: of fallback if the newest file rots on the medium after its fsync.
+DEFAULT_RETENTION_EPOCHS = 2
+
+#: Subdirectory receiving torn/corrupt files.  Never touched by compaction.
+QUARANTINE_DIR = "quarantine"
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :meth:`SketchStore.recover` found and did.
+
+    ``items`` counts the snapshot's items; ``wal_items`` the journal items
+    replayed on top; ``items_total`` is the warm sketch's true count.
+    ``state`` and ``batches`` carry the recovered payload for
+    :meth:`SketchStore.restore_into` (excluded from ``repr`` — they are
+    arrays, not provenance).
+    """
+
+    epoch_id: int
+    items: int
+    algorithm: str
+    wal_frames: int
+    wal_items: int
+    wal_tail_error: str | None
+    quarantined: tuple[str, ...]
+    meta: dict = field(repr=False)
+    state: dict[str, np.ndarray] = field(repr=False)
+    batches: tuple = field(repr=False)
+
+    @property
+    def items_total(self) -> int:
+        return self.items + self.wal_items
+
+
+class SketchStore:
+    """Durable, crash-safe persistence for one sketch's epoch stream.
+
+    Parameters
+    ----------
+    directory:
+        The store's root.  Created (with its ``quarantine/``) if missing.
+    algorithm:
+        Optional registry name pinning what this store may hold; a
+        recovered snapshot naming a different family raises
+        :class:`StoreError` (a configuration error, not corruption).
+    retention_epochs:
+        Snapshots kept by compaction, newest first (≥ 1).
+    snapshot_every_epochs:
+        Snapshot cadence: write a snapshot file every Nth published epoch,
+        letting the journal carry the epochs between — trades recovery
+        replay time for snapshot write amplification.
+    max_bytes:
+        Optional size budget: compaction drops retained snapshots (never
+        the newest) oldest-first until under budget.
+    sync:
+        fsync every journal append (the durability default).  ``False``
+        leaves WAL durability to the OS page cache — faster, lossy on
+        power failure, still torn-tail-safe.
+    max_sync_seconds:
+        Optional demotion threshold: an fsync slower than this degrades
+        the store to in-memory-only rather than stalling ingest forever.
+    fs:
+        The disk seam; tests substitute a
+        :class:`~repro.store.faultfs.CrashInjectingFileSystem`.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        algorithm: str | None = None,
+        retention_epochs: int = DEFAULT_RETENTION_EPOCHS,
+        snapshot_every_epochs: int = 1,
+        max_bytes: int | None = None,
+        sync: bool = True,
+        max_sync_seconds: float | None = None,
+        fs: FileSystem | None = None,
+    ) -> None:
+        if retention_epochs < 1:
+            raise ValueError("retention_epochs must be at least 1")
+        if snapshot_every_epochs < 1:
+            raise ValueError("snapshot_every_epochs must be at least 1")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        if max_sync_seconds is not None and max_sync_seconds <= 0:
+            raise ValueError("max_sync_seconds must be positive")
+        self.directory = directory
+        self.algorithm = algorithm
+        self.retention_epochs = retention_epochs
+        self.snapshot_every_epochs = snapshot_every_epochs
+        self.max_bytes = max_bytes
+        self.sync = sync
+        self.max_sync_seconds = max_sync_seconds
+        self._fs = fs or FileSystem()
+        self._fs.makedirs(directory)
+        self._fs.makedirs(os.path.join(directory, QUARANTINE_DIR))
+
+        #: One-way demotion flag; see module docstring.
+        self.degraded = False
+        self.degrade_reason: str | None = None
+        # -- loud counters (all surfaced through stats()) -------------------
+        self.snapshots_written = 0
+        self.wal_frames_appended = 0
+        self.wal_items_appended = 0
+        self.dropped_batches = 0
+        self.dropped_publishes = 0
+        self.store_errors = 0
+        self.slow_syncs = 0
+        self.compacted_files = 0
+        self.quarantined_files = 0
+
+        self._wal_handle = None
+        self._wal_epoch: int | None = None
+        self._last_snapshot_epoch: int | None = None
+
+    # ------------------------------------------------------------- plumbing
+    def _path(self, name: str) -> str:
+        return os.path.join(self.directory, name)
+
+    def _timed_sync(self, handle) -> None:
+        """fsync, demoting (after the sync completes) if it was too slow."""
+        started = time.perf_counter()
+        self._fs.fsync(handle)
+        elapsed = time.perf_counter() - started
+        if self.max_sync_seconds is not None and elapsed > self.max_sync_seconds:
+            self.slow_syncs += 1
+            self._degrade(f"fsync took {elapsed:.3f}s (threshold {self.max_sync_seconds}s)")
+
+    def _degrade(self, reason: str) -> None:
+        """Demote to in-memory-only.  One-way; every cause is counted."""
+        self.store_errors += 1
+        if not self.degraded:
+            self.degraded = True
+            self.degrade_reason = reason
+        if self._wal_handle is not None:
+            try:
+                self._fs.close(self._wal_handle)
+            except OSError:
+                pass
+            self._wal_handle = None
+            self._wal_epoch = None
+
+    def _quarantine(self, name: str, *, copy: bool = False) -> str:
+        """Move (or copy) a file into ``quarantine/``, never overwriting."""
+        destination = os.path.join(QUARANTINE_DIR, name)
+        suffix = 0
+        while self._fs.exists(self._path(destination)):
+            suffix += 1
+            destination = os.path.join(QUARANTINE_DIR, f"{name}.{suffix}")
+        if copy:
+            self._fs.copy(self._path(name), self._path(destination))
+        else:
+            self._fs.move(self._path(name), self._path(destination))
+        self.quarantined_files += 1
+        return destination
+
+    def _scan(self) -> tuple[list[tuple[int, str]], list[tuple[int, str]], list[str]]:
+        """Directory contents split into (snapshots, wals, strays), ids descending."""
+        snapshots: list[tuple[int, str]] = []
+        wals: list[tuple[int, str]] = []
+        strays: list[str] = []
+        for name in self._fs.listdir(self.directory):
+            if name == QUARANTINE_DIR:
+                continue
+            epoch = parse_snapshot_filename(name)
+            if epoch is not None:
+                snapshots.append((epoch, name))
+                continue
+            epoch = parse_wal_filename(name)
+            if epoch is not None:
+                wals.append((epoch, name))
+                continue
+            strays.append(name)
+        snapshots.sort(reverse=True)
+        wals.sort(reverse=True)
+        return snapshots, wals, strays
+
+    # ------------------------------------------------------------- recovery
+    def recover(self) -> RecoveryReport | None:
+        """Scan the directory and return the newest trustworthy state.
+
+        Returns ``None`` for a genuinely empty store (cold start).  If any
+        sketch state existed but nothing validates, raises
+        :class:`StoreCorruptionError` — silently starting cold over an
+        unreadable history would *be* the wrong-counts bug this store
+        exists to prevent.
+        """
+        if self._wal_handle is not None:
+            raise StoreError("recover() on a store with an open journal")
+        snapshots, wals, strays = self._scan()
+        quarantined: list[str] = []
+        # Interrupted snapshot writes (never renamed, so never trusted) and
+        # anything else unidentifiable goes straight to quarantine.
+        for name in strays:
+            quarantined.append(self._quarantine(name))
+
+        chosen = None
+        for epoch_id, name in snapshots:
+            try:
+                blob = self._fs.read_bytes(self._path(name))
+                state, algorithm, meta = decode_snapshot_file(blob)
+            except StoreCorruptionError:
+                quarantined.append(self._quarantine(name))
+                continue
+            except OSError:
+                quarantined.append(self._quarantine(name))
+                continue
+            if self.algorithm is not None and algorithm != self.algorithm:
+                raise StoreError(
+                    f"store at {self.directory} holds {algorithm!r}, expected {self.algorithm!r}"
+                )
+            chosen = (epoch_id, state, algorithm, meta)
+            break
+
+        if chosen is None:
+            if snapshots or wals:
+                for _, name in wals:
+                    quarantined.append(self._quarantine(name))
+                raise StoreCorruptionError(
+                    f"store at {self.directory} holds state but no epoch validates "
+                    f"({len(quarantined)} file(s) quarantined)"
+                )
+            return None
+
+        epoch_id, state, algorithm, meta = chosen
+        # Journals for *other* epochs: newer ones extend a snapshot we could
+        # not trust (their frames have no base to replay onto) — quarantine;
+        # older ones are subsumed by the chosen snapshot — compaction's job.
+        batches: tuple = ()
+        wal_tail_error: str | None = None
+        wal_seen = False
+        for wal_epoch, name in wals:
+            if wal_epoch > epoch_id:
+                quarantined.append(self._quarantine(name))
+            elif wal_epoch == epoch_id:
+                wal_seen = True
+                try:
+                    blob = self._fs.read_bytes(self._path(name))
+                    contents = read_wal(blob)
+                except (StoreCorruptionError, OSError):
+                    # The journal's own header is untrustworthy: keep the
+                    # snapshot, lose the journal — loudly.
+                    quarantined.append(self._quarantine(name))
+                    wal_tail_error = "journal header invalid; journal quarantined"
+                    self._create_wal(epoch_id)
+                    continue
+                if contents.tail_error is not None:
+                    # Preserve the torn original, then repair in place by
+                    # truncating to the valid prefix (idempotent: shrinking
+                    # to a boundary we already validated is crash-safe).
+                    quarantined.append(self._quarantine(name, copy=True))
+                    self._fs.truncate(self._path(name), contents.valid_bytes)
+                    wal_tail_error = contents.tail_error
+                batches = contents.batches
+        if not wal_seen:
+            self._create_wal(epoch_id)
+
+        self._wal_epoch = epoch_id
+        self._wal_handle = self._fs.open_append(self._path(wal_filename(epoch_id)))
+        self._last_snapshot_epoch = epoch_id
+        return RecoveryReport(
+            epoch_id=epoch_id,
+            items=int(meta.get("items", 0)),
+            algorithm=algorithm,
+            wal_frames=len(batches),
+            wal_items=sum(len(batch) for batch, _ in batches),
+            wal_tail_error=wal_tail_error,
+            quarantined=tuple(quarantined),
+            meta=meta,
+            state=state,
+            batches=batches,
+        )
+
+    def restore_into(self, factory) -> tuple[object, RecoveryReport] | None:
+        """Recover and materialise the warm sketch: ``factory()`` restored
+        from the snapshot, journal replayed through ``insert_batch``.
+
+        Returns ``None`` on a cold start.  The replay is bit-identical to
+        the original inserts by the batch datapath's chunking-parity
+        contract (including RNG draw counters, which ride in the state).
+        """
+        report = self.recover()
+        if report is None:
+            return None
+        sketch = factory()
+        sketch.state_restore(report.state)
+        for batch, values in report.batches:
+            sketch.insert_batch(batch, values)
+        return sketch, report
+
+    # ----------------------------------------------------------- write path
+    def append_batch(self, keys, values=None) -> bool:
+        """Journal one ingest batch; call **before** the in-memory insert.
+
+        Returns ``True`` if the frame is durably in the journal, ``False``
+        if the store is degraded (the batch is counted, not persisted).
+        """
+        if self.degraded:
+            self.dropped_batches += 1
+            return False
+        if self._wal_handle is None:
+            raise StoreError("append_batch with no open journal (publish or recover first)")
+        frame = encode_wal_frame(keys, values)
+        try:
+            self._fs.write(self._wal_handle, frame)
+            if self.sync:
+                self._timed_sync(self._wal_handle)
+        except OSError as error:
+            self._degrade(f"journal append failed: {error}")
+            self.dropped_batches += 1
+            return False
+        self.wal_frames_appended += 1
+        self.wal_items_appended += len(keys)
+        return True
+
+    def publish_epoch(self, epoch_id: int, items: int, sketch) -> bool:
+        """Persist a published epoch: snapshot file, then journal rotation.
+
+        ``sketch`` is the frozen epoch replica (anything with
+        ``state_snapshot()``), or a ready state dict.  Epochs between
+        snapshot cadence points return ``False`` and keep journaling.
+        Ordering is the crash-safety argument: the snapshot *commits*
+        (rename + directory fsync) before the old journal is touched, so
+        every crash window leaves either (old snapshot + full journal) or
+        (new snapshot + empty/absent journal) — both recover exactly.
+        """
+        if self.degraded:
+            self.dropped_publishes += 1
+            return False
+        if (
+            self._last_snapshot_epoch is not None
+            and epoch_id - self._last_snapshot_epoch < self.snapshot_every_epochs
+        ):
+            return False
+        state = sketch.state_snapshot() if hasattr(sketch, "state_snapshot") else sketch
+        algorithm = self.algorithm or getattr(sketch, "name", "unknown")
+        meta = {"epoch_id": epoch_id, "items": int(items), "algorithm": algorithm}
+        try:
+            self._write_snapshot(epoch_id, state, algorithm, meta)
+            if not self.degraded:  # a slow fsync can demote mid-publish
+                self._rotate_wal(epoch_id)
+        except OSError as error:
+            self._degrade(f"snapshot publish failed: {error}")
+            self.dropped_publishes += 1
+            return False
+        if not self.degraded:
+            self.compact()
+        return True
+
+    def _write_snapshot(self, epoch_id: int, state, algorithm: str, meta: dict) -> None:
+        blob = encode_snapshot_file(state, algorithm, meta)
+        name = snapshot_filename(epoch_id)
+        tmp = self._path(name + ".tmp")
+        handle = self._fs.open_write(tmp)
+        try:
+            self._fs.write(handle, blob)
+            self._timed_sync(handle)
+        finally:
+            self._fs.close(handle)
+        self._fs.replace(tmp, self._path(name))
+        self._fs.fsync_dir(self.directory)
+        self._last_snapshot_epoch = epoch_id
+        self.snapshots_written += 1
+
+    def _create_wal(self, epoch_id: int) -> None:
+        """Write a fresh journal header durably (no open handle kept)."""
+        path = self._path(wal_filename(epoch_id))
+        handle = self._fs.open_write(path)
+        try:
+            self._fs.write(handle, encode_wal_header(epoch_id))
+            self._timed_sync(handle)
+        finally:
+            self._fs.close(handle)
+        self._fs.fsync_dir(self.directory)
+
+    def _rotate_wal(self, epoch_id: int) -> None:
+        """Open the journal extending the just-committed snapshot."""
+        if self._wal_handle is not None:
+            self._fs.close(self._wal_handle)
+            self._wal_handle = None
+        self._create_wal(epoch_id)
+        self._wal_handle = self._fs.open_append(self._path(wal_filename(epoch_id)))
+        self._wal_epoch = epoch_id
+
+    # ----------------------------------------------------------- maintenance
+    def compact(self) -> int:
+        """Apply the retention policy; returns the number of files removed.
+
+        Keeps the newest ``retention_epochs`` snapshots, then drops
+        retained ones oldest-first (never the newest) while over
+        ``max_bytes``.  Journals older than the newest snapshot are
+        subsumed by it and removed.  ``quarantine/`` is never touched —
+        compaction is the *only* sanctioned deletion path, and every
+        removal is counted in ``compacted_files``.
+        """
+        snapshots, wals, _ = self._scan()
+        removed = 0
+        if not snapshots:
+            return 0
+        newest_epoch = snapshots[0][0]
+        keep = snapshots[: self.retention_epochs]
+        drop = snapshots[self.retention_epochs :]
+        if self.max_bytes is not None:
+            sizes = {name: self._safe_size(name) for _, name in keep}
+            total = sum(sizes.values())
+            while len(keep) > 1 and total > self.max_bytes:
+                victim = keep.pop()  # oldest retained; never the newest
+                total -= sizes[victim[1]]
+                drop.append(victim)
+        for _, name in drop:
+            try:
+                self._fs.remove(self._path(name))
+                removed += 1
+            except OSError:
+                self.store_errors += 1
+        for wal_epoch, name in wals:
+            if wal_epoch < newest_epoch:
+                try:
+                    self._fs.remove(self._path(name))
+                    removed += 1
+                except OSError:
+                    self.store_errors += 1
+        self.compacted_files += removed
+        return removed
+
+    def _safe_size(self, name: str) -> int:
+        try:
+            return self._fs.file_size(self._path(name))
+        except OSError:
+            return 0
+
+    def inspect(self) -> dict:
+        """Read-only audit of every file in the store (the CLI's view).
+
+        Validates each snapshot and journal without moving anything;
+        ``ok`` is true when nothing outside quarantine is corrupt and the
+        store is either empty or has a recoverable epoch.
+        """
+        snapshots, wals, strays = self._scan()
+        report: dict = {
+            "directory": self.directory,
+            "snapshots": [],
+            "wals": [],
+            "strays": list(strays),
+            "quarantine": self._fs.listdir(self._path(QUARANTINE_DIR)),
+        }
+        corrupt: list[str] = []
+        recoverable: int | None = None
+        for epoch_id, name in snapshots:
+            entry = {"file": name, "epoch": epoch_id, "bytes": self._safe_size(name)}
+            try:
+                _, algorithm, meta = decode_snapshot_file(self._fs.read_bytes(self._path(name)))
+            except (StoreCorruptionError, OSError) as error:
+                entry.update(valid=False, error=str(error))
+                corrupt.append(name)
+            else:
+                entry.update(valid=True, algorithm=algorithm, items=meta.get("items"))
+                if recoverable is None:
+                    recoverable = epoch_id
+            report["snapshots"].append(entry)
+        for epoch_id, name in wals:
+            entry = {"file": name, "epoch": epoch_id, "bytes": self._safe_size(name)}
+            try:
+                contents = read_wal(self._fs.read_bytes(self._path(name)))
+            except (StoreCorruptionError, OSError) as error:
+                entry.update(valid=False, error=str(error))
+                corrupt.append(name)
+            else:
+                entry.update(
+                    valid=contents.tail_error is None,
+                    frames=len(contents.batches),
+                    items=contents.items,
+                    tail_error=contents.tail_error,
+                )
+                if contents.tail_error is not None:
+                    corrupt.append(name)
+            report["wals"].append(entry)
+        if strays:
+            corrupt.extend(strays)
+        report["corrupt"] = corrupt
+        report["recoverable_epoch"] = recoverable
+        report["ok"] = not corrupt and (recoverable is not None or not (snapshots or wals))
+        return report
+
+    def stats(self) -> dict:
+        """JSON-serializable health counters (surfaced by the service)."""
+        return {
+            "directory": self.directory,
+            "degraded": self.degraded,
+            "degrade_reason": self.degrade_reason,
+            "snapshots_written": self.snapshots_written,
+            "wal_frames_appended": self.wal_frames_appended,
+            "wal_items_appended": self.wal_items_appended,
+            "dropped_batches": self.dropped_batches,
+            "dropped_publishes": self.dropped_publishes,
+            "store_errors": self.store_errors,
+            "slow_syncs": self.slow_syncs,
+            "compacted_files": self.compacted_files,
+            "quarantined_files": self.quarantined_files,
+            "last_snapshot_epoch": self._last_snapshot_epoch,
+        }
+
+    # -------------------------------------------------------------- teardown
+    def close(self) -> None:
+        if self._wal_handle is not None:
+            try:
+                if self.sync:
+                    self._timed_sync(self._wal_handle)
+            except OSError:
+                pass
+            self._fs.close(self._wal_handle)
+            self._wal_handle = None
+            self._wal_epoch = None
+
+    def __enter__(self) -> "SketchStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,218 @@
+"""Heartbeat liveness probing: hung workers are found, not waited on.
+
+PR 8's failure detector caught workers whose *link* died (EOF, send
+failure).  A worker that stays connected but stops answering — wedged in
+a syscall, paging, livelocked — used to block the coordinator forever on
+an unbounded ``recv``.  These tests pin the fix end to end: ``recv``
+timeouts on every transport, the heartbeat timeout turning a deaf worker
+into a normal recovery, and the wall-clock cadence gate that keeps probe
+cost off the hot ingest path.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.distributed.ingest import DynamicIngestCoordinator, run_dynamic_ingest
+from repro.distributed.transport import (
+    ChannelTimeoutError,
+    QueueChannel,
+    create_transport,
+)
+from repro.streams.items import chunked
+
+MEMORY = 8192
+SEED = 3
+PARTITIONS = 4
+
+
+def stream_items(count=4000, seed=11):
+    rng = np.random.default_rng(seed)
+    return [(f"k{int(v) % 400}", 1) for v in rng.integers(0, 1 << 30, size=count)]
+
+
+def drive(coordinator, items, chunk=512):
+    for piece in chunked(items, chunk):
+        coordinator.send_batch([k for k, _ in piece], [v for _, v in piece])
+
+
+def states_equal(a, b):
+    return set(a) == set(b) and all(
+        np.array_equal(np.asarray(a[k]), np.asarray(b[k])) for k in a
+    )
+
+
+# -------------------------------------------------------------- recv timeout
+def test_queue_channel_recv_timeout_is_typed():
+    a, b = QueueChannel.pair()
+    with pytest.raises(ChannelTimeoutError):
+        a.recv(timeout=0.05)
+    # The channel is still usable after a timeout — nothing was consumed.
+    b.send(b"late")
+    assert a.recv(timeout=1.0) == b"late"
+
+
+@pytest.mark.parametrize("name", ["inproc", "pipe", "tcp"])
+def test_recv_timeout_across_transports(name):
+    def mute_worker(channel):
+        while channel.recv() is not None:
+            pass  # reads forever, never speaks — the hung-worker shape
+
+    transport = create_transport(name)
+    with transport:
+        (channel,) = transport.launch(mute_worker, 1)
+        start = time.monotonic()
+        with pytest.raises(ChannelTimeoutError):
+            channel.recv(timeout=0.2)
+        assert time.monotonic() - start < 5.0
+
+
+# ------------------------------------------------------------- construction
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"heartbeat_interval": 0},
+        {"heartbeat_interval": -1.0},
+        {"heartbeat_timeout": 0},
+        {"heartbeat_timeout": -0.5},
+    ],
+)
+def test_heartbeat_parameter_validation(kwargs):
+    # Validation fires before any worker launches, so nothing leaks.
+    with pytest.raises(ValueError, match="heartbeat"):
+        DynamicIngestCoordinator(
+            "CM_fast", MEMORY, 2, create_transport("inproc"),
+            partitions=PARTITIONS, seed=SEED, **kwargs,
+        )
+
+
+# ------------------------------------------------------------------ cadence
+def test_ping_probes_all_live_workers():
+    coordinator = DynamicIngestCoordinator(
+        "CM_fast", MEMORY, 2, create_transport("inproc"),
+        partitions=PARTITIONS, seed=SEED,
+    )
+    try:
+        assert coordinator.ping() == (0, 1)
+        assert coordinator.heartbeat_rounds == 1
+        drive(coordinator, stream_items(count=1000))
+        assert coordinator.ping() == (0, 1)  # mid-stream rounds are fine too
+        sketches, metas = coordinator.collect()
+        assert sum(int(meta["items"]) for meta in metas) == 1000
+    finally:
+        coordinator.shutdown()
+
+
+def test_maybe_ping_is_wall_clock_gated():
+    coordinator = DynamicIngestCoordinator(
+        "CM_fast", MEMORY, 2, create_transport("inproc"),
+        partitions=PARTITIONS, seed=SEED, heartbeat_interval=0.05,
+    )
+    try:
+        assert coordinator.maybe_ping() is None  # interval not yet elapsed
+        time.sleep(0.06)
+        assert coordinator.maybe_ping() == (0, 1)  # elapsed: a real round
+        assert coordinator.maybe_ping() is None  # the round reset the clock
+        assert coordinator.heartbeat_rounds == 1
+    finally:
+        coordinator.shutdown()
+
+
+def test_maybe_ping_disabled_without_interval():
+    coordinator = DynamicIngestCoordinator(
+        "CM_fast", MEMORY, 2, create_transport("inproc"),
+        partitions=PARTITIONS, seed=SEED,
+    )
+    try:
+        time.sleep(0.01)
+        assert coordinator.maybe_ping() is None
+        assert coordinator.heartbeat_rounds == 0
+    finally:
+        coordinator.shutdown()
+
+
+# ----------------------------------------------------------- deaf recovery
+class DeafChannel:
+    """A link whose peer is alive but wedged: sends vanish, acks never come.
+
+    This is the failure the heartbeat *timeout* exists for — the channel
+    itself reports nothing wrong (no EOF, no send error), it just never
+    produces a frame.  ``recv`` honours its timeout; an unbounded ``recv``
+    here would be the exact hang the feature removes, so it asserts.
+    """
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+
+    def send(self, frame: bytes) -> None:
+        pass  # swallowed: the wedged worker never processes it
+
+    def recv(self, timeout: float | None = None) -> bytes | None:
+        if timeout is None:
+            raise AssertionError(
+                "unbounded recv on a deaf channel — the coordinator must "
+                "probe hung workers with heartbeat_timeout"
+            )
+        time.sleep(min(timeout, 0.05))
+        raise ChannelTimeoutError(f"no frame within {timeout}s")
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+def test_deaf_worker_recovered_by_heartbeat_timeout():
+    """A hung (connected, silent) worker is recovered losslessly by ping().
+
+    Half the stream lands, then worker 1 goes deaf.  The next heartbeat
+    round must detect it within ``heartbeat_timeout``, re-place its
+    partitions on the survivor with journal replay (lossless), and the
+    final partitions must equal an uninterrupted run's bit for bit.
+    """
+    items = stream_items()
+    half = len(items) // 2
+    reference = run_dynamic_ingest(
+        "CM_fast", MEMORY, items, workers=2, partitions=PARTITIONS, seed=SEED
+    )
+
+    coordinator = DynamicIngestCoordinator(
+        "CM_fast", MEMORY, 2, create_transport("inproc"),
+        partitions=PARTITIONS, seed=SEED, heartbeat_timeout=0.2,
+    )
+    try:
+        drive(coordinator, items[:half])
+        handle = coordinator._workers[1]
+        handle.channel = DeafChannel(handle.channel)  # worker 1 wedges
+
+        start = time.monotonic()
+        alive = coordinator.ping()
+        assert time.monotonic() - start < 5.0  # bounded, not a hang
+        assert alive == (0,)
+
+        (recovery,) = coordinator.recoveries
+        assert recovery.worker_id == 1
+        assert recovery.lost_items == 0  # journal replay made it lossless
+
+        drive(coordinator, items[half:])
+        sketches, metas = coordinator.collect()
+        assert sum(int(meta["items"]) for meta in metas) == len(items)
+        for partition, sketch in enumerate(sketches):
+            assert states_equal(
+                sketch.state_snapshot(),
+                reference.partition_sketches[partition].state_snapshot(),
+            ), f"partition {partition} diverged after deaf-worker recovery"
+    finally:
+        coordinator.shutdown()
+
+
+def test_run_dynamic_ingest_threads_heartbeat_flags():
+    items = stream_items(count=2000)
+    result = run_dynamic_ingest(
+        "CM_fast", MEMORY, items, workers=2, partitions=PARTITIONS, seed=SEED,
+        heartbeat_interval=0.001,  # ping on essentially every chunk
+        heartbeat_timeout=5.0,
+    )
+    assert result.total_items == len(items)
+    assert not result.recoveries  # healthy fleet: probes found everyone alive

@@ -1,0 +1,226 @@
+"""BUSY retry and deadline behaviour of the query client.
+
+The server side of admission control (STATUS_BUSY replies under an
+in-flight bound) is covered by the serving tests; this file pins the
+*client* contract against a scripted channel, so every schedule is
+deterministic: backoff delays grow and cap as the policy promises,
+rejected requests are retried under fresh request ids, exhaustion is the
+typed :class:`ServerBusyError`, and a breached deadline — whether spent
+on backoff or on a server that went silent — is the typed
+:class:`ServeTimeoutError`, never a hang.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+
+import pytest
+
+from repro.distributed.transport import ChannelTimeoutError
+from repro.distributed.wire import (
+    MSG_QUERY,
+    MSG_QUERY_REPLY,
+    STATUS_BUSY,
+    decode_frame,
+    decode_query_request,
+    encode_frame,
+    encode_query_response,
+)
+from repro.serve.server import (
+    QueryClient,
+    RetryPolicy,
+    ServerBusyError,
+    ServeTimeoutError,
+)
+
+
+class ScriptedChannel:
+    """A serving channel whose replies follow a script, not a server.
+
+    The first ``busy_first`` query requests are rejected with
+    ``STATUS_BUSY``; every later one is answered OK with estimates
+    ``[0, 1, ...]`` and the running request count as its epoch id (so a
+    test can see *which* attempt finally got through).  ``silent`` never
+    answers at all: a bounded ``recv`` times out the way a dead server's
+    would.
+    """
+
+    def __init__(self, busy_first: int = 0, silent: bool = False) -> None:
+        self.busy_first = busy_first
+        self.silent = silent
+        self.requests = 0
+        self._replies: deque[bytes] = deque()
+
+    def send(self, frame: bytes) -> None:
+        msg_type, payload = decode_frame(frame)
+        assert msg_type == MSG_QUERY
+        request = decode_query_request(payload)
+        self.requests += 1
+        if self.silent:
+            return
+        if self.requests <= self.busy_first:
+            body = encode_query_response(
+                request.request_id, request.kind, 0, status=STATUS_BUSY
+            )
+        else:
+            body = encode_query_response(
+                request.request_id,
+                request.kind,
+                self.requests,
+                estimates=list(range(len(request.keys))),
+            )
+        self._replies.append(encode_frame(MSG_QUERY_REPLY, body))
+
+    def recv(self, timeout: float | None = None) -> bytes | None:
+        if self._replies:
+            return self._replies.popleft()
+        if timeout is None:
+            raise AssertionError(
+                "unbounded recv with nothing scripted would hang — the "
+                "client should only wait on a silent server under a deadline"
+            )
+        time.sleep(min(timeout, 0.01))
+        raise ChannelTimeoutError(f"no frame within {timeout}s")
+
+    def close(self) -> None:  # QueryClient never closes, but be a Channel
+        pass
+
+
+def instant_policy(**overrides) -> RetryPolicy:
+    """A policy whose backoff sleeps are all zero — retries are instant."""
+    kwargs = {"base_delay": 0.0, "max_delay": 0.0}
+    kwargs.update(overrides)
+    return RetryPolicy(**kwargs)
+
+
+# ------------------------------------------------------------------- policy
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"max_retries": -1},
+        {"base_delay": -0.1},
+        {"base_delay": 0.5, "max_delay": 0.1},
+        {"multiplier": 0.5},
+        {"jitter": 1.5},
+        {"jitter": -0.1},
+        {"deadline_seconds": 0},
+        {"deadline_seconds": -1.0},
+    ],
+)
+def test_policy_validation(kwargs):
+    with pytest.raises(ValueError):
+        RetryPolicy(**kwargs)
+
+
+def test_delay_grows_exponentially_and_caps():
+    policy = RetryPolicy(base_delay=0.001, max_delay=0.016, multiplier=2.0, jitter=0.0)
+    rng = random.Random(0)
+    delays = [policy.delay(attempt, rng) for attempt in range(8)]
+    assert delays[:5] == [0.001, 0.002, 0.004, 0.008, 0.016]
+    assert all(delay == 0.016 for delay in delays[4:])  # capped, not growing
+
+
+def test_jitter_only_shrinks_and_is_seeded():
+    policy = RetryPolicy(base_delay=0.01, max_delay=0.08, jitter=0.5)
+    raw = RetryPolicy(base_delay=0.01, max_delay=0.08, jitter=0.0)
+    delays = [policy.delay(attempt, random.Random(7)) for attempt in range(6)]
+    ceilings = [raw.delay(attempt, random.Random(7)) for attempt in range(6)]
+    for delay, ceiling in zip(delays, ceilings):
+        # Jitter shrinks by at most the jitter fraction, never grows: the
+        # backoff ceiling is what bounds worst-case latency.
+        assert ceiling * 0.5 <= delay <= ceiling
+    # Same seed, same jitter draws — retry schedules are reproducible.
+    again = [policy.delay(attempt, random.Random(7)) for attempt in range(6)]
+    assert delays == again
+
+
+# ------------------------------------------------------------ single queries
+def test_busy_replies_absorbed_then_answered():
+    channel = ScriptedChannel(busy_first=3)
+    client = QueryClient(channel, instant_policy())
+    estimates, epoch = client.query_batch(["a", "b"])
+    assert estimates.tolist() == [0, 1]
+    assert client.busy_retries == 3
+    # Each retry is a fresh request (fresh id), not a resend of the old one.
+    assert channel.requests == 4
+    assert epoch == 4  # the 4th request is the one that got through
+
+
+def test_retry_budget_exhaustion_is_typed():
+    channel = ScriptedChannel(busy_first=10_000)
+    client = QueryClient(channel, instant_policy(max_retries=2))
+    with pytest.raises(ServerBusyError):
+        client.query_batch(["a"])
+    assert channel.requests == 3  # the original attempt plus two retries
+    assert client.busy_retries == 2
+
+
+def test_zero_retries_fails_on_first_busy():
+    channel = ScriptedChannel(busy_first=1)
+    client = QueryClient(channel, instant_policy(max_retries=0))
+    with pytest.raises(ServerBusyError):
+        client.query_batch(["a"])
+    assert client.busy_retries == 0
+
+
+def test_silent_server_breaches_deadline_not_hangs():
+    channel = ScriptedChannel(silent=True)
+    client = QueryClient(channel, RetryPolicy(deadline_seconds=0.05))
+    start = time.monotonic()
+    with pytest.raises(ServeTimeoutError):
+        client.query_batch(["a"])
+    assert time.monotonic() - start < 5.0
+
+
+def test_busy_storm_spends_the_deadline_then_times_out():
+    channel = ScriptedChannel(busy_first=10_000)
+    client = QueryClient(
+        channel,
+        RetryPolicy(
+            max_retries=None,  # unbounded attempts: only the deadline stops us
+            base_delay=0.002,
+            max_delay=0.01,
+            deadline_seconds=0.05,
+        ),
+    )
+    with pytest.raises(ServeTimeoutError):
+        client.query_batch(["a"])
+    assert client.busy_retries > 0  # it did back off and retry before giving up
+
+
+# ---------------------------------------------------------------- pipelining
+def test_pipelined_busy_reenqueue_preserves_order():
+    batches = [[f"k{i}-{j}" for j in range(i + 1)] for i in range(5)]
+    channel = ScriptedChannel(busy_first=3)
+    client = QueryClient(channel, instant_policy())
+    results = client.query_batches_pipelined(batches, max_inflight=2)
+    assert len(results) == len(batches)
+    for index, (estimates, _) in enumerate(results):
+        # Order by original batch index, regardless of which got rejected.
+        assert estimates.tolist() == list(range(len(batches[index])))
+    assert client.busy_retries == 3
+    assert channel.requests == len(batches) + 3
+
+
+def test_pipelined_busy_budget_exhaustion_is_typed():
+    channel = ScriptedChannel(busy_first=10_000)
+    client = QueryClient(channel, instant_policy())
+    with pytest.raises(ServerBusyError):
+        client.query_batches_pipelined([["a"], ["b"]], max_inflight=2, busy_retries=3)
+    assert client.busy_retries == 3
+
+
+def test_pipelined_deadline_on_silent_server():
+    channel = ScriptedChannel(silent=True)
+    client = QueryClient(channel, RetryPolicy(deadline_seconds=0.05))
+    with pytest.raises(ServeTimeoutError):
+        client.query_batches_pipelined([["a"], ["b"]], max_inflight=2)
+
+
+def test_default_policy_is_attached():
+    client = QueryClient(ScriptedChannel())
+    assert client.retry_policy.max_retries is not None
+    assert client.retry_policy.deadline_seconds is None
+    assert client.busy_retries == 0

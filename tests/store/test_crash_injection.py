@@ -1,0 +1,225 @@
+"""Deterministic crash injection: the store's whole reason to exist.
+
+Mirrors the philosophy of ``repro.distributed.fault``: crashes are
+scheduled on *operation counters* (write #N, fsync #N, the rename itself),
+so every schedule is repeatable, and every assertion runs against the
+exact bytes a real power cut at that instant would leave.  The matrix from
+the issue: kill-before-fsync, kill-mid-rename (both outcomes of an
+interrupted rename), torn WAL tail, garbled frame, corrupt-newest-epoch
+fallback — plus a byte-offset sweep proving *every* crash point during an
+append recovers to a batch-boundary prefix of the true history.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketches.registry import build_sketch
+from repro.store import (
+    CrashInjectingFileSystem,
+    CrashPlan,
+    InjectedCrash,
+    SketchStore,
+    StoreCorruptionError,
+)
+from repro.store.format import snapshot_filename
+
+MEMORY = 2048
+
+
+def fresh_sketch(seed=0):
+    return build_sketch("CM_fast", MEMORY, seed=seed)
+
+
+def filled(count=150):
+    sketch = fresh_sketch()
+    sketch.insert_batch([f"k{i % 31}" for i in range(count)])
+    return sketch
+
+
+def states_equal(a, b):
+    return set(a) == set(b) and all(
+        np.array_equal(np.asarray(a[k]), np.asarray(b[k])) for k in a
+    )
+
+
+def crashing_store(tmp_path, plan, **kwargs):
+    fs = CrashInjectingFileSystem(plan=plan)
+    return SketchStore(str(tmp_path), algorithm="CM_fast", fs=fs, **kwargs), fs
+
+
+def recovered_state(tmp_path):
+    with SketchStore(str(tmp_path), algorithm="CM_fast") as store:
+        result = store.restore_into(lambda: fresh_sketch())
+        if result is None:
+            return None, None
+        warm, report = result
+        return warm.state_snapshot(), report
+
+
+def seed_store(tmp_path):
+    """One committed epoch 0 so crash tests have a base to fall back to."""
+    with SketchStore(str(tmp_path), algorithm="CM_fast") as store:
+        store.publish_epoch(0, 150, filled())
+
+
+# ------------------------------------------------------------- crash matrix
+def test_kill_before_snapshot_fsync_falls_back(tmp_path):
+    seed_store(tmp_path)
+    # fsync #0 after reopen is the tmp-file sync of the epoch-1 snapshot:
+    # crash right before it — the rename never happened, epoch 1 is a .tmp.
+    store, fs = crashing_store(tmp_path, CrashPlan(crash_at_fsync=0))
+    store.recover()
+    bigger = filled(count=400)
+    with pytest.raises(InjectedCrash):
+        store.publish_epoch(1, 400, bigger)
+    assert fs.crashed
+    state, report = recovered_state(tmp_path)
+    assert report.epoch_id == 0  # epoch 1 never committed
+    assert states_equal(state, filled().state_snapshot())
+    # The interrupted .tmp was quarantined, never trusted, never deleted.
+    assert any(".tmp" in name for name in report.quarantined)
+
+
+@pytest.mark.parametrize("completes", [False, True])
+def test_kill_mid_rename_both_outcomes_recover(tmp_path, completes):
+    seed_store(tmp_path)
+    store, fs = crashing_store(
+        tmp_path, CrashPlan(crash_at_replace=0, replace_completes=completes)
+    )
+    store.recover()
+    bigger = filled(count=400)
+    with pytest.raises(InjectedCrash):
+        store.publish_epoch(1, 400, bigger)
+    state, report = recovered_state(tmp_path)
+    if completes:
+        # The rename landed before the crash: epoch 1 is fully committed
+        # (its own fsync preceded the rename) and must win.
+        assert report.epoch_id == 1
+        assert states_equal(state, bigger.state_snapshot())
+    else:
+        assert report.epoch_id == 0
+        assert states_equal(state, filled().state_snapshot())
+
+
+def test_torn_wal_tail_replays_only_the_prefix(tmp_path):
+    seed_store(tmp_path)
+    # Crash 10 bytes into the 3rd journal append (write #0 is the reopened
+    # journal's first frame).
+    store, fs = crashing_store(tmp_path, CrashPlan(crash_at_write=2, write_prefix=10))
+    store.recover()
+    store.append_batch(["a", "b"], [1, 2])
+    store.append_batch(["c"], [5])
+    with pytest.raises(InjectedCrash):
+        store.append_batch(["torn"], [9])
+    state, report = recovered_state(tmp_path)
+    assert report.wal_frames == 2 and report.wal_items == 3
+    assert report.wal_tail_error is not None
+    assert any("wal" in name for name in report.quarantined)  # original kept
+    reference = filled()
+    reference.insert_batch(["a", "b"], [1, 2])
+    reference.insert_batch(["c"], [5])
+    assert states_equal(state, reference.state_snapshot())
+    # The repair truncated in place: a third recovery is clean.
+    with SketchStore(str(tmp_path), algorithm="CM_fast") as store:
+        report = store.recover()
+        assert report.wal_tail_error is None
+        assert report.wal_frames == 2
+
+
+def test_garbled_wal_frame_detected_by_frame_crc(tmp_path):
+    seed_store(tmp_path)
+    store, fs = crashing_store(tmp_path, CrashPlan(garble_write=1, garble_offset=12))
+    store.recover()
+    store.append_batch(["good"], [1])
+    store.append_batch(["bad"], [2])  # written garbled — fsynced, "durable"
+    store.close()
+    assert fs.garbled == 1
+    state, report = recovered_state(tmp_path)
+    assert report.wal_frames == 1  # the garbled frame and after: quarantined
+    assert "checksum" in report.wal_tail_error
+    reference = filled()
+    reference.insert_batch(["good"], [1])
+    assert states_equal(state, reference.state_snapshot())
+
+
+def test_corrupt_newest_epoch_falls_back_to_previous(tmp_path):
+    with SketchStore(str(tmp_path), algorithm="CM_fast", retention_epochs=3) as store:
+        store.publish_epoch(0, 150, filled())
+        store.publish_epoch(1, 400, filled(count=400))
+    # Rot one byte of the newest snapshot on the "medium".
+    newest = tmp_path / snapshot_filename(1)
+    blob = bytearray(newest.read_bytes())
+    blob[len(blob) // 2] ^= 0x01
+    newest.write_bytes(bytes(blob))
+    state, report = recovered_state(tmp_path)
+    assert report.epoch_id == 0
+    assert states_equal(state, filled().state_snapshot())
+    assert any(snapshot_filename(1) in name for name in report.quarantined)
+    # The stale epoch-1 journal has no trustworthy base — quarantined too.
+    assert any("wal-000000000001" in name for name in report.quarantined)
+
+
+def test_everything_corrupt_is_a_typed_error_never_wrong_counts(tmp_path):
+    with SketchStore(str(tmp_path), algorithm="CM_fast") as store:
+        store.publish_epoch(0, 150, filled())
+    for path in tmp_path.iterdir():
+        if path.is_file():
+            blob = bytearray(path.read_bytes())
+            for offset in range(0, len(blob), 3):
+                blob[offset] ^= 0xA5
+            path.write_bytes(bytes(blob))
+    with SketchStore(str(tmp_path), algorithm="CM_fast") as store:
+        with pytest.raises(StoreCorruptionError):
+            store.recover()
+
+
+def test_crash_at_byte_sweep_always_recovers_a_batch_prefix(tmp_path):
+    """Crash at *every* cumulative byte offset of a journaling run.
+
+    Whatever the offset, recovery must produce exactly the snapshot plus
+    some prefix of the appended batches — bit-identical to a process that
+    stopped cleanly at that boundary.  This is the strongest form of the
+    no-wrong-counts guarantee.
+    """
+    seed_store(tmp_path)
+    batches = [(["a", "b"], [1, 2]), (["c"], [3]), (["d", "e", "f"], [1, 1, 4])]
+    # The only legal recovery outcomes: the snapshot plus 0..3 whole batches.
+    references = [filled().state_snapshot()]
+    accumulator = filled()
+    for keys, values in batches:
+        accumulator.insert_batch(keys, values)
+        references.append(accumulator.state_snapshot())
+
+    offset = 1
+    max_offset = 400
+    while offset < max_offset:
+        import shutil
+
+        trial = tmp_path.parent / f"trial-{offset}"
+        if trial.exists():
+            shutil.rmtree(trial)
+        shutil.copytree(tmp_path, trial)
+        fs = CrashInjectingFileSystem(plan=CrashPlan(crash_at_byte=offset))
+        store = SketchStore(str(trial), algorithm="CM_fast", fs=fs)
+        crashed = False
+        try:
+            store.recover()
+            for keys, values in batches:
+                store.append_batch(keys, values)
+        except InjectedCrash:
+            crashed = True
+        finally:
+            try:
+                store.close()
+            except InjectedCrash:
+                crashed = True
+        if not crashed:
+            break  # the whole run fit under the offset — sweep complete
+        state, report = recovered_state(trial)
+        assert any(
+            states_equal(state, reference) for reference in references
+        ), f"crash at byte {offset} recovered a non-boundary state"
+        shutil.rmtree(trial)
+        offset += 7  # dense-enough sweep without quadratic runtime

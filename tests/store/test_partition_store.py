@@ -1,0 +1,227 @@
+"""Durable partition checkpoints: coordinator crash -> resume from disk.
+
+The dynamic ingest coordinator's recovery story (PR 8) required a
+surviving *process*.  With a :class:`PartitionStore` the checkpoints live
+on disk, so these tests kill the whole fleet — coordinator included — and
+prove a new one resumes bit-identically: half the stream before the
+"crash", half after, final partitions equal to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed.ingest import DynamicIngestCoordinator, run_dynamic_ingest
+from repro.distributed.transport import create_transport
+from repro.store import PartitionStore, StoreCorruptionError, StoreError
+from repro.store.partitions import partition_filename
+from repro.streams.items import chunked
+
+MEMORY = 8192
+SEED = 3
+PARTITIONS = 4
+
+
+def stream_items(count=4000, seed=11):
+    rng = np.random.default_rng(seed)
+    return [(f"k{int(v) % 400}", 1) for v in rng.integers(0, 1 << 30, size=count)]
+
+
+def drive(coordinator, items, chunk=512):
+    for piece in chunked(items, chunk):
+        coordinator.send_batch([k for k, _ in piece], [v for _, v in piece])
+
+
+def states_equal(a, b):
+    return set(a) == set(b) and all(
+        np.array_equal(np.asarray(a[k]), np.asarray(b[k])) for k in a
+    )
+
+
+# ---------------------------------------------------------------- unit level
+def test_save_load_round_trip(tmp_path):
+    store = PartitionStore(str(tmp_path), algorithm="CM_fast")
+    state = {"table": np.arange(12, dtype=np.int64).reshape(3, 4)}
+    store.save(2, state, {"items": 7, "epoch": 1}, "CM_fast")
+    loaded = PartitionStore(str(tmp_path), algorithm="CM_fast").load_all()
+    assert list(loaded) == [2]
+    restored, meta = loaded[2]
+    assert np.array_equal(restored["table"], state["table"])
+    assert meta["items"] == 7 and meta["partition"] == 2
+    assert store.saves == 1
+
+
+def test_latest_save_wins(tmp_path):
+    store = PartitionStore(str(tmp_path))
+    store.save(0, {"t": np.zeros(4, dtype=np.int64)}, {"items": 1}, "CM_fast")
+    store.save(0, {"t": np.ones(4, dtype=np.int64)}, {"items": 9}, "CM_fast")
+    _, meta = store.load_all()[0]
+    assert meta["items"] == 9
+
+
+def test_corrupt_checkpoint_refuses_partial_resume(tmp_path):
+    store = PartitionStore(str(tmp_path))
+    store.save(0, {"t": np.zeros(4, dtype=np.int64)}, {"items": 1}, "CM_fast")
+    store.save(1, {"t": np.ones(4, dtype=np.int64)}, {"items": 2}, "CM_fast")
+    path = tmp_path / partition_filename(1)
+    blob = bytearray(path.read_bytes())
+    blob[len(blob) // 2] ^= 0x10
+    path.write_bytes(bytes(blob))
+    with pytest.raises(StoreCorruptionError):
+        PartitionStore(str(tmp_path)).load_all()
+    # The damaged file is preserved in quarantine, never silently dropped.
+    held = [p.name for p in (tmp_path / "quarantine").iterdir()]
+    assert any(partition_filename(1) in name for name in held)
+
+
+def test_family_pin_enforced(tmp_path):
+    store = PartitionStore(str(tmp_path), algorithm="CM_fast")
+    store.save(0, {"t": np.zeros(4, dtype=np.int64)}, {"items": 1}, "CM_fast")
+    with pytest.raises(StoreError, match="holds 'CM_fast'"):
+        PartitionStore(str(tmp_path), algorithm="Count").load_all()
+
+
+# ---------------------------------------------------------- coordinator level
+@pytest.mark.parametrize("algorithm", ["CM_fast", "Ours"])
+def test_coordinator_resume_bit_identical(tmp_path, algorithm):
+    items = stream_items()
+    half = len(items) // 2
+
+    reference = run_dynamic_ingest(
+        algorithm, MEMORY, items, workers=2, partitions=PARTITIONS, seed=SEED
+    )
+
+    first = DynamicIngestCoordinator(
+        algorithm, MEMORY, 2, create_transport("inproc"),
+        partitions=PARTITIONS, seed=SEED,
+        store=PartitionStore(str(tmp_path), algorithm=algorithm),
+    )
+    drive(first, items[:half])
+    first.collect()  # checkpoint every partition to disk
+    first.shutdown()  # the whole fleet dies — nothing survives in memory
+
+    second = DynamicIngestCoordinator(
+        algorithm, MEMORY, 2, create_transport("inproc"),
+        partitions=PARTITIONS, seed=SEED,
+        store=PartitionStore(str(tmp_path), algorithm=algorithm),
+    )
+    assert second.resumed_partitions == tuple(range(PARTITIONS))
+    drive(second, items[half:])
+    sketches, metas = second.collect()
+    second.shutdown()
+
+    for partition, sketch in enumerate(sketches):
+        assert states_equal(
+            sketch.state_snapshot(),
+            reference.partition_sketches[partition].state_snapshot(),
+        ), f"partition {partition} diverged after resume"
+    assert sum(int(meta["items"]) for meta in metas) == len(items)
+
+
+def test_resume_survives_checkpoint_cadence_not_just_collect(tmp_path):
+    """Resume from mid-stream journal_limit checkpoints (no final collect).
+
+    The resumed fleet holds each partition's *last checkpoint* — batches
+    after it died with the coordinator, and the resumed counters must
+    account for exactly the checkpointed items, no more.
+    """
+    items = stream_items(count=3000)
+    store = PartitionStore(str(tmp_path), algorithm="CM_fast")
+    first = DynamicIngestCoordinator(
+        "CM_fast", MEMORY, 2, create_transport("inproc"),
+        partitions=PARTITIONS, seed=SEED, journal_limit=2, store=store,
+    )
+    drive(first, items, chunk=256)
+    first.shutdown()  # crash without collect: disk holds cadence checkpoints
+    assert store.saves > 0
+
+    second = DynamicIngestCoordinator(
+        "CM_fast", MEMORY, 2, create_transport("inproc"),
+        partitions=PARTITIONS, seed=SEED,
+        store=PartitionStore(str(tmp_path), algorithm="CM_fast"),
+    )
+    checkpointed = int(second.items_per_partition.sum())
+    assert 0 < checkpointed <= len(items)
+    sketches, metas = second.collect()  # accounting must balance exactly
+    second.shutdown()
+    assert sum(int(meta["items"]) for meta in metas) == checkpointed
+
+
+def test_resume_then_reshard_keeps_identity(tmp_path):
+    items = stream_items()
+    half = len(items) // 2
+    reference = run_dynamic_ingest(
+        "CM_fast", MEMORY, items, workers=2, partitions=PARTITIONS, seed=SEED
+    )
+
+    first = DynamicIngestCoordinator(
+        "CM_fast", MEMORY, 2, create_transport("inproc"),
+        partitions=PARTITIONS, seed=SEED,
+        store=PartitionStore(str(tmp_path), algorithm="CM_fast"),
+    )
+    drive(first, items[:half])
+    first.collect()
+    first.shutdown()
+
+    second = DynamicIngestCoordinator(
+        "CM_fast", MEMORY, 2, create_transport("inproc"),
+        partitions=PARTITIONS, seed=SEED,
+        store=PartitionStore(str(tmp_path), algorithm="CM_fast"),
+    )
+    new_worker = second.split_worker(0)  # reshard straight after resume
+    drive(second, items[half:])
+    sketches, _ = second.collect()
+    second.shutdown()
+    assert new_worker in range(2, 4)
+    for partition, sketch in enumerate(sketches):
+        assert states_equal(
+            sketch.state_snapshot(),
+            reference.partition_sketches[partition].state_snapshot(),
+        )
+
+
+def test_store_dir_threads_through_run_dynamic_ingest(tmp_path):
+    items = stream_items(count=1500)
+    result = run_dynamic_ingest(
+        "CM_fast", MEMORY, items, workers=2, partitions=PARTITIONS, seed=SEED,
+        store_dir=str(tmp_path),
+    )
+    assert result.total_items == len(items)
+    persisted = PartitionStore(str(tmp_path), algorithm="CM_fast").load_all()
+    assert sorted(persisted) == list(range(PARTITIONS))
+    resumed = run_dynamic_ingest(
+        "CM_fast", MEMORY, items, workers=2, partitions=PARTITIONS, seed=SEED,
+        store_dir=str(tmp_path),
+    )
+    assert resumed.total_items == 2 * len(items)
+
+
+def test_coordinator_disk_failure_does_not_kill_ingest(tmp_path):
+    from repro.store import CrashInjectingFileSystem, CrashPlan
+
+    fs = CrashInjectingFileSystem(
+        plan=CrashPlan(fail_writes=frozenset(range(2, 100)))
+    )
+    store = PartitionStore(str(tmp_path), algorithm="CM_fast", fs=fs)
+    items = stream_items(count=2000)
+    coordinator = DynamicIngestCoordinator(
+        "CM_fast", MEMORY, 2, create_transport("inproc"),
+        partitions=PARTITIONS, seed=SEED, journal_limit=2, store=store,
+    )
+    drive(coordinator, items, chunk=256)
+    sketches, metas = coordinator.collect()  # must not raise
+    coordinator.shutdown()
+    assert coordinator.store_errors > 0  # the failures were loud
+    assert sum(int(meta["items"]) for meta in metas) == len(items)
+
+
+def test_oversized_partition_checkpoint_rejected(tmp_path):
+    store = PartitionStore(str(tmp_path), algorithm="CM_fast")
+    store.save(7, {"t": np.zeros(4, dtype=np.int64)}, {"items": 1}, "CM_fast")
+    with pytest.raises(ValueError, match="partition 7"):
+        DynamicIngestCoordinator(
+            "CM_fast", MEMORY, 2, create_transport("inproc"),
+            partitions=4, seed=SEED,
+            store=PartitionStore(str(tmp_path), algorithm="CM_fast"),
+        )

@@ -1,0 +1,204 @@
+"""SketchStore lifecycle: publish/append/recover, retention, degradation.
+
+Crash *injection* lives in ``test_crash_injection.py``; this file pins the
+sunny-day contract and the policy edges: cold start only on a genuinely
+empty directory, retention keeping exactly what it promises, snapshot
+cadence trading journal length for write amplification, and the one-way
+loud demotion when the disk misbehaves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketches.registry import build_sketch
+from repro.store import (
+    DEFAULT_RETENTION_EPOCHS,
+    CrashInjectingFileSystem,
+    CrashPlan,
+    SketchStore,
+    StoreError,
+)
+from repro.store.format import snapshot_filename, wal_filename
+
+MEMORY = 2048
+
+
+def filled(name="CM_fast", count=200, seed=0):
+    sketch = build_sketch(name, MEMORY, seed=seed)
+    sketch.insert_batch([f"k{i % 37}" for i in range(count)])
+    return sketch
+
+
+def states_equal(a, b):
+    return set(a) == set(b) and all(
+        np.array_equal(np.asarray(a[k]), np.asarray(b[k])) for k in a
+    )
+
+
+def test_cold_start_only_on_empty_directory(tmp_path):
+    store = SketchStore(str(tmp_path))
+    assert store.recover() is None
+    store.close()
+
+
+def test_publish_recover_round_trip(tmp_path):
+    sketch = filled()
+    with SketchStore(str(tmp_path), algorithm="CM_fast") as store:
+        assert store.publish_epoch(0, 200, sketch)
+        assert store.append_batch(["x", "y"], [3, 4])
+    with SketchStore(str(tmp_path), algorithm="CM_fast") as store:
+        warm, report = store.restore_into(lambda: build_sketch("CM_fast", MEMORY, seed=0))
+        assert report.epoch_id == 0
+        assert report.items == 200
+        assert report.wal_frames == 1 and report.wal_items == 2
+        assert report.items_total == 202
+        reference = filled()
+        reference.insert_batch(["x", "y"], [3, 4])
+        assert states_equal(warm.state_snapshot(), reference.state_snapshot())
+
+
+def test_recovery_prefers_newest_epoch(tmp_path):
+    with SketchStore(str(tmp_path), algorithm="CM_fast", retention_epochs=4) as store:
+        for epoch in range(3):
+            store.publish_epoch(epoch, 200 + epoch, filled(count=200 + epoch))
+    with SketchStore(str(tmp_path), algorithm="CM_fast") as store:
+        report = store.recover()
+        assert report.epoch_id == 2
+        assert report.items == 202
+
+
+def test_algorithm_mismatch_is_config_error_not_corruption(tmp_path):
+    with SketchStore(str(tmp_path), algorithm="CM_fast") as store:
+        store.publish_epoch(0, 200, filled())
+    with SketchStore(str(tmp_path), algorithm="Count") as store:
+        with pytest.raises(StoreError, match="holds 'CM_fast'"):
+            store.recover()
+
+
+def test_store_carries_registry_name_not_sketch_label(tmp_path):
+    # Registry name "Ours" vs the sketch's own .name label — the store must
+    # persist whatever its `algorithm` pin says, so reopen-with-same-pin works.
+    with SketchStore(str(tmp_path), algorithm="Ours") as store:
+        store.publish_epoch(0, 200, filled("Ours"))
+    with SketchStore(str(tmp_path), algorithm="Ours") as store:
+        assert store.recover().algorithm == "Ours"
+
+
+def test_retention_compacts_old_epochs_and_journals(tmp_path):
+    with SketchStore(str(tmp_path), algorithm="CM_fast", retention_epochs=2) as store:
+        for epoch in range(5):
+            store.publish_epoch(epoch, 200, filled())
+        names = set(store._fs.listdir(str(tmp_path)))
+        assert snapshot_filename(4) in names and snapshot_filename(3) in names
+        assert snapshot_filename(2) not in names
+        # Only the newest journal survives; older ones are subsumed.
+        assert wal_filename(4) in names
+        assert not any(wal_filename(e) in names for e in range(4))
+        assert store.compacted_files > 0
+
+
+def test_max_bytes_drops_oldest_retained_never_newest(tmp_path):
+    with SketchStore(
+        str(tmp_path), algorithm="CM_fast", retention_epochs=4, max_bytes=1
+    ) as store:
+        for epoch in range(3):
+            store.publish_epoch(epoch, 200, filled())
+        names = set(store._fs.listdir(str(tmp_path)))
+        assert snapshot_filename(2) in names  # newest always kept
+        assert snapshot_filename(1) not in names
+        assert snapshot_filename(0) not in names
+
+
+def test_snapshot_cadence_skips_epochs_but_keeps_journaling(tmp_path):
+    with SketchStore(
+        str(tmp_path), algorithm="CM_fast", snapshot_every_epochs=3
+    ) as store:
+        assert store.publish_epoch(0, 10, filled(count=10))
+        store.append_batch(["a"], [1])
+        assert not store.publish_epoch(1, 20, filled(count=20))  # skipped
+        store.append_batch(["b"], [2])
+        assert not store.publish_epoch(2, 30, filled(count=30))  # skipped
+        assert store.snapshots_written == 1
+    with SketchStore(str(tmp_path), algorithm="CM_fast") as store:
+        report = store.recover()
+        assert report.epoch_id == 0
+        assert report.wal_frames == 2  # both between-epoch appends replay
+    with SketchStore(
+        str(tmp_path), algorithm="CM_fast", snapshot_every_epochs=3
+    ) as store:
+        store.recover()
+        assert store.publish_epoch(3, 40, filled(count=40))  # cadence point
+
+
+def test_disk_error_degrades_loudly_and_one_way(tmp_path):
+    fs = CrashInjectingFileSystem(plan=CrashPlan(fail_writes=frozenset({3})))
+    with SketchStore(str(tmp_path), algorithm="CM_fast", fs=fs) as store:
+        assert store.publish_epoch(0, 200, filled())
+        assert not store.degraded
+        appended = [store.append_batch([f"z{i}"], [1]) for i in range(4)]
+        assert not all(appended)
+        assert store.degraded
+        assert "journal append failed" in store.degrade_reason
+        # Everything after demotion is a counted no-op — never an exception.
+        assert not store.append_batch(["later"], [1])
+        assert not store.publish_epoch(1, 300, filled(count=300))
+        stats = store.stats()
+        assert stats["degraded"]
+        assert stats["dropped_batches"] >= 2
+        assert stats["dropped_publishes"] == 1
+        assert stats["store_errors"] >= 1
+    # What was durably written before the demotion still recovers.
+    with SketchStore(str(tmp_path), algorithm="CM_fast") as store:
+        assert store.recover().epoch_id == 0
+
+
+def test_slow_fsync_demotes_after_completing(tmp_path):
+    fs = CrashInjectingFileSystem(plan=CrashPlan(delay_fsync_seconds=0.05))
+    with SketchStore(
+        str(tmp_path), algorithm="CM_fast", max_sync_seconds=0.01, fs=fs
+    ) as store:
+        store.publish_epoch(0, 200, filled())
+        assert store.degraded
+        assert store.slow_syncs >= 1
+        assert "fsync took" in store.degrade_reason
+    # The slow sync *completed* before demotion: the snapshot is on disk.
+    with SketchStore(str(tmp_path), algorithm="CM_fast") as store:
+        assert store.recover().epoch_id == 0
+
+
+def test_append_without_journal_is_misuse(tmp_path):
+    store = SketchStore(str(tmp_path))
+    with pytest.raises(StoreError, match="no open journal"):
+        store.append_batch(["a"], [1])
+
+
+def test_constructor_validation(tmp_path):
+    for kwargs in (
+        {"retention_epochs": 0},
+        {"snapshot_every_epochs": 0},
+        {"max_bytes": 0},
+        {"max_sync_seconds": 0},
+    ):
+        with pytest.raises(ValueError):
+            SketchStore(str(tmp_path), **kwargs)
+    assert DEFAULT_RETENTION_EPOCHS >= 2
+
+
+def test_inspect_is_read_only_and_accurate(tmp_path):
+    with SketchStore(str(tmp_path), algorithm="CM_fast") as store:
+        store.publish_epoch(0, 200, filled())
+        store.append_batch(["x"], [1])
+    (tmp_path / "stray.bin").write_bytes(b"junk")
+    before = sorted(p.name for p in tmp_path.iterdir())
+    store = SketchStore(str(tmp_path))
+    audit = store.inspect()
+    assert sorted(p.name for p in tmp_path.iterdir()) == before  # untouched
+    assert not audit["ok"]  # the stray taints the audit
+    assert audit["strays"] == ["stray.bin"]
+    assert audit["recoverable_epoch"] == 0
+    snapshot_entry = audit["snapshots"][0]
+    assert snapshot_entry["valid"] and snapshot_entry["items"] == 200
+    wal_entry = audit["wals"][0]
+    assert wal_entry["valid"] and wal_entry["frames"] == 1

@@ -1,0 +1,159 @@
+"""Hostile-directory property tests: arbitrary damage, never wrong counts.
+
+Hypothesis drives random damage campaigns against a real two-epoch store
+directory — bit flips, truncations, extensions, deletions, any file, any
+offset — and recovery must always land in one of exactly three lawful
+outcomes:
+
+1. the newest epoch (+ its journal prefix), bytes verified;
+2. an older epoch, with everything untrustworthy quarantined;
+3. a typed :class:`StoreCorruptionError`.
+
+What it must *never* do is return state whose counts differ from some
+crash-consistent prefix of the true history — that is checked by querying
+the recovered sketch against the only states a lawful recovery can yield.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.registry import build_sketch
+from repro.store import SketchStore, StoreCorruptionError, StoreError
+
+MEMORY = 1536
+
+#: The batches of history, in order.  Epoch 0 snapshots after batch 0;
+#: epoch 1 after batch 2; batch 3 lives only in epoch 1's journal.
+BATCHES = (
+    (("a", "b", "a"), (1, 2, 3)),
+    (("c", "a"), (5, 1)),
+    (("d", "b", "c"), (2, 2, 1)),
+    (("e", "a", "d"), (7, 1, 1)),
+)
+PROBE = ("a", "b", "c", "d", "e", "zzz")
+
+
+def _sketch():
+    return build_sketch("CM_fast", MEMORY, seed=9)
+
+
+def _lawful_answer_sets():
+    """Query answers of every crash-consistent prefix of the history."""
+    answers = []
+    sketch = _sketch()
+    answers.append(tuple(sketch.query_batch(list(PROBE)).tolist()))
+    for keys, values in BATCHES:
+        sketch.insert_batch(list(keys), list(values))
+        answers.append(tuple(sketch.query_batch(list(PROBE)).tolist()))
+    return answers
+
+
+LAWFUL = _lawful_answer_sets()
+
+
+def build_store_dir(root) -> str:
+    directory = os.path.join(str(root), "store")
+    with SketchStore(directory, algorithm="CM_fast") as store:
+        sketch = _sketch()
+        sketch.insert_batch(*map(list, BATCHES[0]))
+        store.publish_epoch(0, 3, sketch)
+        for keys, values in BATCHES[1:3]:
+            sketch.insert_batch(list(keys), list(values))
+            store.append_batch(list(keys), list(values))
+        store.publish_epoch(1, 8, sketch)
+        store.append_batch(*map(list, BATCHES[3]))
+    return directory
+
+
+damage_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["flip", "truncate", "extend", "delete"]),
+        st.integers(min_value=0, max_value=9),  # file pick (mod file count)
+        st.integers(min_value=0, max_value=100_000),  # offset / length seed
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@given(damage_ops)
+@settings(max_examples=120, deadline=None)
+def test_arbitrary_damage_never_yields_wrong_counts(tmp_path_factory, ops):
+    root = tmp_path_factory.mktemp("hostile")
+    directory = build_store_dir(root)
+    files = sorted(
+        name
+        for name in os.listdir(directory)
+        if os.path.isfile(os.path.join(directory, name))
+    )
+    for kind, pick, magnitude in ops:
+        if not files:
+            break
+        name = files[pick % len(files)]
+        path = os.path.join(directory, name)
+        blob = bytearray(open(path, "rb").read())
+        if kind == "flip" and blob:
+            blob[magnitude % len(blob)] ^= 1 << (magnitude % 8)
+            open(path, "wb").write(bytes(blob))
+        elif kind == "truncate":
+            open(path, "wb").write(bytes(blob[: magnitude % (len(blob) + 1)]))
+        elif kind == "extend":
+            open(path, "ab").write(b"\xfe" * (1 + magnitude % 64))
+        elif kind == "delete":
+            os.remove(path)
+            files.remove(name)
+
+    store = SketchStore(directory, algorithm="CM_fast")
+    try:
+        result = store.restore_into(_sketch)
+    except StoreCorruptionError:
+        return  # lawful outcome 3: typed refusal
+    finally:
+        store.close()
+    if result is None:
+        # Only lawful if the damage deleted every store file.
+        remaining = [
+            name
+            for name in os.listdir(directory)
+            if os.path.isfile(os.path.join(directory, name))
+        ]
+        assert not remaining, "cold start over surviving state files"
+        return
+    warm, report = result
+    answers = tuple(warm.query_batch(list(PROBE)).tolist())
+    assert answers in LAWFUL, (
+        f"recovered counts {answers} match no crash-consistent prefix "
+        f"(report: {report})"
+    )
+
+
+def test_quarantine_preserves_damaged_originals(tmp_path):
+    directory = build_store_dir(tmp_path)
+    names = sorted(os.listdir(directory))
+    victim = next(name for name in names if name.startswith("epoch-000000000001"))
+    path = os.path.join(directory, victim)
+    blob = bytearray(open(path, "rb").read())
+    blob[30] ^= 0x08
+    open(path, "wb").write(bytes(blob))
+    with SketchStore(directory, algorithm="CM_fast") as store:
+        report = store.recover()
+        assert report.epoch_id == 0
+    quarantine = os.path.join(directory, "quarantine")
+    held = os.listdir(quarantine)
+    assert any(victim in name for name in held)
+    # Byte-for-byte the damaged original — forensics, not deletion.
+    quarantined = next(name for name in held if victim in name)
+    assert open(os.path.join(quarantine, quarantined), "rb").read() == bytes(blob)
+
+
+def test_wrong_family_cannot_masquerade(tmp_path):
+    directory = build_store_dir(tmp_path)
+    with pytest.raises(StoreError):
+        with SketchStore(directory, algorithm="Count") as store:
+            store.recover()

@@ -1,0 +1,153 @@
+"""Warm restart through the serving stack: bit-identical for every family.
+
+The acceptance bar of the durable store: a ``SketchService`` restarted
+from ``--store DIR`` must answer every query exactly as a process that
+never died — for *every* snapshotable family, including the
+order-dependent ones whose RNG draw counters ride in the state — under
+the full crash matrix (clean stop, kill without flush, kill mid-append).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.server import ServeConfig
+from repro.sketches.registry import snapshot_names
+from repro.store import CrashInjectingFileSystem, CrashPlan, InjectedCrash, SketchStore
+
+MEMORY = 4096
+PUBLISH_EVERY = 128
+
+
+def key_chunks(count=600, seed=5):
+    rng = np.random.default_rng(seed)
+    keys = [f"k{int(v) % 97}" for v in rng.integers(0, 1 << 30, size=count)]
+    return [keys[i : i + 100] for i in range(0, count, 100)]
+
+
+def config_for(name, directory=None):
+    return ServeConfig(
+        name,
+        MEMORY,
+        seed=2,
+        publish_every_items=PUBLISH_EVERY,
+        store_dir=None if directory is None else str(directory),
+    )
+
+
+def reference_service(name, chunks):
+    service = config_for(name).build_service()
+    for chunk in chunks:
+        service.ingest(chunk)
+    service.flush()
+    return service
+
+
+@pytest.mark.parametrize("name", snapshot_names())
+def test_warm_restart_bit_identical_per_family(tmp_path, name):
+    chunks = key_chunks()
+    half = len(chunks) // 2
+
+    durable = config_for(name, tmp_path).build_service()
+    for chunk in chunks[:half]:
+        durable.ingest(chunk)
+    # Kill without flush: whatever the writer held in memory must be in the
+    # journal — recovery may not lose a single item.
+    durable.close()
+
+    restarted = config_for(name, tmp_path).build_service()
+    for chunk in chunks[half:]:
+        restarted.ingest(chunk)
+    restarted.flush()
+
+    reference = reference_service(name, chunks)
+    probe = sorted({key for chunk in chunks for key in chunk})
+    got = restarted.query_batch(probe)
+    want = reference.query_batch(probe)
+    assert np.array_equal(got, want), f"{name} answers diverged after restart"
+    assert (
+        restarted.stats()["items_ingested"] == reference.stats()["items_ingested"]
+    )
+    restarted.close()
+
+
+def test_restart_epochs_continue_not_restart(tmp_path):
+    service = config_for("CM_fast", tmp_path).build_service()
+    service.ingest([f"k{i}" for i in range(300)])
+    service.flush()
+    first_epoch = service.stats()["epoch_id"]
+    service.close()
+
+    restarted = config_for("CM_fast", tmp_path).build_service()
+    assert restarted.stats()["epoch_id"] > first_epoch
+    restarted.close()
+
+
+def test_crash_mid_append_then_serve_restart(tmp_path):
+    chunks = key_chunks()
+    config = config_for("Ours", tmp_path)
+    fs = CrashInjectingFileSystem(plan=CrashPlan(crash_at_write=11, write_prefix=6))
+    store = SketchStore(str(tmp_path), algorithm="Ours", fs=fs)
+    from repro.serve.service import SketchService
+
+    service = SketchService(
+        config.build_sketch(), publish_every_items=PUBLISH_EVERY, store=store
+    )
+    survived = 0
+    with pytest.raises(InjectedCrash):
+        for chunk in chunks:
+            service.ingest(chunk)
+            survived += len(chunk)
+    assert fs.crashed
+
+    # A real restart over the torn directory: answers must match a clean
+    # process fed exactly the batches whose journal frames survived.
+    restarted = config.build_service()
+    report_items = restarted.stats()["items_ingested"]
+    reference = config_for("Ours").build_service()
+    fed = 0
+    for chunk in chunks:
+        if fed + len(chunk) > report_items:
+            break
+        reference.ingest(chunk)
+        fed += len(chunk)
+    assert fed == report_items  # recovery stopped on a batch boundary
+    reference.flush()
+    restarted.flush()
+    probe = sorted({key for chunk in chunks for key in chunk})
+    got = restarted.query_batch(probe)
+    want = reference.query_batch(probe)
+    assert np.array_equal(got, want)
+    restarted.close()
+
+
+def test_degraded_store_keeps_serving(tmp_path):
+    fs = CrashInjectingFileSystem(plan=CrashPlan(fail_writes=frozenset({2})))
+    store = SketchStore(str(tmp_path), algorithm="CM_fast", fs=fs)
+    from repro.serve.service import SketchService
+
+    config = config_for("CM_fast")
+    service = SketchService(
+        config.build_sketch(), publish_every_items=PUBLISH_EVERY, store=store
+    )
+    for chunk in key_chunks():
+        service.ingest(chunk)  # the disk error must never surface here
+    service.flush()
+    stats = service.stats()
+    assert stats["store"]["degraded"]
+    assert stats["store"]["dropped_batches"] > 0
+    estimates = service.query_batch(["k1", "k2"])
+    assert (estimates >= 0).all()
+    service.close()
+
+
+def test_non_snapshotable_algorithm_rejected_for_store(tmp_path):
+    config = ServeConfig("Elastic", MEMORY, store_dir=str(tmp_path))
+    with pytest.raises(ValueError, match="snapshotable"):
+        config.build_service()
+
+
+def test_store_dir_round_trips_through_payload(tmp_path):
+    config = config_for("CM_fast", tmp_path)
+    assert ServeConfig.from_payload(config.to_payload()) == config

@@ -296,3 +296,64 @@ def test_serve_and_query_end_to_end(capsys):
     assert "answered at epoch" in output
     assert '"epoch_id"' in output
     server.join(timeout=15)
+
+
+def test_durability_flags_rejected_elsewhere(tmp_path):
+    # Store and heartbeat flags obey the never-silently-ignored policy.
+    store = str(tmp_path)
+    for flags in (["--store", store], ["--store-retain", "2"],
+                  ["--heartbeat-interval", "1"], ["--heartbeat-timeout", "1"]):
+        with pytest.raises(SystemExit):
+            main(["fig4", *flags])
+    with pytest.raises(SystemExit):
+        main(["store-inspect", "--store", store, "--store-retain", "2"])
+    # store-* commands are nothing without a directory to operate on.
+    for command in ("store-inspect", "store-verify", "store-compact"):
+        with pytest.raises(SystemExit):
+            main([command])
+
+
+def test_durability_flag_validation(tmp_path):
+    store = str(tmp_path)
+    with pytest.raises(SystemExit):
+        main(["store-compact", "--store", store, "--store-retain", "0"])
+    with pytest.raises(SystemExit):
+        main(["ingest-collect", "--partitions", "2",
+              "--heartbeat-interval", "0"])
+    with pytest.raises(SystemExit):
+        main(["ingest-collect", "--partitions", "2",
+              "--heartbeat-timeout", "-1"])
+    # Heartbeats and persisted checkpoints exist only on the dynamic fleet.
+    with pytest.raises(SystemExit):
+        main(["ingest-collect", "--heartbeat-interval", "1"])
+    with pytest.raises(SystemExit):
+        main(["ingest-collect", "--store", store])
+    # A resumed fleet carries history local re-ingest cannot mirror.
+    with pytest.raises(SystemExit):
+        main(["ingest-collect", "--partitions", "2", "--store", store,
+              "--verify"])
+    # The store persists snapshots, so the family must be snapshotable.
+    with pytest.raises(SystemExit):
+        main(["serve", "--algorithm", "Elastic", "--store", store])
+
+
+def test_store_commands_on_empty_directory(tmp_path, capsys):
+    store = str(tmp_path)
+    assert main(["store-verify", "--store", store]) == 0
+    assert "empty store (cold start)" in capsys.readouterr().out
+    assert main(["store-inspect", "--store", store]) == 0
+    assert '"ok": true' in capsys.readouterr().out
+
+
+def test_ingest_collect_store_resume_end_to_end(tmp_path, capsys):
+    store = str(tmp_path / "checkpoints")
+    argv = ["ingest-collect", "--transport", "inproc", "--shards", "2",
+            "--partitions", "4", "--count", "2000", "--memory-bytes", "8192",
+            "--store", store]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert f"persisting partition checkpoints to {store}" in first
+    assert "2000" in first
+    # A second run resumes from disk: its totals include the first run's.
+    assert main(argv) == 0
+    assert "4000" in capsys.readouterr().out
