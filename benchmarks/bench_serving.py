@@ -38,6 +38,20 @@ by sequential saturation per client count; on a 1-core container the two
 front ends time-slice one CPU, so the ratio reflects fairness and tail
 latency, not parallel speedup — rows below 2x carry that note explicitly.
 
+**Temporal** (the ``"temporal"`` section): for each subtractable family,
+drives enough epoch publishes through a bounded ring to force evictions,
+then measures read qps three ways against the same in-process service —
+latest-epoch reads, reads pinned to a ring-resident historical epoch
+(``epoch=``), and sliding-window reads (``window=``, answered by the
+mergeable-family delta).  Each row verifies temporal correctness before
+timing anything: the pinned answers are bit-identical to the pinned
+snapshot's own (including after a further publish-and-evict), and the
+windowed answers equal the exact pinned subtraction — recorded as the
+row's ``epoch_consistent`` flag.  The row also counts successful epoch
+pins and typed ``EPOCH_GONE`` rejections (CI asserts at least one of
+each), and isolates ring-eviction overhead by timing the identical
+publish schedule against a single-epoch ring.
+
 **Warm restart** (the ``"warm_restart"`` section): ingests a stream into
 a service backed by a durable store (``--store``), kills it *without*
 flushing, then measures restart-to-first-answer — recover the newest
@@ -55,6 +69,8 @@ it directly::
         --concurrency-clients 1,8 --concurrency-requests 400
     PYTHONPATH=src python benchmarks/bench_serving.py --skip-closed-loop \\
         --skip-concurrency --warm-restart-items 100000
+    PYTHONPATH=src python benchmarks/bench_serving.py --skip-closed-loop \\
+        --skip-concurrency --skip-warm-restart --temporal-reads 500
 """
 
 from __future__ import annotations
@@ -72,6 +88,7 @@ import numpy as np
 
 from repro.distributed.transport import SocketChannel
 from repro.serve.async_server import AsyncServingSession
+from repro.serve.errors import EpochGoneError
 from repro.serve.loadgen import (
     LoadGenConfig,
     OpenLoopConfig,
@@ -109,6 +126,22 @@ DEFAULT_CONCURRENCY_READ_BATCH = 16
 DEFAULT_CONCURRENCY_ALGORITHM = "Ours"
 DEFAULT_PRELOAD_ITEMS = 20_000
 SERVER_KINDS = ("sequential", "async")
+
+# --- temporal-section defaults ---------------------------------------------
+#: Only subtractable families answer windowed reads, so the temporal sweep
+#: defaults to the two delta-capable baselines rather than ``ALGORITHMS``.
+DEFAULT_TEMPORAL_ALGORITHMS = ("CM_fast", "Count")
+DEFAULT_TEMPORAL_READS = 2000
+DEFAULT_TEMPORAL_RING_EPOCHS = 8
+DEFAULT_TEMPORAL_WINDOW = 4
+DEFAULT_TEMPORAL_EPOCH_ITEMS = 2000
+
+TEMPORAL_ONE_CORE_NOTE = (
+    "single-core container: the benchmark loop and the service time-slice "
+    "one CPU, so compare the modes' relative qps (pinned/windowed vs "
+    "latest) and treat absolute rates and the eviction-overhead ratio as "
+    "indicative, not parallel-hardware numbers (see docs/benchmarks.md)"
+)
 
 ONE_CORE_NOTE = (
     "single-core container: both front ends time-slice one CPU, so the "
@@ -407,6 +440,154 @@ def run_warm_restart_section(args) -> list[dict]:
     return rows
 
 
+# ---------------------------------------------------------------------------
+# Temporal section: pinned/windowed reads vs latest-epoch reads, ring churn.
+
+
+def bench_temporal_row(algorithm: str, args) -> dict:
+    """One family: time-travel and window read rates over a churning ring."""
+    import time
+
+    ring_epochs = args.temporal_ring_epochs
+    epoch_items = args.temporal_epoch_items
+    config = ServeConfig(
+        algorithm,
+        args.memory_bytes,
+        seed=args.seed,
+        publish_every_items=epoch_items,
+        ring_epochs=ring_epochs,
+    )
+    zipf = ZipfGenerator(args.skew, universe=args.universe, seed=args.seed + 19)
+    # Enough publishes past the ring budget that epoch 0 is long evicted,
+    # pre-drawn so the eviction-overhead rerun replays the same schedule.
+    batches = [zipf.draw(epoch_items).tolist() for _ in range(ring_epochs + 4)]
+
+    service = config.build_service()
+    begin = time.perf_counter()
+    for batch in batches:
+        service.ingest(batch)
+    publish_seconds_ring = time.perf_counter() - begin
+
+    resident = service.ring.epochs
+    pinned_epoch = resident[len(resident) // 2]
+    window = min(args.temporal_window, len(resident) - 1)
+    read_keys = zipf.draw(args.read_batch).tolist()
+    reads = args.temporal_reads
+    epoch_pins = 0
+
+    def pinned_read(epoch):
+        nonlocal epoch_pins
+        estimates, _ = service.serve_batch(read_keys, epoch=epoch)
+        epoch_pins += 1
+        return estimates
+
+    # Correctness before timing: pinned answers are bit-identical to the
+    # ring snapshot's own, windowed answers are bit-identical to a fresh
+    # sketch fed only the window's slice of the stream (the delta is exact
+    # at the table level — estimates are min/median'd after subtraction,
+    # so comparing against pinned-estimate arithmetic would be wrong),
+    # and pins do not move under a further publish-and-evict.
+    pinned_before = pinned_read(pinned_epoch)
+    snapshot = service.ring.get(pinned_epoch)
+    consistent = bool(
+        np.array_equal(pinned_before, snapshot.query_batch(read_keys))
+    )
+    windowed, later = service.serve_batch(read_keys, window=window)
+    fresh = build_sketch(algorithm, args.memory_bytes, seed=args.seed)
+    for batch in batches[later - window : later]:
+        fresh.insert_batch(batch)
+    consistent = consistent and bool(
+        np.array_equal(windowed, fresh.query_batch(read_keys))
+    )
+    epoch_pins += 1  # the windowed read above pins its anchor epoch
+    service.ingest(zipf.draw(epoch_items).tolist())
+    consistent = consistent and bool(
+        np.array_equal(pinned_before, pinned_read(pinned_epoch))
+    )
+
+    # The construction epoch was evicted many publishes ago: a pin against
+    # it must fail typed, and the service must count the rejection.
+    try:
+        service.serve_batch(read_keys, epoch=0)
+        consistent = False  # unreachable if eviction works
+    except EpochGoneError:
+        pass
+    gone_rejections = service.epoch_gone_rejections
+
+    def read_qps(run_read) -> float:
+        begin = time.perf_counter()
+        for _ in range(reads):
+            run_read()
+        return reads / max(time.perf_counter() - begin, 1e-9)
+
+    latest_read_qps = read_qps(lambda: service.serve_batch(read_keys))
+    pinned_read_qps = read_qps(lambda: pinned_read(pinned_epoch))
+    windowed_read_qps = read_qps(
+        lambda: service.serve_batch(read_keys, window=window)
+    )
+    ring_evictions = service.ring.evictions
+    service.close()
+
+    # Eviction overhead: the identical publish schedule against a ring that
+    # retains only the current epoch, so every publish evicts.
+    minimal_config = ServeConfig(
+        algorithm,
+        args.memory_bytes,
+        seed=args.seed,
+        publish_every_items=epoch_items,
+        ring_epochs=1,
+    )
+    minimal = minimal_config.build_service()
+    begin = time.perf_counter()
+    for batch in batches:
+        minimal.ingest(batch)
+    publish_seconds_minimal = time.perf_counter() - begin
+    minimal.close()
+
+    return {
+        "algorithm": algorithm,
+        "ring_epochs": ring_epochs,
+        "publish_every_items": epoch_items,
+        "read_batch": args.read_batch,
+        "reads_per_mode": reads,
+        "window": window,
+        "pinned_epoch": pinned_epoch,
+        "latest_read_qps": latest_read_qps,
+        "pinned_read_qps": pinned_read_qps,
+        "windowed_read_qps": windowed_read_qps,
+        "pinned_over_latest": pinned_read_qps / max(latest_read_qps, 1e-9),
+        "windowed_over_latest": windowed_read_qps / max(latest_read_qps, 1e-9),
+        "epoch_pins": epoch_pins,
+        "epoch_gone_rejections": gone_rejections,
+        "publish_seconds_ring": publish_seconds_ring,
+        "publish_seconds_minimal_ring": publish_seconds_minimal,
+        "ring_eviction_overhead": publish_seconds_ring
+        / max(publish_seconds_minimal, 1e-9),
+        "ring_evictions": ring_evictions,
+        "epoch_consistent": consistent,
+        "note": TEMPORAL_ONE_CORE_NOTE,
+    }
+
+
+def run_temporal_section(args) -> list[dict]:
+    rows = []
+    for algorithm in args.temporal_algorithm_names:
+        row = bench_temporal_row(algorithm, args)
+        rows.append(row)
+        print(
+            f"temporal {algorithm:>8}: "
+            f"latest {row['latest_read_qps']:,.0f} q/s, "
+            f"pinned {row['pinned_read_qps']:,.0f} q/s "
+            f"({row['pinned_over_latest']:.2f}x), "
+            f"window({row['window']}) {row['windowed_read_qps']:,.0f} q/s, "
+            f"eviction overhead {row['ring_eviction_overhead']:.2f}x, "
+            f"{row['epoch_pins']} pins, "
+            f"{row['epoch_gone_rejections']} gone, "
+            f"epoch_consistent={row['epoch_consistent']}"
+        )
+    return rows
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--operations", type=int, default=DEFAULT_OPERATIONS,
@@ -456,12 +637,31 @@ def main(argv: list[str] | None = None) -> int:
                         default=DEFAULT_WARM_RESTART_ITEMS,
                         help="items ingested before the durable-store restart "
                              "race (default: %(default)s)")
+    parser.add_argument("--temporal-algorithms",
+                        default=",".join(DEFAULT_TEMPORAL_ALGORITHMS),
+                        help="comma-separated subtractable families for the "
+                             "temporal section (default: %(default)s)")
+    parser.add_argument("--temporal-reads", type=int,
+                        default=DEFAULT_TEMPORAL_READS,
+                        help="timed reads per temporal mode (default: %(default)s)")
+    parser.add_argument("--temporal-ring-epochs", type=int,
+                        default=DEFAULT_TEMPORAL_RING_EPOCHS,
+                        help="ring budget for the temporal section "
+                             "(default: %(default)s)")
+    parser.add_argument("--temporal-window", type=int,
+                        default=DEFAULT_TEMPORAL_WINDOW,
+                        help="sliding-window span in epochs (default: %(default)s)")
+    parser.add_argument("--temporal-epoch-items", type=int,
+                        default=DEFAULT_TEMPORAL_EPOCH_ITEMS,
+                        help="items per temporal epoch (default: %(default)s)")
     parser.add_argument("--skip-concurrency", action="store_true",
                         help="run only the closed-loop transport section")
     parser.add_argument("--skip-closed-loop", action="store_true",
                         help="run only the concurrency section")
     parser.add_argument("--skip-warm-restart", action="store_true",
                         help="skip the durable-store restart section")
+    parser.add_argument("--skip-temporal", action="store_true",
+                        help="skip the pinned/windowed read section")
     parser.add_argument("--output", type=Path,
                         default=Path(__file__).resolve().parent.parent / "BENCH_serving.json",
                         help="output JSON path (default: repo root)")
@@ -470,6 +670,9 @@ def main(argv: list[str] | None = None) -> int:
     algorithms = tuple(name for name in args.algorithms.split(",") if name)
     args.concurrency_client_counts = tuple(
         int(name) for name in args.concurrency_clients.split(",") if name
+    )
+    args.temporal_algorithm_names = tuple(
+        name for name in args.temporal_algorithms.split(",") if name
     )
 
     print(
@@ -504,6 +707,11 @@ def main(argv: list[str] | None = None) -> int:
         print("warm restart: durable-store recovery vs full stream replay")
         warm_restart = run_warm_restart_section(args)
 
+    temporal = None
+    if not args.skip_temporal:
+        print("temporal: pinned and windowed reads over a churning epoch ring")
+        temporal = run_temporal_section(args)
+
     payload = {
         "workload": {
             "operations": args.operations,
@@ -531,9 +739,17 @@ def main(argv: list[str] | None = None) -> int:
             "items": args.warm_restart_items,
             "results": warm_restart,
         }
+    if temporal is not None:
+        payload["temporal"] = {
+            "ring_epochs": args.temporal_ring_epochs,
+            "window": args.temporal_window,
+            "epoch_items": args.temporal_epoch_items,
+            "results": temporal,
+        }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
     all_rows = rows + (concurrency["results"] if concurrency else [])
+    all_rows += temporal or []
     if not all(row["epoch_consistent"] for row in all_rows):
         print("ERROR: a serving run violated epoch consistency", file=sys.stderr)
         return 1
@@ -541,6 +757,13 @@ def main(argv: list[str] | None = None) -> int:
         row["bit_identical"] for row in warm_restart
     ):
         print("ERROR: a warm restart was not bit-identical", file=sys.stderr)
+        return 1
+    if temporal is not None and not all(
+        row["epoch_pins"] > 0 and row["epoch_gone_rejections"] > 0
+        for row in temporal
+    ):
+        print("ERROR: a temporal run pinned nothing or never saw EPOCH_GONE",
+              file=sys.stderr)
         return 1
     return 0
 

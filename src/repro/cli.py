@@ -48,6 +48,15 @@ query it from another terminal/host::
     repro-cli query --connect host:29462 --count 100000      # demo writer
     repro-cli query --connect host:29462 --keys 17,42 --top-k 5 --stats
 
+Time-travel against the server's epoch ring (pin a past epoch, estimate
+over a sliding window of recent epochs, or watch the heavy-hitter ranking
+for changes)::
+
+    repro-cli serve --algorithm CM_fast --ring-epochs 16
+    repro-cli query --keys 17,42 --epoch 3        # pinned; EPOCH_GONE if evicted
+    repro-cli query --keys 17,42 --window 4       # last 4 epochs only (CM/Count)
+    repro-cli query --top-k 5 --watch 10 --interval 0.5
+
 Serve with a crash-safe durable store (WAL + checksummed epoch snapshots;
 restarting over the same directory warm-starts bit-identically), and audit
 or maintain a store directory offline::
@@ -302,6 +311,7 @@ def _cmd_serve(args) -> None:
         publish_every_items=publish_every,
         max_tracked_keys=args.max_tracked_keys,
         store_dir=args.store,
+        **({"ring_epochs": args.ring_epochs} if args.ring_epochs is not None else {}),
     )
     service = config.build_service()
     if args.store is not None:
@@ -416,15 +426,47 @@ def _cmd_query(args) -> None:
                     f"epochs {sorted(epochs)})"
                 )
             else:
-                estimates, epoch = client.query_batch(keys)
+                estimates, epoch = client.query_batch(
+                    keys, epoch=args.epoch, window=args.window
+                )
                 for key, estimate in zip(keys, estimates.tolist()):
                     print(f"{key}: {estimate}")
-                print(f"(answered at epoch {epoch})")
-        if args.top_k:
-            ranking, epoch = client.top_k(args.top_k)
+                if args.window is not None:
+                    print(f"(window of {args.window} epoch(s) ending at epoch {epoch})")
+                elif args.epoch is not None:
+                    print(f"(pinned to epoch {epoch})")
+                else:
+                    print(f"(answered at epoch {epoch})")
+        if args.top_k and args.watch:
+            # Client-side change detection: poll the ranking and diff
+            # successive answers.  A key absent from one ranking has an
+            # unknown remote estimate (treated as 0 — deltas are lower
+            # bounds); the server-side diff (service.diff_epochs) is exact.
+            from repro.temporal import diff_rankings
+
+            interval = args.interval if args.interval is not None else 1.0
+            previous = None
+            previous_epoch = None
+            for round_index in range(args.watch):
+                if round_index and interval:
+                    time.sleep(interval)
+                ranking, epoch = client.top_k(args.top_k)
+                if previous is not None:
+                    report = diff_rankings(
+                        previous, ranking,
+                        earlier_epoch=previous_epoch, later_epoch=epoch,
+                    )
+                    print(json_module.dumps(report.to_dict(), default=str))
+                previous, previous_epoch = ranking, epoch
+            print(f"(watched {args.watch} round(s), ending at epoch {previous_epoch})")
+        elif args.top_k:
+            ranking, epoch = client.top_k(args.top_k, epoch=args.epoch)
             for rank, (key, estimate) in enumerate(ranking, start=1):
                 print(f"#{rank}: {key} = {estimate}")
-            print(f"(answered at epoch {epoch})")
+            if args.epoch is not None:
+                print(f"(pinned to epoch {epoch})")
+            else:
+                print(f"(answered at epoch {epoch})")
         if args.stats:
             print(json_module.dumps(client.stats(), indent=2, default=str))
     finally:
@@ -746,6 +788,11 @@ _FLAG_COMMANDS = {
     "--top-k": frozenset({"query"}),
     "--stats": frozenset({"query"}),
     "--pipeline": frozenset({"query"}),
+    "--epoch": frozenset({"query"}),
+    "--window": frozenset({"query"}),
+    "--watch": frozenset({"query"}),
+    "--interval": frozenset({"query"}),
+    "--ring-epochs": frozenset({"serve"}),
     "--store": frozenset(
         {"serve", "ingest-collect", "store-inspect", "store-verify", "store-compact"}
     ),
@@ -874,6 +921,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="query: issue the --keys estimates as pipelined "
                               "single-key requests with this many in flight "
                               "(demonstrates in-order pipelined replies)")
+    serving.add_argument("--epoch", type=int, default=None,
+                         help="query: pin --keys/--top-k to this published epoch "
+                              "instead of the latest one; an epoch evicted from "
+                              "the server's ring is a typed EPOCH_GONE rejection")
+    serving.add_argument("--window", type=int, default=None,
+                         help="query: estimate --keys over the last N epochs only "
+                              "(exact epoch-delta subtraction; CM/Count families)")
+    serving.add_argument("--watch", type=int, default=None,
+                         help="query: poll --top-k this many rounds and print a "
+                              "JSON change report (surges/drops/churn) per round")
+    serving.add_argument("--interval", type=float, default=None,
+                         help="query --watch: seconds between polls (default: 1)")
+    serving.add_argument("--ring-epochs", type=int, default=None, dest="ring_epochs",
+                         help="serve: how many published epochs stay pinnable for "
+                              "--epoch/--window reads (default: 8)")
     durability = parser.add_argument_group(
         "durability", "options of serve --store / ingest-collect --store / store-*"
     )
@@ -953,6 +1015,11 @@ def main(argv: list[str] | None = None) -> int:
         "--top-k": args.top_k,
         "--stats": args.stats or None,
         "--pipeline": args.pipeline,
+        "--epoch": args.epoch,
+        "--window": args.window,
+        "--watch": args.watch,
+        "--interval": args.interval,
+        "--ring-epochs": args.ring_epochs,
         "--store": args.store,
         "--store-retain": args.store_retain,
         "--heartbeat-interval": args.heartbeat_interval,
@@ -988,6 +1055,30 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--pipeline must be a positive integer")
     if args.pipeline is not None and not args.keys:
         parser.error("--pipeline requires --keys")
+    if args.epoch is not None and args.epoch < 0:
+        parser.error("--epoch must be a non-negative epoch id")
+    if args.window is not None and args.window <= 0:
+        parser.error("--window must be a positive number of epochs")
+    if args.epoch is not None and args.window is not None:
+        parser.error("--epoch and --window are mutually exclusive")
+    if args.window is not None and not args.keys:
+        parser.error("--window requires --keys")
+    if (args.epoch is not None or args.window is not None) and args.pipeline is not None:
+        parser.error("--epoch/--window cannot be combined with --pipeline")
+    if args.epoch is not None and not (args.keys or args.top_k):
+        parser.error("--epoch requires --keys or --top-k")
+    if args.watch is not None and args.watch <= 0:
+        parser.error("--watch must be a positive number of rounds")
+    if args.watch is not None and not args.top_k:
+        parser.error("--watch requires --top-k")
+    if args.watch is not None and args.epoch is not None:
+        parser.error("--watch polls the live ranking; it cannot pin --epoch")
+    if args.interval is not None and args.interval < 0:
+        parser.error("--interval must be non-negative")
+    if args.interval is not None and args.watch is None:
+        parser.error("--interval requires --watch")
+    if args.ring_epochs is not None and args.ring_epochs <= 0:
+        parser.error("--ring-epochs must be a positive integer")
     if args.experiment.startswith("store-") and args.store is None:
         parser.error(f"{args.experiment} requires --store DIR")
     if args.store_retain is not None and args.store_retain <= 0:
@@ -1036,14 +1127,17 @@ def main(argv: list[str] | None = None) -> int:
     command = _COMMANDS[args.experiment]
     if args.experiment.startswith(("ingest-", "store-")) or args.experiment in ("serve", "query"):
         # Bad addresses, unreachable peers, ports in use, workers that never
-        # dial in, or an unrecoverable store directory surface as clean
+        # dial in, an unrecoverable store directory, or a typed server
+        # rejection (an --epoch pin the ring has evicted) surface as clean
         # argparse errors, not tracebacks (ValueError from parsing,
-        # OSError/timeout from sockets and pipes, StoreError from recovery).
+        # OSError/timeout from sockets and pipes, StoreError from recovery,
+        # QueryRejectedError from the serving protocol).
+        from repro.serve.errors import QueryRejectedError
         from repro.store import StoreError
 
         try:
             command(args)
-        except (ValueError, OSError, StoreError) as error:
+        except (ValueError, OSError, StoreError, QueryRejectedError) as error:
             parser.error(str(error) or type(error).__name__)
     else:
         command(args)

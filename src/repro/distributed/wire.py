@@ -111,11 +111,19 @@ _QUERY_KINDS = frozenset({QUERY_KEYS, QUERY_TOP_K, QUERY_STATS, QUERY_FLUSH})
 # back-pressure signal of the async front end: the request was *not*
 # served (the global in-flight bound was hit) and carries no body — the
 # client may retry.  The reply still echoes the request id and kind, so
-# pipelined clients keep their in-order bookkeeping.
+# pipelined clients keep their in-order bookkeeping.  EPOCH_GONE is the
+# temporal layer's typed rejection of a pinned-epoch (or windowed) read
+# whose epoch the ring has evicted: like BUSY it carries no body, but
+# unlike BUSY the request can *never* succeed by retrying — clients must
+# raise, not back off (``epoch_id`` echoes the requested epoch).
 STATUS_OK = 0
 STATUS_BUSY = 1
+STATUS_EPOCH_GONE = 2
 
-_QUERY_STATUSES = frozenset({STATUS_OK, STATUS_BUSY})
+_QUERY_STATUSES = frozenset({STATUS_OK, STATUS_BUSY, STATUS_EPOCH_GONE})
+
+#: Reply statuses that carry no body (the request was not answered).
+_BODYLESS_STATUSES = frozenset({STATUS_BUSY, STATUS_EPOCH_GONE})
 
 # Key-block modes of a batch payload.
 _KEYS_INT32 = 0  # all keys are ints in [0, 2^31): one uint32 array
@@ -641,6 +649,13 @@ class QueryRequest:
     kind: int
     keys: EncodedKeyBatch | None = None
     k: int | None = None
+    #: Pin the answer to a specific published epoch (temporal reads); the
+    #: server resolves it against its epoch ring and replies
+    #: :data:`STATUS_EPOCH_GONE` when evicted.  ``None`` = latest epoch.
+    epoch: int | None = None
+    #: Answer from the delta of the last ``window`` epochs instead of the
+    #: cumulative sketch (subtractable families only).  ``None`` = cumulative.
+    window: int | None = None
 
 
 @dataclass(frozen=True)
@@ -656,7 +671,10 @@ class QueryResponse:
     ``status`` is :data:`STATUS_OK` for a served answer.  A
     :data:`STATUS_BUSY` reply is the admission-control rejection of the
     async front end: the request was never executed, the reply carries no
-    body, and the client may retry it.
+    body, and the client may retry it.  A :data:`STATUS_EPOCH_GONE` reply
+    rejects a pinned or windowed read whose epoch the ring has evicted —
+    also bodyless, but retrying can never succeed; ``epoch_id`` echoes the
+    epoch that was requested and is gone.
     """
 
     request_id: int
@@ -668,20 +686,50 @@ class QueryResponse:
     status: int = STATUS_OK
 
 
+# Temporal extension of a MSG_QUERY payload: an optional trailing block
+# (flags byte + fields) appended after the kind body.  Emitted *only* when a
+# temporal field is set, so plain latest-epoch requests stay byte-identical
+# to pre-temporal frames — a compatible extension within wire v3.
+_TEMPORAL_EPOCH = 0x01  # + 8-byte BE epoch id: pin the answer to that epoch
+_TEMPORAL_WINDOW = 0x02  # + 4-byte BE N: answer from the last-N-epochs delta
+
+
+def _check_temporal_fields(kind: int, epoch: int | None, window: int | None) -> None:
+    """Shared encode/decode validation of the temporal extension."""
+    if epoch is not None and window is not None:
+        raise WireFormatError("a query may pin an epoch or a window, not both")
+    if epoch is not None:
+        if kind not in (QUERY_KEYS, QUERY_TOP_K):
+            raise WireFormatError("only key and top-k queries can pin an epoch")
+        if epoch < 0:
+            raise WireFormatError("pinned epoch must be non-negative")
+    if window is not None:
+        if kind != QUERY_KEYS:
+            raise WireFormatError("only key queries can request a window")
+        if window <= 0:
+            raise WireFormatError("window must be a positive epoch count")
+
+
 def encode_query_request(
     request_id: int,
     kind: int,
     keys: Sequence[object] | None = None,
     k: int | None = None,
+    epoch: int | None = None,
+    window: int | None = None,
 ) -> bytes:
     """Serialize a query request into a ``MSG_QUERY`` payload.
 
     Key lists ride the same packed key block as batch payloads, so a query
     for a million keys costs the sender no per-key Python work on the int
-    fast path.
+    fast path.  ``epoch`` pins the request to a specific published epoch,
+    ``window`` asks for last-``N``-epochs estimates; either appends the
+    temporal extension block — requests with neither are byte-identical to
+    pre-temporal frames.
     """
     if kind not in _QUERY_KINDS:
         raise WireFormatError(f"unknown query kind {kind}")
+    _check_temporal_fields(kind, epoch, window)
     parts = [struct.pack(">IB", request_id, kind)]
     if kind == QUERY_KEYS:
         if keys is None:
@@ -693,6 +741,10 @@ def encode_query_request(
         if k is None or k <= 0:
             raise WireFormatError("QUERY_TOP_K requires a positive k")
         parts.append(struct.pack(">I", k))
+    if epoch is not None:
+        parts.append(struct.pack(">BQ", _TEMPORAL_EPOCH, epoch))
+    elif window is not None:
+        parts.append(struct.pack(">BI", _TEMPORAL_WINDOW, window))
     return b"".join(parts)
 
 
@@ -711,9 +763,23 @@ def decode_query_request(payload: bytes) -> QueryRequest:
         (k,) = struct.unpack(">I", read(4))
         if k <= 0:
             raise WireFormatError("QUERY_TOP_K requires a positive k")
+    epoch = None
+    window = None
+    if position() != len(payload):
+        # The temporal extension block (absent on plain latest-epoch frames).
+        flags = read(1)[0]
+        if flags == _TEMPORAL_EPOCH:
+            (epoch,) = struct.unpack(">Q", read(8))
+        elif flags == _TEMPORAL_WINDOW:
+            (window,) = struct.unpack(">I", read(4))
+        else:
+            raise WireFormatError(f"unknown temporal extension flags {flags:#x}")
+        _check_temporal_fields(kind, epoch, window)
     if position() != len(payload):
         raise WireFormatError("trailing bytes after query request")
-    return QueryRequest(request_id=request_id, kind=kind, keys=keys, k=k)
+    return QueryRequest(
+        request_id=request_id, kind=kind, keys=keys, k=k, epoch=epoch, window=window
+    )
 
 
 def encode_query_response(
@@ -727,17 +793,19 @@ def encode_query_response(
 ) -> bytes:
     """Serialize an epoch-stamped answer into a ``MSG_QUERY_REPLY`` payload.
 
-    A :data:`STATUS_BUSY` reply carries no body (the request was rejected,
-    not answered), so ``estimates``/``keys``/``stats`` must be omitted.
+    A :data:`STATUS_BUSY` or :data:`STATUS_EPOCH_GONE` reply carries no body
+    (the request was rejected, not answered), so ``estimates``/``keys``/
+    ``stats`` must be omitted; an EPOCH_GONE reply echoes the requested
+    epoch in ``epoch_id``.
     """
     if kind not in _QUERY_KINDS:
         raise WireFormatError(f"unknown query kind {kind}")
     if status not in _QUERY_STATUSES:
         raise WireFormatError(f"unknown reply status {status}")
     parts = [struct.pack(">IBBQ", request_id, kind, status, epoch_id)]
-    if status == STATUS_BUSY:
+    if status in _BODYLESS_STATUSES:
         if estimates is not None or keys is not None or stats is not None:
-            raise WireFormatError("a BUSY reply must not carry a body")
+            raise WireFormatError("a rejection reply must not carry a body")
         return b"".join(parts)
     if kind in (QUERY_KEYS, QUERY_TOP_K):
         if estimates is None:
@@ -772,9 +840,9 @@ def decode_query_response(payload: bytes) -> QueryResponse:
     estimates = None
     keys = None
     stats = None
-    if status == STATUS_BUSY:
+    if status in _BODYLESS_STATUSES:
         if position() != len(payload):
-            raise WireFormatError("trailing bytes after a BUSY reply")
+            raise WireFormatError("trailing bytes after a rejection reply")
         return QueryResponse(
             request_id=request_id, kind=kind, epoch_id=epoch_id, status=status
         )

@@ -10,6 +10,10 @@ Every figure of §6 boils down to some combination of the helpers here:
 * :func:`minimum_memory_for_zero_outliers` /
   :func:`minimum_memory_for_target_aae` — the memory-search loops behind
   Figures 5 and 11–15.
+* :func:`run_windowed_fill` — the epoch-writer fill that keeps every
+  published snapshot plus exact per-window ground truth
+  (:meth:`WindowedFill.window_counts`), backing the sliding-window
+  accuracy suite of the temporal serving layer.
 
 Three scaling knobs thread through everything: ``shards`` builds every
 sketch as a :class:`~repro.sketches.sharded.ShardedSketch` of
@@ -358,3 +362,93 @@ def minimum_memory_for_target_aae(
         return run_sketch(name, memory_bytes, stream, settings, counts=counts).aae <= target_aae
 
     return _search_minimum_memory(evaluate, low_bytes, high_bytes)
+
+
+@dataclass(frozen=True)
+class WindowedFill:
+    """Every epoch published while filling one sketch, plus exact per-window
+    ground truth — the raw material for sliding-window accuracy evaluation.
+
+    ``snapshots`` holds the published :class:`~repro.serve.snapshots.EpochSnapshot`
+    sequence in epoch order, *including* the construction epoch (the empty
+    sketch at 0 items) — so every window has a left boundary.  Each
+    snapshot's ``items`` field is the number of stream items absorbed at its
+    publish, which makes the exact ground truth of the window ``(earlier,
+    later]`` simply the count over that slice of the stream — no replay, no
+    approximation, computable for any pair of published epochs.
+    """
+
+    algorithm: str
+    memory_bytes: float
+    snapshots: tuple
+
+    def snapshot(self, epoch_id: int):
+        """The published snapshot with this epoch id."""
+        for published in self.snapshots:
+            if published.epoch_id == epoch_id:
+                return published
+        raise KeyError(f"epoch {epoch_id} was not published by this fill")
+
+    def window_counts(self, stream: Stream, earlier_epoch: int, later_epoch: int) -> dict:
+        """Exact per-key value sums of the items in ``(earlier, later]``.
+
+        This is the windowed analogue of ``stream.counts()``: the ground
+        truth a sliding-window estimate (epoch-delta subtraction of the two
+        delimiting snapshots) is evaluated against.
+        """
+        low = self.snapshot(earlier_epoch).items
+        high = self.snapshot(later_epoch).items
+        if high < low:
+            raise ValueError(
+                f"window must run forward: epoch {later_epoch} ({high} items) "
+                f"is before epoch {earlier_epoch} ({low} items)"
+            )
+        counts: dict = {}
+        for item in stream.items[low:high]:
+            counts[item.key] = counts.get(item.key, 0) + item.value
+        return counts
+
+
+def run_windowed_fill(
+    name: str,
+    memory_bytes: float,
+    stream: Stream,
+    epoch_items: int,
+    settings: ExperimentSettings | None = None,
+) -> WindowedFill:
+    """Fill one sketch through the epoch writer, keeping *every* published
+    snapshot (not just the final one) for windowed evaluation.
+
+    The fill is bit-identical to ``epoch_items``-mode :func:`run_sketch`
+    (same writer, same chunking), but instead of evaluating the final epoch
+    it returns the whole publish history: for subtractable families (CM and
+    Count) the table difference of any two snapshots equals a fresh sketch
+    fed only the stream slice between their publishes, and
+    :meth:`WindowedFill.window_counts` supplies the matching exact truth.
+    A purely local path — the remote fill's epoch structure lives on the
+    workers, so ``settings.transport`` is rejected like ``epoch_items``.
+    """
+    from repro.serve.snapshots import EpochWriter
+    from repro.streams.items import chunked
+
+    settings = settings or ExperimentSettings()
+    if settings.transport is not None:
+        raise ValueError(
+            "windowed fills are local: the remote fill has no local epoch "
+            "writer whose publish history could be retained"
+        )
+    snapshots: list = []
+    with use_backend(settings.kernel):
+        sketch = _sketch_factory(name, settings)(memory_bytes)
+        writer = EpochWriter(
+            sketch, publish_every_items=epoch_items, on_publish=snapshots.append
+        )
+        chunk_size = settings.batch_size or epoch_items
+        for chunk in chunked(stream, chunk_size):
+            writer.ingest([key for key, _ in chunk], [value for _, value in chunk])
+        final = writer.publish()
+    if not snapshots or snapshots[-1].epoch_id != final.epoch_id:
+        snapshots.append(final)
+    return WindowedFill(
+        algorithm=name, memory_bytes=memory_bytes, snapshots=tuple(snapshots)
+    )

@@ -26,6 +26,12 @@ reader observe a half-applied update:
   (Zipf key mix, configurable read/write ratio) and an open-loop
   multi-client harness (target-qps Poisson arrivals, per-request latency),
   both behind ``benchmarks/bench_serving.py``.
+* :mod:`repro.serve.errors` — the typed query-rejection hierarchy
+  (:class:`~repro.serve.errors.ServerBusyError` is retryable;
+  :class:`~repro.serve.errors.EpochGoneError` — a pinned epoch evicted
+  from the temporal ring — is not).  The ring itself, sliding-window
+  deltas, and heavy-hitter change detection live in :mod:`repro.temporal`
+  and surface here through ``SketchService``.
 """
 
 from repro.serve.async_server import (
@@ -41,6 +47,7 @@ from repro.serve.loadgen import (
     run_loadgen,
     run_open_loop,
 )
+from repro.serve.errors import EpochGoneError, QueryRejectedError
 from repro.serve.server import (
     QueryClient,
     RetryPolicy,
@@ -58,6 +65,7 @@ __all__ = [
     "AsyncServerStats",
     "AsyncServingSession",
     "AsyncSketchServer",
+    "EpochGoneError",
     "EpochSnapshot",
     "EpochWriter",
     "LoadGenConfig",
@@ -65,6 +73,7 @@ __all__ = [
     "OpenLoopConfig",
     "OpenLoopReport",
     "QueryClient",
+    "QueryRejectedError",
     "RetryPolicy",
     "ServeConfig",
     "ServerBusyError",

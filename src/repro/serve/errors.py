@@ -1,0 +1,104 @@
+"""Typed rejection errors of the serving layer's read path.
+
+Every non-OK ``MSG_QUERY_REPLY`` status maps to one subclass of
+:class:`QueryRejectedError`, so callers branch on exception *type* (and the
+``retryable`` flag) instead of string-matching messages or raw status bytes:
+
+* :class:`ServerBusyError` — admission control turned the request away
+  before executing it; retrying under backoff is safe and the client does.
+* :class:`EpochGoneError` — a pinned-epoch (or windowed) read named an epoch
+  the ring has evicted; no number of retries can bring it back, so clients
+  raise immediately instead of burning their retry budget on it.
+
+The split matters operationally: treating every rejection as BUSY (the old
+behaviour) made a client retry EPOCH_GONE requests that could never succeed,
+turning one stale pin into ``max_retries`` round trips plus a misleading
+"server busy" failure.
+
+This module lives apart from ``repro.serve.server`` so the temporal layer
+(whose ring raises :class:`EpochGoneError`) can import it without pulling in
+the transport stack; ``server`` re-exports the names for compatibility.
+"""
+
+from __future__ import annotations
+
+
+class QueryRejectedError(RuntimeError):
+    """Base of all typed non-OK query replies.
+
+    ``retryable`` says whether resending the same request can ever succeed;
+    ``request_id``/``kind``/``epoch_id`` echo the rejected request when the
+    error surfaced from a wire reply (``None`` when raised service-side,
+    before any frame existed).
+    """
+
+    retryable = False
+
+    def __init__(
+        self,
+        message: str,
+        request_id: int | None = None,
+        kind: int | None = None,
+        epoch_id: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.request_id = request_id
+        self.kind = kind
+        self.epoch_id = epoch_id
+
+
+class ServerBusyError(QueryRejectedError):
+    """The server rejected a request with a typed BUSY reply.
+
+    Raised by ``QueryClient`` when a reply carries
+    :data:`~repro.distributed.wire.STATUS_BUSY` — the async front end's
+    admission control turned the request away (it was never executed).
+    Retrying is safe; the client does so with bounded backoff and only
+    raises once its retry budget is spent.
+    """
+
+    retryable = True
+
+    def __init__(self, request_id: int, kind: int, epoch_id: int) -> None:
+        QueryRejectedError.__init__(
+            self,
+            f"server is at its in-flight bound (request {request_id}, "
+            f"kind {kind}, epoch {epoch_id})",
+            request_id=request_id,
+            kind=kind,
+            epoch_id=epoch_id,
+        )
+
+
+class EpochGoneError(QueryRejectedError):
+    """A pinned or windowed read named an epoch the ring no longer holds.
+
+    Raised service-side by the :class:`~repro.temporal.EpochRing` when the
+    requested epoch was evicted (or never published), and client-side when a
+    reply carries :data:`~repro.distributed.wire.STATUS_EPOCH_GONE`.  Not
+    retryable by construction — eviction is permanent — so clients surface
+    it immediately instead of backing off.
+
+    ``epoch_id`` is the epoch that was requested and is gone; ``oldest`` /
+    ``newest`` bound the ring's resident range when known (service-side), so
+    the message tells the caller what *is* still pinnable.
+    """
+
+    retryable = False
+
+    def __init__(
+        self,
+        epoch_id: int,
+        oldest: int | None = None,
+        newest: int | None = None,
+        request_id: int | None = None,
+        kind: int | None = None,
+    ) -> None:
+        message = f"epoch {epoch_id} is not ring-resident"
+        if oldest is not None and newest is not None:
+            message += f" (ring holds epochs {oldest}..{newest})"
+        QueryRejectedError.__init__(
+            self, message, request_id=request_id, kind=kind, epoch_id=epoch_id
+        )
+        self.oldest = oldest
+        self.newest = newest

@@ -49,6 +49,8 @@ from repro.distributed.wire import (
     QUERY_STATS,
     QUERY_TOP_K,
     STATUS_BUSY,
+    STATUS_EPOCH_GONE,
+    STATUS_OK,
     QueryResponse,
     WireFormatError,
     decode_batch,
@@ -62,30 +64,20 @@ from repro.distributed.wire import (
     encode_query_request,
     encode_query_response,
 )
+# Typed rejection errors live in their own module (the temporal ring raises
+# EpochGoneError without touching the transport stack); re-exported here
+# because this is where callers historically imported ServerBusyError from.
+from repro.serve.errors import (  # noqa: F401  (re-exports)
+    EpochGoneError,
+    QueryRejectedError,
+    ServerBusyError,
+)
 from repro.serve.service import DEFAULT_CACHE_SIZE, SketchService
-from repro.serve.snapshots import DEFAULT_PUBLISH_EVERY_ITEMS
-from repro.sketches.base import Sketch
+from repro.serve.snapshots import DEFAULT_PUBLISH_EVERY_ITEMS, EpochSnapshot
+from repro.temporal import DEFAULT_RING_EPOCHS
+from repro.sketches.base import Sketch, UnmergeableSketchError
 from repro.sketches.registry import build_sketch
 from repro.sketches.sharded import ShardedSketch
-
-
-class ServerBusyError(RuntimeError):
-    """The server rejected a request with a typed BUSY reply.
-
-    Raised by :class:`QueryClient` when a reply carries
-    :data:`~repro.distributed.wire.STATUS_BUSY` — the async front end's
-    admission control turned the request away (it was never executed).
-    Retrying is safe; the load generator does so with bounded attempts.
-    """
-
-    def __init__(self, request_id: int, kind: int, epoch_id: int) -> None:
-        super().__init__(
-            f"server is at its in-flight bound (request {request_id}, "
-            f"kind {kind}, epoch {epoch_id})"
-        )
-        self.request_id = request_id
-        self.kind = kind
-        self.epoch_id = epoch_id
 
 
 class ServeTimeoutError(RuntimeError):
@@ -179,6 +171,11 @@ class ServeConfig:
     epoch (warm restart — the sketch resumes bit-identical to the process
     that died), and journals everything ingested afterwards.  Requires a
     snapshotable algorithm (the store persists ``state_snapshot()``).
+
+    ``ring_epochs`` budgets the temporal ring (how many published epochs
+    stay pinnable for time-travel and windowed reads); on a warm restart
+    the older retained on-disk snapshots are rehydrated into the ring, so
+    ``--epoch`` pins survive a process death up to the store's retention.
     """
 
     algorithm: str
@@ -189,6 +186,7 @@ class ServeConfig:
     cache_size: int = DEFAULT_CACHE_SIZE
     max_tracked_keys: int | None = None
     store_dir: str | None = None
+    ring_epochs: int = DEFAULT_RING_EPOCHS
     sketch_kwargs: dict = field(default_factory=dict)
 
     def to_payload(self) -> bytes:
@@ -202,6 +200,7 @@ class ServeConfig:
                 "cache_size": self.cache_size,
                 "max_tracked_keys": self.max_tracked_keys,
                 "store_dir": self.store_dir,
+                "ring_epochs": self.ring_epochs,
                 "sketch_kwargs": self.sketch_kwargs,
             }
         )
@@ -221,6 +220,7 @@ class ServeConfig:
                 cache_size=config.get("cache_size", DEFAULT_CACHE_SIZE),
                 max_tracked_keys=config.get("max_tracked_keys"),
                 store_dir=config.get("store_dir"),
+                ring_epochs=config.get("ring_epochs", DEFAULT_RING_EPOCHS),
                 sketch_kwargs=config.get("sketch_kwargs", {}),
             )
         except KeyError as missing:
@@ -247,11 +247,17 @@ class ServeConfig:
         (an empty directory) builds exactly the undurable service plus
         journaling.  The top-k key directory does not survive a restart
         (documented caveat — it re-fills from post-restart ingest).
+
+        The recovery report's older retained snapshots — plus the recovered
+        epoch itself, rebuilt as an immutable :class:`EpochSnapshot` — seed
+        the temporal ring, so time-travel reads for on-disk epochs work
+        from the first request after a warm restart.
         """
         store = None
         sketch = None
         start_epoch = 0
         start_items = 0
+        ring_seed: list[EpochSnapshot] = []
         if self.store_dir is not None:
             from repro.sketches.registry import supports_snapshots
             from repro.store import SketchStore
@@ -267,6 +273,31 @@ class ServeConfig:
                 sketch, report = recovered
                 start_epoch = report.epoch_id + 1
                 start_items = report.items_total
+                restored_at = time.perf_counter()
+                for ring_epoch_id, ring_items, ring_state in report.ring_epochs:
+                    replica = self.build_sketch()
+                    replica.state_restore(ring_state)
+                    ring_seed.append(
+                        EpochSnapshot(
+                            epoch_id=ring_epoch_id,
+                            items=ring_items,
+                            sketch=replica,
+                            published_at=restored_at,
+                        )
+                    )
+                # The recovered epoch pins as published: its snapshot state
+                # *without* the replayed journal tail (which belongs to the
+                # in-flight epoch, not the published one).
+                replica = self.build_sketch()
+                replica.state_restore(report.state)
+                ring_seed.append(
+                    EpochSnapshot(
+                        epoch_id=report.epoch_id,
+                        items=report.items,
+                        sketch=replica,
+                        published_at=restored_at,
+                    )
+                )
         if sketch is None:
             sketch = self.build_sketch()
         return SketchService(
@@ -278,31 +309,54 @@ class ServeConfig:
             store=store,
             start_epoch=start_epoch,
             start_items=start_items,
+            ring_epochs=self.ring_epochs,
+            ring_seed=ring_seed,
         )
 
 
 def answer_request(service: SketchService, payload: bytes) -> bytes:
     """Decode one MSG_QUERY payload, serve it, encode the MSG_QUERY_REPLY.
 
-    Shared by every server front end (transport-launched ``serve_main`` and
-    the CLI's TCP accept loop), so request semantics cannot drift between
-    deployment shapes.
+    Shared by every server front end (transport-launched ``serve_main``,
+    the CLI's TCP accept loop and the async event loop), so request
+    semantics cannot drift between deployment shapes — including the
+    temporal extension: pinned-epoch and windowed reads resolve against
+    the service's ring here, and a request naming an evicted epoch gets a
+    typed :data:`~repro.distributed.wire.STATUS_EPOCH_GONE` reply (echoing
+    the requested epoch) on every front end.  A windowed read on a family
+    without the delta contract is a protocol violation and raises
+    :class:`~repro.distributed.wire.WireFormatError`, like any other
+    malformed request.
     """
     request = decode_query_request(payload)
-    if request.kind == QUERY_KEYS:
-        estimates, epoch_id = service.serve_batch(request.keys)
-        return encode_query_response(
-            request.request_id, QUERY_KEYS, epoch_id, estimates=estimates
-        )
-    if request.kind == QUERY_TOP_K:
-        ranking, epoch_id = service.serve_top_k(request.k)
+    try:
+        if request.kind == QUERY_KEYS:
+            estimates, epoch_id = service.serve_batch(
+                request.keys, epoch=request.epoch, window=request.window
+            )
+            return encode_query_response(
+                request.request_id, QUERY_KEYS, epoch_id, estimates=estimates
+            )
+        if request.kind == QUERY_TOP_K:
+            ranking, epoch_id = service.serve_top_k(request.k, epoch=request.epoch)
+            return encode_query_response(
+                request.request_id,
+                QUERY_TOP_K,
+                epoch_id,
+                estimates=[estimate for _, estimate in ranking],
+                keys=[key for key, _ in ranking],
+            )
+    except EpochGoneError as gone:
+        # Echo the requested-and-gone epoch (clamped: a window reaching
+        # before epoch 0 names a negative id the wire cannot carry).
         return encode_query_response(
             request.request_id,
-            QUERY_TOP_K,
-            epoch_id,
-            estimates=[estimate for _, estimate in ranking],
-            keys=[key for key, _ in ranking],
+            request.kind,
+            max(0, gone.epoch_id or 0),
+            status=STATUS_EPOCH_GONE,
         )
+    except UnmergeableSketchError as error:
+        raise WireFormatError(str(error)) from None
     if request.kind == QUERY_STATS:
         return encode_query_response(
             request.request_id,
@@ -358,6 +412,26 @@ def serve_main(channel: Channel) -> None:
         channel.close()
 
 
+def _rejection_error(response: QueryResponse) -> QueryRejectedError:
+    """The typed error of a non-OK, non-BUSY reply (client side).
+
+    ``decode_query_response`` already rejected statuses this build does not
+    know, so the fallback branch only fires if a new status is added to the
+    wire module without a mapping here — still a typed, non-retryable error.
+    """
+    if response.status == STATUS_EPOCH_GONE:
+        return EpochGoneError(
+            response.epoch_id, request_id=response.request_id, kind=response.kind
+        )
+    return QueryRejectedError(
+        f"server rejected request {response.request_id} with status "
+        f"{response.status}",
+        request_id=response.request_id,
+        kind=response.kind,
+        epoch_id=response.epoch_id,
+    )
+
+
 class QueryClient:
     """Caller-side API over one serving channel.
 
@@ -371,7 +445,11 @@ class QueryClient:
     requests are retried under exponential backoff with seeded jitter
     instead of spinning, bounded by the policy's ``max_retries`` and (when
     set) its total deadline — a breach raises :class:`ServeTimeoutError`
-    rather than hanging on a server that died mid-request.
+    rather than hanging on a server that died mid-request.  Only BUSY is
+    retried: any other non-OK status raises its typed
+    :class:`~repro.serve.errors.QueryRejectedError` subclass immediately
+    (an :class:`~repro.serve.errors.EpochGoneError` pin can never succeed,
+    so retrying it would just burn the budget).
     """
 
     def __init__(self, channel: Channel, retry_policy: RetryPolicy | None = None) -> None:
@@ -457,11 +535,28 @@ class QueryClient:
                 self.busy_retries += 1
                 attempt += 1
                 continue
+            if response.status != STATUS_OK:
+                # Non-retryable rejections (EPOCH_GONE and any future
+                # status) raise their typed error immediately: the old
+                # treat-everything-as-BUSY path would burn the whole retry
+                # budget on a request that can never succeed.
+                raise _rejection_error(response)
             return response
 
-    def query_batch(self, keys: Sequence[object]) -> tuple[np.ndarray, int]:
-        """Point estimates plus the id of the epoch that answered."""
-        response = self._round_trip(QUERY_KEYS, keys=keys)
+    def query_batch(
+        self,
+        keys: Sequence[object],
+        epoch: int | None = None,
+        window: int | None = None,
+    ) -> tuple[np.ndarray, int]:
+        """Point estimates plus the id of the epoch that answered.
+
+        ``epoch`` pins the read to a specific published epoch, ``window``
+        asks for last-``window``-epochs estimates (subtractable families
+        only); a pin the server's ring has evicted raises the typed,
+        non-retryable :class:`~repro.serve.errors.EpochGoneError`.
+        """
+        response = self._round_trip(QUERY_KEYS, keys=keys, epoch=epoch, window=window)
         if len(response.estimates) != len(keys):
             raise WireFormatError("server returned a mismatched estimate count")
         return response.estimates, response.epoch_id
@@ -550,6 +645,10 @@ class QueryClient:
                 attempts[index] += 1
                 unsent.append((index, time.monotonic() + delay))
                 continue
+            if response.status != STATUS_OK:
+                # Never re-enqueue a non-retryable rejection: resending an
+                # EPOCH_GONE batch can only produce the same answer.
+                raise _rejection_error(response)
             if len(response.estimates) != len(key_batches[index]):
                 raise WireFormatError("server returned a mismatched estimate count")
             results[index] = (response.estimates, response.epoch_id)
@@ -559,9 +658,15 @@ class QueryClient:
         """Point estimate of one key."""
         return int(self.query_batch([key])[0][0])
 
-    def top_k(self, k: int) -> tuple[list[tuple[object, int]], int]:
-        """The server's top-k ranking (heaviest first) plus its epoch id."""
-        response = self._round_trip(QUERY_TOP_K, k=k)
+    def top_k(
+        self, k: int, epoch: int | None = None
+    ) -> tuple[list[tuple[object, int]], int]:
+        """The server's top-k ranking (heaviest first) plus its epoch id.
+
+        ``epoch`` ranks against a pinned ring epoch instead of the latest
+        one (candidates are still the server's current key directory).
+        """
+        response = self._round_trip(QUERY_TOP_K, k=k, epoch=epoch)
         ranking = list(zip(response.keys, response.estimates.tolist()))
         return ranking, response.epoch_id
 

@@ -29,12 +29,20 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.serve.errors import EpochGoneError
 from repro.serve.snapshots import (
     DEFAULT_PUBLISH_EVERY_ITEMS,
     EpochSnapshot,
     EpochWriter,
 )
 from repro.sketches.base import Sketch
+from repro.temporal import (
+    DEFAULT_RING_EPOCHS,
+    ChangeReport,
+    EpochRing,
+    delta_sketch,
+    diff_rankings,
+)
 
 #: Default bound of the per-epoch LRU answer cache.
 DEFAULT_CACHE_SIZE = 4096
@@ -82,6 +90,18 @@ class SketchService:
     start_epoch / start_items:
         Warm-restart seeding forwarded to the epoch writer (see
         :class:`~repro.serve.snapshots.EpochWriter`).
+    ring_epochs / ring_bytes:
+        Budgets of the temporal :class:`~repro.temporal.EpochRing`: retain
+        at most ``ring_epochs`` recent published epochs (and, optionally,
+        at most ``ring_bytes`` of summed replica memory) for pinned-epoch
+        reads, sliding windows and change detection.  Reads pinning an
+        evicted epoch raise the typed
+        :class:`~repro.serve.errors.EpochGoneError`.
+    ring_seed:
+        Snapshots to pre-populate the ring with, oldest first — the warm
+        restart path hands back the on-disk epochs here so time-travel
+        reads survive a process death.  Their epoch ids must precede
+        ``start_epoch``.
     """
 
     def __init__(
@@ -96,6 +116,9 @@ class SketchService:
         store=None,
         start_epoch: int = 0,
         start_items: int = 0,
+        ring_epochs: int = DEFAULT_RING_EPOCHS,
+        ring_bytes: float | None = None,
+        ring_seed: Sequence[EpochSnapshot] = (),
     ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be >= 0")
@@ -113,6 +136,21 @@ class SketchService:
         self.directory_prunes = 0
         # First-contact-ordered key directory (dict-as-ordered-set).
         self._keys: dict = {}
+        self._factory = factory
+        # Temporal state — built before the writer exists: the construction
+        # publish fires _on_publish, which offers the first epoch to the ring.
+        self.ring = EpochRing(max_epochs=ring_epochs, max_bytes=ring_bytes)
+        for snapshot in ring_seed:
+            self.ring.offer(snapshot)
+        # Delta sketches memoised per (later epoch, window); cleared on
+        # publish so the memo cannot outgrow one epoch's query mix.
+        self._window_cache: dict[tuple[int, int], Sketch] = {}
+        #: Pinned/windowed reads rejected because their epoch was evicted.
+        self.epoch_gone_rejections = 0
+        self._change_listeners: list[tuple[Callable[[ChangeReport], None], int, int]] = []
+        #: Change-listener callbacks that raised (swallowed, counted:
+        #: a misbehaving alert sink must not kill the ingest path).
+        self.change_alert_errors = 0
         # Set before the writer exists: the construction-time publish fires
         # _on_publish, which must already see the store to persist epoch 0
         # (or the warm-restart epoch) and rotate its journal.
@@ -139,6 +177,12 @@ class SketchService:
         if self._track_keys:
             directory = self._keys
             for key in keys:
+                # Numpy scalars (an ndarray batch) are stored as native ints:
+                # directory keys are re-queried later as a mixed python list
+                # (ranking, change detection), and the scalar key encoder
+                # only accepts native types.
+                if isinstance(key, np.generic):
+                    key = key.item()
                 directory[key] = None
             cap = self.max_tracked_keys
             if cap is not None and len(directory) > cap + max(64, cap // 8):
@@ -170,12 +214,28 @@ class SketchService:
         with self._cache_lock:
             self._cache.clear()
             self._cache_epoch = epoch.epoch_id
+            self._window_cache.clear()
+        # The previous newest ring epoch is the "before" side of per-publish
+        # change alerts; captured before the offer (which may also evict).
+        previous = self.ring.newest
+        self.ring.offer(epoch)
         if self._store is not None:
             # Persist the frozen replica (not the live sketch): the hook
             # runs inside the writer lock, but the replica is immutable so
             # the store reads a consistent state no matter how long the
             # disk takes.  Degradation is handled inside the store.
             self._store.publish_epoch(epoch.epoch_id, epoch.items, epoch.sketch)
+        if previous is not None:
+            for callback, k, min_delta in self._change_listeners:
+                try:
+                    report = self._diff_snapshots(previous, epoch, k, min_delta)
+                    if report.has_changes:
+                        callback(report)
+                except Exception:
+                    # The hook runs inside the writer lock, on the ingest
+                    # path: an alert sink's bug must degrade alerting, not
+                    # availability.
+                    self.change_alert_errors += 1
 
     # ------------------------------------------------------------- read side
     @property
@@ -183,19 +243,89 @@ class SketchService:
         """The epoch reads are currently served from."""
         return self._writer.current
 
-    def serve_batch(self, keys: Sequence[object]) -> tuple[np.ndarray, int]:
+    def resolve_epoch(self, epoch_id: int) -> EpochSnapshot:
+        """The snapshot of ``epoch_id``, from the ring or the current epoch.
+
+        Raises :class:`~repro.serve.errors.EpochGoneError` (counted in
+        ``epoch_gone_rejections``) when the epoch is not ring-resident —
+        evicted, never published, or not yet published.
+        """
+        current = self._writer.current
+        if epoch_id == current.epoch_id:
+            return current
+        try:
+            return self.ring.get(epoch_id)
+        except EpochGoneError:
+            self.epoch_gone_rejections += 1
+            raise
+
+    def window_sketch(self, window: int) -> tuple[Sketch, int]:
+        """The delta sketch of the last ``window`` epochs, plus the later id.
+
+        Subtracts the snapshot published ``window`` epochs ago from the
+        current one — exact for subtractable families (CM/Count): the
+        result answers as a sketch fed only the items of those epochs.
+        Raises :class:`~repro.serve.errors.EpochGoneError` when the ring no
+        longer holds the delimiting epoch, and
+        :class:`~repro.sketches.base.UnmergeableSketchError` for families
+        without the delta contract.  Delta tables are memoised per (current
+        epoch, window) — repeated window queries within one epoch pay one
+        subtraction.
+        """
+        if window <= 0:
+            raise ValueError("window must be a positive epoch count")
+        current = self._writer.current
+        memo_key = (current.epoch_id, window)
+        with self._cache_lock:
+            cached = self._window_cache.get(memo_key)
+        if cached is not None:
+            return cached, current.epoch_id
+        earlier_id = current.epoch_id - window
+        if earlier_id < 0:
+            # The window reaches past the first possible epoch: by the
+            # ring's own vocabulary, that epoch is (and always was) gone.
+            self.epoch_gone_rejections += 1
+            raise EpochGoneError(earlier_id)
+        earlier = self.resolve_epoch(earlier_id)
+        sketch = delta_sketch(current, earlier, self._factory)
+        with self._cache_lock:
+            self._window_cache[memo_key] = sketch
+        return sketch, current.epoch_id
+
+    def serve_batch(
+        self,
+        keys: Sequence[object],
+        epoch: int | None = None,
+        window: int | None = None,
+    ) -> tuple[np.ndarray, int]:
         """Estimates for ``keys`` plus the id of the epoch that answered.
 
         The epoch is captured once, so all estimates of one call come from
         the same frozen replica even if a publish lands mid-call — the
-        wire-level ``QueryResponse`` carries this epoch id.
+        wire-level ``QueryResponse`` carries this epoch id.  ``epoch`` pins
+        the answer to a ring-resident epoch (time travel); ``window``
+        answers from the last-``window``-epochs delta instead of the
+        cumulative sketch.  At most one of the two may be set.
         """
-        epoch = self._writer.current
-        return epoch.sketch.query_batch(keys), epoch.epoch_id
+        if epoch is not None and window is not None:
+            raise ValueError("serve_batch takes an epoch pin or a window, not both")
+        if epoch is not None:
+            snapshot = self.resolve_epoch(epoch)
+            return snapshot.sketch.query_batch(keys), snapshot.epoch_id
+        if window is not None:
+            sketch, epoch_id = self.window_sketch(window)
+            return sketch.query_batch(keys), epoch_id
+        snapshot = self._writer.current
+        return snapshot.sketch.query_batch(keys), snapshot.epoch_id
 
-    def query_batch(self, keys: Sequence[object]) -> np.ndarray:
-        """Point estimates from the latest published epoch."""
-        return self.serve_batch(keys)[0]
+    def query_batch(
+        self,
+        keys: Sequence[object],
+        epoch: int | None = None,
+        window: int | None = None,
+    ) -> np.ndarray:
+        """Point estimates from the latest (or pinned/windowed) epoch."""
+        return self.serve_batch(keys, epoch=epoch, window=window)[0]
 
     def query(self, key: object) -> int:
         """Point estimate of one key (LRU-cached within the current epoch)."""
@@ -212,20 +342,26 @@ class SketchService:
         self._cache_store(epoch.epoch_id, cache_key, estimate)
         return estimate
 
-    def top_k(self, k: int) -> list[tuple[object, int]]:
+    def top_k(self, k: int, epoch: int | None = None) -> list[tuple[object, int]]:
         """The ``k`` heaviest directory keys by current-epoch estimate.
 
         Candidates are the keys the service has ingested (the directory);
         ranking is by estimate descending, ties by first-contact order —
-        deterministic, so remote and local top-k agree exactly.
+        deterministic, so remote and local top-k agree exactly.  ``epoch``
+        ranks against a pinned ring epoch instead of the latest one.
         """
-        return self.serve_top_k(k)[0]
+        return self.serve_top_k(k, epoch=epoch)[0]
 
-    def serve_top_k(self, k: int) -> tuple[list[tuple[object, int]], int]:
+    def serve_top_k(
+        self, k: int, epoch: int | None = None
+    ) -> tuple[list[tuple[object, int]], int]:
         """:meth:`top_k` plus the id of the epoch that ranked it.
 
         Like :meth:`serve_batch`, the epoch is captured once so the ranking
-        and the stamp cannot straddle a publish.
+        and the stamp cannot straddle a publish.  Pinned rankings rank
+        *today's* candidate directory against the pinned epoch's estimates
+        (the directory itself is not versioned — documented caveat), and
+        bypass the answer cache, which only holds current-epoch facts.
         """
         if k <= 0:
             raise ValueError("k must be positive")
@@ -234,24 +370,114 @@ class SketchService:
                 "top_k needs the key directory; this service was built with "
                 "track_keys=False"
             )
+        if epoch is not None:
+            snapshot = self.resolve_epoch(epoch)
+            return self._rank_epoch(snapshot, list(self._keys), k), snapshot.epoch_id
         cache_key = ("topk", k)
-        epoch = self._writer.current
+        snapshot = self._writer.current
         if self.cache_size:
             with self._cache_lock:
-                if self._cache_epoch == epoch.epoch_id and cache_key in self._cache:
+                if self._cache_epoch == snapshot.epoch_id and cache_key in self._cache:
                     self._cache.move_to_end(cache_key)
                     self.cache_hits += 1
-                    return list(self._cache[cache_key]), epoch.epoch_id
+                    return list(self._cache[cache_key]), snapshot.epoch_id
+        ranking = self._rank_epoch(snapshot, list(self._keys), k)
+        self._cache_store(snapshot.epoch_id, cache_key, ranking)
+        return list(ranking), snapshot.epoch_id
+
+    @staticmethod
+    def _rank_epoch(
+        snapshot: EpochSnapshot, candidates: list, k: int
+    ) -> list[tuple[object, int]]:
+        """Rank ``candidates`` by one epoch's estimates (deterministic)."""
+        if not candidates:
+            return []
+        estimates = snapshot.sketch.query_batch(candidates)
+        # stable sort on -estimate keeps first-contact order within ties
+        order = np.argsort(-estimates, kind="stable")[:k]
+        return [(candidates[i], int(estimates[i])) for i in order.tolist()]
+
+    # ------------------------------------------------------ change detection
+    def diff_epochs(
+        self,
+        earlier: int,
+        later: int | None = None,
+        k: int = 10,
+        min_delta: int = 1,
+    ) -> ChangeReport:
+        """Heavy-hitter changes between two ring epochs.
+
+        Ranks the directory's candidates against both snapshots (``later``
+        defaults to the current epoch) and diffs the two top-``k``
+        rankings: surges and drops of at least ``min_delta``, keys that
+        entered or left the ranking, and the membership churn fraction.
+        Deltas are sketch-exact — both snapshots are queried for the union
+        of the two rankings.  Raises
+        :class:`~repro.serve.errors.EpochGoneError` when either epoch is
+        not ring-resident.
+        """
+        earlier_snapshot = self.resolve_epoch(earlier)
+        later_snapshot = (
+            self._writer.current if later is None else self.resolve_epoch(later)
+        )
+        if later_snapshot.epoch_id <= earlier_snapshot.epoch_id:
+            raise ValueError(
+                f"diff must run forward: later epoch {later_snapshot.epoch_id} "
+                f"is not after earlier epoch {earlier_snapshot.epoch_id}"
+            )
+        return self._diff_snapshots(earlier_snapshot, later_snapshot, k, min_delta)
+
+    def _diff_snapshots(
+        self, earlier: EpochSnapshot, later: EpochSnapshot, k: int, min_delta: int
+    ) -> ChangeReport:
         candidates = list(self._keys)
-        if candidates:
-            estimates = epoch.sketch.query_batch(candidates)
-            # stable sort on -estimate keeps first-contact order within ties
-            order = np.argsort(-estimates, kind="stable")[:k]
-            ranking = [(candidates[i], int(estimates[i])) for i in order.tolist()]
-        else:
-            ranking = []
-        self._cache_store(epoch.epoch_id, cache_key, ranking)
-        return list(ranking), epoch.epoch_id
+        before = self._rank_epoch(earlier, candidates, k)
+        after = self._rank_epoch(later, candidates, k)
+        # Exact cross-estimates for keys ranked on only one side, so every
+        # reported delta is the true sketch delta, not a truncation artefact.
+        union = list(dict.fromkeys([key for key, _ in after] + [key for key, _ in before]))
+        before_estimates: dict = {}
+        after_estimates: dict = {}
+        if union:
+            before_estimates = dict(
+                zip(union, earlier.sketch.query_batch(union).tolist())
+            )
+            after_estimates = dict(zip(union, later.sketch.query_batch(union).tolist()))
+        return diff_rankings(
+            before,
+            after,
+            earlier_epoch=earlier.epoch_id,
+            later_epoch=later.epoch_id,
+            min_delta=min_delta,
+            before_estimates=before_estimates,
+            after_estimates=after_estimates,
+        )
+
+    def add_change_listener(
+        self,
+        callback: Callable[[ChangeReport], None],
+        k: int = 10,
+        min_delta: int = 1,
+    ) -> None:
+        """Alert ``callback`` with a :class:`ChangeReport` on every publish.
+
+        Fired from the publish hook (inside the writer lock, before the new
+        epoch becomes visible) whenever the top-``k`` diff against the
+        previous epoch shows any change of at least ``min_delta``.
+        Callbacks must be fast; one that raises is swallowed and counted in
+        ``change_alert_errors`` so a buggy alert sink cannot take down the
+        ingest path.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if min_delta < 1:
+            raise ValueError("min_delta must be at least 1")
+        if not self._track_keys:
+            raise ValueError(
+                "change listeners need the key directory; this service was "
+                "built with track_keys=False"
+            )
+        self._change_listeners.append((callback, k, min_delta))
 
     def _cache_store(self, epoch_id: int, cache_key, answer) -> None:
         if not self.cache_size:
@@ -292,6 +518,13 @@ class SketchService:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "algorithm": writer.live_sketch.name,
+            "temporal": {
+                **self.ring.stats(),
+                "epoch_gone_rejections": self.epoch_gone_rejections,
+                "change_listeners": len(self._change_listeners),
+                "change_alert_errors": self.change_alert_errors,
+                "subtractable": bool(getattr(writer.live_sketch, "subtractable", False)),
+            },
         }
         if self._store is not None:
             stats["store"] = self._store.stats()

@@ -21,8 +21,10 @@ from repro.sketches.registry import (
     COMPETITORS,
     build_sketch,
     competitor_names,
+    delta_names,
     is_mergeable,
     mergeable_names,
+    supports_deltas,
 )
 
 __all__ = [
@@ -43,5 +45,7 @@ __all__ = [
     "competitor_names",
     "is_mergeable",
     "mergeable_names",
+    "supports_deltas",
+    "delta_names",
     "COMPETITORS",
 ]

@@ -27,6 +27,14 @@ worker can ship its table state over a wire to a collector, which restores
 it into a structurally identical replica and merges.  Restoring a snapshot
 must reproduce the donor sketch exactly (every query answers identically),
 which is what makes remote ingest bit-identical to local ingest.
+
+The temporal subsystem (``repro.temporal``) adds the *delta contract*, the
+inverse of merging: sketches whose state is a linear function of the stream
+(CM, Count — element-wise table addition) set ``subtractable = True`` and
+implement :meth:`Sketch.subtract` / :meth:`Sketch.state_delta` so the
+difference of two epoch snapshots is exactly the sketch of the items
+between them.  CU stays unsubtractable: its merge is an upper bound, so a
+difference of CU tables has no windowed meaning.
 """
 
 from __future__ import annotations
@@ -69,6 +77,16 @@ class Sketch(abc.ABC):
     #: weaker guarantee).  Checked by ``ShardedSketch.merge_shards`` and the
     #: registry's ``is_mergeable``.
     mergeable: bool = False
+
+    #: Capability flag of the delta contract: True when :meth:`subtract` /
+    #: :meth:`state_delta` are implemented, i.e. the sketch's state is a
+    #: *linear* function of the inserted multiset, so subtracting an earlier
+    #: state from a later one yields exactly the sketch of the items in
+    #: between.  Strictly stronger than ``mergeable``: CU merges (upper
+    #: bound) but cannot subtract — an upper-bound difference has no
+    #: windowed meaning.  Checked by the sliding-window reads of
+    #: ``repro.temporal`` and the registry's ``supports_deltas``.
+    subtractable: bool = False
 
     #: Capability flag of the snapshot half of the contract: True when
     #: :meth:`state_snapshot` / :meth:`state_restore` are implemented, i.e.
@@ -166,6 +184,39 @@ class Sketch(abc.ABC):
         raise UnmergeableSketchError(
             f"{type(self).__name__} ({self.name}) does not support lossless merging; "
             "only sketches with mergeable=True implement merge()"
+        )
+
+    def subtract(self, other: "Sketch") -> "Sketch":
+        """Remove another sketch's contribution from this one, in place.
+
+        The inverse of :meth:`merge`, under the same peer contract (same
+        class, geometry and hash seeds).  When ``other`` summarises a
+        *prefix* of the stream this sketch has absorbed, the result answers
+        queries exactly as a sketch fed only the suffix — the sliding-window
+        primitive of ``repro.temporal``: the difference of two epoch
+        snapshots is the sketch of the items between them.  Exact only for
+        sketches whose state is linear in the stream (``subtractable``);
+        order-dependent and upper-bound families raise.  Returns ``self``
+        so subtractions chain.
+        """
+        raise UnmergeableSketchError(
+            f"{type(self).__name__} ({self.name}) does not support state subtraction; "
+            "only sketches with subtractable=True implement subtract()"
+        )
+
+    def state_delta(self, earlier: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """The snapshot of this sketch's stream *minus* an earlier snapshot.
+
+        ``earlier`` is a :meth:`state_snapshot` taken from a structurally
+        identical peer at some prior point of the same stream; the returned
+        dict restores (via :meth:`state_restore`) into a sketch that answers
+        exactly as one fed only the items absorbed since.  The state-level
+        form of :meth:`subtract`, for callers that hold snapshots rather
+        than live sketches (the epoch ring's windowed reads).
+        """
+        raise UnmergeableSketchError(
+            f"{type(self).__name__} ({self.name}) does not support state subtraction; "
+            "only sketches with subtractable=True implement state_delta()"
         )
 
     def state_snapshot(self) -> dict[str, np.ndarray]:

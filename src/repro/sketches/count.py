@@ -35,6 +35,10 @@ class CountSketch(Sketch):
     mergeable = True
     #: The counter matrix is the whole mutable state (snapshot contract).
     snapshotable = True
+    #: Signed updates are linear in the stream, so subtraction is the exact
+    #: inverse of merging: a later table minus an earlier table of the same
+    #: stream is bit-identical to a sketch fed only the items in between.
+    subtractable = True
 
     def __init__(self, memory_bytes: float, depth: int = 3, seed: int = 0) -> None:
         if depth <= 0:
@@ -99,6 +103,17 @@ class CountSketch(Sketch):
         self._check_merge_peer(other, ("depth", "width", "_hash_seeds"))
         self._tables += other._tables
         return self
+
+    def subtract(self, other: "CountSketch") -> "CountSketch":
+        """Element-wise table subtraction; exact inverse of :meth:`merge`."""
+        self._check_merge_peer(other, ("depth", "width", "_hash_seeds"))
+        self._tables -= other._tables
+        return self
+
+    def state_delta(self, earlier: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Current tables minus an earlier snapshot of the same stream."""
+        tables = self._check_snapshot_shape(earlier, "tables", self._tables.shape)
+        return {"tables": self._tables - tables.astype(np.int64)}
 
     def state_snapshot(self) -> dict[str, np.ndarray]:
         """The signed counter matrix — the whole mutable state of the sketch."""

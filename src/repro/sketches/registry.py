@@ -134,3 +134,23 @@ def supports_snapshots(name: str) -> bool:
 def snapshot_names() -> tuple[str, ...]:
     """All registered algorithms whose state round-trips through snapshots."""
     return tuple(name for name in _BUILDERS if supports_snapshots(name))
+
+
+@lru_cache(maxsize=None)
+def supports_deltas(name: str) -> bool:
+    """Whether ``name`` implements the ``subtract``/``state_delta`` contract.
+
+    Delta support is what the temporal layer's sliding-window reads need: a
+    sketch whose state is linear in the stream, so the difference of two
+    epoch snapshots is exactly the sketch of the items between them.  A
+    strictly stronger requirement than ``is_mergeable`` (CU merges as an
+    upper bound but cannot subtract).  Probed like :func:`is_mergeable`,
+    from a throwaway instance, so it can never drift from the classes'
+    ``subtractable`` flags.
+    """
+    return bool(build_sketch(name, 1024.0, seed=0).subtractable)
+
+
+def delta_names() -> tuple[str, ...]:
+    """All registered algorithms whose epoch snapshots subtract exactly."""
+    return tuple(name for name in _BUILDERS if supports_deltas(name))

@@ -79,6 +79,12 @@ class RecoveryReport:
     ``state`` and ``batches`` carry the recovered payload for
     :meth:`SketchStore.restore_into` (excluded from ``repr`` — they are
     arrays, not provenance).
+
+    ``ring_epochs`` holds the *older* retained snapshots that also
+    validated — ``(epoch_id, items, state)`` triples, oldest first, at most
+    ``retention_epochs - 1`` of them — so a warm restart can rehydrate the
+    temporal ring and keep serving time-travel reads for the epochs that
+    survived on disk, not just the newest one.
     """
 
     epoch_id: int
@@ -91,6 +97,7 @@ class RecoveryReport:
     meta: dict = field(repr=False)
     state: dict[str, np.ndarray] = field(repr=False)
     batches: tuple = field(repr=False)
+    ring_epochs: tuple = field(repr=False, default=())
 
     @property
     def items_total(self) -> int:
@@ -249,6 +256,10 @@ class SketchStore:
         :class:`StoreCorruptionError` — silently starting cold over an
         unreadable history would *be* the wrong-counts bug this store
         exists to prevent.
+
+        Besides the chosen epoch, the report carries the older retained
+        snapshots that also validated (``ring_epochs``, oldest first) so the
+        serving layer can rehydrate its temporal ring on warm restart.
         """
         if self._wal_handle is not None:
             raise StoreError("recover() on a store with an open journal")
@@ -260,7 +271,8 @@ class SketchStore:
             quarantined.append(self._quarantine(name))
 
         chosen = None
-        for epoch_id, name in snapshots:
+        chosen_index = -1
+        for index, (epoch_id, name) in enumerate(snapshots):
             try:
                 blob = self._fs.read_bytes(self._path(name))
                 state, algorithm, meta = decode_snapshot_file(blob)
@@ -275,7 +287,28 @@ class SketchStore:
                     f"store at {self.directory} holds {algorithm!r}, expected {self.algorithm!r}"
                 )
             chosen = (epoch_id, state, algorithm, meta)
+            chosen_index = index
             break
+
+        # Older retained snapshots that also validate become ring seeds:
+        # warm restart then serves time-travel reads for every epoch that
+        # survived on disk, not just the newest.  Invalid older files are
+        # *skipped*, not quarantined — they are compaction's responsibility,
+        # and recovery of the chosen epoch does not depend on them.
+        ring_epochs: list[tuple[int, int, dict]] = []
+        if chosen is not None:
+            for epoch_id, name in snapshots[chosen_index + 1 :]:
+                if len(ring_epochs) >= self.retention_epochs - 1:
+                    break
+                try:
+                    blob = self._fs.read_bytes(self._path(name))
+                    state, algorithm, meta = decode_snapshot_file(blob)
+                except (StoreCorruptionError, OSError):
+                    continue
+                if algorithm != chosen[2]:
+                    continue
+                ring_epochs.append((epoch_id, int(meta.get("items", 0)), state))
+            ring_epochs.reverse()  # oldest first, ready to offer() in order
 
         if chosen is None:
             if snapshots or wals:
@@ -334,6 +367,7 @@ class SketchStore:
             meta=meta,
             state=state,
             batches=batches,
+            ring_epochs=tuple(ring_epochs),
         )
 
     def restore_into(self, factory) -> tuple[object, RecoveryReport] | None:
@@ -500,6 +534,8 @@ class SketchStore:
         Validates each snapshot and journal without moving anything;
         ``ok`` is true when nothing outside quarantine is corrupt and the
         store is either empty or has a recoverable epoch.
+        ``ring_resident`` lists (oldest first) the epochs a warm restart
+        would rehydrate into the serving layer's temporal ring.
         """
         snapshots, wals, strays = self._scan()
         report: dict = {
@@ -511,6 +547,7 @@ class SketchStore:
         }
         corrupt: list[str] = []
         recoverable: int | None = None
+        ring_resident: list[int] = []
         for epoch_id, name in snapshots:
             entry = {"file": name, "epoch": epoch_id, "bytes": self._safe_size(name)}
             try:
@@ -522,7 +559,12 @@ class SketchStore:
                 entry.update(valid=True, algorithm=algorithm, items=meta.get("items"))
                 if recoverable is None:
                     recoverable = epoch_id
+                # Newest retention_epochs valid snapshots are what a warm
+                # restart rehydrates into the temporal ring.
+                if len(ring_resident) < self.retention_epochs:
+                    ring_resident.append(epoch_id)
             report["snapshots"].append(entry)
+        ring_resident.reverse()  # oldest first, matching ring order
         for epoch_id, name in wals:
             entry = {"file": name, "epoch": epoch_id, "bytes": self._safe_size(name)}
             try:
@@ -544,6 +586,7 @@ class SketchStore:
             corrupt.extend(strays)
         report["corrupt"] = corrupt
         report["recoverable_epoch"] = recoverable
+        report["ring_resident"] = ring_resident
         report["ok"] = not corrupt and (recoverable is not None or not (snapshots or wals))
         return report
 

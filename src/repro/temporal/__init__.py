@@ -1,0 +1,45 @@
+"""Temporal analytics over the serving layer's epoch stream.
+
+The serving layer publishes immutable epoch snapshots and forgets them: an
+epoch dies the moment its last reader drops it, so nothing can answer "what
+did this flow look like five epochs ago" or "which keys surged in the last
+window" — exactly the monitoring questions switch-telemetry deployments
+(HashPipe/PRECISION-style control planes polling sketch state on an
+interval) exist to ask.  This package is that read-side layer:
+
+* :class:`EpochRing` (``ring``) — a bounded ring of recent published
+  epochs (count- and byte-budgeted) fed from the epoch writer's publish
+  hook.  Eviction just drops the ring's reference: snapshots are immutable,
+  so a reader that already pinned one keeps a fully consistent epoch no
+  matter what the ring does afterwards.
+* **Time-travel reads** — ``SketchService.query(..., epoch=E)`` resolves
+  ``E`` against the ring and answers bit-identically to the moment ``E``
+  was published; an evicted epoch raises the typed
+  :class:`~repro.serve.errors.EpochGoneError` (``STATUS_EPOCH_GONE`` on
+  the wire), which is *not retryable* — eviction is permanent.
+* **Sliding windows** (``windows``) — for sketches whose state is linear
+  in the stream (CM/Count, ``subtractable = True``), the difference of two
+  ring epochs is *exactly* the sketch of the items between them:
+  :func:`delta_sketch` subtracts the delimiting snapshots, giving
+  last-``N``-epochs estimates with the same error bounds as a fresh sketch
+  fed only the window.
+* **Change detection** (``changes``) — :func:`diff_rankings` /
+  ``SketchService.diff_epochs`` compare heavy-hitter rankings between any
+  two ring epochs: surges, drops, keys entering/leaving the top-k, and a
+  churn fraction; ``SketchService.add_change_listener`` turns the same
+  diff into per-publish alert callbacks, and ``repro-cli query --watch``
+  into an interval poller.
+"""
+
+from repro.temporal.changes import ChangeReport, KeyChange, diff_rankings
+from repro.temporal.ring import DEFAULT_RING_EPOCHS, EpochRing
+from repro.temporal.windows import delta_sketch
+
+__all__ = [
+    "DEFAULT_RING_EPOCHS",
+    "EpochRing",
+    "delta_sketch",
+    "ChangeReport",
+    "KeyChange",
+    "diff_rankings",
+]

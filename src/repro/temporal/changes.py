@@ -1,0 +1,150 @@
+"""Heavy-hitter change detection between two epochs.
+
+Compares two heavy-hitter rankings — "the same question asked at two
+points in time" — and reports what moved: keys whose estimates surged or
+dropped by at least ``min_delta``, keys that entered or left the ranking,
+and the membership churn fraction.  This is the software analogue of a
+switch-telemetry control plane polling prefix counters on an interval and
+alerting on deviations.
+
+:func:`diff_rankings` is deliberately pure (two ``(key, estimate)`` lists
+in, one :class:`ChangeReport` out) so the same diff runs in three places:
+
+* server-side between any two ring epochs (``SketchService.diff_epochs``,
+  which feeds it *exact* per-key estimates for the union of both top-k
+  sets, so deltas are sketch-exact);
+* per-publish alert callbacks (``SketchService.add_change_listener``);
+* client-side in ``repro-cli query --watch``, over successive remote
+  top-k answers (there a key absent from one ranking has an unknown
+  estimate, treated as 0 — a lower bound on its true delta).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class KeyChange:
+    """One key's estimate at the two compared epochs."""
+
+    key: object
+    before: int
+    after: int
+
+    @property
+    def delta(self) -> int:
+        return self.after - self.before
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key if isinstance(self.key, (int, str)) else repr(self.key),
+            "before": self.before,
+            "after": self.after,
+            "delta": self.delta,
+        }
+
+
+@dataclass(frozen=True)
+class ChangeReport:
+    """What changed between two epochs' heavy-hitter rankings.
+
+    ``surges`` (largest positive delta first) and ``drops`` (most negative
+    first) hold every compared key whose estimate moved by at least the
+    diff's ``min_delta``.  ``new_keys`` / ``vanished_keys`` track ranking
+    *membership*: keys that entered or left the top-k between the epochs,
+    in ranking order.  ``churn`` is ``1 - |before ∩ after| / k`` — the
+    fraction of the ranking that turned over (0 = identical membership,
+    1 = disjoint).
+    """
+
+    earlier_epoch: int
+    later_epoch: int
+    surges: tuple[KeyChange, ...]
+    drops: tuple[KeyChange, ...]
+    new_keys: tuple[object, ...]
+    vanished_keys: tuple[object, ...]
+    churn: float
+
+    @property
+    def has_changes(self) -> bool:
+        return bool(self.surges or self.drops or self.new_keys or self.vanished_keys)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the ``--watch`` output schema)."""
+        encode = lambda key: key if isinstance(key, (int, str)) else repr(key)  # noqa: E731
+        return {
+            "earlier_epoch": self.earlier_epoch,
+            "later_epoch": self.later_epoch,
+            "surges": [change.to_dict() for change in self.surges],
+            "drops": [change.to_dict() for change in self.drops],
+            "new_keys": [encode(key) for key in self.new_keys],
+            "vanished_keys": [encode(key) for key in self.vanished_keys],
+            "churn": self.churn,
+        }
+
+
+def diff_rankings(
+    before: Sequence[tuple[object, int]],
+    after: Sequence[tuple[object, int]],
+    earlier_epoch: int = -1,
+    later_epoch: int = -1,
+    min_delta: int = 1,
+    before_estimates: dict | None = None,
+    after_estimates: dict | None = None,
+) -> ChangeReport:
+    """Diff two heavy-hitter rankings (heaviest first) into a change report.
+
+    Ranking *membership* (``new_keys``/``vanished_keys``/``churn``) always
+    comes from the two lists.  For deltas, a key present in only one
+    ranking takes its estimate on the other side from the optional
+    ``before_estimates``/``after_estimates`` mappings — the service-side
+    path fills them by querying both epoch sketches for the union, making
+    every delta sketch-exact — and falls back to 0 when unavailable (the
+    remote ``--watch`` path, where the delta is then a lower bound).
+    """
+    if min_delta < 1:
+        raise ValueError("min_delta must be at least 1")
+    before_map = {key: int(estimate) for key, estimate in before}
+    after_map = {key: int(estimate) for key, estimate in after}
+    before_fallback = before_estimates or {}
+    after_fallback = after_estimates or {}
+    # Union in after-rank order, then before-only keys in before-rank order:
+    # deterministic input order keeps the sorted outputs deterministic too
+    # (sorts below are stable).
+    union = list(after_map) + [key for key in before_map if key not in after_map]
+    changes = [
+        KeyChange(
+            key,
+            before_map.get(key, int(before_fallback.get(key, 0))),
+            after_map.get(key, int(after_fallback.get(key, 0))),
+        )
+        for key in union
+    ]
+    surges = tuple(
+        sorted(
+            (change for change in changes if change.delta >= min_delta),
+            key=lambda change: -change.delta,
+        )
+    )
+    drops = tuple(
+        sorted(
+            (change for change in changes if change.delta <= -min_delta),
+            key=lambda change: change.delta,
+        )
+    )
+    new_keys = tuple(key for key in after_map if key not in before_map)
+    vanished_keys = tuple(key for key in before_map if key not in after_map)
+    overlap = len(before_map.keys() & after_map.keys())
+    denominator = max(len(before_map), len(after_map))
+    churn = 1.0 - overlap / denominator if denominator else 0.0
+    return ChangeReport(
+        earlier_epoch=earlier_epoch,
+        later_epoch=later_epoch,
+        surges=surges,
+        drops=drops,
+        new_keys=new_keys,
+        vanished_keys=vanished_keys,
+        churn=churn,
+    )

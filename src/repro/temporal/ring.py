@@ -1,0 +1,153 @@
+"""A bounded ring of recent published epoch snapshots.
+
+The write side of the temporal layer: the service's publish hook offers
+every new :class:`~repro.serve.snapshots.EpochSnapshot` to the ring, which
+retains the most recent ones under two budgets — a count bound
+(``max_epochs``) and an optional byte bound (``max_bytes``, summing each
+replica's ``memory_bytes()``).  When either budget overflows, the *oldest*
+epochs are evicted until the ring fits again; the newest epoch is never
+evicted, so the latest publish is always pinnable.
+
+Eviction is just dropping the ring's reference.  Snapshots are immutable by
+contract, so a reader that resolved an epoch before it was evicted keeps a
+fully consistent replica for as long as it holds the reference — the ring
+bounds *retention*, not reader lifetime.
+
+The ring is thread-safe: offers arrive from the single writer (inside the
+epoch writer's lock) while resolves come from any reader thread.  A resolve
+of an epoch the ring does not hold raises the typed
+:class:`~repro.serve.errors.EpochGoneError` — the service maps it to
+``STATUS_EPOCH_GONE`` on the wire.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.serve.snapshots import EpochSnapshot
+
+#: Default count budget: enough history for short windows and diffs without
+#: holding more than a handful of full sketch replicas alive.
+DEFAULT_RING_EPOCHS = 8
+
+
+class EpochRing:
+    """Count- and byte-budgeted retention of recent epoch snapshots.
+
+    Parameters
+    ----------
+    max_epochs:
+        Retain at most this many epochs (>= 1).
+    max_bytes:
+        Optional cap on the summed ``memory_bytes()`` of the retained
+        replicas.  The newest epoch is exempt (it is never evicted), so a
+        single oversized replica degrades the ring to depth 1 instead of
+        emptying it.
+    """
+
+    def __init__(
+        self, max_epochs: int = DEFAULT_RING_EPOCHS, max_bytes: float | None = None
+    ) -> None:
+        if max_epochs < 1:
+            raise ValueError("max_epochs must be at least 1")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None)")
+        self.max_epochs = max_epochs
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._epochs: "OrderedDict[int, EpochSnapshot]" = OrderedDict()
+        self._bytes = 0.0
+        #: Epochs dropped to keep the ring within its budgets.
+        self.evictions = 0
+
+    # ---------------------------------------------------------------- writes
+    def offer(self, epoch: "EpochSnapshot") -> None:
+        """Retain one published epoch, evicting the oldest past the budgets.
+
+        Epoch ids must be offered in strictly increasing order (the publish
+        sequence guarantees it); a stale or duplicate id is rejected so the
+        ring's ordering invariant — iteration is publication order — holds.
+        """
+        with self._lock:
+            if self._epochs:
+                newest = next(reversed(self._epochs))
+                if epoch.epoch_id <= newest:
+                    raise ValueError(
+                        f"epoch {epoch.epoch_id} offered out of order "
+                        f"(ring newest is {newest})"
+                    )
+            self._epochs[epoch.epoch_id] = epoch
+            self._bytes += float(epoch.sketch.memory_bytes())
+            while len(self._epochs) > self.max_epochs or (
+                self.max_bytes is not None
+                and self._bytes > self.max_bytes
+                and len(self._epochs) > 1
+            ):
+                _, evicted = self._epochs.popitem(last=False)
+                self._bytes -= float(evicted.sketch.memory_bytes())
+                self.evictions += 1
+
+    # ----------------------------------------------------------------- reads
+    def get(self, epoch_id: int) -> "EpochSnapshot":
+        """The retained snapshot of ``epoch_id``.
+
+        Raises :class:`~repro.serve.errors.EpochGoneError` when the ring
+        does not hold it — evicted, never published, or not yet published.
+        """
+        with self._lock:
+            snapshot = self._epochs.get(epoch_id)
+            if snapshot is not None:
+                return snapshot
+            oldest = next(iter(self._epochs)) if self._epochs else None
+            newest = next(reversed(self._epochs)) if self._epochs else None
+        # Imported here, not at module scope: the service imports this
+        # package at module level, so a top-level import of repro.serve
+        # would be circular.
+        from repro.serve.errors import EpochGoneError
+
+        raise EpochGoneError(epoch_id, oldest=oldest, newest=newest)
+
+    def __contains__(self, epoch_id: int) -> bool:
+        with self._lock:
+            return epoch_id in self._epochs
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._epochs)
+
+    @property
+    def epochs(self) -> tuple[int, ...]:
+        """Resident epoch ids, oldest first."""
+        with self._lock:
+            return tuple(self._epochs)
+
+    @property
+    def newest(self) -> "EpochSnapshot | None":
+        """The most recently offered snapshot (never evicted while resident)."""
+        with self._lock:
+            if not self._epochs:
+                return None
+            return next(reversed(self._epochs.values()))
+
+    @property
+    def retained_bytes(self) -> float:
+        """Summed ``memory_bytes()`` of the resident replicas."""
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> dict:
+        """Ring counters (JSON-serializable; nested under service stats)."""
+        with self._lock:
+            epochs = tuple(self._epochs)
+            return {
+                "resident_epochs": list(epochs),
+                "oldest_epoch": epochs[0] if epochs else None,
+                "newest_epoch": epochs[-1] if epochs else None,
+                "max_epochs": self.max_epochs,
+                "max_bytes": self.max_bytes,
+                "retained_bytes": self._bytes,
+                "evictions": self.evictions,
+            }

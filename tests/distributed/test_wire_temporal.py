@@ -1,0 +1,95 @@
+"""The v3 temporal wire extension: pinned/windowed frames and EPOCH_GONE."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.wire import (
+    QUERY_FLUSH,
+    QUERY_KEYS,
+    QUERY_STATS,
+    QUERY_TOP_K,
+    STATUS_BUSY,
+    STATUS_EPOCH_GONE,
+    STATUS_OK,
+    WireFormatError,
+    decode_query_request,
+    decode_query_response,
+    encode_query_request,
+    encode_query_response,
+)
+
+
+def test_pinned_request_round_trips():
+    request = decode_query_request(
+        encode_query_request(5, QUERY_KEYS, keys=[1, "flow"], epoch=42)
+    )
+    assert request.epoch == 42 and request.window is None
+    assert list(request.keys) == [1, "flow"]
+
+    request = decode_query_request(encode_query_request(6, QUERY_TOP_K, k=3, epoch=0))
+    assert request.epoch == 0 and request.k == 3
+
+
+def test_windowed_request_round_trips():
+    request = decode_query_request(
+        encode_query_request(7, QUERY_KEYS, keys=[9], window=4)
+    )
+    assert request.window == 4 and request.epoch is None
+
+
+def test_plain_frames_stay_byte_identical():
+    # The extension is emitted only when set, so pre-temporal peers decode
+    # plain frames unchanged — and plain encodings carry no trailing block.
+    for kind, kwargs in (
+        (QUERY_KEYS, {"keys": [1, 2, 3]}),
+        (QUERY_TOP_K, {"k": 5}),
+        (QUERY_STATS, {}),
+        (QUERY_FLUSH, {}),
+    ):
+        plain = encode_query_request(1, kind, **kwargs)
+        request = decode_query_request(plain)
+        assert request.epoch is None and request.window is None
+        assert encode_query_request(1, kind, **kwargs) == plain
+
+
+def test_temporal_field_validation():
+    with pytest.raises(WireFormatError):
+        encode_query_request(1, QUERY_KEYS, keys=[1], epoch=2, window=3)
+    with pytest.raises(WireFormatError):
+        encode_query_request(1, QUERY_KEYS, keys=[1], epoch=-1)
+    with pytest.raises(WireFormatError):
+        encode_query_request(1, QUERY_KEYS, keys=[1], window=0)
+    with pytest.raises(WireFormatError):
+        encode_query_request(1, QUERY_STATS, epoch=2)  # epoch only on reads
+    with pytest.raises(WireFormatError):
+        encode_query_request(1, QUERY_TOP_K, k=3, window=2)  # window: keys only
+
+
+def test_unknown_extension_flag_rejected():
+    frame = encode_query_request(1, QUERY_TOP_K, k=2)
+    with pytest.raises(WireFormatError):
+        decode_query_request(frame + b"\x80" + b"\x00" * 8)
+
+
+def test_truncated_extension_rejected():
+    pinned = encode_query_request(1, QUERY_TOP_K, k=2, epoch=7)
+    with pytest.raises(WireFormatError):
+        decode_query_request(pinned[:-1])
+
+
+def test_epoch_gone_response_is_bodyless():
+    payload = encode_query_response(9, QUERY_KEYS, 3, status=STATUS_EPOCH_GONE)
+    response = decode_query_response(payload)
+    assert response.status == STATUS_EPOCH_GONE
+    assert response.epoch_id == 3  # echoes the requested epoch
+    assert response.estimates is None and response.keys is None
+    # Like BUSY, a rejection must not carry a body.
+    with pytest.raises(WireFormatError):
+        encode_query_response(9, QUERY_KEYS, 3, status=STATUS_EPOCH_GONE, estimates=[1])
+    with pytest.raises(WireFormatError):
+        decode_query_response(payload + b"\x00")
+
+
+def test_statuses_are_distinct():
+    assert len({STATUS_OK, STATUS_BUSY, STATUS_EPOCH_GONE}) == 3

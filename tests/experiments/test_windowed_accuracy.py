@@ -1,0 +1,107 @@
+"""Windowed estimates vs exact per-window ground truth, across cadences.
+
+The temporal layer's accuracy claim: for subtractable families (CM and
+Count) a sliding-window read is *exactly* the sketch of the window slice —
+so CM's one-sided guarantee (never underestimates) and Count's unbiasedness
+carry over to any window unchanged.  Hypothesis drives the publish cadence
+so window boundaries land at arbitrary positions relative to the stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.runner import run_windowed_fill
+from repro.sketches.registry import build_sketch
+from repro.streams.synthetic import zipf_stream
+from repro.temporal import delta_sketch
+
+MEMORY = 32 * 1024
+STREAM = zipf_stream(3000, skew=1.1, seed=11)
+
+
+@pytest.mark.parametrize("name", ["CM_fast", "Count"])
+def test_window_counts_partition_the_stream(name):
+    fill = run_windowed_fill(name, MEMORY, STREAM, epoch_items=500)
+    first = fill.snapshots[0].epoch_id
+    last = fill.snapshots[-1].epoch_id
+    whole = fill.window_counts(STREAM, first, last)
+    assert whole == dict(STREAM.counts())
+    # Adjacent windows tile: summing per-epoch slices recovers the whole.
+    rebuilt: dict = {}
+    ids = [snapshot.epoch_id for snapshot in fill.snapshots]
+    for earlier, later in zip(ids, ids[1:]):
+        for key, value in fill.window_counts(STREAM, earlier, later).items():
+            rebuilt[key] = rebuilt.get(key, 0) + value
+    assert rebuilt == whole
+
+
+@given(
+    epoch_items=st.integers(57, 900),
+    span=st.integers(1, 4),
+)
+@settings(max_examples=15, deadline=None)
+def test_cm_window_bounds_hold_across_cadences(epoch_items, span):
+    fill = run_windowed_fill("CM_fast", MEMORY, STREAM, epoch_items=epoch_items)
+    ids = [snapshot.epoch_id for snapshot in fill.snapshots]
+    if len(ids) < span + 1:
+        return  # stream too short for this window at this cadence
+    earlier_id, later_id = ids[-1 - span], ids[-1]
+    window = delta_sketch(fill.snapshot(later_id), fill.snapshot(earlier_id))
+    truth = fill.window_counts(STREAM, earlier_id, later_id)
+    if not truth:
+        return
+    keys = list(truth)
+    estimates = window.query_batch(keys)
+    # CM's one-sided guarantee holds inside the window.
+    assert all(int(e) >= truth[k] for k, e in zip(keys, estimates))
+    # Bit-identity: the delta equals a fresh sketch fed only the slice.
+    fresh = build_sketch("CM_fast", MEMORY, seed=0)
+    low = fill.snapshot(earlier_id).items
+    high = fill.snapshot(later_id).items
+    fresh.insert_batch(
+        [item.key for item in STREAM.items[low:high]],
+        [item.value for item in STREAM.items[low:high]],
+    )
+    assert np.array_equal(estimates, fresh.query_batch(keys))
+
+
+@given(epoch_items=st.integers(101, 700))
+@settings(max_examples=10, deadline=None)
+def test_count_window_bit_identity_across_cadences(epoch_items):
+    fill = run_windowed_fill("Count", MEMORY, STREAM, epoch_items=epoch_items)
+    ids = [snapshot.epoch_id for snapshot in fill.snapshots]
+    if len(ids) < 3:
+        return
+    earlier_id, later_id = ids[-3], ids[-1]
+    window = delta_sketch(fill.snapshot(later_id), fill.snapshot(earlier_id))
+    fresh = build_sketch("Count", MEMORY, seed=0)
+    low = fill.snapshot(earlier_id).items
+    high = fill.snapshot(later_id).items
+    fresh.insert_batch(
+        [item.key for item in STREAM.items[low:high]],
+        [item.value for item in STREAM.items[low:high]],
+    )
+    keys = list(fill.window_counts(STREAM, earlier_id, later_id))
+    assert np.array_equal(window.query_batch(keys), fresh.query_batch(keys))
+
+
+def test_windowed_fill_rejects_transport():
+    from repro.experiments.runner import ExperimentSettings
+
+    with pytest.raises(ValueError):
+        run_windowed_fill(
+            "CM_fast", MEMORY, STREAM, epoch_items=500,
+            settings=ExperimentSettings(transport="inproc"),
+        )
+
+
+def test_window_counts_rejects_backward_window():
+    fill = run_windowed_fill("CM_fast", MEMORY, STREAM, epoch_items=1000)
+    ids = [snapshot.epoch_id for snapshot in fill.snapshots]
+    with pytest.raises(ValueError):
+        fill.window_counts(STREAM, ids[-1], ids[0])
+    with pytest.raises(KeyError):
+        fill.snapshot(10_000)

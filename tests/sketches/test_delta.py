@@ -1,0 +1,110 @@
+"""The delta contract: subtract/state_delta are the exact inverse of merge.
+
+CM and Count tables are linear in the inserted multiset, so subtracting an
+earlier snapshot of the *same stream* must reproduce, bit for bit, a fresh
+sketch fed only the items in between.  CU merges but cannot subtract (its
+merge is an upper bound), and the capability flags/registry probes must
+say so.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketches.base import UnmergeableSketchError
+from repro.sketches.cm import CountMinSketch
+from repro.sketches.count import CountSketch
+from repro.sketches.cu import CUSketch
+from repro.sketches.registry import build_sketch, delta_names, supports_deltas
+
+MEMORY = 16 * 1024
+
+PAIRS = st.lists(
+    st.tuples(st.integers(0, 40), st.integers(1, 9)), min_size=1, max_size=120
+)
+
+
+def _fill(sketch, pairs):
+    for key, value in pairs:
+        sketch.insert(key, value)
+    return sketch
+
+
+@pytest.mark.parametrize("family", [CountMinSketch, CountSketch])
+class TestSubtractExactness:
+    def test_subtract_inverts_merge(self, family):
+        left = _fill(family(MEMORY, depth=3, seed=5), [(i, i + 1) for i in range(30)])
+        right = _fill(family(MEMORY, depth=3, seed=5), [(i * 7, 2) for i in range(30)])
+        merged = _fill(family(MEMORY, depth=3, seed=5), [(i, i + 1) for i in range(30)])
+        merged.merge(right)
+        merged.subtract(right)
+        assert np.array_equal(merged._tables, left._tables)
+
+    def test_state_delta_equals_fresh_fill(self, family):
+        prefix = [(i % 11, 1) for i in range(200)]
+        suffix = [(i % 7, 3) for i in range(150)]
+        running = _fill(family(MEMORY, depth=3, seed=9), prefix)
+        earlier = running.state_snapshot()
+        _fill(running, suffix)
+        delta = running.state_delta(earlier)
+        fresh = _fill(family(MEMORY, depth=3, seed=9), suffix)
+        assert np.array_equal(delta["tables"], fresh._tables)
+
+    def test_subtract_checks_peer_shape(self, family):
+        sketch = family(MEMORY, depth=3, seed=1)
+        other = family(MEMORY, depth=4, seed=1)
+        with pytest.raises(ValueError):
+            sketch.subtract(other)
+
+    def test_subtract_checks_seeds(self, family):
+        sketch = family(MEMORY, depth=3, seed=1)
+        other = family(MEMORY, depth=3, seed=2)
+        with pytest.raises(ValueError):
+            sketch.subtract(other)
+
+    @given(split=st.integers(1, 119), pairs=PAIRS)
+    @settings(max_examples=25, deadline=None)
+    def test_subtract_property(self, family, split, pairs):
+        prefix, suffix = pairs[:split], pairs[split:]
+        earlier = _fill(family(MEMORY, depth=3, seed=3), prefix)
+        later = _fill(family(MEMORY, depth=3, seed=3), prefix)
+        _fill(later, suffix)
+        later.subtract(earlier)
+        fresh = _fill(family(MEMORY, depth=3, seed=3), suffix)
+        assert np.array_equal(later._tables, fresh._tables)
+
+
+class TestCapabilityFlags:
+    def test_cm_count_subtractable(self):
+        assert CountMinSketch(MEMORY).subtractable
+        assert CountSketch(MEMORY).subtractable
+
+    def test_cu_not_subtractable(self):
+        assert not CUSketch(MEMORY).subtractable
+
+    def test_cu_subtract_raises(self):
+        sketch = CUSketch(MEMORY, seed=1)
+        other = CUSketch(MEMORY, seed=1)
+        with pytest.raises(UnmergeableSketchError):
+            sketch.subtract(other)
+        with pytest.raises(UnmergeableSketchError):
+            sketch.state_delta(other.state_snapshot())
+
+    def test_registry_probe(self):
+        assert supports_deltas("CM_fast")
+        assert supports_deltas("Count")
+        assert not supports_deltas("CU_fast")
+
+    def test_delta_names_are_subtractable(self):
+        names = delta_names()
+        assert "CM_fast" in names and "Count" in names
+        for name in names:
+            assert build_sketch(name, 1024.0, seed=0).subtractable
+
+    def test_subtractable_implies_mergeable(self):
+        # subtractable is strictly stronger than mergeable: every family
+        # advertising deltas must also merge.
+        for name in delta_names():
+            assert build_sketch(name, 1024.0, seed=0).mergeable

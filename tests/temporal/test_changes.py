@@ -1,0 +1,82 @@
+"""diff_rankings: surges, drops, membership churn, fallback estimates."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.temporal import ChangeReport, KeyChange, diff_rankings
+
+
+def test_surges_sorted_by_delta_descending():
+    report = diff_rankings(
+        [("a", 10), ("b", 10)], [("a", 40), ("b", 15)],
+        earlier_epoch=1, later_epoch=2,
+    )
+    assert [change.key for change in report.surges] == ["a", "b"]
+    assert report.surges[0].delta == 30
+    assert report.drops == ()
+    assert report.earlier_epoch == 1 and report.later_epoch == 2
+
+
+def test_drops_sorted_most_negative_first():
+    report = diff_rankings([("a", 50), ("b", 20)], [("a", 10), ("b", 15)])
+    assert [change.delta for change in report.drops] == [-40, -5]
+
+
+def test_min_delta_filters_small_moves():
+    report = diff_rankings([("a", 10)], [("a", 12)], min_delta=5)
+    assert report.surges == ()
+    assert not report.has_changes
+    with pytest.raises(ValueError):
+        diff_rankings([], [], min_delta=0)
+
+
+def test_membership_and_churn():
+    report = diff_rankings([("a", 5), ("b", 4)], [("b", 4), ("c", 9)])
+    assert report.new_keys == ("c",)
+    assert report.vanished_keys == ("a",)
+    assert report.churn == pytest.approx(0.5)
+
+
+def test_churn_empty_rankings_is_zero():
+    assert diff_rankings([], []).churn == 0.0
+
+
+def test_absent_key_defaults_to_zero_estimate():
+    # Client-side watch mode: a key missing from one ranking has an unknown
+    # estimate, treated as 0 — the delta is then a lower bound.
+    report = diff_rankings([], [("new", 25)])
+    assert report.surges[0] == KeyChange("new", 0, 25)
+
+
+def test_fallback_estimates_make_deltas_exact():
+    # Server-side path: the service queries both epochs for the union, so a
+    # key outside one ranking still gets its true estimate there.
+    report = diff_rankings(
+        [("a", 50)], [("b", 60)],
+        before_estimates={"b": 55}, after_estimates={"a": 48},
+    )
+    by_key = {change.key: change for change in report.surges + report.drops}
+    assert by_key["b"].before == 55 and by_key["b"].delta == 5
+    assert by_key["a"].after == 48 and by_key["a"].delta == -2
+
+
+def test_report_round_trips_through_json():
+    report = diff_rankings(
+        [("a", 5), ((1, 2), 3)], [("a", 9)], earlier_epoch=3, later_epoch=4
+    )
+    payload = json.loads(json.dumps(report.to_dict()))
+    assert payload["earlier_epoch"] == 3
+    assert payload["surges"][0]["key"] == "a"
+    # Non-scalar keys are repr()'d so the schema stays JSON-clean.
+    assert payload["vanished_keys"] == [repr((1, 2))]
+
+
+def test_identical_rankings_report_nothing():
+    ranking = [("a", 9), ("b", 5)]
+    report = diff_rankings(ranking, ranking)
+    assert isinstance(report, ChangeReport)
+    assert not report.has_changes
+    assert report.churn == 0.0

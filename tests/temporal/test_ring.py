@@ -1,0 +1,106 @@
+"""EpochRing retention: budgets, eviction order, pinned lookups."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.serve.errors import EpochGoneError
+from repro.serve.snapshots import EpochSnapshot
+from repro.sketches.registry import build_sketch
+from repro.temporal import EpochRing
+
+
+def snap(epoch_id: int, items: int = 0) -> EpochSnapshot:
+    return EpochSnapshot(
+        epoch_id=epoch_id,
+        items=items,
+        sketch=build_sketch("CM_fast", 8192.0, seed=0),
+        published_at=time.perf_counter(),
+    )
+
+
+def test_count_budget_evicts_oldest():
+    ring = EpochRing(max_epochs=3)
+    for epoch_id in range(5):
+        ring.offer(snap(epoch_id))
+    assert ring.epochs == (2, 3, 4)
+    assert ring.evictions == 2
+    assert len(ring) == 3
+
+
+def test_get_returns_the_offered_snapshot():
+    ring = EpochRing(max_epochs=4)
+    offered = [snap(i) for i in range(4)]
+    for snapshot in offered:
+        ring.offer(snapshot)
+    for snapshot in offered:
+        assert ring.get(snapshot.epoch_id) is snapshot
+        assert snapshot.epoch_id in ring
+
+
+def test_evicted_epoch_raises_typed_error_with_bounds():
+    ring = EpochRing(max_epochs=2)
+    for epoch_id in range(4):
+        ring.offer(snap(epoch_id))
+    with pytest.raises(EpochGoneError) as caught:
+        ring.get(0)
+    assert caught.value.epoch_id == 0
+    assert caught.value.oldest == 2
+    assert caught.value.newest == 3
+    assert not caught.value.retryable
+    assert "not ring-resident" in str(caught.value)
+
+
+def test_future_epoch_is_also_gone():
+    ring = EpochRing(max_epochs=2)
+    ring.offer(snap(0))
+    with pytest.raises(EpochGoneError):
+        ring.get(99)
+
+
+def test_out_of_order_offer_rejected():
+    ring = EpochRing(max_epochs=4)
+    ring.offer(snap(3))
+    with pytest.raises(ValueError):
+        ring.offer(snap(3))
+    with pytest.raises(ValueError):
+        ring.offer(snap(1))
+
+
+def test_byte_budget_evicts_but_keeps_newest():
+    one = snap(0)
+    per_epoch = one.sketch.memory_bytes()
+    ring = EpochRing(max_epochs=100, max_bytes=per_epoch * 2.5)
+    ring.offer(one)
+    for epoch_id in range(1, 6):
+        ring.offer(snap(epoch_id))
+    assert len(ring) == 2  # 2 fit the byte budget, 3rd would exceed
+    assert ring.newest.epoch_id == 5
+    # A budget smaller than a single epoch still retains the newest.
+    tight = EpochRing(max_epochs=100, max_bytes=1.0)
+    tight.offer(snap(0))
+    tight.offer(snap(1))
+    assert len(tight) == 1
+    assert tight.newest.epoch_id == 1
+
+
+def test_stats_shape():
+    ring = EpochRing(max_epochs=3)
+    for epoch_id in range(4):
+        ring.offer(snap(epoch_id))
+    stats = ring.stats()
+    assert stats["resident_epochs"] == [1, 2, 3]
+    assert stats["oldest_epoch"] == 1
+    assert stats["newest_epoch"] == 3
+    assert stats["max_epochs"] == 3
+    assert stats["evictions"] == 1
+    assert stats["retained_bytes"] > 0
+
+
+def test_invalid_budgets_rejected():
+    with pytest.raises(ValueError):
+        EpochRing(max_epochs=0)
+    with pytest.raises(ValueError):
+        EpochRing(max_epochs=4, max_bytes=0.0)

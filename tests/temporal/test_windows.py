@@ -1,0 +1,79 @@
+"""delta_sketch: windowed estimates are exact epoch-delta subtractions."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve.snapshots import EpochSnapshot, replicate_sketch
+from repro.sketches.base import UnmergeableSketchError
+from repro.sketches.registry import build_sketch
+from repro.temporal import delta_sketch
+
+MEMORY = 16 * 1024
+
+
+def publish(sketch) -> EpochSnapshot:
+    frozen = replicate_sketch(sketch)
+    return EpochSnapshot(
+        epoch_id=publish.counter, items=0, sketch=frozen,
+        published_at=time.perf_counter(),
+    )
+
+
+def setup_function(_):
+    publish.counter = 0
+
+
+def snapshot_after(sketch, pairs) -> EpochSnapshot:
+    for key, value in pairs:
+        sketch.insert(key, value)
+    snap = publish(sketch)
+    publish.counter += 1
+    return snap
+
+
+@pytest.mark.parametrize("name", ["CM_fast", "CM_acc", "Count"])
+def test_window_is_bit_identical_to_fresh_fill(name):
+    live = build_sketch(name, MEMORY, seed=4)
+    early_items = [(i % 13, 2) for i in range(300)]
+    late_items = [(i % 5, 7) for i in range(120)]
+    earlier = snapshot_after(live, early_items)
+    later = snapshot_after(live, late_items)
+    window = delta_sketch(later, earlier)
+    fresh = build_sketch(name, MEMORY, seed=4)
+    for key, value in late_items:
+        fresh.insert(key, value)
+    keys = list(range(16))
+    assert np.array_equal(window.query_batch(keys), fresh.query_batch(keys))
+
+
+def test_inputs_are_not_mutated():
+    live = build_sketch("CM_fast", MEMORY, seed=1)
+    earlier = snapshot_after(live, [(1, 5)])
+    later = snapshot_after(live, [(1, 5)])
+    before_earlier = earlier.sketch.query(1)
+    before_later = later.sketch.query(1)
+    delta_sketch(later, earlier)
+    assert earlier.sketch.query(1) == before_earlier
+    assert later.sketch.query(1) == before_later
+
+
+def test_backward_window_rejected():
+    live = build_sketch("CM_fast", MEMORY, seed=1)
+    earlier = snapshot_after(live, [(1, 1)])
+    later = snapshot_after(live, [(2, 1)])
+    with pytest.raises(ValueError):
+        delta_sketch(earlier, later)
+    with pytest.raises(ValueError):
+        delta_sketch(earlier, earlier)
+
+
+def test_unsubtractable_family_rejected():
+    live = build_sketch("CU_fast", MEMORY, seed=1)
+    earlier = snapshot_after(live, [(1, 1)])
+    later = snapshot_after(live, [(2, 1)])
+    with pytest.raises(UnmergeableSketchError):
+        delta_sketch(later, earlier)

@@ -357,3 +357,39 @@ def test_ingest_collect_store_resume_end_to_end(tmp_path, capsys):
     # A second run resumes from disk: its totals include the first run's.
     assert main(argv) == 0
     assert "4000" in capsys.readouterr().out
+
+
+def test_temporal_query_flag_validation():
+    # --epoch / --window / --watch belong to query only.
+    with pytest.raises(SystemExit):
+        main(["fig4", "--epoch", "2"])
+    with pytest.raises(SystemExit):
+        main(["serve", "--window", "2"])
+    # Mutually exclusive pin vs window; window needs keys; watch needs top-k.
+    with pytest.raises(SystemExit):
+        main(["query", "--keys", "1", "--epoch", "2", "--window", "3"])
+    with pytest.raises(SystemExit):
+        main(["query", "--window", "2"])
+    with pytest.raises(SystemExit):
+        main(["query", "--keys", "1", "--window", "0"])
+    with pytest.raises(SystemExit):
+        main(["query", "--keys", "1", "--epoch", "-1"])
+    with pytest.raises(SystemExit):
+        main(["query", "--keys", "1", "--watch", "3"])
+    with pytest.raises(SystemExit):
+        main(["query", "--top-k", "5", "--watch", "0"])
+    with pytest.raises(SystemExit):
+        main(["query", "--top-k", "5", "--interval", "0.5"])
+    with pytest.raises(SystemExit):
+        main(["query", "--top-k", "5", "--watch", "2", "--epoch", "1"])
+    with pytest.raises(SystemExit):
+        main(["query", "--keys", "1", "--epoch", "2", "--pipeline", "4"])
+
+
+def test_ring_epochs_flag_validation():
+    with pytest.raises(SystemExit):
+        main(["query", "--ring-epochs", "4", "--stats"])
+    with pytest.raises(SystemExit):
+        main(["serve", "--ring-epochs", "0"])
+    args = build_parser().parse_args(["serve", "--ring-epochs", "16"])
+    assert args.ring_epochs == 16
